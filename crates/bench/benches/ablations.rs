@@ -1,0 +1,214 @@
+//! Ablation benches beyond the paper's figures (DESIGN.md §5):
+//!
+//! * keyword pruning on/off and k-line filtering on/off;
+//! * degree tiebreak direction (ascending — the paper's rationale — vs
+//!   descending — the paper's literal phrasing);
+//! * distance oracle choice (BFS vs NL vs NLRNL) under one algorithm;
+//! * brute force vs branch-and-bound on a small instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktg_bench::params::DEFAULTS;
+use ktg_bench::runner::{dataset_with_queries, Algo, Workbench};
+use ktg_core::{bb, brute, KtgQuery, MemberOrdering};
+use ktg_datasets::DatasetProfile;
+use ktg_index::NlrnlIndex;
+
+fn pruning_rules(c: &mut Criterion) {
+    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
+    let index = NlrnlIndex::build(net.graph());
+    let mut group = c.benchmark_group("ablation_pruning");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, kp, kf) in [
+        ("both", true, true),
+        ("no-keyword-pruning", false, true),
+        ("no-kline-filtering", true, false),
+        ("neither", false, false),
+    ] {
+        let opts = bb::BbOptions {
+            keyword_pruning: kp,
+            kline_filtering: kf,
+            node_budget: Some(50_000),
+            ..bb::BbOptions::vkc_deg()
+        };
+        group.bench_function(BenchmarkId::new("vkc-deg", name), |b| {
+            b.iter(|| {
+                for q in &batch {
+                    let query = KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n)
+                        .expect("valid");
+                    bb::solve(&net, &query, &index, &opts);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn degree_direction(c: &mut Criterion) {
+    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
+    let index = NlrnlIndex::build(net.graph());
+    let mut group = c.benchmark_group("ablation_degree_order");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, ordering) in [
+        ("degree-ascending", MemberOrdering::VkcDeg),
+        ("degree-descending", MemberOrdering::VkcDegDesc),
+        ("no-tiebreak", MemberOrdering::Vkc),
+    ] {
+        let opts = bb::BbOptions {
+            node_budget: Some(50_000),
+            ..bb::BbOptions::vkc().with_ordering(ordering)
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for q in &batch {
+                    let query = KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n)
+                        .expect("valid");
+                    bb::solve(&net, &query, &index, &opts);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn oracle_choice(c: &mut Criterion) {
+    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
+    let bench = Workbench::new(&net);
+    let mut group = c.benchmark_group("ablation_oracles");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for algo in [Algo::KtgVkcDegBfs, Algo::KtgVkcNl, Algo::KtgVkcDegNlrnl] {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| bench.run_batch(algo, &batch, &DEFAULTS, Some(50_000)))
+        });
+    }
+    // PLL (2-hop labels): the modern baseline the paper cites as
+    // inspiration but never measures. Run the same search over it.
+    let pll = ktg_index::PllIndex::build(net.graph());
+    group.bench_function("KTG-VKC-DEG-PLL", |b| {
+        b.iter(|| {
+            for q in &batch {
+                let query = KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n)
+                    .expect("valid");
+                let opts = bb::BbOptions {
+                    node_budget: Some(50_000),
+                    ..bb::BbOptions::vkc_deg()
+                };
+                bb::solve(&net, &query, &pll, &opts);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn brute_vs_bb(c: &mut Criterion) {
+    // Brute force is O(|V|^p): keep the instance tiny.
+    let (net, batch) = dataset_with_queries(DatasetProfile::Brightkite, 800, 42, 1, 4);
+    let index = NlrnlIndex::build(net.graph());
+    let query = KtgQuery::new(batch[0].clone(), 3, 1, 2).expect("valid");
+    let mut group = c.benchmark_group("ablation_brute_vs_bb");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("brute-force", |b| {
+        b.iter(|| brute::solve(&net, &query, &index))
+    });
+    group.bench_function("ktg-vkc-deg", |b| {
+        b.iter(|| bb::solve(&net, &query, &index, &bb::BbOptions::vkc_deg()))
+    });
+    group.finish();
+}
+
+fn community_structure(c: &mut Criterion) {
+    // Does community structure (high modularity) change the algorithm
+    // picture relative to an equally dense unstructured graph? Planted
+    // partitions make intra-community pairs near-universally k-line for
+    // k >= 2, pushing feasible groups across communities.
+    use ktg_core::AttributedGraph;
+    use ktg_datasets::sbm::{planted_partition, SbmParams};
+
+    let n = 600;
+    let params = SbmParams { n, blocks: 6, p_in: 0.08, p_out: 0.004 };
+    let sbm_graph = planted_partition(&params, 42);
+    let flat_graph = ktg_datasets::gen::erdos_renyi(n, sbm_graph.num_edges(), 42);
+    let (vocab_a, kw_a) = ktg_datasets::keywords::assign_zipf(
+        n,
+        &ktg_datasets::keywords::KeywordModel::default(),
+        7,
+    );
+    let (vocab_b, kw_b) = ktg_datasets::keywords::assign_zipf(
+        n,
+        &ktg_datasets::keywords::KeywordModel::default(),
+        7,
+    );
+    let nets = [
+        ("sbm", AttributedGraph::new(sbm_graph, vocab_a, kw_a)),
+        ("flat", AttributedGraph::new(flat_graph, vocab_b, kw_b)),
+    ];
+
+    let mut group = c.benchmark_group("ablation_community_structure");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, net) in &nets {
+        let index = NlrnlIndex::build(net.graph());
+        let batch = ktg_datasets::QueryGen::new(net, 5).batch(2, DEFAULTS.wq);
+        group.bench_function(BenchmarkId::new("vkc-deg", *name), |b| {
+            b.iter(|| {
+                for q in &batch {
+                    let query =
+                        KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n).expect("valid");
+                    let opts = bb::BbOptions {
+                        node_budget: Some(50_000),
+                        ..bb::BbOptions::vkc_deg()
+                    };
+                    bb::solve(net, &query, &index, &opts);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn dktg_exact_vs_greedy(c: &mut Criterion) {
+    // Quality-vs-cost of DKTG-Greedy against the exact subset optimum on
+    // a small instance where exact search is tractable.
+    use ktg_core::dktg::{self, DktgQuery};
+    use ktg_core::dktg_exact::{self, ExactLimits};
+
+    let net = ktg_core::fixtures::figure1();
+    let base = KtgQuery::new(
+        net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).expect("fixture terms"),
+        3,
+        1,
+        2,
+    )
+    .expect("valid");
+    let query = DktgQuery::new(base, 0.5).expect("gamma");
+    let oracle = NlrnlIndex::build(net.graph());
+
+    let mut group = c.benchmark_group("ablation_dktg_exact_vs_greedy");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("greedy", |b| b.iter(|| dktg::solve(&net, &query, &oracle)));
+    group.bench_function("exact", |b| {
+        b.iter(|| dktg_exact::solve(&net, &query, &oracle, &ExactLimits::default()).expect("tractable"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    pruning_rules,
+    degree_direction,
+    oracle_choice,
+    brute_vs_bb,
+    community_structure,
+    dktg_exact_vs_greedy
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 3 — latency vs group size `p` (Gowalla-profile dataset).
+//!
+//! Reproduces the paper's comparison of KTG-QKC-NLRNL, KTG-VKC-NL,
+//! KTG-VKC-NLRNL, KTG-VKC-DEG-NLRNL, and DKTG-Greedy as `p` grows from 3
+//! to 7. Expected shape (paper Fig 3): latency rises with `p`; VKC-DEG is
+//! the fastest exact variant; QKC is the slowest; NLRNL beats NL.
+//! Full sweeps over all four datasets: `cargo run --release -p ktg-bench
+//! --bin experiments fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktg_bench::params::{DEFAULTS, P_RANGE};
+use ktg_bench::runner::{dataset_with_queries, Algo, Workbench};
+use ktg_datasets::DatasetProfile;
+
+fn bench(c: &mut Criterion) {
+    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
+    let bench = Workbench::new(&net);
+    let mut group = c.benchmark_group("fig3_group_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &p in &P_RANGE {
+        let cfg = DEFAULTS.with_p(p);
+        for algo in Algo::FIG3 {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), p),
+                &cfg,
+                |b, cfg| b.iter(|| bench.run_batch(algo, &batch, cfg, Some(50_000))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 4 — latency vs social constraint `k` (Gowalla-profile dataset).
+//!
+//! Expected shape (paper Fig 4): latency grows with `k` (fewer valid
+//! pairs survive filtering, and distance checks get more expensive for
+//! NL); KTG-VKC-DEG-NLRNL stays fastest.
+//! Full sweeps: `experiments fig4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktg_bench::params::{DEFAULTS, K_RANGE};
+use ktg_bench::runner::{dataset_with_queries, Algo, Workbench};
+use ktg_datasets::DatasetProfile;
+
+fn bench(c: &mut Criterion) {
+    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
+    let bench = Workbench::new(&net);
+    let mut group = c.benchmark_group("fig4_social_constraint");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &K_RANGE {
+        let cfg = DEFAULTS.with_k(k);
+        for algo in Algo::FIG456 {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), k),
+                &cfg,
+                |b, cfg| b.iter(|| bench.run_batch(algo, &batch, cfg, Some(50_000))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

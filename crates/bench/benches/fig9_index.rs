@@ -1,0 +1,43 @@
+//! Figure 9 — index construction time (b) and space (a).
+//!
+//! Benchmarks NL vs NLRNL construction per dataset profile; the space
+//! comparison (Fig 9a) is printed once per profile since bytes are
+//! deterministic. Expected shape (paper Fig 9): NLRNL stores *less*
+//! (half storage + skips the widest level) but takes *longer* to build
+//! (maintains the reverse lists too).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktg_datasets::DatasetProfile;
+use ktg_index::{NlIndex, NlrnlIndex};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_index_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for profile in DatasetProfile::PRIMARY {
+        let net = profile.instantiate(200, 42);
+        let graph = net.graph();
+        // Fig 9a: deterministic space report.
+        let nl = NlIndex::build(graph);
+        let nlrnl = NlrnlIndex::build(graph);
+        println!(
+            "fig9a space {}: NL = {} bytes, NLRNL = {} bytes",
+            profile,
+            nl.space().total_bytes(),
+            nlrnl.space().total_bytes()
+        );
+        group.bench_with_input(BenchmarkId::new("NL-build", profile.name()), graph, |b, g| {
+            b.iter(|| NlIndex::build(g))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("NLRNL-build", profile.name()),
+            graph,
+            |b, g| b.iter(|| NlrnlIndex::build(g)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

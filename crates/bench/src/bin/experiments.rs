@@ -1,0 +1,294 @@
+//! Regenerates every table and figure of the paper's evaluation (§VII).
+//!
+//! ```text
+//! experiments [fig3|fig4|fig5|fig6|fig7a|fig7b|fig9|all|table1]
+//!             [--scale N] [--queries N] [--seed N] [--budget N] [--out DIR]
+//! ```
+//!
+//! * `--scale` — dataset scale divisor (default 100; 1 = paper size, which
+//!   requires a very large-memory machine for the index experiments).
+//! * `--queries` — queries per configuration (paper: 100; default 5).
+//! * `--budget` — branch-and-bound node budget per query (safety valve;
+//!   default 500,000; truncated runs are flagged with `*`).
+//!
+//! Each figure prints a markdown table (mean latency per algorithm per
+//! swept value — the series the paper plots) and writes
+//! `bench_results/<fig>.csv`.
+
+use ktg_bench::params::{self, Params, DEFAULTS, K_RANGE, N_RANGE, P_RANGE, WQ_RANGE};
+use ktg_bench::report::{fmt_bytes, fmt_duration, Table};
+use ktg_bench::runner::{dataset_with_queries, Algo, Workbench};
+use ktg_datasets::DatasetProfile;
+use std::time::Instant;
+
+struct Cli {
+    command: String,
+    scale: usize,
+    queries: usize,
+    seed: u64,
+    budget: Option<u64>,
+    out: String,
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let mut cli = Cli {
+        command: "all".to_string(),
+        scale: params::scale_from_env(100),
+        queries: params::queries_from_env(5),
+        seed: 42,
+        budget: Some(500_000),
+        out: "bench_results".to_string(),
+    };
+    let mut positional_seen = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => cli.scale = expect_num(&mut args, "--scale") as usize,
+            "--queries" => cli.queries = expect_num(&mut args, "--queries") as usize,
+            "--seed" => cli.seed = expect_num(&mut args, "--seed"),
+            "--budget" => {
+                let b = expect_num(&mut args, "--budget");
+                cli.budget = if b == 0 { None } else { Some(b) };
+            }
+            "--out" => cli.out = args.next().unwrap_or_else(|| usage("--out needs a value")),
+            "--help" | "-h" => usage(""),
+            other if !other.starts_with('-') && !positional_seen => {
+                cli.command = other.to_string();
+                positional_seen = true;
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    cli
+}
+
+fn expect_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage: experiments [fig3|fig4|fig5|fig6|fig7a|fig7b|fig9|table1|all] \
+         [--scale N] [--queries N] [--seed N] [--budget N] [--out DIR]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let cli = parse_cli();
+    println!(
+        "# KTG experiments — command={} scale=1/{} queries={} seed={}\n",
+        cli.command, cli.scale, cli.queries, cli.seed
+    );
+    let start = Instant::now();
+    match cli.command.as_str() {
+        "table1" => table1(),
+        "fig3" => fig_sweep(&cli, "fig3", "p", &Algo::FIG3),
+        "fig4" => fig_sweep(&cli, "fig4", "k", &Algo::FIG456),
+        "fig5" => fig_sweep(&cli, "fig5", "wq", &Algo::FIG456),
+        "fig6" => fig_sweep(&cli, "fig6", "n", &Algo::FIG456),
+        "fig7a" => fig7a(&cli),
+        "fig7b" => fig7b(&cli),
+        "fig9" => fig9(&cli),
+        "all" => {
+            table1();
+            fig_sweep(&cli, "fig3", "p", &Algo::FIG3);
+            fig_sweep(&cli, "fig4", "k", &Algo::FIG456);
+            fig_sweep(&cli, "fig5", "wq", &Algo::FIG456);
+            fig_sweep(&cli, "fig6", "n", &Algo::FIG456);
+            fig7a(&cli);
+            fig7b(&cli);
+            fig9(&cli);
+        }
+        other => usage(&format!("unknown command '{other}'")),
+    }
+    println!("\ntotal wall time: {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// Prints Table I (parameter grid + adopted defaults).
+fn table1() {
+    println!("### Table I — parameter ranges (defaults in bold)\n");
+    println!("| Parameter | Range |");
+    println!("|---|---|");
+    let fmt = |vals: &[String], def: &str| -> String {
+        vals.iter()
+            .map(|v| if v == def { format!("**{v}**") } else { v.clone() })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let p: Vec<String> = P_RANGE.iter().map(|v| v.to_string()).collect();
+    let k: Vec<String> = K_RANGE.iter().map(|v| v.to_string()).collect();
+    let w: Vec<String> = WQ_RANGE.iter().map(|v| v.to_string()).collect();
+    let n: Vec<String> = N_RANGE.iter().map(|v| v.to_string()).collect();
+    println!("| group size (p) | {} |", fmt(&p, &DEFAULTS.p.to_string()));
+    println!("| social constraint (k) | {} |", fmt(&k, &DEFAULTS.k.to_string()));
+    println!("| query keyword size (W_Q) | {} |", fmt(&w, &DEFAULTS.wq.to_string()));
+    println!("| N value | {} |", fmt(&n, &DEFAULTS.n.to_string()));
+    println!();
+}
+
+/// The swept values for a named parameter.
+fn sweep_values(param: &str) -> Vec<Params> {
+    match param {
+        "p" => P_RANGE.iter().map(|&p| DEFAULTS.with_p(p)).collect(),
+        "k" => K_RANGE.iter().map(|&k| DEFAULTS.with_k(k)).collect(),
+        "wq" => WQ_RANGE.iter().map(|&w| DEFAULTS.with_wq(w)).collect(),
+        "n" => N_RANGE.iter().map(|&n| DEFAULTS.with_n(n)).collect(),
+        other => panic!("unknown sweep parameter {other}"),
+    }
+}
+
+fn param_label(param: &str, p: &Params) -> String {
+    match param {
+        "p" => p.p.to_string(),
+        "k" => p.k.to_string(),
+        "wq" => p.wq.to_string(),
+        "n" => p.n.to_string(),
+        other => panic!("unknown sweep parameter {other}"),
+    }
+}
+
+/// Figures 3–6: latency vs one parameter on the four primary datasets.
+fn fig_sweep(cli: &Cli, fig: &str, param: &str, algos: &[Algo]) {
+    for profile in DatasetProfile::PRIMARY {
+        let configs = sweep_values(param);
+        let net = profile.instantiate(cli.scale, cli.seed);
+        let bench = Workbench::new(&net);
+        let mut table = Table::new(
+            format!("{fig} — latency vs {param} on {profile} (scale 1/{})", cli.scale),
+            param,
+        );
+        table.columns(configs.iter().map(|p| param_label(param, p)));
+        for &algo in algos {
+            let mut cells = Vec::with_capacity(configs.len());
+            for cfg in &configs {
+                // The batch depends on |W_Q|; regenerate per config with a
+                // fixed seed so every algorithm sees identical queries.
+                let batch = ktg_datasets::QueryGen::new(&net, cli.seed ^ 0xBEEF)
+                    .batch(cli.queries, cfg.wq);
+                let m = bench.run_batch(algo, &batch, cfg, cli.budget);
+                let mut cell = fmt_duration(m.mean_latency);
+                if m.stats.truncated {
+                    cell.push('*');
+                }
+                cells.push(cell);
+            }
+            table.row(algo.name(), cells);
+        }
+        print!("{}", table.to_markdown());
+        println!();
+        if let Ok(path) = table.write_csv(&cli.out, &format!("{fig}_{profile}")) {
+            println!("wrote {}", path.display());
+        }
+        println!();
+    }
+}
+
+/// Figure 7a: the denser Twitter graph, latency vs p.
+fn fig7a(cli: &Cli) {
+    let net = DatasetProfile::Twitter.instantiate(cli.scale, cli.seed);
+    let bench = Workbench::new(&net);
+    let mut table = Table::new(
+        format!("fig7a — denser graph (twitter, scale 1/{}) — latency vs p", cli.scale),
+        "p",
+    );
+    table.columns(P_RANGE.iter().map(|p| p.to_string()));
+    for algo in [Algo::KtgVkcNlrnl, Algo::KtgVkcDegNlrnl] {
+        let mut cells = Vec::new();
+        for &p in &P_RANGE {
+            let cfg = DEFAULTS.with_p(p);
+            let batch =
+                ktg_datasets::QueryGen::new(&net, cli.seed ^ 0xBEEF).batch(cli.queries, cfg.wq);
+            let m = bench.run_batch(algo, &batch, &cfg, cli.budget);
+            let mut cell = fmt_duration(m.mean_latency);
+            if m.stats.truncated {
+                cell.push('*');
+            }
+            cells.push(cell);
+        }
+        table.row(algo.name(), cells);
+    }
+    print!("{}", table.to_markdown());
+    if let Ok(path) = table.write_csv(&cli.out, "fig7a_twitter") {
+        println!("wrote {}", path.display());
+    }
+    println!();
+}
+
+/// Figure 7b: the large DBLP-1M graph, NL vs NLRNL scalability vs k.
+fn fig7b(cli: &Cli) {
+    let (net, _) =
+        dataset_with_queries(DatasetProfile::DblpLarge, cli.scale, cli.seed, 1, DEFAULTS.wq);
+    let bench = Workbench::new(&net);
+    let mut table = Table::new(
+        format!("fig7b — large graph (dblp-1m, scale 1/{}) — latency vs k", cli.scale),
+        "k",
+    );
+    table.columns(K_RANGE.iter().map(|k| k.to_string()));
+    for algo in [Algo::KtgVkcNl, Algo::KtgVkcDegNlrnl] {
+        let mut cells = Vec::new();
+        for &k in &K_RANGE {
+            let cfg = DEFAULTS.with_k(k);
+            let batch =
+                ktg_datasets::QueryGen::new(&net, cli.seed ^ 0xBEEF).batch(cli.queries, cfg.wq);
+            let m = bench.run_batch(algo, &batch, &cfg, cli.budget);
+            let mut cell = fmt_duration(m.mean_latency);
+            if m.stats.truncated {
+                cell.push('*');
+            }
+            cells.push(cell);
+        }
+        table.row(algo.name(), cells);
+    }
+    print!("{}", table.to_markdown());
+    if let Ok(path) = table.write_csv(&cli.out, "fig7b_dblp1m") {
+        println!("wrote {}", path.display());
+    }
+    println!();
+}
+
+/// Figure 9: index space (a) and construction time (b) on the four
+/// primary datasets.
+fn fig9(cli: &Cli) {
+    let mut space = Table::new(format!("fig9a — index space (scale 1/{})", cli.scale), "index");
+    let mut build = Table::new(
+        format!("fig9b — index construction time (scale 1/{})", cli.scale),
+        "index",
+    );
+    let names: Vec<String> = DatasetProfile::PRIMARY.iter().map(|p| p.to_string()).collect();
+    space.columns(names.clone());
+    build.columns(names);
+
+    let mut nl_space = Vec::new();
+    let mut nlrnl_space = Vec::new();
+    let mut nl_build = Vec::new();
+    let mut nlrnl_build = Vec::new();
+    for profile in DatasetProfile::PRIMARY {
+        let net = profile.instantiate(cli.scale, cli.seed);
+        let bench = Workbench::new(&net);
+        nl_space.push(fmt_bytes(bench.nl().space().total_bytes()));
+        nlrnl_space.push(fmt_bytes(bench.nlrnl().space().total_bytes()));
+        nl_build.push(fmt_duration(bench.nl().build_stats().elapsed));
+        nlrnl_build.push(fmt_duration(bench.nlrnl().build_stats().elapsed));
+    }
+    space.row("NL", nl_space);
+    space.row("NLRNL", nlrnl_space);
+    build.row("NL", nl_build);
+    build.row("NLRNL", nlrnl_build);
+
+    print!("{}", space.to_markdown());
+    println!();
+    print!("{}", build.to_markdown());
+    if let Ok(p) = space.write_csv(&cli.out, "fig9a_space") {
+        println!("wrote {}", p.display());
+    }
+    if let Ok(p) = build.write_csv(&cli.out, "fig9b_build") {
+        println!("wrote {}", p.display());
+    }
+    println!();
+}

@@ -1,0 +1,23 @@
+//! # `ktg-bench`
+//!
+//! Benchmark harness reproducing the paper's evaluation (§VII): every
+//! figure has a Criterion bench (`benches/fig*.rs`) and a sweep command in
+//! the `experiments` binary that prints the same rows/series the paper
+//! plots. Table I's parameter grid lives in [`params`]; the shared
+//! machinery (dataset instantiation, index construction, per-algorithm
+//! query execution, latency aggregation) in [`runner`]; plain-text/CSV
+//! emission in [`report`].
+//!
+//! Scale: the paper ran full-size graphs on a 120 GB testbed. The harness
+//! defaults to `1/100` scale (override with `--scale` or `KTG_SCALE`),
+//! which preserves every comparative shape — see DESIGN.md §4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+pub mod report;
+pub mod runner;
+
+pub use params::{Params, DEFAULTS};
+pub use runner::{Algo, Workbench};

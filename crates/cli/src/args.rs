@@ -1,0 +1,170 @@
+//! Argument parsing.
+//!
+//! Hand-rolled (the workspace's dependency budget has no `clap`): a
+//! subcommand word followed by `--flag value` pairs, with short aliases
+//! for the query parameters (`-p`, `-k`, `-n`).
+
+use ktg_common::{FxHashMap, KtgError, Result};
+
+/// The CLI subcommands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Generate a synthetic dataset from a named profile.
+    Generate,
+    /// Print graph/keyword statistics.
+    Stats,
+    /// Build and persist an NLRNL index.
+    Index,
+    /// Run a KTG query.
+    Query,
+    /// Run a DKTG (diversified) query.
+    Dktg,
+}
+
+impl Command {
+    fn from_word(word: &str) -> Result<Self> {
+        match word {
+            "generate" => Ok(Command::Generate),
+            "stats" => Ok(Command::Stats),
+            "index" => Ok(Command::Index),
+            "query" => Ok(Command::Query),
+            "dktg" => Ok(Command::Dktg),
+            other => Err(KtgError::input(format!(
+                "unknown command '{other}' (expected generate|stats|index|query|dktg)"
+            ))),
+        }
+    }
+}
+
+/// A parsed command line: the subcommand plus its flag map.
+#[derive(Clone, Debug)]
+pub struct ParsedArgs {
+    /// The subcommand.
+    pub command: Command,
+    flags: FxHashMap<String, String>,
+}
+
+/// Canonical spelling for a flag, resolving short aliases.
+fn canonical(flag: &str) -> &str {
+    match flag {
+        "-p" => "p",
+        "-k" => "k",
+        "-n" => "n",
+        other => other.trim_start_matches("--"),
+    }
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<ParsedArgs> {
+    let mut iter = argv.iter();
+    let word = iter
+        .next()
+        .ok_or_else(|| KtgError::input("missing command (generate|stats|index|query|dktg)"))?;
+    let command = Command::from_word(word)?;
+    let mut flags = FxHashMap::default();
+    while let Some(flag) = iter.next() {
+        if !flag.starts_with('-') {
+            return Err(KtgError::input(format!("unexpected positional argument '{flag}'")));
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| KtgError::input(format!("flag '{flag}' needs a value")))?;
+        flags.insert(canonical(flag).to_string(), value.clone());
+    }
+    Ok(ParsedArgs { command, flags })
+}
+
+impl ParsedArgs {
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| KtgError::input(format!("missing required flag --{name}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A required numeric flag.
+    pub fn required_num<T: std::str::FromStr>(&self, name: &str) -> Result<T> {
+        self.required(name)?.parse::<T>().map_err(|_| {
+            KtgError::input(format!("flag --{name} has a non-numeric value"))
+        })
+    }
+
+    /// An optional numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr + Copy>(&self, name: &str, default: T) -> Result<T> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<T>().map_err(|_| {
+                KtgError::input(format!("flag --{name} has a non-numeric value"))
+            }),
+        }
+    }
+
+    /// A comma-separated list flag.
+    pub fn list(&self, name: &str) -> Result<Vec<String>> {
+        Ok(self
+            .required(name)?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = parse(&argv(&["query", "--edges", "e.txt", "-p", "3", "-k", "2"])).unwrap();
+        assert_eq!(p.command, Command::Query);
+        assert_eq!(p.required("edges").unwrap(), "e.txt");
+        assert_eq!(p.required_num::<usize>("p").unwrap(), 3);
+        assert_eq!(p.required_num::<u32>("k").unwrap(), 2);
+    }
+
+    #[test]
+    fn defaults_and_optionals() {
+        let p = parse(&argv(&["stats", "--edges", "e.txt"])).unwrap();
+        assert_eq!(p.num_or("seed", 7u64).unwrap(), 7);
+        assert!(p.optional("keywords").is_none());
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(parse(&argv(&["frobnicate"])).is_err());
+        assert!(parse(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&argv(&["stats", "--edges"])).is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(parse(&argv(&["stats", "whoops"])).is_err());
+    }
+
+    #[test]
+    fn list_flag_splits_and_trims() {
+        let p = parse(&argv(&["query", "--terms", "a, b,,c"])).unwrap();
+        assert_eq!(p.list("terms").unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let p = parse(&argv(&["query", "-p", "three"])).unwrap();
+        assert!(p.required_num::<usize>("p").is_err());
+    }
+}

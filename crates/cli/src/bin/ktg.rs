@@ -1,0 +1,21 @@
+//! The `ktg` binary: a thin shim over [`ktg_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = ktg_cli::run(&argv, &mut lock) {
+        eprintln!("error: {e}");
+        eprintln!();
+        eprintln!("usage: ktg <generate|stats|index|query|dktg> [--flag value]...");
+        eprintln!("  generate --profile NAME --out DIR [--scale N] [--seed N]");
+        eprintln!("  stats    --edges FILE [--keywords FILE]");
+        eprintln!("  index    --edges FILE --out FILE");
+        eprintln!("  query    --edges FILE [--keywords FILE] (--terms a,b,c | --random-terms N)");
+        eprintln!("           [-p N] [-k N] [-n N] [--algo qkc|vkc|vkc-deg]");
+        eprintln!("           [--oracle bfs|nl|nlrnl] [--index FILE] [--authors 1,2]");
+        eprintln!("           [--explain true]");
+        eprintln!("  dktg     (query flags) [--gamma F]");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Command implementations.
+//!
+//! Each command takes the parsed flags and a writer; file-system paths
+//! come exclusively from flags so tests can point everything at temp
+//! directories.
+
+use crate::args::{Command, ParsedArgs};
+use ktg_common::{KtgError, Result, VertexId};
+use ktg_core::dktg::{self, DktgQuery};
+use ktg_core::{bb, candidates, explain, multi_query, AttributedGraph, KtgQuery, MemberOrdering};
+use ktg_datasets::{DatasetProfile, QueryGen};
+use ktg_graph::{io as graph_io, stats};
+use ktg_index::{persist, BfsOracle, DistanceOracle, NlIndex, NlrnlIndex};
+use ktg_keywords::io as keyword_io;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
+    match args.command {
+        Command::Generate => generate(args, out),
+        Command::Stats => stats_cmd(args, out),
+        Command::Index => index_cmd(args, out),
+        Command::Query => query_cmd(args, out, false),
+        Command::Dktg => query_cmd(args, out, true),
+    }
+}
+
+fn profile_by_name(name: &str) -> Result<DatasetProfile> {
+    match name {
+        "dblp" => Ok(DatasetProfile::Dblp),
+        "gowalla" => Ok(DatasetProfile::Gowalla),
+        "brightkite" => Ok(DatasetProfile::Brightkite),
+        "flickr" => Ok(DatasetProfile::Flickr),
+        "twitter" => Ok(DatasetProfile::Twitter),
+        "dblp-1m" => Ok(DatasetProfile::DblpLarge),
+        other => Err(KtgError::input(format!(
+            "unknown profile '{other}' (dblp|gowalla|brightkite|flickr|twitter|dblp-1m)"
+        ))),
+    }
+}
+
+/// `ktg generate --profile NAME --out DIR [--scale N] [--seed N]`
+fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
+    let profile = profile_by_name(args.required("profile")?)?;
+    let out_dir = args.required("out")?;
+    let scale: usize = args.num_or("scale", 100)?;
+    let seed: u64 = args.num_or("seed", 42)?;
+
+    let net = profile.instantiate(scale, seed);
+    std::fs::create_dir_all(out_dir)?;
+    let edges_path = Path::new(out_dir).join("edges.txt");
+    let keywords_path = Path::new(out_dir).join("keywords.txt");
+    graph_io::write_edge_list(net.graph(), File::create(&edges_path)?)?;
+    keyword_io::write_keywords(net.vocab(), net.keywords(), File::create(&keywords_path)?)?;
+
+    writeln!(out, "generated {profile} at scale 1/{scale} (seed {seed})")?;
+    writeln!(out, "  graph:    {}", stats::summary(net.graph()))?;
+    writeln!(out, "  edges:    {}", edges_path.display())?;
+    writeln!(out, "  keywords: {} ({} terms)", keywords_path.display(), net.vocab().len())?;
+    Ok(())
+}
+
+/// Loads an attributed network from `--edges` (+ optional `--keywords`).
+fn load_network(args: &ParsedArgs) -> Result<AttributedGraph> {
+    let edges = args.required("edges")?;
+    let loaded = graph_io::read_edge_list(File::open(edges)?)?;
+    let n = loaded.graph.num_vertices();
+    let (vocab, vk) = match args.optional("keywords") {
+        Some(path) => keyword_io::read_keywords(n, File::open(path)?)?,
+        None => {
+            // No profiles supplied: synthesize deterministic ones so the
+            // query commands still work for quick experiments.
+            let model = ktg_datasets::keywords::KeywordModel::default();
+            ktg_datasets::keywords::assign_zipf(n, &model, 42)
+        }
+    };
+    Ok(AttributedGraph::new(loaded.graph, vocab, vk))
+}
+
+/// `ktg stats --edges FILE [--keywords FILE]`
+fn stats_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
+    let net = load_network(args)?;
+    writeln!(out, "graph: {}", stats::summary(net.graph()))?;
+    let comps = ktg_graph::components::Components::compute(net.graph());
+    writeln!(out, "components: {} (largest {})", comps.count(), comps.largest())?;
+    let hops = stats::sample_hop_stats(net.graph(), 16.min(net.num_vertices()));
+    writeln!(out, "hops (sampled): max {} mean {:.2}", hops.max_hops, hops.mean_hops)?;
+    writeln!(out, "vocabulary: {} terms", net.vocab().len())?;
+    let pairs = net.keywords().num_pairs();
+    writeln!(
+        out,
+        "keyword pairs: {} ({:.2} per vertex)",
+        pairs,
+        pairs as f64 / net.num_vertices().max(1) as f64
+    )?;
+    Ok(())
+}
+
+/// `ktg index --edges FILE --out FILE`
+fn index_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
+    let edges = args.required("edges")?;
+    let out_path = args.required("out")?;
+    let loaded = graph_io::read_edge_list(File::open(edges)?)?;
+    let index = NlrnlIndex::build(&loaded.graph);
+    persist::save_nlrnl(&index, &loaded.graph, File::create(out_path)?)?;
+    let space = index.space();
+    writeln!(
+        out,
+        "built NLRNL over {} vertices in {:?}: {} bytes ({} forward, {} reverse), saved to {}",
+        loaded.graph.num_vertices(),
+        index.build_stats().elapsed,
+        space.total_bytes(),
+        space.forward_bytes,
+        space.reverse_bytes,
+        out_path
+    )?;
+    Ok(())
+}
+
+/// Shared by `query` and `dktg`.
+fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Result<()> {
+    let net = load_network(args)?;
+    let p: usize = args.num_or("p", 3)?;
+    let k: u32 = args.num_or("k", 2)?;
+    let n: usize = args.num_or("n", 5)?;
+
+    // Query keywords: explicit --terms, or --random-terms SIZE.
+    let keywords = if args.optional("terms").is_some() {
+        let terms = args.list("terms")?;
+        net.query_keywords(terms.iter().map(String::as_str))?
+    } else {
+        let size: usize = args.num_or("random-terms", 0)?;
+        if size == 0 {
+            return Err(KtgError::query(
+                "provide --terms a,b,c or --random-terms SIZE".to_string(),
+            ));
+        }
+        let seed: u64 = args.num_or("seed", 42)?;
+        QueryGen::new(&net, seed).query(size)
+    };
+    let query = KtgQuery::new(keywords.clone(), p, k, n)?;
+
+    // Oracle selection; `--index FILE` loads a persisted NLRNL.
+    let oracle: Box<dyn DistanceOracle> = match args.optional("oracle").unwrap_or("nlrnl") {
+        "bfs" => Box::new(BfsOracle::new(net.graph())),
+        "nl" => Box::new(NlIndex::build(net.graph())),
+        "nlrnl" => match args.optional("index") {
+            Some(path) => Box::new(persist::load_nlrnl(net.graph(), File::open(path)?)?),
+            None => Box::new(NlrnlIndex::build(net.graph())),
+        },
+        other => {
+            return Err(KtgError::input(format!(
+                "unknown oracle '{other}' (bfs|nl|nlrnl)"
+            )))
+        }
+    };
+    let oracle = oracle.as_ref();
+
+    let ordering = match args.optional("algo").unwrap_or("vkc-deg") {
+        "qkc" => MemberOrdering::Qkc,
+        "vkc" => MemberOrdering::Vkc,
+        "vkc-deg" => MemberOrdering::VkcDeg,
+        other => {
+            return Err(KtgError::input(format!(
+                "unknown algorithm '{other}' (qkc|vkc|vkc-deg)"
+            )))
+        }
+    };
+    let opts = bb::BbOptions::vkc().with_ordering(ordering);
+
+    let masks = net.compile(query.keywords());
+    let mut cands = candidates::collect(net.graph(), &masks);
+    if let Some(authors) = args.optional("authors") {
+        let authors: Vec<VertexId> = authors
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<u32>()
+                    .map(VertexId)
+                    .map_err(|_| KtgError::input(format!("bad author id '{s}'")))
+            })
+            .collect::<Result<_>>()?;
+        let removed = multi_query::restrict_candidates(&oracle, &authors, k, &mut cands);
+        writeln!(out, "excluded {removed} candidates within {k} hops of the authors")?;
+    }
+
+    let term_list: Vec<&str> = keywords.ids().iter().map(|&kw| net.vocab().term(kw)).collect();
+    writeln!(
+        out,
+        "{} query ⟨W_Q={{{}}}, p={p}, k={k}, N={n}⟩ over {} candidates",
+        if diversified { "DKTG" } else { "KTG" },
+        term_list.join(", "),
+        cands.len()
+    )?;
+
+    if diversified {
+        let gamma: f64 = args.num_or("gamma", 0.5)?;
+        let dq = DktgQuery::new(query.clone(), gamma)?;
+        let result = dktg::solve_with_candidates(&dq, &oracle, cands, &opts);
+        writeln!(
+            out,
+            "score = {:.3} (min QKC {:.3}, dL {:.3}) — {} groups",
+            result.score,
+            result.min_qkc,
+            result.diversity,
+            result.groups.len()
+        )?;
+        for (rank, g) in result.groups.iter().enumerate() {
+            write_group(out, &net, &keywords, &masks, rank, g, args)?;
+        }
+    } else {
+        let result = bb::solve_with_candidates(&query, &oracle, cands, &opts);
+        writeln!(out, "{} groups (explored {} nodes)", result.groups.len(), result.stats.nodes)?;
+        for (rank, g) in result.groups.iter().enumerate() {
+            write_group(out, &net, &keywords, &masks, rank, g, args)?;
+        }
+    }
+    Ok(())
+}
+
+fn write_group(
+    out: &mut dyn Write,
+    net: &AttributedGraph,
+    keywords: &ktg_keywords::QueryKeywords,
+    masks: &ktg_keywords::QueryMasks,
+    rank: usize,
+    group: &ktg_core::Group,
+    args: &ParsedArgs,
+) -> Result<()> {
+    writeln!(
+        out,
+        "#{}: {:?} — QKC {}/{}",
+        rank + 1,
+        group.members().iter().map(|v| v.0).collect::<Vec<_>>(),
+        group.coverage_count(),
+        keywords.len()
+    )?;
+    if args.optional("explain").is_some_and(|v| v == "true" || v == "1") {
+        let ex = explain::explain(net, keywords, masks, group);
+        for line in ex.to_string().lines() {
+            writeln!(out, "    {line}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_to_string(parts: &[&str]) -> Result<String> {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        let parsed = parse(&argv)?;
+        let mut buf = Vec::new();
+        dispatch(&parsed, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ktg-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generate_stats_index_query_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let out = dir.to_str().unwrap();
+
+        let gen = run_to_string(&[
+            "generate", "--profile", "brightkite", "--scale", "400", "--seed", "7", "--out", out,
+        ])
+        .unwrap();
+        assert!(gen.contains("generated brightkite"));
+        let edges = dir.join("edges.txt");
+        let keywords = dir.join("keywords.txt");
+        assert!(edges.exists() && keywords.exists());
+
+        let stats = run_to_string(&[
+            "stats", "--edges", edges.to_str().unwrap(), "--keywords", keywords.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(stats.contains("graph: |V|="));
+        assert!(stats.contains("vocabulary:"));
+
+        let idx_path = dir.join("nlrnl.idx");
+        let idx = run_to_string(&[
+            "index", "--edges", edges.to_str().unwrap(), "--out", idx_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(idx.contains("built NLRNL"));
+        assert!(idx_path.exists());
+
+        let q = run_to_string(&[
+            "query",
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+            "--index", idx_path.to_str().unwrap(),
+            "--random-terms", "5",
+            "-p", "3", "-k", "1", "-n", "3",
+            "--explain", "true",
+        ])
+        .unwrap();
+        assert!(q.contains("KTG query"));
+        assert!(q.contains("#1:"), "query found no groups:\n{q}");
+
+        let d = run_to_string(&[
+            "dktg",
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+            "--random-terms", "5",
+            "-p", "3", "-k", "1", "-n", "2",
+            "--gamma", "0.5",
+        ])
+        .unwrap();
+        assert!(d.contains("DKTG query"));
+        assert!(d.contains("score ="));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_profile_is_a_clean_error() {
+        let err = run_to_string(&["generate", "--profile", "nope", "--out", "/tmp/x"]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn query_requires_terms_or_random() {
+        let dir = temp_dir("noterms");
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "generate", "--profile", "brightkite", "--scale", "800", "--seed", "1", "--out", out,
+        ])
+        .unwrap();
+        let edges = dir.join("edges.txt");
+        let err = run_to_string(&["query", "--edges", edges.to_str().unwrap()]);
+        assert!(err.is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn author_exclusion_flag_runs() {
+        let dir = temp_dir("authors");
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "generate", "--profile", "brightkite", "--scale", "400", "--seed", "3", "--out", out,
+        ])
+        .unwrap();
+        let edges = dir.join("edges.txt");
+        let keywords = dir.join("keywords.txt");
+        let q = run_to_string(&[
+            "query",
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+            "--random-terms", "5",
+            "--authors", "0,1",
+            "-p", "3", "-k", "1", "-n", "2",
+        ])
+        .unwrap();
+        assert!(q.contains("excluded"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

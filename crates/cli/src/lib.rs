@@ -1,0 +1,33 @@
+//! # `ktg-cli`
+//!
+//! The `ktg` command-line tool: generate datasets, inspect graphs, build
+//! and persist indexes, and run KTG/DKTG queries from a shell.
+//!
+//! ```text
+//! ktg generate --profile gowalla --scale 100 --seed 42 --out data/
+//! ktg stats    --edges data/edges.txt
+//! ktg index    --edges data/edges.txt --out data/nlrnl.idx
+//! ktg query    --edges data/edges.txt --keywords data/keywords.txt \
+//!              --terms t1,t5,t9 -p 3 -k 2 -n 5 --explain
+//! ktg dktg     --edges data/edges.txt --keywords data/keywords.txt \
+//!              --terms t1,t5,t9 -p 3 -k 2 -n 5 --gamma 0.5
+//! ```
+//!
+//! Every command is a library function writing to a caller-supplied
+//! writer, so the test suite drives them without spawning processes; the
+//! binary (`src/bin/ktg.rs`) is a thin argument-parsing shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Command, ParsedArgs};
+
+/// Entry point shared by the binary and the tests: parse, dispatch, write
+/// human-readable output to `out`.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> ktg_common::Result<()> {
+    let parsed = args::parse(argv)?;
+    commands::dispatch(&parsed, out)
+}

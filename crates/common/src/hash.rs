@@ -1,0 +1,157 @@
+//! A fast, non-cryptographic hasher for integer-keyed maps.
+//!
+//! The hot paths of the KTG algorithms key hash maps almost exclusively by
+//! `u32`/`u64` vertex and keyword ids. The standard library's SipHash is
+//! collision-resistant but slow for such keys; the classic "Fx" construction
+//! (rotate, xor, multiply by a large odd constant — as used inside rustc)
+//! is 3-5x faster and its distribution is more than adequate for ids that
+//! are already near-uniform. HashDoS is not a concern: all inputs are
+//! machine-generated ids, never attacker-controlled strings.
+//!
+//! Implemented from scratch because the workspace's dependency budget does
+//! not include `rustc-hash`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant: `floor(2^64 / golden_ratio)`, the same constant
+/// used by Fibonacci hashing. Odd, so multiplication is a bijection on u64.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+const ROTATE: u32 = 26;
+
+/// A 64-bit Fx-style hasher: `state = (rotl(state, 26) ^ word) * SEED`.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche improves the low bits, which hashbrown uses for
+        // bucket selection and the high bits for its control bytes.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(SEED);
+        h ^= h >> 29;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Fold in the length so "ab" and "ab\0" hash differently.
+            self.add_word(u64::from_le_bytes(buf) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_word(i as u64);
+        self.add_word((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// A `HashMap` using the fast Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fast Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one("tenuous"), hash_one("tenuous"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        // Not a collision guarantee, but these must not trivially collide.
+        assert_ne!(hash_one(0u64), hash_one(1u64));
+        assert_ne!(hash_one(7u32), hash_one(8u32));
+        assert_ne!(hash_one("ab"), hash_one("ab\0"));
+        assert_ne!(hash_one(b"ab".as_slice()), hash_one(b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_buckets() {
+        // Low bits decide the hashbrown bucket; sequential ids must not all
+        // land in the same few buckets.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            low_bits.insert(hash_one(i) & 0x3F);
+        }
+        assert!(low_bits.len() > 32, "only {} distinct buckets", low_bits.len());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+
+        let set: FxHashSet<u32> = (0..100).collect();
+        assert_eq!(set.len(), 100);
+        assert!(set.contains(&99));
+    }
+
+    #[test]
+    fn u128_write_covers_both_halves() {
+        let a = hash_one(1u128);
+        let b = hash_one(1u128 << 64);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! # `ktg-common`
+//!
+//! Shared utilities for the KTG (Keyword-based Socially Tenuous Group
+//! Queries, ICDE 2023) reproduction workspace.
+//!
+//! This crate deliberately has **zero dependencies**: everything the rest of
+//! the workspace needs that is not domain-specific lives here, built from
+//! scratch:
+//!
+//! * [`VertexId`] — a compact `u32` vertex handle used across all crates.
+//! * [`FxHashMap`] / [`FxHashSet`] — hash containers with a fast
+//!   multiply-based hasher ([`hash::FxHasher64`]), suitable for the integer
+//!   keys that dominate this workload.
+//! * [`FixedBitSet`] and [`EpochMarker`] — dense membership structures used
+//!   for BFS visited sets and candidate filtering without per-query O(n)
+//!   clears.
+//! * [`TopN`] — a bounded min-heap maintaining the N best items with the
+//!   paper's tie semantics (an item that merely equals the current N-th best
+//!   does not displace an incumbent).
+//! * [`KtgError`] — the workspace error type.
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod error;
+pub mod hash;
+pub mod id;
+pub mod topn;
+
+pub use bitset::{EpochMarker, FixedBitSet};
+pub use error::{KtgError, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
+pub use id::VertexId;
+pub use topn::TopN;

@@ -1,0 +1,603 @@
+//! The exact branch-and-bound engine (paper §IV, Algorithm 1).
+//!
+//! One engine implements all three exact algorithm variants evaluated in
+//! the paper; they differ only in the [`MemberOrdering`] used to rank the
+//! remaining candidate set `S_R`:
+//!
+//! * **KTG-QKC** — static sort by query keyword coverage (Definition 5),
+//!   computed once and never refreshed ("only need sorting once").
+//! * **KTG-VKC** — dynamic sort by *valid* keyword coverage
+//!   (Definition 8), recomputed against the covered set after every
+//!   selection.
+//! * **KTG-VKC-DEG** — VKC order with an ascending-degree tiebreak: among
+//!   equal-VKC candidates, low-degree members conflict with fewer others,
+//!   so feasible groups form earlier (§IV-B; see DESIGN.md on the paper's
+//!   self-contradictory phrasing of the direction).
+//!
+//! The engine applies three cuts, each toggleable for ablation studies:
+//!
+//! * **Keyword pruning** (Theorem 2): a branch dies when even the top
+//!   `p − |S_I|` remaining VKC values cannot lift the coverage above the
+//!   current N-th best.
+//! * **k-line filtering** (Theorem 3): after selecting `v`, every
+//!   remaining candidate within `k` hops of `v` is removed. When disabled,
+//!   feasibility is enforced lazily by pairwise checks at selection time
+//!   (the search stays exact either way).
+//! * **Feasibility cut**: a branch with `|S_I| + |S_R| < p` cannot reach
+//!   size `p`.
+//!
+//! Exploration order matches Algorithm 1: at each node take the head of
+//! the ordered `S_R`, recurse, then permanently exclude it at this level
+//! and continue — enumerating unordered groups exactly once.
+
+use crate::candidates::{self, Candidate};
+use crate::group::{Group, RankedGroup};
+use crate::network::AttributedGraph;
+use crate::query::KtgQuery;
+use crate::stats::SearchStats;
+use ktg_common::TopN;
+use ktg_index::DistanceOracle;
+use ktg_keywords::coverage;
+
+/// Candidate-ordering strategy for `S_R`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemberOrdering {
+    /// Static query-keyword-coverage order (KTG-QKC).
+    Qkc,
+    /// Dynamic valid-keyword-coverage order (KTG-VKC).
+    Vkc,
+    /// VKC with ascending-degree tiebreak (KTG-VKC-DEG).
+    VkcDeg,
+    /// VKC with **descending**-degree tiebreak — not in the paper; exists
+    /// to ablate the tiebreak direction (see DESIGN.md §3).
+    VkcDegDesc,
+}
+
+impl MemberOrdering {
+    /// Whether this ordering keeps `S_R` sorted by current VKC, letting
+    /// the keyword-pruning bound read the top values off the list head.
+    #[inline]
+    fn vkc_sorted(self) -> bool {
+        !matches!(self, MemberOrdering::Qkc)
+    }
+
+    /// Sorts `cands` for the given covered mask. For [`MemberOrdering::Qkc`]
+    /// the key ignores `covered` (static QKC order).
+    fn sort(self, covered: u64, cands: &mut [Candidate]) {
+        match self {
+            MemberOrdering::Qkc => {
+                cands.sort_by_key(|c| (std::cmp::Reverse(c.mask.count_ones()), c.v));
+            }
+            MemberOrdering::Vkc => {
+                cands.sort_by_key(|c| {
+                    (std::cmp::Reverse(coverage::vkc_count(c.mask, covered)), c.v)
+                });
+            }
+            MemberOrdering::VkcDeg => {
+                cands.sort_by_key(|c| {
+                    (std::cmp::Reverse(coverage::vkc_count(c.mask, covered)), c.degree, c.v)
+                });
+            }
+            MemberOrdering::VkcDegDesc => {
+                cands.sort_by_key(|c| {
+                    (
+                        std::cmp::Reverse(coverage::vkc_count(c.mask, covered)),
+                        std::cmp::Reverse(c.degree),
+                        c.v,
+                    )
+                });
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemberOrdering::Qkc => "qkc",
+            MemberOrdering::Vkc => "vkc",
+            MemberOrdering::VkcDeg => "vkc-deg",
+            MemberOrdering::VkcDegDesc => "vkc-deg-desc",
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BbOptions {
+    /// Candidate ordering (the paper's algorithm variants).
+    pub ordering: MemberOrdering,
+    /// Apply Theorem 2 keyword pruning.
+    pub keyword_pruning: bool,
+    /// Apply Theorem 3 eager k-line filtering. When `false`, tenuity is
+    /// enforced by lazy pairwise checks instead (still exact).
+    pub kline_filtering: bool,
+    /// Stop the whole search as soon as a group with at least this
+    /// coverage count is admitted (DKTG-Greedy's "not less than `C_max`"
+    /// early exit). `None` runs to optimality.
+    pub stop_at_coverage: Option<u32>,
+    /// Safety valve for benchmarks: abandon the search after visiting this
+    /// many tree nodes. The result is then possibly sub-optimal and
+    /// [`SearchStats::truncated`] is set. `None` (the default everywhere
+    /// outside the harness) runs to completion.
+    pub node_budget: Option<u64>,
+}
+
+impl BbOptions {
+    /// KTG-VKC (Algorithm 1).
+    pub fn vkc() -> Self {
+        BbOptions {
+            ordering: MemberOrdering::Vkc,
+            keyword_pruning: true,
+            kline_filtering: true,
+            stop_at_coverage: None,
+            node_budget: None,
+        }
+    }
+
+    /// KTG-VKC-DEG (§IV-B).
+    pub fn vkc_deg() -> Self {
+        BbOptions { ordering: MemberOrdering::VkcDeg, ..Self::vkc() }
+    }
+
+    /// KTG-QKC (the §VII comparison variant).
+    pub fn qkc() -> Self {
+        BbOptions { ordering: MemberOrdering::Qkc, ..Self::vkc() }
+    }
+
+    /// Same options with a different ordering.
+    pub fn with_ordering(self, ordering: MemberOrdering) -> Self {
+        BbOptions { ordering, ..self }
+    }
+}
+
+/// The outcome of one KTG query.
+#[derive(Clone, Debug)]
+pub struct KtgOutcome {
+    /// Result groups in descending coverage (then discovery) order; at
+    /// most `N`, fewer when the graph does not admit `N` feasible groups.
+    pub groups: Vec<Group>,
+    /// Search instrumentation.
+    pub stats: SearchStats,
+}
+
+impl KtgOutcome {
+    /// Coverage ratio of the best group (0.0 when no group was found).
+    pub fn best_qkc(&self, num_query_keywords: usize) -> f64 {
+        self.groups.first().map_or(0.0, |g| g.qkc(num_query_keywords))
+    }
+}
+
+/// Runs a KTG query end to end: compile masks, collect candidates, search.
+pub fn solve(
+    net: &AttributedGraph,
+    query: &KtgQuery,
+    oracle: &impl DistanceOracle,
+    opts: &BbOptions,
+) -> KtgOutcome {
+    let masks = net.compile(query.keywords());
+    let cands = candidates::collect(net.graph(), &masks);
+    solve_with_candidates(query, oracle, cands, opts)
+}
+
+/// Runs the search over a pre-extracted candidate set (used by
+/// DKTG-Greedy, the multi-query-vertex extension, and tests that need to
+/// manipulate the candidate pool).
+pub fn solve_with_candidates(
+    query: &KtgQuery,
+    oracle: &impl DistanceOracle,
+    mut cands: Vec<Candidate>,
+    opts: &BbOptions,
+) -> KtgOutcome {
+    let mut ctx = Ctx {
+        query,
+        oracle,
+        opts,
+        results: TopN::new(query.n()),
+        stats: SearchStats::default(),
+        seq: 0,
+        stop: false,
+        members: Vec::with_capacity(query.p()),
+    };
+    opts.ordering.sort(0, &mut cands);
+    ctx.dfs(0, &cands);
+
+    let groups = ctx.results.into_sorted_desc().into_iter().map(|r| r.group).collect();
+    KtgOutcome { groups, stats: ctx.stats }
+}
+
+struct Ctx<'a, O: DistanceOracle> {
+    query: &'a KtgQuery,
+    oracle: &'a O,
+    opts: &'a BbOptions,
+    results: TopN<RankedGroup>,
+    stats: SearchStats,
+    seq: u64,
+    stop: bool,
+    /// The intermediate result set `S_I`.
+    members: Vec<ktg_common::VertexId>,
+}
+
+impl<O: DistanceOracle> Ctx<'_, O> {
+    /// The admission threshold: the N-th best coverage count once `N`
+    /// groups are held, else `None` (everything feasible is admissible).
+    #[inline]
+    fn threshold(&self) -> Option<u32> {
+        self.results.threshold().map(|r| r.count)
+    }
+
+    /// Theorem 2: can `covered` plus the best `need` remaining VKC values
+    /// still strictly exceed the threshold?
+    fn upper_bound_admissible(&mut self, covered: u64, s_r: &[Candidate], need: usize) -> bool {
+        let Some(threshold) = self.threshold() else { return true };
+        let base = coverage::covered_count(covered);
+        let bound = base + top_vkc_sum(covered, s_r, need, self.opts.ordering.vkc_sorted());
+        bound > threshold
+    }
+
+    fn offer(&mut self, covered: u64) {
+        self.stats.groups_evaluated += 1;
+        let group = Group::new(self.members.clone(), covered);
+        let count = group.coverage_count();
+        let admitted = self.results.offer(RankedGroup::new(group, self.seq));
+        self.seq += 1;
+        if admitted {
+            if let Some(floor) = self.opts.stop_at_coverage {
+                if count >= floor && self.results.is_full() {
+                    self.stop = true;
+                }
+            }
+        }
+    }
+
+    /// One Algorithm 1 node: `members`/`covered` are `S_I`, `s_r` is the
+    /// ordered remaining set (already k-line-consistent with `S_I` when
+    /// eager filtering is on).
+    /// Counts a search-tree node against the budget; returns `false` when
+    /// the budget is exhausted (the search then unwinds).
+    #[inline]
+    fn charge_node(&mut self) -> bool {
+        self.stats.nodes += 1;
+        if let Some(budget) = self.opts.node_budget {
+            if self.stats.nodes > budget {
+                self.stats.truncated = true;
+                self.stop = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    fn dfs(&mut self, covered: u64, s_r: &[Candidate]) {
+        if !self.charge_node() {
+            return;
+        }
+        if self.members.len() == self.query.p() {
+            self.offer(covered);
+            return;
+        }
+        let need = self.query.p() - self.members.len();
+
+        for i in 0..s_r.len() {
+            if self.stop {
+                return;
+            }
+            if s_r.len() - i < need {
+                self.stats.feasibility_cuts += 1;
+                return;
+            }
+            // The remaining pool only shrinks as `i` advances, so a failed
+            // bound here fails for every later branch too: return, don't
+            // continue.
+            if self.opts.keyword_pruning && !self.upper_bound_admissible(covered, &s_r[i..], need)
+            {
+                self.stats.keyword_pruned += 1;
+                return;
+            }
+
+            let cand = s_r[i];
+            if !self.opts.kline_filtering {
+                // Lazy tenuity: check the new member against S_I directly.
+                self.stats.distance_checks += self.members.len() as u64;
+                let conflict = self
+                    .members
+                    .iter()
+                    .any(|&u| self.oracle.is_kline(u, cand.v, self.query.k()));
+                if conflict {
+                    continue;
+                }
+            }
+
+            let new_covered = covered | cand.mask;
+            self.members.push(cand.v);
+
+            if self.members.len() == self.query.p() {
+                if self.charge_node() {
+                    self.offer(new_covered);
+                }
+            } else {
+                // Build the child S_R from the still-unexplored tail.
+                let tail = &s_r[i + 1..];
+                let mut child: Vec<Candidate> = Vec::with_capacity(tail.len());
+                if self.opts.kline_filtering {
+                    self.stats.distance_checks += tail.len() as u64;
+                    for &c in tail {
+                        if self.oracle.farther_than(cand.v, c.v, self.query.k()) {
+                            child.push(c);
+                        } else {
+                            self.stats.kline_filtered += 1;
+                        }
+                    }
+                } else {
+                    child.extend_from_slice(tail);
+                }
+                self.opts.ordering.sort(new_covered, &mut child);
+                self.dfs(new_covered, &child);
+            }
+
+            self.members.pop();
+        }
+    }
+}
+
+/// Sum of the `need` largest VKC counts in `s_r` w.r.t. `covered`.
+///
+/// When the list is VKC-sorted this is the sum of the head; otherwise a
+/// selection scan keeps a tiny descending buffer (need ≤ p, and p ≤ 7 in
+/// every evaluated configuration).
+fn top_vkc_sum(covered: u64, s_r: &[Candidate], need: usize, sorted: bool) -> u32 {
+    if sorted {
+        return s_r
+            .iter()
+            .take(need)
+            .map(|c| coverage::vkc_count(c.mask, covered))
+            .sum();
+    }
+    let mut top: Vec<u32> = Vec::with_capacity(need);
+    for c in s_r {
+        let val = coverage::vkc_count(c.mask, covered);
+        if top.len() < need {
+            top.push(val);
+            top.sort_unstable_by(|a, b| b.cmp(a));
+        } else if val > *top.last().expect("non-empty") {
+            *top.last_mut().expect("non-empty") = val;
+            top.sort_unstable_by(|a, b| b.cmp(a));
+        }
+    }
+    top.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use ktg_index::{BfsOracle, ExactOracle, NlIndex, NlrnlIndex};
+
+    fn paper_query(net: &AttributedGraph) -> KtgQuery {
+        KtgQuery::new(
+            net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap(),
+            3,
+            1,
+            2,
+        )
+        .unwrap()
+    }
+
+    /// The paper's running query: top-2 groups of size 3 with k = 1 cover
+    /// 4 of 5 query keywords ({SN, QP, DQ, GD}; nobody has GQ).
+    #[test]
+    fn figure1_query_all_orderings() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = BfsOracle::new(net.graph());
+        for opts in [BbOptions::vkc(), BbOptions::vkc_deg(), BbOptions::qkc()] {
+            let out = solve(&net, &query, &oracle, &opts);
+            assert_eq!(out.groups.len(), 2, "{:?}", opts.ordering);
+            for g in &out.groups {
+                assert_eq!(g.coverage_count(), 4, "{:?}", opts.ordering);
+                assert_eq!(g.len(), 3);
+                fixtures::assert_k_distance(net.graph(), g.members(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn all_oracles_agree_on_figure1() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let bfs = BfsOracle::new(net.graph());
+        let nl = NlIndex::build(net.graph());
+        let nlrnl = NlrnlIndex::build(net.graph());
+        let exact = ExactOracle::build(net.graph());
+        let a = solve(&net, &query, &bfs, &BbOptions::vkc_deg());
+        let b = solve(&net, &query, &nl, &BbOptions::vkc_deg());
+        let c = solve(&net, &query, &nlrnl, &BbOptions::vkc_deg());
+        let d = solve(&net, &query, &exact, &BbOptions::vkc_deg());
+        assert_eq!(a.groups, b.groups);
+        assert_eq!(b.groups, c.groups);
+        assert_eq!(c.groups, d.groups);
+    }
+
+    #[test]
+    fn pruning_toggles_preserve_exactness() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = ExactOracle::build(net.graph());
+        let reference = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        for (kp, kf) in [(false, true), (true, false), (false, false)] {
+            let opts = BbOptions { keyword_pruning: kp, kline_filtering: kf, ..BbOptions::vkc_deg() };
+            let out = solve(&net, &query, &oracle, &opts);
+            assert_eq!(
+                out.groups[0].coverage_count(),
+                reference.groups[0].coverage_count(),
+                "kp={kp} kf={kf}"
+            );
+            assert_eq!(out.groups.len(), reference.groups.len());
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = ExactOracle::build(net.graph());
+        let with = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        let without = solve(
+            &net,
+            &query,
+            &oracle,
+            &BbOptions { keyword_pruning: false, ..BbOptions::vkc_deg() },
+        );
+        assert!(with.stats.nodes <= without.stats.nodes);
+        assert!(with.stats.keyword_pruned > 0);
+    }
+
+    #[test]
+    fn infeasible_when_k_too_large() {
+        let net = fixtures::figure1();
+        // k = 10 exceeds the main component's diameter: no 3 candidates
+        // are pairwise farther than 10 hops.
+        let query = KtgQuery::new(
+            net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap(),
+            3,
+            10,
+            2,
+        )
+        .unwrap();
+        let oracle = BfsOracle::new(net.graph());
+        let out = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        assert!(out.groups.is_empty());
+    }
+
+    #[test]
+    fn k_zero_admits_any_distinct_candidates() {
+        let net = fixtures::figure1();
+        let query = KtgQuery::new(
+            net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap(),
+            3,
+            0,
+            1,
+        )
+        .unwrap();
+        let oracle = BfsOracle::new(net.graph());
+        let out = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        assert_eq!(out.groups.len(), 1);
+        assert_eq!(out.groups[0].coverage_count(), 4, "still no GQ anywhere");
+    }
+
+    #[test]
+    fn stop_at_coverage_exits_early() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net).with_n(1).unwrap();
+        let oracle = ExactOracle::build(net.graph());
+        let full = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        let early = solve(
+            &net,
+            &query,
+            &oracle,
+            &BbOptions { stop_at_coverage: Some(4), ..BbOptions::vkc_deg() },
+        );
+        assert_eq!(early.groups[0].coverage_count(), 4);
+        assert!(early.stats.nodes <= full.stats.nodes);
+    }
+
+    #[test]
+    fn p_one_returns_best_single_vertices() {
+        let net = fixtures::figure1();
+        let query = KtgQuery::new(
+            net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap(),
+            1,
+            1,
+            3,
+        )
+        .unwrap();
+        let oracle = BfsOracle::new(net.graph());
+        let out = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        assert_eq!(out.groups.len(), 3);
+        // u0 covers 3 query keywords — the unique best single vertex.
+        assert_eq!(out.groups[0].coverage_count(), 3);
+    }
+
+    #[test]
+    fn ordering_sort_keys() {
+        let mk = |v: u32, mask: u64, degree: u32| Candidate {
+            v: ktg_common::VertexId(v),
+            mask,
+            degree,
+        };
+        // Three candidates: equal VKC for (1, 2), different degrees.
+        let cands = vec![mk(0, 0b0001, 9), mk(1, 0b0110, 5), mk(2, 0b0011, 2)];
+
+        let mut qkc = cands.clone();
+        MemberOrdering::Qkc.sort(0, &mut qkc);
+        // Static popcount order: v1 (2) ties v2 (2) → id asc; v0 (1) last.
+        assert_eq!(qkc.iter().map(|c| c.v.0).collect::<Vec<_>>(), vec![1, 2, 0]);
+
+        // covered = 0b0010: VKC = [1, 1, 1] → pure id order under Vkc.
+        let mut vkc = cands.clone();
+        MemberOrdering::Vkc.sort(0b0010, &mut vkc);
+        assert_eq!(vkc.iter().map(|c| c.v.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+
+        // Same covered, VkcDeg: ties broken by ascending degree.
+        let mut deg = cands.clone();
+        MemberOrdering::VkcDeg.sort(0b0010, &mut deg);
+        assert_eq!(deg.iter().map(|c| c.v.0).collect::<Vec<_>>(), vec![2, 1, 0]);
+
+        // Descending-degree ablation ordering is the reverse tiebreak.
+        let mut desc = cands.clone();
+        MemberOrdering::VkcDegDesc.sort(0b0010, &mut desc);
+        assert_eq!(desc.iter().map(|c| c.v.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ordering_names() {
+        assert_eq!(MemberOrdering::Qkc.name(), "qkc");
+        assert_eq!(MemberOrdering::Vkc.name(), "vkc");
+        assert_eq!(MemberOrdering::VkcDeg.name(), "vkc-deg");
+        assert_eq!(MemberOrdering::VkcDegDesc.name(), "vkc-deg-desc");
+    }
+
+    #[test]
+    fn best_qkc_helper() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = ExactOracle::build(net.graph());
+        let out = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        assert!((out.best_qkc(5) - 0.8).abs() < 1e-12);
+        let empty = KtgOutcome { groups: vec![], stats: SearchStats::default() };
+        assert_eq!(empty.best_qkc(5), 0.0);
+    }
+
+    #[test]
+    fn node_budget_sets_truncated_flag() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = ExactOracle::build(net.graph());
+        let out = solve(
+            &net,
+            &query,
+            &oracle,
+            &BbOptions { node_budget: Some(2), ..BbOptions::vkc_deg() },
+        );
+        assert!(out.stats.truncated);
+        let full = solve(
+            &net,
+            &query,
+            &oracle,
+            &BbOptions { node_budget: Some(u64::MAX), ..BbOptions::vkc_deg() },
+        );
+        assert!(!full.stats.truncated);
+    }
+
+    #[test]
+    fn top_vkc_sum_selection_scan_matches_sorted() {
+        let cands: Vec<Candidate> = [(0u32, 0b0111u64, 1u32), (1, 0b1000, 2), (2, 0b0011, 3)]
+            .iter()
+            .map(|&(v, mask, degree)| Candidate { v: ktg_common::VertexId(v), mask, degree })
+            .collect();
+        // covered = 0b0001 → vkc counts = [2, 1, 1]; top-2 = 3.
+        assert_eq!(top_vkc_sum(0b0001, &cands, 2, false), 3);
+        let mut sorted = cands.clone();
+        MemberOrdering::Vkc.sort(0b0001, &mut sorted);
+        assert_eq!(top_vkc_sum(0b0001, &sorted, 2, true), 3);
+    }
+}

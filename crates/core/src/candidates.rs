@@ -1,0 +1,58 @@
+//! Candidate extraction.
+//!
+//! Both exact algorithms start by "removing the unqualified users whose
+//! keywords do not contain at least one query keyword" (§IV-A). A
+//! [`Candidate`] carries everything the search orderings need — the
+//! vertex, its coverage mask over `W_Q`, and its degree (the VKC-DEG
+//! tiebreak) — so the hot loop never touches the graph or keyword arenas.
+
+use ktg_common::VertexId;
+use ktg_graph::CsrGraph;
+use ktg_keywords::QueryMasks;
+
+/// A qualified candidate member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// The vertex.
+    pub v: VertexId,
+    /// Its coverage mask over the query keywords (never 0).
+    pub mask: u64,
+    /// Its degree in the social graph.
+    pub degree: u32,
+}
+
+/// Collects the qualified candidates (mask ≠ 0) in vertex-id order.
+pub fn collect(graph: &CsrGraph, masks: &QueryMasks) -> Vec<Candidate> {
+    masks
+        .candidates()
+        .iter()
+        .map(|&v| Candidate { v, mask: masks.mask(v), degree: graph.degree(v) as u32 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktg_keywords::{InvertedIndex, KeywordId, QueryKeywords, VertexKeywords};
+
+    #[test]
+    fn collect_skips_uncovered_vertices() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let vk = VertexKeywords::from_lists(&[
+            vec![KeywordId(0)],
+            vec![],
+            vec![KeywordId(1)],
+            vec![KeywordId(2)], // not queried
+        ]);
+        let idx = InvertedIndex::build(&vk, 3);
+        let q = QueryKeywords::new([KeywordId(0), KeywordId(1)]).unwrap();
+        let masks = q.compile(&idx, 4);
+        let cands = collect(&g, &masks);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].v, VertexId(0));
+        assert_eq!(cands[0].mask, 0b01);
+        assert_eq!(cands[0].degree, 1);
+        assert_eq!(cands[1].v, VertexId(2));
+        assert_eq!(cands[1].degree, 2);
+    }
+}

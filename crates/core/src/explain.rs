@@ -1,0 +1,208 @@
+//! Result explanation.
+//!
+//! Turning a result group into something a human can audit — which member
+//! contributes which keyword, and how far apart the members actually are —
+//! is needed by the CLI, the Figure 8 case study, and anyone debugging a
+//! query. This module centralizes that logic instead of each binary
+//! re-deriving it.
+
+use crate::group::Group;
+use crate::network::AttributedGraph;
+use ktg_common::VertexId;
+use ktg_graph::{bfs, BfsScratch};
+use ktg_keywords::{QueryKeywords, QueryMasks};
+use std::fmt;
+
+/// A fully resolved explanation of one result group.
+#[derive(Clone, Debug)]
+pub struct GroupExplanation {
+    /// Per-member detail, in member-id order.
+    pub members: Vec<MemberDetail>,
+    /// Pairwise hop distances `(u, v, Dis(u, v))`; `None` = unreachable.
+    pub pair_distances: Vec<(VertexId, VertexId, Option<u32>)>,
+    /// Covered query keywords, in query bit order.
+    pub covered_terms: Vec<String>,
+    /// Query keywords the group does *not* cover.
+    pub missing_terms: Vec<String>,
+    /// The tenuity of the group (Definition 4): the smallest pairwise
+    /// distance; `None` when all pairs are unreachable (maximally tenuous)
+    /// or the group has fewer than two members.
+    pub tenuity: Option<u32>,
+}
+
+/// One member's contribution.
+#[derive(Clone, Debug)]
+pub struct MemberDetail {
+    /// The member.
+    pub vertex: VertexId,
+    /// The query keywords this member covers.
+    pub covered_terms: Vec<String>,
+    /// The member's full keyword profile.
+    pub profile_terms: Vec<String>,
+    /// Degree in the social graph.
+    pub degree: usize,
+}
+
+/// Builds the explanation of `group` under `keywords` on `net`.
+pub fn explain(
+    net: &AttributedGraph,
+    keywords: &QueryKeywords,
+    masks: &QueryMasks,
+    group: &Group,
+) -> GroupExplanation {
+    let term = |k| net.vocab().term(k).to_string();
+
+    let members = group
+        .members()
+        .iter()
+        .map(|&v| {
+            let mask = masks.mask(v);
+            MemberDetail {
+                vertex: v,
+                covered_terms: keywords
+                    .ids()
+                    .iter()
+                    .enumerate()
+                    .filter(|(bit, _)| mask >> bit & 1 == 1)
+                    .map(|(_, &k)| term(k))
+                    .collect(),
+                profile_terms: net.keywords().keywords(v).iter().map(|&k| term(k)).collect(),
+                degree: net.graph().degree(v),
+            }
+        })
+        .collect();
+
+    let mut scratch = BfsScratch::new(net.num_vertices());
+    let mut pair_distances = Vec::new();
+    let mut tenuity: Option<u32> = None;
+    for (i, &u) in group.members().iter().enumerate() {
+        for &v in &group.members()[i + 1..] {
+            let d = bfs::distance_bounded(net.graph(), u, v, net.num_vertices(), &mut scratch);
+            if let Some(d) = d {
+                tenuity = Some(tenuity.map_or(d, |t| t.min(d)));
+            }
+            pair_distances.push((u, v, d));
+        }
+    }
+
+    let covered_terms = keywords
+        .ids()
+        .iter()
+        .enumerate()
+        .filter(|(bit, _)| group.mask() >> bit & 1 == 1)
+        .map(|(_, &k)| term(k))
+        .collect();
+    let missing_terms = keywords
+        .ids()
+        .iter()
+        .enumerate()
+        .filter(|(bit, _)| group.mask() >> bit & 1 == 0)
+        .map(|(_, &k)| term(k))
+        .collect();
+
+    GroupExplanation { members, pair_distances, covered_terms, missing_terms, tenuity }
+}
+
+impl fmt::Display for GroupExplanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "group covers {{{}}}{}",
+            self.covered_terms.join(", "),
+            if self.missing_terms.is_empty() {
+                " (full coverage)".to_string()
+            } else {
+                format!("  missing {{{}}}", self.missing_terms.join(", "))
+            }
+        )?;
+        for m in &self.members {
+            writeln!(
+                f,
+                "  u{} (degree {}): contributes {{{}}} of profile {{{}}}",
+                m.vertex.0,
+                m.degree,
+                m.covered_terms.join(", "),
+                m.profile_terms.join(", ")
+            )?;
+        }
+        for &(u, v, d) in &self.pair_distances {
+            match d {
+                Some(d) => writeln!(f, "  Dis(u{}, u{}) = {}", u.0, v.0, d)?,
+                None => writeln!(f, "  Dis(u{}, u{}) = inf (different components)", u.0, v.0)?,
+            }
+        }
+        if let Some(t) = self.tenuity {
+            writeln!(f, "  tenuity = {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn setup() -> (AttributedGraph, QueryKeywords, QueryMasks) {
+        let net = fixtures::figure1();
+        let q = net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap();
+        let masks = net.compile(&q);
+        (net, q, masks)
+    }
+
+    #[test]
+    fn explains_paper_group() {
+        let (net, q, masks) = setup();
+        let mask = masks.mask(VertexId(10)) | masks.mask(VertexId(1)) | masks.mask(VertexId(4));
+        let group = Group::new(vec![VertexId(10), VertexId(1), VertexId(4)], mask);
+        let ex = explain(&net, &q, &masks, &group);
+        assert_eq!(ex.members.len(), 3);
+        assert_eq!(ex.pair_distances.len(), 3);
+        assert_eq!(ex.covered_terms, vec!["SN", "QP", "DQ", "GD"]);
+        assert_eq!(ex.missing_terms, vec!["GQ"]);
+        let t = ex.tenuity.expect("connected pairs");
+        assert!(t > 1, "paper group is a 1-distance group, tenuity {t}");
+        // u10's contribution is QP and GD.
+        let u10 = ex.members.iter().find(|m| m.vertex == VertexId(10)).unwrap();
+        assert_eq!(u10.covered_terms, vec!["QP", "GD"]);
+    }
+
+    #[test]
+    fn display_contains_key_facts() {
+        let (net, q, masks) = setup();
+        let mask = masks.mask(VertexId(0));
+        let group = Group::new(vec![VertexId(0), VertexId(5)], mask | masks.mask(VertexId(5)));
+        let text = explain(&net, &q, &masks, &group).to_string();
+        assert!(text.contains("u0"));
+        assert!(text.contains("Dis(u0, u5)"));
+        assert!(text.contains("missing"));
+    }
+
+    #[test]
+    fn singleton_group_has_no_pairs() {
+        let (net, q, masks) = setup();
+        let group = Group::new(vec![VertexId(7)], masks.mask(VertexId(7)));
+        let ex = explain(&net, &q, &masks, &group);
+        assert!(ex.pair_distances.is_empty());
+        assert_eq!(ex.tenuity, None);
+    }
+
+    #[test]
+    fn cross_component_pairs_are_infinite() {
+        // Two isolated vertices: distance unreachable.
+        let graph = ktg_graph::CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut vocab = ktg_keywords::Vocabulary::new();
+        let a = vocab.intern("a");
+        let mut kb = ktg_keywords::VertexKeywordsBuilder::new(3);
+        kb.add(VertexId(0), a);
+        kb.add(VertexId(2), a);
+        let net = AttributedGraph::new(graph, vocab, kb.build());
+        let q = net.query_keywords(["a"]).unwrap();
+        let masks = net.compile(&q);
+        let group = Group::new(vec![VertexId(0), VertexId(2)], 0b1);
+        let ex = explain(&net, &q, &masks, &group);
+        assert_eq!(ex.pair_distances[0].2, None);
+        assert_eq!(ex.tenuity, None);
+        assert!(ex.to_string().contains("inf"));
+    }
+}

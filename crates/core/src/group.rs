@@ -1,0 +1,146 @@
+//! Result groups.
+//!
+//! A [`Group`] is a set of `p` members together with the union mask of the
+//! query keywords they cover. Groups order by coverage count and then by
+//! discovery order (earlier wins), which — combined with
+//! `ktg_common::TopN`'s strict-improvement admission — reproduces the
+//! paper's behaviour where later groups that merely tie the N-th best do
+//! not enter the result.
+
+use ktg_common::VertexId;
+use ktg_keywords::coverage;
+use std::cmp::Reverse;
+
+/// A candidate or result group: sorted members plus covered-keyword mask.
+///
+/// The derived ordering (lexicographic by members, then mask) exists only
+/// so containers can canonicalize; it is *not* the result ranking — that
+/// is [`RankedGroup`]'s job.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Group {
+    members: Vec<VertexId>,
+    mask: u64,
+}
+
+impl Group {
+    /// Creates a group; members are sorted for canonical comparison.
+    pub fn new(mut members: Vec<VertexId>, mask: u64) -> Self {
+        members.sort_unstable();
+        debug_assert!(members.windows(2).all(|w| w[0] != w[1]), "duplicate member");
+        Group { members, mask }
+    }
+
+    /// The members, in ascending id order.
+    #[inline]
+    pub fn members(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// Group size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The union coverage mask over `W_Q`.
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Number of query keywords covered (the integer numerator of
+    /// Definition 6).
+    #[inline]
+    pub fn coverage_count(&self) -> u32 {
+        coverage::covered_count(self.mask)
+    }
+
+    /// `QKC(g)` as a ratio (Definition 6).
+    #[inline]
+    pub fn qkc(&self, num_query_keywords: usize) -> f64 {
+        coverage::qkc(self.mask, num_query_keywords)
+    }
+
+    /// Whether `v` is a member (binary search).
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.members.binary_search(&v).is_ok()
+    }
+}
+
+/// A group ranked for top-N selection: compares by coverage count first,
+/// then by discovery sequence (earlier discovery ranks higher), making
+/// result sets deterministic for a fixed exploration order.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RankedGroup {
+    /// Covered-keyword count — the primary objective.
+    pub count: u32,
+    /// Discovery tiebreak: earlier (smaller seq) ranks higher.
+    pub seq: Reverse<u64>,
+    /// The group itself (never reached by comparisons: `seq` is unique).
+    pub group: Group,
+}
+
+impl RankedGroup {
+    /// Wraps a group found as the `seq`-th feasible group.
+    pub fn new(group: Group, seq: u64) -> Self {
+        RankedGroup { count: group.coverage_count(), seq: Reverse(seq), group }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(ids: &[u32], mask: u64) -> Group {
+        Group::new(ids.iter().map(|&i| VertexId(i)).collect(), mask)
+    }
+
+    #[test]
+    fn members_sorted() {
+        let group = g(&[5, 1, 3], 0b1);
+        assert_eq!(group.members(), &[VertexId(1), VertexId(3), VertexId(5)]);
+        assert!(group.contains(VertexId(3)));
+        assert!(!group.contains(VertexId(2)));
+    }
+
+    #[test]
+    fn coverage_math() {
+        let group = g(&[0, 1], 0b1011);
+        assert_eq!(group.coverage_count(), 3);
+        assert!((group.qkc(4) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranked_ordering_prefers_higher_count() {
+        let a = RankedGroup::new(g(&[0], 0b111), 5);
+        let b = RankedGroup::new(g(&[1], 0b1), 1);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn ranked_ordering_prefers_earlier_on_tie() {
+        let early = RankedGroup::new(g(&[0], 0b11), 1);
+        let late = RankedGroup::new(g(&[1], 0b11), 9);
+        assert!(early > late, "earlier discovery wins ties");
+    }
+
+    #[test]
+    fn topn_integration_ties_do_not_displace() {
+        let mut top = ktg_common::TopN::new(2);
+        top.offer(RankedGroup::new(g(&[0, 1], 0b11), 0));
+        top.offer(RankedGroup::new(g(&[0, 2], 0b11), 1));
+        // Same coverage, later discovery: must be rejected.
+        assert!(!top.offer(RankedGroup::new(g(&[0, 3], 0b11), 2)));
+        // Strictly better: admitted.
+        assert!(top.offer(RankedGroup::new(g(&[0, 4], 0b111), 3)));
+        let result = top.into_sorted_desc();
+        assert_eq!(result[0].group.members()[1], VertexId(4));
+    }
+}

@@ -1,0 +1,108 @@
+//! KTG query validation (paper Definition 7).
+//!
+//! A KTG query is the 4-tuple `⟨W_Q, p, k, N⟩`: keyword set, group size,
+//! tenuity constraint, and result count. Validation happens once at
+//! construction so every algorithm can assume a well-formed query.
+
+use ktg_common::{KtgError, Result};
+use ktg_keywords::QueryKeywords;
+
+/// A validated KTG query `⟨W_Q, p, k, N⟩`.
+#[derive(Clone, Debug)]
+pub struct KtgQuery {
+    keywords: QueryKeywords,
+    p: usize,
+    k: u32,
+    n: usize,
+}
+
+impl KtgQuery {
+    /// Creates a query.
+    ///
+    /// # Errors
+    /// [`KtgError::InvalidQuery`] if `p == 0` or `n == 0`. (`k = 0` is
+    /// permitted and means "only the trivial no-distance constraint": any
+    /// set of distinct vertices is a 0-distance group.)
+    pub fn new(keywords: QueryKeywords, p: usize, k: u32, n: usize) -> Result<Self> {
+        if p == 0 {
+            return Err(KtgError::query("group size p must be at least 1"));
+        }
+        if n == 0 {
+            return Err(KtgError::query("result count N must be at least 1"));
+        }
+        Ok(KtgQuery { keywords, p, k, n })
+    }
+
+    /// The query keyword set `W_Q`.
+    #[inline]
+    pub fn keywords(&self) -> &QueryKeywords {
+        &self.keywords
+    }
+
+    /// Group size `p`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Tenuity constraint `k`: every pair in a result group must satisfy
+    /// `Dis(u, v) > k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of result groups `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Derives a query with a different `N` (used by DKTG-Greedy, which
+    /// repeatedly issues `N = 1` searches).
+    pub fn with_n(&self, n: usize) -> Result<Self> {
+        Self::new(self.keywords.clone(), self.p, self.k, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktg_keywords::KeywordId;
+
+    fn kw() -> QueryKeywords {
+        QueryKeywords::new([KeywordId(0), KeywordId(1)]).unwrap()
+    }
+
+    #[test]
+    fn valid_query() {
+        let q = KtgQuery::new(kw(), 3, 1, 2).unwrap();
+        assert_eq!(q.p(), 3);
+        assert_eq!(q.k(), 1);
+        assert_eq!(q.n(), 2);
+        assert_eq!(q.keywords().len(), 2);
+    }
+
+    #[test]
+    fn zero_p_rejected() {
+        assert!(KtgQuery::new(kw(), 0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn zero_n_rejected() {
+        assert!(KtgQuery::new(kw(), 3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn zero_k_allowed() {
+        assert!(KtgQuery::new(kw(), 2, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn with_n_rederives() {
+        let q = KtgQuery::new(kw(), 3, 2, 5).unwrap();
+        let q1 = q.with_n(1).unwrap();
+        assert_eq!(q1.n(), 1);
+        assert_eq!(q1.p(), 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Search instrumentation.
+//!
+//! Every solver reports a [`SearchStats`], which the ablation benches use
+//! to attribute speedups to specific rules (how much did keyword pruning
+//! cut? how many oracle probes did k-line filtering issue?) rather than to
+//! wall-clock noise.
+
+/// Counters collected during one query execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Branch-and-bound tree nodes visited (states entered).
+    pub nodes: u64,
+    /// Branches cut by keyword pruning (Theorem 2).
+    pub keyword_pruned: u64,
+    /// Branches cut because `|S_I| + |S_R| < p` cannot reach size `p`.
+    pub feasibility_cuts: u64,
+    /// Candidates removed by k-line filtering (Theorem 3).
+    pub kline_filtered: u64,
+    /// Distance-oracle probes issued.
+    pub distance_checks: u64,
+    /// Feasible groups of size `p` evaluated.
+    pub groups_evaluated: u64,
+    /// Whether the search was abandoned by a node budget (bench safety
+    /// valve); a truncated result may be sub-optimal.
+    pub truncated: bool,
+}
+
+impl SearchStats {
+    /// Accumulates another run's counters (for workload aggregation).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.keyword_pruned += other.keyword_pruned;
+        self.feasibility_cuts += other.feasibility_cuts;
+        self.kline_filtered += other.kline_filtered;
+        self.distance_checks += other.distance_checks;
+        self.groups_evaluated += other.groups_evaluated;
+        self.truncated |= other.truncated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = SearchStats { nodes: 1, keyword_pruned: 2, ..Default::default() };
+        let b = SearchStats { nodes: 10, distance_checks: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.nodes, 11);
+        assert_eq!(a.keyword_pruned, 2);
+        assert_eq!(a.distance_checks, 5);
+    }
+}

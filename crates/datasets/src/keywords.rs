@@ -1,0 +1,158 @@
+//! Zipf-distributed keyword assignment.
+//!
+//! Real keyword/term frequencies are head-heavy: a few terms ("graph",
+//! "query") appear on many users, the long tail on few. Pruning behaviour
+//! in the KTG search depends on exactly this selectivity skew, so the
+//! synthetic assignment samples keyword ids from a Zipf(s) law over the
+//! vocabulary. Implemented from scratch (the dependency budget has `rand`
+//! but not `rand_distr`).
+
+use ktg_common::VertexId;
+use ktg_keywords::{KeywordId, VertexKeywords, VertexKeywordsBuilder, Vocabulary};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Zipf sampler over ranks `0..n` with exponent `s`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl ZipfSampler {
+    /// Builds the cumulative table: `P(rank = i) ∝ 1 / (i + 1)^s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "empty support");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        ZipfSampler { total: acc, cumulative }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let x = rng.gen_range(0.0..self.total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
+
+/// Parameters for keyword assignment.
+#[derive(Clone, Copy, Debug)]
+pub struct KeywordModel {
+    /// Vocabulary size `m = |κ|`.
+    pub vocab_size: usize,
+    /// Minimum keywords per vertex (inclusive).
+    pub min_per_vertex: usize,
+    /// Maximum keywords per vertex (inclusive).
+    pub max_per_vertex: usize,
+    /// Zipf exponent of term popularity (≈ 1 for natural language).
+    pub zipf_exponent: f64,
+}
+
+impl Default for KeywordModel {
+    fn default() -> Self {
+        KeywordModel { vocab_size: 2000, min_per_vertex: 3, max_per_vertex: 8, zipf_exponent: 1.0 }
+    }
+}
+
+/// Assigns every vertex a Zipf-sampled keyword set, returning the
+/// synthetic vocabulary (`t0, t1, …` in popularity order) and the arena.
+pub fn assign_zipf(
+    num_vertices: usize,
+    model: &KeywordModel,
+    seed: u64,
+) -> (Vocabulary, VertexKeywords) {
+    assert!(model.min_per_vertex <= model.max_per_vertex, "inverted per-vertex range");
+    assert!(model.vocab_size >= model.max_per_vertex, "vocabulary smaller than a keyword set");
+    let vocab = Vocabulary::synthetic(model.vocab_size);
+    let sampler = ZipfSampler::new(model.vocab_size, model.zipf_exponent);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = VertexKeywordsBuilder::new(num_vertices);
+    let mut chosen: Vec<usize> = Vec::with_capacity(model.max_per_vertex);
+    for v in 0..num_vertices {
+        let count = rng.gen_range(model.min_per_vertex..=model.max_per_vertex);
+        chosen.clear();
+        // Rejection-sample distinct keywords; the head is hot so a few
+        // retries are expected.
+        let mut guard = 0;
+        while chosen.len() < count && guard < 64 * count {
+            guard += 1;
+            let k = sampler.sample(&mut rng);
+            if !chosen.contains(&k) {
+                chosen.push(k);
+            }
+        }
+        for &k in &chosen {
+            builder.add(VertexId::new(v), KeywordId(k as u32));
+        }
+    }
+    (vocab, builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_head_heavy() {
+        let sampler = ZipfSampler::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut head = 0;
+        const DRAWS: usize = 10_000;
+        for _ in 0..DRAWS {
+            if sampler.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 1000 ranks carries ≈ H(10)/H(1000) ≈ 39% of the mass.
+        assert!(head > DRAWS / 4, "head draws: {head}");
+    }
+
+    #[test]
+    fn sampler_stays_in_range() {
+        let sampler = ZipfSampler::new(5, 1.2);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(sampler.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn assignment_respects_bounds() {
+        let model = KeywordModel { vocab_size: 100, min_per_vertex: 2, max_per_vertex: 5, zipf_exponent: 1.0 };
+        let (vocab, vk) = assign_zipf(200, &model, 9);
+        assert_eq!(vocab.len(), 100);
+        assert_eq!(vk.num_vertices(), 200);
+        for v in 0..200 {
+            let n = vk.keywords(VertexId::new(v)).len();
+            assert!((2..=5).contains(&n), "vertex {v} has {n} keywords");
+        }
+    }
+
+    #[test]
+    fn assignment_deterministic() {
+        let model = KeywordModel::default();
+        let (_, a) = assign_zipf(50, &model, 1);
+        let (_, b) = assign_zipf(50, &model, 1);
+        assert_eq!(a, b);
+        let (_, c) = assign_zipf(50, &model, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let sampler = ZipfSampler::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((1600..2400).contains(&c), "uniform-ish expected: {counts:?}");
+        }
+    }
+}

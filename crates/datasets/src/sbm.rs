@@ -1,0 +1,139 @@
+//! Planted-partition (stochastic block model) graphs.
+//!
+//! Tenuous-group queries interact with community structure: inside a
+//! community almost every pair is within 2 hops, so feasible groups must
+//! straddle communities. The paper's datasets have natural communities;
+//! the Chung–Lu profiles reproduce degree skew but not modularity. This
+//! generator fills that gap for the community-structure ablation bench
+//! (`ablations::community_structure`): `blocks` equally sized communities
+//! with intra-community edge probability `p_in` and inter-community
+//! probability `p_out`.
+
+use ktg_common::VertexId;
+use ktg_graph::{CsrGraph, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a planted-partition graph.
+#[derive(Clone, Copy, Debug)]
+pub struct SbmParams {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of equally sized communities (the last takes the remainder).
+    pub blocks: usize,
+    /// Intra-community edge probability.
+    pub p_in: f64,
+    /// Inter-community edge probability.
+    pub p_out: f64,
+}
+
+impl SbmParams {
+    /// A strongly modular default: dense blocks, sparse cut.
+    pub fn modular(n: usize, blocks: usize) -> Self {
+        SbmParams { n, blocks, p_in: 0.2, p_out: 0.005 }
+    }
+}
+
+/// The community label of vertex `v` under equal-size blocking.
+pub fn block_of(params: &SbmParams, v: VertexId) -> usize {
+    let size = params.n.div_ceil(params.blocks);
+    (v.index() / size).min(params.blocks - 1)
+}
+
+/// Generates a planted-partition graph. Deterministic in `seed`.
+///
+/// # Panics
+/// Panics when `blocks` is zero or exceeds `n`, or probabilities are
+/// outside `[0, 1]`.
+pub fn planted_partition(params: &SbmParams, seed: u64) -> CsrGraph {
+    assert!(params.blocks >= 1 && params.blocks <= params.n, "invalid block count");
+    assert!((0.0..=1.0).contains(&params.p_in), "p_in out of range");
+    assert!((0.0..=1.0).contains(&params.p_out), "p_out out of range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(params.n);
+    for u in 0..params.n {
+        let bu = block_of(params, VertexId::new(u));
+        for v in (u + 1)..params.n {
+            let p = if bu == block_of(params, VertexId::new(v)) {
+                params.p_in
+            } else {
+                params.p_out
+            };
+            if p > 0.0 && rng.gen_bool(p) {
+                builder
+                    .add_edge(VertexId::new(u), VertexId::new(v))
+                    .expect("in range");
+            }
+        }
+    }
+    builder.build()
+}
+
+/// The fraction of edges that stay inside a community — a cheap modularity
+/// proxy used by tests and the ablation bench.
+pub fn intra_fraction(params: &SbmParams, graph: &CsrGraph) -> f64 {
+    let mut intra = 0usize;
+    let mut total = 0usize;
+    for (u, v) in graph.edges() {
+        total += 1;
+        if block_of(params, u) == block_of(params, v) {
+            intra += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    intra as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = SbmParams::modular(100, 4);
+        assert_eq!(planted_partition(&p, 3), planted_partition(&p, 3));
+        assert_ne!(planted_partition(&p, 3), planted_partition(&p, 4));
+    }
+
+    #[test]
+    fn modular_graph_is_mostly_intra() {
+        let p = SbmParams::modular(200, 4);
+        let g = planted_partition(&p, 7);
+        let frac = intra_fraction(&p, &g);
+        assert!(frac > 0.8, "intra fraction {frac}");
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn uniform_probabilities_are_not_modular() {
+        let p = SbmParams { n: 200, blocks: 4, p_in: 0.05, p_out: 0.05 };
+        let g = planted_partition(&p, 7);
+        let frac = intra_fraction(&p, &g);
+        // 4 equal blocks: ~24.6% of pairs are intra.
+        assert!(frac < 0.4, "intra fraction {frac}");
+    }
+
+    #[test]
+    fn blocks_partition_the_vertices() {
+        let p = SbmParams::modular(10, 3);
+        let labels: Vec<usize> = (0..10).map(|v| block_of(&p, VertexId::new(v))).collect();
+        assert_eq!(labels, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn zero_out_probability_disconnects_blocks() {
+        let p = SbmParams { n: 60, blocks: 3, p_in: 0.5, p_out: 0.0 };
+        let g = planted_partition(&p, 11);
+        let comps = ktg_graph::components::Components::compute(&g);
+        assert!(comps.count() >= 3, "blocks must stay disconnected, got {}", comps.count());
+        assert!((intra_fraction(&p, &g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid block count")]
+    fn zero_blocks_panics() {
+        planted_partition(&SbmParams { n: 10, blocks: 0, p_in: 0.1, p_out: 0.1 }, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Dataset validation.
+//!
+//! A scaled synthetic profile is only a valid stand-in for its real
+//! counterpart if the properties the algorithms are sensitive to survive
+//! the substitution: density, degree skew, reachable hop structure, and
+//! keyword selectivity. [`validate`] measures all four and reports
+//! violations; the integration tests run it on every profile so a
+//! generator regression cannot silently distort the benchmark shapes.
+
+use ktg_core::AttributedGraph;
+use ktg_graph::stats;
+use ktg_keywords::KeywordId;
+
+/// Target envelope for a generated dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct Expectations {
+    /// Expected vertex count (exact).
+    pub nodes: usize,
+    /// Minimum acceptable edge count (generators may fall slightly short
+    /// of targets; they must never exceed them).
+    pub min_edges: usize,
+    /// Maximum acceptable edge count.
+    pub max_edges: usize,
+    /// Required degree skew: `max_degree ≥ skew × mean_degree`.
+    pub min_degree_skew: f64,
+    /// Maximum mean hop distance over sampled pairs (small-world check).
+    pub max_mean_hops: f64,
+    /// Required keyword selectivity skew: the most frequent keyword must
+    /// be carried by at least this multiple of the mean frequency.
+    pub min_keyword_skew: f64,
+}
+
+impl Expectations {
+    /// The envelope appropriate for a scaled social-network profile.
+    pub fn social(nodes: usize, target_edges: usize) -> Self {
+        Expectations {
+            nodes,
+            min_edges: (target_edges as f64 * 0.8) as usize,
+            max_edges: target_edges,
+            min_degree_skew: 3.0,
+            max_mean_hops: 6.0,
+            min_keyword_skew: 3.0,
+        }
+    }
+}
+
+/// A validation report: empty `violations` means the dataset passed.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Human-readable descriptions of each violated expectation.
+    pub violations: Vec<String>,
+    /// Measured mean degree.
+    pub mean_degree: f64,
+    /// Measured max/mean degree ratio.
+    pub degree_skew: f64,
+    /// Measured mean hops over sampled sources.
+    pub mean_hops: f64,
+    /// Measured max/mean keyword frequency ratio.
+    pub keyword_skew: f64,
+}
+
+impl Report {
+    /// Whether every expectation held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Validates `net` against `exp`.
+pub fn validate(net: &AttributedGraph, exp: &Expectations) -> Report {
+    let mut report = Report::default();
+    let graph = net.graph();
+
+    if graph.num_vertices() != exp.nodes {
+        report
+            .violations
+            .push(format!("nodes: got {}, expected {}", graph.num_vertices(), exp.nodes));
+    }
+    let m = graph.num_edges();
+    if m < exp.min_edges || m > exp.max_edges {
+        report.violations.push(format!(
+            "edges: got {m}, expected {}..={}",
+            exp.min_edges, exp.max_edges
+        ));
+    }
+
+    let deg = stats::degree_stats(graph);
+    report.mean_degree = deg.mean;
+    report.degree_skew = if deg.mean > 0.0 { deg.max as f64 / deg.mean } else { 0.0 };
+    if report.degree_skew < exp.min_degree_skew {
+        report.violations.push(format!(
+            "degree skew: got {:.2}, expected ≥ {:.2}",
+            report.degree_skew, exp.min_degree_skew
+        ));
+    }
+
+    let hops = stats::sample_hop_stats(graph, 16);
+    report.mean_hops = hops.mean_hops;
+    if hops.mean_hops > exp.max_mean_hops {
+        report.violations.push(format!(
+            "mean hops: got {:.2}, expected ≤ {:.2}",
+            hops.mean_hops, exp.max_mean_hops
+        ));
+    }
+
+    let freqs: Vec<usize> = (0..net.vocab().len())
+        .map(|k| net.inverted().frequency(KeywordId(k as u32)))
+        .collect();
+    let used: Vec<usize> = freqs.iter().copied().filter(|&f| f > 0).collect();
+    if used.is_empty() {
+        report.violations.push("keywords: no keyword is carried by any vertex".to_string());
+    } else {
+        let mean = used.iter().sum::<usize>() as f64 / used.len() as f64;
+        let max = *used.iter().max().expect("non-empty") as f64;
+        report.keyword_skew = max / mean;
+        if report.keyword_skew < exp.min_keyword_skew {
+            report.violations.push(format!(
+                "keyword skew: got {:.2}, expected ≥ {:.2}",
+                report.keyword_skew, exp.min_keyword_skew
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+
+    #[test]
+    fn scaled_profiles_pass_their_envelope() {
+        for profile in DatasetProfile::PRIMARY {
+            let scale = 200;
+            let net = profile.instantiate(scale, 42);
+            let (nodes, edges) = profile.full_size();
+            let exp = Expectations::social(nodes / scale, edges / scale);
+            let report = validate(&net, &exp);
+            assert!(
+                report.passed(),
+                "{profile} failed validation: {:?} (report {report:?})",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_node_count_is_flagged() {
+        let net = DatasetProfile::Gowalla.instantiate(200, 42);
+        let exp = Expectations { nodes: 1, ..Expectations::social(1, 1000) };
+        let report = validate(&net, &exp);
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.starts_with("nodes")));
+    }
+
+    #[test]
+    fn uniform_graph_fails_skew() {
+        // A ring has degree skew exactly 1.
+        let graph = crate::gen::watts_strogatz(100, 4, 0.0, 1);
+        let (vocab, vk) = crate::keywords::assign_zipf(
+            100,
+            &crate::keywords::KeywordModel {
+                vocab_size: 50,
+                min_per_vertex: 2,
+                max_per_vertex: 4,
+                zipf_exponent: 1.0,
+            },
+            1,
+        );
+        let net = AttributedGraph::new(graph, vocab, vk);
+        let exp = Expectations::social(100, 200);
+        let report = validate(&net, &exp);
+        assert!(report.violations.iter().any(|v| v.starts_with("degree skew")), "{report:?}");
+    }
+}

@@ -1,0 +1,330 @@
+//! Breadth-first traversals.
+//!
+//! Social distance (paper Definition 1) is the hop count of the shortest
+//! path, so every distance question in the system reduces to BFS. The
+//! branch-and-bound search issues *many* bounded traversals per query, so
+//! all entry points take a reusable [`BfsScratch`]: the frontier vectors are
+//! recycled and the visited set is an epoch marker with O(1) reset.
+
+use crate::csr::{Adjacency, CsrGraph};
+use ktg_common::{EpochMarker, VertexId};
+
+/// Reusable scratch space for BFS traversals over graphs with at most the
+/// arena's number of vertices. Create once per thread, pass to every call.
+#[derive(Clone, Debug)]
+pub struct BfsScratch {
+    visited: EpochMarker,
+    frontier: Vec<VertexId>,
+    next: Vec<VertexId>,
+}
+
+impl BfsScratch {
+    /// Creates scratch space for graphs of up to `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        BfsScratch {
+            visited: EpochMarker::new(num_vertices),
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Grows the arena if the graph is larger than at construction.
+    pub fn fit(&mut self, num_vertices: usize) {
+        self.visited.grow(num_vertices);
+    }
+}
+
+/// Runs a BFS from `source`, visiting every reachable vertex at hop distance
+/// `1..=max_depth` (the source itself is *not* reported). `visit` receives
+/// `(vertex, depth)`; depths arrive in nondecreasing order.
+///
+/// `max_depth = usize::MAX` gives an unbounded traversal.
+pub fn bfs_levels<A: Adjacency, F>(
+    graph: &A,
+    source: VertexId,
+    max_depth: usize,
+    scratch: &mut BfsScratch,
+    mut visit: F,
+) where
+    F: FnMut(VertexId, u32),
+{
+    scratch.fit(graph.num_vertices());
+    scratch.visited.reset();
+    scratch.frontier.clear();
+    scratch.next.clear();
+
+    scratch.visited.mark_vertex(source);
+    scratch.frontier.push(source);
+
+    let mut depth = 0u32;
+    while !scratch.frontier.is_empty() && (depth as usize) < max_depth {
+        depth += 1;
+        scratch.next.clear();
+        for i in 0..scratch.frontier.len() {
+            let u = scratch.frontier[i];
+            for &v in graph.neighbors(u) {
+                if scratch.visited.mark_vertex(v) {
+                    visit(v, depth);
+                    scratch.next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+}
+
+/// Hop distance between `u` and `v`, capped at `max_depth`. Returns `None`
+/// if `v` is farther than `max_depth` hops (or unreachable).
+pub fn distance_bounded<A: Adjacency>(
+    graph: &A,
+    u: VertexId,
+    v: VertexId,
+    max_depth: usize,
+    scratch: &mut BfsScratch,
+) -> Option<u32> {
+    if u == v {
+        return Some(0);
+    }
+    let mut found = None;
+    // Early-exit BFS: stop expanding once v is seen.
+    scratch.fit(graph.num_vertices());
+    scratch.visited.reset();
+    scratch.frontier.clear();
+    scratch.next.clear();
+    scratch.visited.mark_vertex(u);
+    scratch.frontier.push(u);
+    let mut depth = 0u32;
+    'outer: while !scratch.frontier.is_empty() && (depth as usize) < max_depth {
+        depth += 1;
+        scratch.next.clear();
+        for i in 0..scratch.frontier.len() {
+            let x = scratch.frontier[i];
+            for &y in graph.neighbors(x) {
+                if scratch.visited.mark_vertex(y) {
+                    if y == v {
+                        found = Some(depth);
+                        break 'outer;
+                    }
+                    scratch.next.push(y);
+                }
+            }
+        }
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+    found
+}
+
+/// Collects the vertices at each hop level `1..=max_depth` from `source`.
+/// `levels[d - 1]` holds the vertices at exact distance `d`; trailing empty
+/// levels are trimmed.
+pub fn collect_levels<A: Adjacency>(
+    graph: &A,
+    source: VertexId,
+    max_depth: usize,
+    scratch: &mut BfsScratch,
+) -> Vec<Vec<VertexId>> {
+    let mut levels: Vec<Vec<VertexId>> = Vec::new();
+    bfs_levels(graph, source, max_depth, scratch, |v, d| {
+        let d = d as usize;
+        if levels.len() < d {
+            levels.resize_with(d, Vec::new);
+        }
+        levels[d - 1].push(v);
+    });
+    levels
+}
+
+/// Collects hop levels like [`collect_levels`], but consults `keep_going`
+/// after each completed level: when it returns `false`, the traversal
+/// stops without exploring deeper levels. Used by index builders that
+/// only need a prefix of the hop structure (e.g. the NL index stores
+/// levels only up to the widest one).
+pub fn collect_levels_while<A: Adjacency, F>(
+    graph: &A,
+    source: VertexId,
+    scratch: &mut BfsScratch,
+    mut keep_going: F,
+) -> Vec<Vec<VertexId>>
+where
+    F: FnMut(&[Vec<VertexId>]) -> bool,
+{
+    scratch.fit(graph.num_vertices());
+    scratch.visited.reset();
+    scratch.frontier.clear();
+    scratch.visited.mark_vertex(source);
+    scratch.frontier.push(source);
+
+    let mut levels: Vec<Vec<VertexId>> = Vec::new();
+    loop {
+        let mut next: Vec<VertexId> = Vec::new();
+        for i in 0..scratch.frontier.len() {
+            let u = scratch.frontier[i];
+            for &v in graph.neighbors(u) {
+                if scratch.visited.mark_vertex(v) {
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        scratch.frontier.clear();
+        scratch.frontier.extend_from_slice(&next);
+        levels.push(next);
+        if !keep_going(&levels) {
+            break;
+        }
+    }
+    levels
+}
+
+/// All-pairs hop distances by repeated BFS. O(n·m) — for tests and small
+/// ground-truth computations only. `dist[u][v] == u32::MAX` means
+/// unreachable.
+pub fn all_pairs_distances(graph: &CsrGraph) -> Vec<Vec<u32>> {
+    let n = graph.num_vertices();
+    let mut scratch = BfsScratch::new(n);
+    let mut dist = vec![vec![u32::MAX; n]; n];
+    for u in graph.vertices() {
+        dist[u.index()][u.index()] = 0;
+        let row = &mut dist[u.index()];
+        bfs_levels(graph, u, usize::MAX, &mut scratch, |v, d| {
+            row[v.index()] = d;
+        });
+    }
+    dist
+}
+
+/// The eccentricity of `source`: the greatest hop distance to any reachable
+/// vertex (0 for an isolated vertex).
+pub fn eccentricity<A: Adjacency>(graph: &A, source: VertexId, scratch: &mut BfsScratch) -> u32 {
+    let mut max = 0;
+    bfs_levels(graph, source, usize::MAX, scratch, |_, d| max = max.max(d));
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2-3 path plus isolated 4.
+    fn fixture() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn levels_from_path_end() {
+        let g = fixture();
+        let mut s = BfsScratch::new(5);
+        let levels = collect_levels(&g, VertexId(0), usize::MAX, &mut s);
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![VertexId(1)]);
+        assert_eq!(levels[1], vec![VertexId(2)]);
+        assert_eq!(levels[2], vec![VertexId(3)]);
+    }
+
+    #[test]
+    fn bounded_depth_stops() {
+        let g = fixture();
+        let mut s = BfsScratch::new(5);
+        let levels = collect_levels(&g, VertexId(0), 2, &mut s);
+        assert_eq!(levels.len(), 2);
+        assert!(levels.iter().flatten().all(|v| *v != VertexId(3)));
+    }
+
+    #[test]
+    fn distance_bounded_hits_and_misses() {
+        let g = fixture();
+        let mut s = BfsScratch::new(5);
+        assert_eq!(distance_bounded(&g, VertexId(0), VertexId(3), 10, &mut s), Some(3));
+        assert_eq!(distance_bounded(&g, VertexId(0), VertexId(3), 2, &mut s), None);
+        assert_eq!(distance_bounded(&g, VertexId(0), VertexId(0), 0, &mut s), Some(0));
+        assert_eq!(distance_bounded(&g, VertexId(0), VertexId(4), 100, &mut s), None);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let g = fixture();
+        let mut s = BfsScratch::new(5);
+        for _ in 0..3 {
+            let mut seen = 0;
+            bfs_levels(&g, VertexId(1), usize::MAX, &mut s, |_, _| seen += 1);
+            assert_eq!(seen, 3, "1 reaches 0, 2, 3 every time");
+        }
+    }
+
+    #[test]
+    fn all_pairs_matches_manual() {
+        let g = fixture();
+        let d = all_pairs_distances(&g);
+        assert_eq!(d[0][3], 3);
+        assert_eq!(d[1][3], 2);
+        assert_eq!(d[2][2], 0);
+        assert_eq!(d[0][4], u32::MAX);
+        // Symmetry.
+        for (u, row) in d.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(duv, d[v][u]);
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = fixture();
+        let mut s = BfsScratch::new(5);
+        assert_eq!(eccentricity(&g, VertexId(0), &mut s), 3);
+        assert_eq!(eccentricity(&g, VertexId(1), &mut s), 2);
+        assert_eq!(eccentricity(&g, VertexId(4), &mut s), 0);
+    }
+
+    #[test]
+    fn collect_levels_while_stops_on_request() {
+        // Path 0-1-2-3: stop after the first level.
+        let g = fixture();
+        let mut s = BfsScratch::new(5);
+        let levels = collect_levels_while(&g, VertexId(0), &mut s, |lv| lv.is_empty());
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0], vec![VertexId(1)]);
+    }
+
+    #[test]
+    fn collect_levels_while_unbounded_matches_collect_levels() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let mut s = BfsScratch::new(7);
+        let a = collect_levels(&g, VertexId(0), usize::MAX, &mut s);
+        let b = collect_levels_while(&g, VertexId(0), &mut s, |_| true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collect_levels_while_peak_detection() {
+        // Star from a leaf: widths [1, 4] then nothing; the "stop after a
+        // width decrease" predicate used by the NL build must keep both.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        let mut s = BfsScratch::new(6);
+        let levels = collect_levels_while(&g, VertexId(1), &mut s, |lv| {
+            lv.len() < 2 || lv[lv.len() - 1].len() >= lv[lv.len() - 2].len()
+        });
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0], vec![VertexId(0)]);
+        assert_eq!(levels[1].len(), 4);
+    }
+
+    #[test]
+    fn collect_levels_while_isolated_source() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut s = BfsScratch::new(3);
+        let levels = collect_levels_while(&g, VertexId(2), &mut s, |_| true);
+        assert!(levels.is_empty());
+    }
+
+    #[test]
+    fn cycle_distances() {
+        // 6-cycle: opposite vertices at distance 3.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let mut s = BfsScratch::new(6);
+        assert_eq!(distance_bounded(&g, VertexId(0), VertexId(3), 10, &mut s), Some(3));
+        assert_eq!(distance_bounded(&g, VertexId(0), VertexId(5), 10, &mut s), Some(1));
+    }
+}

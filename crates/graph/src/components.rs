@@ -1,0 +1,151 @@
+//! Connected-component labelling.
+//!
+//! The NLRNL index (paper §V-B) stores, for each vertex, its hop neighbors
+//! at levels `1..=c-1` and the *reverse* neighbors at levels `> c` — but not
+//! level `c` itself. A membership miss in every stored list therefore means
+//! "distance is exactly c" **or** "unreachable"; component ids disambiguate
+//! the two in O(1). They are also handy for dataset sanity checks.
+
+use crate::bfs::{bfs_levels, BfsScratch};
+use crate::csr::Adjacency;
+use ktg_common::VertexId;
+
+/// Component labelling of a graph: `label[v]` identifies `v`'s connected
+/// component; labels are dense in `0..num_components`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    labels: Vec<u32>,
+    count: usize,
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Labels the components of `graph` by repeated BFS (O(n + m)).
+    pub fn compute<A: Adjacency>(graph: &A) -> Self {
+        let n = graph.num_vertices();
+        let mut labels = vec![u32::MAX; n];
+        let mut sizes = Vec::new();
+        let mut scratch = BfsScratch::new(n);
+        let mut count = 0u32;
+        for v in 0..n {
+            let v = VertexId::new(v);
+            if labels[v.index()] != u32::MAX {
+                continue;
+            }
+            let label = count;
+            count += 1;
+            labels[v.index()] = label;
+            let mut size = 1usize;
+            bfs_levels(graph, v, usize::MAX, &mut scratch, |u, _| {
+                labels[u.index()] = label;
+                size += 1;
+            });
+            sizes.push(size);
+        }
+        Components { labels, count: count as usize, sizes }
+    }
+
+    /// Reconstructs a labelling from raw labels (used when deserializing
+    /// structures that embed component ids). Labels must be dense in
+    /// `0..count` — anything else panics in debug builds.
+    pub fn from_labels(labels: Vec<u32>) -> Self {
+        let count = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut sizes = vec![0usize; count];
+        for &l in &labels {
+            debug_assert!((l as usize) < count);
+            sizes[l as usize] += 1;
+        }
+        debug_assert!(sizes.iter().all(|&s| s > 0), "labels not dense");
+        Components { labels, count, sizes }
+    }
+
+    /// The component label of `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> u32 {
+        self.labels[v.index()]
+    }
+
+    /// Whether `u` and `v` lie in the same component (i.e. their distance is
+    /// finite).
+    #[inline]
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.labels[u.index()] == self.labels[v.index()]
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Size (vertex count) of component `label`.
+    #[inline]
+    pub fn size(&self, label: u32) -> usize {
+        self.sizes[label as usize]
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Approximate heap usage in bytes (counted into NLRNL space accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.labels.capacity() * std::mem::size_of::<u32>()
+            + self.sizes.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+
+    #[test]
+    fn two_components_plus_isolated() {
+        // {0,1,2} path, {3,4} edge, {5} isolated.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 3);
+        assert!(c.same_component(VertexId(0), VertexId(2)));
+        assert!(c.same_component(VertexId(3), VertexId(4)));
+        assert!(!c.same_component(VertexId(0), VertexId(3)));
+        assert!(!c.same_component(VertexId(4), VertexId(5)));
+    }
+
+    #[test]
+    fn sizes_and_largest() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = Components::compute(&g);
+        let mut sizes: Vec<_> = (0..c.count() as u32).map(|l| c.size(l)).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert_eq!(c.largest(), 3);
+    }
+
+    #[test]
+    fn connected_graph_single_component() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), 4);
+    }
+
+    #[test]
+    fn empty_graph_zero_components() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), 0);
+    }
+
+    #[test]
+    fn labels_are_dense() {
+        let g = CsrGraph::from_edges(5, &[(1, 2)]).unwrap();
+        let c = Components::compute(&g);
+        let mut labels: Vec<_> = (0..5).map(|i| c.label(VertexId(i))).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels, (0..c.count() as u32).collect::<Vec<_>>());
+    }
+}

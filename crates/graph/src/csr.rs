@@ -1,0 +1,304 @@
+//! Compressed-sparse-row undirected graphs.
+//!
+//! [`CsrGraph`] stores neighbor lists in one contiguous array indexed by a
+//! per-vertex offset table. Neighbor lists are sorted, enabling binary-search
+//! adjacency tests and merge-style set operations in the indexes. The graph
+//! is immutable after construction; mutation goes through
+//! [`crate::DynamicGraph`].
+
+use ktg_common::{KtgError, Result, VertexId};
+
+/// Read access to an undirected graph's adjacency structure.
+///
+/// Both [`CsrGraph`] and [`crate::DynamicGraph`] implement this, so
+/// traversals (BFS, component labelling) and index maintenance run over
+/// either representation.
+pub trait Adjacency {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+    /// The sorted neighbor list of `v`.
+    fn neighbors(&self, v: VertexId) -> &[VertexId];
+}
+
+impl<A: Adjacency + ?Sized> Adjacency for &A {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        (**self).neighbors(v)
+    }
+}
+
+/// An immutable undirected graph in CSR form.
+///
+/// Invariants (established by [`GraphBuilder`] and checked in debug builds):
+/// * neighbor lists are sorted and duplicate-free;
+/// * no self-loops;
+/// * symmetry: `v ∈ N(u)` iff `u ∈ N(v)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v.index()] .. offsets[v.index() + 1]` delimits `N(v)`.
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let i = v.index();
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search, O(log d)).
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        // Probe the smaller list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates all vertices.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> {
+        ktg_common::id::vertex_range(self.num_vertices())
+    }
+
+    /// Iterates every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Builds directly from an edge list (convenience for tests/examples).
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Result<Self> {
+        let mut b = GraphBuilder::new(num_vertices);
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v))?;
+        }
+        Ok(b.build())
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u64>()
+            + self.neighbors.capacity() * std::mem::size_of::<VertexId>()
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        for u in self.vertices() {
+            let ns = self.neighbors(u);
+            debug_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted+dedup");
+            debug_assert!(!ns.contains(&u), "no self-loop at {u:?}");
+            for &v in ns {
+                debug_assert!(
+                    self.neighbors(v).binary_search(&u).is_ok(),
+                    "asymmetric edge ({u:?}, {v:?})"
+                );
+            }
+        }
+    }
+}
+
+impl Adjacency for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        CsrGraph::neighbors(self, v)
+    }
+}
+
+/// Deduplicating builder for [`CsrGraph`].
+///
+/// Self-loops are silently dropped (social networks have no meaningful
+/// self-friendship); parallel edges collapse to one.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    /// Directed half-edges; mirrored at build time.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder { num_vertices, edges: Vec::new() }
+    }
+
+    /// Pre-allocates room for `n` edges.
+    pub fn with_edge_capacity(num_vertices: usize, n: usize) -> Self {
+        GraphBuilder { num_vertices, edges: Vec::with_capacity(n) }
+    }
+
+    /// Number of vertices the graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored.
+    ///
+    /// # Errors
+    /// Returns [`KtgError::InvalidInput`] if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        if u.index() >= self.num_vertices || v.index() >= self.num_vertices {
+            return Err(KtgError::input(format!(
+                "edge ({u}, {v}) out of range for {} vertices",
+                self.num_vertices
+            )));
+        }
+        if u != v {
+            // Canonicalize so dedup catches both orientations.
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a, b));
+        }
+        Ok(())
+    }
+
+    /// Finalizes into a [`CsrGraph`]: O(m log m) for sort+dedup, then one
+    /// counting pass.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.num_vertices;
+        let mut degree = vec![0u64; n];
+        for &(a, b) in &self.edges {
+            degree[a.index()] += 1;
+            degree[b.index()] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut neighbors = vec![VertexId::INVALID; acc as usize];
+        for &(a, b) in &self.edges {
+            neighbors[cursor[a.index()] as usize] = b;
+            cursor[a.index()] += 1;
+            neighbors[cursor[b.index()] as usize] = a;
+            cursor[b.index()] += 1;
+        }
+        // Each vertex's slice was filled in globally sorted edge order, so
+        // the `a`-side entries are already ascending, but the mirrored
+        // `b`-side entries interleave; sort each list.
+        let graph = {
+            let mut g = CsrGraph { offsets, neighbors };
+            for v in 0..n {
+                let (s, e) = (g.offsets[v] as usize, g.offsets[v + 1] as usize);
+                g.neighbors[s..e].sort_unstable();
+            }
+            g
+        };
+        #[cfg(debug_assertions)]
+        graph.check_invariants();
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> CsrGraph {
+        // 0 - 1 - 2 - 3
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = path4();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = CsrGraph::from_edges(5, &[(4, 0), (2, 0), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(VertexId(0)), &[VertexId(1), VertexId(2), VertexId(4)]);
+        assert!(g.has_edge(VertexId(0), VertexId(4)));
+        assert!(g.has_edge(VertexId(4), VertexId(0)));
+        assert!(!g.has_edge(VertexId(1), VertexId(2)));
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_collapse() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(VertexId(0)), 1);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(VertexId(0)), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(VertexId(0), VertexId(5)).is_err());
+    }
+
+    #[test]
+    fn edges_iterated_once_canonical() {
+        let g = path4();
+        let es: Vec<_> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        assert_eq!(es, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = CsrGraph::from_edges(10, &[(0, 1)]).unwrap();
+        assert_eq!(g.degree(VertexId(9)), 0);
+        assert!(g.neighbors(VertexId(9)).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn degree_matches_neighbor_len() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        assert_eq!(g.degree(VertexId(0)), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(VertexId(v)), 1);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Edge-list text I/O in the SNAP format used by the paper's datasets.
+//!
+//! The evaluation graphs (Gowalla, Brightkite, Flickr, Twitter, DBLP) are
+//! distributed as whitespace-separated `u v` lines with `#`-prefixed
+//! comments. [`read_edge_list`] accepts exactly that, remapping arbitrary
+//! (possibly sparse) raw ids onto the dense `0..n` vertex space and
+//! returning the mapping so keyword files can be aligned.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use ktg_common::{FxHashMap, KtgError, Result, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// The result of parsing an edge list: the graph plus the raw-id ↔ dense-id
+/// mapping.
+#[derive(Debug)]
+pub struct LoadedGraph {
+    /// The parsed graph on dense vertex ids.
+    pub graph: CsrGraph,
+    /// `raw_ids[dense.index()]` is the id that appeared in the file.
+    pub raw_ids: Vec<u64>,
+    /// Raw file id → dense id.
+    pub id_map: FxHashMap<u64, VertexId>,
+}
+
+/// Reads a SNAP-style edge list: one `u v` pair per line, `#` comments and
+/// blank lines ignored.
+///
+/// Two id regimes:
+///
+/// * Files written by [`write_edge_list`] start with a
+///   `# ktg edge list: N vertices, …` header. Ids are then taken as
+///   **already dense** in `0..N` (identity mapping), which preserves
+///   isolated vertices and keeps companion keyword files aligned.
+/// * Raw SNAP files have no such header; arbitrary u64 ids are densified
+///   in first-appearance order and the mapping is returned.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph> {
+    let reader = BufReader::new(reader);
+    let mut id_map: FxHashMap<u64, VertexId> = FxHashMap::default();
+    let mut raw_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut declared_vertices: Option<usize> = None;
+
+    let intern = |raw: u64, raw_ids: &mut Vec<u64>, id_map: &mut FxHashMap<u64, VertexId>| {
+        *id_map.entry(raw).or_insert_with(|| {
+            let id = VertexId::new(raw_ids.len());
+            raw_ids.push(raw);
+            id
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            if lineno == 0 {
+                declared_vertices = parse_ktg_header(trimmed);
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64> {
+            tok.ok_or_else(|| KtgError::input(format!("line {}: missing field", lineno + 1)))?
+                .parse::<u64>()
+                .map_err(|e| KtgError::input(format!("line {}: {e}", lineno + 1)))
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        if let Some(n) = declared_vertices {
+            // Dense regime: validate and use ids directly.
+            let check = |raw: u64| -> Result<VertexId> {
+                if raw as usize >= n {
+                    return Err(KtgError::input(format!(
+                        "line {}: vertex {raw} out of declared range {n}",
+                        lineno + 1
+                    )));
+                }
+                Ok(VertexId(raw as u32))
+            };
+            edges.push((check(u)?, check(v)?));
+        } else {
+            let du = intern(u, &mut raw_ids, &mut id_map);
+            let dv = intern(v, &mut raw_ids, &mut id_map);
+            edges.push((du, dv));
+        }
+    }
+
+    let n = declared_vertices.unwrap_or(raw_ids.len());
+    if declared_vertices.is_some() {
+        raw_ids = (0..n as u64).collect();
+        id_map = raw_ids.iter().map(|&r| (r, VertexId(r as u32))).collect();
+    }
+    let mut builder = GraphBuilder::with_edge_capacity(n, edges.len());
+    for (u, v) in edges {
+        builder.add_edge(u, v)?;
+    }
+    Ok(LoadedGraph { graph: builder.build(), raw_ids, id_map })
+}
+
+/// Parses the `# ktg edge list: N vertices, …` header, if present.
+fn parse_ktg_header(line: &str) -> Option<usize> {
+    let rest = line.strip_prefix("# ktg edge list:")?;
+    let count = rest.trim().split_whitespace().next()?;
+    count.parse().ok()
+}
+
+/// Writes a graph as a SNAP-style edge list (dense ids, one edge per line,
+/// canonical `u < v` orientation) with a leading comment header.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# ktg edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_file() {
+        let text = "# comment\n10 20\n20 30\n\n10 30\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.raw_ids, vec![10, 20, 30]);
+        assert_eq!(loaded.id_map[&20], VertexId(1));
+    }
+
+    #[test]
+    fn duplicate_and_reverse_edges_merge() {
+        let text = "1 2\n2 1\n1 2\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn tabs_and_mixed_whitespace() {
+        let text = "5\t6\n6  7\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        assert!(read_edge_list("1 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(loaded.graph, g);
+    }
+
+    #[test]
+    fn roundtrip_preserves_isolated_vertices_and_ids() {
+        // Vertex 4 is isolated; vertex ids must survive the roundtrip
+        // unchanged so companion keyword files stay aligned.
+        let g = CsrGraph::from_edges(5, &[(3, 1), (1, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(loaded.graph, g);
+        assert_eq!(loaded.graph.num_vertices(), 5);
+        assert_eq!(loaded.id_map[&3], VertexId(3));
+    }
+
+    #[test]
+    fn declared_header_rejects_out_of_range() {
+        let text = "# ktg edge list: 3 vertices, 1 edges\n0 9\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn header_parsing() {
+        assert_eq!(parse_ktg_header("# ktg edge list: 42 vertices, 7 edges"), Some(42));
+        assert_eq!(parse_ktg_header("# some other comment"), None);
+        assert_eq!(parse_ktg_header(""), None);
+    }
+
+    #[test]
+    fn empty_input_empty_graph() {
+        let loaded = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 0);
+        assert_eq!(loaded.graph.num_edges(), 0);
+    }
+}

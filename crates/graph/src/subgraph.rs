@@ -1,0 +1,198 @@
+//! Subgraph extraction and preprocessing.
+//!
+//! Real social-network pipelines (including the paper's datasets) are
+//! routinely preprocessed: restrict to the largest connected component,
+//! take an induced subgraph of a vertex sample, or cap pathological hub
+//! degrees. Each operation returns both the new graph and the
+//! old-to-new vertex mapping so keyword arenas can be remapped alongside.
+
+use crate::bfs::{bfs_levels, BfsScratch};
+use crate::components::Components;
+use crate::csr::{CsrGraph, GraphBuilder};
+use ktg_common::VertexId;
+
+/// The result of a vertex-set restriction: the induced graph plus the
+/// id mappings in both directions.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The induced graph on dense new ids `0..kept`.
+    pub graph: CsrGraph,
+    /// `old_of[new.index()]` = the original id.
+    pub old_of: Vec<VertexId>,
+    /// `new_of[old.index()]` = the new id, or `VertexId::INVALID` if the
+    /// vertex was dropped.
+    pub new_of: Vec<VertexId>,
+}
+
+impl InducedSubgraph {
+    /// Remaps an original vertex id to the subgraph (if kept).
+    pub fn map(&self, old: VertexId) -> Option<VertexId> {
+        let new = self.new_of[old.index()];
+        new.is_valid().then_some(new)
+    }
+}
+
+/// Induces the subgraph on `keep` (original ids; duplicates ignored).
+/// New ids follow the ascending order of the kept original ids.
+pub fn induce(graph: &CsrGraph, keep: &[VertexId]) -> InducedSubgraph {
+    let n = graph.num_vertices();
+    let mut kept: Vec<VertexId> = keep.to_vec();
+    kept.sort_unstable();
+    kept.dedup();
+    debug_assert!(kept.last().is_none_or(|v| v.index() < n), "kept vertex out of range");
+
+    let mut new_of = vec![VertexId::INVALID; n];
+    for (new, &old) in kept.iter().enumerate() {
+        new_of[old.index()] = VertexId::new(new);
+    }
+
+    let mut builder = GraphBuilder::new(kept.len());
+    for &old_u in &kept {
+        let new_u = new_of[old_u.index()];
+        for &old_v in graph.neighbors(old_u) {
+            let new_v = new_of[old_v.index()];
+            if new_v.is_valid() && new_u < new_v {
+                builder.add_edge(new_u, new_v).expect("remapped ids are in range");
+            }
+        }
+    }
+    InducedSubgraph { graph: builder.build(), old_of: kept, new_of }
+}
+
+/// Restricts to the largest connected component (ties broken by the
+/// smallest component label, i.e. the earliest-discovered component).
+pub fn largest_component(graph: &CsrGraph) -> InducedSubgraph {
+    let comps = Components::compute(graph);
+    let mut best_label = 0u32;
+    let mut best_size = 0usize;
+    for label in 0..comps.count() as u32 {
+        if comps.size(label) > best_size {
+            best_size = comps.size(label);
+            best_label = label;
+        }
+    }
+    let keep: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| comps.count() > 0 && comps.label(v) == best_label)
+        .collect();
+    induce(graph, &keep)
+}
+
+/// Restricts to the ball of radius `hops` around `center` (inclusive) —
+/// the "ego-net expansion" used to cut working-set-sized samples out of
+/// large graphs.
+pub fn ball(graph: &CsrGraph, center: VertexId, hops: u32) -> InducedSubgraph {
+    let mut keep = vec![center];
+    let mut scratch = BfsScratch::new(graph.num_vertices());
+    bfs_levels(graph, center, hops as usize, &mut scratch, |v, _| keep.push(v));
+    induce(graph, &keep)
+}
+
+/// Caps vertex degrees at `max_degree` by dropping the highest-id excess
+/// neighbors of each over-degree vertex (deterministic). Used to tame
+/// pathological hubs before index construction; returns the trimmed graph
+/// on the *same* vertex ids.
+pub fn cap_degrees(graph: &CsrGraph, max_degree: usize) -> CsrGraph {
+    let mut builder = GraphBuilder::new(graph.num_vertices());
+    // An edge survives if it is within the first `max_degree` neighbors
+    // of *both* endpoints (neighbor lists are sorted by id).
+    for u in graph.vertices() {
+        let keep_u = &graph.neighbors(u)[..graph.degree(u).min(max_degree)];
+        for &v in keep_u {
+            if u < v {
+                let keep_v = &graph.neighbors(v)[..graph.degree(v).min(max_degree)];
+                if keep_v.binary_search(&u).is_ok() {
+                    builder.add_edge(u, v).expect("in range");
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Components: {0,1,2,3} path, {4,5} edge, {6} isolated.
+    fn fixture() -> CsrGraph {
+        CsrGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (4, 5)]).unwrap()
+    }
+
+    #[test]
+    fn induce_keeps_internal_edges_only() {
+        let g = fixture();
+        let sub = induce(&g, &[VertexId(1), VertexId(2), VertexId(4)]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 1, "only (1,2) is internal");
+        assert_eq!(sub.old_of, vec![VertexId(1), VertexId(2), VertexId(4)]);
+        assert_eq!(sub.map(VertexId(2)), Some(VertexId(1)));
+        assert_eq!(sub.map(VertexId(0)), None);
+    }
+
+    #[test]
+    fn induce_duplicates_ignored() {
+        let g = fixture();
+        let sub = induce(&g, &[VertexId(1), VertexId(1), VertexId(2)]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+    }
+
+    #[test]
+    fn largest_component_extracts_path() {
+        let g = fixture();
+        let sub = largest_component(&g);
+        assert_eq!(sub.graph.num_vertices(), 4);
+        assert_eq!(sub.graph.num_edges(), 3);
+        assert_eq!(sub.old_of, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        let sub = largest_component(&g);
+        assert_eq!(sub.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn ball_radius_one() {
+        let g = fixture();
+        let sub = ball(&g, VertexId(1), 1);
+        assert_eq!(sub.old_of, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(sub.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn ball_radius_zero_is_single_vertex() {
+        let g = fixture();
+        let sub = ball(&g, VertexId(3), 0);
+        assert_eq!(sub.graph.num_vertices(), 1);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn cap_degrees_trims_hubs() {
+        // Star: center 0 with 5 leaves.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        let capped = cap_degrees(&g, 2);
+        assert_eq!(capped.num_vertices(), 6);
+        assert_eq!(capped.degree(VertexId(0)), 2);
+        // The kept neighbors are the lowest-id ones.
+        assert_eq!(capped.neighbors(VertexId(0)), &[VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn cap_degrees_noop_when_under_cap() {
+        let g = fixture();
+        assert_eq!(cap_degrees(&g, 10), g);
+    }
+
+    #[test]
+    fn cap_is_mutual() {
+        // Edge (u, v) survives only if within both endpoints' caps.
+        let g = CsrGraph::from_edges(5, &[(0, 3), (0, 4), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let capped = cap_degrees(&g, 2);
+        for v in capped.vertices() {
+            assert!(capped.degree(v) <= 2, "{v:?} over cap");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The index-free oracle: hop-bounded BFS with a one-slot memo.
+//!
+//! k-line filtering (paper Theorem 3) probes many candidates against the
+//! *same* newly selected member, so a plain per-pair BFS would re-explore
+//! the same ball repeatedly. The memo keeps the within-`k` ball of the most
+//! recent `(source, k)` pair; with it, filtering a whole candidate set
+//! costs one bounded BFS plus hash probes — the honest "no index" baseline
+//! of the paper's `KTG-VKC` configuration before NL/NLRNL are introduced.
+
+use crate::oracle::DistanceOracle;
+use ktg_common::{FxHashSet, VertexId};
+use ktg_graph::{bfs, BfsScratch, CsrGraph};
+use parking_lot::Mutex;
+
+/// Index-free distance oracle over a borrowed graph.
+pub struct BfsOracle<'g> {
+    graph: &'g CsrGraph,
+    state: Mutex<MemoState>,
+}
+
+struct MemoState {
+    scratch: BfsScratch,
+    /// `(source, k)` of the cached ball, if any.
+    key: Option<(VertexId, u32)>,
+    /// Vertices within `k` hops of the cached source (source excluded).
+    ball: FxHashSet<VertexId>,
+}
+
+impl<'g> BfsOracle<'g> {
+    /// Creates an oracle over `graph`.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        BfsOracle {
+            graph,
+            state: Mutex::new(MemoState {
+                scratch: BfsScratch::new(graph.num_vertices()),
+                key: None,
+                ball: FxHashSet::default(),
+            }),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    fn ball_contains(&self, source: VertexId, k: u32, target: VertexId) -> bool {
+        let mut st = self.state.lock();
+        if st.key != Some((source, k)) {
+            st.ball.clear();
+            // Split-borrow via a local take of the scratch to appease the
+            // borrow checker without cloning.
+            let mut scratch = std::mem::replace(&mut st.scratch, BfsScratch::new(0));
+            let ball = &mut st.ball;
+            bfs::bfs_levels(self.graph, source, k as usize, &mut scratch, |v, _| {
+                ball.insert(v);
+            });
+            st.scratch = scratch;
+            st.key = Some((source, k));
+        }
+        st.ball.contains(&target)
+    }
+}
+
+impl DistanceOracle for BfsOracle<'_> {
+    fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        if u == v {
+            return false; // Dis(u, u) = 0
+        }
+        // Keep the memo effective for the filter pattern (same u, many v):
+        // always BFS from u.
+        !self.ball_contains(u, k, v)
+    }
+
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn matches_path_distances() {
+        let g = path5();
+        let o = BfsOracle::new(&g);
+        assert!(!o.farther_than(VertexId(0), VertexId(2), 2));
+        assert!(o.farther_than(VertexId(0), VertexId(3), 2));
+        assert!(!o.farther_than(VertexId(0), VertexId(3), 3));
+    }
+
+    #[test]
+    fn self_pair() {
+        let g = path5();
+        let o = BfsOracle::new(&g);
+        assert!(!o.farther_than(VertexId(2), VertexId(2), 0));
+    }
+
+    #[test]
+    fn disconnected_pair_is_farther() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let o = BfsOracle::new(&g);
+        assert!(o.farther_than(VertexId(0), VertexId(3), 100));
+    }
+
+    #[test]
+    fn memo_survives_source_switches() {
+        let g = path5();
+        let o = BfsOracle::new(&g);
+        // Interleave sources and ks; all answers must stay exact.
+        assert!(o.farther_than(VertexId(0), VertexId(4), 3));
+        assert!(!o.farther_than(VertexId(4), VertexId(2), 2));
+        assert!(!o.farther_than(VertexId(0), VertexId(4), 4));
+        assert!(o.farther_than(VertexId(4), VertexId(0), 3));
+    }
+
+    #[test]
+    fn filter_pattern_many_targets() {
+        let g = path5();
+        let o = BfsOracle::new(&g);
+        let far: Vec<u32> = (0..5)
+            .filter(|&t| o.farther_than(VertexId(2), VertexId(t), 1))
+            .collect();
+        assert_eq!(far, vec![0, 4]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Self-contained dynamic NLRNL maintenance.
+//!
+//! [`crate::NlrnlIndex`]'s `prepare_update`/`apply_update` pair is
+//! deliberately low-level: the caller owns the graph and must sequence
+//! snapshot → mutate → apply correctly. [`DynamicNlrnl`] packages the
+//! common case — one mutable graph with one index kept consistent — into
+//! a misuse-proof API: `insert_edge`/`remove_edge` do all three steps.
+
+use crate::nlrnl::NlrnlIndex;
+use crate::oracle::DistanceOracle;
+use ktg_common::{Result, VertexId};
+use ktg_graph::{CsrGraph, DynamicGraph};
+
+/// A mutable graph bundled with an always-consistent NLRNL index.
+pub struct DynamicNlrnl {
+    graph: DynamicGraph,
+    index: NlrnlIndex,
+}
+
+impl DynamicNlrnl {
+    /// Builds from an initial graph.
+    pub fn new(graph: &CsrGraph) -> Self {
+        let graph = DynamicGraph::from_csr(graph);
+        let index = NlrnlIndex::build(&graph);
+        DynamicNlrnl { graph, index }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The current index.
+    pub fn index(&self) -> &NlrnlIndex {
+        &self.index
+    }
+
+    /// Inserts edge `{u, v}`, maintaining the index. Returns whether the
+    /// edge was new (a duplicate insert leaves the index untouched).
+    ///
+    /// # Errors
+    /// Propagates graph validation errors (range, self-loop).
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        self.validate(u, v)?;
+        if self.graph.has_edge(u, v) {
+            return Ok(false);
+        }
+        let update = self.index.prepare_update(&self.graph, u, v);
+        self.graph.insert_edge(u, v)?;
+        self.index.apply_update(&self.graph, update);
+        Ok(true)
+    }
+
+    /// Removes edge `{u, v}`, maintaining the index. Returns whether the
+    /// edge existed.
+    ///
+    /// # Errors
+    /// Propagates graph validation errors (range, self-loop).
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        self.validate(u, v)?;
+        if !self.graph.has_edge(u, v) {
+            return Ok(false);
+        }
+        let update = self.index.prepare_update(&self.graph, u, v);
+        self.graph.remove_edge(u, v)?;
+        self.index.apply_update(&self.graph, update);
+        Ok(true)
+    }
+
+    /// Range/self-loop validation shared by both mutations (performed
+    /// *before* any snapshotting so errors leave the pair untouched).
+    fn validate(&self, u: VertexId, v: VertexId) -> Result<()> {
+        let n = self.graph.num_vertices();
+        if u.index() >= n || v.index() >= n {
+            return Err(ktg_common::KtgError::input(format!(
+                "edge ({u}, {v}) out of range for {n} vertices"
+            )));
+        }
+        if u == v {
+            return Err(ktg_common::KtgError::input(format!("self-loop at {u}")));
+        }
+        Ok(())
+    }
+}
+
+impl DistanceOracle for DynamicNlrnl {
+    fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        self.index.farther_than(u, v, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "nlrnl-dynamic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactOracle;
+
+    fn check_consistency(d: &DynamicNlrnl) {
+        let csr = d.graph().to_csr();
+        let exact = ExactOracle::build(&csr);
+        let n = csr.num_vertices();
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                for k in 0..(n as u32 + 2) {
+                    assert_eq!(
+                        d.farther_than(VertexId(u), VertexId(v), k),
+                        exact.farther_than(VertexId(u), VertexId(v), k),
+                        "({u}, {v}, k={k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stays_consistent_across_mutations() {
+        let csr = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]).unwrap();
+        let mut d = DynamicNlrnl::new(&csr);
+        assert!(d.insert_edge(VertexId(3), VertexId(4)).unwrap());
+        check_consistency(&d);
+        assert!(d.remove_edge(VertexId(1), VertexId(2)).unwrap());
+        check_consistency(&d);
+        assert!(d.insert_edge(VertexId(0), VertexId(7)).unwrap());
+        check_consistency(&d);
+    }
+
+    #[test]
+    fn duplicate_operations_are_noops() {
+        let csr = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut d = DynamicNlrnl::new(&csr);
+        assert!(!d.insert_edge(VertexId(0), VertexId(1)).unwrap());
+        assert!(!d.remove_edge(VertexId(1), VertexId(2)).unwrap());
+        check_consistency(&d);
+    }
+
+    #[test]
+    fn invalid_edges_propagate_errors() {
+        let csr = CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let mut d = DynamicNlrnl::new(&csr);
+        assert!(d.insert_edge(VertexId(0), VertexId(9)).is_err());
+        assert!(d.remove_edge(VertexId(1), VertexId(1)).is_err());
+    }
+}

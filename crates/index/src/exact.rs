@@ -1,0 +1,75 @@
+//! All-pairs ground-truth oracle.
+//!
+//! Precomputes every distance by repeated BFS (O(n·m) build, O(n²) space).
+//! Only suitable for small graphs: it is the reference the property tests
+//! compare every other oracle against, and a pragmatic choice for the
+//! Figure-1-sized examples.
+
+use crate::oracle::DistanceOracle;
+use ktg_common::VertexId;
+use ktg_graph::{bfs, CsrGraph};
+
+/// Exact distances from an all-pairs BFS table.
+#[derive(Clone, Debug)]
+pub struct ExactOracle {
+    dist: Vec<Vec<u32>>,
+}
+
+impl ExactOracle {
+    /// Builds the full distance table of `graph`.
+    pub fn build(graph: &CsrGraph) -> Self {
+        ExactOracle { dist: bfs::all_pairs_distances(graph) }
+    }
+
+    /// The exact distance (`u32::MAX` for unreachable).
+    #[inline]
+    pub fn distance(&self, u: VertexId, v: VertexId) -> u32 {
+        self.dist[u.index()][v.index()]
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+impl DistanceOracle for ExactOracle {
+    #[inline]
+    fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        self.distance(u, v) > k
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_distances() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let o = ExactOracle::build(&g);
+        assert_eq!(o.distance(VertexId(0), VertexId(3)), 3);
+        assert!(o.farther_than(VertexId(0), VertexId(3), 2));
+        assert!(!o.farther_than(VertexId(0), VertexId(3), 3));
+        assert!(o.is_kline(VertexId(0), VertexId(1), 1));
+    }
+
+    #[test]
+    fn unreachable_is_farther_than_everything() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let o = ExactOracle::build(&g);
+        assert!(o.farther_than(VertexId(0), VertexId(2), u32::MAX - 1));
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let o = ExactOracle::build(&g);
+        assert_eq!(o.distance(VertexId(1), VertexId(1)), 0);
+        assert!(!o.farther_than(VertexId(1), VertexId(1), 0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Compact per-vertex hop-level lists.
+//!
+//! Both the NL and NLRNL indexes store, per vertex, a sequence of hop
+//! levels, each a sorted vertex list. [`LeveledList`] packs one vertex's
+//! levels into a single allocation (concatenated data + level boundaries)
+//! — two boxed slices instead of a `Vec<Vec<_>>` per vertex, which matters
+//! when the index covers hundreds of thousands of vertices.
+
+use ktg_common::VertexId;
+
+/// A sequence of sorted hop-level lists packed into one allocation.
+///
+/// Levels are addressed 1-based by the *caller's* numbering: the structure
+/// itself stores `num_levels` consecutive levels and leaves their semantic
+/// offset (NL starts at hop 1, NLRNL reverse lists start at hop `c+1`) to
+/// the owning index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LeveledList {
+    data: Box<[VertexId]>,
+    /// `bounds[i]` = end offset (exclusive) of level `i` in `data`;
+    /// level `i` spans `bounds[i-1]..bounds[i]` with `bounds[-1] = 0`.
+    bounds: Box<[u32]>,
+}
+
+impl LeveledList {
+    /// Builds from explicit levels. Each level must be sorted (checked in
+    /// debug builds).
+    pub fn from_levels(levels: &[Vec<VertexId>]) -> Self {
+        let total: usize = levels.iter().map(Vec::len).sum();
+        debug_assert!(total <= u32::MAX as usize);
+        let mut data = Vec::with_capacity(total);
+        let mut bounds = Vec::with_capacity(levels.len());
+        for level in levels {
+            debug_assert!(level.windows(2).all(|w| w[0] < w[1]), "level not sorted");
+            data.extend_from_slice(level);
+            bounds.push(data.len() as u32);
+        }
+        LeveledList { data: data.into_boxed_slice(), bounds: bounds.into_boxed_slice() }
+    }
+
+    /// Number of levels held.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The sorted list at 0-based slot `slot` (empty slice if out of range).
+    #[inline]
+    pub fn level(&self, slot: usize) -> &[VertexId] {
+        if slot >= self.bounds.len() {
+            return &[];
+        }
+        let start = if slot == 0 { 0 } else { self.bounds[slot - 1] as usize };
+        &self.data[start..self.bounds[slot] as usize]
+    }
+
+    /// Binary-searches `v` in slot `slot`.
+    #[inline]
+    pub fn contains(&self, slot: usize, v: VertexId) -> bool {
+        self.level(slot).binary_search(&v).is_ok()
+    }
+
+    /// Searches `v` across slots `0..=max_slot`, returning the slot where
+    /// found.
+    #[inline]
+    pub fn find_up_to(&self, max_slot: usize, v: VertexId) -> Option<usize> {
+        let end = max_slot.min(self.bounds.len().saturating_sub(1));
+        if self.bounds.is_empty() {
+            return None;
+        }
+        (0..=end).find(|&s| self.contains(s, v))
+    }
+
+    /// Total entries across all levels.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Heap bytes used by this list.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<VertexId>()
+            + self.bounds.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn levels_roundtrip() {
+        let ll = LeveledList::from_levels(&[v(&[1, 3]), v(&[]), v(&[0, 2, 9])]);
+        assert_eq!(ll.num_levels(), 3);
+        assert_eq!(ll.level(0), v(&[1, 3]).as_slice());
+        assert_eq!(ll.level(1), &[]);
+        assert_eq!(ll.level(2), v(&[0, 2, 9]).as_slice());
+        assert_eq!(ll.level(3), &[], "out of range is empty");
+        assert_eq!(ll.total_len(), 5);
+    }
+
+    #[test]
+    fn contains_per_level() {
+        let ll = LeveledList::from_levels(&[v(&[1, 3]), v(&[5])]);
+        assert!(ll.contains(0, VertexId(3)));
+        assert!(!ll.contains(0, VertexId(5)));
+        assert!(ll.contains(1, VertexId(5)));
+        assert!(!ll.contains(9, VertexId(5)));
+    }
+
+    #[test]
+    fn find_up_to_scans_prefix() {
+        let ll = LeveledList::from_levels(&[v(&[1]), v(&[2]), v(&[3])]);
+        assert_eq!(ll.find_up_to(2, VertexId(3)), Some(2));
+        assert_eq!(ll.find_up_to(1, VertexId(3)), None);
+        assert_eq!(ll.find_up_to(10, VertexId(2)), Some(1), "clamped");
+        assert_eq!(ll.find_up_to(10, VertexId(7)), None);
+    }
+
+    #[test]
+    fn empty_list() {
+        let ll = LeveledList::from_levels(&[]);
+        assert_eq!(ll.num_levels(), 0);
+        assert_eq!(ll.find_up_to(5, VertexId(0)), None);
+        assert_eq!(ll.total_len(), 0);
+    }
+}

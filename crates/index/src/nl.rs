@@ -1,0 +1,363 @@
+//! The **NL** index — per-vertex h-hop neighbor lists (paper §V-A).
+//!
+//! For every vertex the index stores the hop levels `1..=h`, where `h` is
+//! chosen as *the level with the most neighbors* ("we choose the number of
+//! m-hop neighbors with the maximal one as h value"). Checking whether
+//! `Dis(u, v) > k` (Algorithm 2) then has two regimes:
+//!
+//! * `h ≥ k` — scan the stored levels `1..=k` for `v`; miss ⇒ farther.
+//! * `h < k` — scan the stored levels, then **expand** level by level
+//!   (neighbors of the current deepest level, minus everything already
+//!   within it) up to level `k`. Expanded levels are cached back into the
+//!   index, mirroring the paper's `L[u_j][j+1] = expandNeighbor(...)`
+//!   assignment. This expansion is the cost the NLRNL index removes, and
+//!   is why NL degrades for large `k` (paper Figure 7b).
+//!
+//! Unlike NLRNL, NL stores *full* lists — both directions of every pair —
+//! which is why its space footprint is larger (paper Figure 9a).
+
+use crate::leveled::LeveledList;
+use crate::oracle::DistanceOracle;
+use crate::space::{BuildStats, IndexSpace};
+use ktg_common::{EpochMarker, FxHashMap, VertexId};
+use ktg_graph::{bfs, BfsScratch, CsrGraph};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// The NL (h-hop neighbors list) index.
+pub struct NlIndex<'g> {
+    graph: &'g CsrGraph,
+    /// Per-vertex `h` (0 for isolated vertices).
+    h: Vec<u32>,
+    /// Per-vertex stored levels `1..=h` (slot `i` ⇔ hop `i + 1`).
+    levels: Vec<LeveledList>,
+    /// Query-time cache of expanded levels: vertex → levels `h+1, h+2, …`.
+    /// An empty level marks frontier exhaustion (all deeper levels empty).
+    expanded: Mutex<ExpansionCache>,
+    stats: BuildStats,
+}
+
+struct ExpansionCache {
+    extra: FxHashMap<u32, Vec<Vec<VertexId>>>,
+    marker: EpochMarker,
+}
+
+impl<'g> NlIndex<'g> {
+    /// Builds the index with one full BFS per vertex, parallelized across
+    /// available cores.
+    pub fn build(graph: &'g CsrGraph) -> Self {
+        let start = Instant::now();
+        let n = graph.num_vertices();
+        let mut h = vec![0u32; n];
+        let mut levels: Vec<LeveledList> = vec![LeveledList::default(); n];
+
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let mut entries = 0usize;
+
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = h
+                .chunks_mut(chunk)
+                .zip(levels.chunks_mut(chunk))
+                .enumerate()
+                .map(|(ci, (h_chunk, level_chunk))| {
+                    scope.spawn(move |_| {
+                        let mut scratch = BfsScratch::new(n);
+                        let base = ci * chunk;
+                        let mut local_entries = 0usize;
+                        for (off, (hv, lv)) in
+                            h_chunk.iter_mut().zip(level_chunk.iter_mut()).enumerate()
+                        {
+                            let v = VertexId::new(base + off);
+                            // The paper picks `h` as the widest level. Hop
+                            // widths of small-world graphs are unimodal, so
+                            // the traversal stops one level past the first
+                            // width decrease — this truncation is what makes
+                            // the NL build cheaper than NLRNL's full BFS
+                            // (Figure 9b). A later width peak would merely
+                            // pick a smaller `h`; correctness never depends
+                            // on the choice (deeper levels expand on demand).
+                            let mut levels =
+                                bfs::collect_levels_while(graph, v, &mut scratch, |lv| {
+                                    lv.len() < 2
+                                        || lv[lv.len() - 1].len() >= lv[lv.len() - 2].len()
+                                });
+                            for level in &mut levels {
+                                level.sort_unstable();
+                            }
+                            let chosen = argmax_level(&levels);
+                            *hv = chosen as u32;
+                            *lv = LeveledList::from_levels(&levels[..chosen]);
+                            local_entries += lv.total_len();
+                        }
+                        local_entries
+                    })
+                })
+                .collect();
+            for handle in handles {
+                entries += handle.join().expect("index build worker panicked");
+            }
+        })
+        .expect("index build scope panicked");
+
+        NlIndex {
+            graph,
+            h,
+            levels,
+            expanded: Mutex::new(ExpansionCache {
+                extra: FxHashMap::default(),
+                marker: EpochMarker::new(n),
+            }),
+            stats: BuildStats { elapsed: start.elapsed(), traversals: n, entries },
+        }
+    }
+
+    /// The per-vertex `h` value.
+    pub fn h(&self, v: VertexId) -> u32 {
+        self.h[v.index()]
+    }
+
+    /// Construction statistics.
+    pub fn build_stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Storage breakdown. NL has no reverse lists; the expansion cache is
+    /// query-time state and reported under `aux_bytes`.
+    pub fn space(&self) -> IndexSpace {
+        let forward_bytes: usize = self.levels.iter().map(LeveledList::heap_bytes).sum();
+        let cache = self.expanded.lock();
+        let cache_bytes: usize = cache
+            .extra
+            .values()
+            .flat_map(|lvls| lvls.iter())
+            .map(|l| l.len() * std::mem::size_of::<VertexId>())
+            .sum();
+        IndexSpace {
+            forward_bytes,
+            reverse_bytes: 0,
+            aux_bytes: self.h.len() * std::mem::size_of::<u32>() + cache_bytes,
+        }
+    }
+
+    /// Algorithm 2: `true` iff `Dis(u, v) > k`, answered from `u`'s lists.
+    fn check(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        if k == 0 {
+            return true; // distinct vertices are at distance ≥ 1 > 0
+        }
+        let h = self.h[u.index()];
+        let lists = &self.levels[u.index()];
+        if h >= k {
+            // Case 1: everything we need is stored.
+            return lists.find_up_to(k as usize - 1, v).is_none();
+        }
+        // Case 2: scan what is stored, then expand h+1 ..= k.
+        if lists.find_up_to(h.saturating_sub(1) as usize, v).is_some() {
+            return false;
+        }
+        self.check_with_expansion(u, v, k, h)
+    }
+
+    /// Expands `u`'s hop levels beyond `h` up to level `k`, caching the
+    /// results, and reports whether `v` was found (⇒ within `k`).
+    fn check_with_expansion(&self, u: VertexId, v: VertexId, k: u32, h: u32) -> bool {
+        let mut cache = self.expanded.lock();
+        let ExpansionCache { extra, marker } = &mut *cache;
+        let extra = extra.entry(u.0).or_default();
+
+        // Check already-cached expansion levels (h+1 ..= h+len).
+        for (i, level) in extra.iter().enumerate() {
+            if h + 1 + i as u32 > k {
+                return true;
+            }
+            if level.binary_search(&v).is_ok() {
+                return false;
+            }
+            if level.is_empty() {
+                return true; // frontier exhausted earlier
+            }
+        }
+
+        let mut depth = h + extra.len() as u32;
+        if depth >= k {
+            return true;
+        }
+
+        // Mark everything within `depth` hops of u.
+        marker.grow(self.graph.num_vertices());
+        marker.reset();
+        marker.mark_vertex(u);
+        let stored = &self.levels[u.index()];
+        for slot in 0..stored.num_levels() {
+            for &x in stored.level(slot) {
+                marker.mark_vertex(x);
+            }
+        }
+        for level in extra.iter() {
+            for &x in level {
+                marker.mark_vertex(x);
+            }
+        }
+
+        while depth < k {
+            // The current deepest level is the expansion frontier.
+            let frontier: Vec<VertexId> = if depth == 0 {
+                vec![u]
+            } else if depth <= h {
+                stored.level(depth as usize - 1).to_vec()
+            } else {
+                extra[(depth - h) as usize - 1].clone()
+            };
+            let mut next: Vec<VertexId> = Vec::new();
+            for x in frontier {
+                for &y in self.graph.neighbors(x) {
+                    if marker.mark_vertex(y) {
+                        next.push(y);
+                    }
+                }
+            }
+            next.sort_unstable();
+            let found = next.binary_search(&v).is_ok();
+            let exhausted = next.is_empty();
+            extra.push(next);
+            depth += 1;
+            if found {
+                return false;
+            }
+            if exhausted {
+                return true;
+            }
+        }
+        true
+    }
+}
+
+impl DistanceOracle for NlIndex<'_> {
+    fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        self.check(u, v, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "nl"
+    }
+}
+
+/// 1-based index of the widest level (0 for no levels). Ties pick the
+/// shallowest, maximizing how many checks stay in Case 1.
+fn argmax_level(levels: &[Vec<VertexId>]) -> usize {
+    let mut best = 0usize;
+    let mut best_len = 0usize;
+    for (i, level) in levels.iter().enumerate() {
+        if level.len() > best_len {
+            best_len = level.len();
+            best = i + 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactOracle;
+
+    /// Path 0-1-2-3-4-5 — distances are easy to eyeball; every level has
+    /// width ≤ 2, h lands at 1.
+    fn path6() -> CsrGraph {
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap()
+    }
+
+    fn assert_matches_exact(g: &CsrGraph, k_max: u32) {
+        let nl = NlIndex::build(g);
+        let exact = ExactOracle::build(g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                for k in 0..=k_max {
+                    assert_eq!(
+                        nl.farther_than(u, v, k),
+                        exact.farther_than(u, v, k),
+                        "({u:?}, {v:?}, k={k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_all_pairs_all_k() {
+        assert_matches_exact(&path6(), 7);
+    }
+
+    #[test]
+    fn star_all_pairs() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        assert_matches_exact(&g, 4);
+    }
+
+    #[test]
+    fn disconnected_all_pairs() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        assert_matches_exact(&g, 5);
+    }
+
+    #[test]
+    fn h_is_widest_level() {
+        // Star from 0: level 1 has 5 vertices → h(0) = 1. Leaf 1: level 1
+        // = {0}, level 2 = {2,3,4,5} → h(1) = 2.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        let nl = NlIndex::build(&g);
+        assert_eq!(nl.h(VertexId(0)), 1);
+        assert_eq!(nl.h(VertexId(1)), 2);
+    }
+
+    #[test]
+    fn expansion_is_cached_and_consistent() {
+        let g = path6();
+        let nl = NlIndex::build(&g);
+        // k = 4 from vertex 0 forces expansion past h.
+        let first = nl.farther_than(VertexId(0), VertexId(5), 4);
+        let second = nl.farther_than(VertexId(0), VertexId(5), 4);
+        assert_eq!(first, second);
+        assert!(first, "Dis(0,5) = 5 > 4");
+        assert!(!nl.farther_than(VertexId(0), VertexId(4), 4));
+        let space = nl.space();
+        assert!(space.aux_bytes > 0, "expansion cache accounted");
+    }
+
+    #[test]
+    fn isolated_vertex_always_farther() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let nl = NlIndex::build(&g);
+        assert!(nl.farther_than(VertexId(0), VertexId(2), 100));
+        assert!(nl.farther_than(VertexId(2), VertexId(0), 100));
+        assert_eq!(nl.h(VertexId(2)), 0);
+    }
+
+    #[test]
+    fn k_zero_semantics() {
+        let g = path6();
+        let nl = NlIndex::build(&g);
+        assert!(nl.farther_than(VertexId(0), VertexId(1), 0));
+        assert!(!nl.farther_than(VertexId(0), VertexId(0), 0));
+    }
+
+    #[test]
+    fn space_positive_for_nonempty() {
+        let g = path6();
+        let nl = NlIndex::build(&g);
+        assert!(nl.space().forward_bytes > 0);
+        assert!(nl.build_stats().entries > 0);
+        assert_eq!(nl.build_stats().traversals, 6);
+    }
+
+    #[test]
+    fn cycle_all_pairs() {
+        let g =
+            CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)])
+                .unwrap();
+        assert_matches_exact(&g, 6);
+    }
+}

@@ -1,0 +1,543 @@
+//! The **NLRNL** index — (c−1)-hop lists + reverse c-hop lists (paper §V-B).
+//!
+//! For each vertex `a` the widest hop level `c` is deliberately *not*
+//! stored. Below it, the forward lists hold levels `1..=c-1`; above it,
+//! the *reverse* lists hold levels `c+1..=ecc(a)` — the neighbors whose
+//! distance from `a` is greater than `c`. A distance check never expands
+//! anything:
+//!
+//! * `k ≤ c−1` — scan forward levels `1..=k`; miss ⇒ farther than `k`.
+//! * `k ≥ c` — scan reverse levels `k+1..=ecc`; hit ⇒ farther than `k`,
+//!   miss ⇒ within `k` (the pair is reachable and its distance is some
+//!   finite level ≤ k).
+//!
+//! Two details the paper leaves implicit, made explicit here:
+//!
+//! 1. The `k ≥ c` rule is only sound for *reachable* pairs — an
+//!    unreachable pair appears in no list but is farther than every `k`.
+//!    We store connected-component labels (O(n) extra) to disambiguate.
+//! 2. Half storage: a pair `{a, b}` with `a < b` is recorded only in `a`'s
+//!    lists ("we only store the hop neighbor whose id is greater than the
+//!    user"), so every check first routes to the smaller endpoint.
+//!
+//! Dynamic maintenance (edge insert/delete) follows the paper's sketch:
+//! identify the vertices whose shortest-path structure the edge touches,
+//! and rebuild exactly their lists. See [`NlrnlIndex::insert_edge`].
+
+use crate::leveled::LeveledList;
+use crate::oracle::DistanceOracle;
+use crate::space::{BuildStats, IndexSpace};
+use ktg_common::VertexId;
+use ktg_graph::components::Components;
+use ktg_graph::{bfs, Adjacency, BfsScratch};
+use std::time::Instant;
+
+/// The NLRNL ((c−1)-hop neighbors list + reverse c-hop neighbors list)
+/// index.
+///
+/// Unlike [`crate::NlIndex`], NLRNL never consults the graph after
+/// construction, so it owns no graph reference and has no lifetime
+/// parameter; dynamic maintenance takes the mutated graph as an argument.
+pub struct NlrnlIndex {
+    n: usize,
+    /// Per-vertex `c` (0 for vertices with no neighbors).
+    c: Vec<u32>,
+    /// Forward levels `1..=c-1`, ids > owner only (slot `i` ⇔ hop `i + 1`).
+    forward: Vec<LeveledList>,
+    /// Reverse levels `c+1..=ecc`, ids > owner only (slot `i` ⇔ hop `c+1+i`).
+    reverse: Vec<LeveledList>,
+    components: Components,
+    stats: BuildStats,
+}
+
+impl NlrnlIndex {
+    /// Builds the index with one full BFS per vertex, parallelized across
+    /// available cores.
+    ///
+    /// ```
+    /// use ktg_graph::CsrGraph;
+    /// use ktg_index::{DistanceOracle, NlrnlIndex};
+    /// use ktg_common::VertexId;
+    ///
+    /// let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+    /// let idx = NlrnlIndex::build(&g);
+    /// assert!(idx.farther_than(VertexId(0), VertexId(4), 3)); // Dis = 4 > 3
+    /// assert!(!idx.farther_than(VertexId(0), VertexId(4), 4));
+    /// assert_eq!(idx.distance(VertexId(0), VertexId(3)), Some(3));
+    /// ```
+    pub fn build<A: Adjacency + Sync>(graph: &A) -> Self {
+        let start = Instant::now();
+        let n = graph.num_vertices();
+        let mut c = vec![0u32; n];
+        let mut forward: Vec<LeveledList> = vec![LeveledList::default(); n];
+        let mut reverse: Vec<LeveledList> = vec![LeveledList::default(); n];
+
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let mut entries = 0usize;
+
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = c
+                .chunks_mut(chunk)
+                .zip(forward.chunks_mut(chunk).zip(reverse.chunks_mut(chunk)))
+                .enumerate()
+                .map(|(ci, (c_chunk, (f_chunk, r_chunk)))| {
+                    scope.spawn(move |_| {
+                        let mut scratch = BfsScratch::new(n);
+                        let base = ci * chunk;
+                        let mut local_entries = 0usize;
+                        for off in 0..c_chunk.len() {
+                            let v = VertexId::new(base + off);
+                            let (cv, fwd, rev) = build_vertex(graph, v, &mut scratch);
+                            local_entries += fwd.total_len() + rev.total_len();
+                            c_chunk[off] = cv;
+                            f_chunk[off] = fwd;
+                            r_chunk[off] = rev;
+                        }
+                        local_entries
+                    })
+                })
+                .collect();
+            for handle in handles {
+                entries += handle.join().expect("index build worker panicked");
+            }
+        })
+        .expect("index build scope panicked");
+
+        NlrnlIndex {
+            n,
+            c,
+            forward,
+            reverse,
+            components: Components::compute(graph),
+            stats: BuildStats { elapsed: start.elapsed(), traversals: n, entries },
+        }
+    }
+
+    /// The per-vertex `c` value.
+    pub fn c(&self, v: VertexId) -> u32 {
+        self.c[v.index()]
+    }
+
+    /// Number of vertices the index covers.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The connected-component label of `v`.
+    pub fn component(&self, v: VertexId) -> u32 {
+        self.components.label(v)
+    }
+
+    /// The forward hop-level lists of `v` (levels `1..=c-1`).
+    pub fn forward_lists(&self, v: VertexId) -> &LeveledList {
+        &self.forward[v.index()]
+    }
+
+    /// The reverse hop-level lists of `v` (levels `c+1..=ecc`).
+    pub fn reverse_lists(&self, v: VertexId) -> &LeveledList {
+        &self.reverse[v.index()]
+    }
+
+    /// Reassembles an index from its serialized parts (see
+    /// [`crate::persist`]). The caller is responsible for the parts being
+    /// mutually consistent — `load_nlrnl` validates them structurally and
+    /// via checksum before calling this.
+    pub(crate) fn from_parts(
+        n: usize,
+        c: Vec<u32>,
+        forward: Vec<LeveledList>,
+        reverse: Vec<LeveledList>,
+        component_labels: Vec<u32>,
+    ) -> Self {
+        let entries = forward.iter().chain(reverse.iter()).map(LeveledList::total_len).sum();
+        NlrnlIndex {
+            n,
+            c,
+            forward,
+            reverse,
+            components: Components::from_labels(component_labels),
+            stats: BuildStats { elapsed: std::time::Duration::ZERO, traversals: 0, entries },
+        }
+    }
+
+    /// Construction statistics.
+    pub fn build_stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Storage breakdown (forward lists, reverse lists, component labels).
+    pub fn space(&self) -> IndexSpace {
+        IndexSpace {
+            forward_bytes: self.forward.iter().map(LeveledList::heap_bytes).sum(),
+            reverse_bytes: self.reverse.iter().map(LeveledList::heap_bytes).sum(),
+            aux_bytes: self.c.len() * std::mem::size_of::<u32>() + self.components.heap_bytes(),
+        }
+    }
+
+    /// `true` iff `Dis(u, v) > k`.
+    fn check(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        if !self.components.same_component(u, v) {
+            return true; // infinite distance
+        }
+        if k == 0 {
+            return true; // distinct vertices: distance ≥ 1
+        }
+        // Route to the smaller id: the pair is stored only there.
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let c = self.c[a.index()];
+        debug_assert!(c >= 1, "reachable pair implies the owner has neighbors");
+        if k <= c.saturating_sub(1) {
+            // Forward regime: levels 1..=k are all stored.
+            self.forward[a.index()].find_up_to(k as usize - 1, b).is_none()
+        } else {
+            // Reverse regime: distance is finite; > k iff it appears at a
+            // reverse level ≥ k+1, i.e. slot ≥ (k+1)-(c+1).
+            let rev = &self.reverse[a.index()];
+            let from_slot = (k - c) as usize;
+            (from_slot..rev.num_levels()).any(|slot| rev.contains(slot, b))
+        }
+    }
+
+    /// Recovers the **exact** hop distance of a pair from the stored lists:
+    /// a forward hit at slot `i` means distance `i + 1`, a reverse hit at
+    /// slot `j` means distance `c + 1 + j`, a total miss within the same
+    /// component means distance exactly `c`, and different components mean
+    /// unreachable (`None`). The index is a complete distance oracle, not
+    /// just a threshold oracle.
+    pub fn distance(&self, u: VertexId, v: VertexId) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        if !self.components.same_component(u, v) {
+            return None;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let c = self.c[a.index()];
+        if let Some(slot) = self.forward[a.index()].find_up_to(usize::MAX, b) {
+            return Some(slot as u32 + 1);
+        }
+        let rev = &self.reverse[a.index()];
+        if let Some(slot) = rev.find_up_to(usize::MAX, b) {
+            return Some(c + 1 + slot as u32);
+        }
+        Some(c)
+    }
+
+    /// Snapshots the state needed to maintain the index across one edge
+    /// mutation. Call **before** mutating the graph, then mutate, then call
+    /// [`NlrnlIndex::apply_update`] with the mutated graph.
+    pub fn prepare_update<A: Adjacency>(&self, graph: &A, x: VertexId, y: VertexId) -> EdgeUpdate {
+        debug_assert_eq!(graph.num_vertices(), self.n, "graph/index size mismatch");
+        let mut scratch = BfsScratch::new(self.n);
+        EdgeUpdate {
+            x,
+            y,
+            dx_old: distances_from(graph, x, &mut scratch),
+            dy_old: distances_from(graph, y, &mut scratch),
+        }
+    }
+
+    /// Maintains the index across the edge mutation captured by `update`
+    /// (insertion or deletion of `{x, y}`): `graph` is the **post-mutation**
+    /// graph.
+    ///
+    /// The rebuilt set is exact, derived from the shortest-path subpath
+    /// property: if `Dis(s, t)` changed, the witnessing path runs through
+    /// the mutated edge, so at least one endpoint changed its distance to
+    /// `x` or `y` ("primary" set `A`). Because a pair is stored only under
+    /// its smaller endpoint, a second pass compares the recovered old
+    /// distance with the fresh BFS from each `b ∈ A` and pulls stale owners
+    /// `a < b, a ∉ A` into the rebuild set. Components are recomputed.
+    pub fn apply_update<A: Adjacency>(&mut self, graph: &A, update: EdgeUpdate) {
+        debug_assert_eq!(graph.num_vertices(), self.n, "graph/index size mismatch");
+        let mut scratch = BfsScratch::new(self.n);
+        let dx_new = distances_from(graph, update.x, &mut scratch);
+        let dy_new = distances_from(graph, update.y, &mut scratch);
+
+        let primary: Vec<VertexId> = (0..self.n)
+            .filter(|&s| update.dx_old[s] != dx_new[s] || update.dy_old[s] != dy_new[s])
+            .map(VertexId::new)
+            .collect();
+
+        // Pass 1: rebuild every primary vertex, and while its fresh BFS
+        // distances are in hand, find smaller non-primary owners whose
+        // stored distance to it went stale.
+        let mut stale_owners: Vec<VertexId> = Vec::new();
+        let mut in_primary = vec![false; self.n];
+        for &s in &primary {
+            in_primary[s.index()] = true;
+        }
+        for &b in &primary {
+            let mut new_dist = vec![u32::MAX; self.n];
+            bfs::bfs_levels(graph, b, usize::MAX, &mut scratch, |t, d| {
+                new_dist[t.index()] = d;
+            });
+            for a in 0..b.index() {
+                if in_primary[a] {
+                    continue;
+                }
+                let a_v = VertexId::new(a);
+                let old = self.distance(a_v, b).unwrap_or(u32::MAX);
+                if old != new_dist[a] {
+                    stale_owners.push(a_v);
+                }
+            }
+            let levels = levels_from_distances(&new_dist, b);
+            let (cv, fwd, rev) = assemble_vertex(b, &levels);
+            self.c[b.index()] = cv;
+            self.forward[b.index()] = fwd;
+            self.reverse[b.index()] = rev;
+        }
+
+        // Pass 2: rebuild the stale owners discovered above.
+        stale_owners.sort_unstable();
+        stale_owners.dedup();
+        for a in stale_owners {
+            let (cv, fwd, rev) = build_vertex(graph, a, &mut scratch);
+            self.c[a.index()] = cv;
+            self.forward[a.index()] = fwd;
+            self.reverse[a.index()] = rev;
+        }
+
+        self.components = Components::compute(graph);
+    }
+}
+
+/// Pre-mutation snapshot for [`NlrnlIndex::apply_update`].
+pub struct EdgeUpdate {
+    x: VertexId,
+    y: VertexId,
+    dx_old: Vec<u32>,
+    dy_old: Vec<u32>,
+}
+
+/// Full single-source distances (`u32::MAX` = unreachable).
+fn distances_from<A: Adjacency>(graph: &A, source: VertexId, scratch: &mut BfsScratch) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.num_vertices()];
+    dist[source.index()] = 0;
+    bfs::bfs_levels(graph, source, usize::MAX, scratch, |v, d| {
+        dist[v.index()] = d;
+    });
+    dist
+}
+
+/// Converts a distance array into sorted hop levels `1..=ecc`.
+fn levels_from_distances(dist: &[u32], source: VertexId) -> Vec<Vec<VertexId>> {
+    let mut levels: Vec<Vec<VertexId>> = Vec::new();
+    for (i, &d) in dist.iter().enumerate() {
+        if d == u32::MAX || i == source.index() {
+            continue;
+        }
+        let d = d as usize;
+        if levels.len() < d {
+            levels.resize_with(d, Vec::new);
+        }
+        levels[d - 1].push(VertexId::new(i));
+    }
+    // Ascending index order ⇒ each level already sorted.
+    levels
+}
+
+/// Packs full hop levels into the `(c, forward, reverse)` triple with
+/// half-storage filtering.
+fn assemble_vertex(v: VertexId, full: &[Vec<VertexId>]) -> (u32, LeveledList, LeveledList) {
+    let c = argmax_level(full);
+    let filter = |levels: &[Vec<VertexId>]| -> Vec<Vec<VertexId>> {
+        levels
+            .iter()
+            .map(|lvl| lvl.iter().copied().filter(|&w| w > v).collect())
+            .collect()
+    };
+    let forward = if c >= 1 { filter(&full[..c - 1]) } else { Vec::new() };
+    let reverse = if c >= 1 { filter(full.get(c..).unwrap_or(&[])) } else { Vec::new() };
+    (
+        c as u32,
+        LeveledList::from_levels(&forward),
+        LeveledList::from_levels(&reverse),
+    )
+}
+
+/// Builds one vertex's `(c, forward, reverse)` lists from a full BFS.
+/// `c` is chosen on the *full* level widths (the paper's criterion), before
+/// half-storage filtering.
+fn build_vertex<A: Adjacency>(
+    graph: &A,
+    v: VertexId,
+    scratch: &mut BfsScratch,
+) -> (u32, LeveledList, LeveledList) {
+    let mut full = bfs::collect_levels(graph, v, usize::MAX, scratch);
+    for level in &mut full {
+        level.sort_unstable();
+    }
+    assemble_vertex(v, &full)
+}
+
+/// 1-based index of the widest level (0 for no levels); ties pick the
+/// shallowest.
+fn argmax_level(levels: &[Vec<VertexId>]) -> usize {
+    let mut best = 0usize;
+    let mut best_len = 0usize;
+    for (i, level) in levels.iter().enumerate() {
+        if level.len() > best_len {
+            best_len = level.len();
+            best = i + 1;
+        }
+    }
+    best
+}
+
+impl DistanceOracle for NlrnlIndex {
+    fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        self.check(u, v, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "nlrnl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactOracle;
+    use ktg_graph::{CsrGraph, DynamicGraph};
+
+    fn assert_matches_exact(g: &CsrGraph, k_max: u32) {
+        let idx = NlrnlIndex::build(g);
+        let exact = ExactOracle::build(g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                for k in 0..=k_max {
+                    assert_eq!(
+                        idx.farther_than(u, v, k),
+                        exact.farther_than(u, v, k),
+                        "({u:?}, {v:?}, k={k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_all_pairs_all_k() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        assert_matches_exact(&g, 7);
+    }
+
+    #[test]
+    fn star_all_pairs() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        assert_matches_exact(&g, 4);
+    }
+
+    #[test]
+    fn disconnected_all_pairs() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        assert_matches_exact(&g, 5);
+    }
+
+    #[test]
+    fn cycle_all_pairs() {
+        let g =
+            CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)])
+                .unwrap();
+        assert_matches_exact(&g, 6);
+    }
+
+    #[test]
+    fn paper_example_u3_u5() {
+        // §V-B's example: checking Dis(u3, u5) > 3 via reverse lists.
+        // Reconstruct the Figure 1 topology (see ktg-core fixtures for the
+        // full keyword-annotated version).
+        let g = CsrGraph::from_edges(
+            12,
+            &[
+                (0, 1), (0, 2), (0, 3), (0, 4), (0, 9), (0, 11),
+                (1, 2), (2, 11), (3, 4), (3, 9), (4, 6), (5, 7),
+                (6, 7), (6, 8), (7, 10), (9, 8),
+            ],
+        )
+        .unwrap();
+        let idx = NlrnlIndex::build(&g);
+        let exact = ExactOracle::build(&g);
+        assert_eq!(
+            idx.farther_than(VertexId(3), VertexId(5), 3),
+            exact.farther_than(VertexId(3), VertexId(5), 3)
+        );
+    }
+
+    #[test]
+    fn reverse_space_smaller_than_full_for_dense_level() {
+        // On a star the widest level (level 1 of the hub, level 2 of each
+        // leaf) is skipped; NLRNL must store strictly fewer entries than NL
+        // would.
+        let g = CsrGraph::from_edges(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7)])
+            .unwrap();
+        let nlrnl = NlrnlIndex::build(&g);
+        let nl = crate::nl::NlIndex::build(&g);
+        assert!(
+            nlrnl.space().forward_bytes + nlrnl.space().reverse_bytes
+                < nl.space().forward_bytes,
+            "nlrnl {} vs nl {}",
+            nlrnl.space().total_bytes(),
+            nl.space().total_bytes()
+        );
+    }
+
+    #[test]
+    fn insert_edge_matches_rebuild() {
+        let mut g = DynamicGraph::new(6);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (4, 5)] {
+            g.insert_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        let mut idx = NlrnlIndex::build(&g);
+        // Connect the two components.
+        let update = idx.prepare_update(&g, VertexId(3), VertexId(4));
+        g.insert_edge(VertexId(3), VertexId(4)).unwrap();
+        idx.apply_update(&g, update);
+        let fresh = NlrnlIndex::build(&g);
+        let exact = ExactOracle::build(&g.to_csr());
+        for u in 0..6 {
+            for v in 0..6 {
+                for k in 0..8 {
+                    let (u, v) = (VertexId(u), VertexId(v));
+                    assert_eq!(idx.farther_than(u, v, k), exact.farther_than(u, v, k));
+                    assert_eq!(idx.farther_than(u, v, k), fresh.farther_than(u, v, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_edge_matches_rebuild() {
+        let mut g = DynamicGraph::new(6);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)] {
+            g.insert_edge(VertexId(u), VertexId(v)).unwrap();
+        }
+        let mut idx = NlrnlIndex::build(&g);
+        let update = idx.prepare_update(&g, VertexId(2), VertexId(3));
+        g.remove_edge(VertexId(2), VertexId(3)).unwrap();
+        idx.apply_update(&g, update);
+        let exact = ExactOracle::build(&g.to_csr());
+        for u in 0..6 {
+            for v in 0..6 {
+                for k in 0..8 {
+                    let (u, v) = (VertexId(u), VertexId(v));
+                    assert_eq!(idx.farther_than(u, v, k), exact.farther_than(u, v, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_and_self() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let idx = NlrnlIndex::build(&g);
+        assert!(!idx.farther_than(VertexId(1), VertexId(1), 0));
+        assert!(idx.farther_than(VertexId(0), VertexId(1), 0));
+    }
+}

@@ -1,0 +1,82 @@
+//! The distance-oracle abstraction.
+//!
+//! Paper Definition 2 calls a pair `{u, v}` a *k-line* when
+//! `Dis(u, v) ≤ k`; a *k-distance group* (Definition 3) contains no k-line.
+//! All KTG algorithms are generic over [`DistanceOracle`], so the same
+//! branch-and-bound code runs with on-demand BFS, the NL index, or the
+//! NLRNL index — the exact configuration matrix of the paper's §VII.
+
+use ktg_common::VertexId;
+
+/// Answers "is the social distance of `u` and `v` greater than `k`?".
+///
+/// Implementations must agree with the hop-count shortest-path distance of
+/// the graph they were built over, with `Dis(u, u) = 0` and
+/// `Dis(u, v) = ∞` for disconnected pairs (infinite distance is *greater
+/// than* any `k`).
+pub trait DistanceOracle: Sync {
+    /// `true` iff `Dis(u, v) > k`.
+    fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool;
+
+    /// `true` iff `{u, v}` is a k-line, i.e. `Dis(u, v) ≤ k`
+    /// (paper Definition 2). The negation of [`Self::farther_than`].
+    #[inline]
+    fn is_kline(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        !self.farther_than(u, v, k)
+    }
+
+    /// Short name for reports ("bfs", "nl", "nlrnl", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Blanket impl so `&O` is usable wherever an oracle is expected.
+impl<O: DistanceOracle + ?Sized> DistanceOracle for &O {
+    #[inline]
+    fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        (**self).farther_than(u, v, k)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake oracle where distance = |u - v| on a line graph.
+    struct LineOracle;
+
+    impl DistanceOracle for LineOracle {
+        fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+            u.0.abs_diff(v.0) > k
+        }
+        fn name(&self) -> &'static str {
+            "line"
+        }
+    }
+
+    #[test]
+    fn kline_is_negation() {
+        let o = LineOracle;
+        assert!(o.farther_than(VertexId(0), VertexId(5), 3));
+        assert!(!o.is_kline(VertexId(0), VertexId(5), 3));
+        assert!(o.is_kline(VertexId(0), VertexId(2), 3));
+    }
+
+    #[test]
+    fn reference_blanket_impl() {
+        let o = LineOracle;
+        let r: &dyn DistanceOracle = &o;
+        assert!(r.farther_than(VertexId(0), VertexId(9), 2));
+        assert_eq!(DistanceOracle::name(&&o), "line");
+    }
+
+    #[test]
+    fn self_distance_never_farther() {
+        let o = LineOracle;
+        assert!(!o.farther_than(VertexId(3), VertexId(3), 0));
+        assert!(o.is_kline(VertexId(3), VertexId(3), 1));
+    }
+}

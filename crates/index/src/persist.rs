@@ -1,0 +1,298 @@
+//! Index persistence.
+//!
+//! NL/NLRNL construction costs one BFS per vertex — minutes on large
+//! graphs — which is the entire reason the indexes exist. A production
+//! deployment builds once and reloads; this module provides a compact,
+//! versioned, checksummed binary format for the NLRNL index (the
+//! recommended one; NL's query-time expansion cache makes persisting it
+//! pointless — rebuilding is as cheap as reloading).
+//!
+//! ## Format
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic   8 bytes  "KTGNLRNL"
+//! version u32      currently 1
+//! n       u64      vertex count
+//! graph fingerprint u64   (vertex count, edge count, degree sequence hash)
+//! per vertex:
+//!   c        u32
+//!   comp     u32
+//!   fwd_lvls u32, then per level: len u32, then len × u32 vertex ids
+//!   rev_lvls u32, same encoding
+//! checksum u64     Fx hash of everything after the magic
+//! ```
+
+use crate::leveled::LeveledList;
+use crate::nlrnl::NlrnlIndex;
+use ktg_common::{KtgError, Result, VertexId};
+use ktg_graph::CsrGraph;
+use std::hash::Hasher;
+use std::io::{BufReader, BufWriter, Read, Write};
+
+const MAGIC: &[u8; 8] = b"KTGNLRNL";
+const VERSION: u32 = 1;
+
+/// A fingerprint binding a persisted index to the graph it was built for:
+/// loading against a different graph is rejected.
+pub fn graph_fingerprint(graph: &CsrGraph) -> u64 {
+    let mut h = ktg_common::FxHasher64::default();
+    h.write_u64(graph.num_vertices() as u64);
+    h.write_u64(graph.num_edges() as u64);
+    for v in graph.vertices() {
+        h.write_u32(graph.degree(v) as u32);
+    }
+    h.finish()
+}
+
+/// A hasher-wrapped writer so the checksum streams with the payload.
+struct ChecksumWriter<W: Write> {
+    inner: W,
+    hasher: ktg_common::FxHasher64,
+}
+
+impl<W: Write> ChecksumWriter<W> {
+    fn new(inner: W) -> Self {
+        ChecksumWriter { inner, hasher: ktg_common::FxHasher64::default() }
+    }
+
+    fn write_u32(&mut self, v: u32) -> Result<()> {
+        self.hasher.write(&v.to_le_bytes());
+        self.inner.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+
+    fn write_u64(&mut self, v: u64) -> Result<()> {
+        self.hasher.write(&v.to_le_bytes());
+        self.inner.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+
+    fn checksum(&self) -> u64 {
+        self.hasher.finish()
+    }
+}
+
+struct ChecksumReader<R: Read> {
+    inner: R,
+    hasher: ktg_common::FxHasher64,
+}
+
+impl<R: Read> ChecksumReader<R> {
+    fn new(inner: R) -> Self {
+        ChecksumReader { inner, hasher: ktg_common::FxHasher64::default() }
+    }
+
+    fn read_u32(&mut self) -> Result<u32> {
+        let mut buf = [0u8; 4];
+        self.inner.read_exact(&mut buf)?;
+        self.hasher.write(&buf);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn read_u64(&mut self) -> Result<u64> {
+        let mut buf = [0u8; 8];
+        self.inner.read_exact(&mut buf)?;
+        self.hasher.write(&buf);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn checksum(&self) -> u64 {
+        self.hasher.finish()
+    }
+}
+
+/// Serializes an NLRNL index. `graph` must be the graph it was built over
+/// (its fingerprint is embedded).
+pub fn save_nlrnl<W: Write>(index: &NlrnlIndex, graph: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    let mut cw = ChecksumWriter::new(&mut w);
+    cw.write_u32(VERSION)?;
+    let n = index.num_vertices();
+    cw.write_u64(n as u64)?;
+    cw.write_u64(graph_fingerprint(graph))?;
+    for i in 0..n {
+        let v = VertexId::new(i);
+        cw.write_u32(index.c(v))?;
+        cw.write_u32(index.component(v))?;
+        for lists in [index.forward_lists(v), index.reverse_lists(v)] {
+            cw.write_u32(lists.num_levels() as u32)?;
+            for slot in 0..lists.num_levels() {
+                let level = lists.level(slot);
+                cw.write_u32(level.len() as u32)?;
+                for &x in level {
+                    cw.write_u32(x.0)?;
+                }
+            }
+        }
+    }
+    let checksum = cw.checksum();
+    w.write_all(&checksum.to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes an NLRNL index, validating the version, the checksum, and
+/// the graph fingerprint.
+///
+/// # Errors
+/// [`KtgError::InvalidInput`] on corruption or version mismatch;
+/// [`KtgError::IndexMismatch`] when the graph differs from build time.
+pub fn load_nlrnl<R: Read>(graph: &CsrGraph, reader: R) -> Result<NlrnlIndex> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(KtgError::input("not a KTG NLRNL index file"));
+    }
+    let mut cr = ChecksumReader::new(&mut r);
+    let version = cr.read_u32()?;
+    if version != VERSION {
+        return Err(KtgError::input(format!(
+            "unsupported index version {version} (expected {VERSION})"
+        )));
+    }
+    let n = cr.read_u64()? as usize;
+    if n != graph.num_vertices() {
+        return Err(KtgError::IndexMismatch(format!(
+            "index covers {n} vertices, graph has {}",
+            graph.num_vertices()
+        )));
+    }
+    let fingerprint = cr.read_u64()?;
+    if fingerprint != graph_fingerprint(graph) {
+        return Err(KtgError::IndexMismatch(
+            "index was built for a different graph (fingerprint mismatch)".to_string(),
+        ));
+    }
+
+    let mut c = Vec::with_capacity(n);
+    let mut components = Vec::with_capacity(n);
+    let mut forward = Vec::with_capacity(n);
+    let mut reverse = Vec::with_capacity(n);
+    for _ in 0..n {
+        c.push(cr.read_u32()?);
+        components.push(cr.read_u32()?);
+        for target in [&mut forward, &mut reverse] {
+            let num_levels = cr.read_u32()? as usize;
+            if num_levels > n {
+                return Err(KtgError::input("corrupt index: level count exceeds |V|"));
+            }
+            let mut levels = Vec::with_capacity(num_levels);
+            for _ in 0..num_levels {
+                let len = cr.read_u32()? as usize;
+                if len > n {
+                    return Err(KtgError::input("corrupt index: level length exceeds |V|"));
+                }
+                let mut level = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let id = cr.read_u32()?;
+                    if id as usize >= n {
+                        return Err(KtgError::input("corrupt index: vertex id out of range"));
+                    }
+                    level.push(VertexId(id));
+                }
+                if !level.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(KtgError::input("corrupt index: level not sorted"));
+                }
+                levels.push(level);
+            }
+            target.push(LeveledList::from_levels(&levels));
+        }
+    }
+    let expected = cr.checksum();
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    if u64::from_le_bytes(buf) != expected {
+        return Err(KtgError::input("corrupt index: checksum mismatch"));
+    }
+    Ok(NlrnlIndex::from_parts(n, c, forward, reverse, components))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DistanceOracle;
+
+    fn sample_graph() -> CsrGraph {
+        CsrGraph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (6, 7)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_answers() {
+        let g = sample_graph();
+        let index = NlrnlIndex::build(&g);
+        let mut buf = Vec::new();
+        save_nlrnl(&index, &g, &mut buf).unwrap();
+        let loaded = load_nlrnl(&g, buf.as_slice()).unwrap();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                for k in 0..8 {
+                    assert_eq!(
+                        index.farther_than(u, v, k),
+                        loaded.farther_than(u, v, k),
+                        "({u:?}, {v:?}, k={k})"
+                    );
+                }
+                assert_eq!(index.distance(u, v), loaded.distance(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let g = sample_graph();
+        assert!(load_nlrnl(&g, b"NOTANIDX________".as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let g = sample_graph();
+        let index = NlrnlIndex::build(&g);
+        let mut buf = Vec::new();
+        save_nlrnl(&index, &g, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_nlrnl(&g, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bitflip_fails_checksum() {
+        let g = sample_graph();
+        let index = NlrnlIndex::build(&g);
+        let mut buf = Vec::new();
+        save_nlrnl(&index, &g, &mut buf).unwrap();
+        // Flip a byte in the middle of the payload.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        assert!(load_nlrnl(&g, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn different_graph_rejected() {
+        let g = sample_graph();
+        let index = NlrnlIndex::build(&g);
+        let mut buf = Vec::new();
+        save_nlrnl(&index, &g, &mut buf).unwrap();
+        // Same vertex count, different topology.
+        let other =
+            CsrGraph::from_edges(8, &[(0, 2), (2, 4), (4, 6), (6, 0), (1, 3), (3, 5)]).unwrap();
+        match load_nlrnl(&other, buf.as_slice()) {
+            Err(KtgError::IndexMismatch(_)) => {}
+            Err(other) => panic!("expected IndexMismatch, got error {other}"),
+            Ok(_) => panic!("expected IndexMismatch, got a loaded index"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_edges() {
+        let a = sample_graph();
+        let b = CsrGraph::from_edges(8, &[(0, 1)]).unwrap();
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+    }
+}

@@ -1,0 +1,96 @@
+//! Inverted keyword index.
+//!
+//! Maps each keyword to the sorted list of vertices carrying it. Query
+//! compilation (building per-vertex `W_Q` masks) walks only the posting
+//! lists of the `|W_Q| ≤ 64` query keywords instead of scanning every
+//! vertex's keyword set — the difference between O(Σ postings) and
+//! O(total pairs) per query.
+
+use crate::vertex_keywords::VertexKeywords;
+use crate::vocab::KeywordId;
+use ktg_common::VertexId;
+
+/// keyword → sorted posting list of vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvertedIndex {
+    /// Indexed by keyword id; keywords beyond the largest seen have empty
+    /// postings.
+    postings: Vec<Vec<VertexId>>,
+}
+
+impl InvertedIndex {
+    /// Builds the index from per-vertex keyword sets. `num_keywords` is the
+    /// vocabulary size (posting slots are allocated even for unused ids).
+    pub fn build(vertex_keywords: &VertexKeywords, num_keywords: usize) -> Self {
+        let mut postings: Vec<Vec<VertexId>> = vec![Vec::new(); num_keywords];
+        for v in 0..vertex_keywords.num_vertices() {
+            let v = VertexId::new(v);
+            for &k in vertex_keywords.keywords(v) {
+                debug_assert!(k.index() < num_keywords, "{k:?} beyond vocabulary");
+                postings[k.index()].push(v);
+            }
+        }
+        // Vertices were visited in increasing order, so postings are sorted.
+        InvertedIndex { postings }
+    }
+
+    /// The sorted posting list for keyword `k` (empty if unused).
+    #[inline]
+    pub fn posting(&self, k: KeywordId) -> &[VertexId] {
+        &self.postings[k.index()]
+    }
+
+    /// Document frequency of `k`: how many vertices carry it.
+    #[inline]
+    pub fn frequency(&self, k: KeywordId) -> usize {
+        self.postings[k.index()].len()
+    }
+
+    /// Number of keyword slots.
+    pub fn num_keywords(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.postings.capacity() * std::mem::size_of::<Vec<VertexId>>()
+            + self
+                .postings
+                .iter()
+                .map(|p| p.capacity() * std::mem::size_of::<VertexId>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_keywords::VertexKeywords;
+
+    fn fixture() -> InvertedIndex {
+        let vk = VertexKeywords::from_lists(&[
+            vec![KeywordId(0), KeywordId(2)],
+            vec![KeywordId(2)],
+            vec![],
+            vec![KeywordId(0)],
+        ]);
+        InvertedIndex::build(&vk, 4)
+    }
+
+    #[test]
+    fn postings_sorted_and_complete() {
+        let idx = fixture();
+        assert_eq!(idx.posting(KeywordId(0)), &[VertexId(0), VertexId(3)]);
+        assert_eq!(idx.posting(KeywordId(2)), &[VertexId(0), VertexId(1)]);
+        assert_eq!(idx.posting(KeywordId(1)), &[]);
+        assert_eq!(idx.posting(KeywordId(3)), &[]);
+    }
+
+    #[test]
+    fn frequencies() {
+        let idx = fixture();
+        assert_eq!(idx.frequency(KeywordId(0)), 2);
+        assert_eq!(idx.frequency(KeywordId(1)), 0);
+        assert_eq!(idx.num_keywords(), 4);
+    }
+}

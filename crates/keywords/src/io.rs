@@ -1,0 +1,143 @@
+//! Keyword-profile text I/O.
+//!
+//! The on-disk companion to an edge list: one line per vertex,
+//! `vertex_id<TAB>term1,term2,...`, `#` comments allowed. Vertices may be
+//! listed in any order and omitted entirely (empty profile). The format is
+//! how the CLI persists generated datasets and how real keyword profiles
+//! are supplied alongside SNAP edge lists.
+
+use crate::vertex_keywords::{VertexKeywords, VertexKeywordsBuilder};
+use crate::vocab::Vocabulary;
+use ktg_common::{KtgError, Result, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes `keywords` (resolved through `vocab`) as profile lines.
+pub fn write_keywords<W: Write>(
+    vocab: &Vocabulary,
+    keywords: &VertexKeywords,
+    writer: W,
+) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# ktg keyword profiles: {} vertices", keywords.num_vertices())?;
+    for v in 0..keywords.num_vertices() {
+        let list = keywords.keywords(VertexId::new(v));
+        if list.is_empty() {
+            continue;
+        }
+        let terms: Vec<&str> = list.iter().map(|&k| vocab.term(k)).collect();
+        writeln!(w, "{v}\t{}", terms.join(","))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads profile lines for a graph of `num_vertices` vertices, interning
+/// terms into a fresh vocabulary.
+///
+/// # Errors
+/// [`KtgError::InvalidInput`] on malformed lines or out-of-range ids.
+pub fn read_keywords<R: Read>(
+    num_vertices: usize,
+    reader: R,
+) -> Result<(Vocabulary, VertexKeywords)> {
+    let reader = BufReader::new(reader);
+    let mut vocab = Vocabulary::new();
+    let mut builder = VertexKeywordsBuilder::new(num_vertices);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (id_part, terms_part) = trimmed.split_once(['\t', ' ']).ok_or_else(|| {
+            KtgError::input(format!("line {}: expected '<id>\\t<terms>'", lineno + 1))
+        })?;
+        let id: usize = id_part
+            .parse()
+            .map_err(|e| KtgError::input(format!("line {}: {e}", lineno + 1)))?;
+        if id >= num_vertices {
+            return Err(KtgError::input(format!(
+                "line {}: vertex {id} out of range for {num_vertices} vertices",
+                lineno + 1
+            )));
+        }
+        for term in terms_part.split(',') {
+            let term = term.trim();
+            if term.is_empty() {
+                continue;
+            }
+            let k = vocab.intern(term);
+            builder.add(VertexId::new(id), k);
+        }
+    }
+    Ok((vocab, builder.build()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::KeywordId;
+
+    #[test]
+    fn roundtrip() {
+        let mut vocab = Vocabulary::new();
+        let ids = vocab.intern_all(["graph", "query", "db"]);
+        let vk = VertexKeywords::from_lists(&[
+            vec![ids[0], ids[2]],
+            vec![],
+            vec![ids[1]],
+        ]);
+        let mut buf = Vec::new();
+        write_keywords(&vocab, &vk, &mut buf).unwrap();
+        let (vocab2, vk2) = read_keywords(3, buf.as_slice()).unwrap();
+        // Term sets must match per vertex (ids may be re-interned).
+        for v in 0..3 {
+            let a: Vec<&str> =
+                vk.keywords(VertexId::new(v)).iter().map(|&k| vocab.term(k)).collect();
+            let mut b: Vec<&str> =
+                vk2.keywords(VertexId::new(v)).iter().map(|&k| vocab2.term(k)).collect();
+            b.sort();
+            let mut a_sorted = a.clone();
+            a_sorted.sort();
+            assert_eq!(a_sorted, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0\ta,b\n";
+        let (vocab, vk) = read_keywords(2, text.as_bytes()).unwrap();
+        assert_eq!(vocab.len(), 2);
+        assert_eq!(vk.keywords(VertexId(0)).len(), 2);
+        assert!(vk.keywords(VertexId(1)).is_empty());
+    }
+
+    #[test]
+    fn space_separator_accepted() {
+        let (_, vk) = read_keywords(1, "0 x,y,z".as_bytes()).unwrap();
+        assert_eq!(vk.keywords(VertexId(0)).len(), 3);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(read_keywords(2, "5\ta".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        assert!(read_keywords(2, "not-a-number\ta".as_bytes()).is_err());
+        assert!(read_keywords(2, "0".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_terms_collapse() {
+        let (_, vk) = read_keywords(1, "0\ta,a,a".as_bytes()).unwrap();
+        assert_eq!(vk.keywords(VertexId(0)), &[KeywordId(0)]);
+    }
+
+    #[test]
+    fn empty_terms_ignored() {
+        let (_, vk) = read_keywords(1, "0\ta,,b,".as_bytes()).unwrap();
+        assert_eq!(vk.keywords(VertexId(0)).len(), 2);
+    }
+}

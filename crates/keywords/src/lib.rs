@@ -1,0 +1,31 @@
+//! # `ktg-keywords`
+//!
+//! Keyword substrate for the KTG (ICDE 2023) reproduction: the `κ` part of
+//! the paper's attributed social network `G = (V, E, κ)`.
+//!
+//! * [`Vocabulary`] — interned keyword strings with dense [`KeywordId`]s.
+//! * [`VertexKeywords`] — per-vertex keyword sets in CSR layout.
+//! * [`InvertedIndex`] — keyword → sorted posting list of vertices.
+//! * [`QueryKeywords`] / [`QueryMasks`] — a query keyword set `W_Q`
+//!   (`|W_Q| ≤ 64`) compiled into per-vertex `u64` bitmasks, so the hot
+//!   coverage computations of the branch-and-bound search reduce to
+//!   bitwise OR + popcount.
+//! * [`coverage`] — the paper's Definitions 5, 6 and 8: query keyword
+//!   coverage of a vertex/group and valid keyword coverage w.r.t. an
+//!   intermediate result.
+
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod inverted;
+pub mod io;
+pub mod query;
+pub mod vertex_keywords;
+pub mod vocab;
+
+pub use inverted::InvertedIndex;
+pub use query::{QueryKeywords, QueryMasks};
+pub use vertex_keywords::{VertexKeywords, VertexKeywordsBuilder};
+pub use vocab::{KeywordId, Vocabulary};

@@ -1,0 +1,149 @@
+//! Per-vertex keyword sets.
+//!
+//! The paper associates each vertex `v` with a keyword set `k_v ⊆ κ`.
+//! [`VertexKeywords`] stores all of them in one CSR-style arena: a shared
+//! keyword-id array plus a per-vertex offset table. Lists are sorted and
+//! deduplicated, enabling merge-style intersections.
+
+use crate::vocab::KeywordId;
+use ktg_common::VertexId;
+
+/// Immutable per-vertex keyword sets in CSR layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexKeywords {
+    offsets: Vec<u64>,
+    keywords: Vec<KeywordId>,
+}
+
+impl VertexKeywords {
+    /// Number of vertices covered.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of (vertex, keyword) pairs.
+    #[inline]
+    pub fn num_pairs(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// The sorted keyword list of `v`.
+    #[inline]
+    pub fn keywords(&self, v: VertexId) -> &[KeywordId] {
+        let i = v.index();
+        &self.keywords[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Whether `v` carries keyword `k` (binary search).
+    #[inline]
+    pub fn has_keyword(&self, v: VertexId, k: KeywordId) -> bool {
+        self.keywords(v).binary_search(&k).is_ok()
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u64>()
+            + self.keywords.capacity() * std::mem::size_of::<KeywordId>()
+    }
+
+    /// Builds from one explicit list per vertex (convenience for fixtures).
+    pub fn from_lists(lists: &[Vec<KeywordId>]) -> Self {
+        let mut b = VertexKeywordsBuilder::new(lists.len());
+        for (v, list) in lists.iter().enumerate() {
+            for &k in list {
+                b.add(VertexId::new(v), k);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Builder for [`VertexKeywords`]; accepts pairs in any order, dedups.
+#[derive(Clone, Debug)]
+pub struct VertexKeywordsBuilder {
+    num_vertices: usize,
+    pairs: Vec<(VertexId, KeywordId)>,
+}
+
+impl VertexKeywordsBuilder {
+    /// Creates a builder for `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        VertexKeywordsBuilder { num_vertices, pairs: Vec::new() }
+    }
+
+    /// Records that vertex `v` carries keyword `k`.
+    ///
+    /// # Panics
+    /// Debug-panics if `v` is out of range.
+    pub fn add(&mut self, v: VertexId, k: KeywordId) {
+        debug_assert!(v.index() < self.num_vertices, "{v:?} out of range");
+        self.pairs.push((v, k));
+    }
+
+    /// Finalizes into [`VertexKeywords`].
+    pub fn build(mut self) -> VertexKeywords {
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
+
+        let mut offsets = Vec::with_capacity(self.num_vertices + 1);
+        let mut keywords = Vec::with_capacity(self.pairs.len());
+        offsets.push(0u64);
+        let mut cursor = 0usize;
+        for v in 0..self.num_vertices {
+            while cursor < self.pairs.len() && self.pairs[cursor].0.index() == v {
+                keywords.push(self.pairs[cursor].1);
+                cursor += 1;
+            }
+            offsets.push(keywords.len() as u64);
+        }
+        VertexKeywords { offsets, keywords }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut b = VertexKeywordsBuilder::new(3);
+        b.add(VertexId(1), KeywordId(5));
+        b.add(VertexId(1), KeywordId(2));
+        b.add(VertexId(2), KeywordId(0));
+        let vk = b.build();
+        assert_eq!(vk.keywords(VertexId(0)), &[]);
+        assert_eq!(vk.keywords(VertexId(1)), &[KeywordId(2), KeywordId(5)]);
+        assert!(vk.has_keyword(VertexId(2), KeywordId(0)));
+        assert!(!vk.has_keyword(VertexId(2), KeywordId(1)));
+        assert_eq!(vk.num_pairs(), 3);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut b = VertexKeywordsBuilder::new(1);
+        b.add(VertexId(0), KeywordId(7));
+        b.add(VertexId(0), KeywordId(7));
+        let vk = b.build();
+        assert_eq!(vk.keywords(VertexId(0)).len(), 1);
+    }
+
+    #[test]
+    fn from_lists_matches_builder() {
+        let vk = VertexKeywords::from_lists(&[
+            vec![KeywordId(1), KeywordId(0)],
+            vec![],
+            vec![KeywordId(3)],
+        ]);
+        assert_eq!(vk.num_vertices(), 3);
+        assert_eq!(vk.keywords(VertexId(0)), &[KeywordId(0), KeywordId(1)]);
+        assert_eq!(vk.keywords(VertexId(1)), &[]);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let vk = VertexKeywordsBuilder::new(2).build();
+        assert_eq!(vk.num_vertices(), 2);
+        assert_eq!(vk.num_pairs(), 0);
+    }
+}

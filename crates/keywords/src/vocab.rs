@@ -1,0 +1,136 @@
+//! Interned keyword vocabulary.
+//!
+//! The paper's keyword universe `κ = {k_1, …, k_m}` is a set of strings
+//! (research terms in the running example: "SN", "QP", "DQ", …). All
+//! algorithm-facing code works with dense [`KeywordId`]s; strings appear
+//! only at the API boundary and in reports.
+
+use ktg_common::FxHashMap;
+use std::fmt;
+
+/// A dense keyword handle into a [`Vocabulary`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct KeywordId(pub u32);
+
+impl KeywordId {
+    /// Returns the id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for KeywordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// An append-only string interner for keywords.
+#[derive(Clone, Debug, Default)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    by_term: FxHashMap<String, KeywordId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its id (existing id if already present).
+    pub fn intern(&mut self, term: &str) -> KeywordId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = KeywordId(self.terms.len() as u32);
+        self.terms.push(term.to_owned());
+        self.by_term.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Looks up a term without interning.
+    pub fn get(&self, term: &str) -> Option<KeywordId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The string for an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn term(&self, id: KeywordId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct keywords (`m` in the paper).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns a batch, returning ids in order (convenience for fixtures).
+    pub fn intern_all<'a, I: IntoIterator<Item = &'a str>>(&mut self, terms: I) -> Vec<KeywordId> {
+        terms.into_iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Builds a synthetic vocabulary `t0, t1, …` of the given size
+    /// (used by the dataset generators).
+    pub fn synthetic(size: usize) -> Self {
+        let mut v = Self::new();
+        for i in 0..size {
+            v.intern(&format!("t{i}"));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("graph");
+        let b = v.intern("graph");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_order() {
+        let mut v = Vocabulary::new();
+        let ids = v.intern_all(["a", "b", "c"]);
+        assert_eq!(ids, vec![KeywordId(0), KeywordId(1), KeywordId(2)]);
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("social network");
+        assert_eq!(v.term(id), "social network");
+        assert_eq!(v.get("social network"), Some(id));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn synthetic_sizes() {
+        let v = Vocabulary::synthetic(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.get("t99"), Some(KeywordId(99)));
+        assert_eq!(v.get("t100"), None);
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

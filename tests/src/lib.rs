@@ -1,0 +1,90 @@
+//! Shared helpers for the workspace integration & property tests.
+//!
+//! The proptest suites need "arbitrary attributed social networks": a
+//! seeded builder here keeps the strategies small (proptest shrinks over
+//! `(n, edge seed, keyword seed)` triples instead of raw adjacency
+//! matrices).
+
+use ktg_core::AttributedGraph;
+use ktg_graph::{CsrGraph, GraphBuilder, VertexId};
+use ktg_keywords::{KeywordId, QueryKeywords, VertexKeywordsBuilder, Vocabulary};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministically builds a random graph: `n` vertices, each possible
+/// edge present with probability `density`.
+pub fn random_graph(n: usize, density: f64, seed: u64) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(density) {
+                b.add_edge(VertexId::new(u), VertexId::new(v)).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Deterministically builds a random attributed network over `vocab_size`
+/// keywords, each vertex carrying `0..=max_kw` of them.
+pub fn random_network(
+    n: usize,
+    density: f64,
+    vocab_size: usize,
+    max_kw: usize,
+    seed: u64,
+) -> AttributedGraph {
+    let graph = random_graph(n, density, seed);
+    let vocab = Vocabulary::synthetic(vocab_size);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+    let mut kb = VertexKeywordsBuilder::new(n);
+    for v in 0..n {
+        let count = rng.gen_range(0..=max_kw.min(vocab_size));
+        for _ in 0..count {
+            kb.add(VertexId::new(v), KeywordId(rng.gen_range(0..vocab_size as u32)));
+        }
+    }
+    AttributedGraph::new(graph, vocab, kb.build())
+}
+
+/// A query keyword set of `size` keywords drawn from the network's
+/// vocabulary (uniformly; the workload crate handles frequency weighting).
+pub fn random_query(net: &AttributedGraph, size: usize, seed: u64) -> QueryKeywords {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+    let vocab = net.vocab().len();
+    let size = size.min(vocab).max(1);
+    let mut ids = Vec::with_capacity(size);
+    while ids.len() < size {
+        let k = KeywordId(rng.gen_range(0..vocab as u32));
+        if !ids.contains(&k) {
+            ids.push(k);
+        }
+    }
+    QueryKeywords::new(ids).expect("validated size")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        assert_eq!(random_graph(10, 0.3, 5), random_graph(10, 0.3, 5));
+        assert_ne!(random_graph(10, 0.3, 5), random_graph(10, 0.3, 6));
+    }
+
+    #[test]
+    fn random_network_shapes() {
+        let net = random_network(12, 0.25, 6, 3, 1);
+        assert_eq!(net.num_vertices(), 12);
+        assert_eq!(net.vocab().len(), 6);
+    }
+
+    #[test]
+    fn random_query_size() {
+        let net = random_network(12, 0.25, 6, 3, 1);
+        assert_eq!(random_query(&net, 4, 9).len(), 4);
+        assert_eq!(random_query(&net, 99, 9).len(), 6, "clamped to vocab");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: every branch-and-bound variant is **exact**.
+//!
+//! On arbitrary attributed networks, each algorithm configuration must
+//! return groups with the same top-N coverage multiset as brute force,
+//! and every returned group must be feasible (size p, pairwise distance
+//! > k, every member covering ≥ 1 query keyword).
+
+use ktg_core::{bb, brute, KtgQuery, MemberOrdering};
+use ktg_index::{DistanceOracle, ExactOracle};
+use ktg_integration_tests::{random_network, random_query};
+use proptest::prelude::*;
+
+fn coverage_counts(groups: &[ktg_core::Group]) -> Vec<u32> {
+    groups.iter().map(|g| g.coverage_count()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bb_matches_brute_force(
+        n in 4usize..18,
+        density in 0.05f64..0.5,
+        seed in 0u64..1000,
+        p in 2usize..4,
+        k in 0u32..4,
+        top_n in 1usize..4,
+        wq in 2usize..5,
+    ) {
+        let net = random_network(n, density, 6, 3, seed);
+        let query = KtgQuery::new(random_query(&net, wq, seed), p, k, top_n).expect("valid");
+        let oracle = ExactOracle::build(net.graph());
+        let reference = brute::solve(&net, &query, &oracle);
+
+        for ordering in [
+            MemberOrdering::Qkc,
+            MemberOrdering::Vkc,
+            MemberOrdering::VkcDeg,
+            MemberOrdering::VkcDegDesc,
+        ] {
+            let out = bb::solve(&net, &query, &oracle, &bb::BbOptions::vkc().with_ordering(ordering));
+            prop_assert_eq!(
+                coverage_counts(&out.groups),
+                coverage_counts(&reference.groups),
+                "ordering {:?} diverged from brute force", ordering
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_toggles_stay_exact(
+        n in 4usize..16,
+        density in 0.05f64..0.5,
+        seed in 0u64..1000,
+        k in 0u32..3,
+    ) {
+        let net = random_network(n, density, 5, 3, seed);
+        let query = KtgQuery::new(random_query(&net, 3, seed), 3, k, 2).expect("valid");
+        let oracle = ExactOracle::build(net.graph());
+        let reference = brute::solve(&net, &query, &oracle);
+        for (kp, kf) in [(true, true), (false, true), (true, false), (false, false)] {
+            let opts = bb::BbOptions {
+                keyword_pruning: kp,
+                kline_filtering: kf,
+                ..bb::BbOptions::vkc_deg()
+            };
+            let out = bb::solve(&net, &query, &oracle, &opts);
+            prop_assert_eq!(
+                coverage_counts(&out.groups),
+                coverage_counts(&reference.groups),
+                "kp={} kf={}", kp, kf
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_always_feasible(
+        n in 4usize..20,
+        density in 0.05f64..0.6,
+        seed in 0u64..1000,
+        p in 2usize..5,
+        k in 0u32..4,
+    ) {
+        let net = random_network(n, density, 6, 3, seed);
+        let query = KtgQuery::new(random_query(&net, 4, seed), p, k, 3).expect("valid");
+        let oracle = ExactOracle::build(net.graph());
+        let masks = net.compile(query.keywords());
+        let out = bb::solve(&net, &query, &oracle, &bb::BbOptions::vkc_deg());
+        for g in &out.groups {
+            prop_assert_eq!(g.len(), p, "group size must be exactly p");
+            // Pairwise tenuity.
+            for (i, &u) in g.members().iter().enumerate() {
+                for &v in &g.members()[i + 1..] {
+                    prop_assert!(
+                        oracle.farther_than(u, v, k),
+                        "{:?} and {:?} within {} hops", u, v, k
+                    );
+                }
+            }
+            // Per-member keyword constraint: 0 < QKC(v).
+            for &v in g.members() {
+                prop_assert!(masks.mask(v) != 0, "{:?} covers no query keyword", v);
+            }
+            // Reported mask is the true union.
+            let union = g.members().iter().fold(0u64, |m, &v| m | masks.mask(v));
+            prop_assert_eq!(g.mask(), union);
+        }
+        // Descending coverage order.
+        for w in out.groups.windows(2) {
+            prop_assert!(w[0].coverage_count() >= w[1].coverage_count());
+        }
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully(
+        n in 6usize..16,
+        seed in 0u64..500,
+    ) {
+        let net = random_network(n, 0.2, 5, 3, seed);
+        let query = KtgQuery::new(random_query(&net, 3, seed), 3, 1, 2).expect("valid");
+        let oracle = ExactOracle::build(net.graph());
+        let opts = bb::BbOptions { node_budget: Some(3), ..bb::BbOptions::vkc_deg() };
+        let out = bb::solve(&net, &query, &oracle, &opts);
+        // Whatever is returned must still be feasible.
+        for g in &out.groups {
+            prop_assert_eq!(g.len(), 3);
+        }
+        prop_assert!(out.stats.nodes <= 5, "budget respected (± the final node)");
+    }
+}

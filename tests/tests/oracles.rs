@@ -1,0 +1,220 @@
+//! Property tests: every distance oracle agrees with ground truth.
+//!
+//! NL, NLRNL and the BFS oracle must answer `Dis(u, v) > k` identically
+//! to the all-pairs table, for every pair and every k, on arbitrary
+//! graphs — including disconnected ones. NLRNL's exact distance recovery
+//! and dynamic maintenance are covered here too.
+
+use ktg_graph::{bfs, DynamicGraph, VertexId};
+use ktg_index::{BfsOracle, DistanceOracle, ExactOracle, NlIndex, NlrnlIndex, PllIndex};
+use ktg_integration_tests::random_graph;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_oracles_agree_with_ground_truth(
+        n in 2usize..24,
+        density in 0.0f64..0.6,
+        seed in 0u64..2000,
+    ) {
+        let g = random_graph(n, density, seed);
+        let exact = ExactOracle::build(&g);
+        let nl = NlIndex::build(&g);
+        let nlrnl = NlrnlIndex::build(&g);
+        let pll = PllIndex::build(&g);
+        let bfs_oracle = BfsOracle::new(&g);
+        let k_max = 2 + n as u32; // beyond any possible diameter
+        for u in g.vertices() {
+            for v in g.vertices() {
+                for k in 0..k_max {
+                    let truth = exact.farther_than(u, v, k);
+                    prop_assert_eq!(nl.farther_than(u, v, k), truth, "NL ({:?},{:?},{})", u, v, k);
+                    prop_assert_eq!(nlrnl.farther_than(u, v, k), truth, "NLRNL ({:?},{:?},{})", u, v, k);
+                    prop_assert_eq!(pll.farther_than(u, v, k), truth, "PLL ({:?},{:?},{})", u, v, k);
+                    prop_assert_eq!(bfs_oracle.farther_than(u, v, k), truth, "BFS ({:?},{:?},{})", u, v, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nlrnl_distance_recovery_is_exact(
+        n in 2usize..20,
+        density in 0.0f64..0.6,
+        seed in 0u64..2000,
+    ) {
+        let g = random_graph(n, density, seed);
+        let exact = ExactOracle::build(&g);
+        let nlrnl = NlrnlIndex::build(&g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let truth = exact.distance(u, v);
+                let got = nlrnl.distance(u, v);
+                if truth == u32::MAX {
+                    prop_assert_eq!(got, None);
+                } else {
+                    prop_assert_eq!(got, Some(truth), "({:?}, {:?})", u, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nlrnl_dynamic_updates_match_rebuild(
+        n in 3usize..16,
+        density in 0.05f64..0.5,
+        seed in 0u64..1000,
+        mutations in 1usize..6,
+    ) {
+        let csr = random_graph(n, density, seed);
+        let mut graph = DynamicGraph::from_csr(&csr);
+        let mut index = NlrnlIndex::build(&graph);
+        let mut s = seed;
+        for _ in 0..mutations {
+            // Deterministic pseudo-random mutation stream.
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = VertexId((s >> 16) as u32 % n as u32);
+            let v = VertexId((s >> 40) as u32 % n as u32);
+            if u == v {
+                continue;
+            }
+            let update = index.prepare_update(&graph, u, v);
+            if graph.has_edge(u, v) {
+                graph.remove_edge(u, v).expect("in range");
+            } else {
+                graph.insert_edge(u, v).expect("in range");
+            }
+            index.apply_update(&graph, update);
+
+            let fresh = NlrnlIndex::build(&graph);
+            for a in 0..n {
+                for b in 0..n {
+                    let (a, b) = (VertexId(a as u32), VertexId(b as u32));
+                    prop_assert_eq!(
+                        index.distance(a, b),
+                        fresh.distance(a, b),
+                        "distance mismatch after mutating ({:?}, {:?})", u, v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nl_expansion_cache_is_stable(
+        n in 4usize..20,
+        density in 0.05f64..0.3,
+        seed in 0u64..1000,
+    ) {
+        let g = random_graph(n, density, seed);
+        let nl = NlIndex::build(&g);
+        let exact = ExactOracle::build(&g);
+        // Ask in an order that forces expansion (large k first), then
+        // re-ask everything: cached answers must stay correct.
+        let k_max = 2 + n as u32;
+        for round in 0..2 {
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    for k in (0..k_max).rev() {
+                        prop_assert_eq!(
+                            nl.farther_than(u, v, k),
+                            exact.farther_than(u, v, k),
+                            "round {} ({:?},{:?},{})", round, u, v, k
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_matches_table(
+        n in 2usize..24,
+        density in 0.0f64..0.5,
+        seed in 0u64..2000,
+    ) {
+        let g = random_graph(n, density, seed);
+        let table = bfs::all_pairs_distances(&g);
+        let mut scratch = ktg_graph::BfsScratch::new(n);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let truth = table[u.index()][v.index()];
+                let got = bfs::distance_bounded(&g, u, v, n + 2, &mut scratch);
+                if truth == u32::MAX {
+                    prop_assert_eq!(got, None);
+                } else {
+                    prop_assert_eq!(got, Some(truth));
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn nlrnl_persistence_roundtrip(
+        n in 2usize..20,
+        density in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        use ktg_index::persist;
+        let g = random_graph(n, density, seed);
+        let index = NlrnlIndex::build(&g);
+        let mut buf = Vec::new();
+        persist::save_nlrnl(&index, &g, &mut buf).expect("serialize");
+        let loaded = persist::load_nlrnl(&g, buf.as_slice()).expect("deserialize");
+        for u in g.vertices() {
+            for v in g.vertices() {
+                prop_assert_eq!(index.distance(u, v), loaded.distance(u, v));
+                for k in 0..(n as u32 + 2) {
+                    prop_assert_eq!(
+                        index.farther_than(u, v, k),
+                        loaded.farther_than(u, v, k)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_wrapper_matches_exact_after_mutations(
+        n in 3usize..14,
+        density in 0.05f64..0.5,
+        seed in 0u64..500,
+        mutations in 1usize..5,
+    ) {
+        use ktg_index::DynamicNlrnl;
+        let csr = random_graph(n, density, seed);
+        let mut dynamic = DynamicNlrnl::new(&csr);
+        let mut s = seed;
+        for _ in 0..mutations {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let u = VertexId((s >> 16) as u32 % n as u32);
+            let v = VertexId((s >> 40) as u32 % n as u32);
+            if u == v {
+                continue;
+            }
+            if dynamic.graph().has_edge(u, v) {
+                dynamic.remove_edge(u, v).expect("valid");
+            } else {
+                dynamic.insert_edge(u, v).expect("valid");
+            }
+        }
+        let exact = ExactOracle::build(&dynamic.graph().to_csr());
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                for k in 0..(n as u32 + 2) {
+                    let (u, v) = (VertexId(u), VertexId(v));
+                    prop_assert_eq!(
+                        dynamic.farther_than(u, v, k),
+                        exact.farther_than(u, v, k)
+                    );
+                }
+            }
+        }
+    }
+}

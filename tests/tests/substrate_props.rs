@@ -1,0 +1,147 @@
+//! Property tests for the substrate crates: the hand-rolled containers
+//! and the query-compilation pipeline are checked against straightforward
+//! reference models.
+
+use ktg_common::{EpochMarker, FixedBitSet, FxHashMap, TopN, VertexId};
+use ktg_integration_tests::random_network;
+use ktg_keywords::{coverage, KeywordId, QueryKeywords};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn topn_matches_sort_reference(
+        items in proptest::collection::vec(0i64..1000, 0..80),
+        capacity in 1usize..10,
+    ) {
+        let mut top = TopN::new(capacity);
+        for &x in &items {
+            top.offer(x);
+        }
+        let got = top.into_sorted_desc();
+        let mut expected = items.clone();
+        expected.sort_by(|a, b| b.cmp(a));
+        expected.truncate(capacity);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn fixed_bitset_matches_btreeset(
+        ops in proptest::collection::vec((0usize..200, proptest::bool::ANY), 0..200),
+    ) {
+        let mut bs = FixedBitSet::new(200);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (i, insert) in ops {
+            if insert {
+                bs.insert(i);
+                model.insert(i);
+            } else {
+                bs.remove(i);
+                model.remove(&i);
+            }
+        }
+        prop_assert_eq!(bs.count_ones(), model.len());
+        let got: Vec<usize> = bs.iter_ones().collect();
+        let expected: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn epoch_marker_matches_set_with_resets(
+        ops in proptest::collection::vec(proptest::option::of(0usize..50), 0..300),
+    ) {
+        // `None` = reset, `Some(i)` = mark i.
+        let mut em = EpochMarker::new(50);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for op in ops {
+            match op {
+                None => {
+                    em.reset();
+                    model.clear();
+                }
+                Some(i) => {
+                    let fresh = em.mark(i);
+                    prop_assert_eq!(fresh, model.insert(i), "mark({}) freshness", i);
+                }
+            }
+        }
+        for i in 0..50 {
+            prop_assert_eq!(em.is_marked(i), model.contains(&i), "slot {}", i);
+        }
+    }
+
+    #[test]
+    fn fxhashmap_matches_btreemap(
+        ops in proptest::collection::vec((0u64..100, 0i32..100, proptest::bool::ANY), 0..200),
+    ) {
+        let mut fx: FxHashMap<u64, i32> = FxHashMap::default();
+        let mut model: BTreeMap<u64, i32> = BTreeMap::new();
+        for (k, v, insert) in ops {
+            if insert {
+                prop_assert_eq!(fx.insert(k, v), model.insert(k, v));
+            } else {
+                prop_assert_eq!(fx.remove(&k), model.remove(&k));
+            }
+        }
+        prop_assert_eq!(fx.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(fx.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn query_compile_matches_naive_scan(
+        n in 1usize..30,
+        seed in 0u64..500,
+        wq in 1usize..6,
+    ) {
+        let net = random_network(n, 0.2, 8, 4, seed);
+        let ids: Vec<KeywordId> = (0..wq as u32).map(KeywordId).collect();
+        let query = QueryKeywords::new(ids.clone()).expect("valid");
+        let masks = net.compile(&query);
+        for v in 0..n {
+            let v = VertexId::new(v);
+            // Naive recomputation straight from the keyword arena.
+            let mut expected = 0u64;
+            for (bit, k) in ids.iter().enumerate() {
+                if net.keywords().has_keyword(v, *k) {
+                    expected |= 1 << bit;
+                }
+            }
+            prop_assert_eq!(masks.mask(v), expected, "vertex {:?}", v);
+        }
+        // Candidates = exactly the nonzero-mask vertices, sorted.
+        let expected_cands: Vec<VertexId> = (0..n)
+            .map(VertexId::new)
+            .filter(|&v| masks.mask(v) != 0)
+            .collect();
+        prop_assert_eq!(masks.candidates(), expected_cands.as_slice());
+    }
+
+    #[test]
+    fn coverage_identities(mask_a in any::<u64>(), mask_b in any::<u64>(), covered in any::<u64>()) {
+        // VKC decomposition: new + already-covered = total.
+        let total = coverage::covered_count(mask_a);
+        let new = coverage::vkc_count(mask_a, covered);
+        let old = coverage::covered_count(mask_a & covered);
+        prop_assert_eq!(new + old, total);
+        // Group mask is commutative and monotone.
+        prop_assert_eq!(coverage::group_mask([mask_a, mask_b]), coverage::group_mask([mask_b, mask_a]));
+        prop_assert!(coverage::covered_count(mask_a | mask_b) >= total);
+        // VKC against a superset-covered mask never grows.
+        prop_assert!(coverage::vkc_count(mask_a, covered | mask_b) <= new);
+    }
+
+    #[test]
+    fn group_qkc_bounded_by_member_sum(
+        masks in proptest::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let union = coverage::covered_count(coverage::group_mask(masks.iter().copied()));
+        let sum: u32 = masks.iter().map(|&m| coverage::covered_count(m)).sum();
+        prop_assert!(union as u64 <= (sum as u64));
+        let max_single = masks.iter().map(|&m| coverage::covered_count(m)).max().unwrap();
+        prop_assert!(union >= max_single);
+    }
+}
