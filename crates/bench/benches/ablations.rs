@@ -4,22 +4,23 @@
 //! * degree tiebreak direction (ascending — the paper's rationale — vs
 //!   descending — the paper's literal phrasing);
 //! * distance oracle choice (BFS vs NL vs NLRNL) under one algorithm;
-//! * brute force vs branch-and-bound on a small instance.
+//! * brute force vs branch-and-bound on a small instance;
+//! * community structure (planted-partition vs flat Erdős–Rényi);
+//! * DKTG exact subset optimum vs the greedy heuristic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktg_bench::harness::BenchGroup;
 use ktg_bench::params::DEFAULTS;
 use ktg_bench::runner::{dataset_with_queries, Algo, Workbench};
 use ktg_core::{bb, brute, KtgQuery, MemberOrdering};
 use ktg_datasets::DatasetProfile;
 use ktg_index::NlrnlIndex;
+use std::time::Duration;
 
-fn pruning_rules(c: &mut Criterion) {
+fn pruning_rules() {
     let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
     let index = NlrnlIndex::build(net.graph());
-    let mut group = c.benchmark_group("ablation_pruning");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut group = BenchGroup::new("ablation_pruning");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for (name, kp, kf) in [
         ("both", true, true),
         ("no-keyword-pruning", false, true),
@@ -32,26 +33,21 @@ fn pruning_rules(c: &mut Criterion) {
             node_budget: Some(50_000),
             ..bb::BbOptions::vkc_deg()
         };
-        group.bench_function(BenchmarkId::new("vkc-deg", name), |b| {
-            b.iter(|| {
-                for q in &batch {
-                    let query = KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n)
-                        .expect("valid");
-                    bb::solve(&net, &query, &index, &opts);
-                }
-            })
+        group.bench("vkc-deg", name, || {
+            for q in &batch {
+                let query =
+                    KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n).expect("valid");
+                bb::solve(&net, &query, &index, &opts);
+            }
         });
     }
-    group.finish();
 }
 
-fn degree_direction(c: &mut Criterion) {
+fn degree_direction() {
     let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
     let index = NlrnlIndex::build(net.graph());
-    let mut group = c.benchmark_group("ablation_degree_order");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut group = BenchGroup::new("ablation_degree_order");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for (name, ordering) in [
         ("degree-ascending", MemberOrdering::VkcDeg),
         ("degree-descending", MemberOrdering::VkcDegDesc),
@@ -61,69 +57,54 @@ fn degree_direction(c: &mut Criterion) {
             node_budget: Some(50_000),
             ..bb::BbOptions::vkc().with_ordering(ordering)
         };
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                for q in &batch {
-                    let query = KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n)
-                        .expect("valid");
-                    bb::solve(&net, &query, &index, &opts);
-                }
-            })
+        group.bench(name, "", || {
+            for q in &batch {
+                let query =
+                    KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n).expect("valid");
+                bb::solve(&net, &query, &index, &opts);
+            }
         });
     }
-    group.finish();
 }
 
-fn oracle_choice(c: &mut Criterion) {
+fn oracle_choice() {
     let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
     let bench = Workbench::new(&net);
-    let mut group = c.benchmark_group("ablation_oracles");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut group = BenchGroup::new("ablation_oracles");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for algo in [Algo::KtgVkcDegBfs, Algo::KtgVkcNl, Algo::KtgVkcDegNlrnl] {
-        group.bench_function(algo.name(), |b| {
-            b.iter(|| bench.run_batch(algo, &batch, &DEFAULTS, Some(50_000)))
-        });
+        group.bench(algo.name(), "", || bench.run_batch(algo, &batch, &DEFAULTS, Some(50_000)));
     }
     // PLL (2-hop labels): the modern baseline the paper cites as
     // inspiration but never measures. Run the same search over it.
     let pll = ktg_index::PllIndex::build(net.graph());
-    group.bench_function("KTG-VKC-DEG-PLL", |b| {
-        b.iter(|| {
-            for q in &batch {
-                let query = KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n)
-                    .expect("valid");
-                let opts = bb::BbOptions {
-                    node_budget: Some(50_000),
-                    ..bb::BbOptions::vkc_deg()
-                };
-                bb::solve(&net, &query, &pll, &opts);
-            }
-        })
+    group.bench("KTG-VKC-DEG-PLL", "", || {
+        for q in &batch {
+            let query =
+                KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n).expect("valid");
+            let opts = bb::BbOptions {
+                node_budget: Some(50_000),
+                ..bb::BbOptions::vkc_deg()
+            };
+            bb::solve(&net, &query, &pll, &opts);
+        }
     });
-    group.finish();
 }
 
-fn brute_vs_bb(c: &mut Criterion) {
+fn brute_vs_bb() {
     // Brute force is O(|V|^p): keep the instance tiny.
     let (net, batch) = dataset_with_queries(DatasetProfile::Brightkite, 800, 42, 1, 4);
     let index = NlrnlIndex::build(net.graph());
     let query = KtgQuery::new(batch[0].clone(), 3, 1, 2).expect("valid");
-    let mut group = c.benchmark_group("ablation_brute_vs_bb");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("brute-force", |b| {
-        b.iter(|| brute::solve(&net, &query, &index))
+    let mut group = BenchGroup::new("ablation_brute_vs_bb");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    group.bench("brute-force", "", || brute::solve(&net, &query, &index));
+    group.bench("ktg-vkc-deg", "", || {
+        bb::solve(&net, &query, &index, &bb::BbOptions::vkc_deg())
     });
-    group.bench_function("ktg-vkc-deg", |b| {
-        b.iter(|| bb::solve(&net, &query, &index, &bb::BbOptions::vkc_deg()))
-    });
-    group.finish();
 }
 
-fn community_structure(c: &mut Criterion) {
+fn community_structure() {
     // Does community structure (high modularity) change the algorithm
     // picture relative to an equally dense unstructured graph? Planted
     // partitions make intra-community pairs near-universally k-line for
@@ -150,31 +131,26 @@ fn community_structure(c: &mut Criterion) {
         ("flat", AttributedGraph::new(flat_graph, vocab_b, kw_b)),
     ];
 
-    let mut group = c.benchmark_group("ablation_community_structure");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut group = BenchGroup::new("ablation_community_structure");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for (name, net) in &nets {
         let index = NlrnlIndex::build(net.graph());
         let batch = ktg_datasets::QueryGen::new(net, 5).batch(2, DEFAULTS.wq);
-        group.bench_function(BenchmarkId::new("vkc-deg", *name), |b| {
-            b.iter(|| {
-                for q in &batch {
-                    let query =
-                        KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n).expect("valid");
-                    let opts = bb::BbOptions {
-                        node_budget: Some(50_000),
-                        ..bb::BbOptions::vkc_deg()
-                    };
-                    bb::solve(net, &query, &index, &opts);
-                }
-            })
+        group.bench("vkc-deg", name, || {
+            for q in &batch {
+                let query =
+                    KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n).expect("valid");
+                let opts = bb::BbOptions {
+                    node_budget: Some(50_000),
+                    ..bb::BbOptions::vkc_deg()
+                };
+                bb::solve(net, &query, &index, &opts);
+            }
         });
     }
-    group.finish();
 }
 
-fn dktg_exact_vs_greedy(c: &mut Criterion) {
+fn dktg_exact_vs_greedy() {
     // Quality-vs-cost of DKTG-Greedy against the exact subset optimum on
     // a small instance where exact search is tractable.
     use ktg_core::dktg::{self, DktgQuery};
@@ -191,24 +167,19 @@ fn dktg_exact_vs_greedy(c: &mut Criterion) {
     let query = DktgQuery::new(base, 0.5).expect("gamma");
     let oracle = NlrnlIndex::build(net.graph());
 
-    let mut group = c.benchmark_group("ablation_dktg_exact_vs_greedy");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("greedy", |b| b.iter(|| dktg::solve(&net, &query, &oracle)));
-    group.bench_function("exact", |b| {
-        b.iter(|| dktg_exact::solve(&net, &query, &oracle, &ExactLimits::default()).expect("tractable"))
+    let mut group = BenchGroup::new("ablation_dktg_exact_vs_greedy");
+    group.sample_size(20).warm_up_time(Duration::from_millis(500));
+    group.bench("greedy", "", || dktg::solve(&net, &query, &oracle));
+    group.bench("exact", "", || {
+        dktg_exact::solve(&net, &query, &oracle, &ExactLimits::default()).expect("tractable")
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    pruning_rules,
-    degree_direction,
-    oracle_choice,
-    brute_vs_bb,
-    community_structure,
-    dktg_exact_vs_greedy
-);
-criterion_main!(benches);
+fn main() {
+    pruning_rules();
+    degree_direction();
+    oracle_choice();
+    brute_vs_bb();
+    community_structure();
+    dktg_exact_vs_greedy();
+}

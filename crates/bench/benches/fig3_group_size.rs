@@ -7,30 +7,21 @@
 //! Full sweeps over all four datasets: `cargo run --release -p ktg-bench
 //! --bin experiments fig3`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktg_bench::harness::BenchGroup;
 use ktg_bench::params::{DEFAULTS, P_RANGE};
 use ktg_bench::runner::{dataset_with_queries, Algo, Workbench};
 use ktg_datasets::DatasetProfile;
+use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
     let bench = Workbench::new(&net);
-    let mut group = c.benchmark_group("fig3_group_size");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut group = BenchGroup::new("fig3_group_size");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for &p in &P_RANGE {
         let cfg = DEFAULTS.with_p(p);
         for algo in Algo::FIG3 {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), p),
-                &cfg,
-                |b, cfg| b.iter(|| bench.run_batch(algo, &batch, cfg, Some(50_000))),
-            );
+            group.bench(algo.name(), p, || bench.run_batch(algo, &batch, &cfg, Some(50_000)));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

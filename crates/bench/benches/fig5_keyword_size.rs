@@ -5,32 +5,23 @@
 //! KTG-VKC-DEG-NLRNL well below the VKC variants.
 //! Full sweeps: `experiments fig5`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktg_bench::harness::BenchGroup;
 use ktg_bench::params::{DEFAULTS, WQ_RANGE};
 use ktg_bench::runner::{Algo, Workbench};
 use ktg_datasets::{DatasetProfile, QueryGen};
+use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let net = DatasetProfile::Gowalla.instantiate(100, 42);
     let bench = Workbench::new(&net);
-    let mut group = c.benchmark_group("fig5_keyword_size");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut group = BenchGroup::new("fig5_keyword_size");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for &wq in &WQ_RANGE {
         let cfg = DEFAULTS.with_wq(wq);
         // |W_Q| changes the workload itself: regenerate per size.
         let batch = QueryGen::new(&net, 42 ^ 0xBEEF).batch(2, wq);
         for algo in Algo::FIG456 {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), wq),
-                &cfg,
-                |b, cfg| b.iter(|| bench.run_batch(algo, &batch, cfg, Some(50_000))),
-            );
+            group.bench(algo.name(), wq, || bench.run_batch(algo, &batch, &cfg, Some(50_000)));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

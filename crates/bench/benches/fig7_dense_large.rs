@@ -6,50 +6,39 @@
 //! high `k` (on-demand level expansion) while NLRNL stays flat.
 //! Full sweeps: `experiments fig7a` / `experiments fig7b`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktg_bench::harness::BenchGroup;
 use ktg_bench::params::{DEFAULTS, K_RANGE, P_RANGE};
 use ktg_bench::runner::{dataset_with_queries, Algo, Workbench};
 use ktg_datasets::DatasetProfile;
+use std::time::Duration;
 
-fn dense(c: &mut Criterion) {
+fn dense() {
     let (net, batch) = dataset_with_queries(DatasetProfile::Twitter, 200, 42, 2, DEFAULTS.wq);
     let bench = Workbench::new(&net);
-    let mut group = c.benchmark_group("fig7a_dense_twitter");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut group = BenchGroup::new("fig7a_dense_twitter");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for &p in &P_RANGE {
         let cfg = DEFAULTS.with_p(p);
         for algo in [Algo::KtgVkcNlrnl, Algo::KtgVkcDegNlrnl] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), p),
-                &cfg,
-                |b, cfg| b.iter(|| bench.run_batch(algo, &batch, cfg, Some(50_000))),
-            );
+            group.bench(algo.name(), p, || bench.run_batch(algo, &batch, &cfg, Some(50_000)));
         }
     }
-    group.finish();
 }
 
-fn large(c: &mut Criterion) {
+fn large() {
     let (net, batch) = dataset_with_queries(DatasetProfile::DblpLarge, 400, 42, 2, DEFAULTS.wq);
     let bench = Workbench::new(&net);
-    let mut group = c.benchmark_group("fig7b_large_dblp");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut group = BenchGroup::new("fig7b_large_dblp");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for &k in &K_RANGE {
         let cfg = DEFAULTS.with_k(k);
         for algo in [Algo::KtgVkcNl, Algo::KtgVkcDegNlrnl] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), k),
-                &cfg,
-                |b, cfg| b.iter(|| bench.run_batch(algo, &batch, cfg, Some(50_000))),
-            );
+            group.bench(algo.name(), k, || bench.run_batch(algo, &batch, &cfg, Some(50_000)));
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, dense, large);
-criterion_main!(benches);
+fn main() {
+    dense();
+    large();
+}

@@ -6,15 +6,14 @@
 //! (half storage + skips the widest level) but takes *longer* to build
 //! (maintains the reverse lists too).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktg_bench::harness::BenchGroup;
 use ktg_datasets::DatasetProfile;
 use ktg_index::{NlIndex, NlrnlIndex};
+use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_index_build");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut group = BenchGroup::new("fig9_index_build");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for profile in DatasetProfile::PRIMARY {
         let net = profile.instantiate(200, 42);
         let graph = net.graph();
@@ -27,17 +26,7 @@ fn bench(c: &mut Criterion) {
             nl.space().total_bytes(),
             nlrnl.space().total_bytes()
         );
-        group.bench_with_input(BenchmarkId::new("NL-build", profile.name()), graph, |b, g| {
-            b.iter(|| NlIndex::build(g))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("NLRNL-build", profile.name()),
-            graph,
-            |b, g| b.iter(|| NlrnlIndex::build(g)),
-        );
+        group.bench("NL-build", profile.name(), || NlIndex::build(graph));
+        group.bench("NLRNL-build", profile.name(), || NlrnlIndex::build(graph));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

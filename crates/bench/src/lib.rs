@@ -1,12 +1,15 @@
 //! # `ktg-bench`
 //!
 //! Benchmark harness reproducing the paper's evaluation (§VII): every
-//! figure has a Criterion bench (`benches/fig*.rs`) and a sweep command in
-//! the `experiments` binary that prints the same rows/series the paper
-//! plots. Table I's parameter grid lives in [`params`]; the shared
-//! machinery (dataset instantiation, index construction, per-algorithm
-//! query execution, latency aggregation) in [`runner`]; plain-text/CSV
-//! emission in [`report`].
+//! figure has a bench binary (`benches/fig*.rs`) on the hand-rolled
+//! timing harness in [`harness`] (warmup + fixed sample count +
+//! min/mean/median/p95, one JSON line per measurement — the offline
+//! `criterion` replacement), and a sweep command in the `experiments`
+//! binary that prints the same rows/series the paper plots. Table I's
+//! parameter grid lives in [`params`]; the shared machinery (dataset
+//! instantiation, index construction, per-algorithm query execution,
+//! latency aggregation) in [`runner`]; plain-text/CSV emission in
+//! [`report`].
 //!
 //! Scale: the paper ran full-size graphs on a 120 GB testbed. The harness
 //! defaults to `1/100` scale (override with `--scale` or `KTG_SCALE`),
@@ -15,9 +18,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod params;
 pub mod report;
 pub mod runner;
 
+pub use harness::{BenchGroup, Summary};
 pub use params::{Params, DEFAULTS};
 pub use runner::{Algo, Workbench};

@@ -7,6 +7,7 @@
 //! `<search>-<index>`, e.g. `KTG-VKC-DEG-NLRNL`.
 
 use crate::params::Params;
+use ktg_common::parallel;
 use ktg_core::dktg::{self, DktgQuery};
 use ktg_core::{bb, AttributedGraph, KtgQuery, SearchStats};
 use ktg_datasets::{DatasetProfile, QueryGen};
@@ -154,6 +155,8 @@ impl<'g> Workbench<'g> {
     /// are not meaningful under contention, so this reports total wall
     /// time and queries/second instead. The paper measures sequential mean
     /// latency; this mode exists for workload-replay use cases.
+    ///
+    /// An empty batch is a well-defined no-op: zero elapsed, zero qps.
     pub fn run_batch_parallel(
         &self,
         algo: Algo,
@@ -161,25 +164,28 @@ impl<'g> Workbench<'g> {
         params: &Params,
         node_budget: Option<u64>,
     ) -> (Duration, f64) {
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-        let chunk = batch.len().div_ceil(threads.max(1)).max(1);
+        if batch.is_empty() {
+            return (Duration::ZERO, 0.0);
+        }
+        let chunk = parallel::chunk_size(batch.len(), parallel::worker_count());
         let start = Instant::now();
-        crossbeam::thread::scope(|scope| {
-            for queries in batch.chunks(chunk) {
-                scope.spawn(move |_| {
-                    for q in queries {
-                        let _ = self.run_query(algo, q, params, node_budget);
-                    }
-                });
+        parallel::scope_join(batch.chunks(chunk).map(|queries| {
+            move || {
+                for q in queries {
+                    let _ = self.run_query(algo, q, params, node_budget);
+                }
             }
-        })
-        .expect("worker panicked");
+        }));
         let elapsed = start.elapsed();
-        let qps = batch.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        // elapsed can quantize to zero on a coarse clock; report 0 qps
+        // rather than a division artifact.
+        let secs = elapsed.as_secs_f64();
+        let qps = if secs > 0.0 { batch.len() as f64 / secs } else { 0.0 };
         (elapsed, qps)
     }
 
-    /// Runs a whole batch, returning the aggregate measurement.
+    /// Runs a whole batch, returning the aggregate measurement. An empty
+    /// batch yields the all-zero [`Measurement`] (not a division by zero).
     pub fn run_batch(
         &self,
         algo: Algo,
@@ -187,6 +193,14 @@ impl<'g> Workbench<'g> {
         params: &Params,
         node_budget: Option<u64>,
     ) -> Measurement {
+        if batch.is_empty() {
+            return Measurement {
+                mean_latency: Duration::ZERO,
+                stats: SearchStats::default(),
+                solved: 0,
+                queries: 0,
+            };
+        }
         let mut total = Duration::ZERO;
         let mut stats = SearchStats::default();
         let mut solved = 0;
@@ -197,7 +211,7 @@ impl<'g> Workbench<'g> {
             solved += usize::from(found);
         }
         Measurement {
-            mean_latency: total / batch.len().max(1) as u32,
+            mean_latency: total / batch.len() as u32,
             stats,
             solved,
             queries: batch.len(),
@@ -259,6 +273,20 @@ mod tests {
             bench.run_batch_parallel(Algo::KtgVkcDegNlrnl, &batch, &DEFAULTS, Some(100_000));
         assert!(elapsed.as_nanos() > 0);
         assert!(qps > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_zero_measurement() {
+        let (net, _) = dataset_with_queries(DatasetProfile::Brightkite, 800, 3, 0, DEFAULTS.wq);
+        let bench = Workbench::new(&net);
+        let m = bench.run_batch(Algo::KtgVkcDegNlrnl, &[], &DEFAULTS, None);
+        assert_eq!(m.queries, 0);
+        assert_eq!(m.solved, 0);
+        assert_eq!(m.mean_latency, Duration::ZERO);
+        assert_eq!(m.stats.nodes, 0);
+        let (elapsed, qps) = bench.run_batch_parallel(Algo::KtgVkcDegNlrnl, &[], &DEFAULTS, None);
+        assert_eq!(elapsed, Duration::ZERO);
+        assert_eq!(qps, 0.0);
     }
 
     #[test]

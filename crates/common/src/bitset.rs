@@ -41,20 +41,36 @@ impl FixedBitSet {
     }
 
     /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i ≥ len`, in release builds too: a `debug_assert!`
+    /// here would let release code silently set a ghost bit in the tail
+    /// word (`len` not a multiple of 64), corrupting `count_ones` and
+    /// `iter_ones`. Mutation is not the hot path — `contains` is — so the
+    /// hard check is free in practice.
     #[inline]
     pub fn insert(&mut self, i: usize) {
-        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
         self.words[i / WORD_BITS] |= 1 << (i % WORD_BITS);
     }
 
     /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i ≥ len` (hard assert, same rationale as
+    /// [`FixedBitSet::insert`]).
     #[inline]
     pub fn remove(&mut self, i: usize) {
-        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
         self.words[i / WORD_BITS] &= !(1 << (i % WORD_BITS));
     }
 
     /// Tests bit `i`.
+    ///
+    /// This *is* the hot path, so the bounds check stays a
+    /// `debug_assert!`: reads cannot corrupt state, tail-word ghost bits
+    /// cannot exist (mutation hard-asserts), and an index past the word
+    /// array still panics on the slice access.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
         debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
@@ -249,6 +265,39 @@ mod tests {
         assert!(!em.is_marked(0));
         assert!(!em.is_marked(1));
         assert!(em.mark(1));
+    }
+
+    #[test]
+    fn epoch_wrap_zeroes_every_stamp() {
+        // A stale stamp surviving the wrap would alias epoch 1 and read as
+        // marked; the wrap must leave the whole arena zeroed.
+        let mut em = EpochMarker::new(16);
+        for i in 0..16 {
+            em.mark(i);
+        }
+        em.epoch = u32::MAX;
+        for i in 0..8 {
+            em.mark(i); // stamps 0..8 now hold u32::MAX
+        }
+        em.reset();
+        assert_eq!(em.epoch, 1, "wrap snaps the epoch back to 1");
+        assert!(em.stamps.iter().all(|&s| s == 0), "stamp array zeroed on wrap");
+        for i in 0..16 {
+            assert!(!em.is_marked(i));
+            assert!(em.mark(i), "slot {i} must be fresh after the wrap");
+        }
+    }
+
+    #[test]
+    fn out_of_range_insert_panics_even_in_release() {
+        // 70 bits leave 58 ghost positions in the tail word; setting any
+        // of them must be rejected by a hard assert, not a debug_assert.
+        let mut bs = FixedBitSet::new(70);
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bs.insert(71)));
+        assert!(panic.is_err(), "tail-word ghost insert must panic");
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bs.remove(70)));
+        assert!(panic.is_err(), "tail-word ghost remove must panic");
+        assert_eq!(bs.count_ones(), 0, "failed mutations must not leak bits");
     }
 
     #[test]

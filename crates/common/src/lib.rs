@@ -17,6 +17,13 @@
 //! * [`TopN`] — a bounded min-heap maintaining the N best items with the
 //!   paper's tie semantics (an item that merely equals the current N-th best
 //!   does not displace an incumbent).
+//! * [`rng`] — seeded from-scratch PRNGs ([`SeededRng`] is xoshiro256++
+//!   expanded from a `u64` seed via SplitMix64) with `gen_range`,
+//!   `gen_bool`, `shuffle`, and distinct-`sample`, replacing the `rand`
+//!   crate for dataset generation and randomized tests.
+//! * [`parallel`] — chunked scoped-thread helpers on `std::thread::scope`
+//!   with panic propagation and `KTG_THREADS` worker-count control,
+//!   replacing `crossbeam::thread::scope`.
 //! * [`KtgError`] — the workspace error type.
 
 
@@ -27,10 +34,13 @@ pub mod bitset;
 pub mod error;
 pub mod hash;
 pub mod id;
+pub mod parallel;
+pub mod rng;
 pub mod topn;
 
 pub use bitset::{EpochMarker, FixedBitSet};
 pub use error::{KtgError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
 pub use id::VertexId;
+pub use rng::{SeededRng, SplitMix64};
 pub use topn::TopN;

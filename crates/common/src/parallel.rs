@@ -1,0 +1,109 @@
+//! Scoped parallelism helpers built on [`std::thread::scope`].
+//!
+//! The index builders and the batched benchmark runner split their work
+//! into per-worker chunks and join the results. `crossbeam::thread::scope`
+//! used to provide the borrow-friendly scope; since Rust 1.63 the standard
+//! library does, so this module replaces the dependency with three small
+//! pieces:
+//!
+//! * [`worker_count`] — the worker count to fan out to, honoring the
+//!   `KTG_THREADS` environment variable as an override.
+//! * [`chunk_size`] — the per-worker chunk length for a given item count.
+//! * [`scope_join`] — spawn one scoped thread per task and join them all,
+//!   re-raising the first worker panic on the calling thread.
+
+/// Number of parallel workers: `KTG_THREADS` when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`] (1 if even
+/// that is unavailable).
+pub fn worker_count() -> usize {
+    if let Ok(val) = std::env::var("KTG_THREADS") {
+        if let Ok(n) = val.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Chunk length that spreads `items` over at most `workers` chunks.
+/// Always ≥ 1, so it is safe to feed straight into `chunks`/`chunks_mut`.
+pub fn chunk_size(items: usize, workers: usize) -> usize {
+    items.div_ceil(workers.max(1)).max(1)
+}
+
+/// Runs every task on its own scoped thread and returns their results in
+/// task order. Borrows in the closures may reference the caller's stack,
+/// exactly as with `crossbeam::thread::scope`.
+///
+/// If a task panics, the panic payload is re-raised here on the calling
+/// thread (after all other tasks have been joined), so a worker failure
+/// is never silently swallowed.
+pub fn scope_join<T, F, I>(tasks: I) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+    I: IntoIterator<Item = F>,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks.into_iter().map(|task| scope.spawn(task)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joins_in_task_order() {
+        let results = scope_join((0..8).map(|i| move || i * i));
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_data() {
+        let mut data = vec![0u64; 100];
+        let chunk = chunk_size(data.len(), 4);
+        let sums = scope_join(data.chunks_mut(chunk).enumerate().map(|(ci, chunk)| {
+            move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (ci * 1000 + i) as u64;
+                }
+                chunk.iter().sum::<u64>()
+            }
+        }));
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let outcome = std::panic::catch_unwind(|| {
+            scope_join((0..4).map(|i| move || {
+                if i == 2 {
+                    panic!("worker exploded");
+                }
+                i
+            }))
+        });
+        let payload = outcome.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "worker exploded");
+    }
+
+    #[test]
+    fn chunk_size_covers_all_items() {
+        assert_eq!(chunk_size(10, 4), 3);
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(10, 0), 10);
+        assert_eq!(chunk_size(3, 8), 1);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

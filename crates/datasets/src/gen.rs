@@ -13,14 +13,12 @@
 //!   weight sequence: hits a target edge count while matching the heavy
 //!   tail of real social networks. The dataset profiles use this.
 
-use ktg_common::{FxHashSet, VertexId};
+use ktg_common::{FxHashSet, SeededRng, VertexId};
 use ktg_graph::{CsrGraph, GraphBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// `G(n, m)`: exactly `min(m, C(n,2))` distinct uniform random edges.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
     let m = m.min(max_edges);
     let mut builder = GraphBuilder::with_edge_capacity(n, m);
@@ -48,7 +46,7 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
 pub fn barabasi_albert(n: usize, m0: usize, seed: u64) -> CsrGraph {
     assert!(m0 >= 1, "attachment count must be positive");
     assert!(n > m0, "need more vertices than the seed clique");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(n);
     // Half-edge endpoint list: each vertex appears once per incident edge.
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m0);
@@ -85,7 +83,7 @@ pub fn barabasi_albert(n: usize, m0: usize, seed: u64) -> CsrGraph {
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
     assert!(k >= 2 && k.is_multiple_of(2), "lattice degree k must be even and ≥ 2");
     assert!(n > k, "need n > k");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut edges: FxHashSet<(u32, u32)> = FxHashSet::default();
     let canon = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
     for u in 0..n as u32 {
@@ -129,7 +127,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
 /// thinned in scaling).
 pub fn chung_lu(n: usize, target_m: usize, gamma: f64, seed: u64) -> CsrGraph {
     assert!(gamma > 2.0, "degree exponent must exceed 2 for finite mean");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let exponent = -1.0 / (gamma - 1.0);
     // Offset i0 tames the head so the max weight stays realizable.
     let i0 = 1.0 + (n as f64).powf(0.25);
@@ -143,7 +141,7 @@ pub fn chung_lu(n: usize, target_m: usize, gamma: f64, seed: u64) -> CsrGraph {
     }
     let total = acc;
 
-    let sample = |rng: &mut SmallRng| -> u32 {
+    let sample = |rng: &mut SeededRng| -> u32 {
         let x = rng.gen_range(0.0..total);
         cumulative.partition_point(|&c| c <= x) as u32
     };

@@ -4,13 +4,11 @@
 //! "query") appear on many users, the long tail on few. Pruning behaviour
 //! in the KTG search depends on exactly this selectivity skew, so the
 //! synthetic assignment samples keyword ids from a Zipf(s) law over the
-//! vocabulary. Implemented from scratch (the dependency budget has `rand`
-//! but not `rand_distr`).
+//! vocabulary. Implemented from scratch on the workspace's own seeded
+//! PRNG (`ktg_common::rng` — the build is offline and dependency-free).
 
-use ktg_common::VertexId;
+use ktg_common::{SeededRng, VertexId};
 use ktg_keywords::{KeywordId, VertexKeywords, VertexKeywordsBuilder, Vocabulary};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A seeded Zipf sampler over ranks `0..n` with exponent `s`.
 #[derive(Clone, Debug)]
@@ -34,7 +32,7 @@ impl ZipfSampler {
     }
 
     /// Draws a rank in `0..n`.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+    pub fn sample(&self, rng: &mut SeededRng) -> usize {
         let x = rng.gen_range(0.0..self.total);
         self.cumulative.partition_point(|&c| c <= x)
     }
@@ -70,7 +68,7 @@ pub fn assign_zipf(
     assert!(model.vocab_size >= model.max_per_vertex, "vocabulary smaller than a keyword set");
     let vocab = Vocabulary::synthetic(model.vocab_size);
     let sampler = ZipfSampler::new(model.vocab_size, model.zipf_exponent);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut builder = VertexKeywordsBuilder::new(num_vertices);
     let mut chosen: Vec<usize> = Vec::with_capacity(model.max_per_vertex);
     for v in 0..num_vertices {
@@ -100,7 +98,7 @@ mod tests {
     #[test]
     fn sampler_is_head_heavy() {
         let sampler = ZipfSampler::new(1000, 1.0);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SeededRng::seed_from_u64(3);
         let mut head = 0;
         const DRAWS: usize = 10_000;
         for _ in 0..DRAWS {
@@ -115,7 +113,7 @@ mod tests {
     #[test]
     fn sampler_stays_in_range() {
         let sampler = ZipfSampler::new(5, 1.2);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = SeededRng::seed_from_u64(4);
         for _ in 0..1000 {
             assert!(sampler.sample(&mut rng) < 5);
         }
@@ -146,7 +144,7 @@ mod tests {
     #[test]
     fn zero_exponent_is_uniform() {
         let sampler = ZipfSampler::new(4, 0.0);
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = SeededRng::seed_from_u64(5);
         let mut counts = [0usize; 4];
         for _ in 0..8000 {
             counts[sampler.sample(&mut rng)] += 1;

@@ -9,10 +9,8 @@
 //! with intra-community edge probability `p_in` and inter-community
 //! probability `p_out`.
 
-use ktg_common::VertexId;
+use ktg_common::{SeededRng, VertexId};
 use ktg_graph::{CsrGraph, GraphBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of a planted-partition graph.
 #[derive(Clone, Copy, Debug)]
@@ -49,7 +47,7 @@ pub fn planted_partition(params: &SbmParams, seed: u64) -> CsrGraph {
     assert!(params.blocks >= 1 && params.blocks <= params.n, "invalid block count");
     assert!((0.0..=1.0).contains(&params.p_in), "p_in out of range");
     assert!((0.0..=1.0).contains(&params.p_out), "p_out out of range");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(params.n);
     for u in 0..params.n {
         let bu = block_of(params, VertexId::new(u));

@@ -8,17 +8,16 @@
 //! pick tail terms carried by almost nobody, yielding degenerate queries
 //! with empty candidate sets.
 
+use ktg_common::SeededRng;
 use ktg_core::AttributedGraph;
 use ktg_keywords::{KeywordId, QueryKeywords};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Seeded generator of query keyword sets for one attributed network.
 pub struct QueryGen {
     /// Frequency-weighted cumulative table over keyword ids.
     cumulative: Vec<f64>,
     total: f64,
-    rng: SmallRng,
+    rng: SeededRng,
 }
 
 impl QueryGen {
@@ -34,7 +33,7 @@ impl QueryGen {
             acc += net.inverted().frequency(KeywordId(k as u32)) as f64 + 0.01;
             cumulative.push(acc);
         }
-        QueryGen { total: acc, cumulative, rng: SmallRng::seed_from_u64(seed) }
+        QueryGen { total: acc, cumulative, rng: SeededRng::seed_from_u64(seed) }
     }
 
     /// Draws one query keyword set of `size` distinct keywords.

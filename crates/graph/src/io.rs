@@ -99,7 +99,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph> {
 /// Parses the `# ktg edge list: N vertices, …` header, if present.
 fn parse_ktg_header(line: &str) -> Option<usize> {
     let rest = line.strip_prefix("# ktg edge list:")?;
-    let count = rest.trim().split_whitespace().next()?;
+    let count = rest.split_whitespace().next()?;
     count.parse().ok()
 }
 

@@ -10,7 +10,7 @@
 use crate::oracle::DistanceOracle;
 use ktg_common::{FxHashSet, VertexId};
 use ktg_graph::{bfs, BfsScratch, CsrGraph};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Index-free distance oracle over a borrowed graph.
 pub struct BfsOracle<'g> {
@@ -45,7 +45,7 @@ impl<'g> BfsOracle<'g> {
     }
 
     fn ball_contains(&self, source: VertexId, k: u32, target: VertexId) -> bool {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().expect("memo lock poisoned");
         if st.key != Some((source, k)) {
             st.ball.clear();
             // Split-borrow via a local take of the scratch to appease the

@@ -19,9 +19,9 @@
 use crate::leveled::LeveledList;
 use crate::oracle::DistanceOracle;
 use crate::space::{BuildStats, IndexSpace};
-use ktg_common::{EpochMarker, FxHashMap, VertexId};
+use ktg_common::{parallel, EpochMarker, FxHashMap, VertexId};
 use ktg_graph::{bfs, BfsScratch, CsrGraph};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// The NL (h-hop neighbors list) index.
@@ -51,17 +51,13 @@ impl<'g> NlIndex<'g> {
         let mut h = vec![0u32; n];
         let mut levels: Vec<LeveledList> = vec![LeveledList::default(); n];
 
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-        let chunk = n.div_ceil(threads.max(1)).max(1);
-        let mut entries = 0usize;
-
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = h
-                .chunks_mut(chunk)
+        let chunk = parallel::chunk_size(n, parallel::worker_count());
+        let entries: usize = parallel::scope_join(
+            h.chunks_mut(chunk)
                 .zip(levels.chunks_mut(chunk))
                 .enumerate()
                 .map(|(ci, (h_chunk, level_chunk))| {
-                    scope.spawn(move |_| {
+                    move || {
                         let mut scratch = BfsScratch::new(n);
                         let base = ci * chunk;
                         let mut local_entries = 0usize;
@@ -91,14 +87,11 @@ impl<'g> NlIndex<'g> {
                             local_entries += lv.total_len();
                         }
                         local_entries
-                    })
-                })
-                .collect();
-            for handle in handles {
-                entries += handle.join().expect("index build worker panicked");
-            }
-        })
-        .expect("index build scope panicked");
+                    }
+                }),
+        )
+        .into_iter()
+        .sum();
 
         NlIndex {
             graph,
@@ -126,7 +119,7 @@ impl<'g> NlIndex<'g> {
     /// query-time state and reported under `aux_bytes`.
     pub fn space(&self) -> IndexSpace {
         let forward_bytes: usize = self.levels.iter().map(LeveledList::heap_bytes).sum();
-        let cache = self.expanded.lock();
+        let cache = self.expanded.lock().expect("expansion cache lock poisoned");
         let cache_bytes: usize = cache
             .extra
             .values()
@@ -164,7 +157,7 @@ impl<'g> NlIndex<'g> {
     /// Expands `u`'s hop levels beyond `h` up to level `k`, caching the
     /// results, and reports whether `v` was found (⇒ within `k`).
     fn check_with_expansion(&self, u: VertexId, v: VertexId, k: u32, h: u32) -> bool {
-        let mut cache = self.expanded.lock();
+        let mut cache = self.expanded.lock().expect("expansion cache lock poisoned");
         let ExpansionCache { extra, marker } = &mut *cache;
         let extra = extra.entry(u.0).or_default();
 
@@ -359,5 +352,77 @@ mod tests {
             CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)])
                 .unwrap();
         assert_matches_exact(&g, 6);
+    }
+
+    /// Differential audit of the truncation boundary: `argmax_level`
+    /// chooses `h` and exactly `levels[..h]` (hops `1..=h`) is stored, so
+    /// any off-by-one between the stored depth and the Case-1/Case-2 split
+    /// in `check` shows up as a disagreement with brute-force BFS. Random
+    /// graphs across densities exercise `h = 0` (isolated), `h = 1`
+    /// (dense), deep truncated BFS (sparse paths), and disconnected pairs.
+    #[test]
+    fn truncation_boundary_matches_bfs_on_random_graphs() {
+        let mut rng = ktg_common::SeededRng::seed_from_u64(0xA11CE);
+        for case in 0..40 {
+            let n = rng.gen_range(2usize..18);
+            let density = rng.gen_range(0.0..0.5);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(density) {
+                        edges.push((u as u32, v as u32));
+                    }
+                }
+            }
+            let g = CsrGraph::from_edges(n, &edges).unwrap();
+            let nl = NlIndex::build(&g);
+            let exact = ExactOracle::build(&g);
+            // k sweeps past the diameter, and past every per-vertex h.
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    for k in 0..(n as u32 + 2) {
+                        assert_eq!(
+                            nl.farther_than(u, v, k),
+                            exact.farther_than(u, v, k),
+                            "case {case} n={n} ({u:?}, {v:?}, k={k}), h(u)={}",
+                            nl.h(u)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The boundary ks specifically: for every vertex, query exactly at
+    /// `k = h - 1`, `h`, and `h + 1`, where Case 1 hands over to Case 2.
+    #[test]
+    fn queries_at_the_stored_depth_boundary() {
+        let mut rng = ktg_common::SeededRng::seed_from_u64(0xB0B);
+        for _ in 0..20 {
+            let n = rng.gen_range(3usize..14);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.25) {
+                        edges.push((u as u32, v as u32));
+                    }
+                }
+            }
+            let g = CsrGraph::from_edges(n, &edges).unwrap();
+            let nl = NlIndex::build(&g);
+            let exact = ExactOracle::build(&g);
+            for u in g.vertices() {
+                let h = nl.h(u);
+                for v in g.vertices() {
+                    for k in h.saturating_sub(1)..=h + 1 {
+                        assert_eq!(
+                            nl.farther_than(u, v, k),
+                            exact.farther_than(u, v, k),
+                            "boundary ({u:?}, {v:?}) h={h} k={k}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

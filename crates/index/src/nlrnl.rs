@@ -27,7 +27,7 @@
 use crate::leveled::LeveledList;
 use crate::oracle::DistanceOracle;
 use crate::space::{BuildStats, IndexSpace};
-use ktg_common::VertexId;
+use ktg_common::{parallel, VertexId};
 use ktg_graph::components::Components;
 use ktg_graph::{bfs, Adjacency, BfsScratch};
 use std::time::Instant;
@@ -72,17 +72,13 @@ impl NlrnlIndex {
         let mut forward: Vec<LeveledList> = vec![LeveledList::default(); n];
         let mut reverse: Vec<LeveledList> = vec![LeveledList::default(); n];
 
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-        let chunk = n.div_ceil(threads.max(1)).max(1);
-        let mut entries = 0usize;
-
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = c
-                .chunks_mut(chunk)
+        let chunk = parallel::chunk_size(n, parallel::worker_count());
+        let entries: usize = parallel::scope_join(
+            c.chunks_mut(chunk)
                 .zip(forward.chunks_mut(chunk).zip(reverse.chunks_mut(chunk)))
                 .enumerate()
                 .map(|(ci, (c_chunk, (f_chunk, r_chunk)))| {
-                    scope.spawn(move |_| {
+                    move || {
                         let mut scratch = BfsScratch::new(n);
                         let base = ci * chunk;
                         let mut local_entries = 0usize;
@@ -95,14 +91,11 @@ impl NlrnlIndex {
                             r_chunk[off] = rev;
                         }
                         local_entries
-                    })
-                })
-                .collect();
-            for handle in handles {
-                entries += handle.join().expect("index build worker panicked");
-            }
-        })
-        .expect("index build scope panicked");
+                    }
+                }),
+        )
+        .into_iter()
+        .sum();
 
         NlrnlIndex {
             n,
@@ -539,5 +532,49 @@ mod tests {
         let idx = NlrnlIndex::build(&g);
         assert!(!idx.farther_than(VertexId(1), VertexId(1), 0));
         assert!(idx.farther_than(VertexId(0), VertexId(1), 0));
+    }
+
+    /// Differential audit of the `c` boundary (mirror of the NL truncation
+    /// audit): the widest level `c` is deliberately unstored, so the
+    /// forward regime (`k ≤ c−1`), the reverse regime (`k ≥ c`), and the
+    /// handover at exactly `k = c` must all agree with brute-force BFS on
+    /// random graphs, including disconnected ones.
+    #[test]
+    fn c_boundary_matches_bfs_on_random_graphs() {
+        let mut rng = ktg_common::SeededRng::seed_from_u64(0xC0FFEE);
+        for case in 0..40 {
+            let n = rng.gen_range(2usize..18);
+            let density = rng.gen_range(0.0..0.5);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(density) {
+                        edges.push((u as u32, v as u32));
+                    }
+                }
+            }
+            let g = CsrGraph::from_edges(n, &edges).unwrap();
+            let idx = NlrnlIndex::build(&g);
+            let exact = ExactOracle::build(&g);
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    for k in 0..(n as u32 + 2) {
+                        assert_eq!(
+                            idx.farther_than(u, v, k),
+                            exact.farther_than(u, v, k),
+                            "case {case} n={n} ({u:?}, {v:?}, k={k}), c={}",
+                            idx.c(u.min(v))
+                        );
+                    }
+                    // The exact-distance recovery shares the boundary math.
+                    let truth = exact.distance(u, v);
+                    let got = idx.distance(u, v);
+                    match truth {
+                        u32::MAX => assert_eq!(got, None, "({u:?}, {v:?})"),
+                        d => assert_eq!(got, Some(d), "({u:?}, {v:?})"),
+                    }
+                }
+            }
+        }
     }
 }

@@ -9,17 +9,16 @@
 //! cargo run --release -p ktg-examples --bin dynamic_index
 //! ```
 
+use ktg_common::SeededRng;
 use ktg_datasets::gen;
 use ktg_graph::{DynamicGraph, VertexId};
 use ktg_index::{DistanceOracle, NlrnlIndex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let csr = gen::watts_strogatz(300, 6, 0.1, 13);
     let mut graph = DynamicGraph::from_csr(&csr);
     let mut index = NlrnlIndex::build(&graph);
-    let mut rng = SmallRng::seed_from_u64(99);
+    let mut rng = SeededRng::seed_from_u64(99);
     let n = graph.num_vertices() as u32;
 
     println!("maintaining NLRNL over 20 random edge mutations on a 300-vertex graph");
@@ -44,7 +43,7 @@ fn main() {
         for _ in 0..200 {
             let a = VertexId(rng.gen_range(0..n));
             let b = VertexId(rng.gen_range(0..n));
-            let k = rng.gen_range(0..6);
+            let k = rng.gen_range(0..6u32);
             assert_eq!(
                 index.farther_than(a, b, k),
                 fresh.farther_than(a, b, k),

@@ -1,20 +1,19 @@
 //! Shared helpers for the workspace integration & property tests.
 //!
-//! The proptest suites need "arbitrary attributed social networks": a
-//! seeded builder here keeps the strategies small (proptest shrinks over
-//! `(n, edge seed, keyword seed)` triples instead of raw adjacency
-//! matrices).
+//! The randomized suites need "arbitrary attributed social networks": a
+//! seeded builder here keeps each test a deterministic function of a
+//! `(n, edge seed, keyword seed)` triple instead of raw adjacency
+//! matrices, so any failing case replays exactly.
 
+use ktg_common::SeededRng;
 use ktg_core::AttributedGraph;
 use ktg_graph::{CsrGraph, GraphBuilder, VertexId};
 use ktg_keywords::{KeywordId, QueryKeywords, VertexKeywordsBuilder, Vocabulary};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Deterministically builds a random graph: `n` vertices, each possible
 /// edge present with probability `density`.
 pub fn random_graph(n: usize, density: f64, seed: u64) -> CsrGraph {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -37,7 +36,7 @@ pub fn random_network(
 ) -> AttributedGraph {
     let graph = random_graph(n, density, seed);
     let vocab = Vocabulary::synthetic(vocab_size);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+    let mut rng = SeededRng::seed_from_u64(seed ^ 0xABCD);
     let mut kb = VertexKeywordsBuilder::new(n);
     for v in 0..n {
         let count = rng.gen_range(0..=max_kw.min(vocab_size));
@@ -51,7 +50,7 @@ pub fn random_network(
 /// A query keyword set of `size` keywords drawn from the network's
 /// vocabulary (uniformly; the workload crate handles frequency weighting).
 pub fn random_query(net: &AttributedGraph, size: usize, seed: u64) -> QueryKeywords {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+    let mut rng = SeededRng::seed_from_u64(seed ^ 0x5EED);
     let vocab = net.vocab().len();
     let size = size.min(vocab).max(1);
     let mut ids = Vec::with_capacity(size);

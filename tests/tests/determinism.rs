@@ -1,0 +1,44 @@
+//! Seed determinism: the whole synthetic-data pipeline — dataset
+//! profiles, generators, and query workloads — must be a pure function
+//! of its seed. This is what makes every benchmark figure and every
+//! randomized test in this workspace reproducible, and it pins the
+//! hand-rolled `ktg_common::rng` stream: an accidental change to the
+//! generator's output sequence fails here, not silently in a figure.
+
+use ktg_datasets::{DatasetProfile, QueryGen};
+use ktg_integration_tests::{random_graph, random_network};
+
+#[test]
+fn profile_instantiation_is_a_pure_function_of_the_seed() {
+    for profile in DatasetProfile::PRIMARY {
+        let a = profile.instantiate(400, 7);
+        let b = profile.instantiate(400, 7);
+        assert_eq!(a.graph(), b.graph(), "{profile}: same seed, same graph");
+        assert_eq!(a.keywords(), b.keywords(), "{profile}: same seed, same keywords");
+
+        let c = profile.instantiate(400, 8);
+        assert!(
+            a.graph() != c.graph() || a.keywords() != c.keywords(),
+            "{profile}: different seed must change the dataset"
+        );
+    }
+}
+
+#[test]
+fn query_workloads_are_a_pure_function_of_the_seed() {
+    let net = DatasetProfile::Gowalla.instantiate(400, 7);
+    let a = QueryGen::new(&net, 11).batch(8, 4);
+    let b = QueryGen::new(&net, 11).batch(8, 4);
+    assert_eq!(a, b, "same workload seed, same batch");
+    let c = QueryGen::new(&net, 12).batch(8, 4);
+    assert_ne!(a, c, "different workload seed, different batch");
+}
+
+#[test]
+fn random_fixture_builders_are_deterministic() {
+    assert_eq!(random_graph(20, 0.3, 99), random_graph(20, 0.3, 99));
+    let a = random_network(20, 0.3, 8, 4, 99);
+    let b = random_network(20, 0.3, 8, 4, 99);
+    assert_eq!(a.graph(), b.graph());
+    assert_eq!(a.keywords(), b.keywords());
+}

@@ -1,22 +1,21 @@
-//! Property tests for the DKTG machinery (paper §VI).
+//! Randomized tests for the DKTG machinery (paper §VI), over seeded
+//! random inputs (deterministic — failures reproduce exactly).
 
+use ktg_common::SeededRng;
 use ktg_core::dktg::{self, DktgQuery};
-use ktg_core::{KtgQuery};
+use ktg_core::KtgQuery;
 use ktg_index::{DistanceOracle, ExactOracle};
 use ktg_integration_tests::{random_network, random_query};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn greedy_invariants(
-        n in 6usize..20,
-        density in 0.05f64..0.5,
-        seed in 0u64..1000,
-        top_n in 1usize..4,
-        gamma in 0.0f64..1.0,
-    ) {
+#[test]
+fn greedy_invariants() {
+    let mut rng = SeededRng::seed_from_u64(0x6EED);
+    for case in 0..64 {
+        let n = rng.gen_range(6..20usize);
+        let density = rng.gen_range(0.05..0.5);
+        let seed = rng.gen_range(0u64..1000);
+        let top_n = rng.gen_range(1..4usize);
+        let gamma = rng.gen_range(0.0..1.0);
         let net = random_network(n, density, 6, 3, seed);
         let base = KtgQuery::new(random_query(&net, 4, seed), 2, 1, top_n).expect("valid");
         let query = DktgQuery::new(base, gamma).expect("gamma in range");
@@ -24,64 +23,83 @@ proptest! {
         let out = dktg::solve(&net, &query, &oracle);
 
         // Score components live in [0, 1].
-        prop_assert!((0.0..=1.0).contains(&out.diversity), "dL = {}", out.diversity);
-        prop_assert!((0.0..=1.0).contains(&out.score), "score = {}", out.score);
+        assert!((0.0..=1.0).contains(&out.diversity), "case {case}: dL = {}", out.diversity);
+        assert!((0.0..=1.0).contains(&out.score), "case {case}: score = {}", out.score);
         if !out.groups.is_empty() {
-            prop_assert!((0.0..=1.0).contains(&out.min_qkc));
+            assert!((0.0..=1.0).contains(&out.min_qkc), "case {case}");
         }
 
         // Groups are pairwise member-disjoint (greedy removes members).
         let mut seen = std::collections::HashSet::new();
         for g in &out.groups {
             for &v in g.members() {
-                prop_assert!(seen.insert(v), "member {:?} reused across groups", v);
+                assert!(seen.insert(v), "case {case}: member {v:?} reused across groups");
             }
         }
 
         // Every group is feasible.
         for g in &out.groups {
-            prop_assert_eq!(g.len(), 2);
+            assert_eq!(g.len(), 2, "case {case}");
             let (u, v) = (g.members()[0], g.members()[1]);
-            prop_assert!(oracle.farther_than(u, v, 1));
+            assert!(oracle.farther_than(u, v, 1), "case {case}");
         }
 
         // Disjoint groups ⇒ dL = 1 whenever there are ≥ 2 groups.
         if out.groups.len() >= 2 {
-            prop_assert!((out.diversity - 1.0).abs() < 1e-9);
+            assert!((out.diversity - 1.0).abs() < 1e-9, "case {case}");
         }
 
         // §VI-C bound holds when the full N groups were produced.
         if out.groups.len() == query.base().n() && query.base().n() >= 2 {
             let bound = dktg::approximation_ratio(gamma, query.base().keywords().len());
-            prop_assert!(out.score >= bound - 1e-9, "score {} < bound {}", out.score, bound);
+            assert!(
+                out.score >= bound - 1e-9,
+                "case {case}: score {} < bound {}",
+                out.score,
+                bound
+            );
         }
     }
+}
 
-    #[test]
-    fn diversity_function_is_a_jaccard_distance(
-        a_ids in proptest::collection::btree_set(0u32..12, 1..5),
-        b_ids in proptest::collection::btree_set(0u32..12, 1..5),
-    ) {
-        use ktg_core::Group;
-        use ktg_common::VertexId;
+#[test]
+fn diversity_function_is_a_jaccard_distance() {
+    use ktg_common::VertexId;
+    use ktg_core::Group;
+    use std::collections::BTreeSet;
+
+    let mut rng = SeededRng::seed_from_u64(0xD1F);
+    let random_set = |rng: &mut SeededRng| -> BTreeSet<u32> {
+        let len = rng.gen_range(1..5usize);
+        let mut ids = BTreeSet::new();
+        while ids.len() < len {
+            ids.insert(rng.gen_range(0u32..12));
+        }
+        ids
+    };
+    for case in 0..128 {
+        let a_ids = random_set(&mut rng);
+        let b_ids = random_set(&mut rng);
         let a = Group::new(a_ids.iter().map(|&i| VertexId(i)).collect(), 0);
         let b = Group::new(b_ids.iter().map(|&i| VertexId(i)).collect(), 0);
         let d_ab = dktg::diversity_dl(&a, &b);
         let d_ba = dktg::diversity_dl(&b, &a);
-        prop_assert!((d_ab - d_ba).abs() < 1e-12, "symmetry");
-        prop_assert!((0.0..=1.0).contains(&d_ab), "range");
-        prop_assert_eq!(dktg::diversity_dl(&a, &a), 0.0, "identity");
+        assert!((d_ab - d_ba).abs() < 1e-12, "case {case}: symmetry");
+        assert!((0.0..=1.0).contains(&d_ab), "case {case}: range");
+        assert_eq!(dktg::diversity_dl(&a, &a), 0.0, "case {case}: identity");
         if a_ids.is_disjoint(&b_ids) {
-            prop_assert!((d_ab - 1.0).abs() < 1e-12, "disjoint groups at distance 1");
+            assert!((d_ab - 1.0).abs() < 1e-12, "case {case}: disjoint groups at distance 1");
         }
     }
+}
 
-    #[test]
-    fn first_greedy_group_is_coverage_optimal(
-        n in 6usize..16,
-        density in 0.05f64..0.4,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn first_greedy_group_is_coverage_optimal() {
+    let mut rng = SeededRng::seed_from_u64(0x0971);
+    for case in 0..64 {
+        let n = rng.gen_range(6..16usize);
+        let density = rng.gen_range(0.05..0.4);
+        let seed = rng.gen_range(0u64..500);
         let net = random_network(n, density, 5, 3, seed);
         let base = KtgQuery::new(random_query(&net, 3, seed), 2, 1, 2).expect("valid");
         let oracle = ExactOracle::build(net.graph());
@@ -96,10 +114,10 @@ proptest! {
         let out = dktg::solve(&net, &query, &oracle);
         match (ktg.groups.first(), out.groups.first()) {
             (Some(best), Some(first)) => {
-                prop_assert_eq!(first.coverage_count(), best.coverage_count());
+                assert_eq!(first.coverage_count(), best.coverage_count(), "case {case}");
             }
             (None, None) => {}
-            (a, b) => prop_assert!(false, "existence mismatch: {:?} vs {:?}", a, b),
+            (a, b) => panic!("case {case}: existence mismatch: {a:?} vs {b:?}"),
         }
     }
 }

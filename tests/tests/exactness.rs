@@ -1,32 +1,31 @@
-//! Property tests: every branch-and-bound variant is **exact**.
+//! Randomized tests: every branch-and-bound variant is **exact**.
 //!
 //! On arbitrary attributed networks, each algorithm configuration must
 //! return groups with the same top-N coverage multiset as brute force,
-//! and every returned group must be feasible (size p, pairwise distance
-//! > k, every member covering ≥ 1 query keyword).
+//! and every returned group must be feasible (size p, every pairwise
+//! distance over k, every member covering ≥ 1 query keyword). Cases come
+//! from a fixed-seed RNG so failures reproduce exactly.
 
+use ktg_common::SeededRng;
 use ktg_core::{bb, brute, KtgQuery, MemberOrdering};
 use ktg_index::{DistanceOracle, ExactOracle};
 use ktg_integration_tests::{random_network, random_query};
-use proptest::prelude::*;
 
 fn coverage_counts(groups: &[ktg_core::Group]) -> Vec<u32> {
     groups.iter().map(|g| g.coverage_count()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn bb_matches_brute_force(
-        n in 4usize..18,
-        density in 0.05f64..0.5,
-        seed in 0u64..1000,
-        p in 2usize..4,
-        k in 0u32..4,
-        top_n in 1usize..4,
-        wq in 2usize..5,
-    ) {
+#[test]
+fn bb_matches_brute_force() {
+    let mut rng = SeededRng::seed_from_u64(0xB8);
+    for case in 0..64 {
+        let n = rng.gen_range(4..18usize);
+        let density = rng.gen_range(0.05..0.5);
+        let seed = rng.gen_range(0u64..1000);
+        let p = rng.gen_range(2..4usize);
+        let k = rng.gen_range(0u32..4);
+        let top_n = rng.gen_range(1..4usize);
+        let wq = rng.gen_range(2..5usize);
         let net = random_network(n, density, 6, 3, seed);
         let query = KtgQuery::new(random_query(&net, wq, seed), p, k, top_n).expect("valid");
         let oracle = ExactOracle::build(net.graph());
@@ -38,22 +37,25 @@ proptest! {
             MemberOrdering::VkcDeg,
             MemberOrdering::VkcDegDesc,
         ] {
-            let out = bb::solve(&net, &query, &oracle, &bb::BbOptions::vkc().with_ordering(ordering));
-            prop_assert_eq!(
+            let out =
+                bb::solve(&net, &query, &oracle, &bb::BbOptions::vkc().with_ordering(ordering));
+            assert_eq!(
                 coverage_counts(&out.groups),
                 coverage_counts(&reference.groups),
-                "ordering {:?} diverged from brute force", ordering
+                "case {case}: ordering {ordering:?} diverged from brute force"
             );
         }
     }
+}
 
-    #[test]
-    fn pruning_toggles_stay_exact(
-        n in 4usize..16,
-        density in 0.05f64..0.5,
-        seed in 0u64..1000,
-        k in 0u32..3,
-    ) {
+#[test]
+fn pruning_toggles_stay_exact() {
+    let mut rng = SeededRng::seed_from_u64(0x9121);
+    for case in 0..64 {
+        let n = rng.gen_range(4..16usize);
+        let density = rng.gen_range(0.05..0.5);
+        let seed = rng.gen_range(0u64..1000);
+        let k = rng.gen_range(0u32..3);
         let net = random_network(n, density, 5, 3, seed);
         let query = KtgQuery::new(random_query(&net, 3, seed), 3, k, 2).expect("valid");
         let oracle = ExactOracle::build(net.graph());
@@ -65,57 +67,61 @@ proptest! {
                 ..bb::BbOptions::vkc_deg()
             };
             let out = bb::solve(&net, &query, &oracle, &opts);
-            prop_assert_eq!(
+            assert_eq!(
                 coverage_counts(&out.groups),
                 coverage_counts(&reference.groups),
-                "kp={} kf={}", kp, kf
+                "case {case}: kp={kp} kf={kf}"
             );
         }
     }
+}
 
-    #[test]
-    fn results_are_always_feasible(
-        n in 4usize..20,
-        density in 0.05f64..0.6,
-        seed in 0u64..1000,
-        p in 2usize..5,
-        k in 0u32..4,
-    ) {
+#[test]
+fn results_are_always_feasible() {
+    let mut rng = SeededRng::seed_from_u64(0xFEA5);
+    for case in 0..64 {
+        let n = rng.gen_range(4..20usize);
+        let density = rng.gen_range(0.05..0.6);
+        let seed = rng.gen_range(0u64..1000);
+        let p = rng.gen_range(2..5usize);
+        let k = rng.gen_range(0u32..4);
         let net = random_network(n, density, 6, 3, seed);
         let query = KtgQuery::new(random_query(&net, 4, seed), p, k, 3).expect("valid");
         let oracle = ExactOracle::build(net.graph());
         let masks = net.compile(query.keywords());
         let out = bb::solve(&net, &query, &oracle, &bb::BbOptions::vkc_deg());
         for g in &out.groups {
-            prop_assert_eq!(g.len(), p, "group size must be exactly p");
+            assert_eq!(g.len(), p, "case {case}: group size must be exactly p");
             // Pairwise tenuity.
             for (i, &u) in g.members().iter().enumerate() {
                 for &v in &g.members()[i + 1..] {
-                    prop_assert!(
+                    assert!(
                         oracle.farther_than(u, v, k),
-                        "{:?} and {:?} within {} hops", u, v, k
+                        "case {case}: {u:?} and {v:?} within {k} hops"
                     );
                 }
             }
             // Per-member keyword constraint: 0 < QKC(v).
             for &v in g.members() {
-                prop_assert!(masks.mask(v) != 0, "{:?} covers no query keyword", v);
+                assert!(masks.mask(v) != 0, "case {case}: {v:?} covers no query keyword");
             }
             // Reported mask is the true union.
             let union = g.members().iter().fold(0u64, |m, &v| m | masks.mask(v));
-            prop_assert_eq!(g.mask(), union);
+            assert_eq!(g.mask(), union, "case {case}");
         }
         // Descending coverage order.
         for w in out.groups.windows(2) {
-            prop_assert!(w[0].coverage_count() >= w[1].coverage_count());
+            assert!(w[0].coverage_count() >= w[1].coverage_count(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn node_budget_degrades_gracefully(
-        n in 6usize..16,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn node_budget_degrades_gracefully() {
+    let mut rng = SeededRng::seed_from_u64(0xB0D6);
+    for case in 0..64 {
+        let n = rng.gen_range(6..16usize);
+        let seed = rng.gen_range(0u64..500);
         let net = random_network(n, 0.2, 5, 3, seed);
         let query = KtgQuery::new(random_query(&net, 3, seed), 3, 1, 2).expect("valid");
         let oracle = ExactOracle::build(net.graph());
@@ -123,8 +129,8 @@ proptest! {
         let out = bb::solve(&net, &query, &oracle, &opts);
         // Whatever is returned must still be feasible.
         for g in &out.groups {
-            prop_assert_eq!(g.len(), 3);
+            assert_eq!(g.len(), 3, "case {case}");
         }
-        prop_assert!(out.stats.nodes <= 5, "budget respected (± the final node)");
+        assert!(out.stats.nodes <= 5, "case {case}: budget respected (± the final node)");
     }
 }

@@ -1,24 +1,23 @@
-//! Property tests: every distance oracle agrees with ground truth.
+//! Randomized tests: every distance oracle agrees with ground truth.
 //!
 //! NL, NLRNL and the BFS oracle must answer `Dis(u, v) > k` identically
 //! to the all-pairs table, for every pair and every k, on arbitrary
 //! graphs — including disconnected ones. NLRNL's exact distance recovery
-//! and dynamic maintenance are covered here too.
+//! and dynamic maintenance are covered here too. All cases are drawn from
+//! a fixed-seed RNG, so failures reproduce exactly.
 
+use ktg_common::SeededRng;
 use ktg_graph::{bfs, DynamicGraph, VertexId};
 use ktg_index::{BfsOracle, DistanceOracle, ExactOracle, NlIndex, NlrnlIndex, PllIndex};
 use ktg_integration_tests::random_graph;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn all_oracles_agree_with_ground_truth(
-        n in 2usize..24,
-        density in 0.0f64..0.6,
-        seed in 0u64..2000,
-    ) {
+#[test]
+fn all_oracles_agree_with_ground_truth() {
+    let mut rng = SeededRng::seed_from_u64(0x04AC1E);
+    for case in 0..48 {
+        let n = rng.gen_range(2..24usize);
+        let density = rng.gen_range(0.0..0.6);
+        let seed = rng.gen_range(0u64..2000);
         let g = random_graph(n, density, seed);
         let exact = ExactOracle::build(&g);
         let nl = NlIndex::build(&g);
@@ -30,21 +29,35 @@ proptest! {
             for v in g.vertices() {
                 for k in 0..k_max {
                     let truth = exact.farther_than(u, v, k);
-                    prop_assert_eq!(nl.farther_than(u, v, k), truth, "NL ({:?},{:?},{})", u, v, k);
-                    prop_assert_eq!(nlrnl.farther_than(u, v, k), truth, "NLRNL ({:?},{:?},{})", u, v, k);
-                    prop_assert_eq!(pll.farther_than(u, v, k), truth, "PLL ({:?},{:?},{})", u, v, k);
-                    prop_assert_eq!(bfs_oracle.farther_than(u, v, k), truth, "BFS ({:?},{:?},{})", u, v, k);
+                    assert_eq!(nl.farther_than(u, v, k), truth, "case {case}: NL ({u:?},{v:?},{k})");
+                    assert_eq!(
+                        nlrnl.farther_than(u, v, k),
+                        truth,
+                        "case {case}: NLRNL ({u:?},{v:?},{k})"
+                    );
+                    assert_eq!(
+                        pll.farther_than(u, v, k),
+                        truth,
+                        "case {case}: PLL ({u:?},{v:?},{k})"
+                    );
+                    assert_eq!(
+                        bfs_oracle.farther_than(u, v, k),
+                        truth,
+                        "case {case}: BFS ({u:?},{v:?},{k})"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn nlrnl_distance_recovery_is_exact(
-        n in 2usize..20,
-        density in 0.0f64..0.6,
-        seed in 0u64..2000,
-    ) {
+#[test]
+fn nlrnl_distance_recovery_is_exact() {
+    let mut rng = SeededRng::seed_from_u64(0xD157);
+    for case in 0..48 {
+        let n = rng.gen_range(2..20usize);
+        let density = rng.gen_range(0.0..0.6);
+        let seed = rng.gen_range(0u64..2000);
         let g = random_graph(n, density, seed);
         let exact = ExactOracle::build(&g);
         let nlrnl = NlrnlIndex::build(&g);
@@ -53,30 +66,29 @@ proptest! {
                 let truth = exact.distance(u, v);
                 let got = nlrnl.distance(u, v);
                 if truth == u32::MAX {
-                    prop_assert_eq!(got, None);
+                    assert_eq!(got, None, "case {case}: ({u:?}, {v:?})");
                 } else {
-                    prop_assert_eq!(got, Some(truth), "({:?}, {:?})", u, v);
+                    assert_eq!(got, Some(truth), "case {case}: ({u:?}, {v:?})");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn nlrnl_dynamic_updates_match_rebuild(
-        n in 3usize..16,
-        density in 0.05f64..0.5,
-        seed in 0u64..1000,
-        mutations in 1usize..6,
-    ) {
+#[test]
+fn nlrnl_dynamic_updates_match_rebuild() {
+    let mut rng = SeededRng::seed_from_u64(0xD1AC);
+    for case in 0..48 {
+        let n = rng.gen_range(3..16usize);
+        let density = rng.gen_range(0.05..0.5);
+        let seed = rng.gen_range(0u64..1000);
+        let mutations = rng.gen_range(1..6usize);
         let csr = random_graph(n, density, seed);
         let mut graph = DynamicGraph::from_csr(&csr);
         let mut index = NlrnlIndex::build(&graph);
-        let mut s = seed;
         for _ in 0..mutations {
-            // Deterministic pseudo-random mutation stream.
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let u = VertexId((s >> 16) as u32 % n as u32);
-            let v = VertexId((s >> 40) as u32 % n as u32);
+            let u = VertexId(rng.gen_range(0..n as u32));
+            let v = VertexId(rng.gen_range(0..n as u32));
             if u == v {
                 continue;
             }
@@ -92,22 +104,24 @@ proptest! {
             for a in 0..n {
                 for b in 0..n {
                     let (a, b) = (VertexId(a as u32), VertexId(b as u32));
-                    prop_assert_eq!(
+                    assert_eq!(
                         index.distance(a, b),
                         fresh.distance(a, b),
-                        "distance mismatch after mutating ({:?}, {:?})", u, v
+                        "case {case}: distance mismatch after mutating ({u:?}, {v:?})"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn nl_expansion_cache_is_stable(
-        n in 4usize..20,
-        density in 0.05f64..0.3,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn nl_expansion_cache_is_stable() {
+    let mut rng = SeededRng::seed_from_u64(0xCAC4E);
+    for case in 0..48 {
+        let n = rng.gen_range(4..20usize);
+        let density = rng.gen_range(0.05..0.3);
+        let seed = rng.gen_range(0u64..1000);
         let g = random_graph(n, density, seed);
         let nl = NlIndex::build(&g);
         let exact = ExactOracle::build(&g);
@@ -118,23 +132,25 @@ proptest! {
             for u in g.vertices() {
                 for v in g.vertices() {
                     for k in (0..k_max).rev() {
-                        prop_assert_eq!(
+                        assert_eq!(
                             nl.farther_than(u, v, k),
                             exact.farther_than(u, v, k),
-                            "round {} ({:?},{:?},{})", round, u, v, k
+                            "case {case}: round {round} ({u:?},{v:?},{k})"
                         );
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn bounded_bfs_matches_table(
-        n in 2usize..24,
-        density in 0.0f64..0.5,
-        seed in 0u64..2000,
-    ) {
+#[test]
+fn bounded_bfs_matches_table() {
+    let mut rng = SeededRng::seed_from_u64(0xBF5);
+    for case in 0..48 {
+        let n = rng.gen_range(2..24usize);
+        let density = rng.gen_range(0.0..0.5);
+        let seed = rng.gen_range(0u64..2000);
         let g = random_graph(n, density, seed);
         let table = bfs::all_pairs_distances(&g);
         let mut scratch = ktg_graph::BfsScratch::new(n);
@@ -143,25 +159,23 @@ proptest! {
                 let truth = table[u.index()][v.index()];
                 let got = bfs::distance_bounded(&g, u, v, n + 2, &mut scratch);
                 if truth == u32::MAX {
-                    prop_assert_eq!(got, None);
+                    assert_eq!(got, None, "case {case}");
                 } else {
-                    prop_assert_eq!(got, Some(truth));
+                    assert_eq!(got, Some(truth), "case {case}");
                 }
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn nlrnl_persistence_roundtrip(
-        n in 2usize..20,
-        density in 0.0f64..0.5,
-        seed in 0u64..1000,
-    ) {
-        use ktg_index::persist;
+#[test]
+fn nlrnl_persistence_roundtrip() {
+    use ktg_index::persist;
+    let mut rng = SeededRng::seed_from_u64(0x9E4515);
+    for case in 0..32 {
+        let n = rng.gen_range(2..20usize);
+        let density = rng.gen_range(0.0..0.5);
+        let seed = rng.gen_range(0u64..1000);
         let g = random_graph(n, density, seed);
         let index = NlrnlIndex::build(&g);
         let mut buf = Vec::new();
@@ -169,32 +183,33 @@ proptest! {
         let loaded = persist::load_nlrnl(&g, buf.as_slice()).expect("deserialize");
         for u in g.vertices() {
             for v in g.vertices() {
-                prop_assert_eq!(index.distance(u, v), loaded.distance(u, v));
+                assert_eq!(index.distance(u, v), loaded.distance(u, v), "case {case}");
                 for k in 0..(n as u32 + 2) {
-                    prop_assert_eq!(
+                    assert_eq!(
                         index.farther_than(u, v, k),
-                        loaded.farther_than(u, v, k)
+                        loaded.farther_than(u, v, k),
+                        "case {case}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn dynamic_wrapper_matches_exact_after_mutations(
-        n in 3usize..14,
-        density in 0.05f64..0.5,
-        seed in 0u64..500,
-        mutations in 1usize..5,
-    ) {
-        use ktg_index::DynamicNlrnl;
+#[test]
+fn dynamic_wrapper_matches_exact_after_mutations() {
+    use ktg_index::DynamicNlrnl;
+    let mut rng = SeededRng::seed_from_u64(0xD7A);
+    for case in 0..32 {
+        let n = rng.gen_range(3..14usize);
+        let density = rng.gen_range(0.05..0.5);
+        let seed = rng.gen_range(0u64..500);
+        let mutations = rng.gen_range(1..5usize);
         let csr = random_graph(n, density, seed);
         let mut dynamic = DynamicNlrnl::new(&csr);
-        let mut s = seed;
         for _ in 0..mutations {
-            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-            let u = VertexId((s >> 16) as u32 % n as u32);
-            let v = VertexId((s >> 40) as u32 % n as u32);
+            let u = VertexId(rng.gen_range(0..n as u32));
+            let v = VertexId(rng.gen_range(0..n as u32));
             if u == v {
                 continue;
             }
@@ -209,9 +224,10 @@ proptest! {
             for v in 0..n as u32 {
                 for k in 0..(n as u32 + 2) {
                     let (u, v) = (VertexId(u), VertexId(v));
-                    prop_assert_eq!(
+                    assert_eq!(
                         dynamic.farther_than(u, v, k),
-                        exact.farther_than(u, v, k)
+                        exact.farther_than(u, v, k),
+                        "case {case}"
                     );
                 }
             }

@@ -1,21 +1,20 @@
-//! Property tests for the substrate crates: the hand-rolled containers
+//! Randomized tests for the substrate crates: the hand-rolled containers
 //! and the query-compilation pipeline are checked against straightforward
-//! reference models.
+//! reference models over seeded random inputs (deterministic — rerun a
+//! failing case by its printed seed).
 
-use ktg_common::{EpochMarker, FixedBitSet, FxHashMap, TopN, VertexId};
+use ktg_common::{EpochMarker, FixedBitSet, FxHashMap, SeededRng, TopN, VertexId};
 use ktg_integration_tests::random_network;
 use ktg_keywords::{coverage, KeywordId, QueryKeywords};
-use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn topn_matches_sort_reference(
-        items in proptest::collection::vec(0i64..1000, 0..80),
-        capacity in 1usize..10,
-    ) {
+#[test]
+fn topn_matches_sort_reference() {
+    let mut rng = SeededRng::seed_from_u64(0x70B1);
+    for case in 0..128 {
+        let len = rng.gen_range(0..80usize);
+        let items: Vec<i64> = (0..len).map(|_| rng.gen_range(0i64..1000)).collect();
+        let capacity = rng.gen_range(1..10usize);
         let mut top = TopN::new(capacity);
         for &x in &items {
             top.offer(x);
@@ -24,17 +23,20 @@ proptest! {
         let mut expected = items.clone();
         expected.sort_by(|a, b| b.cmp(a));
         expected.truncate(capacity);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn fixed_bitset_matches_btreeset(
-        ops in proptest::collection::vec((0usize..200, proptest::bool::ANY), 0..200),
-    ) {
+#[test]
+fn fixed_bitset_matches_btreeset() {
+    let mut rng = SeededRng::seed_from_u64(0xB175E7);
+    for case in 0..128 {
+        let ops = rng.gen_range(0..200usize);
         let mut bs = FixedBitSet::new(200);
         let mut model: BTreeSet<usize> = BTreeSet::new();
-        for (i, insert) in ops {
-            if insert {
+        for _ in 0..ops {
+            let i = rng.gen_range(0..200usize);
+            if rng.gen_bool(0.5) {
                 bs.insert(i);
                 model.insert(i);
             } else {
@@ -42,61 +44,67 @@ proptest! {
                 model.remove(&i);
             }
         }
-        prop_assert_eq!(bs.count_ones(), model.len());
+        assert_eq!(bs.count_ones(), model.len(), "case {case}");
         let got: Vec<usize> = bs.iter_ones().collect();
         let expected: Vec<usize> = model.into_iter().collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn epoch_marker_matches_set_with_resets(
-        ops in proptest::collection::vec(proptest::option::of(0usize..50), 0..300),
-    ) {
-        // `None` = reset, `Some(i)` = mark i.
+#[test]
+fn epoch_marker_matches_set_with_resets() {
+    let mut rng = SeededRng::seed_from_u64(0xE70C);
+    for case in 0..128 {
+        let ops = rng.gen_range(0..300usize);
         let mut em = EpochMarker::new(50);
         let mut model: BTreeSet<usize> = BTreeSet::new();
-        for op in ops {
-            match op {
-                None => {
-                    em.reset();
-                    model.clear();
-                }
-                Some(i) => {
-                    let fresh = em.mark(i);
-                    prop_assert_eq!(fresh, model.insert(i), "mark({}) freshness", i);
-                }
+        for _ in 0..ops {
+            // ~1 in 8 operations is a reset; the rest mark a random slot.
+            if rng.gen_bool(0.125) {
+                em.reset();
+                model.clear();
+            } else {
+                let i = rng.gen_range(0..50usize);
+                let fresh = em.mark(i);
+                assert_eq!(fresh, model.insert(i), "case {case}: mark({i}) freshness");
             }
         }
         for i in 0..50 {
-            prop_assert_eq!(em.is_marked(i), model.contains(&i), "slot {}", i);
+            assert_eq!(em.is_marked(i), model.contains(&i), "case {case}: slot {i}");
         }
     }
+}
 
-    #[test]
-    fn fxhashmap_matches_btreemap(
-        ops in proptest::collection::vec((0u64..100, 0i32..100, proptest::bool::ANY), 0..200),
-    ) {
+#[test]
+fn fxhashmap_matches_btreemap() {
+    let mut rng = SeededRng::seed_from_u64(0xF0C5ED);
+    for case in 0..128 {
+        let ops = rng.gen_range(0..200usize);
         let mut fx: FxHashMap<u64, i32> = FxHashMap::default();
         let mut model: BTreeMap<u64, i32> = BTreeMap::new();
-        for (k, v, insert) in ops {
-            if insert {
-                prop_assert_eq!(fx.insert(k, v), model.insert(k, v));
+        for _ in 0..ops {
+            let k = rng.gen_range(0u64..100);
+            let v = rng.gen_range(0i32..100);
+            if rng.gen_bool(0.5) {
+                assert_eq!(fx.insert(k, v), model.insert(k, v), "case {case}");
             } else {
-                prop_assert_eq!(fx.remove(&k), model.remove(&k));
+                assert_eq!(fx.remove(&k), model.remove(&k), "case {case}");
             }
         }
-        prop_assert_eq!(fx.len(), model.len());
+        assert_eq!(fx.len(), model.len(), "case {case}");
         for (k, v) in &model {
-            prop_assert_eq!(fx.get(k), Some(v));
+            assert_eq!(fx.get(k), Some(v), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn query_compile_matches_naive_scan(
-        n in 1usize..30,
-        seed in 0u64..500,
-        wq in 1usize..6,
-    ) {
+#[test]
+fn query_compile_matches_naive_scan() {
+    let mut rng = SeededRng::seed_from_u64(0xC0117);
+    for case in 0..128 {
+        let n = rng.gen_range(1..30usize);
+        let seed = rng.gen_range(0u64..500);
+        let wq = rng.gen_range(1..6usize);
         let net = random_network(n, 0.2, 8, 4, seed);
         let ids: Vec<KeywordId> = (0..wq as u32).map(KeywordId).collect();
         let query = QueryKeywords::new(ids.clone()).expect("valid");
@@ -110,38 +118,51 @@ proptest! {
                     expected |= 1 << bit;
                 }
             }
-            prop_assert_eq!(masks.mask(v), expected, "vertex {:?}", v);
+            assert_eq!(masks.mask(v), expected, "case {case}: vertex {v:?}");
         }
         // Candidates = exactly the nonzero-mask vertices, sorted.
         let expected_cands: Vec<VertexId> = (0..n)
             .map(VertexId::new)
             .filter(|&v| masks.mask(v) != 0)
             .collect();
-        prop_assert_eq!(masks.candidates(), expected_cands.as_slice());
+        assert_eq!(masks.candidates(), expected_cands.as_slice(), "case {case}");
     }
+}
 
-    #[test]
-    fn coverage_identities(mask_a in any::<u64>(), mask_b in any::<u64>(), covered in any::<u64>()) {
+#[test]
+fn coverage_identities() {
+    let mut rng = SeededRng::seed_from_u64(0xC0FE);
+    for case in 0..256 {
+        let mask_a = rng.next_u64();
+        let mask_b = rng.next_u64();
+        let covered = rng.next_u64();
         // VKC decomposition: new + already-covered = total.
         let total = coverage::covered_count(mask_a);
         let new = coverage::vkc_count(mask_a, covered);
         let old = coverage::covered_count(mask_a & covered);
-        prop_assert_eq!(new + old, total);
+        assert_eq!(new + old, total, "case {case}");
         // Group mask is commutative and monotone.
-        prop_assert_eq!(coverage::group_mask([mask_a, mask_b]), coverage::group_mask([mask_b, mask_a]));
-        prop_assert!(coverage::covered_count(mask_a | mask_b) >= total);
+        assert_eq!(
+            coverage::group_mask([mask_a, mask_b]),
+            coverage::group_mask([mask_b, mask_a]),
+            "case {case}"
+        );
+        assert!(coverage::covered_count(mask_a | mask_b) >= total, "case {case}");
         // VKC against a superset-covered mask never grows.
-        prop_assert!(coverage::vkc_count(mask_a, covered | mask_b) <= new);
+        assert!(coverage::vkc_count(mask_a, covered | mask_b) <= new, "case {case}");
     }
+}
 
-    #[test]
-    fn group_qkc_bounded_by_member_sum(
-        masks in proptest::collection::vec(any::<u64>(), 1..6),
-    ) {
+#[test]
+fn group_qkc_bounded_by_member_sum() {
+    let mut rng = SeededRng::seed_from_u64(0x6B0);
+    for case in 0..256 {
+        let len = rng.gen_range(1..6usize);
+        let masks: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
         let union = coverage::covered_count(coverage::group_mask(masks.iter().copied()));
         let sum: u32 = masks.iter().map(|&m| coverage::covered_count(m)).sum();
-        prop_assert!(union as u64 <= (sum as u64));
+        assert!(union as u64 <= sum as u64, "case {case}");
         let max_single = masks.iter().map(|&m| coverage::covered_count(m)).max().unwrap();
-        prop_assert!(union >= max_single);
+        assert!(union >= max_single, "case {case}");
     }
 }

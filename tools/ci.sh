@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Offline CI gate for the ktg workspace.
+#
+# The build must succeed with no network and no registry cache, and no
+# manifest may regain an external (registry) dependency. Run from
+# anywhere; operates on the repo root.
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+echo "== offline release build =="
+cargo build --release --offline
+
+echo "== offline test suite =="
+cargo test -q --offline
+
+echo "== dependency gate =="
+# The historical external deps must never reappear in any manifest.
+manifests=(Cargo.toml crates/*/Cargo.toml examples/Cargo.toml tests/Cargo.toml)
+banned='crossbeam|parking_lot|rand|proptest|criterion'
+if grep -En "$banned" "${manifests[@]}"; then
+    echo "FAIL: external dependency reference found in a manifest" >&2
+    exit 1
+fi
+
+# More generally: every dependency must be a path dependency on a sibling
+# crate. Flag any `version = "..."` / bare-version dependency entry.
+fail=0
+for m in "${manifests[@]}"; do
+    if python3 - "$m" <<'PY'
+import re, sys
+
+path = sys.argv[1]
+section = None
+bad = []
+for lineno, line in enumerate(open(path), 1):
+    stripped = line.strip()
+    m = re.match(r'\[(.+)\]$', stripped)
+    if m:
+        section = m.group(1)
+        continue
+    if not section or 'dependencies' not in section:
+        continue
+    if not stripped or stripped.startswith('#'):
+        continue
+    # `name = { path = ... }` or `name.workspace = true` are fine;
+    # `name = "1.0"` or `version = "..."` inside a dep table are not.
+    if re.match(r'[\w-]+\s*=\s*"', stripped) or 'version' in stripped:
+        bad.append((lineno, stripped))
+for lineno, text in bad:
+    print(f"{path}:{lineno}: registry dependency: {text}")
+sys.exit(1 if bad else 0)
+PY
+    then :; else fail=1; fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: non-path dependency found" >&2
+    exit 1
+fi
+
+echo "CI gate passed: offline build + tests green, zero external dependencies."
