@@ -7,7 +7,9 @@
 use crate::args::{Command, ParsedArgs};
 use ktg_common::{KtgError, Result, VertexId};
 use ktg_core::dktg::{self, DktgQuery};
-use ktg_core::{bb, candidates, explain, multi_query, AttributedGraph, KtgQuery, MemberOrdering};
+use ktg_core::{
+    bb, candidates, explain, multi_query, verify, AttributedGraph, KtgQuery, MemberOrdering,
+};
 use ktg_datasets::{DatasetProfile, QueryGen};
 use ktg_graph::{io as graph_io, stats};
 use ktg_index::{persist, BfsOracle, DistanceOracle, NlIndex, NlrnlIndex};
@@ -200,6 +202,11 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
         let gamma: f64 = args.num_or("gamma", 0.5)?;
         let dq = DktgQuery::new(query.clone(), gamma)?;
         let result = dktg::solve_with_candidates(&dq, &oracle, cands, &opts);
+        if verify::checked_mode_enabled() {
+            let report = verify::audit_dktg_results(&net, &dq, &result.groups);
+            assert!(report.is_ok(), "checked-mode verification failed: {report}");
+            writeln!(out, "checked mode: {report}")?;
+        }
         writeln!(
             out,
             "score = {:.3} (min QKC {:.3}, dL {:.3}) — {} groups",
@@ -213,6 +220,11 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
         }
     } else {
         let result = bb::solve_with_candidates(&query, &oracle, cands, &opts);
+        if verify::checked_mode_enabled() {
+            let report = verify::audit_results(&net, &query, &result.groups);
+            assert!(report.is_ok(), "checked-mode verification failed: {report}");
+            writeln!(out, "checked mode: {report}")?;
+        }
         writeln!(out, "{} groups (explored {} nodes)", result.groups.len(), result.stats.nodes)?;
         for (rank, g) in result.groups.iter().enumerate() {
             write_group(out, &net, &keywords, &masks, rank, g, args)?;

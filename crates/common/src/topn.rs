@@ -63,7 +63,15 @@ impl<T: Ord> TopN<T> {
     #[inline]
     pub fn threshold(&self) -> Option<&T> {
         if self.is_full() {
-            self.heap.peek().map(|r| &r.0)
+            let min = self.heap.peek().map(|r| &r.0);
+            #[cfg(debug_assertions)]
+            if let Some(m) = min {
+                debug_assert!(
+                    self.heap.iter().all(|r| &r.0 >= m),
+                    "heap order violated: peek is not the minimum retained item"
+                );
+            }
+            min
         } else {
             None
         }
@@ -75,19 +83,27 @@ impl<T: Ord> TopN<T> {
     /// retained only if **strictly greater** than the current minimum (ties
     /// keep the incumbent).
     pub fn offer(&mut self, item: T) -> bool {
+        debug_assert!(
+            self.heap.len() <= self.capacity,
+            "TopN invariant violated: holding {} items with capacity {}",
+            self.heap.len(),
+            self.capacity
+        );
         if self.heap.len() < self.capacity {
             self.heap.push(Reverse(item));
             return true;
         }
-        // Unwrap is fine: capacity > 0 and the heap is full.
-        let current_min = &self.heap.peek().expect("non-empty").0;
-        if item > *current_min {
-            self.heap.pop();
-            self.heap.push(Reverse(item));
-            true
-        } else {
-            false
-        }
+        // Capacity > 0 and the heap is full, so a minimum always exists.
+        let retained = match self.heap.peek() {
+            Some(Reverse(current_min)) if item > *current_min => {
+                self.heap.pop();
+                self.heap.push(Reverse(item));
+                true
+            }
+            _ => false,
+        };
+        debug_assert!(self.heap.len() == self.capacity, "offer at capacity must preserve size");
+        retained
     }
 
     /// Whether an item with the given value *would* be retained, without

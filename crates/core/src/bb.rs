@@ -176,7 +176,12 @@ pub fn solve(
 ) -> KtgOutcome {
     let masks = net.compile(query.keywords());
     let cands = candidates::collect(net.graph(), &masks);
-    solve_with_candidates(query, oracle, cands, opts)
+    let outcome = solve_with_candidates(query, oracle, cands, opts);
+    // Truncated searches may hold a sub-optimal (but still well-formed)
+    // result; the audit's ordering/tenuity/coverage contract holds either
+    // way, so checked mode gates every driver exit.
+    crate::verify::enforce(net, query, &outcome.groups);
+    outcome
 }
 
 /// Runs the search over a pre-extracted candidate set (used by
@@ -358,9 +363,13 @@ fn top_vkc_sum(covered: u64, s_r: &[Candidate], need: usize, sorted: bool) -> u3
         if top.len() < need {
             top.push(val);
             top.sort_unstable_by(|a, b| b.cmp(a));
-        } else if val > *top.last().expect("non-empty") {
-            *top.last_mut().expect("non-empty") = val;
-            top.sort_unstable_by(|a, b| b.cmp(a));
+        } else if let Some(last) = top.last_mut() {
+            // `top` is full here (need > 0 on every caller path), so the
+            // buffer minimum sits at the end of the descending slice.
+            if val > *last {
+                *last = val;
+                top.sort_unstable_by(|a, b| b.cmp(a));
+            }
         }
     }
     top.iter().sum()

@@ -163,7 +163,9 @@ pub fn solve_with_options(
 ) -> DktgOutcome {
     let masks = net.compile(query.base.keywords());
     let cands = candidates::collect(net.graph(), &masks);
-    solve_with_candidates(query, oracle, cands, inner_opts)
+    let outcome = solve_with_candidates(query, oracle, cands, inner_opts);
+    crate::verify::enforce_dktg(net, query, &outcome.groups);
+    outcome
 }
 
 /// DKTG-Greedy over a pre-extracted candidate pool.

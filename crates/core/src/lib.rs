@@ -63,6 +63,7 @@ pub mod query;
 pub mod stats;
 pub mod tagq;
 pub mod tenuity;
+pub mod verify;
 
 pub use bb::{BbOptions, KtgOutcome, MemberOrdering};
 pub use candidates::Candidate;
@@ -71,3 +72,4 @@ pub use group::Group;
 pub use network::AttributedGraph;
 pub use query::KtgQuery;
 pub use stats::SearchStats;
+pub use verify::{audit_results, AuditReport, Violation};

@@ -59,7 +59,19 @@ impl CsrGraph {
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         let i = v.index();
-        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        debug_assert!(i + 1 < self.offsets.len(), "vertex {v} out of range");
+        let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        debug_assert!(
+            start <= end && end <= self.neighbors.len(),
+            "offset table corrupt at {v}: {start}..{end} of {}",
+            self.neighbors.len()
+        );
+        let slice = &self.neighbors[start..end];
+        debug_assert!(
+            slice.windows(2).all(|w| w[0] < w[1]),
+            "neighbor list of {v} is not sorted+deduplicated"
+        );
+        slice
     }
 
     /// Degree of `v`.

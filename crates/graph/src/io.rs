@@ -40,12 +40,23 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut declared_vertices: Option<usize> = None;
 
-    let intern = |raw: u64, raw_ids: &mut Vec<u64>, id_map: &mut FxHashMap<u64, VertexId>| {
-        *id_map.entry(raw).or_insert_with(|| {
-            let id = VertexId::new(raw_ids.len());
-            raw_ids.push(raw);
-            id
-        })
+    let intern = |raw: u64,
+                  raw_ids: &mut Vec<u64>,
+                  id_map: &mut FxHashMap<u64, VertexId>|
+     -> Result<VertexId> {
+        if let Some(&id) = id_map.get(&raw) {
+            return Ok(id);
+        }
+        let next = raw_ids.len();
+        if next > u32::MAX as usize {
+            return Err(KtgError::input(
+                "edge list exceeds the u32 vertex id space (too many distinct vertices)",
+            ));
+        }
+        let id = VertexId(next as u32);
+        raw_ids.push(raw);
+        id_map.insert(raw, id);
+        Ok(id)
     };
 
     for (lineno, line) in reader.lines().enumerate() {
@@ -54,6 +65,15 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             if lineno == 0 {
                 declared_vertices = parse_ktg_header(trimmed);
+                if let Some(n) = declared_vertices {
+                    // Every id below `n` must fit a `VertexId`; rejecting the
+                    // header up front keeps the per-line casts truncation-free.
+                    if n > u32::MAX as usize {
+                        return Err(KtgError::input(format!(
+                            "declared vertex count {n} exceeds the u32 vertex id space"
+                        )));
+                    }
+                }
             }
             continue;
         }
@@ -78,8 +98,8 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph> {
             };
             edges.push((check(u)?, check(v)?));
         } else {
-            let du = intern(u, &mut raw_ids, &mut id_map);
-            let dv = intern(v, &mut raw_ids, &mut id_map);
+            let du = intern(u, &mut raw_ids, &mut id_map)?;
+            let dv = intern(v, &mut raw_ids, &mut id_map)?;
             edges.push((du, dv));
         }
     }
@@ -187,6 +207,14 @@ mod tests {
         assert_eq!(parse_ktg_header("# ktg edge list: 42 vertices, 7 edges"), Some(42));
         assert_eq!(parse_ktg_header("# some other comment"), None);
         assert_eq!(parse_ktg_header(""), None);
+    }
+
+    #[test]
+    fn oversized_declared_header_rejected() {
+        // 5e9 vertices cannot fit the u32 id space: the header itself must
+        // be rejected instead of letting `raw as u32` truncate ids later.
+        let text = "# ktg edge list: 5000000000 vertices, 1 edges\n0 4294967296\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
     }
 
     #[test]

@@ -24,7 +24,19 @@ pub fn write_keywords<W: Write>(
         if list.is_empty() {
             continue;
         }
-        let terms: Vec<&str> = list.iter().map(|&k| vocab.term(k)).collect();
+        let terms: Vec<&str> = list
+            .iter()
+            .map(|&k| {
+                if k.index() >= vocab.len() {
+                    return Err(KtgError::IndexMismatch(format!(
+                        "vertex {v} carries keyword id {} but the vocabulary has {} terms",
+                        k.index(),
+                        vocab.len()
+                    )));
+                }
+                Ok(vocab.term(k))
+            })
+            .collect::<Result<_>>()?;
         writeln!(w, "{v}\t{}", terms.join(","))?;
     }
     w.flush()?;
@@ -133,6 +145,16 @@ mod tests {
     fn duplicate_terms_collapse() {
         let (_, vk) = read_keywords(1, "0\ta,a,a".as_bytes()).unwrap();
         assert_eq!(vk.keywords(VertexId(0)), &[KeywordId(0)]);
+    }
+
+    #[test]
+    fn foreign_keyword_id_is_index_mismatch() {
+        // Profiles built against a different vocabulary must surface as an
+        // error from the write path, not an out-of-bounds panic.
+        let vocab = Vocabulary::new();
+        let vk = VertexKeywords::from_lists(&[vec![KeywordId(3)]]);
+        let err = write_keywords(&vocab, &vk, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, KtgError::IndexMismatch(_)), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! The ratchet baseline.
+//!
+//! Pre-existing violations are recorded in `tools/lint-baseline.txt` as
+//! `<lint-id> <path> <count>` lines. A CI run fails only when a file's
+//! count for some lint *exceeds* its recorded baseline — so the pass
+//! lands green on a codebase with history, while every regression (and
+//! every violation in a new file) fails immediately. Fixing violations
+//! makes the run report an improvement; `ktg-lint --update-baseline`
+//! then tightens the recorded counts so they cannot creep back.
+
+use crate::lints::{Finding, Lint};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Violation counts keyed by `(lint, path)` — the ratchet state.
+pub type Counts = BTreeMap<(Lint, String), usize>;
+
+/// Aggregates findings into baseline-comparable counts.
+pub fn count(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for f in findings {
+        *counts.entry((f.lint, f.path.clone())).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Parses a baseline file. Unknown lint ids and malformed lines are
+/// reported as errors — a corrupt baseline must not silently allow
+/// regressions.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(id), Some(path), Some(n), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("baseline line {}: expected `<lint> <path> <count>`", idx + 1));
+        };
+        let Some(lint) = Lint::from_id(id) else {
+            return Err(format!("baseline line {}: unknown lint id `{id}`", idx + 1));
+        };
+        let Ok(n) = n.parse::<usize>() else {
+            return Err(format!("baseline line {}: bad count `{n}`", idx + 1));
+        };
+        if counts.insert((lint, path.to_string()), n).is_some() {
+            return Err(format!("baseline line {}: duplicate entry for {id} {path}", idx + 1));
+        }
+    }
+    Ok(counts)
+}
+
+/// Renders counts as the canonical baseline file (sorted, commented).
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# ktg-lint ratchet baseline: pre-existing violations per (lint, file).\n\
+         # A run fails only when a count here is exceeded. Regenerate with\n\
+         #   cargo run -p ktg-lint --offline -- --update-baseline\n\
+         # after *reducing* counts; never hand-edit numbers upward.\n",
+    );
+    for ((lint, path), n) in counts {
+        if *n > 0 {
+            out.push_str(&format!("{} {} {}\n", lint.id(), path, n));
+        }
+    }
+    out
+}
+
+/// The verdict of a ratchet comparison.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// `(lint, path, current, baseline)` where current > baseline.
+    pub regressions: Vec<(Lint, String, usize, usize)>,
+    /// `(lint, path, current, baseline)` where current < baseline.
+    pub improvements: Vec<(Lint, String, usize, usize)>,
+}
+
+impl Comparison {
+    /// Whether the run passes the ratchet.
+    pub fn is_pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (lint, path, cur, base) in &self.regressions {
+            writeln!(
+                f,
+                "REGRESSION [{} {}] {}: {} violation(s), baseline allows {}",
+                lint.id(),
+                lint.name(),
+                path,
+                cur,
+                base
+            )?;
+        }
+        for (lint, path, cur, base) in &self.improvements {
+            writeln!(
+                f,
+                "improved  [{} {}] {}: {} violation(s), baseline recorded {}",
+                lint.id(),
+                lint.name(),
+                path,
+                cur,
+                base
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares current counts against the baseline.
+pub fn compare(current: &Counts, baseline: &Counts) -> Comparison {
+    let mut cmp = Comparison::default();
+    for ((lint, path), &cur) in current {
+        let base = baseline.get(&(*lint, path.clone())).copied().unwrap_or(0);
+        if cur > base {
+            cmp.regressions.push((*lint, path.clone(), cur, base));
+        } else if cur < base {
+            cmp.improvements.push((*lint, path.clone(), cur, base));
+        }
+    }
+    // Entries that vanished entirely are improvements too (stale baseline).
+    for ((lint, path), &base) in baseline {
+        if base > 0 && !current.contains_key(&(*lint, path.clone())) {
+            cmp.improvements.push((*lint, path.clone(), 0, base));
+        }
+    }
+    cmp.regressions.sort();
+    cmp.improvements.sort();
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: Lint, path: &str) -> Finding {
+        Finding { lint, path: path.to_string(), line: 1, message: String::new() }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let findings = vec![
+            finding(Lint::PanicInLib, "crates/a/src/x.rs"),
+            finding(Lint::PanicInLib, "crates/a/src/x.rs"),
+            finding(Lint::Nondeterminism, "crates/b/src/y.rs"),
+        ];
+        let counts = count(&findings);
+        let parsed = parse(&render(&counts)).unwrap();
+        assert_eq!(counts, parsed);
+        assert_eq!(parsed[&(Lint::PanicInLib, "crates/a/src/x.rs".to_string())], 2);
+    }
+
+    #[test]
+    fn regression_detected() {
+        let baseline = count(&[finding(Lint::PanicInLib, "a.rs")]);
+        let current = count(&[
+            finding(Lint::PanicInLib, "a.rs"),
+            finding(Lint::PanicInLib, "a.rs"),
+        ]);
+        let cmp = compare(&current, &baseline);
+        assert!(!cmp.is_pass());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].2, 2);
+        assert_eq!(cmp.regressions[0].3, 1);
+    }
+
+    #[test]
+    fn new_file_regresses_from_zero() {
+        let cmp = compare(&count(&[finding(Lint::DefaultHasher, "new.rs")]), &Counts::new());
+        assert!(!cmp.is_pass());
+        assert_eq!(cmp.regressions[0].3, 0);
+    }
+
+    #[test]
+    fn improvement_passes_and_is_reported() {
+        let baseline = count(&[
+            finding(Lint::PanicInLib, "a.rs"),
+            finding(Lint::PanicInLib, "a.rs"),
+            finding(Lint::UntaggedTodo, "gone.rs"),
+        ]);
+        let current = count(&[finding(Lint::PanicInLib, "a.rs")]);
+        let cmp = compare(&current, &baseline);
+        assert!(cmp.is_pass());
+        assert_eq!(cmp.improvements.len(), 2, "shrunk file + vanished file");
+    }
+
+    #[test]
+    fn malformed_baselines_are_errors() {
+        assert!(parse("L2 a.rs").is_err(), "missing count");
+        assert!(parse("L9 a.rs 1").is_err(), "unknown lint");
+        assert!(parse("L2 a.rs x").is_err(), "bad count");
+        assert!(parse("L2 a.rs 1 extra").is_err(), "trailing field");
+        assert!(parse("L2 a.rs 1\nL2 a.rs 2").is_err(), "duplicate");
+        assert!(parse("# comment\n\nL2 a.rs 1\n").is_ok());
+    }
+}

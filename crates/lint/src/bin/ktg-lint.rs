@@ -1,0 +1,131 @@
+//! `ktg-lint` — run the workspace lints against the ratchet baseline.
+//!
+//! ```text
+//! ktg-lint [--root DIR] [--update-baseline] [--list]
+//! ```
+//!
+//! * default: scan, compare with `tools/lint-baseline.txt`, print every
+//!   finding in regressed `(lint, file)` pairs, exit 1 on regression.
+//! * `--update-baseline`: rewrite the baseline to the current counts
+//!   (use after *reducing* violations; CI diffs will show any loosening).
+//! * `--list`: print every finding (including baselined ones) and the
+//!   per-lint totals; always exits 0. For exploration, not gating.
+
+use ktg_lint::{baseline, walk, BASELINE_PATH};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    update_baseline: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { root: None, update_baseline: false, list: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => {
+                return Err("usage: ktg-lint [--root DIR] [--update-baseline] [--list]".into())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("ktg-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    let root = match &opts.root {
+        Some(dir) => dir.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            walk::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory")?
+        }
+    };
+
+    let findings = ktg_lint::scan_workspace(&root).map_err(|e| e.to_string())?;
+    let current = baseline::count(&findings);
+
+    if opts.list {
+        for f in &findings {
+            println!("{f}");
+        }
+        let mut per_lint: Vec<(ktg_lint::Lint, usize)> = Vec::new();
+        for ((lint, _), n) in &current {
+            match per_lint.iter_mut().find(|(l, _)| l == lint) {
+                Some((_, total)) => *total += n,
+                None => per_lint.push((*lint, *n)),
+            }
+        }
+        for (lint, total) in per_lint {
+            println!("total [{} {}]: {total}", lint.id(), lint.name());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline_file = root.join(BASELINE_PATH);
+    if opts.update_baseline {
+        std::fs::write(&baseline_file, baseline::render(&current))
+            .map_err(|e| format!("writing {}: {e}", baseline_file.display()))?;
+        println!(
+            "ktg-lint: baseline rewritten with {} findings across {} (lint, file) pairs",
+            findings.len(),
+            current.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let base = match std::fs::read_to_string(&baseline_file) {
+        Ok(text) => baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(format!(
+                "no baseline at {} — run with --update-baseline to create it",
+                baseline_file.display()
+            ))
+        }
+        Err(e) => return Err(format!("reading {}: {e}", baseline_file.display())),
+    };
+
+    let cmp = ktg_lint::compare(&current, &base);
+    if !cmp.is_pass() {
+        // Show every finding in each regressed pair, so the offending
+        // lines are directly clickable.
+        for (lint, path, _, _) in &cmp.regressions {
+            for f in findings.iter().filter(|f| f.lint == *lint && &f.path == path) {
+                eprintln!("{f}");
+            }
+        }
+        eprint!("{cmp}");
+        eprintln!("ktg-lint: FAIL — {} regression(s)", cmp.regressions.len());
+        return Ok(ExitCode::FAILURE);
+    }
+    if !cmp.improvements.is_empty() {
+        print!("{cmp}");
+        println!("ktg-lint: baseline is stale — run `ktg-lint --update-baseline` to ratchet down");
+    }
+    println!(
+        "ktg-lint: PASS — {} findings, all within the committed baseline ({} pairs)",
+        findings.len(),
+        current.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}

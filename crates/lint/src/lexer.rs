@@ -1,0 +1,442 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The lints need to reason about *code*, not raw bytes: `"unwrap()"`
+//! inside a string literal, `// TODO(#1)` inside a doc example, and
+//! `.unwrap()` in an actual call chain are three different things that a
+//! `grep` cannot tell apart. This lexer tokenizes Rust source far enough
+//! to make those distinctions:
+//!
+//! * line comments (`//`), doc comments (`///`, `//!`) and nested block
+//!   comments (`/* /* */ */`, `/** */`, `/*! */`) become [`TokenKind`]
+//!   comment tokens carrying their text;
+//! * string literals (`"…"` with escapes, raw strings `r"…"` /
+//!   `r#"…"#` with any number of hashes, byte/C-string prefixes) and
+//!   char literals (`'a'`, `'\''`, `'\u{1F600}'`) become opaque literal
+//!   tokens — their *contents* are never scanned by any lint;
+//! * lifetimes (`'a`, `'static`) are distinguished from char literals;
+//! * identifiers (including raw `r#ident`) and single-char punctuation
+//!   carry through with line numbers for reporting.
+//!
+//! It does **not** build an AST, balance delimiters, or validate the
+//! source — rustc does that. It only has to be honest about where code
+//! stops and text begins.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `<`, `{`, ...).
+    Punct,
+    /// A numeric literal (lumped; lints never inspect numbers).
+    Number,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// A character literal (`'x'`, `'\n'`).
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A `//` comment. `text` includes the slashes, so doc comments are
+    /// recognizable by their `///` / `//!` prefix.
+    LineComment,
+    /// A `/* … */` comment (nesting handled); `text` includes delimiters.
+    BlockComment,
+}
+
+/// One token: kind, raw text slice, and 1-based line of its first byte.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: &'a str,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether this token is a comment of either flavour.
+    #[inline]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is an inner doc comment (`//!` or `/*! … */`).
+    #[inline]
+    pub fn is_inner_doc(&self) -> bool {
+        self.text.starts_with("//!") || self.text.starts_with("/*!")
+    }
+}
+
+/// Tokenizes `source`, comments included. Unterminated literals and
+/// comments are closed at end of input (the lexer never fails: rustc is
+/// the arbiter of validity, the linter must just survive anything).
+pub fn tokenize(source: &str) -> Vec<Token<'_>> {
+    Lexer { src: source.as_bytes(), text: source, pos: 0, line: 1 }.run()
+}
+
+/// Tokenizes and drops comments — the view most lints want.
+pub fn code_tokens(source: &str) -> Vec<Token<'_>> {
+    tokenize(source).into_iter().filter(|t| !t.is_comment()).collect()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut tokens = Vec::new();
+        while let Some(&b) = self.src.get(self.pos) {
+            let start = self.pos;
+            let line = self.line;
+            let kind = match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                _ if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' => match self.src.get(self.pos + 1) {
+                    Some(b'/') => {
+                        self.take_line_comment();
+                        TokenKind::LineComment
+                    }
+                    Some(b'*') => {
+                        self.take_block_comment();
+                        TokenKind::BlockComment
+                    }
+                    _ => {
+                        self.pos += 1;
+                        TokenKind::Punct
+                    }
+                },
+                b'"' => {
+                    self.take_string();
+                    TokenKind::Str
+                }
+                b'\'' => self.take_char_or_lifetime(),
+                b'r' | b'b' | b'c' => {
+                    if let Some(len) = raw_or_prefixed_string_len(&self.src[self.pos..]) {
+                        self.advance_counting_lines(len);
+                        TokenKind::Str
+                    } else {
+                        self.take_ident();
+                        TokenKind::Ident
+                    }
+                }
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.take_ident();
+                    TokenKind::Ident
+                }
+                _ if b.is_ascii_digit() => {
+                    self.take_number();
+                    TokenKind::Number
+                }
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct
+                }
+            };
+            tokens.push(Token { kind, text: &self.text[start..self.pos], line });
+        }
+        tokens
+    }
+
+    fn take_line_comment(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn take_block_comment(&mut self) {
+        // self.pos is at the leading '/'; consume "/*" then track nesting.
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.src.get(self.pos), self.src.get(self.pos + 1)) {
+                (None, _) => break,
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(&b), _) => {
+                    if b == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string starting at the current quote.
+    fn take_string(&mut self) {
+        self.pos += 1;
+        while let Some(&b) = self.src.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2, // skip the escaped byte
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` (char), `'\n'` (char), `'a` / `'static`
+    /// (lifetime / label) starting at the `'`.
+    fn take_char_or_lifetime(&mut self) -> TokenKind {
+        let rest = &self.src[self.pos + 1..];
+        match rest.first() {
+            // `'\…'` is always a char literal.
+            Some(b'\\') => {
+                self.pos += 2; // the quote and the backslash
+                // Skip the escape payload up to the closing quote.
+                while let Some(&b) = self.src.get(self.pos) {
+                    self.pos += 1;
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Char
+            }
+            // `'x'` where x is any single non-quote byte and the next byte
+            // is the closing quote.
+            Some(_) if rest.get(1) == Some(&b'\'') && rest[0] != b'\'' => {
+                self.pos += 3;
+                TokenKind::Char
+            }
+            // `'ident` with no closing quote: a lifetime or label.
+            Some(&b) if b == b'_' || b.is_ascii_alphabetic() => {
+                self.pos += 1;
+                self.take_ident();
+                TokenKind::Lifetime
+            }
+            _ => {
+                self.pos += 1;
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn take_ident(&mut self) {
+        // Raw identifier prefix `r#ident`.
+        if self.src.get(self.pos) == Some(&b'r') && self.src.get(self.pos + 1) == Some(&b'#') {
+            self.pos += 2;
+        }
+        while let Some(&b) = self.src.get(self.pos) {
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn take_number(&mut self) {
+        // Numbers only need to be skipped coherently: digits, `_`, `.`,
+        // radix/exponent letters and suffixes.
+        while let Some(&b) = self.src.get(self.pos) {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+                // Don't swallow `..` range operators or method calls on
+                // integer literals (`1..n`, `1.max(x)` keeps the dot only
+                // when followed by a digit).
+                if b == b'.' && !matches!(self.src.get(self.pos + 1), Some(d) if d.is_ascii_digit())
+                {
+                    break;
+                }
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Advances `len` bytes, keeping the line counter honest.
+    fn advance_counting_lines(&mut self, len: usize) {
+        for &b in &self.src[self.pos..self.pos + len] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos += len;
+    }
+}
+
+/// If `rest` starts a raw / byte / C string literal (`r"`, `r#"`, `br"`,
+/// `b"`, `c"`, `cr#"`, ...), returns the full literal length. Returns
+/// `None` when `rest` starts a plain identifier like `raw_ids`.
+fn raw_or_prefixed_string_len(rest: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    // Optional one-letter prefixes: b, c, br, cr — or bare r.
+    match rest.first()? {
+        b'b' | b'c' => {
+            i += 1;
+            if rest.get(i) == Some(&b'r') {
+                i += 1;
+            }
+        }
+        b'r' => i += 1,
+        _ => return None,
+    }
+    let hashes_start = i;
+    while rest.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    let hashes = i - hashes_start;
+    if rest.get(i) != Some(&b'"') {
+        return None;
+    }
+    // A raw string (one or more hashes, or bare r"/b"/c") — find the
+    // closing quote followed by `hashes` hashes. Escapes are only
+    // meaningful in non-raw strings (prefix without `r` and zero hashes).
+    let raw = hashes > 0 || rest[..i].contains(&b'r');
+    i += 1;
+    while i < rest.len() {
+        match rest[i] {
+            b'\\' if !raw => i += 2,
+            b'"' => {
+                let close = &rest[i + 1..];
+                if close.len() >= hashes && close[..hashes].iter().all(|&h| h == b'#') {
+                    return Some(i + 1 + hashes);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Some(rest.len()) // unterminated: consume to EOF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("let x = y.unwrap();");
+        assert_eq!(ts[0], (TokenKind::Ident, "let"));
+        assert_eq!(ts[3], (TokenKind::Ident, "y"));
+        assert_eq!(ts[4], (TokenKind::Punct, "."));
+        assert_eq!(ts[5], (TokenKind::Ident, "unwrap"));
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let ts = kinds(r#"let s = "x.unwrap() // not a comment";"#);
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!ts.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+        assert!(!ts.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let ts = kinds(r#""a\"b" c"#);
+        assert_eq!(ts[0].0, TokenKind::Str);
+        assert_eq!(ts[0].1, r#""a\"b""#);
+        assert_eq!(ts[1], (TokenKind::Ident, "c"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " inside"# ; x"###;
+        let ts = kinds(src);
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Str && t.starts_with("r#")));
+        assert_eq!(*ts.last().unwrap(), (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn raw_prefix_vs_identifier() {
+        let ts = kinds("let raw_ids = r\"s\"; let b = 1;");
+        assert_eq!(ts[1], (TokenKind::Ident, "raw_ids"));
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Str && *t == "r\"s\""));
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "b"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<_> =
+            ts.iter().filter(|(k, _)| *k == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = ts.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn line_comments_and_doc_comments() {
+        let src = "//! inner\n/// outer\n// plain\nfn f() {}\n";
+        let ts = tokenize(src);
+        assert!(ts[0].is_inner_doc());
+        assert_eq!(ts[1].kind, TokenKind::LineComment);
+        assert!(!ts[1].is_inner_doc());
+        assert_eq!(ts[2].kind, TokenKind::LineComment);
+        assert_eq!(ts[3].text, "fn");
+        assert_eq!(ts[3].line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("/* outer /* inner */ still outer */ x");
+        assert_eq!(ts[0].0, TokenKind::BlockComment);
+        assert_eq!(ts[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn comment_inside_string_is_not_a_comment() {
+        let ts = kinds(r#"let url = "https://example.org";"#);
+        assert!(!ts.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = \"line1\nline2\";\nlet b = 1;";
+        let ts = tokenize(src);
+        let b = ts.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let ts = kinds("let x = 1.max(2); let y = 1..3; let z = 1.5;");
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "max"));
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Number && *t == "1.5"));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'"] {
+            let _ = tokenize(src);
+        }
+    }
+
+    #[test]
+    fn code_tokens_drops_comments() {
+        let ts = code_tokens("// c\nfn f() {} /* d */");
+        assert!(ts.iter().all(|t| !t.is_comment()));
+        assert_eq!(ts[0].text, "fn");
+    }
+}

@@ -1,0 +1,907 @@
+//! The six workspace lints.
+//!
+//! Each lint reports [`Finding`]s against a *relative* path (workspace
+//! root = `""`), so results are stable across machines and usable as
+//! ratchet-baseline keys. All Rust-source lints run on the token stream
+//! of [`crate::lexer`] — never on raw text — so string literals, doc
+//! comments and `#[cfg(test)]` modules are classified correctly.
+//!
+//! | id | name            | scope                         | rule |
+//! |----|-----------------|-------------------------------|------|
+//! | L1 | registry-dep    | every `Cargo.toml`            | dependencies must be `path`/`workspace` entries |
+//! | L2 | panic-in-lib    | `crates/*/src` minus bins     | no `.unwrap()` / `.expect(` / `panic!` |
+//! | L3 | default-hasher  | `crates/*/src` minus bins     | no `std::collections::{HashMap,HashSet}` without explicit hasher |
+//! | L4 | nondeterminism  | lib code minus bench/parallel | no `Instant::now` / `SystemTime::now` |
+//! | L5 | lib-header      | every `src/lib.rs`            | starts with `//!` docs and declares `#![forbid(unsafe_code)]` |
+//! | L6 | untagged-todo   | every `.rs` file              | to-do comments carry an issue tag, e.g. `TODO(#42)` |
+//!
+//! `#[cfg(test)]` modules (and any other `#[cfg(test)]` item) are exempt
+//! from L2–L4: test code may unwrap, time things, and use whatever
+//! containers it likes.
+
+use crate::lexer::{self, Token, TokenKind};
+use std::fmt;
+
+/// Identifies one of the six lints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// L1: registry (non-path) dependency in a manifest.
+    RegistryDep,
+    /// L2: `unwrap`/`expect`/`panic!` in library code.
+    PanicInLib,
+    /// L3: default-hasher std `HashMap`/`HashSet` in library code.
+    DefaultHasher,
+    /// L4: wall-clock nondeterminism outside the sanctioned modules.
+    Nondeterminism,
+    /// L5: `lib.rs` missing its doc header or `#![forbid(unsafe_code)]`.
+    LibHeader,
+    /// L6: to-do/fix-me comment without an issue tag.
+    UntaggedTodo,
+}
+
+impl Lint {
+    /// Stable short id used in output and the ratchet baseline.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::RegistryDep => "L1",
+            Lint::PanicInLib => "L2",
+            Lint::DefaultHasher => "L3",
+            Lint::Nondeterminism => "L4",
+            Lint::LibHeader => "L5",
+            Lint::UntaggedTodo => "L6",
+        }
+    }
+
+    /// Parses a baseline id back into a lint.
+    pub fn from_id(id: &str) -> Option<Lint> {
+        Some(match id {
+            "L1" => Lint::RegistryDep,
+            "L2" => Lint::PanicInLib,
+            "L3" => Lint::DefaultHasher,
+            "L4" => Lint::Nondeterminism,
+            "L5" => Lint::LibHeader,
+            "L6" => Lint::UntaggedTodo,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::RegistryDep => "registry-dep",
+            Lint::PanicInLib => "panic-in-lib",
+            Lint::DefaultHasher => "default-hasher",
+            Lint::Nondeterminism => "nondeterminism",
+            Lint::LibHeader => "lib-header",
+            Lint::UntaggedTodo => "untagged-todo",
+        }
+    }
+}
+
+/// One lint violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: u32,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{} {}] {}",
+            self.path,
+            self.line,
+            self.lint.id(),
+            self.lint.name(),
+            self.message
+        )
+    }
+}
+
+/// How the path-based scoping classifies a Rust file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileScope {
+    /// Library code: under `crates/*/src`, not a `src/bin` target.
+    /// L2 and L3 apply here.
+    pub lib_code: bool,
+    /// L4 applies: lib code outside `crates/bench` and
+    /// `crates/common/src/parallel.rs`.
+    pub deterministic: bool,
+    /// L5 applies: the file is a crate root `src/lib.rs`.
+    pub lib_root: bool,
+}
+
+/// Classifies a workspace-relative path (always `/`-separated).
+pub fn scope_of(relpath: &str) -> FileScope {
+    let lib_code = relpath.starts_with("crates/")
+        && relpath.contains("/src/")
+        && !relpath.contains("/src/bin/")
+        && !relpath.contains("/benches/")
+        && !relpath.contains("/tests/");
+    let deterministic = lib_code
+        && !relpath.starts_with("crates/bench/")
+        && relpath != "crates/common/src/parallel.rs";
+    let lib_root = relpath.ends_with("src/lib.rs");
+    FileScope { lib_code, deterministic, lib_root }
+}
+
+/// Runs every applicable source lint over one Rust file.
+pub fn check_rust_source(relpath: &str, source: &str) -> Vec<Finding> {
+    let scope = scope_of(relpath);
+    let all_tokens = lexer::tokenize(source);
+    let code: Vec<Token<'_>> = all_tokens.iter().copied().filter(|t| !t.is_comment()).collect();
+    let in_test = cfg_test_mask(&code);
+
+    let mut findings = Vec::new();
+    if scope.lib_code {
+        lint_panics(relpath, &code, &in_test, &mut findings);
+        lint_default_hasher(relpath, &code, &in_test, &mut findings);
+    }
+    if scope.deterministic {
+        lint_nondeterminism(relpath, &code, &in_test, &mut findings);
+    }
+    if scope.lib_root {
+        lint_lib_header(relpath, &all_tokens, &code, &mut findings);
+    }
+    lint_todo_tags(relpath, &all_tokens, &mut findings);
+    findings.sort_by_key(|a| (a.line, a.lint));
+    findings
+}
+
+/// Marks the code tokens covered by a `#[cfg(test)]`-gated item (module,
+/// function, impl, ...). The item is the first `;` at top depth or the
+/// block of the first `{` after the attribute.
+fn cfg_test_mask(code: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].text == "#" && matches!(code.get(i + 1), Some(t) if t.text == "[") {
+            let (content_start, after_bracket) = match matching_bracket(code, i + 1) {
+                Some(end) => (i + 2, end + 1),
+                None => break,
+            };
+            let is_cfg_test = code[content_start].text == "cfg"
+                && code[content_start..after_bracket - 1].iter().any(|t| t.text == "test");
+            if is_cfg_test {
+                let end = item_end(code, after_bracket);
+                for m in mask.iter_mut().take(end).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = after_bracket;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index one past the `]` matching the `[` at `open`.
+fn matching_bracket(code: &[Token<'_>], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        match t.text {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// One past the end of the item starting at `start`: the first `;` at
+/// delimiter depth 0, or the close of the first `{ … }` block entered.
+fn item_end(code: &[Token<'_>], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut entered_block = false;
+    for (j, t) in code.iter().enumerate().skip(start) {
+        match t.text {
+            "{" | "(" | "[" => {
+                entered_block |= t.text == "{";
+                depth += 1;
+            }
+            "}" | ")" | "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && entered_block && t.text == "}" {
+                    return j + 1;
+                }
+            }
+            ";" if depth == 0 => return j + 1,
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+/// L2: `.unwrap()`, `.expect(`, `panic!` in non-test library code.
+fn lint_panics(relpath: &str, code: &[Token<'_>], in_test: &[bool], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        if in_test[i] || code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let t = code[i];
+        let firing = match t.text {
+            "unwrap" | "expect" => {
+                i > 0
+                    && code[i - 1].text == "."
+                    && matches!(code.get(i + 1), Some(n) if n.text == "(")
+            }
+            "panic" => matches!(code.get(i + 1), Some(n) if n.text == "!"),
+            _ => false,
+        };
+        if firing {
+            let what = if t.text == "panic" { "panic!" } else { t.text };
+            out.push(Finding {
+                lint: Lint::PanicInLib,
+                path: relpath.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{what}` in library code — return a `KtgError` (or restructure so the \
+                     failure is impossible)"
+                ),
+            });
+        }
+    }
+}
+
+/// L3: `std::collections::HashMap`/`HashSet` with the default hasher.
+///
+/// The path form is allowed only when its generics name an explicit
+/// hasher (three type parameters for maps, two for sets) — that is how
+/// `ktg-common` defines the Fx aliases. Imports via a
+/// `collections::{...}` use-group are always flagged.
+fn lint_default_hasher(
+    relpath: &str,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let flag = |t: &Token<'_>, out: &mut Vec<Finding>| {
+        out.push(Finding {
+            lint: Lint::DefaultHasher,
+            path: relpath.to_string(),
+            line: t.line,
+            message: format!(
+                "std `{}` with the default (SipHash) hasher — use `ktg_common::Fx{}`",
+                t.text, t.text
+            ),
+        });
+    };
+    let mut i = 0;
+    while i < code.len() {
+        if in_test[i] {
+            i += 1;
+            continue;
+        }
+        // `collections :: {` use-group: flag HashMap/HashSet inside.
+        if code[i].text == "collections" && path_sep(code, i + 1) {
+            if matches!(code.get(i + 3), Some(t) if t.text == "{") {
+                let mut depth = 0usize;
+                let mut j = i + 3;
+                while j < code.len() {
+                    match code[j].text {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "HashMap" | "HashSet" => flag(&code[j], out),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            // `collections :: HashMap …` path form.
+            if let Some(t) = code.get(i + 3) {
+                if t.text == "HashMap" || t.text == "HashSet" {
+                    let want_commas = if t.text == "HashMap" { 2 } else { 1 };
+                    if !has_explicit_hasher(code, i + 4, want_commas) {
+                        flag(t, out);
+                    }
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Whether tokens at `i` start generics (`<…>`, optionally preceded by a
+/// turbofish `::`) containing at least `want_commas` top-level commas —
+/// i.e. the type names an explicit hasher parameter.
+fn has_explicit_hasher(code: &[Token<'_>], mut i: usize, want_commas: usize) -> bool {
+    if path_sep(code, i) {
+        i += 2; // turbofish `::<`
+    }
+    if !matches!(code.get(i), Some(t) if t.text == "<") {
+        return false; // bare type or `HashMap::new()` — default hasher
+    }
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    for t in &code[i..] {
+        match t.text {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if depth == 1 => commas += 1,
+            _ => {}
+        }
+    }
+    commas >= want_commas
+}
+
+/// Whether `code[i..i+2]` is the `::` path separator.
+fn path_sep(code: &[Token<'_>], i: usize) -> bool {
+    matches!((code.get(i), code.get(i + 1)), (Some(a), Some(b)) if a.text == ":" && b.text == ":")
+}
+
+/// L4: `Instant::now` / `SystemTime::now` outside bench/parallel.
+fn lint_nondeterminism(
+    relpath: &str,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = code[i];
+        if (t.text == "Instant" || t.text == "SystemTime")
+            && path_sep(code, i + 1)
+            && matches!(code.get(i + 3), Some(n) if n.text == "now")
+        {
+            out.push(Finding {
+                lint: Lint::Nondeterminism,
+                path: relpath.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}::now` makes library output nondeterministic — time only in \
+                     `ktg-bench` or `ktg_common::parallel`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// L5: `lib.rs` must open with `//!` docs and forbid `unsafe_code`.
+fn lint_lib_header(
+    relpath: &str,
+    all_tokens: &[Token<'_>],
+    code: &[Token<'_>],
+    out: &mut Vec<Finding>,
+) {
+    let starts_with_docs = all_tokens.first().is_some_and(|t| t.is_inner_doc());
+    if !starts_with_docs {
+        out.push(Finding {
+            lint: Lint::LibHeader,
+            path: relpath.to_string(),
+            line: 1,
+            message: "crate root must start with a `//!` doc header".to_string(),
+        });
+    }
+    let has_forbid = code.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    });
+    if !has_forbid {
+        out.push(Finding {
+            lint: Lint::LibHeader,
+            path: relpath.to_string(),
+            line: 1,
+            message: "crate root must declare `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// L6: to-do markers in comments must carry an issue tag: `TODO(#42)`.
+fn lint_todo_tags(relpath: &str, all_tokens: &[Token<'_>], out: &mut Vec<Finding>) {
+    for t in all_tokens.iter().filter(|t| t.is_comment()) {
+        let bytes = t.text.as_bytes();
+        for (off, marker) in find_markers(t.text) {
+            let rest = &bytes[off + marker.len()..];
+            // Accept `TODO(#123)` / `FIXME(#issue-slug)`: an immediate
+            // paren group whose content starts with `#`.
+            let tagged = rest.first() == Some(&b'(')
+                && rest.get(1) == Some(&b'#')
+                && rest.iter().skip(2).take_while(|&&b| b != b')').next().is_some()
+                && rest.contains(&b')');
+            if !tagged {
+                let line = t.line + t.text[..off].matches('\n').count() as u32;
+                out.push(Finding {
+                    lint: Lint::UntaggedTodo,
+                    path: relpath.to_string(),
+                    line,
+                    message: format!("`{marker}` without an issue tag — write `{marker}(#NN): …`"),
+                });
+            }
+        }
+    }
+}
+
+/// Word-boundary occurrences of the to-do markers in a comment's text.
+fn find_markers(text: &str) -> Vec<(usize, &'static str)> {
+    let mut hits = Vec::new();
+    for marker in ["TODO", "FIXME"] {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(marker) {
+            let at = from + pos;
+            let before_ok = at == 0
+                || !text.as_bytes()[at - 1].is_ascii_alphanumeric()
+                    && text.as_bytes()[at - 1] != b'_';
+            let after = at + marker.len();
+            let after_ok = after >= text.len()
+                || !text.as_bytes()[after].is_ascii_alphanumeric()
+                    && text.as_bytes()[after] != b'_';
+            if before_ok && after_ok {
+                hits.push((at, marker));
+            }
+            from = after;
+        }
+    }
+    hits.sort_unstable_by_key(|&(at, _)| at);
+    hits
+}
+
+/// L1: every dependency in every manifest must be a path/workspace
+/// dependency on a sibling crate; the historical registry dependencies
+/// must not reappear under any spelling.
+pub fn check_manifest(relpath: &str, source: &str) -> Vec<Finding> {
+    const BANNED: [&str; 5] = ["crossbeam", "parking_lot", "rand", "proptest", "criterion"];
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    let mut dep_table_name: Option<String> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let section = section.trim_matches('[').trim_matches(']');
+            in_dep_section = section.contains("dependencies");
+            // `[dependencies.foo]` long-form tables.
+            dep_table_name = section
+                .rsplit_once("dependencies.")
+                .map(|(_, name)| name.trim().to_string())
+                .filter(|_| in_dep_section);
+            if let Some(name) = &dep_table_name {
+                if is_banned(name, &BANNED) {
+                    findings.push(banned_finding(relpath, lineno, name));
+                }
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        let value = value.trim();
+        if let Some(table) = &dep_table_name {
+            // Inside `[dependencies.foo]`: only path/workspace keys allowed.
+            if matches!(key, "version" | "git" | "registry" | "branch" | "tag" | "rev") {
+                findings.push(registry_finding(relpath, lineno, table, line));
+            }
+            continue;
+        }
+        // Inline entry: `name = …` or `name.workspace = true`.
+        let dep_name = key.split('.').next().unwrap_or(key).trim_matches('"');
+        if is_banned(dep_name, &BANNED) {
+            findings.push(banned_finding(relpath, lineno, dep_name));
+            continue;
+        }
+        let allowed = key.ends_with(".workspace")
+            || key.ends_with(".path")
+            || value.contains("path")
+            || value.contains("workspace");
+        let registry_like = value.starts_with('"')
+            || value.contains("version")
+            || value.contains("git")
+            || value.contains("registry");
+        if !allowed && registry_like {
+            findings.push(registry_finding(relpath, lineno, dep_name, line));
+        }
+    }
+    findings
+}
+
+fn is_banned(name: &str, banned: &[&str]) -> bool {
+    banned.iter().any(|b| name == *b || name.starts_with(&format!("{b}-")) || name.starts_with(&format!("{b}_")))
+}
+
+fn banned_finding(relpath: &str, line: u32, name: &str) -> Finding {
+    Finding {
+        lint: Lint::RegistryDep,
+        path: relpath.to_string(),
+        line,
+        message: format!(
+            "`{name}` was removed in the offline migration and must not return — \
+             extend the in-tree substrate instead"
+        ),
+    }
+}
+
+fn registry_finding(relpath: &str, line: u32, name: &str, entry: &str) -> Finding {
+    Finding {
+        lint: Lint::RegistryDep,
+        path: relpath.to_string(),
+        line,
+        message: format!(
+            "`{name}` is not a path dependency (`{entry}`) — every dependency must be \
+             a `path`/`workspace` reference to a sibling crate"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A path classified as library code for the scoped lints.
+    const LIB: &str = "crates/demo/src/algo.rs";
+
+    fn lints_in(path: &str, src: &str) -> Vec<Lint> {
+        check_rust_source(path, src).into_iter().map(|f| f.lint).collect()
+    }
+
+    // ---- scoping -------------------------------------------------------
+
+    #[test]
+    fn scope_classification() {
+        assert!(scope_of(LIB).lib_code);
+        assert!(scope_of(LIB).deterministic);
+        assert!(!scope_of(LIB).lib_root);
+        assert!(!scope_of("crates/demo/src/bin/main.rs").lib_code);
+        assert!(!scope_of("crates/demo/benches/b.rs").lib_code);
+        assert!(!scope_of("crates/demo/tests/it.rs").lib_code);
+        assert!(!scope_of("examples/src/basic.rs").lib_code);
+        assert!(scope_of("crates/bench/src/runner.rs").lib_code);
+        assert!(!scope_of("crates/bench/src/runner.rs").deterministic);
+        assert!(!scope_of("crates/common/src/parallel.rs").deterministic);
+        assert!(scope_of("crates/demo/src/lib.rs").lib_root);
+        assert!(scope_of("tests/src/lib.rs").lib_root);
+    }
+
+    // ---- L2 panic-in-lib ----------------------------------------------
+
+    #[test]
+    fn unwrap_expect_panic_flagged_in_lib() {
+        let src = r##"
+            pub fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = x.expect("present");
+                if a + b > 9 { panic!("overflow"); }
+                a
+            }
+        "##;
+        assert_eq!(
+            lints_in(LIB, src),
+            vec![Lint::PanicInLib, Lint::PanicInLib, Lint::PanicInLib]
+        );
+    }
+
+    #[test]
+    fn unwrap_inside_string_literal_not_flagged() {
+        // The case a grep-based gate gets wrong.
+        let src = r##"
+            pub fn f() -> &'static str {
+                let msg = "never call .unwrap() in library code";
+                let other = "x.expect( is also banned, as is panic!(…)";
+                msg
+            }
+        "##;
+        assert!(lints_in(LIB, src).is_empty(), "{:?}", check_rust_source(LIB, src));
+    }
+
+    #[test]
+    fn unwrap_inside_comments_not_flagged() {
+        let src = r##"
+            /// Calls `x.unwrap()` — see the panic! docs.
+            // x.expect("no")
+            /* block: y.unwrap() */
+            pub fn f() {}
+        "##;
+        assert!(lints_in(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_family_not_flagged() {
+        let src = r##"
+            pub fn f(x: Option<u32>) -> u32 {
+                x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+            }
+        "##;
+        assert!(lints_in(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_exempt_from_panics() {
+        let src = r##"
+            pub fn lib_code() {}
+
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    Some(1).unwrap();
+                    panic!("fine in tests");
+                }
+            }
+        "##;
+        assert!(lints_in(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mask_ends_with_the_item() {
+        // The unwrap AFTER the #[cfg(test)] fn must still fire.
+        let src = r##"
+            #[cfg(test)]
+            fn helper() { Some(1).unwrap(); }
+
+            pub fn real() { Some(2).unwrap(); }
+        "##;
+        let findings = check_rust_source(LIB, src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn bins_and_benches_exempt_from_panics() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(lints_in("crates/demo/src/bin/main.rs", src).is_empty());
+        assert!(lints_in("crates/demo/benches/b.rs", src).is_empty());
+        assert!(lints_in("tools/gen.rs", src).is_empty());
+    }
+
+    // ---- L3 default-hasher --------------------------------------------
+
+    #[test]
+    fn default_hasher_path_form_flagged() {
+        let src = r##"
+            pub type M = std::collections::HashMap<String, u32>;
+            pub type S = std::collections::HashSet<u32>;
+        "##;
+        assert_eq!(lints_in(LIB, src), vec![Lint::DefaultHasher, Lint::DefaultHasher]);
+    }
+
+    #[test]
+    fn default_hasher_use_group_flagged() {
+        let src = "use std::collections::{BTreeMap, HashMap};";
+        let findings = check_rust_source(LIB, src);
+        assert_eq!(findings.len(), 1, "BTreeMap is fine: {findings:?}");
+        assert_eq!(findings[0].lint, Lint::DefaultHasher);
+    }
+
+    #[test]
+    fn explicit_hasher_param_allowed() {
+        // Exactly how ktg-common defines its Fx aliases.
+        let src = r##"
+            pub type M = std::collections::HashMap<u32, u32, crate::FxBuildHasher>;
+            pub type S = std::collections::HashSet<u32, crate::FxBuildHasher>;
+        "##;
+        assert!(lints_in(LIB, src).is_empty(), "{:?}", check_rust_source(LIB, src));
+    }
+
+    #[test]
+    fn turbofish_without_hasher_flagged() {
+        let src = "pub fn f() { let m = std::collections::HashMap::<u32, u32>::new(); let _ = m; }";
+        assert_eq!(lints_in(LIB, src), vec![Lint::DefaultHasher]);
+    }
+
+    #[test]
+    fn fx_aliases_not_flagged() {
+        let src = r##"
+            use ktg_common::{FxHashMap, FxHashSet};
+            pub fn f() { let m: FxHashMap<u32, u32> = FxHashMap::default(); let _ = m; }
+        "##;
+        assert!(lints_in(LIB, src).is_empty());
+    }
+
+    // ---- L4 nondeterminism --------------------------------------------
+
+    #[test]
+    fn wall_clock_reads_flagged() {
+        let src = r##"
+            pub fn f() {
+                let t = std::time::Instant::now();
+                let s = std::time::SystemTime::now();
+                let _ = (t, s);
+            }
+        "##;
+        assert_eq!(lints_in(LIB, src), vec![Lint::Nondeterminism, Lint::Nondeterminism]);
+    }
+
+    #[test]
+    fn bench_and_parallel_may_read_the_clock() {
+        let src = "pub fn f() { let _ = std::time::Instant::now(); }";
+        assert!(lints_in("crates/bench/src/runner.rs", src).is_empty());
+        assert!(lints_in("crates/common/src/parallel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_without_now_not_flagged() {
+        let src = "pub fn f(t: std::time::Instant) -> std::time::Instant { t }";
+        assert!(lints_in(LIB, src).is_empty());
+    }
+
+    // ---- L5 lib-header -------------------------------------------------
+
+    #[test]
+    fn bare_lib_root_flagged_twice() {
+        let findings = check_rust_source("crates/demo/src/lib.rs", "pub fn x() {}");
+        assert_eq!(findings.len(), 2, "missing docs AND missing forbid: {findings:?}");
+        assert!(findings.iter().all(|f| f.lint == Lint::LibHeader));
+    }
+
+    #[test]
+    fn proper_lib_root_clean() {
+        let src = "//! Demo crate.\n\n#![forbid(unsafe_code)]\n\npub fn x() {}\n";
+        assert!(lints_in("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn forbid_without_docs_flagged_once() {
+        let src = "#![forbid(unsafe_code)]\npub fn x() {}\n";
+        assert_eq!(lints_in("crates/demo/src/lib.rs", src), vec![Lint::LibHeader]);
+    }
+
+    #[test]
+    fn non_root_files_skip_header_check() {
+        assert!(lints_in(LIB, "pub fn x() {}").is_empty());
+    }
+
+    // ---- L6 untagged-todo ---------------------------------------------
+
+    #[test]
+    fn untagged_markers_flagged() {
+        let src = "// TODO: finish this\npub fn f() {}\n/* FIXME later */\n";
+        let findings = check_rust_source(LIB, src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn tagged_markers_accepted() {
+        let src = "// TODO(#42): finish this\n/* FIXME(#issue-7): soon */\npub fn f() {}\n";
+        assert!(lints_in(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn markers_in_strings_and_idents_ignored() {
+        let src = r##"
+            pub fn f() -> &'static str { "TODO: not a comment" }
+            pub fn metodos_todo() {}
+            // TODOS is a different word, as is FIXMES
+        "##;
+        assert!(lints_in(LIB, src).is_empty(), "{:?}", check_rust_source(LIB, src));
+    }
+
+    #[test]
+    fn multiline_block_comment_reports_marker_line() {
+        let src = "/* line one\n   TODO here\n*/\npub fn f() {}\n";
+        let findings = check_rust_source(LIB, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    // ---- L1 registry-dep ----------------------------------------------
+
+    fn manifest(src: &str) -> Vec<Finding> {
+        check_manifest("crates/demo/Cargo.toml", src)
+    }
+
+    #[test]
+    fn path_and_workspace_deps_allowed() {
+        let src = r##"
+[package]
+name = "demo"
+version = "0.1.0"
+
+[dependencies]
+ktg-common = { path = "../common" }
+ktg-graph.workspace = true
+ktg-core = { workspace = true }
+
+[dependencies.ktg-index]
+path = "../index"
+"##;
+        assert!(manifest(src).is_empty(), "{:?}", manifest(src));
+    }
+
+    #[test]
+    fn version_string_dep_flagged() {
+        let f = manifest("[dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, Lint::RegistryDep);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn inline_version_and_git_deps_flagged() {
+        let src = "[dependencies]\nfoo = { version = \"1\", default-features = false }\nbar = { git = \"https://example.com/bar\" }\n";
+        assert_eq!(manifest(src).len(), 2);
+    }
+
+    #[test]
+    fn dep_table_with_version_flagged() {
+        let src = "[dependencies.foo]\nversion = \"1\"\n";
+        assert_eq!(manifest(src).len(), 1);
+    }
+
+    #[test]
+    fn banned_names_flagged_even_as_path_deps() {
+        let src = "[dependencies]\nrand = { path = \"../rand\" }\n";
+        assert_eq!(manifest(src).len(), 1, "the historical crates must not return at all");
+    }
+
+    #[test]
+    fn banned_prefixes_flagged() {
+        let src = "[dev-dependencies]\nrand_chacha = \"0.3\"\ncrossbeam-channel = \"0.5\"\ncriterion = { version = \"0.5\" }\n";
+        let f = manifest(src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.lint == Lint::RegistryDep));
+    }
+
+    #[test]
+    fn package_section_version_is_not_a_dependency() {
+        let src = "[package]\nname = \"demo\"\nversion = \"0.1.0\"\nedition = \"2021\"\n";
+        assert!(manifest(src).is_empty());
+    }
+
+    #[test]
+    fn build_dependencies_also_scanned() {
+        let src = "[build-dependencies]\ncc = \"1.0\"\n";
+        assert_eq!(manifest(src).len(), 1);
+    }
+
+    // ---- lint registry --------------------------------------------------
+
+    #[test]
+    fn lint_ids_roundtrip() {
+        for lint in [
+            Lint::RegistryDep,
+            Lint::PanicInLib,
+            Lint::DefaultHasher,
+            Lint::Nondeterminism,
+            Lint::LibHeader,
+            Lint::UntaggedTodo,
+        ] {
+            assert_eq!(Lint::from_id(lint.id()), Some(lint));
+        }
+        assert_eq!(Lint::from_id("L9"), None);
+        assert_eq!(Lint::from_id("bogus"), None);
+    }
+}

@@ -5,6 +5,8 @@
 //! `(n, edge seed, keyword seed)` triple instead of raw adjacency
 //! matrices, so any failing case replays exactly.
 
+#![forbid(unsafe_code)]
+
 use ktg_common::SeededRng;
 use ktg_core::AttributedGraph;
 use ktg_graph::{CsrGraph, GraphBuilder, VertexId};

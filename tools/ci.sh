@@ -1,63 +1,47 @@
 #!/usr/bin/env bash
 # Offline CI gate for the ktg workspace.
 #
-# The build must succeed with no network and no registry cache, and no
-# manifest may regain an external (registry) dependency. Run from
-# anywhere; operates on the repo root.
+# The build must succeed with no network, no registry cache, and no
+# warnings; the in-tree static analysis pass (ktg-lint) must report no
+# regressions against tools/lint-baseline.txt; and a release-mode smoke
+# query must pass the checked-mode result verifier (KTG_VERIFY=1).
+# Run from anywhere; operates on the repo root.
 
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
-echo "== offline release build =="
+export RUSTFLAGS="-D warnings"
+
+echo "== offline release build (deny warnings) =="
 cargo build --release --offline
 
 echo "== offline test suite =="
 cargo test -q --offline
 
-echo "== dependency gate =="
-# The historical external deps must never reappear in any manifest.
-manifests=(Cargo.toml crates/*/Cargo.toml examples/Cargo.toml tests/Cargo.toml)
-banned='crossbeam|parking_lot|rand|proptest|criterion'
-if grep -En "$banned" "${manifests[@]}"; then
-    echo "FAIL: external dependency reference found in a manifest" >&2
+echo "== static analysis (ktg-lint, ratchet vs tools/lint-baseline.txt) =="
+cargo run -q --release --offline -p ktg-lint
+
+echo "== checked-mode smoke query (KTG_VERIFY=1, release) =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --release --offline -p ktg-cli -- generate \
+    --profile dblp --out "$tmp/data" --scale 100 --seed 7
+ktg_out="$tmp/query.out"
+KTG_VERIFY=1 cargo run -q --release --offline -p ktg-cli -- query \
+    --edges "$tmp/data/edges.txt" --keywords "$tmp/data/keywords.txt" \
+    --random-terms 4 --p 3 --k 2 --n 3 --oracle bfs | tee "$ktg_out"
+grep -q "checked mode: verified" "$ktg_out" || {
+    echo "FAIL: KTG smoke query did not run the checked-mode verifier" >&2
     exit 1
-fi
-
-# More generally: every dependency must be a path dependency on a sibling
-# crate. Flag any `version = "..."` / bare-version dependency entry.
-fail=0
-for m in "${manifests[@]}"; do
-    if python3 - "$m" <<'PY'
-import re, sys
-
-path = sys.argv[1]
-section = None
-bad = []
-for lineno, line in enumerate(open(path), 1):
-    stripped = line.strip()
-    m = re.match(r'\[(.+)\]$', stripped)
-    if m:
-        section = m.group(1)
-        continue
-    if not section or 'dependencies' not in section:
-        continue
-    if not stripped or stripped.startswith('#'):
-        continue
-    # `name = { path = ... }` or `name.workspace = true` are fine;
-    # `name = "1.0"` or `version = "..."` inside a dep table are not.
-    if re.match(r'[\w-]+\s*=\s*"', stripped) or 'version' in stripped:
-        bad.append((lineno, stripped))
-for lineno, text in bad:
-    print(f"{path}:{lineno}: registry dependency: {text}")
-sys.exit(1 if bad else 0)
-PY
-    then :; else fail=1; fi
-done
-if [ "$fail" -ne 0 ]; then
-    echo "FAIL: non-path dependency found" >&2
+}
+KTG_VERIFY=1 cargo run -q --release --offline -p ktg-cli -- dktg \
+    --edges "$tmp/data/edges.txt" --keywords "$tmp/data/keywords.txt" \
+    --random-terms 4 --p 3 --k 2 --n 2 --oracle bfs | tee "$ktg_out"
+grep -q "checked mode: verified" "$ktg_out" || {
+    echo "FAIL: DKTG smoke query did not run the checked-mode verifier" >&2
     exit 1
-fi
+}
 
-echo "CI gate passed: offline build + tests green, zero external dependencies."
+echo "CI gate passed: offline build + tests green, lint clean, checked-mode smoke verified."
