@@ -170,7 +170,18 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
             )))
         }
     };
-    let opts = bb::BbOptions::vkc().with_ordering(ordering);
+    // `--parallel true` fans the search out over all cores (KTG_THREADS
+    // honored); `--threads N` pins an exact worker count and wins when
+    // both are given. Either way the results are byte-identical to the
+    // sequential engine — only the wall clock changes.
+    let parallel = args.optional("parallel").is_some_and(|v| v == "true" || v == "1");
+    let threads: usize = args.num_or("threads", if parallel { 0 } else { 1 })?;
+    let bitmap_threshold: usize =
+        args.num_or("bitmap-threshold", bb::DEFAULT_BITMAP_THRESHOLD)?;
+    let opts = bb::BbOptions::vkc()
+        .with_ordering(ordering)
+        .with_threads(threads)
+        .with_bitmap_threshold(bitmap_threshold);
 
     let masks = net.compile(query.keywords());
     let mut cands = candidates::collect(net.graph(), &masks);
@@ -219,7 +230,9 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
             write_group(out, &net, &keywords, &masks, rank, g, args)?;
         }
     } else {
-        let result = bb::solve_with_candidates(&query, &oracle, cands, &opts);
+        // `solve_prepared` keeps the graph in reach so the conflict-bitmap
+        // kernel can replace per-pair oracle probes for small pools.
+        let result = bb::solve_prepared(&net, &query, &oracle, cands, &opts);
         if verify::checked_mode_enabled() {
             let report = verify::audit_results(&net, &query, &result.groups);
             assert!(report.is_ok(), "checked-mode verification failed: {report}");
@@ -352,6 +365,44 @@ mod tests {
         let edges = dir.join("edges.txt");
         let err = run_to_string(&["query", "--edges", edges.to_str().unwrap()]);
         assert!(err.is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_flag_returns_identical_groups() {
+        let dir = temp_dir("parallel");
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "generate", "--profile", "brightkite", "--scale", "400", "--seed", "11", "--out", out,
+        ])
+        .unwrap();
+        let edges = dir.join("edges.txt");
+        let keywords = dir.join("keywords.txt");
+        let base = [
+            "query",
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+            "--random-terms", "5",
+            "-p", "3", "-k", "1", "-n", "3",
+        ];
+        // The "#rank: members" lines must be byte-identical across thread
+        // counts and kernels; stats lines (node counts) legitimately vary.
+        let groups = |text: &str| -> Vec<String> {
+            text.lines().filter(|l| l.starts_with('#')).map(String::from).collect()
+        };
+        let mut seq = base.to_vec();
+        seq.extend(["--threads", "1"]);
+        let sequential = groups(&run_to_string(&seq).unwrap());
+        assert!(!sequential.is_empty());
+        for extra in [
+            &["--threads", "4"][..],
+            &["--parallel", "true"][..],
+            &["--threads", "4", "--bitmap-threshold", "0"][..],
+        ] {
+            let mut argv = base.to_vec();
+            argv.extend(extra.iter().copied());
+            assert_eq!(groups(&run_to_string(&argv).unwrap()), sequential, "{extra:?}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

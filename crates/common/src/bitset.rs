@@ -82,6 +82,49 @@ impl FixedBitSet {
         self.words.fill(0);
     }
 
+    /// Overwrites `self` with `a & !b`, word-parallel: the set difference
+    /// `a \ b` computed 64 bits at a time. This is the conflict-bitmap
+    /// kernel's child-pool derivation — one pass over the word arrays
+    /// replaces one distance-oracle probe per remaining candidate.
+    ///
+    /// # Panics
+    /// Panics when the three bitsets do not share the same capacity.
+    pub fn assign_and_not(&mut self, a: &FixedBitSet, b: &FixedBitSet) {
+        assert!(
+            self.len == a.len && self.len == b.len,
+            "capacity mismatch: {} vs {} vs {}",
+            self.len,
+            a.len,
+            b.len
+        );
+        for (out, (&wa, &wb)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *out = wa & !wb;
+        }
+    }
+
+    /// Overwrites `self` with a copy of `other` without reallocating.
+    ///
+    /// # Panics
+    /// Panics when the capacities differ.
+    pub fn copy_from(&mut self, other: &FixedBitSet) {
+        assert!(self.len == other.len, "capacity mismatch: {} vs {}", self.len, other.len);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Number of set bits in `self & !other` without materializing the
+    /// difference (word-parallel popcount).
+    ///
+    /// # Panics
+    /// Panics when the capacities differ.
+    pub fn and_not_count(&self, other: &FixedBitSet) -> usize {
+        assert!(self.len == other.len, "capacity mismatch: {} vs {}", self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -298,6 +341,47 @@ mod tests {
         let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bs.remove(70)));
         assert!(panic.is_err(), "tail-word ghost remove must panic");
         assert_eq!(bs.count_ones(), 0, "failed mutations must not leak bits");
+    }
+
+    #[test]
+    fn assign_and_not_is_set_difference() {
+        let mut a = FixedBitSet::new(130);
+        let mut b = FixedBitSet::new(130);
+        for i in [0usize, 5, 64, 100, 129] {
+            a.insert(i);
+        }
+        for i in [5usize, 64, 128] {
+            b.insert(i);
+        }
+        let mut out = FixedBitSet::new(130);
+        out.insert(77); // stale content must be overwritten
+        out.assign_and_not(&a, &b);
+        assert_eq!(out.iter_ones().collect::<Vec<_>>(), vec![0, 100, 129]);
+        assert_eq!(a.and_not_count(&b), 3);
+        assert_eq!(b.and_not_count(&a), 1, "only bit 128 is b-exclusive");
+    }
+
+    #[test]
+    fn copy_from_overwrites() {
+        let mut a = FixedBitSet::new(70);
+        a.insert(3);
+        let mut b = FixedBitSet::new(70);
+        b.insert(69);
+        b.copy_from(&a);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn word_ops_reject_capacity_mismatch() {
+        let a = FixedBitSet::new(64);
+        let b = FixedBitSet::new(65);
+        let mut out = FixedBitSet::new(64);
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            out.assign_and_not(&a, &b)
+        }));
+        assert!(panic.is_err());
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.and_not_count(&b)));
+        assert!(panic.is_err());
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! * [`parallel`] — chunked scoped-thread helpers on `std::thread::scope`
 //!   with panic propagation and `KTG_THREADS` worker-count control,
 //!   replacing `crossbeam::thread::scope`.
+//! * [`SharedThreshold`] — a max-accumulating atomic coverage floor that
+//!   lets parallel branch-and-bound workers share Theorem-2 pruning power.
 //! * [`KtgError`] — the workspace error type.
 
 
@@ -36,6 +38,7 @@ pub mod hash;
 pub mod id;
 pub mod parallel;
 pub mod rng;
+pub mod threshold;
 pub mod topn;
 
 pub use bitset::{EpochMarker, FixedBitSet};
@@ -43,4 +46,5 @@ pub use error::{KtgError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
 pub use id::VertexId;
 pub use rng::{SeededRng, SplitMix64};
+pub use threshold::SharedThreshold;
 pub use topn::TopN;

@@ -1,0 +1,80 @@
+//! A monotone shared pruning threshold for parallel branch-and-bound.
+//!
+//! The parallel KTG search partitions root branches across workers, each
+//! holding a private top-N. Theorem-2 pruning gets sharper the earlier a
+//! good N-th-best coverage is known, so workers publish their local
+//! N-th-best *coverage count* into one [`SharedThreshold`]: a
+//! max-accumulating `AtomicU32`. Any published value is the coverage of
+//! `N` real, distinct feasible groups found by a single worker, so it is
+//! a valid lower bound on the final N-th-best coverage — pruning a
+//! subtree whose upper bound falls *strictly below* it can never discard
+//! a result group, regardless of which worker published when.
+//!
+//! All operations use relaxed ordering: the cell is a monotone hint, not
+//! a synchronization point. A stale read only means a worker prunes with
+//! a slightly older (still valid) floor; it can never over-prune.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A max-accumulating atomic coverage floor shared between search workers.
+#[derive(Debug, Default)]
+pub struct SharedThreshold {
+    floor: AtomicU32,
+}
+
+impl SharedThreshold {
+    /// Creates a cell with no published floor yet (reads as 0, which
+    /// constrains nothing: every real coverage count is ≥ 1).
+    pub fn new() -> Self {
+        SharedThreshold { floor: AtomicU32::new(0) }
+    }
+
+    /// Publishes a proven coverage floor; the cell keeps the maximum of
+    /// everything published so far.
+    #[inline]
+    pub fn publish(&self, count: u32) {
+        self.floor.fetch_max(count, Ordering::Relaxed);
+    }
+
+    /// The tightest floor published so far (0 when none).
+    #[inline]
+    pub fn get(&self) -> u32 {
+        self.floor.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unconstrained() {
+        assert_eq!(SharedThreshold::new().get(), 0);
+        assert_eq!(SharedThreshold::default().get(), 0);
+    }
+
+    #[test]
+    fn keeps_the_maximum() {
+        let t = SharedThreshold::new();
+        t.publish(3);
+        t.publish(1); // lower publishes never loosen the floor
+        assert_eq!(t.get(), 3);
+        t.publish(7);
+        assert_eq!(t.get(), 7);
+    }
+
+    #[test]
+    fn concurrent_publishes_converge_to_the_max() {
+        let t = SharedThreshold::new();
+        let values: Vec<u32> = (1..=64).collect();
+        crate::parallel::scope_join(values.chunks(8).map(|chunk| {
+            let t = &t;
+            move || {
+                for &v in chunk {
+                    t.publish(v);
+                }
+            }
+        }));
+        assert_eq!(t.get(), 64);
+    }
+}

@@ -17,7 +17,7 @@
 //! The engine applies three cuts, each toggleable for ablation studies:
 //!
 //! * **Keyword pruning** (Theorem 2): a branch dies when even the top
-//!   `p − |S_I|` remaining VKC values cannot lift the coverage above the
+//!   `p − |S_I|` remaining VKC values cannot lift the coverage to the
 //!   current N-th best.
 //! * **k-line filtering** (Theorem 3): after selecting `v`, every
 //!   remaining candidate within `k` hops of `v` is removed. When disabled,
@@ -29,15 +29,50 @@
 //! Exploration order matches Algorithm 1: at each node take the head of
 //! the ordered `S_R`, recurse, then permanently exclude it at this level
 //! and continue — enumerating unordered groups exactly once.
+//!
+//! ## Performance architecture
+//!
+//! The engine is split into three submodules behind the same options
+//! struct (see DESIGN.md §12 for the exactness argument):
+//!
+//! * [`kernel`] — the **conflict-bitmap kernel**. At query start (when
+//!   the candidate set fits under [`BbOptions::bitmap_threshold`]) one
+//!   `FixedBitSet` of k-line conflicts is precomputed per candidate by
+//!   parallel bounded BFS; the DFS then derives each child `S_R` with a
+//!   word-parallel AND-NOT instead of per-pair oracle probes.
+//! * [`sequential`] — the single-threaded DFS over candidate *indices*,
+//!   parameterized by kernel, root-branch partition, and an optional
+//!   shared pruning floor.
+//! * [`parallel`] — the root-level parallel driver: first-level branches
+//!   are partitioned round-robin across workers, each running the
+//!   sequential engine with its own `TopN`, publishing its N-th-best
+//!   coverage into a `SharedThreshold` so any worker's discovery tightens
+//!   every worker's Theorem-2 pruning. Results merge deterministically:
+//!   ranking is a pure function of the group set ([`RankedGroup`]'s
+//!   canonical order), so the output is byte-identical to the sequential
+//!   engine regardless of thread count or timing.
 
 use crate::candidates::{self, Candidate};
-use crate::group::{Group, RankedGroup};
+use crate::group::Group;
 use crate::network::AttributedGraph;
 use crate::query::KtgQuery;
 use crate::stats::SearchStats;
-use ktg_common::TopN;
 use ktg_index::DistanceOracle;
 use ktg_keywords::coverage;
+
+pub mod kernel;
+pub mod parallel;
+pub mod sequential;
+
+pub use kernel::ConflictKernel;
+
+#[cfg(doc)]
+use crate::group::RankedGroup;
+
+/// Default [`BbOptions::bitmap_threshold`]: bitmaps cost
+/// `|C|²/8` bytes (512 KiB at 2048 candidates), far below the search tree
+/// they accelerate, while huge candidate sets fall back to the oracle.
+pub const DEFAULT_BITMAP_THRESHOLD: usize = 4096;
 
 /// Candidate-ordering strategy for `S_R`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,7 +97,10 @@ impl MemberOrdering {
     }
 
     /// Sorts `cands` for the given covered mask. For [`MemberOrdering::Qkc`]
-    /// the key ignores `covered` (static QKC order).
+    /// the key ignores `covered` (static QKC order). The engine itself
+    /// sorts index vectors ([`MemberOrdering::sort_indices`]); this
+    /// value-based twin remains as the differential reference for tests.
+    #[cfg(test)]
     fn sort(self, covered: u64, cands: &mut [Candidate]) {
         match self {
             MemberOrdering::Qkc => {
@@ -80,6 +118,44 @@ impl MemberOrdering {
             }
             MemberOrdering::VkcDegDesc => {
                 cands.sort_by_key(|c| {
+                    (
+                        std::cmp::Reverse(coverage::vkc_count(c.mask, covered)),
+                        std::cmp::Reverse(c.degree),
+                        c.v,
+                    )
+                });
+            }
+        }
+    }
+
+    /// Sorts a slice of candidate *indices* with the same keys as
+    /// [`MemberOrdering::sort`]. Every key ends in the (unique) vertex id,
+    /// so the result is a total order independent of the input
+    /// permutation — the property the conflict-bitmap DFS relies on when
+    /// it rebuilds child pools from bitset iteration order.
+    fn sort_indices(self, covered: u64, cands: &[Candidate], idx: &mut [u32]) {
+        match self {
+            MemberOrdering::Qkc => {
+                idx.sort_unstable_by_key(|&i| {
+                    let c = &cands[i as usize];
+                    (std::cmp::Reverse(c.mask.count_ones()), c.v)
+                });
+            }
+            MemberOrdering::Vkc => {
+                idx.sort_unstable_by_key(|&i| {
+                    let c = &cands[i as usize];
+                    (std::cmp::Reverse(coverage::vkc_count(c.mask, covered)), c.v)
+                });
+            }
+            MemberOrdering::VkcDeg => {
+                idx.sort_unstable_by_key(|&i| {
+                    let c = &cands[i as usize];
+                    (std::cmp::Reverse(coverage::vkc_count(c.mask, covered)), c.degree, c.v)
+                });
+            }
+            MemberOrdering::VkcDegDesc => {
+                idx.sort_unstable_by_key(|&i| {
+                    let c = &cands[i as usize];
                     (
                         std::cmp::Reverse(coverage::vkc_count(c.mask, covered)),
                         std::cmp::Reverse(c.degree),
@@ -113,13 +189,26 @@ pub struct BbOptions {
     pub kline_filtering: bool,
     /// Stop the whole search as soon as a group with at least this
     /// coverage count is admitted (DKTG-Greedy's "not less than `C_max`"
-    /// early exit). `None` runs to optimality.
+    /// early exit). `None` runs to optimality. Forces the sequential
+    /// engine: the early exit is defined by discovery order.
     pub stop_at_coverage: Option<u32>,
     /// Safety valve for benchmarks: abandon the search after visiting this
     /// many tree nodes. The result is then possibly sub-optimal and
     /// [`SearchStats::truncated`] is set. `None` (the default everywhere
-    /// outside the harness) runs to completion.
+    /// outside the harness) runs to completion. Forces the sequential
+    /// engine: which prefix of the tree fits a budget is defined by
+    /// discovery order.
     pub node_budget: Option<u64>,
+    /// Worker threads for the root-level parallel search: `1` (the
+    /// default) runs the sequential engine, `0` asks
+    /// [`ktg_common::parallel::worker_count`] (honoring `KTG_THREADS`),
+    /// any other value is used as given. The result is byte-identical for
+    /// every setting.
+    pub threads: usize,
+    /// Largest candidate-set size for which the conflict-bitmap kernel is
+    /// built; beyond it (or at `0`, which disables bitmaps entirely) the
+    /// engine probes the distance oracle pair by pair.
+    pub bitmap_threshold: usize,
 }
 
 impl BbOptions {
@@ -131,6 +220,8 @@ impl BbOptions {
             kline_filtering: true,
             stop_at_coverage: None,
             node_budget: None,
+            threads: 1,
+            bitmap_threshold: DEFAULT_BITMAP_THRESHOLD,
         }
     }
 
@@ -148,15 +239,39 @@ impl BbOptions {
     pub fn with_ordering(self, ordering: MemberOrdering) -> Self {
         BbOptions { ordering, ..self }
     }
+
+    /// Same options with an explicit worker-thread count (`0` = auto).
+    pub fn with_threads(self, threads: usize) -> Self {
+        BbOptions { threads, ..self }
+    }
+
+    /// Same options with a different bitmap-kernel size cap (`0` disables
+    /// the bitmap kernel).
+    pub fn with_bitmap_threshold(self, bitmap_threshold: usize) -> Self {
+        BbOptions { bitmap_threshold, ..self }
+    }
+
+    /// The worker count this configuration resolves to.
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            ktg_common::parallel::worker_count()
+        } else {
+            self.threads
+        }
+    }
 }
 
 /// The outcome of one KTG query.
 #[derive(Clone, Debug)]
 pub struct KtgOutcome {
-    /// Result groups in descending coverage (then discovery) order; at
-    /// most `N`, fewer when the graph does not admit `N` feasible groups.
+    /// Result groups in descending coverage order, ties broken by
+    /// canonical member order; at most `N`, fewer when the graph does not
+    /// admit `N` feasible groups. The list is a pure function of the
+    /// query — identical across thread counts, kernels, and oracles.
     pub groups: Vec<Group>,
-    /// Search instrumentation.
+    /// Search instrumentation. Unlike `groups`, the counters describe the
+    /// work actually performed: in parallel runs they aggregate all
+    /// workers and vary with thread count and timing.
     pub stats: SearchStats,
 }
 
@@ -167,7 +282,8 @@ impl KtgOutcome {
     }
 }
 
-/// Runs a KTG query end to end: compile masks, collect candidates, search.
+/// Runs a KTG query end to end: compile masks, collect candidates, build
+/// the conflict kernel, search.
 pub fn solve(
     net: &AttributedGraph,
     query: &KtgQuery,
@@ -176,7 +292,21 @@ pub fn solve(
 ) -> KtgOutcome {
     let masks = net.compile(query.keywords());
     let cands = candidates::collect(net.graph(), &masks);
-    let outcome = solve_with_candidates(query, oracle, cands, opts);
+    solve_prepared(net, query, oracle, cands, opts)
+}
+
+/// Runs a KTG query over a pre-extracted candidate pool, with access to
+/// the graph so the conflict-bitmap kernel can be built (the fast path
+/// for every caller that has an [`AttributedGraph`] at hand).
+pub fn solve_prepared(
+    net: &AttributedGraph,
+    query: &KtgQuery,
+    oracle: &impl DistanceOracle,
+    cands: Vec<Candidate>,
+    opts: &BbOptions,
+) -> KtgOutcome {
+    let kernel = ConflictKernel::build(net.graph(), &cands, query.k(), opts);
+    let outcome = run(query, oracle, &cands, &kernel, opts);
     // Truncated searches may hold a sub-optimal (but still well-formed)
     // result; the audit's ordering/tenuity/coverage contract holds either
     // way, so checked mode gates every driver exit.
@@ -184,163 +314,39 @@ pub fn solve(
     outcome
 }
 
-/// Runs the search over a pre-extracted candidate set (used by
-/// DKTG-Greedy, the multi-query-vertex extension, and tests that need to
-/// manipulate the candidate pool).
+/// Runs the search over a pre-extracted candidate set without a graph
+/// (used by DKTG-Greedy, the multi-query-vertex extension, and tests that
+/// manipulate the candidate pool). No graph means no bitmap kernel: all
+/// distance questions go through the oracle.
 pub fn solve_with_candidates(
     query: &KtgQuery,
     oracle: &impl DistanceOracle,
-    mut cands: Vec<Candidate>,
+    cands: Vec<Candidate>,
     opts: &BbOptions,
 ) -> KtgOutcome {
-    let mut ctx = Ctx {
-        query,
-        oracle,
-        opts,
-        results: TopN::new(query.n()),
-        stats: SearchStats::default(),
-        seq: 0,
-        stop: false,
-        members: Vec::with_capacity(query.p()),
-    };
-    opts.ordering.sort(0, &mut cands);
-    ctx.dfs(0, &cands);
-
-    let groups = ctx.results.into_sorted_desc().into_iter().map(|r| r.group).collect();
-    KtgOutcome { groups, stats: ctx.stats }
+    run(query, oracle, &cands, &ConflictKernel::Oracle, opts)
 }
 
-struct Ctx<'a, O: DistanceOracle> {
-    query: &'a KtgQuery,
-    oracle: &'a O,
-    opts: &'a BbOptions,
-    results: TopN<RankedGroup>,
-    stats: SearchStats,
-    seq: u64,
-    stop: bool,
-    /// The intermediate result set `S_I`.
-    members: Vec<ktg_common::VertexId>,
-}
-
-impl<O: DistanceOracle> Ctx<'_, O> {
-    /// The admission threshold: the N-th best coverage count once `N`
-    /// groups are held, else `None` (everything feasible is admissible).
-    #[inline]
-    fn threshold(&self) -> Option<u32> {
-        self.results.threshold().map(|r| r.count)
-    }
-
-    /// Theorem 2: can `covered` plus the best `need` remaining VKC values
-    /// still strictly exceed the threshold?
-    fn upper_bound_admissible(&mut self, covered: u64, s_r: &[Candidate], need: usize) -> bool {
-        let Some(threshold) = self.threshold() else { return true };
-        let base = coverage::covered_count(covered);
-        let bound = base + top_vkc_sum(covered, s_r, need, self.opts.ordering.vkc_sorted());
-        bound > threshold
-    }
-
-    fn offer(&mut self, covered: u64) {
-        self.stats.groups_evaluated += 1;
-        let group = Group::new(self.members.clone(), covered);
-        let count = group.coverage_count();
-        let admitted = self.results.offer(RankedGroup::new(group, self.seq));
-        self.seq += 1;
-        if admitted {
-            if let Some(floor) = self.opts.stop_at_coverage {
-                if count >= floor && self.results.is_full() {
-                    self.stop = true;
-                }
-            }
-        }
-    }
-
-    /// One Algorithm 1 node: `members`/`covered` are `S_I`, `s_r` is the
-    /// ordered remaining set (already k-line-consistent with `S_I` when
-    /// eager filtering is on).
-    /// Counts a search-tree node against the budget; returns `false` when
-    /// the budget is exhausted (the search then unwinds).
-    #[inline]
-    fn charge_node(&mut self) -> bool {
-        self.stats.nodes += 1;
-        if let Some(budget) = self.opts.node_budget {
-            if self.stats.nodes > budget {
-                self.stats.truncated = true;
-                self.stop = true;
-                return false;
-            }
-        }
-        true
-    }
-
-    fn dfs(&mut self, covered: u64, s_r: &[Candidate]) {
-        if !self.charge_node() {
-            return;
-        }
-        if self.members.len() == self.query.p() {
-            self.offer(covered);
-            return;
-        }
-        let need = self.query.p() - self.members.len();
-
-        for i in 0..s_r.len() {
-            if self.stop {
-                return;
-            }
-            if s_r.len() - i < need {
-                self.stats.feasibility_cuts += 1;
-                return;
-            }
-            // The remaining pool only shrinks as `i` advances, so a failed
-            // bound here fails for every later branch too: return, don't
-            // continue.
-            if self.opts.keyword_pruning && !self.upper_bound_admissible(covered, &s_r[i..], need)
-            {
-                self.stats.keyword_pruned += 1;
-                return;
-            }
-
-            let cand = s_r[i];
-            if !self.opts.kline_filtering {
-                // Lazy tenuity: check the new member against S_I directly.
-                self.stats.distance_checks += self.members.len() as u64;
-                let conflict = self
-                    .members
-                    .iter()
-                    .any(|&u| self.oracle.is_kline(u, cand.v, self.query.k()));
-                if conflict {
-                    continue;
-                }
-            }
-
-            let new_covered = covered | cand.mask;
-            self.members.push(cand.v);
-
-            if self.members.len() == self.query.p() {
-                if self.charge_node() {
-                    self.offer(new_covered);
-                }
-            } else {
-                // Build the child S_R from the still-unexplored tail.
-                let tail = &s_r[i + 1..];
-                let mut child: Vec<Candidate> = Vec::with_capacity(tail.len());
-                if self.opts.kline_filtering {
-                    self.stats.distance_checks += tail.len() as u64;
-                    for &c in tail {
-                        if self.oracle.farther_than(cand.v, c.v, self.query.k()) {
-                            child.push(c);
-                        } else {
-                            self.stats.kline_filtered += 1;
-                        }
-                    }
-                } else {
-                    child.extend_from_slice(tail);
-                }
-                self.opts.ordering.sort(new_covered, &mut child);
-                self.dfs(new_covered, &child);
-            }
-
-            self.members.pop();
-        }
+/// Dispatches to the sequential or parallel driver.
+///
+/// `stop_at_coverage` and `node_budget` force the sequential engine: both
+/// semantics are defined by DFS discovery order ("the first admitted
+/// group reaching the floor", "the first `B` nodes"), which racing
+/// workers cannot reproduce bit-for-bit. Exact searches parallelize
+/// freely — their result is discovery-order independent.
+fn run(
+    query: &KtgQuery,
+    oracle: &impl DistanceOracle,
+    cands: &[Candidate],
+    kernel: &ConflictKernel,
+    opts: &BbOptions,
+) -> KtgOutcome {
+    let workers = opts.resolved_threads().min(cands.len().max(1));
+    let order_dependent = opts.stop_at_coverage.is_some() || opts.node_budget.is_some();
+    if workers <= 1 || order_dependent {
+        sequential::run_sequential(query, oracle, cands, kernel, opts)
+    } else {
+        parallel::run_parallel(query, oracle, cands, kernel, opts, workers)
     }
 }
 
@@ -348,27 +354,44 @@ impl<O: DistanceOracle> Ctx<'_, O> {
 ///
 /// When the list is VKC-sorted this is the sum of the head; otherwise a
 /// selection scan keeps a tiny descending buffer (need ≤ p, and p ≤ 7 in
-/// every evaluated configuration).
+/// every evaluated configuration). The engine feeds masks straight into
+/// [`top_vkc_sum_masks`]; this slice wrapper remains for tests.
+#[cfg(test)]
 fn top_vkc_sum(covered: u64, s_r: &[Candidate], need: usize, sorted: bool) -> u32 {
+    top_vkc_sum_masks(covered, s_r.iter().map(|c| c.mask), need, sorted)
+}
+
+/// [`top_vkc_sum`] over raw coverage masks (the index-based engine feeds
+/// candidate indices through here without materializing a slice).
+///
+/// The unsorted path is a single-pass selection scan: the buffer stays
+/// descending by shifting each accepted value into place — O(need) per
+/// accepted element, no re-sort.
+fn top_vkc_sum_masks(
+    covered: u64,
+    masks: impl Iterator<Item = u64>,
+    need: usize,
+    sorted: bool,
+) -> u32 {
     if sorted {
-        return s_r
-            .iter()
-            .take(need)
-            .map(|c| coverage::vkc_count(c.mask, covered))
-            .sum();
+        return masks.take(need).map(|m| coverage::vkc_count(m, covered)).sum();
     }
     let mut top: Vec<u32> = Vec::with_capacity(need);
-    for c in s_r {
-        let val = coverage::vkc_count(c.mask, covered);
+    for m in masks {
+        let val = coverage::vkc_count(m, covered);
         if top.len() < need {
-            top.push(val);
-            top.sort_unstable_by(|a, b| b.cmp(a));
-        } else if let Some(last) = top.last_mut() {
-            // `top` is full here (need > 0 on every caller path), so the
-            // buffer minimum sits at the end of the descending slice.
-            if val > *last {
-                *last = val;
-                top.sort_unstable_by(|a, b| b.cmp(a));
+            let pos = top.partition_point(|&x| x >= val);
+            top.insert(pos, val);
+        } else if let Some(&min) = top.last() {
+            // `top` is full (need > 0 on every caller path) and sorted
+            // descending, so the minimum sits at the end.
+            if val > min {
+                let mut i = top.len() - 1;
+                while i > 0 && top[i - 1] < val {
+                    top[i] = top[i - 1];
+                    i -= 1;
+                }
+                top[i] = val;
             }
         }
     }
@@ -417,13 +440,64 @@ mod tests {
         let nl = NlIndex::build(net.graph());
         let nlrnl = NlrnlIndex::build(net.graph());
         let exact = ExactOracle::build(net.graph());
-        let a = solve(&net, &query, &bfs, &BbOptions::vkc_deg());
-        let b = solve(&net, &query, &nl, &BbOptions::vkc_deg());
-        let c = solve(&net, &query, &nlrnl, &BbOptions::vkc_deg());
-        let d = solve(&net, &query, &exact, &BbOptions::vkc_deg());
+        // bitmap_threshold 0 keeps every distance question on the oracle
+        // under test (the default would route them to the bitmap kernel).
+        let opts = BbOptions::vkc_deg().with_bitmap_threshold(0);
+        let a = solve(&net, &query, &bfs, &opts);
+        let b = solve(&net, &query, &nl, &opts);
+        let c = solve(&net, &query, &nlrnl, &opts);
+        let d = solve(&net, &query, &exact, &opts);
         assert_eq!(a.groups, b.groups);
         assert_eq!(b.groups, c.groups);
         assert_eq!(c.groups, d.groups);
+    }
+
+    #[test]
+    fn bitmap_kernel_matches_oracle_path() {
+        let net = fixtures::figure1();
+        let oracle = ExactOracle::build(net.graph());
+        for (p, k, n) in [(3usize, 1u32, 2usize), (2, 2, 3), (4, 1, 1), (3, 2, 5)] {
+            let query = KtgQuery::new(
+                net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap(),
+                p,
+                k,
+                n,
+            )
+            .unwrap();
+            for base in [BbOptions::vkc(), BbOptions::vkc_deg(), BbOptions::qkc()] {
+                let with_bitmaps = solve(&net, &query, &oracle, &base);
+                let without = solve(&net, &query, &oracle, &base.with_bitmap_threshold(0));
+                assert_eq!(with_bitmaps.groups, without.groups, "p={p} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_kernel_skips_oracle_probes() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = ExactOracle::build(net.graph());
+        let bitmap = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        let probing = solve(&net, &query, &oracle, &BbOptions::vkc_deg().with_bitmap_threshold(0));
+        assert_eq!(bitmap.groups, probing.groups);
+        assert_eq!(bitmap.stats.distance_checks, 0, "bitmaps answer every distance question");
+        assert!(probing.stats.distance_checks > 0);
+        assert_eq!(
+            bitmap.stats.kline_filtered, probing.stats.kline_filtered,
+            "both paths remove exactly the same conflicting candidates"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_figure1() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = BfsOracle::new(net.graph());
+        let sequential = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        for threads in [0usize, 2, 3, 8] {
+            let parallel = solve(&net, &query, &oracle, &BbOptions::vkc_deg().with_threads(threads));
+            assert_eq!(sequential.groups, parallel.groups, "threads={threads}");
+        }
     }
 
     #[test]
@@ -558,6 +632,35 @@ mod tests {
     }
 
     #[test]
+    fn sort_indices_matches_sort() {
+        let mk = |v: u32, mask: u64, degree: u32| Candidate {
+            v: ktg_common::VertexId(v),
+            mask,
+            degree,
+        };
+        let cands =
+            vec![mk(0, 0b0001, 9), mk(1, 0b0110, 5), mk(2, 0b0011, 2), mk(3, 0b1111, 5)];
+        for ordering in [
+            MemberOrdering::Qkc,
+            MemberOrdering::Vkc,
+            MemberOrdering::VkcDeg,
+            MemberOrdering::VkcDegDesc,
+        ] {
+            for covered in [0u64, 0b0010, 0b0111] {
+                let mut by_value = cands.clone();
+                ordering.sort(covered, &mut by_value);
+                // Feed the index sort a scrambled permutation: the result
+                // must still match (keys end in the unique vertex id).
+                let mut idx: Vec<u32> = vec![2, 0, 3, 1];
+                ordering.sort_indices(covered, &cands, &mut idx);
+                let by_index: Vec<u32> = idx.iter().map(|&i| cands[i as usize].v.0).collect();
+                let expect: Vec<u32> = by_value.iter().map(|c| c.v.0).collect();
+                assert_eq!(by_index, expect, "{ordering:?} covered={covered:#b}");
+            }
+        }
+    }
+
+    #[test]
     fn ordering_names() {
         assert_eq!(MemberOrdering::Qkc.name(), "qkc");
         assert_eq!(MemberOrdering::Vkc.name(), "vkc");
@@ -608,5 +711,24 @@ mod tests {
         let mut sorted = cands.clone();
         MemberOrdering::Vkc.sort(0b0001, &mut sorted);
         assert_eq!(top_vkc_sum(0b0001, &sorted, 2, true), 3);
+    }
+
+    #[test]
+    fn top_vkc_sum_shift_into_place_randomized() {
+        // The selection scan must match "sort desc, take need, sum" for
+        // arbitrary value streams and every buffer size.
+        let mut rng = ktg_common::SeededRng::seed_from_u64(0x70b5);
+        for _ in 0..200 {
+            let len = rng.gen_range(0..20u32) as usize;
+            let masks: Vec<u64> = (0..len).map(|_| rng.gen_range(0..64u64)).collect();
+            for need in 1..=6usize {
+                let got = top_vkc_sum_masks(0, masks.iter().copied(), need, false);
+                let mut counts: Vec<u32> =
+                    masks.iter().map(|&m| coverage::vkc_count(m, 0)).collect();
+                counts.sort_unstable_by(|a, b| b.cmp(a));
+                let expect: u32 = counts.iter().take(need).sum();
+                assert_eq!(got, expect, "masks={masks:?} need={need}");
+            }
+        }
     }
 }

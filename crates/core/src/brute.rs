@@ -35,18 +35,7 @@ pub fn solve_with_candidates(
     let mut results: TopN<RankedGroup> = TopN::new(query.n());
     let mut stats = SearchStats::default();
     let mut chosen: Vec<usize> = Vec::with_capacity(query.p());
-    let mut seq = 0u64;
-    enumerate(
-        &cands,
-        query,
-        oracle,
-        0,
-        0,
-        &mut chosen,
-        &mut results,
-        &mut stats,
-        &mut seq,
-    );
+    enumerate(&cands, query, oracle, 0, 0, &mut chosen, &mut results, &mut stats);
     KtgOutcome {
         groups: results.into_sorted_desc().into_iter().map(|r| r.group).collect(),
         stats,
@@ -63,15 +52,12 @@ fn enumerate(
     chosen: &mut Vec<usize>,
     results: &mut TopN<RankedGroup>,
     stats: &mut SearchStats,
-    seq: &mut u64,
 ) {
     stats.nodes += 1;
     if chosen.len() == query.p() {
         stats.groups_evaluated += 1;
         let members = chosen.iter().map(|&i| cands[i].v).collect();
-        let admitted = results.offer(RankedGroup::new(Group::new(members, covered), *seq));
-        let _ = admitted;
-        *seq += 1;
+        results.offer(RankedGroup::new(Group::new(members, covered)));
         return;
     }
     for i in start..cands.len() {
@@ -87,17 +73,7 @@ fn enumerate(
             continue;
         }
         chosen.push(i);
-        enumerate(
-            cands,
-            query,
-            oracle,
-            i + 1,
-            covered | cands[i].mask,
-            chosen,
-            results,
-            stats,
-            seq,
-        );
+        enumerate(cands, query, oracle, i + 1, covered | cands[i].mask, chosen, results, stats);
         chosen.pop();
     }
 }

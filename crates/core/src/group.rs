@@ -1,15 +1,17 @@
 //! Result groups.
 //!
 //! A [`Group`] is a set of `p` members together with the union mask of the
-//! query keywords they cover. Groups order by coverage count and then by
-//! discovery order (earlier wins), which — combined with
-//! `ktg_common::TopN`'s strict-improvement admission — reproduces the
-//! paper's behaviour where later groups that merely tie the N-th best do
-//! not enter the result.
+//! query keywords they cover. Result ranking ([`RankedGroup`]) orders by
+//! coverage count and breaks ties by *canonical member order* (the
+//! lexicographically smallest member list ranks highest). The ranking is
+//! therefore a pure function of the group set itself — independent of
+//! discovery order, thread count, or timing — which is what lets the
+//! parallel branch-and-bound engine merge per-worker top-N heaps into a
+//! result byte-identical to the sequential engine's.
 
 use ktg_common::VertexId;
 use ktg_keywords::coverage;
-use std::cmp::Reverse;
+use std::cmp::Ordering;
 
 /// A candidate or result group: sorted members plus covered-keyword mask.
 ///
@@ -75,22 +77,46 @@ impl Group {
 }
 
 /// A group ranked for top-N selection: compares by coverage count first,
-/// then by discovery sequence (earlier discovery ranks higher), making
-/// result sets deterministic for a fixed exploration order.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+/// then by canonical member order (lexicographically *smaller* member
+/// lists rank higher).
+///
+/// The ordering deliberately ignores how or when the group was found, so
+/// the top-N result is a pure function of the set of feasible groups.
+/// Sequential and parallel searches that enumerate the same feasible
+/// groups — in any order, across any number of threads — therefore
+/// produce identical results.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RankedGroup {
     /// Covered-keyword count — the primary objective.
     pub count: u32,
-    /// Discovery tiebreak: earlier (smaller seq) ranks higher.
-    pub seq: Reverse<u64>,
-    /// The group itself (never reached by comparisons: `seq` is unique).
+    /// The group itself; its member list is the tiebreak.
     pub group: Group,
 }
 
 impl RankedGroup {
-    /// Wraps a group found as the `seq`-th feasible group.
-    pub fn new(group: Group, seq: u64) -> Self {
-        RankedGroup { count: group.coverage_count(), seq: Reverse(seq), group }
+    /// Ranks a group by its coverage count.
+    pub fn new(group: Group) -> Self {
+        RankedGroup { count: group.coverage_count(), group }
+    }
+}
+
+impl Ord for RankedGroup {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Higher coverage ranks higher; ties go to the lexicographically
+        // smaller member list (reversed comparison: smaller is "greater").
+        // The mask leg keeps Ord consistent with the derived Eq; for
+        // groups of one query it never decides (mask is a function of the
+        // members).
+        self.count
+            .cmp(&other.count)
+            .then_with(|| other.group.members().cmp(self.group.members()))
+            .then_with(|| other.group.mask().cmp(&self.group.mask()))
+    }
+}
+
+impl PartialOrd for RankedGroup {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -119,28 +145,47 @@ mod tests {
 
     #[test]
     fn ranked_ordering_prefers_higher_count() {
-        let a = RankedGroup::new(g(&[0], 0b111), 5);
-        let b = RankedGroup::new(g(&[1], 0b1), 1);
+        let a = RankedGroup::new(g(&[0], 0b111));
+        let b = RankedGroup::new(g(&[1], 0b1));
         assert!(a > b);
     }
 
     #[test]
-    fn ranked_ordering_prefers_earlier_on_tie() {
-        let early = RankedGroup::new(g(&[0], 0b11), 1);
-        let late = RankedGroup::new(g(&[1], 0b11), 9);
-        assert!(early > late, "earlier discovery wins ties");
+    fn ranked_ordering_breaks_ties_canonically() {
+        let small = RankedGroup::new(g(&[0, 5], 0b11));
+        let large = RankedGroup::new(g(&[0, 7], 0b11));
+        assert!(small > large, "smaller member list wins ties");
+        // Prefix rule: [0] < [0, 5] lexicographically, so [0] ranks higher.
+        let prefix = RankedGroup::new(g(&[0], 0b11));
+        assert!(prefix > small);
     }
 
     #[test]
-    fn topn_integration_ties_do_not_displace() {
+    fn ranked_ordering_is_discovery_independent() {
+        let mut groups =
+            vec![g(&[2, 3], 0b11), g(&[0, 9], 0b11), g(&[0, 1], 0b1), g(&[4, 5], 0b111)];
+        let mut ranked: Vec<RankedGroup> = groups.drain(..).map(RankedGroup::new).collect();
+        let mut reversed = ranked.clone();
+        reversed.reverse();
+        ranked.sort();
+        reversed.sort();
+        assert_eq!(ranked, reversed, "ranking is a pure function of the set");
+    }
+
+    #[test]
+    fn topn_integration_canonical_ties() {
         let mut top = ktg_common::TopN::new(2);
-        top.offer(RankedGroup::new(g(&[0, 1], 0b11), 0));
-        top.offer(RankedGroup::new(g(&[0, 2], 0b11), 1));
-        // Same coverage, later discovery: must be rejected.
-        assert!(!top.offer(RankedGroup::new(g(&[0, 3], 0b11), 2)));
-        // Strictly better: admitted.
-        assert!(top.offer(RankedGroup::new(g(&[0, 4], 0b111), 3)));
+        top.offer(RankedGroup::new(g(&[0, 2], 0b11)));
+        top.offer(RankedGroup::new(g(&[0, 3], 0b11)));
+        // Same coverage, canonically larger than the incumbent minimum
+        // ([0, 3]): must be rejected.
+        assert!(!top.offer(RankedGroup::new(g(&[0, 4], 0b11))));
+        // Same coverage, canonically smaller: displaces [0, 3].
+        assert!(top.offer(RankedGroup::new(g(&[0, 1], 0b11))));
+        // Strictly better count: admitted regardless of members.
+        assert!(top.offer(RankedGroup::new(g(&[9, 10], 0b111))));
         let result = top.into_sorted_desc();
-        assert_eq!(result[0].group.members()[1], VertexId(4));
+        assert_eq!(result[0].group.members(), &[VertexId(9), VertexId(10)]);
+        assert_eq!(result[1].group.members(), &[VertexId(0), VertexId(1)]);
     }
 }

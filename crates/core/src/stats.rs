@@ -26,14 +26,19 @@ pub struct SearchStats {
 }
 
 impl SearchStats {
-    /// Accumulates another run's counters (for workload aggregation).
+    /// Accumulates another run's counters — used to aggregate per-worker
+    /// stats in the parallel engine and per-query stats in workload
+    /// drivers (`multi_query`, the bench runner). Sums saturate rather
+    /// than wrap so a pathological aggregation pins at `u64::MAX` instead
+    /// of silently reporting a tiny count; `truncated` ORs (one truncated
+    /// worker makes the whole run truncated).
     pub fn merge(&mut self, other: &SearchStats) {
-        self.nodes += other.nodes;
-        self.keyword_pruned += other.keyword_pruned;
-        self.feasibility_cuts += other.feasibility_cuts;
-        self.kline_filtered += other.kline_filtered;
-        self.distance_checks += other.distance_checks;
-        self.groups_evaluated += other.groups_evaluated;
+        self.nodes = self.nodes.saturating_add(other.nodes);
+        self.keyword_pruned = self.keyword_pruned.saturating_add(other.keyword_pruned);
+        self.feasibility_cuts = self.feasibility_cuts.saturating_add(other.feasibility_cuts);
+        self.kline_filtered = self.kline_filtered.saturating_add(other.kline_filtered);
+        self.distance_checks = self.distance_checks.saturating_add(other.distance_checks);
+        self.groups_evaluated = self.groups_evaluated.saturating_add(other.groups_evaluated);
         self.truncated |= other.truncated;
     }
 }
@@ -50,5 +55,34 @@ mod tests {
         assert_eq!(a.nodes, 11);
         assert_eq!(a.keyword_pruned, 2);
         assert_eq!(a.distance_checks, 5);
+        assert!(!a.truncated);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = SearchStats { nodes: u64::MAX - 1, groups_evaluated: u64::MAX, ..Default::default() };
+        let b = SearchStats { nodes: 5, groups_evaluated: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.nodes, u64::MAX);
+        assert_eq!(a.groups_evaluated, u64::MAX);
+    }
+
+    #[test]
+    fn merge_ors_truncated() {
+        let mut a = SearchStats::default();
+        a.merge(&SearchStats { truncated: true, ..Default::default() });
+        assert!(a.truncated);
+        // Once truncated, merging a clean run does not reset the flag.
+        a.merge(&SearchStats::default());
+        assert!(a.truncated);
+    }
+
+    #[test]
+    fn merge_identity_is_default() {
+        let mut a =
+            SearchStats { nodes: 7, kline_filtered: 3, feasibility_cuts: 2, ..Default::default() };
+        let before = a;
+        a.merge(&SearchStats::default());
+        assert_eq!(a, before);
     }
 }

@@ -25,11 +25,17 @@
 //! Both indexes report [`space::IndexSpace`] and [`space::BuildStats`],
 //! powering the Figure 9 experiments, and [`NlrnlIndex`] supports the
 //! paper's dynamic maintenance under edge insertion/deletion.
+//!
+//! [`batch::kline_conflict_bitmaps`] is the batch entry point used by the
+//! solver's conflict-bitmap kernel: one hop-bounded BFS per candidate, run
+//! in parallel, producing per-candidate conflict bitsets that replace
+//! oracle probes entirely for small-to-medium candidate sets.
 
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bfs_oracle;
 pub mod dynamic;
 pub mod exact;
@@ -41,6 +47,7 @@ pub mod persist;
 pub mod pll;
 pub mod space;
 
+pub use batch::kline_conflict_bitmaps;
 pub use bfs_oracle::BfsOracle;
 pub use dynamic::DynamicNlrnl;
 pub use exact::ExactOracle;

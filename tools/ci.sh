@@ -20,6 +20,21 @@ cargo build --release --offline
 echo "== offline test suite =="
 cargo test -q --offline
 
+echo "== parallel differential gate (KTG_THREADS=4, checked mode) =="
+KTG_THREADS=4 KTG_VERIFY=1 cargo test -q --offline \
+    -p ktg-integration-tests --test parallel_diff
+
+echo "== bb_scaling smoke (quick mode still writes JSON-lines) =="
+bench_out="$(mktemp -d)"
+KTG_BENCH_FAST=1 KTG_BENCH_OUT="$bench_out" \
+    cargo run -q --release --offline -p ktg-bench --bin bb_scaling
+bb_records="$(wc -l < "$bench_out/bb_scaling.jsonl")"
+if [ "$bb_records" -lt 8 ]; then
+    echo "FAIL: bb_scaling wrote $bb_records JSON-lines records, expected >= 8" >&2
+    exit 1
+fi
+rm -rf "$bench_out"
+
 echo "== static analysis (ktg-lint, ratchet vs tools/lint-baseline.txt) =="
 cargo run -q --release --offline -p ktg-lint
 
