@@ -19,6 +19,8 @@ pub enum Command {
     Query,
     /// Run a DKTG (diversified) query.
     Dktg,
+    /// Replay a workload file through the batched serving engine.
+    Batch,
 }
 
 impl Command {
@@ -29,8 +31,9 @@ impl Command {
             "index" => Ok(Command::Index),
             "query" => Ok(Command::Query),
             "dktg" => Ok(Command::Dktg),
+            "batch" => Ok(Command::Batch),
             other => Err(KtgError::input(format!(
-                "unknown command '{other}' (expected generate|stats|index|query|dktg)"
+                "unknown command '{other}' (expected generate|stats|index|query|dktg|batch)"
             ))),
         }
     }
@@ -54,22 +57,30 @@ fn canonical(flag: &str) -> &str {
     }
 }
 
+/// Flags that stand alone (no value token follows them).
+const BOOLEAN_FLAGS: &[&str] = &["no-cache"];
+
 /// Parses `argv` (without the program name).
 pub fn parse(argv: &[String]) -> Result<ParsedArgs> {
     let mut iter = argv.iter();
-    let word = iter
-        .next()
-        .ok_or_else(|| KtgError::input("missing command (generate|stats|index|query|dktg)"))?;
+    let word = iter.next().ok_or_else(|| {
+        KtgError::input("missing command (generate|stats|index|query|dktg|batch)")
+    })?;
     let command = Command::from_word(word)?;
     let mut flags = FxHashMap::default();
     while let Some(flag) = iter.next() {
         if !flag.starts_with('-') {
             return Err(KtgError::input(format!("unexpected positional argument '{flag}'")));
         }
+        let name = canonical(flag);
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = iter
             .next()
             .ok_or_else(|| KtgError::input(format!("flag '{flag}' needs a value")))?;
-        flags.insert(canonical(flag).to_string(), value.clone());
+        flags.insert(name.to_string(), value.clone());
     }
     Ok(ParsedArgs { command, flags })
 }
@@ -160,6 +171,14 @@ mod tests {
     fn list_flag_splits_and_trims() {
         let p = parse(&argv(&["query", "--terms", "a, b,,c"])).unwrap();
         assert_eq!(p.list("terms").unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn boolean_flags_stand_alone() {
+        let p = parse(&argv(&["batch", "--no-cache", "--workload", "w.txt"])).unwrap();
+        assert_eq!(p.command, Command::Batch);
+        assert_eq!(p.optional("no-cache"), Some("true"));
+        assert_eq!(p.required("workload").unwrap(), "w.txt");
     }
 
     #[test]

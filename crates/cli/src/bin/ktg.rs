@@ -7,7 +7,7 @@ fn main() {
     if let Err(e) = ktg_cli::run(&argv, &mut lock) {
         eprintln!("error: {e}");
         eprintln!();
-        eprintln!("usage: ktg <generate|stats|index|query|dktg> [--flag value]...");
+        eprintln!("usage: ktg <generate|stats|index|query|dktg|batch> [--flag value]...");
         eprintln!("  generate --profile NAME --out DIR [--scale N] [--seed N]");
         eprintln!("  stats    --edges FILE [--keywords FILE]");
         eprintln!("  index    --edges FILE --out FILE");
@@ -16,6 +16,9 @@ fn main() {
         eprintln!("           [--oracle bfs|nl|nlrnl] [--index FILE] [--authors 1,2]");
         eprintln!("           [--explain true]");
         eprintln!("  dktg     (query flags) [--gamma F]");
+        eprintln!("  batch    --workload FILE --edges FILE [--keywords FILE] [--threads N]");
+        eprintln!("           [--cache-entries N] [--no-cache] [--algo NAME]");
+        eprintln!("           [--bitmap-threshold N]");
         std::process::exit(2);
     }
 }

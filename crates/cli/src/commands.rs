@@ -7,6 +7,7 @@
 use crate::args::{Command, ParsedArgs};
 use ktg_common::{KtgError, Result, VertexId};
 use ktg_core::dktg::{self, DktgQuery};
+use ktg_core::serve::{self, ItemOutcome, ServeOptions, ServeSession};
 use ktg_core::{
     bb, candidates, explain, multi_query, verify, AttributedGraph, KtgQuery, MemberOrdering,
 };
@@ -26,6 +27,18 @@ pub fn dispatch(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
         Command::Index => index_cmd(args, out),
         Command::Query => query_cmd(args, out, false),
         Command::Dktg => query_cmd(args, out, true),
+        Command::Batch => batch_cmd(args, out),
+    }
+}
+
+fn ordering_flag(args: &ParsedArgs) -> Result<MemberOrdering> {
+    match args.optional("algo").unwrap_or("vkc-deg") {
+        "qkc" => Ok(MemberOrdering::Qkc),
+        "vkc" => Ok(MemberOrdering::Vkc),
+        "vkc-deg" => Ok(MemberOrdering::VkcDeg),
+        other => Err(KtgError::input(format!(
+            "unknown algorithm '{other}' (qkc|vkc|vkc-deg)"
+        ))),
     }
 }
 
@@ -121,6 +134,100 @@ fn index_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
     Ok(())
 }
 
+/// `ktg batch --workload FILE --edges FILE [--keywords FILE] [--threads N]
+/// [--cache-entries N] [--no-cache] [--algo NAME] [--bitmap-threshold N]`
+///
+/// Replays a workload file (see `ktg_core::serve::workload` for the
+/// format) through a [`ServeSession`]: queries fan out across worker
+/// threads, repeated queries hit the epoch-guarded result cache, and
+/// `insert`/`remove` lines mutate the graph between query runs. Answers
+/// are byte-identical to running each query individually.
+fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
+    let net = load_network(args)?;
+    let text = std::fs::read_to_string(args.required("workload")?)?;
+    let items = serve::parse_workload(&text, &net)?;
+
+    let engine = bb::BbOptions::vkc()
+        .with_ordering(ordering_flag(args)?)
+        .with_bitmap_threshold(args.num_or("bitmap-threshold", bb::DEFAULT_BITMAP_THRESHOLD)?);
+    let options = ServeOptions {
+        threads: args.num_or("threads", 0)?,
+        use_cache: args.optional("no-cache").is_none(),
+        cache_entries: args.num_or("cache-entries", 4096)?,
+        engine,
+    };
+    writeln!(
+        out,
+        "batch: {} items, {} threads, cache {}",
+        items.len(),
+        if options.threads == 0 { "auto".to_string() } else { options.threads.to_string() },
+        if options.use_cache {
+            format!("on ({} entries)", options.cache_entries)
+        } else {
+            "off".to_string()
+        }
+    )?;
+
+    let mut session = ServeSession::new(net, options);
+    let outcomes = session.run(&items);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let lineno = i + 1;
+        match outcome {
+            ItemOutcome::Ktg(ans) => {
+                writeln!(
+                    out,
+                    "[{lineno}] ktg: {} groups{}",
+                    ans.groups.len(),
+                    if ans.cached { " [cached]" } else { "" }
+                )?;
+                for (rank, g) in ans.groups.iter().enumerate() {
+                    writeln!(
+                        out,
+                        "    #{}: {:?} — QKC {}",
+                        rank + 1,
+                        g.members().iter().map(|v| v.0).collect::<Vec<_>>(),
+                        g.coverage_count()
+                    )?;
+                }
+            }
+            ItemOutcome::Dktg(ans) => {
+                writeln!(
+                    out,
+                    "[{lineno}] dktg: {} groups, score {:.3} (min QKC {:.3}, dL {:.3}){}",
+                    ans.groups.len(),
+                    ans.score,
+                    ans.min_qkc,
+                    ans.diversity,
+                    if ans.cached { " [cached]" } else { "" }
+                )?;
+                for (rank, g) in ans.groups.iter().enumerate() {
+                    writeln!(
+                        out,
+                        "    #{}: {:?} — QKC {}",
+                        rank + 1,
+                        g.members().iter().map(|v| v.0).collect::<Vec<_>>(),
+                        g.coverage_count()
+                    )?;
+                }
+            }
+            ItemOutcome::Update { applied } => {
+                writeln!(
+                    out,
+                    "[{lineno}] update: {}",
+                    if *applied { "applied" } else { "no-op" }
+                )?;
+            }
+        }
+    }
+    let stats = session.stats();
+    writeln!(
+        out,
+        "served: {} answers from cache, {} fresh; {} conflict-row hits; epoch {}",
+        stats.result_hits, stats.result_misses, stats.row_hits, stats.epoch
+    )?;
+    Ok(())
+}
+
 /// Shared by `query` and `dktg`.
 fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Result<()> {
     let net = load_network(args)?;
@@ -160,16 +267,7 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
     };
     let oracle = oracle.as_ref();
 
-    let ordering = match args.optional("algo").unwrap_or("vkc-deg") {
-        "qkc" => MemberOrdering::Qkc,
-        "vkc" => MemberOrdering::Vkc,
-        "vkc-deg" => MemberOrdering::VkcDeg,
-        other => {
-            return Err(KtgError::input(format!(
-                "unknown algorithm '{other}' (qkc|vkc|vkc-deg)"
-            )))
-        }
-    };
+    let ordering = ordering_flag(args)?;
     // `--parallel true` fans the search out over all cores (KTG_THREADS
     // honored); `--threads N` pins an exact worker count and wins when
     // both are given. Either way the results are byte-identical to the
@@ -184,7 +282,7 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
         .with_bitmap_threshold(bitmap_threshold);
 
     let masks = net.compile(query.keywords());
-    let mut cands = candidates::collect(net.graph(), &masks);
+    let mut cands = candidates::collect_vec(net.graph(), &masks);
     if let Some(authors) = args.optional("authors") {
         let authors: Vec<VertexId> = authors
             .split(',')
@@ -212,7 +310,7 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
     if diversified {
         let gamma: f64 = args.num_or("gamma", 0.5)?;
         let dq = DktgQuery::new(query.clone(), gamma)?;
-        let result = dktg::solve_with_candidates(&dq, &oracle, cands, &opts);
+        let result = dktg::solve_with_candidates(&dq, &oracle, &mut cands, &opts);
         if verify::checked_mode_enabled() {
             let report = verify::audit_dktg_results(&net, &dq, &result.groups);
             assert!(report.is_ok(), "checked-mode verification failed: {report}");
@@ -403,6 +501,82 @@ mod tests {
             argv.extend(extra.iter().copied());
             assert_eq!(groups(&run_to_string(&argv).unwrap()), sequential, "{extra:?}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_replays_workload_and_caches() {
+        let dir = temp_dir("batch");
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "generate", "--profile", "brightkite", "--scale", "400", "--seed", "7", "--out", out,
+        ])
+        .unwrap();
+        let edges = dir.join("edges.txt");
+        let keywords = dir.join("keywords.txt");
+        // Terms t0.. exist in every synthetic profile's vocabulary.
+        let workload = dir.join("workload.txt");
+        std::fs::write(
+            &workload,
+            "\
+# repeated query with an update in between
+ktg terms=t0,t1,t2 p=2 k=1 n=2
+ktg terms=t0,t1,t2 p=2 k=1 n=2
+dktg terms=t0,t1,t2 p=2 k=1 n=2 gamma=0.5
+insert 0 1
+ktg terms=t0,t1,t2 p=2 k=1 n=2
+",
+        )
+        .unwrap();
+        let base = [
+            "batch",
+            "--workload", workload.to_str().unwrap(),
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+        ];
+        let mut seq = base.to_vec();
+        seq.extend(["--threads", "1"]);
+        let text = run_to_string(&seq).unwrap();
+        assert!(text.contains("[2] ktg:"), "{text}");
+        assert!(text.contains("[cached]"), "repeat must hit the cache:\n{text}");
+        assert!(text.contains("[4] update:"), "{text}");
+        assert!(text.contains("served:"), "{text}");
+
+        // Group lines must be identical across threads and cache modes
+        // (the [cached] markers and stats line legitimately differ).
+        let groups = |text: &str| -> Vec<String> {
+            text.lines().filter(|l| l.starts_with("    #")).map(String::from).collect()
+        };
+        let reference = groups(&text);
+        assert!(!reference.is_empty());
+        for extra in [&["--threads", "4"][..], &["--no-cache"][..]] {
+            let mut argv = base.to_vec();
+            argv.extend(extra.iter().copied());
+            assert_eq!(groups(&run_to_string(&argv).unwrap()), reference, "{extra:?}");
+        }
+        let mut no_cache = base.to_vec();
+        no_cache.push("--no-cache");
+        assert!(!run_to_string(&no_cache).unwrap().contains("[cached]"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_reports_workload_parse_errors() {
+        let dir = temp_dir("batch-err");
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "generate", "--profile", "brightkite", "--scale", "800", "--seed", "7", "--out", out,
+        ])
+        .unwrap();
+        let workload = dir.join("bad.txt");
+        std::fs::write(&workload, "ktg terms=t0 p=0 k=1 n=1\n").unwrap();
+        let err = run_to_string(&[
+            "batch",
+            "--workload", workload.to_str().unwrap(),
+            "--edges", dir.join("edges.txt").to_str().unwrap(),
+        ])
+        .expect_err("invalid p must fail");
+        assert!(err.to_string().contains("line 1"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

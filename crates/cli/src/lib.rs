@@ -11,6 +11,8 @@
 //!              --terms t1,t5,t9 -p 3 -k 2 -n 5 --explain
 //! ktg dktg     --edges data/edges.txt --keywords data/keywords.txt \
 //!              --terms t1,t5,t9 -p 3 -k 2 -n 5 --gamma 0.5
+//! ktg batch    --workload queries.txt --edges data/edges.txt \
+//!              --keywords data/keywords.txt --threads 4 --cache-entries 4096
 //! ```
 //!
 //! Every command is a library function writing to a caller-supplied

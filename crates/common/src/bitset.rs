@@ -82,6 +82,18 @@ impl FixedBitSet {
         self.words.fill(0);
     }
 
+    /// Re-initializes the set to an all-zero bitset over `0..len`,
+    /// reusing the existing word allocation whenever it is large enough.
+    /// This is how pooled conflict-bitmap rows are recycled across
+    /// queries with different candidate counts without reallocating.
+    pub fn reset(&mut self, len: usize) {
+        let words = len.div_ceil(WORD_BITS);
+        self.words.truncate(words);
+        self.words.fill(0);
+        self.words.resize(words, 0);
+        self.len = len;
+    }
+
     /// Overwrites `self` with `a & !b`, word-parallel: the set difference
     /// `a \ b` computed 64 bits at a time. This is the conflict-bitmap
     /// kernel's child-pool derivation — one pass over the word arrays
@@ -175,6 +187,13 @@ pub struct EpochMarker {
     epoch: u32,
 }
 
+impl Default for EpochMarker {
+    /// An empty arena; grow it with [`EpochMarker::grow`] before marking.
+    fn default() -> Self {
+        EpochMarker::new(0)
+    }
+}
+
 impl EpochMarker {
     /// Creates a marker arena for `len` slots, all unmarked.
     pub fn new(len: usize) -> Self {
@@ -243,6 +262,25 @@ impl EpochMarker {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reset_reuses_and_zeroes() {
+        let mut bs = FixedBitSet::new(130);
+        bs.insert(0);
+        bs.insert(129);
+        // Shrink: stale high bits must not survive into the tail word.
+        bs.reset(70);
+        assert_eq!(bs.len(), 70);
+        assert_eq!(bs.count_ones(), 0);
+        bs.insert(69);
+        // Grow: fresh words are zero, old bits are gone.
+        bs.reset(200);
+        assert_eq!(bs.len(), 200);
+        assert_eq!(bs.count_ones(), 0);
+        bs.insert(199);
+        assert!(bs.contains(199));
+        assert_eq!(bs.iter_ones().collect::<Vec<_>>(), vec![199]);
+    }
 
     #[test]
     fn set_get_remove() {

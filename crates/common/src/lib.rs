@@ -26,6 +26,9 @@
 //!   replacing `crossbeam::thread::scope`.
 //! * [`SharedThreshold`] — a max-accumulating atomic coverage floor that
 //!   lets parallel branch-and-bound workers share Theorem-2 pruning power.
+//! * [`pool`] — mutex-guarded free lists ([`Pool`]) recycling per-worker
+//!   arenas (BFS scratch, candidate vectors, bitmap rows) so the batched
+//!   query executor serves steady-state traffic without reallocating.
 //! * [`KtgError`] — the workspace error type.
 
 
@@ -37,6 +40,7 @@ pub mod error;
 pub mod hash;
 pub mod id;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod threshold;
 pub mod topn;
@@ -45,6 +49,7 @@ pub use bitset::{EpochMarker, FixedBitSet};
 pub use error::{KtgError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
 pub use id::VertexId;
+pub use pool::{Pool, PoolGuard};
 pub use rng::{SeededRng, SplitMix64};
 pub use threshold::SharedThreshold;
 pub use topn::TopN;

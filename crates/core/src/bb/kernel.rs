@@ -35,11 +35,23 @@ pub enum ConflictKernel {
 }
 
 impl ConflictKernel {
+    /// The gating predicate of [`ConflictKernel::build`]: whether a
+    /// candidate set of `len` gets bitmaps under these options. Exposed so
+    /// the batched executor (which assembles its rows through the
+    /// [`ktg_index::NeighborhoodCache`] memo instead of calling `build`)
+    /// takes the bitmap-vs-oracle fork on *exactly* the same condition —
+    /// a divergence here would still be correct but would break the
+    /// byte-identical-stats contract with fresh solves.
+    #[inline]
+    pub fn wants_bitmap(len: usize, opts: &BbOptions) -> bool {
+        opts.bitmap_threshold != 0 && len <= opts.bitmap_threshold
+    }
+
     /// Builds the kernel for a query: bitmaps when the candidate set fits
     /// under `opts.bitmap_threshold` (and the threshold is non-zero),
     /// otherwise the oracle path.
     pub fn build(graph: &CsrGraph, cands: &[Candidate], k: u32, opts: &BbOptions) -> Self {
-        if opts.bitmap_threshold == 0 || cands.len() > opts.bitmap_threshold {
+        if !Self::wants_bitmap(cands.len(), opts) {
             return ConflictKernel::Oracle;
         }
         let sources: Vec<VertexId> = cands.iter().map(|c| c.v).collect();
@@ -50,6 +62,15 @@ impl ConflictKernel {
     #[inline]
     pub fn is_bitmap(&self) -> bool {
         matches!(self, ConflictKernel::Bitmap(_))
+    }
+
+    /// Reclaims the bitmap rows (`None` for the oracle path) so a pooled
+    /// arena can recycle their allocations for the next query.
+    pub fn into_bitmaps(self) -> Option<Vec<FixedBitSet>> {
+        match self {
+            ConflictKernel::Oracle => None,
+            ConflictKernel::Bitmap(rows) => Some(rows),
+        }
     }
 
     /// Short name for reports.
@@ -75,7 +96,7 @@ mod tests {
         )
         .unwrap();
         let masks = net.compile(query.keywords());
-        let cands = crate::candidates::collect(net.graph(), &masks);
+        let cands = crate::candidates::collect_vec(net.graph(), &masks);
         (net.graph().clone(), cands)
     }
 

@@ -291,8 +291,25 @@ pub fn solve(
     opts: &BbOptions,
 ) -> KtgOutcome {
     let masks = net.compile(query.keywords());
-    let cands = candidates::collect(net.graph(), &masks);
+    let cands = candidates::collect_vec(net.graph(), &masks);
     solve_prepared(net, query, oracle, cands, opts)
+}
+
+/// Runs the search over a pre-extracted candidate slice and a pre-built
+/// conflict kernel, then applies checked-mode verification. This is the
+/// batched executor's entry point: the executor owns pooled candidate
+/// vectors and recycled kernel rows, so nothing here may take ownership.
+pub(crate) fn solve_with_kernel(
+    net: &AttributedGraph,
+    query: &KtgQuery,
+    oracle: &impl DistanceOracle,
+    cands: &[Candidate],
+    kernel: &ConflictKernel,
+    opts: &BbOptions,
+) -> KtgOutcome {
+    let outcome = run(query, oracle, cands, kernel, opts);
+    crate::verify::enforce(net, query, &outcome.groups);
+    outcome
 }
 
 /// Runs a KTG query over a pre-extracted candidate pool, with access to
@@ -321,10 +338,10 @@ pub fn solve_prepared(
 pub fn solve_with_candidates(
     query: &KtgQuery,
     oracle: &impl DistanceOracle,
-    cands: Vec<Candidate>,
+    cands: &[Candidate],
     opts: &BbOptions,
 ) -> KtgOutcome {
-    run(query, oracle, &cands, &ConflictKernel::Oracle, opts)
+    run(query, oracle, cands, &ConflictKernel::Oracle, opts)
 }
 
 /// Dispatches to the sequential or parallel driver.

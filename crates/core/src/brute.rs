@@ -22,7 +22,7 @@ pub fn solve(
     oracle: &impl DistanceOracle,
 ) -> KtgOutcome {
     let masks = net.compile(query.keywords());
-    let cands = candidates::collect(net.graph(), &masks);
+    let cands = candidates::collect_vec(net.graph(), &masks);
     solve_with_candidates(query, oracle, cands)
 }
 

@@ -21,13 +21,25 @@ pub struct Candidate {
     pub degree: u32,
 }
 
-/// Collects the qualified candidates (mask ≠ 0) in vertex-id order.
-pub fn collect(graph: &CsrGraph, masks: &QueryMasks) -> Vec<Candidate> {
-    masks
-        .candidates()
-        .iter()
-        .map(|&v| Candidate { v, mask: masks.mask(v), degree: graph.degree(v) as u32 })
-        .collect()
+/// Collects the qualified candidates (mask ≠ 0) in vertex-id order into
+/// `out`, clearing it first. Taking the vector by `&mut` (the
+/// [`ktg_graph::BfsScratch`] idiom) lets the batched query executor
+/// recycle one pooled allocation across every query a worker serves.
+pub fn collect(graph: &CsrGraph, masks: &QueryMasks, out: &mut Vec<Candidate>) {
+    out.clear();
+    out.extend(masks.candidates().iter().map(|&v| {
+        let mask = masks.mask(v);
+        debug_assert!(mask != 0, "candidate {v} has an empty coverage mask");
+        Candidate { v, mask, degree: graph.degree(v) as u32 }
+    }));
+}
+
+/// [`collect`] into a freshly allocated vector — the convenience form for
+/// one-shot callers.
+pub fn collect_vec(graph: &CsrGraph, masks: &QueryMasks) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(masks.candidates().len());
+    collect(graph, masks, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -47,7 +59,9 @@ mod tests {
         let idx = InvertedIndex::build(&vk, 3);
         let q = QueryKeywords::new([KeywordId(0), KeywordId(1)]).unwrap();
         let masks = q.compile(&idx, 4);
-        let cands = collect(&g, &masks);
+        let mut cands = vec![Candidate { v: VertexId(9), mask: 1, degree: 0 }];
+        collect(&g, &masks, &mut cands);
+        assert_eq!(cands, collect_vec(&g, &masks), "reused vector is cleared first");
         assert_eq!(cands.len(), 2);
         assert_eq!(cands[0].v, VertexId(0));
         assert_eq!(cands[0].mask, 0b01);

@@ -162,17 +162,20 @@ pub fn solve_with_options(
     inner_opts: &BbOptions,
 ) -> DktgOutcome {
     let masks = net.compile(query.base.keywords());
-    let cands = candidates::collect(net.graph(), &masks);
-    let outcome = solve_with_candidates(query, oracle, cands, inner_opts);
+    let mut cands = candidates::collect_vec(net.graph(), &masks);
+    let outcome = solve_with_candidates(query, oracle, &mut cands, inner_opts);
     crate::verify::enforce_dktg(net, query, &outcome.groups);
     outcome
 }
 
-/// DKTG-Greedy over a pre-extracted candidate pool.
+/// DKTG-Greedy over a pre-extracted candidate pool. The pool is consumed
+/// in place (each greedy round retains only the non-selected candidates)
+/// but the *allocation* is the caller's — the batched executor hands in a
+/// pooled vector and recycles it afterwards.
 pub fn solve_with_candidates(
     query: &DktgQuery,
     oracle: &impl DistanceOracle,
-    mut pool: Vec<Candidate>,
+    pool: &mut Vec<Candidate>,
     inner_opts: &BbOptions,
 ) -> DktgOutcome {
     let inner_query = query.base.with_n(1).expect("N = 1 is valid");
@@ -183,7 +186,9 @@ pub fn solve_with_candidates(
 
     while groups.len() < query.base.n() && pool.len() >= query.base.p() {
         let opts = BbOptions { stop_at_coverage: c_max, ..*inner_opts };
-        let outcome = bb::solve_with_candidates(&inner_query, oracle, pool.clone(), &opts);
+        // The engine sorts a private index vector, never the slice, so
+        // the pool passes down by reference — no per-round clone.
+        let outcome = bb::solve_with_candidates(&inner_query, oracle, pool, &opts);
         stats.merge(&outcome.stats);
         let Some(best) = outcome.groups.into_iter().next() else {
             break; // no feasible group left in the remaining pool

@@ -116,7 +116,7 @@ pub fn solve(
     limits: &ExactLimits,
 ) -> Result<ExactDktg> {
     let masks = net.compile(query.base().keywords());
-    let cands = candidates::collect(net.graph(), &masks);
+    let cands = candidates::collect_vec(net.graph(), &masks);
     solve_with_candidates(query, oracle, cands, limits)
 }
 
@@ -216,7 +216,7 @@ pub fn feasible_groups_of(
     cap: usize,
 ) -> Result<Vec<Group>> {
     let masks = net.compile(query.keywords());
-    let cands = candidates::collect(net.graph(), &masks);
+    let cands = candidates::collect_vec(net.graph(), &masks);
     enumerate_feasible(query, oracle, &cands, cap)
 }
 
@@ -233,7 +233,7 @@ pub fn check_enumeration_consistency(
     for g in &all {
         top.offer(g.coverage_count());
     }
-    let bb_out = bb::solve_with_candidates(query, oracle, cands, &BbOptions::vkc_deg());
+    let bb_out = bb::solve_with_candidates(query, oracle, &cands, &BbOptions::vkc_deg());
     let bb_best = bb_out.groups.first().map(Group::coverage_count);
     let enum_best = top.into_sorted_desc().into_iter().next();
     Ok(bb_best == enum_best)
@@ -326,7 +326,7 @@ mod tests {
         let (net, q) = figure1_query(2);
         let oracle = ExactOracle::build(net.graph());
         let masks = net.compile(q.base().keywords());
-        let cands = candidates::collect(net.graph(), &masks);
+        let cands = candidates::collect_vec(net.graph(), &masks);
         assert!(check_enumeration_consistency(q.base(), &oracle, cands, 10_000).unwrap());
     }
 

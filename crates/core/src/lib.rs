@@ -18,6 +18,9 @@
 //!   coverage under a k-tenuity budget), used by the Figure 8 case study.
 //! * [`multi_query`] — the §IV-B *Discussion* extension: exclude
 //!   candidates socially close to given query vertices (paper authors).
+//! * [`serve`] — the batched query-serving layer: workload executor with
+//!   pooled scratch arenas, an epoch-guarded result cache, and
+//!   cross-query conflict-row reuse (byte-identical to fresh solves).
 //! * [`network`] — [`network::AttributedGraph`], the ergonomic facade
 //!   bundling topology + keywords that examples and downstream users
 //!   interact with.
@@ -60,6 +63,7 @@ pub mod group;
 pub mod multi_query;
 pub mod network;
 pub mod query;
+pub mod serve;
 pub mod stats;
 pub mod tagq;
 pub mod tenuity;

@@ -46,7 +46,7 @@ mod tests {
         let oracle = ExactOracle::build(net.graph());
         let q = net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap();
         let masks = net.compile(&q);
-        let mut cands = candidates::collect(net.graph(), &masks);
+        let mut cands = candidates::collect_vec(net.graph(), &masks);
         let before = cands.len();
         // Author u0 with k = 1: all of u0's qualified neighbors go.
         let removed = restrict_candidates(&oracle, &[ktg_common::VertexId(0)], 1, &mut cands);
@@ -63,7 +63,7 @@ mod tests {
         let oracle = ExactOracle::build(net.graph());
         let q = net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap();
         let masks = net.compile(&q);
-        let mut cands = candidates::collect(net.graph(), &masks);
+        let mut cands = candidates::collect_vec(net.graph(), &masks);
         // k = 0 removes nobody by distance, but the author must still go.
         restrict_candidates(&oracle, &[ktg_common::VertexId(7)], 0, &mut cands);
         assert!(cands.iter().all(|c| c.v != ktg_common::VertexId(7)));
@@ -81,9 +81,9 @@ mod tests {
         )
         .unwrap();
         let masks = net.compile(query.keywords());
-        let mut cands = candidates::collect(net.graph(), &masks);
+        let mut cands = candidates::collect_vec(net.graph(), &masks);
         restrict_candidates(&oracle, &[ktg_common::VertexId(2)], 1, &mut cands);
-        let out = bb::solve_with_candidates(&query, &oracle, cands, &BbOptions::vkc_deg());
+        let out = bb::solve_with_candidates(&query, &oracle, &cands, &BbOptions::vkc_deg());
         for g in &out.groups {
             fixtures::assert_k_distance(net.graph(), g.members(), 1);
             // u2 and its neighbors (u0, u3, u10) cannot appear.

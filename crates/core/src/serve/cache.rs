@@ -1,0 +1,323 @@
+//! The epoch-guarded result cache.
+//!
+//! Served workloads repeat themselves: popular keyword combinations come
+//! back query after query (the Zipf-shaped access pattern every
+//! query-serving system sees). [`ResultCache`] memoizes whole answers
+//! keyed on the *canonicalized* query — sorted keyword ids plus every
+//! engine option that can change the result — so a repeat costs one hash
+//! lookup and a clone instead of a branch-and-bound search.
+//!
+//! Three properties keep it safe to put in front of an exact algorithm:
+//!
+//! * **Canonical keys.** [`CacheKey`] sorts the keyword ids (the engine
+//!   itself is insensitive to `W_Q` order) and folds in `p`, `k`, `N`,
+//!   `γ`, the member ordering, both pruning toggles, and the bitmap
+//!   threshold. Worker-thread counts are deliberately *excluded*: results
+//!   are byte-identical across thread counts, so including them would
+//!   only split the hit rate.
+//! * **Epoch guard.** Every entry is stamped with the graph epoch it was
+//!   computed at. The executor bumps its epoch on each applied edge
+//!   update, and a lookup under a newer epoch drops the shard's stale
+//!   generation wholesale — a post-update query can never observe a
+//!   pre-update answer.
+//! * **Bounded shards.** Entries live in a fixed stripe array (hashed by
+//!   key) with per-shard FIFO eviction, so concurrent workers do not
+//!   serialize on one lock and a long-running session cannot grow without
+//!   limit.
+
+use ktg_common::{FxHashMap, FxHasher64};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::bb::{BbOptions, MemberOrdering};
+use crate::dktg::DktgQuery;
+use crate::query::KtgQuery;
+
+/// Number of cache stripes (see [`ktg_index::NeighborhoodCache`] for the
+/// same sizing argument: a small power of two keeps the pick cheap while
+/// letting a handful of workers proceed in parallel).
+const CACHE_SHARDS: usize = 16;
+
+/// A canonicalized query identity: two queries with the same key are
+/// guaranteed the same answer (at the same graph epoch).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// 0 = KTG, 1 = DKTG — keeps the two query families from colliding.
+    kind: u8,
+    /// Query keyword ids, sorted ascending (`W_Q` is a set).
+    keywords: Vec<u32>,
+    p: usize,
+    k: u32,
+    n: usize,
+    /// `γ.to_bits()` for DKTG, 0 for KTG.
+    gamma_bits: u64,
+    ordering: u8,
+    keyword_pruning: bool,
+    kline_filtering: bool,
+    bitmap_threshold: usize,
+}
+
+fn ordering_tag(ordering: MemberOrdering) -> u8 {
+    match ordering {
+        MemberOrdering::Qkc => 0,
+        MemberOrdering::Vkc => 1,
+        MemberOrdering::VkcDeg => 2,
+        MemberOrdering::VkcDegDesc => 3,
+    }
+}
+
+fn sorted_ids(query: &KtgQuery) -> Vec<u32> {
+    let mut ids: Vec<u32> = query.keywords().ids().iter().map(|id| id.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+impl CacheKey {
+    /// Canonical key for a KTG query under the given engine options.
+    pub fn ktg(query: &KtgQuery, opts: &BbOptions) -> Self {
+        CacheKey {
+            kind: 0,
+            keywords: sorted_ids(query),
+            p: query.p(),
+            k: query.k(),
+            n: query.n(),
+            gamma_bits: 0,
+            ordering: ordering_tag(opts.ordering),
+            keyword_pruning: opts.keyword_pruning,
+            kline_filtering: opts.kline_filtering,
+            bitmap_threshold: opts.bitmap_threshold,
+        }
+    }
+
+    /// Canonical key for a DKTG query under the given inner-engine
+    /// options.
+    pub fn dktg(query: &DktgQuery, opts: &BbOptions) -> Self {
+        CacheKey {
+            kind: 1,
+            gamma_bits: query.gamma().to_bits(),
+            ..CacheKey::ktg(query.base(), opts)
+        }
+    }
+
+    fn shard_index(&self) -> usize {
+        let mut h = FxHasher64::default();
+        self.hash(&mut h);
+        (h.finish() >> 56) as usize % CACHE_SHARDS
+    }
+}
+
+struct CacheShard<V> {
+    /// Graph epoch this shard's entries were computed at.
+    epoch: u64,
+    map: FxHashMap<CacheKey, V>,
+    /// Insertion order for FIFO eviction.
+    fifo: VecDeque<CacheKey>,
+}
+
+/// A bounded, sharded, epoch-guarded memo of whole query answers.
+pub struct ResultCache<V> {
+    shards: Vec<Mutex<CacheShard<V>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// Creates a cache holding at most `capacity` answers in total
+    /// (rounded up to a multiple of the stripe count; a zero capacity
+    /// still admits one answer per stripe).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| {
+                    Mutex::new(CacheShard {
+                        epoch: 0,
+                        map: FxHashMap::default(),
+                        fifo: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Lookups answered from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a fresh solve so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached answers currently resident (all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).map.len()).sum()
+    }
+
+    /// Whether the cache currently holds no answers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock<'a>(&self, shard: &'a Mutex<CacheShard<V>>) -> MutexGuard<'a, CacheShard<V>> {
+        // Entries are inserted whole under the lock, so a panicking
+        // borrower cannot leave a shard half-written: recover the lock.
+        match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns the cached answer for `key` computed at `epoch`, if any.
+    ///
+    /// A shard whose entries predate `epoch` is invalidated lazily on
+    /// first access: the stale generation is dropped wholesale before the
+    /// lookup proceeds. The caller must pass a monotonically nondecreasing
+    /// epoch for a given graph state (the executor's update path
+    /// guarantees this: mutation takes `&mut self`, so no lookup can race
+    /// an epoch bump).
+    pub fn get(&self, key: &CacheKey, epoch: u64) -> Option<V> {
+        let mut shard = self.lock(&self.shards[key.shard_index()]);
+        if shard.epoch != epoch {
+            shard.map.clear();
+            shard.fifo.clear();
+            shard.epoch = epoch;
+        }
+        match shard.map.get(key) {
+            Some(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `value` as the answer for `key` at `epoch`, FIFO-evicting
+    /// the shard's oldest entry when over capacity. An insert stamped
+    /// with an epoch older than the shard's current generation is
+    /// discarded (the answer is already stale).
+    pub fn insert(&self, key: CacheKey, epoch: u64, value: V) {
+        let mut shard = self.lock(&self.shards[key.shard_index()]);
+        if shard.epoch != epoch {
+            if shard.epoch > epoch {
+                return;
+            }
+            shard.map.clear();
+            shard.fifo.clear();
+            shard.epoch = epoch;
+        }
+        if shard.map.insert(key.clone(), value).is_none() {
+            shard.fifo.push_back(key);
+            if shard.fifo.len() > self.per_shard_capacity {
+                if let Some(oldest) = shard.fifo.pop_front() {
+                    shard.map.remove(&oldest);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn paper_key(net: &crate::network::AttributedGraph, terms: [&str; 5]) -> CacheKey {
+        let query =
+            KtgQuery::new(net.query_keywords(terms).unwrap(), 3, 1, 2).unwrap();
+        CacheKey::ktg(&query, &BbOptions::vkc_deg())
+    }
+
+    #[test]
+    fn keyword_order_is_canonicalized() {
+        let net = fixtures::figure1();
+        let a = paper_key(&net, ["SN", "QP", "DQ", "GQ", "GD"]);
+        let b = paper_key(&net, ["GD", "GQ", "DQ", "QP", "SN"]);
+        assert_eq!(a, b, "W_Q is a set; permutations must share one entry");
+    }
+
+    #[test]
+    fn options_that_change_results_split_keys() {
+        let net = fixtures::figure1();
+        let query = KtgQuery::new(
+            net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap(),
+            3,
+            1,
+            2,
+        )
+        .unwrap();
+        let base = CacheKey::ktg(&query, &BbOptions::vkc_deg());
+        assert_ne!(base, CacheKey::ktg(&query, &BbOptions::qkc()));
+        assert_ne!(
+            base,
+            CacheKey::ktg(
+                &query,
+                &BbOptions { keyword_pruning: false, ..BbOptions::vkc_deg() }
+            )
+        );
+        // Thread count is result-invariant and must NOT split the key.
+        assert_eq!(base, CacheKey::ktg(&query, &BbOptions::vkc_deg().with_threads(8)));
+        // DKTG with the same base query must not collide with KTG.
+        let dq = DktgQuery::new(query.clone(), 0.5).unwrap();
+        assert_ne!(base, CacheKey::dktg(&dq, &BbOptions::vkc_deg()));
+        let dq2 = DktgQuery::new(query, 0.7).unwrap();
+        assert_ne!(
+            CacheKey::dktg(&dq2, &BbOptions::vkc_deg()),
+            CacheKey::dktg(&DktgQuery::new(dq2.base().clone(), 0.5).unwrap(), &BbOptions::vkc_deg()),
+            "gamma is part of the DKTG identity"
+        );
+    }
+
+    #[test]
+    fn get_insert_roundtrip_counts_hits() {
+        let net = fixtures::figure1();
+        let key = paper_key(&net, ["SN", "QP", "DQ", "GQ", "GD"]);
+        let cache: ResultCache<u32> = ResultCache::new(64);
+        assert_eq!(cache.get(&key, 1), None);
+        cache.insert(key.clone(), 1, 42);
+        assert_eq!(cache.get(&key, 1), Some(42));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn epoch_change_invalidates() {
+        let net = fixtures::figure1();
+        let key = paper_key(&net, ["SN", "QP", "DQ", "GQ", "GD"]);
+        let cache: ResultCache<u32> = ResultCache::new(64);
+        cache.insert(key.clone(), 1, 42);
+        assert_eq!(cache.get(&key, 2), None, "post-update lookups must miss");
+        // A stale insert (computed before the bump) must be discarded.
+        cache.insert(key.clone(), 1, 42);
+        assert_eq!(cache.get(&key, 2), None);
+        cache.insert(key.clone(), 2, 43);
+        assert_eq!(cache.get(&key, 2), Some(43));
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let net = fixtures::figure1();
+        let cache: ResultCache<usize> = ResultCache::new(16);
+        for p in 1..200usize {
+            let query = KtgQuery::new(
+                net.query_keywords(["SN", "QP"]).unwrap(),
+                p,
+                1,
+                1,
+            )
+            .unwrap();
+            cache.insert(CacheKey::ktg(&query, &BbOptions::vkc_deg()), 1, p);
+        }
+        assert!(cache.len() <= 16, "resident {} exceeds capacity", cache.len());
+    }
+}

@@ -1,0 +1,703 @@
+//! The batched workload executor.
+//!
+//! [`ServeSession`] owns one attributed network and replays
+//! [`WorkloadItem`] scripts against it, amortizing everything that a
+//! query-at-a-time loop re-pays per query:
+//!
+//! * **Scratch pooling** — each worker borrows an [`Arena`] (candidate
+//!   vector, kernel scratch, bitmap rows) from a [`ktg_common::Pool`];
+//!   steady state performs no large allocations per query.
+//! * **Result caching** — whole answers are memoized in a
+//!   [`ResultCache`] keyed on the canonicalized query, guarded by the
+//!   session's graph epoch.
+//! * **Conflict-row reuse** — fresh solves assemble their conflict-bitmap
+//!   kernels through the [`ktg_index::NeighborhoodCache`] `(vertex, k)`
+//!   memo instead of re-running one bounded BFS per candidate per query.
+//!
+//! Updates are serialization points: [`ServeSession::run`] splits the
+//! workload into maximal query runs separated by edge updates, fans each
+//! run out over [`ktg_common::parallel::scope_join`] workers (atomic
+//! work claiming, results merged positionally so output order equals
+//! workload order), and applies updates sequentially under `&mut self` —
+//! which is the whole invalidation story: an epoch bump cannot race a
+//! lookup, so a stale answer is unreachable by construction.
+//!
+//! **Answer fidelity.** Every path — pooled, cached, parallel — returns
+//! groups and scores byte-identical to a fresh sequential
+//! [`bb::solve`] / [`crate::dktg::solve_with_options`] call against the
+//! current graph: candidate extraction is shared, the bitmap-vs-oracle
+//! fork runs on [`ConflictKernel::wants_bitmap`] exactly, and the cached
+//! kernel rows are bit-for-bit those of
+//! [`ktg_index::kline_conflict_bitmaps`]. The differential suite
+//! (`tests/tests/serve_diff.rs`) enforces this across thread counts,
+//! cache settings, and interleaved updates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ktg_common::parallel::{scope_join, worker_count};
+use ktg_common::{FixedBitSet, Pool, VertexId};
+use ktg_index::{
+    conflict_bitmaps_cached, kline_conflict_bitmaps, DistanceOracle, DynamicNlrnl, KernelScratch,
+    NeighborhoodCache,
+};
+
+use crate::bb::{self, BbOptions, ConflictKernel, KtgOutcome};
+use crate::candidates::{self, Candidate};
+use crate::dktg::{self, DktgQuery};
+use crate::group::Group;
+use crate::network::AttributedGraph;
+use crate::query::KtgQuery;
+
+use super::cache::{CacheKey, ResultCache};
+use super::workload::WorkloadItem;
+use super::ServeOptions;
+
+/// The answer to one KTG workload item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KtgAnswer {
+    /// Result groups, identical to a fresh sequential solve.
+    pub groups: Vec<Group>,
+    /// Whether this answer came out of the result cache.
+    pub cached: bool,
+}
+
+/// The answer to one DKTG workload item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DktgAnswer {
+    /// Result groups in greedy discovery order.
+    pub groups: Vec<Group>,
+    /// `dL(RG)` — mean pairwise Jaccard distance.
+    pub diversity: f64,
+    /// `min_g QKC(g)` over the result groups.
+    pub min_qkc: f64,
+    /// The combined score (Eq. 4).
+    pub score: f64,
+    /// Whether this answer came out of the result cache.
+    pub cached: bool,
+}
+
+/// The outcome of one workload item, in workload order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ItemOutcome {
+    /// Answer to a [`WorkloadItem::Ktg`] line.
+    Ktg(KtgAnswer),
+    /// Answer to a [`WorkloadItem::Dktg`] line.
+    Dktg(DktgAnswer),
+    /// Report for an [`WorkloadItem::Insert`] / [`WorkloadItem::Remove`]
+    /// line: `applied` is `false` when the edge already existed (insert),
+    /// was already absent (remove), or the endpoints were invalid.
+    Update {
+        /// Whether the graph actually changed (and the epoch advanced).
+        applied: bool,
+    },
+}
+
+/// What a cached entry stores: exactly the result-bearing fields, never
+/// the search stats (counters describe work performed, and a cache hit
+/// performs none). Group coverage masks are stored in *canonical* bit
+/// order (sorted keyword ids) — see [`MaskPermutation`].
+#[derive(Clone)]
+enum CachedAnswer {
+    Ktg(Vec<Group>),
+    Dktg { groups: Vec<Group>, diversity: f64, min_qkc: f64, score: f64 },
+}
+
+/// The bit permutation between a query's compile-order coverage masks
+/// (bit `q` = `keywords().ids()[q]`) and the canonical sorted-id order
+/// the cache stores.
+///
+/// [`CacheKey`] canonicalizes `W_Q` as a set, so two permutations of the
+/// same keywords share one entry — but their *masks* index bits by
+/// position in the query's id list. The group member sets and their
+/// ranking are permutation-invariant (every ordering criterion reduces
+/// to popcounts over consistently-permuted masks), so translating the
+/// masks is all it takes to hand a permuted query the byte-identical
+/// answer a fresh solve would produce.
+enum MaskPermutation {
+    /// The query's ids are already sorted — masks pass through untouched
+    /// (the overwhelmingly common case).
+    Identity,
+    /// `pos[q]` = position of the query's `q`-th keyword id in sorted
+    /// order.
+    Permuted(Vec<u32>),
+}
+
+impl MaskPermutation {
+    fn of(query: &KtgQuery) -> Self {
+        let ids = query.keywords().ids();
+        let mut order: Vec<u32> = (0..ids.len() as u32).collect();
+        order.sort_unstable_by_key(|&q| ids[q as usize].0);
+        if order.iter().enumerate().all(|(s, &q)| s as u32 == q) {
+            return MaskPermutation::Identity;
+        }
+        let mut pos = vec![0u32; ids.len()];
+        for (s, &q) in order.iter().enumerate() {
+            pos[q as usize] = s as u32;
+        }
+        MaskPermutation::Permuted(pos)
+    }
+
+    /// Rewrites `groups` from query bit order into canonical order (for
+    /// inserts). Pass `groups` already cloned.
+    fn groups_to_canonical(&self, groups: Vec<Group>) -> Vec<Group> {
+        self.map_groups(groups, |mask, pos| {
+            pos.iter()
+                .enumerate()
+                .fold(0, |acc, (q, &s)| acc | (((mask >> q) & 1) << s))
+        })
+    }
+
+    /// Rewrites `groups` from canonical order into query bit order (for
+    /// hits).
+    fn groups_from_canonical(&self, groups: Vec<Group>) -> Vec<Group> {
+        self.map_groups(groups, |mask, pos| {
+            pos.iter()
+                .enumerate()
+                .fold(0, |acc, (q, &s)| acc | (((mask >> s) & 1) << q))
+        })
+    }
+
+    fn map_groups(&self, groups: Vec<Group>, f: impl Fn(u64, &[u32]) -> u64) -> Vec<Group> {
+        match self {
+            MaskPermutation::Identity => groups,
+            MaskPermutation::Permuted(pos) => groups
+                .into_iter()
+                .map(|g| Group::new(g.members().to_vec(), f(g.mask(), pos)))
+                .collect(),
+        }
+    }
+}
+
+/// Per-worker recycled scratch: everything a fresh solve needs that is
+/// sized by the query, pooled so steady-state serving allocates nothing
+/// large. (The per-query keyword-mask compile still allocates inside
+/// `ktg-keywords`; see DESIGN.md §13.)
+#[derive(Default)]
+struct Arena {
+    kernel: KernelScratch,
+    cands: Vec<Candidate>,
+    sources: Vec<VertexId>,
+    bitmaps: Vec<FixedBitSet>,
+}
+
+/// Aggregate cache instrumentation for one session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Whole answers served from the result cache.
+    pub result_hits: u64,
+    /// Queries that fell through to a fresh solve.
+    pub result_misses: u64,
+    /// Conflict rows served from the `(vertex, k)` memo.
+    pub row_hits: u64,
+    /// Conflict rows computed by bounded BFS.
+    pub row_misses: u64,
+    /// Current graph epoch (number of applied edge updates).
+    pub epoch: u64,
+}
+
+/// A long-lived query-serving session over one attributed network.
+pub struct ServeSession {
+    net: AttributedGraph,
+    /// Mutable mirror of `net`'s topology bundled with an incrementally
+    /// maintained NLRNL index — the shared, immutable-between-updates
+    /// distance oracle every worker reads concurrently. Queries always
+    /// run against the frozen CSR in `net`, rebuilt from this mirror
+    /// after each applied update.
+    dynamic: DynamicNlrnl,
+    /// Bumped once per applied edge update; stamps every cache entry.
+    epoch: u64,
+    options: ServeOptions,
+    results: ResultCache<CachedAnswer>,
+    rows: NeighborhoodCache,
+    arenas: Pool<Arena>,
+}
+
+impl ServeSession {
+    /// Opens a session over `net` with the given serving options.
+    pub fn new(net: AttributedGraph, options: ServeOptions) -> Self {
+        let dynamic = DynamicNlrnl::new(net.graph());
+        ServeSession {
+            dynamic,
+            epoch: 0,
+            results: ResultCache::new(options.cache_entries),
+            rows: NeighborhoodCache::new(options.cache_entries),
+            arenas: Pool::new(),
+            options,
+            net,
+        }
+    }
+
+    /// The network in its current (post-update) state.
+    #[inline]
+    pub fn net(&self) -> &AttributedGraph {
+        &self.net
+    }
+
+    /// The current graph epoch: the number of applied edge updates.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cache instrumentation so far.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            result_hits: self.results.hits(),
+            result_misses: self.results.misses(),
+            row_hits: self.rows.hits(),
+            row_misses: self.rows.misses(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Replays a workload, returning one outcome per item in workload
+    /// order. Maximal runs of queries execute in parallel; updates apply
+    /// sequentially between them.
+    pub fn run(&mut self, workload: &[WorkloadItem]) -> Vec<ItemOutcome> {
+        let mut out = Vec::with_capacity(workload.len());
+        let mut i = 0;
+        while i < workload.len() {
+            match workload[i] {
+                WorkloadItem::Insert(u, v) => {
+                    out.push(self.apply_update(true, u, v));
+                    i += 1;
+                }
+                WorkloadItem::Remove(u, v) => {
+                    out.push(self.apply_update(false, u, v));
+                    i += 1;
+                }
+                _ => {
+                    let start = i;
+                    while i < workload.len() && workload[i].is_query() {
+                        i += 1;
+                    }
+                    self.run_queries(&workload[start..i], &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies one edge update. On an actual topology change the epoch
+    /// advances (making every cached answer and conflict row stale) and
+    /// the frozen CSR is rebuilt; a no-op update leaves both untouched so
+    /// caches stay warm.
+    fn apply_update(&mut self, insert: bool, u: VertexId, v: VertexId) -> ItemOutcome {
+        let changed = if insert {
+            self.dynamic.insert_edge(u, v)
+        } else {
+            self.dynamic.remove_edge(u, v)
+        };
+        // Out-of-range/self-loop updates are reported, not fatal: a
+        // workload replay keeps going (the parser already rejects them in
+        // files; this arm covers programmatic workloads).
+        let applied = changed.unwrap_or(false);
+        if applied {
+            self.epoch += 1;
+            self.net = AttributedGraph::new(
+                self.dynamic.graph().to_csr(),
+                self.net.vocab().clone(),
+                self.net.keywords().clone(),
+            );
+        }
+        ItemOutcome::Update { applied }
+    }
+
+    /// Answers a run of consecutive queries, fanning out across workers
+    /// when both the options and the run length allow it.
+    fn run_queries(&self, items: &[WorkloadItem], out: &mut Vec<ItemOutcome>) {
+        let workers = match self.options.threads {
+            0 => worker_count(),
+            t => t,
+        }
+        .min(items.len())
+        .max(1);
+
+        // The session's NLRNL index is immutable between updates, so
+        // every worker reads the same oracle lock-free — the shared-index
+        // amortization that makes the fan-out actually scale (per-worker
+        // memoizing oracles would redo each other's BFS work).
+        let oracle = self.dynamic.index();
+
+        if workers <= 1 {
+            let mut arena = self.arenas.acquire_with(Arena::default);
+            out.extend(items.iter().map(|item| self.answer(item, oracle, &mut arena)));
+            return;
+        }
+
+        let next = AtomicUsize::new(0);
+        let parts = scope_join((0..workers).map(|_| {
+            let next = &next;
+            move || {
+                let mut arena = self.arenas.acquire_with(Arena::default);
+                let mut local = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(idx) else { break };
+                    local.push((idx, self.answer(item, oracle, &mut arena)));
+                }
+                local
+            }
+        }));
+
+        // Positional merge: claiming hands out each index exactly once,
+        // so the output is in workload order regardless of worker timing.
+        let mut slots: Vec<Option<ItemOutcome>> = items.iter().map(|_| None).collect();
+        for (idx, outcome) in parts.into_iter().flatten() {
+            slots[idx] = Some(outcome);
+        }
+        out.extend(slots.into_iter().map(|slot| match slot {
+            Some(outcome) => outcome,
+            None => unreachable!("every claimed index produces an outcome"),
+        }));
+    }
+
+    /// Engine options for inner solves: worker parallelism lives at the
+    /// workload level, so each individual search runs sequentially (which
+    /// is also what makes outcomes independent of the fan-out).
+    fn inner_opts(&self) -> BbOptions {
+        BbOptions { threads: 1, ..self.options.engine }
+    }
+
+    fn answer(
+        &self,
+        item: &WorkloadItem,
+        oracle: &impl DistanceOracle,
+        arena: &mut Arena,
+    ) -> ItemOutcome {
+        match item {
+            WorkloadItem::Ktg(query) => ItemOutcome::Ktg(self.answer_ktg(query, oracle, arena)),
+            WorkloadItem::Dktg(query) => {
+                ItemOutcome::Dktg(self.answer_dktg(query, oracle, arena))
+            }
+            WorkloadItem::Insert(..) | WorkloadItem::Remove(..) => {
+                unreachable!("updates are split out of query runs")
+            }
+        }
+    }
+
+    fn answer_ktg(
+        &self,
+        query: &KtgQuery,
+        oracle: &impl DistanceOracle,
+        arena: &mut Arena,
+    ) -> KtgAnswer {
+        let opts = self.inner_opts();
+        let key = self.options.use_cache.then(|| CacheKey::ktg(query, &opts));
+        if let Some(key) = &key {
+            if let Some(CachedAnswer::Ktg(groups)) = self.results.get(key, self.epoch) {
+                let groups = MaskPermutation::of(query).groups_from_canonical(groups);
+                // Checked mode re-audits even cached answers: a cache bug
+                // shows up as a verification failure, not a wrong result.
+                crate::verify::enforce(&self.net, query, &groups);
+                return KtgAnswer { groups, cached: true };
+            }
+        }
+        let outcome = self.solve_ktg(query, oracle, arena, &opts);
+        if let Some(key) = key {
+            let canonical = MaskPermutation::of(query).groups_to_canonical(outcome.groups.clone());
+            self.results.insert(key, self.epoch, CachedAnswer::Ktg(canonical));
+        }
+        KtgAnswer { groups: outcome.groups, cached: false }
+    }
+
+    /// A fresh KTG solve through the pooled arena, taking the
+    /// bitmap-vs-oracle fork on exactly [`ConflictKernel::wants_bitmap`]
+    /// so stats and results match [`bb::solve`] bit for bit.
+    fn solve_ktg(
+        &self,
+        query: &KtgQuery,
+        oracle: &impl DistanceOracle,
+        arena: &mut Arena,
+        opts: &BbOptions,
+    ) -> KtgOutcome {
+        let masks = self.net.compile(query.keywords());
+        candidates::collect(self.net.graph(), &masks, &mut arena.cands);
+        if !ConflictKernel::wants_bitmap(arena.cands.len(), opts) {
+            return bb::solve_with_kernel(
+                &self.net,
+                query,
+                oracle,
+                &arena.cands,
+                &ConflictKernel::Oracle,
+                opts,
+            );
+        }
+        arena.sources.clear();
+        arena.sources.extend(arena.cands.iter().map(|c| c.v));
+        if self.options.use_cache {
+            conflict_bitmaps_cached(
+                self.net.graph(),
+                &arena.sources,
+                query.k(),
+                &self.rows,
+                self.epoch,
+                &mut arena.kernel,
+                &mut arena.bitmaps,
+            );
+        } else {
+            arena.bitmaps = kline_conflict_bitmaps(self.net.graph(), &arena.sources, query.k());
+        }
+        let kernel = ConflictKernel::Bitmap(std::mem::take(&mut arena.bitmaps));
+        let outcome =
+            bb::solve_with_kernel(&self.net, query, oracle, &arena.cands, &kernel, opts);
+        if let Some(rows) = kernel.into_bitmaps() {
+            // Hand the rows back to the arena so the next query reuses
+            // their word allocations.
+            arena.bitmaps = rows;
+        }
+        outcome
+    }
+
+    fn answer_dktg(
+        &self,
+        query: &DktgQuery,
+        oracle: &impl DistanceOracle,
+        arena: &mut Arena,
+    ) -> DktgAnswer {
+        let opts = self.inner_opts();
+        let key = self.options.use_cache.then(|| CacheKey::dktg(query, &opts));
+        if let Some(key) = &key {
+            if let Some(CachedAnswer::Dktg { groups, diversity, min_qkc, score }) =
+                self.results.get(key, self.epoch)
+            {
+                let groups =
+                    MaskPermutation::of(query.base()).groups_from_canonical(groups);
+                crate::verify::enforce_dktg(&self.net, query, &groups);
+                return DktgAnswer { groups, diversity, min_qkc, score, cached: true };
+            }
+        }
+        // Same code path as `dktg::solve_with_options`, minus the
+        // candidate-vector allocation: greedy rounds consume the pooled
+        // vector in place.
+        let masks = self.net.compile(query.base().keywords());
+        candidates::collect(self.net.graph(), &masks, &mut arena.cands);
+        let outcome = dktg::solve_with_candidates(query, oracle, &mut arena.cands, &opts);
+        crate::verify::enforce_dktg(&self.net, query, &outcome.groups);
+        if let Some(key) = key {
+            let canonical =
+                MaskPermutation::of(query.base()).groups_to_canonical(outcome.groups.clone());
+            self.results.insert(
+                key,
+                self.epoch,
+                CachedAnswer::Dktg {
+                    groups: canonical,
+                    diversity: outcome.diversity,
+                    min_qkc: outcome.min_qkc,
+                    score: outcome.score,
+                },
+            );
+        }
+        DktgAnswer {
+            groups: outcome.groups,
+            diversity: outcome.diversity,
+            min_qkc: outcome.min_qkc,
+            score: outcome.score,
+            cached: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::serve::workload::parse_workload;
+    use ktg_graph::DynamicGraph;
+    use ktg_index::BfsOracle;
+
+    fn paper_workload(net: &AttributedGraph) -> Vec<WorkloadItem> {
+        parse_workload(
+            "\
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+dktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2 gamma=0.5
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+dktg terms=GD,QP,SN,DQ,GQ p=3 k=1 n=2 gamma=0.5
+",
+            net,
+        )
+        .unwrap()
+    }
+
+    fn reference_ktg(net: &AttributedGraph) -> Vec<Group> {
+        let query = KtgQuery::new(
+            net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap(),
+            3,
+            1,
+            2,
+        )
+        .unwrap();
+        let oracle = BfsOracle::new(net.graph());
+        bb::solve(net, &query, &oracle, &BbOptions::vkc_deg()).groups
+    }
+
+    #[test]
+    fn serves_paper_answers_and_caches_repeats() {
+        let net = fixtures::figure1();
+        let expect = reference_ktg(&net);
+        let mut session = ServeSession::new(net.clone(), ServeOptions::default());
+        let outcomes = session.run(&paper_workload(&net));
+        let ItemOutcome::Ktg(first) = &outcomes[0] else { panic!("expected ktg") };
+        assert_eq!(first.groups, expect);
+        assert!(!first.cached);
+        let ItemOutcome::Ktg(repeat) = &outcomes[2] else { panic!("expected ktg") };
+        assert!(repeat.cached, "identical query must hit the cache");
+        assert_eq!(repeat.groups, expect);
+        let ItemOutcome::Dktg(permuted) = &outcomes[3] else { panic!("expected dktg") };
+        assert!(permuted.cached, "keyword permutation shares the canonical key");
+        let stats = session.stats();
+        assert_eq!(stats.result_hits, 2);
+        assert_eq!(stats.result_misses, 2);
+    }
+
+    #[test]
+    fn no_cache_mode_still_matches() {
+        let net = fixtures::figure1();
+        let expect = reference_ktg(&net);
+        let opts = ServeOptions { use_cache: false, ..ServeOptions::default() };
+        let mut session = ServeSession::new(net.clone(), opts);
+        let outcomes = session.run(&paper_workload(&net));
+        for outcome in &outcomes {
+            if let ItemOutcome::Ktg(ans) = outcome {
+                assert!(!ans.cached);
+                assert_eq!(ans.groups, expect);
+            }
+        }
+        assert_eq!(session.stats().result_hits, 0);
+        assert_eq!(session.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn parallel_output_is_in_workload_order() {
+        let net = fixtures::figure1();
+        let mut workload = paper_workload(&net);
+        for _ in 0..4 {
+            workload.extend(paper_workload(&net));
+        }
+        let sequential = ServeSession::new(net.clone(), ServeOptions {
+            threads: 1,
+            ..ServeOptions::default()
+        })
+        .run(&workload);
+        for threads in [2usize, 4, 0] {
+            let parallel = ServeSession::new(net.clone(), ServeOptions {
+                threads,
+                ..ServeOptions::default()
+            })
+            .run(&workload);
+            // `cached` flags may differ (racing workers can both miss),
+            // so compare the result-bearing fields.
+            assert_eq!(sequential.len(), parallel.len());
+            for (s, p) in sequential.iter().zip(&parallel) {
+                match (s, p) {
+                    (ItemOutcome::Ktg(a), ItemOutcome::Ktg(b)) => assert_eq!(a.groups, b.groups),
+                    (ItemOutcome::Dktg(a), ItemOutcome::Dktg(b)) => {
+                        assert_eq!(a.groups, b.groups);
+                        assert_eq!(a.score, b.score);
+                    }
+                    other => panic!("outcome shape diverged: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_keywords_hit_with_translated_masks() {
+        let net = fixtures::figure1();
+        let mut session = ServeSession::new(net.clone(), ServeOptions::default());
+        let workload = parse_workload(
+            "\
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+ktg terms=GD,GQ,DQ,QP,SN p=3 k=1 n=2
+",
+            &net,
+        )
+        .unwrap();
+        let out = session.run(&workload);
+        let ItemOutcome::Ktg(first) = &out[0] else { panic!("expected ktg") };
+        let ItemOutcome::Ktg(second) = &out[1] else { panic!("expected ktg") };
+        assert!(second.cached, "permutations share the canonical entry");
+        // The hit's masks must be in the *permuted* query's bit order —
+        // byte-identical to solving that query fresh (mask field and all).
+        let permuted = KtgQuery::new(
+            net.query_keywords(["GD", "GQ", "DQ", "QP", "SN"]).unwrap(),
+            3,
+            1,
+            2,
+        )
+        .unwrap();
+        let oracle = BfsOracle::new(net.graph());
+        let fresh = bb::solve(&net, &permuted, &oracle, &BbOptions::vkc_deg());
+        assert_eq!(second.groups, fresh.groups);
+        // Same member sets either way, different mask bit order.
+        for (a, b) in first.groups.iter().zip(&second.groups) {
+            assert_eq!(a.members(), b.members());
+            assert_eq!(a.coverage_count(), b.coverage_count());
+        }
+    }
+
+    #[test]
+    fn updates_bump_epoch_and_invalidate() {
+        let net = fixtures::figure1();
+        let mut session = ServeSession::new(net.clone(), ServeOptions::default());
+        let workload = parse_workload(
+            "\
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+insert 0 5
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+insert 0 5
+remove 0 5
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+",
+            &net,
+        )
+        .unwrap();
+        let outcomes = session.run(&workload);
+        assert_eq!(outcomes[1], ItemOutcome::Update { applied: true });
+        let ItemOutcome::Ktg(after) = &outcomes[2] else { panic!("expected ktg") };
+        assert!(!after.cached, "update must invalidate the cached answer");
+        // Post-update answer matches a fresh solve against the new graph.
+        let mut dyn_g = DynamicGraph::from_csr(net.graph());
+        dyn_g.insert_edge(VertexId(0), VertexId(5)).unwrap();
+        let mutated = AttributedGraph::new(
+            dyn_g.to_csr(),
+            net.vocab().clone(),
+            net.keywords().clone(),
+        );
+        assert_eq!(after.groups, reference_ktg(&mutated));
+        assert_eq!(outcomes[3], ItemOutcome::Update { applied: false }, "duplicate insert");
+        assert_eq!(outcomes[4], ItemOutcome::Update { applied: true });
+        let ItemOutcome::Ktg(restored) = &outcomes[5] else { panic!("expected ktg") };
+        assert_eq!(restored.groups, reference_ktg(&net), "remove restored the topology");
+        assert_eq!(session.epoch(), 2);
+    }
+
+    #[test]
+    fn invalid_programmatic_update_is_reported_not_fatal() {
+        let net = fixtures::figure1();
+        let mut session = ServeSession::new(net, ServeOptions::default());
+        let out = session.run(&[WorkloadItem::Insert(VertexId(0), VertexId(9999))]);
+        assert_eq!(out, vec![ItemOutcome::Update { applied: false }]);
+        assert_eq!(session.epoch(), 0);
+    }
+
+    #[test]
+    fn row_cache_reused_across_distinct_queries() {
+        let net = fixtures::figure1();
+        let mut session = ServeSession::new(net.clone(), ServeOptions::default());
+        // Distinct p ⇒ distinct result-cache keys, but identical k and
+        // candidate sets ⇒ the second query's conflict rows all hit.
+        let workload = parse_workload(
+            "\
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+ktg terms=SN,QP,DQ,GQ,GD p=2 k=1 n=2
+",
+            &net,
+        )
+        .unwrap();
+        session.run(&workload);
+        let stats = session.stats();
+        assert_eq!(stats.result_hits, 0);
+        assert!(stats.row_hits > 0, "second query must reuse (vertex, k) rows");
+    }
+}

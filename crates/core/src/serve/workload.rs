@@ -1,0 +1,238 @@
+//! Workload files: the batch executor's input format.
+//!
+//! A workload is a line-oriented text script replayed in order by
+//! [`super::ServeSession::run`]. Blank lines and `#` comments are
+//! skipped; every other line is one [`WorkloadItem`]:
+//!
+//! ```text
+//! # KTG query: keyword terms (comma-separated), group size, tenuity, top-N
+//! ktg terms=SN,QP,DQ p=3 k=1 n=2
+//! # DKTG query: same fields plus the diversity weight (default 0.5)
+//! dktg terms=SN,QP,DQ p=3 k=1 n=2 gamma=0.5
+//! # dynamic edge updates, by vertex id
+//! insert 4 17
+//! remove 0 3
+//! ```
+//!
+//! Key-value fields may appear in any order. Terms are resolved against
+//! the network's vocabulary at parse time, so an unknown keyword or an
+//! out-of-range vertex id fails fast with a line number instead of
+//! surfacing mid-replay.
+
+use ktg_common::{KtgError, Result, VertexId};
+
+use crate::dktg::DktgQuery;
+use crate::network::AttributedGraph;
+use crate::query::KtgQuery;
+
+/// One line of a workload: a query to answer or an update to apply.
+#[derive(Clone, Debug)]
+pub enum WorkloadItem {
+    /// A KTG query (answered with the session's engine options).
+    Ktg(KtgQuery),
+    /// A DKTG query (greedy diversified variant).
+    Dktg(DktgQuery),
+    /// Insert the undirected edge `{u, v}`.
+    Insert(VertexId, VertexId),
+    /// Remove the undirected edge `{u, v}`.
+    Remove(VertexId, VertexId),
+}
+
+impl WorkloadItem {
+    /// Whether this item is a query (parallelizable) as opposed to an
+    /// update (a serialization point).
+    #[inline]
+    pub fn is_query(&self) -> bool {
+        matches!(self, WorkloadItem::Ktg(_) | WorkloadItem::Dktg(_))
+    }
+}
+
+fn line_err(lineno: usize, msg: impl std::fmt::Display) -> KtgError {
+    KtgError::input(format!("workload line {lineno}: {msg}"))
+}
+
+struct Fields<'a> {
+    terms: Option<&'a str>,
+    p: Option<usize>,
+    k: Option<u32>,
+    n: Option<usize>,
+    gamma: Option<f64>,
+}
+
+fn parse_fields<'a>(
+    lineno: usize,
+    tokens: impl Iterator<Item = &'a str>,
+) -> Result<Fields<'a>> {
+    let mut f = Fields { terms: None, p: None, k: None, n: None, gamma: None };
+    for tok in tokens {
+        let Some((key, val)) = tok.split_once('=') else {
+            return Err(line_err(lineno, format!("expected key=value, got `{tok}`")));
+        };
+        let bad = |what: &str| line_err(lineno, format!("invalid {what} `{val}`"));
+        match key {
+            "terms" => f.terms = Some(val),
+            "p" => f.p = Some(val.parse().map_err(|_| bad("group size p"))?),
+            "k" => f.k = Some(val.parse().map_err(|_| bad("tenuity k"))?),
+            "n" => f.n = Some(val.parse().map_err(|_| bad("result count n"))?),
+            "gamma" => f.gamma = Some(val.parse().map_err(|_| bad("gamma"))?),
+            other => {
+                return Err(line_err(lineno, format!("unknown field `{other}`")));
+            }
+        }
+    }
+    Ok(f)
+}
+
+fn require<T>(lineno: usize, field: &str, value: Option<T>) -> Result<T> {
+    value.ok_or_else(|| line_err(lineno, format!("missing required field `{field}`")))
+}
+
+fn parse_query(net: &AttributedGraph, lineno: usize, f: &Fields<'_>) -> Result<KtgQuery> {
+    let terms = require(lineno, "terms", f.terms)?;
+    let keywords = net
+        .query_keywords(terms.split(',').map(str::trim).filter(|t| !t.is_empty()))
+        .map_err(|e| line_err(lineno, e))?;
+    KtgQuery::new(
+        keywords,
+        require(lineno, "p", f.p)?,
+        require(lineno, "k", f.k)?,
+        require(lineno, "n", f.n)?,
+    )
+    .map_err(|e| line_err(lineno, e))
+}
+
+fn parse_edge(
+    net: &AttributedGraph,
+    lineno: usize,
+    rest: &mut std::str::SplitWhitespace<'_>,
+) -> Result<(VertexId, VertexId)> {
+    let mut endpoint = |name: &str| -> Result<VertexId> {
+        let tok = rest
+            .next()
+            .ok_or_else(|| line_err(lineno, format!("missing vertex `{name}`")))?;
+        let id: u32 =
+            tok.parse().map_err(|_| line_err(lineno, format!("invalid vertex id `{tok}`")))?;
+        if (id as usize) >= net.num_vertices() {
+            return Err(line_err(
+                lineno,
+                format!("vertex {id} out of range for {} vertices", net.num_vertices()),
+            ));
+        }
+        Ok(VertexId(id))
+    };
+    let u = endpoint("u")?;
+    let v = endpoint("v")?;
+    Ok((u, v))
+}
+
+/// Parses a workload script against a network's vocabulary and vertex
+/// range.
+///
+/// # Errors
+/// [`KtgError::InvalidInput`] naming the offending line for malformed
+/// syntax, unknown keywords, invalid query parameters, or out-of-range
+/// vertex ids.
+pub fn parse_workload(text: &str, net: &AttributedGraph) -> Result<Vec<WorkloadItem>> {
+    let mut items = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let Some(head) = tokens.next() else { continue };
+        match head {
+            "ktg" => {
+                let f = parse_fields(lineno, tokens)?;
+                if f.gamma.is_some() {
+                    return Err(line_err(lineno, "`gamma` is only valid on dktg lines"));
+                }
+                items.push(WorkloadItem::Ktg(parse_query(net, lineno, &f)?));
+            }
+            "dktg" => {
+                let f = parse_fields(lineno, tokens)?;
+                let base = parse_query(net, lineno, &f)?;
+                let query = DktgQuery::new(base, f.gamma.unwrap_or(0.5))
+                    .map_err(|e| line_err(lineno, e))?;
+                items.push(WorkloadItem::Dktg(query));
+            }
+            "insert" => {
+                let (u, v) = parse_edge(net, lineno, &mut tokens)?;
+                items.push(WorkloadItem::Insert(u, v));
+            }
+            "remove" => {
+                let (u, v) = parse_edge(net, lineno, &mut tokens)?;
+                items.push(WorkloadItem::Remove(u, v));
+            }
+            other => {
+                return Err(line_err(
+                    lineno,
+                    format!("unknown directive `{other}` (expected ktg, dktg, insert, remove)"),
+                ));
+            }
+        }
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn parses_mixed_workload() {
+        let net = fixtures::figure1();
+        let text = "\
+# warm-up
+ktg terms=SN,QP,DQ p=3 k=1 n=2
+
+dktg terms=GD,,QP p=2 k=2 n=3 gamma=0.25
+insert 0 5
+remove 1 2
+ktg n=1 k=0 p=2 terms=SN
+";
+        let items = parse_workload(text, &net).unwrap();
+        assert_eq!(items.len(), 5);
+        let WorkloadItem::Ktg(q) = &items[0] else { panic!("expected ktg") };
+        assert_eq!((q.p(), q.k(), q.n(), q.keywords().len()), (3, 1, 2, 3));
+        let WorkloadItem::Dktg(dq) = &items[1] else { panic!("expected dktg") };
+        assert!((dq.gamma() - 0.25).abs() < 1e-12);
+        assert_eq!(dq.base().keywords().len(), 2, "empty list entries are skipped");
+        assert!(matches!(items[2], WorkloadItem::Insert(VertexId(0), VertexId(5))));
+        assert!(matches!(items[3], WorkloadItem::Remove(VertexId(1), VertexId(2))));
+        let WorkloadItem::Ktg(q) = &items[4] else { panic!("expected ktg") };
+        assert_eq!((q.p(), q.k(), q.n()), (2, 0, 1), "fields accept any order");
+        assert!(items[0].is_query());
+        assert!(!items[2].is_query());
+    }
+
+    #[test]
+    fn gamma_defaults_to_half() {
+        let net = fixtures::figure1();
+        let items = parse_workload("dktg terms=SN p=2 k=1 n=2", &net).unwrap();
+        let WorkloadItem::Dktg(dq) = &items[0] else { panic!("expected dktg") };
+        assert!((dq.gamma() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let net = fixtures::figure1();
+        let check = |text: &str, needle: &str| {
+            let err = parse_workload(text, &net).expect_err(needle).to_string();
+            assert!(err.contains(needle), "`{err}` missing `{needle}`");
+        };
+        check("bogus 1 2", "unknown directive");
+        check("ktg terms=NOPE p=3 k=1 n=1", "line 1");
+        check("\n\nktg p=3 k=1 n=1", "line 3");
+        check("ktg terms=SN p=0 k=1 n=1", "line 1");
+        check("ktg terms=SN p=x k=1 n=1", "invalid group size");
+        check("ktg terms=SN p=3 k=1 n=1 gamma=0.5", "only valid on dktg");
+        check("insert 0", "missing vertex");
+        check("insert 0 99", "out of range");
+        check("remove a b", "invalid vertex id");
+        check("ktg terms=SN p=3 k=1 n=1 q=7", "unknown field");
+        check("ktg terms=SN p=3 k=1 n=1 extra", "expected key=value");
+    }
+}

@@ -18,6 +18,14 @@ pub struct BfsScratch {
     next: Vec<VertexId>,
 }
 
+impl Default for BfsScratch {
+    /// An empty arena; [`BfsScratch::fit`] grows it to the graph at hand.
+    /// Lets pooled per-worker scratch start lazy in the batched executor.
+    fn default() -> Self {
+        BfsScratch::new(0)
+    }
+}
+
 impl BfsScratch {
     /// Creates scratch space for graphs of up to `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {

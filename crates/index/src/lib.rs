@@ -30,6 +30,11 @@
 //! solver's conflict-bitmap kernel: one hop-bounded BFS per candidate, run
 //! in parallel, producing per-candidate conflict bitsets that replace
 //! oracle probes entirely for small-to-medium candidate sets.
+//! [`rows::NeighborhoodCache`] is its memoizing twin for batched query
+//! serving: per-`(vertex, k)` conflict rows are cached across queries
+//! (sharded, bounded, epoch-guarded against graph updates) and remapped
+//! onto each query's candidate index space by
+//! [`rows::conflict_bitmaps_cached`].
 
 
 #![forbid(unsafe_code)]
@@ -45,6 +50,7 @@ pub mod nlrnl;
 pub mod oracle;
 pub mod persist;
 pub mod pll;
+pub mod rows;
 pub mod space;
 
 pub use batch::kline_conflict_bitmaps;
@@ -55,4 +61,5 @@ pub use nl::NlIndex;
 pub use nlrnl::{EdgeUpdate, NlrnlIndex};
 pub use oracle::DistanceOracle;
 pub use pll::PllIndex;
+pub use rows::{conflict_bitmaps_cached, KernelScratch, NeighborhoodCache};
 pub use space::{BuildStats, IndexSpace};

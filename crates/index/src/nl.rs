@@ -21,8 +21,16 @@ use crate::oracle::DistanceOracle;
 use crate::space::{BuildStats, IndexSpace};
 use ktg_common::{parallel, EpochMarker, FxHashMap, VertexId};
 use ktg_graph::{bfs, BfsScratch, CsrGraph};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Number of expansion-cache shards. Expansion state is keyed by the
+/// *source* vertex, so striping the cache by a vertex-hash lets
+/// concurrent queries (the batched executor fans out over workers that
+/// share one index) expand different sources without serializing on a
+/// single lock. A small fixed power of two keeps the shard pick one
+/// multiply + shift.
+const EXPANSION_SHARDS: usize = 16;
 
 /// The NL (h-hop neighbors list) index.
 pub struct NlIndex<'g> {
@@ -31,15 +39,27 @@ pub struct NlIndex<'g> {
     h: Vec<u32>,
     /// Per-vertex stored levels `1..=h` (slot `i` ⇔ hop `i + 1`).
     levels: Vec<LeveledList>,
-    /// Query-time cache of expanded levels: vertex → levels `h+1, h+2, …`.
-    /// An empty level marks frontier exhaustion (all deeper levels empty).
-    expanded: Mutex<ExpansionCache>,
+    /// Query-time cache of expanded levels, striped by source-vertex
+    /// hash: vertex → levels `h+1, h+2, …`. An empty level marks frontier
+    /// exhaustion (all deeper levels empty).
+    expanded: [Mutex<ExpansionShard>; EXPANSION_SHARDS],
     stats: BuildStats,
 }
 
-struct ExpansionCache {
+/// One stripe of the expansion cache. Each shard owns a private
+/// [`EpochMarker`] (grown lazily to `|V|` on first expansion through the
+/// shard, preserving the wrap-around epoch semantics), so concurrent
+/// expansions in different shards never share marking state.
+#[derive(Default)]
+struct ExpansionShard {
     extra: FxHashMap<u32, Vec<Vec<VertexId>>>,
     marker: EpochMarker,
+}
+
+/// Fibonacci-hash shard pick for a source vertex.
+#[inline]
+fn shard_of(u: VertexId) -> usize {
+    ((u.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % EXPANSION_SHARDS
 }
 
 impl<'g> NlIndex<'g> {
@@ -97,11 +117,21 @@ impl<'g> NlIndex<'g> {
             graph,
             h,
             levels,
-            expanded: Mutex::new(ExpansionCache {
-                extra: FxHashMap::default(),
-                marker: EpochMarker::new(n),
-            }),
+            // Shard markers start empty and grow to |V| on first use, so
+            // an index over a graph that never needs expansion pays no
+            // per-shard arena cost.
+            expanded: std::array::from_fn(|_| Mutex::new(ExpansionShard::default())),
             stats: BuildStats { elapsed: start.elapsed(), traversals: n, entries },
+        }
+    }
+
+    /// Locks one expansion shard, recovering from poisoning: a panicking
+    /// expander can leave at most a *shorter* cached prefix of levels,
+    /// never an inconsistent one (levels are pushed fully formed).
+    fn shard(&self, u: VertexId) -> MutexGuard<'_, ExpansionShard> {
+        match self.expanded[shard_of(u)].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
         }
     }
 
@@ -116,16 +146,23 @@ impl<'g> NlIndex<'g> {
     }
 
     /// Storage breakdown. NL has no reverse lists; the expansion cache is
-    /// query-time state and reported under `aux_bytes`.
+    /// query-time state and reported under `aux_bytes`, summed across the
+    /// shards.
     pub fn space(&self) -> IndexSpace {
         let forward_bytes: usize = self.levels.iter().map(LeveledList::heap_bytes).sum();
-        let cache = self.expanded.lock().expect("expansion cache lock poisoned");
-        let cache_bytes: usize = cache
-            .extra
-            .values()
-            .flat_map(|lvls| lvls.iter())
-            .map(|l| l.len() * std::mem::size_of::<VertexId>())
-            .sum();
+        let mut cache_bytes = 0usize;
+        for shard in &self.expanded {
+            let shard = match shard.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            cache_bytes += shard
+                .extra
+                .values()
+                .flat_map(|lvls| lvls.iter())
+                .map(|l| l.len() * std::mem::size_of::<VertexId>())
+                .sum::<usize>();
+        }
         IndexSpace {
             forward_bytes,
             reverse_bytes: 0,
@@ -156,9 +193,11 @@ impl<'g> NlIndex<'g> {
 
     /// Expands `u`'s hop levels beyond `h` up to level `k`, caching the
     /// results, and reports whether `v` was found (⇒ within `k`).
+    /// Only `u`'s shard is locked, so expansions from sources hashing to
+    /// different stripes proceed concurrently.
     fn check_with_expansion(&self, u: VertexId, v: VertexId, k: u32, h: u32) -> bool {
-        let mut cache = self.expanded.lock().expect("expansion cache lock poisoned");
-        let ExpansionCache { extra, marker } = &mut *cache;
+        let mut shard = self.shard(u);
+        let ExpansionShard { extra, marker } = &mut *shard;
         let extra = extra.entry(u.0).or_default();
 
         // Check already-cached expansion levels (h+1 ..= h+len).
@@ -318,6 +357,45 @@ mod tests {
         assert!(!nl.farther_than(VertexId(0), VertexId(4), 4));
         let space = nl.space();
         assert!(space.aux_bytes > 0, "expansion cache accounted");
+    }
+
+    /// Four threads hammer the same index with expansion-forcing queries
+    /// (k far past every per-vertex h): every answer must match the exact
+    /// oracle no matter how the striped shards interleave, and the cache
+    /// must end up populated.
+    #[test]
+    fn concurrent_expansion_matches_exact() {
+        let g = CsrGraph::from_edges(
+            10,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9)],
+        )
+        .unwrap();
+        let nl = NlIndex::build(&g);
+        let exact = ExactOracle::build(&g);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let nl = &nl;
+                let exact = &exact;
+                let g = &g;
+                s.spawn(move || {
+                    for u in g.vertices() {
+                        for v in g.vertices() {
+                            // Different threads sweep k in different
+                            // orders to vary the expansion interleaving.
+                            for i in 0..=10u32 {
+                                let k = if t % 2 == 0 { i } else { 10 - i };
+                                assert_eq!(
+                                    nl.farther_than(u, v, k),
+                                    exact.farther_than(u, v, k),
+                                    "({u:?}, {v:?}, k={k})"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(nl.space().aux_bytes > 0, "expansion cache populated");
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Cross-query reuse of k-line conflict rows.
+//!
+//! A conflict-bitmap row for candidate `c` is determined by the ball
+//! `{v : 0 < dist(c, v) ≤ k}` — a function of the *graph* and `k` only,
+//! never of the query keywords. Queries served against one shared graph
+//! overwhelmingly repeat the same `k` values (the paper evaluates
+//! `k ∈ {1..4}`), so the batched executor memoizes those balls in a
+//! [`NeighborhoodCache`] keyed `(vertex, k)` and remaps them onto each
+//! query's private candidate index space instead of re-running one
+//! bounded BFS per candidate per query.
+//!
+//! The cache is sharded (fixed stripe array, hashed by `(vertex, k)`) so
+//! executor workers do not serialize on one lock, bounded (FIFO eviction
+//! per shard) so a long-running server cannot grow without limit, and
+//! **epoch-stamped**: every entry records the graph epoch it was computed
+//! at, and a lookup under a different epoch is a miss that drops the
+//! stale generation. The executor bumps its epoch on every edge update,
+//! which makes stale conflict rows unreachable by construction.
+
+#[cfg(test)]
+use crate::batch::kline_conflict_bitmaps;
+use ktg_common::{FixedBitSet, FxHashMap, VertexId};
+use ktg_graph::bfs::{bfs_levels, BfsScratch};
+use ktg_graph::csr::Adjacency;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Number of cache stripes; a small power of two keeps the shard pick a
+/// multiply + shift while letting a handful of workers proceed in
+/// parallel.
+const ROW_SHARDS: usize = 16;
+
+/// A `(vertex, k)` ball: every vertex at hop distance `1..=k` of the
+/// key vertex, in BFS discovery order. Graph-space ids — query
+/// independent by design.
+type Row = Arc<Vec<VertexId>>;
+
+struct RowShard {
+    /// Graph epoch this shard's entries were computed at.
+    epoch: u64,
+    map: FxHashMap<(u32, u32), Row>,
+    /// Insertion order for FIFO eviction.
+    fifo: VecDeque<(u32, u32)>,
+}
+
+/// A bounded, sharded, epoch-guarded memo of per-`(vertex, k)` conflict
+/// rows shared by every query the executor serves.
+pub struct NeighborhoodCache {
+    shards: Vec<Mutex<RowShard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl NeighborhoodCache {
+    /// Creates a cache holding at most `capacity` rows in total
+    /// (rounded up to a multiple of the stripe count; a zero capacity
+    /// still admits one row per stripe).
+    pub fn new(capacity: usize) -> Self {
+        NeighborhoodCache {
+            shards: (0..ROW_SHARDS)
+                .map(|_| {
+                    Mutex::new(RowShard {
+                        epoch: 0,
+                        map: FxHashMap::default(),
+                        fifo: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(ROW_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Rows served from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Rows computed by a fresh bounded BFS so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, v: VertexId, k: u32) -> MutexGuard<'_, RowShard> {
+        let key = ((v.0 as u64) << 32 | k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (key >> 60) as usize % ROW_SHARDS;
+        // Entries are immutable Arcs inserted whole, so a panicking
+        // borrower cannot leave a shard half-written: recover the lock.
+        match self.shards[idx].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns the within-`k` ball of `v` at graph `epoch`, serving it
+    /// from the memo when a same-epoch entry exists and computing (and
+    /// caching) it by bounded BFS otherwise.
+    ///
+    /// An epoch change invalidates lazily: the first access under the new
+    /// epoch drops the shard's previous generation wholesale. The caller
+    /// must pass a monotonically nondecreasing epoch for a given graph
+    /// state (the executor's update path guarantees this).
+    pub fn row<A: Adjacency>(
+        &self,
+        graph: &A,
+        v: VertexId,
+        k: u32,
+        epoch: u64,
+        scratch: &mut BfsScratch,
+    ) -> Row {
+        {
+            let mut shard = self.shard(v, k);
+            if shard.epoch != epoch {
+                shard.map.clear();
+                shard.fifo.clear();
+                shard.epoch = epoch;
+            } else if let Some(row) = shard.map.get(&(v.0, k)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(row);
+            }
+        }
+        // Compute outside the lock so concurrent misses in one stripe do
+        // not serialize their BFS work (a racing duplicate is benign: the
+        // later insert overwrites with an identical row).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        scratch.fit(graph.num_vertices());
+        let mut ball = Vec::new();
+        bfs_levels(graph, v, k as usize, scratch, |w, _| ball.push(w));
+        let row: Row = Arc::new(ball);
+        let mut shard = self.shard(v, k);
+        if shard.epoch == epoch && shard.map.insert((v.0, k), Arc::clone(&row)).is_none() {
+            shard.fifo.push_back((v.0, k));
+            if shard.fifo.len() > self.per_shard_capacity {
+                if let Some(oldest) = shard.fifo.pop_front() {
+                    shard.map.remove(&oldest);
+                }
+            }
+        }
+        row
+    }
+}
+
+/// Reusable per-worker scratch for [`conflict_bitmaps_cached`]: the BFS
+/// arena plus the graph-sized vertex → candidate-index map, kept between
+/// queries so steady-state kernel construction allocates nothing.
+#[derive(Default)]
+pub struct KernelScratch {
+    bfs: BfsScratch,
+    /// `index_of[v] = i` while building a kernel whose `sources[i] = v`;
+    /// `u32::MAX` elsewhere. Restored to all-`MAX` before returning, so
+    /// the reset costs O(|sources|), not O(|V|).
+    index_of: Vec<u32>,
+}
+
+/// [`kline_conflict_bitmaps`](crate::batch::kline_conflict_bitmaps)'s memoizing twin: builds the same
+/// per-candidate conflict bitsets, but sources each candidate's
+/// within-`k` ball from `cache` (computing only the missing rows) and
+/// remaps graph-space balls onto the query's candidate index space with
+/// the pooled `scratch.index_of` table. `out` rows are recycled via
+/// [`FixedBitSet::reset`].
+///
+/// The result is bit-for-bit the matrix that
+/// [`kline_conflict_bitmaps`](crate::batch::kline_conflict_bitmaps)
+/// returns for the same `(graph, sources, k)` — both answer "is
+/// `dist(sources[i], sources[j])` in `1..=k`" from the same BFS ground
+/// truth — which is what keeps cached serving byte-identical to fresh
+/// solves.
+pub fn conflict_bitmaps_cached<A: Adjacency>(
+    graph: &A,
+    sources: &[VertexId],
+    k: u32,
+    cache: &NeighborhoodCache,
+    epoch: u64,
+    scratch: &mut KernelScratch,
+    out: &mut Vec<FixedBitSet>,
+) {
+    let m = sources.len();
+    if scratch.index_of.len() < graph.num_vertices() {
+        scratch.index_of.resize(graph.num_vertices(), u32::MAX);
+    }
+    for (i, v) in sources.iter().enumerate() {
+        scratch.index_of[v.index()] = i as u32;
+    }
+
+    out.truncate(m);
+    while out.len() < m {
+        out.push(FixedBitSet::new(m));
+    }
+    for (i, (src, bitmap)) in sources.iter().zip(out.iter_mut()).enumerate() {
+        bitmap.reset(m);
+        let row = cache.row(graph, *src, k, epoch, &mut scratch.bfs);
+        for w in row.iter() {
+            let j = scratch.index_of[w.index()];
+            if j != u32::MAX {
+                debug_assert!(j as usize != i, "BFS never reports its source");
+                bitmap.insert(j as usize);
+            }
+        }
+    }
+
+    // Sparse undo: only candidate slots were written.
+    for v in sources {
+        scratch.index_of[v.index()] = u32::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktg_graph::csr::CsrGraph;
+
+    fn random_graph(n: u32, density: f64, seed: u64) -> CsrGraph {
+        let mut rng = ktg_common::SeededRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(density) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        CsrGraph::from_edges(n as usize, &edges).unwrap()
+    }
+
+    #[test]
+    fn cached_matches_uncached_and_hits_on_repeat() {
+        let g = random_graph(40, 0.08, 0xCAFE);
+        let cache = NeighborhoodCache::new(1024);
+        let mut scratch = KernelScratch::default();
+        let mut out = Vec::new();
+        for k in [1u32, 2, 3] {
+            let sources: Vec<VertexId> =
+                (0..40).filter(|u| u % (k + 2) != 1).map(VertexId).collect();
+            let fresh = kline_conflict_bitmaps(&g, &sources, k);
+            conflict_bitmaps_cached(&g, &sources, k, &cache, 7, &mut scratch, &mut out);
+            assert_eq!(out, fresh, "k={k}");
+            // Second build over a *different* candidate subset sharing
+            // vertices: rows come from the memo, result still matches.
+            let misses_before = cache.misses();
+            let subset: Vec<VertexId> = sources.iter().copied().step_by(2).collect();
+            let fresh_subset = kline_conflict_bitmaps(&g, &subset, k);
+            conflict_bitmaps_cached(&g, &subset, k, &cache, 7, &mut scratch, &mut out);
+            assert_eq!(out, fresh_subset, "subset k={k}");
+            assert_eq!(cache.misses(), misses_before, "all subset rows memoized");
+            assert!(cache.hits() > 0);
+        }
+        // index_of must have been restored for every candidate slot.
+        assert!(scratch.index_of.iter().all(|&x| x == u32::MAX));
+    }
+
+    #[test]
+    fn epoch_change_invalidates() {
+        let g1 = random_graph(20, 0.15, 1);
+        let g2 = random_graph(20, 0.15, 2);
+        let sources: Vec<VertexId> = (0..20).map(VertexId).collect();
+        let cache = NeighborhoodCache::new(1024);
+        let mut scratch = KernelScratch::default();
+        let mut out = Vec::new();
+        conflict_bitmaps_cached(&g1, &sources, 2, &cache, 1, &mut scratch, &mut out);
+        // Same keys at a new epoch against a different graph: the cached
+        // generation must not leak through.
+        conflict_bitmaps_cached(&g2, &sources, 2, &cache, 2, &mut scratch, &mut out);
+        assert_eq!(out, kline_conflict_bitmaps(&g2, &sources, 2));
+        let misses_after_two = cache.misses();
+        assert_eq!(misses_after_two, 40, "every row recomputed at the new epoch");
+        // Back at epoch 2 everything hits.
+        conflict_bitmaps_cached(&g2, &sources, 2, &cache, 2, &mut scratch, &mut out);
+        assert_eq!(cache.misses(), misses_after_two);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let g = random_graph(64, 0.1, 3);
+        let cache = NeighborhoodCache::new(16);
+        let mut scratch = KernelScratch::default();
+        let sources: Vec<VertexId> = (0..64).map(VertexId).collect();
+        let mut out = Vec::new();
+        conflict_bitmaps_cached(&g, &sources, 2, &cache, 1, &mut scratch, &mut out);
+        let cached: usize = (0..64)
+            .filter(|&u| {
+                let mut s = BfsScratch::new(64);
+                let before = cache.hits();
+                cache.row(&g, VertexId(u), 2, 1, &mut s);
+                cache.hits() > before
+            })
+            .count();
+        // 16 stripes × ceil(16/16)=1 row each at most.
+        assert!(cached <= 16, "{cached} rows retained past the bound");
+    }
+
+    #[test]
+    fn rows_exclude_the_source() {
+        let g = random_graph(12, 0.3, 9);
+        let cache = NeighborhoodCache::new(64);
+        let mut scratch = BfsScratch::new(12);
+        for u in 0..12 {
+            let row = cache.row(&g, VertexId(u), 3, 0, &mut scratch);
+            assert!(!row.contains(&VertexId(u)));
+        }
+    }
+}

@@ -103,7 +103,7 @@ fn multi_query_vertex_results_avoid_author_neighborhood() {
     let mut qg = QueryGen::new(&net, 41);
     let query = KtgQuery::new(qg.query(6), 3, 1, 3).expect("valid");
     let masks = net.compile(query.keywords());
-    let mut cands = candidates::collect(net.graph(), &masks);
+    let mut cands = candidates::collect_vec(net.graph(), &masks);
     // Use the highest-degree vertex as the "author".
     let author = net
         .graph()
@@ -111,7 +111,7 @@ fn multi_query_vertex_results_avoid_author_neighborhood() {
         .max_by_key(|&v| net.graph().degree(v))
         .expect("non-empty graph");
     multi_query::restrict_candidates(&oracle, &[author], 2, &mut cands);
-    let out = bb::solve_with_candidates(&query, &oracle, cands, &bb::BbOptions::vkc_deg());
+    let out = bb::solve_with_candidates(&query, &oracle, &cands, &bb::BbOptions::vkc_deg());
     for g in &out.groups {
         for &v in g.members() {
             assert!(v != author);

@@ -1,0 +1,217 @@
+//! Differential tests: the batched serving engine is **byte-identical**
+//! to query-at-a-time solving.
+//!
+//! `ktg_core::serve` (DESIGN.md §13) claims that none of its
+//! amortizations — scratch pooling, the epoch-guarded result cache, the
+//! `(vertex, k)` conflict-row memo, the cross-query worker fan-out —
+//! can change an answer: every outcome equals a fresh sequential
+//! `bb::solve` / `dktg::solve_with_options` against the graph *as of
+//! that workload position*. These suites check that claim on randomized
+//! networks across thread counts and cache settings, including
+//! workloads that interleave dynamic edge updates between query runs
+//! (the epoch-invalidation path). Under `KTG_VERIFY=1` every serve
+//! answer — cached hits included — additionally passes the checked-mode
+//! result audit.
+
+use ktg_common::{SeededRng, VertexId};
+use ktg_core::serve::{ItemOutcome, ServeOptions, ServeSession, WorkloadItem};
+use ktg_core::{bb, dktg, AttributedGraph, DktgQuery, Group, KtgQuery};
+use ktg_graph::DynamicGraph;
+use ktg_index::BfsOracle;
+use ktg_integration_tests::{random_network, random_query};
+
+/// Thread counts to sweep; `0` resolves to the machine's worker count
+/// (CI pins it via `KTG_THREADS=4`).
+const THREADS: [usize; 4] = [1, 2, 4, 0];
+
+/// An outcome stripped to its result-bearing fields: the `cached` flags
+/// legitimately differ between configurations, everything else may not.
+#[derive(Debug, PartialEq)]
+enum Answer {
+    Ktg(Vec<Group>),
+    Dktg { groups: Vec<Group>, diversity: u64, min_qkc: u64, score: u64 },
+    Update { applied: bool },
+}
+
+fn strip(outcomes: &[ItemOutcome]) -> Vec<Answer> {
+    outcomes
+        .iter()
+        .map(|o| match o {
+            ItemOutcome::Ktg(a) => Answer::Ktg(a.groups.clone()),
+            ItemOutcome::Dktg(a) => Answer::Dktg {
+                groups: a.groups.clone(),
+                diversity: a.diversity.to_bits(),
+                min_qkc: a.min_qkc.to_bits(),
+                score: a.score.to_bits(),
+            },
+            ItemOutcome::Update { applied } => Answer::Update { applied: *applied },
+        })
+        .collect()
+}
+
+/// The reference: replay the workload query-at-a-time, re-solving each
+/// query from scratch against the current graph and applying updates to
+/// a plain [`DynamicGraph`] replica (rebuilding the frozen network after
+/// each applied change, exactly as the session does).
+fn reference_replay(net: &AttributedGraph, workload: &[WorkloadItem]) -> Vec<Answer> {
+    let opts = bb::BbOptions::vkc_deg();
+    let mut cur = net.clone();
+    let mut replica = DynamicGraph::from_csr(net.graph());
+    let mut out = Vec::with_capacity(workload.len());
+    for item in workload {
+        match item {
+            WorkloadItem::Ktg(q) => {
+                let oracle = BfsOracle::new(cur.graph());
+                out.push(Answer::Ktg(bb::solve(&cur, q, &oracle, &opts).groups));
+            }
+            WorkloadItem::Dktg(q) => {
+                let oracle = BfsOracle::new(cur.graph());
+                let r = dktg::solve_with_options(&cur, q, &oracle, &opts);
+                out.push(Answer::Dktg {
+                    groups: r.groups,
+                    diversity: r.diversity.to_bits(),
+                    min_qkc: r.min_qkc.to_bits(),
+                    score: r.score.to_bits(),
+                });
+            }
+            WorkloadItem::Insert(u, v) | WorkloadItem::Remove(u, v) => {
+                let applied = match item {
+                    WorkloadItem::Insert(..) => replica.insert_edge(*u, *v),
+                    _ => replica.remove_edge(*u, *v),
+                }
+                .unwrap_or(false);
+                if applied {
+                    cur = AttributedGraph::new(
+                        replica.to_csr(),
+                        cur.vocab().clone(),
+                        cur.keywords().clone(),
+                    );
+                }
+                out.push(Answer::Update { applied });
+            }
+        }
+    }
+    out
+}
+
+/// Asserts every (threads, cache) serving configuration reproduces the
+/// reference byte-for-byte, and returns whether any cache-on run hit.
+fn assert_serve_matches_reference(
+    label: &str,
+    net: &AttributedGraph,
+    workload: &[WorkloadItem],
+) -> bool {
+    let expected = reference_replay(net, workload);
+    let mut any_hits = false;
+    for use_cache in [true, false] {
+        for threads in THREADS {
+            let options = ServeOptions { threads, use_cache, ..ServeOptions::default() };
+            let mut session = ServeSession::new(net.clone(), options);
+            let outcomes = session.run(workload);
+            assert_eq!(
+                expected,
+                strip(&outcomes),
+                "{label}: cache={use_cache}, threads={threads} diverged from \
+                 the query-at-a-time reference"
+            );
+            let stats = session.stats();
+            if use_cache {
+                any_hits |= stats.result_hits > 0;
+            } else {
+                assert_eq!(stats.result_hits, 0, "{label}: cache-off run claimed hits");
+            }
+        }
+    }
+    any_hits
+}
+
+/// A mixed workload over `net`: a small pool of distinct KTG/DKTG
+/// queries with repeats (so the result cache has something to do).
+fn query_pool_workload(net: &AttributedGraph, len: usize, seed: u64) -> Vec<WorkloadItem> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    let pool: Vec<WorkloadItem> = (0..4)
+        .map(|i| {
+            let kws = random_query(net, 3, seed ^ (i as u64 + 1));
+            let base = KtgQuery::new(kws, 3, 2, 3).expect("valid params");
+            if i % 2 == 0 {
+                WorkloadItem::Ktg(base)
+            } else {
+                WorkloadItem::Dktg(DktgQuery::new(base, 0.5).expect("valid gamma"))
+            }
+        })
+        .collect();
+    (0..len).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect()
+}
+
+#[test]
+fn serving_matches_sequential_on_random_networks() {
+    let mut rng = SeededRng::seed_from_u64(0x5E4E);
+    let mut hits = false;
+    for case in 0..6 {
+        let n = rng.gen_range(16..40usize);
+        let density = rng.gen_range(0.08..0.35);
+        let seed = rng.gen_range(0u64..1000);
+        let net = random_network(n, density, 8, 4, seed);
+        let workload = query_pool_workload(&net, 10, seed ^ 0xF00D);
+        hits |= assert_serve_matches_reference(
+            &format!("case {case} (n={n}, density={density:.2})"),
+            &net,
+            &workload,
+        );
+    }
+    assert!(hits, "no repeat-bearing workload ever hit the result cache");
+}
+
+#[test]
+fn serving_matches_sequential_across_dynamic_updates() {
+    let mut rng = SeededRng::seed_from_u64(0xD1CE);
+    for case in 0..4 {
+        let n = rng.gen_range(18..36usize);
+        let seed = rng.gen_range(0u64..1000);
+        let net = random_network(n, 0.2, 8, 4, seed);
+        // Interleave query runs with edge updates: each update bumps the
+        // epoch, so post-update answers must come from fresh solves on
+        // the mutated graph, never from the (now stale) cache.
+        let mut workload = query_pool_workload(&net, 4, seed ^ 0xAAAA);
+        for round in 0..3u64 {
+            let u = VertexId(rng.gen_range(0..n as u32));
+            let v = VertexId(rng.gen_range(0..n as u32));
+            if u != v {
+                workload.push(if round % 2 == 0 {
+                    WorkloadItem::Insert(u, v)
+                } else {
+                    WorkloadItem::Remove(u, v)
+                });
+            }
+            workload.extend(query_pool_workload(&net, 4, seed ^ round));
+        }
+        assert_serve_matches_reference(&format!("dynamic case {case} (n={n})"), &net, &workload);
+    }
+}
+
+#[test]
+fn repeated_identical_workload_is_fully_cached_second_time() {
+    let net = random_network(24, 0.25, 8, 4, 42);
+    let workload = query_pool_workload(&net, 6, 7);
+    let mut session = ServeSession::new(net.clone(), ServeOptions::default());
+    let first = session.run(&workload);
+    let second = session.run(&workload);
+    assert_eq!(strip(&first), strip(&second));
+    // Single-threaded replay: after the first pass every distinct query
+    // is resident, so the second pass must be answered entirely by the
+    // cache. (Parallel runs may double-miss while racing, so this
+    // property is only guaranteed sequentially.)
+    let mut seq = ServeSession::new(
+        net.clone(),
+        ServeOptions { threads: 1, ..ServeOptions::default() },
+    );
+    seq.run(&workload);
+    let after_first = seq.stats().result_misses;
+    let outcomes = seq.run(&workload);
+    assert_eq!(seq.stats().result_misses, after_first, "second pass missed");
+    assert!(outcomes.iter().all(|o| match o {
+        ItemOutcome::Ktg(a) => a.cached,
+        ItemOutcome::Dktg(a) => a.cached,
+        ItemOutcome::Update { .. } => true,
+    }));
+}

@@ -24,6 +24,10 @@ echo "== parallel differential gate (KTG_THREADS=4, checked mode) =="
 KTG_THREADS=4 KTG_VERIFY=1 cargo test -q --offline \
     -p ktg-integration-tests --test parallel_diff
 
+echo "== serving differential gate (KTG_THREADS=4, checked mode) =="
+KTG_THREADS=4 KTG_VERIFY=1 cargo test -q --offline \
+    -p ktg-integration-tests --test serve_diff
+
 echo "== bb_scaling smoke (quick mode still writes JSON-lines) =="
 bench_out="$(mktemp -d)"
 KTG_BENCH_FAST=1 KTG_BENCH_OUT="$bench_out" \
@@ -31,6 +35,27 @@ KTG_BENCH_FAST=1 KTG_BENCH_OUT="$bench_out" \
 bb_records="$(wc -l < "$bench_out/bb_scaling.jsonl")"
 if [ "$bb_records" -lt 8 ]; then
     echo "FAIL: bb_scaling wrote $bb_records JSON-lines records, expected >= 8" >&2
+    exit 1
+fi
+
+echo "== qps smoke (serving throughput: 8 records, cache-on beats cache-off) =="
+# The binary itself asserts answer determinism across all configurations
+# and the cache-on > cache-off throughput win at one thread (plus thread
+# scaling when the machine has >= 4 hardware threads); the checks below
+# re-verify the written records so a silent no-op run cannot pass.
+KTG_BENCH_FAST=1 KTG_BENCH_OUT="$bench_out" \
+    cargo run -q --release --offline -p ktg-bench --bin qps
+qps_records="$(wc -l < "$bench_out/qps.jsonl")"
+if [ "$qps_records" -lt 8 ]; then
+    echo "FAIL: qps wrote $qps_records JSON-lines records, expected >= 8" >&2
+    exit 1
+fi
+on_ns="$(grep '"bench":"cache_on","param":"1"' "$bench_out/qps.jsonl" \
+    | sed 's/.*"min_ns":\([0-9]*\).*/\1/' | head -n1)"
+off_ns="$(grep '"bench":"cache_off","param":"1"' "$bench_out/qps.jsonl" \
+    | sed 's/.*"min_ns":\([0-9]*\).*/\1/' | head -n1)"
+if [ -z "$on_ns" ] || [ -z "$off_ns" ] || [ "$on_ns" -gt "$off_ns" ]; then
+    echo "FAIL: cache-on (${on_ns:-?} ns) should not be slower than cache-off (${off_ns:-?} ns) at 1 thread" >&2
     exit 1
 fi
 rm -rf "$bench_out"
