@@ -56,6 +56,8 @@ fn strip(outcomes: &[ItemOutcome]) -> Vec<Answer> {
                 Answer::Dktg { groups: a.groups.clone(), score_bits: a.score.to_bits() }
             }
             ItemOutcome::Update { .. } => unreachable!("qps workload has no updates"),
+            ItemOutcome::Failed { reason } => unreachable!("bench item failed: {reason}"),
+            ItemOutcome::Overloaded => unreachable!("qps sets no admission bound"),
         })
         .collect()
 }
@@ -106,6 +108,7 @@ fn main() {
                 use_cache,
                 cache_entries: 4096,
                 engine: bb::BbOptions::vkc_deg(),
+                max_inflight: 0,
             };
             // One long-lived session per configuration: repeated samples
             // measure steady-state serving (warm cache when enabled).

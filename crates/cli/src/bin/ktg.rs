@@ -1,24 +1,47 @@
 //! The `ktg` binary: a thin shim over [`ktg_cli::run`].
+//!
+//! Exit codes: `0` — success, every answer exact; `3` — the command ran
+//! but at least one answer was degraded (deadline/budget best-so-far),
+//! failed, or shed by admission control; `2` — usage or runtime error.
 
 fn main() {
+    // Under fault injection every injected panic is caught and retried
+    // by design; without this filter each one would still dump a
+    // backtrace to stderr through the default hook and drown real
+    // output. Genuine panics keep the full default report.
+    if std::env::var_os("KTG_FAULTS").is_some() {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ktg_common::InjectedFault>().is_none() {
+                default_hook(info);
+            }
+        }));
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
-    if let Err(e) = ktg_cli::run(&argv, &mut lock) {
-        eprintln!("error: {e}");
-        eprintln!();
-        eprintln!("usage: ktg <generate|stats|index|query|dktg|batch> [--flag value]...");
-        eprintln!("  generate --profile NAME --out DIR [--scale N] [--seed N]");
-        eprintln!("  stats    --edges FILE [--keywords FILE]");
-        eprintln!("  index    --edges FILE --out FILE");
-        eprintln!("  query    --edges FILE [--keywords FILE] (--terms a,b,c | --random-terms N)");
-        eprintln!("           [-p N] [-k N] [-n N] [--algo qkc|vkc|vkc-deg]");
-        eprintln!("           [--oracle bfs|nl|nlrnl] [--index FILE] [--authors 1,2]");
-        eprintln!("           [--explain true]");
-        eprintln!("  dktg     (query flags) [--gamma F]");
-        eprintln!("  batch    --workload FILE --edges FILE [--keywords FILE] [--threads N]");
-        eprintln!("           [--cache-entries N] [--no-cache] [--algo NAME]");
-        eprintln!("           [--bitmap-threshold N]");
-        std::process::exit(2);
+    match ktg_cli::run(&argv, &mut lock) {
+        Ok(ktg_cli::RunStatus::Complete) => {}
+        Ok(ktg_cli::RunStatus::Degraded) => std::process::exit(3),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("usage: ktg <generate|stats|index|query|dktg|batch> [--flag value]...");
+            eprintln!("  generate --profile NAME --out DIR [--scale N] [--seed N]");
+            eprintln!("  stats    --edges FILE [--keywords FILE]");
+            eprintln!("  index    --edges FILE --out FILE");
+            eprintln!("  query    --edges FILE [--keywords FILE] (--terms a,b,c | --random-terms N)");
+            eprintln!("           [-p N] [-k N] [-n N] [--algo qkc|vkc|vkc-deg]");
+            eprintln!("           [--oracle bfs|nl|nlrnl] [--index FILE] [--authors 1,2]");
+            eprintln!("           [--explain true] [--deadline-ms N] [--node-budget N]");
+            eprintln!("  dktg     (query flags) [--gamma F]");
+            eprintln!("  batch    --workload FILE --edges FILE [--keywords FILE] [--threads N]");
+            eprintln!("           [--cache-entries N] [--no-cache] [--algo NAME]");
+            eprintln!("           [--bitmap-threshold N] [--deadline-ms N] [--node-budget N]");
+            eprintln!("           [--max-inflight N]");
+            eprintln!("env: KTG_THREADS=N  KTG_VERIFY=1  KTG_FAULTS=<sites>:<rate>:<seed>");
+            eprintln!("exit codes: 0 ok; 3 degraded/partial answers; 2 error");
+            std::process::exit(2);
+        }
     }
 }

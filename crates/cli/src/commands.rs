@@ -5,7 +5,8 @@
 //! directories.
 
 use crate::args::{Command, ParsedArgs};
-use ktg_common::{KtgError, Result, VertexId};
+use crate::RunStatus;
+use ktg_common::{CompletionStatus, KtgError, Result, VertexId};
 use ktg_core::dktg::{self, DktgQuery};
 use ktg_core::serve::{self, ItemOutcome, ServeOptions, ServeSession};
 use ktg_core::{
@@ -19,15 +20,35 @@ use std::fs::File;
 use std::io::Write;
 use std::path::Path;
 
-/// Dispatches a parsed command line.
-pub fn dispatch(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
+/// Dispatches a parsed command line, reporting whether every answer was
+/// exact ([`RunStatus::Complete`]) or some were degraded, failed, or
+/// shed ([`RunStatus::Degraded`] — the binary exits 3).
+pub fn dispatch(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
     match args.command {
-        Command::Generate => generate(args, out),
-        Command::Stats => stats_cmd(args, out),
-        Command::Index => index_cmd(args, out),
+        Command::Generate => generate(args, out).map(|()| RunStatus::Complete),
+        Command::Stats => stats_cmd(args, out).map(|()| RunStatus::Complete),
+        Command::Index => index_cmd(args, out).map(|()| RunStatus::Complete),
         Command::Query => query_cmd(args, out, false),
         Command::Dktg => query_cmd(args, out, true),
         Command::Batch => batch_cmd(args, out),
+    }
+}
+
+/// `--deadline-ms N`: per-query wall-clock budget (absent = unbudgeted).
+fn deadline_flag(args: &ParsedArgs) -> Result<Option<u64>> {
+    match args.optional("deadline-ms") {
+        None => Ok(None),
+        Some(_) => args.required_num::<u64>("deadline-ms").map(Some),
+    }
+}
+
+/// `--node-budget N`: deterministic search-node budget (absent = none).
+/// Unlike a deadline this degrades reproducibly, which is what the CI
+/// smoke tests and scripted benchmarks want.
+fn node_budget_flag(args: &ParsedArgs) -> Result<Option<u64>> {
+    match args.optional("node-budget") {
+        None => Ok(None),
+        Some(_) => args.required_num::<u64>("node-budget").map(Some),
     }
 }
 
@@ -135,26 +156,31 @@ fn index_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
 }
 
 /// `ktg batch --workload FILE --edges FILE [--keywords FILE] [--threads N]
-/// [--cache-entries N] [--no-cache] [--algo NAME] [--bitmap-threshold N]`
+/// [--cache-entries N] [--no-cache] [--algo NAME] [--bitmap-threshold N]
+/// [--deadline-ms N] [--node-budget N] [--max-inflight N]`
 ///
 /// Replays a workload file (see `ktg_core::serve::workload` for the
 /// format) through a [`ServeSession`]: queries fan out across worker
 /// threads, repeated queries hit the epoch-guarded result cache, and
 /// `insert`/`remove` lines mutate the graph between query runs. Answers
 /// are byte-identical to running each query individually.
-fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
+fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
     let net = load_network(args)?;
     let text = std::fs::read_to_string(args.required("workload")?)?;
     let items = serve::parse_workload(&text, &net)?;
 
-    let engine = bb::BbOptions::vkc()
+    let mut engine = bb::BbOptions::vkc()
         .with_ordering(ordering_flag(args)?)
-        .with_bitmap_threshold(args.num_or("bitmap-threshold", bb::DEFAULT_BITMAP_THRESHOLD)?);
+        .with_bitmap_threshold(args.num_or("bitmap-threshold", bb::DEFAULT_BITMAP_THRESHOLD)?)
+        .with_deadline_ms(deadline_flag(args)?);
+    engine.node_budget = node_budget_flag(args)?;
+    let max_inflight: usize = args.num_or("max-inflight", 0)?;
     let options = ServeOptions {
         threads: args.num_or("threads", 0)?,
         use_cache: args.optional("no-cache").is_none(),
         cache_entries: args.num_or("cache-entries", 4096)?,
         engine,
+        max_inflight,
     };
     writeln!(
         out,
@@ -170,15 +196,21 @@ fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
 
     let mut session = ServeSession::new(net, options);
     let outcomes = session.run(&items);
+    let (mut degraded, mut failed, mut shed) = (0usize, 0usize, 0usize);
+    let status_marker = |status: &CompletionStatus| {
+        if status.is_exact() { String::new() } else { format!(" [{status}]") }
+    };
     for (i, outcome) in outcomes.iter().enumerate() {
         let lineno = i + 1;
         match outcome {
             ItemOutcome::Ktg(ans) => {
+                degraded += usize::from(!ans.status.is_exact());
                 writeln!(
                     out,
-                    "[{lineno}] ktg: {} groups{}",
+                    "[{lineno}] ktg: {} groups{}{}",
                     ans.groups.len(),
-                    if ans.cached { " [cached]" } else { "" }
+                    if ans.cached { " [cached]" } else { "" },
+                    status_marker(&ans.status)
                 )?;
                 for (rank, g) in ans.groups.iter().enumerate() {
                     writeln!(
@@ -191,14 +223,16 @@ fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
                 }
             }
             ItemOutcome::Dktg(ans) => {
+                degraded += usize::from(!ans.status.is_exact());
                 writeln!(
                     out,
-                    "[{lineno}] dktg: {} groups, score {:.3} (min QKC {:.3}, dL {:.3}){}",
+                    "[{lineno}] dktg: {} groups, score {:.3} (min QKC {:.3}, dL {:.3}){}{}",
                     ans.groups.len(),
                     ans.score,
                     ans.min_qkc,
                     ans.diversity,
-                    if ans.cached { " [cached]" } else { "" }
+                    if ans.cached { " [cached]" } else { "" },
+                    status_marker(&ans.status)
                 )?;
                 for (rank, g) in ans.groups.iter().enumerate() {
                     writeln!(
@@ -217,6 +251,18 @@ fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
                     if *applied { "applied" } else { "no-op" }
                 )?;
             }
+            ItemOutcome::Failed { reason } => {
+                failed += 1;
+                writeln!(out, "[{lineno}] failed: {reason}")?;
+            }
+            ItemOutcome::Overloaded => {
+                shed += 1;
+                writeln!(
+                    out,
+                    "[{lineno}] {}",
+                    KtgError::overloaded(format!("shed by --max-inflight {max_inflight}"))
+                )?;
+            }
         }
     }
     let stats = session.stats();
@@ -225,11 +271,15 @@ fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
         "served: {} answers from cache, {} fresh; {} conflict-row hits; epoch {}",
         stats.result_hits, stats.result_misses, stats.row_hits, stats.epoch
     )?;
-    Ok(())
+    if degraded + failed + shed > 0 {
+        writeln!(out, "partial: {degraded} degraded, {failed} failed, {shed} overloaded")?;
+        return Ok(RunStatus::Degraded);
+    }
+    Ok(RunStatus::Complete)
 }
 
 /// Shared by `query` and `dktg`.
-fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Result<()> {
+fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Result<RunStatus> {
     let net = load_network(args)?;
     let p: usize = args.num_or("p", 3)?;
     let k: u32 = args.num_or("k", 2)?;
@@ -276,10 +326,12 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
     let threads: usize = args.num_or("threads", if parallel { 0 } else { 1 })?;
     let bitmap_threshold: usize =
         args.num_or("bitmap-threshold", bb::DEFAULT_BITMAP_THRESHOLD)?;
-    let opts = bb::BbOptions::vkc()
+    let mut opts = bb::BbOptions::vkc()
         .with_ordering(ordering)
         .with_threads(threads)
-        .with_bitmap_threshold(bitmap_threshold);
+        .with_bitmap_threshold(bitmap_threshold)
+        .with_deadline_ms(deadline_flag(args)?);
+    opts.node_budget = node_budget_flag(args)?;
 
     let masks = net.compile(query.keywords());
     let mut cands = candidates::collect_vec(net.graph(), &masks);
@@ -307,7 +359,7 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
         cands.len()
     )?;
 
-    if diversified {
+    let status = if diversified {
         let gamma: f64 = args.num_or("gamma", 0.5)?;
         let dq = DktgQuery::new(query.clone(), gamma)?;
         let result = dktg::solve_with_candidates(&dq, &oracle, &mut cands, &opts);
@@ -327,6 +379,7 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
         for (rank, g) in result.groups.iter().enumerate() {
             write_group(out, &net, &keywords, &masks, rank, g, args)?;
         }
+        result.status
     } else {
         // `solve_prepared` keeps the graph in reach so the conflict-bitmap
         // kernel can replace per-pair oracle probes for small pools.
@@ -340,8 +393,13 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
         for (rank, g) in result.groups.iter().enumerate() {
             write_group(out, &net, &keywords, &masks, rank, g, args)?;
         }
-    }
-    Ok(())
+        result.status
+    };
+    // Machine-greppable completion status: `exact` or `degraded(<why>)` —
+    // the groups above are valid either way, a degraded run just may not
+    // have proven optimality before its budget fired.
+    writeln!(out, "status: {status}")?;
+    Ok(if status.is_exact() { RunStatus::Complete } else { RunStatus::Degraded })
 }
 
 fn write_group(
@@ -375,12 +433,16 @@ mod tests {
     use super::*;
     use crate::args::parse;
 
-    fn run_to_string(parts: &[&str]) -> Result<String> {
+    fn run_with_status(parts: &[&str]) -> Result<(RunStatus, String)> {
         let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
         let parsed = parse(&argv)?;
         let mut buf = Vec::new();
-        dispatch(&parsed, &mut buf)?;
-        Ok(String::from_utf8(buf).expect("utf8 output"))
+        let status = dispatch(&parsed, &mut buf)?;
+        Ok((status, String::from_utf8(buf).expect("utf8 output")))
+    }
+
+    fn run_to_string(parts: &[&str]) -> Result<String> {
+        run_with_status(parts).map(|(_, text)| text)
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -577,6 +639,88 @@ ktg terms=t0,t1,t2 p=2 k=1 n=2
         ])
         .expect_err("invalid p must fail");
         assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn status_line_and_degraded_exit_path() {
+        let dir = temp_dir("status");
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "generate", "--profile", "brightkite", "--scale", "400", "--seed", "5", "--out", out,
+        ])
+        .unwrap();
+        let edges = dir.join("edges.txt");
+        let keywords = dir.join("keywords.txt");
+        let base = [
+            "query",
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+            "--random-terms", "5",
+            "-p", "3", "-k", "1", "-n", "3",
+        ];
+        // A generous deadline never fires: status stays exact and the
+        // groups are identical to the unbudgeted run.
+        let (status, text) = run_with_status(&base).unwrap();
+        assert_eq!(status, RunStatus::Complete);
+        assert!(text.contains("status: exact"), "{text}");
+        let groups = |t: &str| -> Vec<String> {
+            t.lines().filter(|l| l.starts_with('#')).map(String::from).collect()
+        };
+        let mut generous = base.to_vec();
+        generous.extend(["--deadline-ms", "600000"]);
+        let (status, budgeted) = run_with_status(&generous).unwrap();
+        assert_eq!(status, RunStatus::Complete);
+        assert_eq!(groups(&budgeted), groups(&text), "unfired deadline must not change answers");
+        // A 1-node budget degrades deterministically; the run still
+        // returns (anytime best-so-far) and reports it.
+        let mut tight = base.to_vec();
+        tight.extend(["--node-budget", "1"]);
+        let (status, degraded) = run_with_status(&tight).unwrap();
+        assert_eq!(status, RunStatus::Degraded);
+        assert!(degraded.contains("status: degraded(node-budget)"), "{degraded}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_max_inflight_and_budget_report_partial() {
+        let dir = temp_dir("batch-partial");
+        let out = dir.to_str().unwrap();
+        run_to_string(&[
+            "generate", "--profile", "brightkite", "--scale", "400", "--seed", "7", "--out", out,
+        ])
+        .unwrap();
+        let workload = dir.join("workload.txt");
+        std::fs::write(
+            &workload,
+            "\
+ktg terms=t0,t1,t2 p=2 k=1 n=2
+ktg terms=t0,t1,t3 p=2 k=1 n=2
+ktg terms=t0,t2,t3 p=2 k=1 n=2
+",
+        )
+        .unwrap();
+        let edges = dir.join("edges.txt");
+        let keywords = dir.join("keywords.txt");
+        let base = [
+            "batch",
+            "--workload", workload.to_str().unwrap(),
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+            "--threads", "1",
+        ];
+        let mut capped = base.to_vec();
+        capped.extend(["--max-inflight", "1"]);
+        let (status, text) = run_with_status(&capped).unwrap();
+        assert_eq!(status, RunStatus::Degraded);
+        assert!(text.contains("[2] overloaded: shed by --max-inflight 1"), "{text}");
+        assert!(text.contains("partial: 0 degraded, 0 failed, 2 overloaded"), "{text}");
+        let mut budgeted = base.to_vec();
+        budgeted.extend(["--node-budget", "1"]);
+        let (status, text) = run_with_status(&budgeted).unwrap();
+        assert_eq!(status, RunStatus::Degraded);
+        assert!(text.contains("[degraded(node-budget)]"), "{text}");
+        assert!(text.contains("partial: 3 degraded, 0 failed, 0 overloaded"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -27,9 +27,30 @@ pub mod commands;
 
 pub use args::{Command, ParsedArgs};
 
+/// How the dispatched command finished (its answers' completion status).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every answer produced was exact.
+    Complete,
+    /// At least one answer was degraded (deadline/budget best-so-far),
+    /// failed, or was shed by the admission bound. The binary maps this
+    /// to exit code 3 so scripts can tell "valid but partial" from
+    /// success (0) and error (2).
+    Degraded,
+}
+
 /// Entry point shared by the binary and the tests: parse, dispatch, write
 /// human-readable output to `out`.
-pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> ktg_common::Result<()> {
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> ktg_common::Result<RunStatus> {
+    // Validate `KTG_FAULTS` loudly up front. The library-side env init
+    // deliberately ignores a malformed spec (library code must not abort
+    // its host); the CLI is the place to refuse one.
+    if let Ok(spec) = std::env::var("KTG_FAULTS") {
+        let spec = spec.trim();
+        if !spec.is_empty() {
+            ktg_common::FaultConfig::from_spec(spec)?;
+        }
+    }
     let parsed = args::parse(argv)?;
     commands::dispatch(&parsed, out)
 }

@@ -20,6 +20,9 @@ pub enum KtgError {
     InvalidInput(String),
     /// An index was asked about a graph it was not built for.
     IndexMismatch(String),
+    /// The serving layer refused work beyond its admission bound
+    /// (`max_inflight`) instead of queueing it unboundedly.
+    Overloaded(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -30,6 +33,7 @@ impl fmt::Display for KtgError {
             KtgError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             KtgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             KtgError::IndexMismatch(msg) => write!(f, "index mismatch: {msg}"),
+            KtgError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
             KtgError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -59,6 +63,11 @@ impl KtgError {
     /// Shorthand constructor for [`KtgError::InvalidInput`].
     pub fn input(msg: impl Into<String>) -> Self {
         KtgError::InvalidInput(msg.into())
+    }
+
+    /// Shorthand constructor for [`KtgError::Overloaded`].
+    pub fn overloaded(msg: impl Into<String>) -> Self {
+        KtgError::Overloaded(msg.into())
     }
 }
 
@@ -90,5 +99,12 @@ mod tests {
     #[test]
     fn non_io_has_no_source() {
         assert!(KtgError::query("x").source().is_none());
+    }
+
+    #[test]
+    fn overloaded_display() {
+        let err = KtgError::overloaded("admission bound of 4 reached");
+        assert_eq!(err.to_string(), "overloaded: admission bound of 4 reached");
+        assert!(err.source().is_none());
     }
 }

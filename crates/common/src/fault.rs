@@ -1,0 +1,460 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Robustness claims ("a panicking worker never takes down the batch",
+//! "transient faults plus retry recover byte-identical answers") are
+//! only testable if faults can be *produced on demand, reproducibly*.
+//! This registry provides that: named injection [`FaultSite`]s are
+//! compiled into the hot paths, and a seeded configuration — from the
+//! `KTG_FAULTS` environment variable or installed programmatically with
+//! [`set_config`] — decides, as a pure function of `(seed, site,
+//! per-site arrival counter)`, which arrivals fault.
+//!
+//! When no configuration is armed, every site folds to one relaxed
+//! atomic load of a never-written flag — a perfectly-predicted branch,
+//! no lock, no clock, no allocation — so production traffic pays
+//! nothing for the machinery.
+//!
+//! `KTG_FAULTS=<sites>:<rate>:<seed>` where `<sites>` is a
+//! comma-separated subset of `parse`, `pool`, `cache`, `solve` (or
+//! `all`), `<rate>` is a probability in `[0, 1]`, and `<seed>` is a
+//! `u64`. Example: `KTG_FAULTS=pool,solve:0.2:42`.
+//!
+//! Injected faults panic with a typed [`InjectedFault`] payload (via
+//! `std::panic::panic_any`), so recovery layers can tell an injected
+//! transient apart from a genuine defect. Retry paths run under
+//! [`suppressed`], which masks injection on the current thread — this
+//! is what makes recovery deterministic: a retried attempt can never be
+//! re-faulted, so retry-once is always enough for injected faults.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+
+use crate::error::{KtgError, Result};
+use crate::rng::SplitMix64;
+
+/// A named place in the serving stack where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Per-line workload parsing (`serve::workload`).
+    WorkloadParse,
+    /// Scratch-arena acquisition from the [`crate::Pool`] free list.
+    PoolAcquire,
+    /// Result-cache shard lookup.
+    CacheLookup,
+    /// A worker beginning to solve a query item.
+    WorkerSolve,
+}
+
+/// All sites, in mask-bit order.
+pub const ALL_SITES: [FaultSite; 4] = [
+    FaultSite::WorkloadParse,
+    FaultSite::PoolAcquire,
+    FaultSite::CacheLookup,
+    FaultSite::WorkerSolve,
+];
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            FaultSite::WorkloadParse => 0,
+            FaultSite::PoolAcquire => 1,
+            FaultSite::CacheLookup => 2,
+            FaultSite::WorkerSolve => 3,
+        }
+    }
+
+    fn mask(self) -> u8 {
+        1 << self.index()
+    }
+
+    /// Stable per-site tag mixed into the fault-decision hash.
+    fn tag(self) -> u64 {
+        // Distinct odd constants; any fixed values work, they only need
+        // to decorrelate sites under the same seed.
+        [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F, 0x1656_67B1_9E37_79F9, 0x2545_F491_4F6C_DD1D]
+            [self.index()]
+    }
+
+    /// Short spec name used in `KTG_FAULTS`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::WorkloadParse => "parse",
+            FaultSite::PoolAcquire => "pool",
+            FaultSite::CacheLookup => "cache",
+            FaultSite::WorkerSolve => "solve",
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The panic payload carried by an injected fault. Recovery layers
+/// downcast to this type to distinguish injected transients from real
+/// defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: FaultSite,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at site `{}`", self.site)
+    }
+}
+
+/// A seeded fault schedule: which sites fire, how often, keyed how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    sites: u8,
+    /// Fault probability as a threshold on the top 53 hash bits.
+    threshold: u64,
+    seed: u64,
+}
+
+impl FaultConfig {
+    /// A schedule firing `rate` of arrivals at `sites` (clamped to
+    /// `[0, 1]`; NaN is treated as 0), decided by `seed`.
+    pub fn new(sites: &[FaultSite], rate: f64, seed: u64) -> Self {
+        let rate = if rate.is_nan() { 0.0 } else { rate.clamp(0.0, 1.0) };
+        let mut mask = 0u8;
+        for site in sites {
+            mask |= site.mask();
+        }
+        FaultConfig {
+            sites: mask,
+            threshold: (rate * (1u64 << 53) as f64) as u64,
+            seed,
+        }
+    }
+
+    /// Parses a `KTG_FAULTS` spec: `<sites>:<rate>:<seed>`.
+    pub fn from_spec(spec: &str) -> Result<Self> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [sites_part, rate_part, seed_part] = parts[..] else {
+            return Err(KtgError::input(format!(
+                "KTG_FAULTS spec `{spec}` is not <sites>:<rate>:<seed>"
+            )));
+        };
+        let mut sites = Vec::new();
+        for name in sites_part.split(',') {
+            match name.trim() {
+                "all" => sites.extend_from_slice(&ALL_SITES),
+                other => {
+                    let site = ALL_SITES
+                        .iter()
+                        .copied()
+                        .find(|s| s.name() == other)
+                        .ok_or_else(|| {
+                            KtgError::input(format!("unknown fault site `{other}` in `{spec}`"))
+                        })?;
+                    sites.push(site);
+                }
+            }
+        }
+        let rate: f64 = rate_part.trim().parse().map_err(|_| {
+            KtgError::input(format!("bad fault rate `{rate_part}` in `{spec}`"))
+        })?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(KtgError::input(format!(
+                "fault rate `{rate_part}` outside [0, 1] in `{spec}`"
+            )));
+        }
+        let seed: u64 = seed_part.trim().parse().map_err(|_| {
+            KtgError::input(format!("bad fault seed `{seed_part}` in `{spec}`"))
+        })?;
+        Ok(FaultConfig::new(&sites, rate, seed))
+    }
+
+    fn applies(&self, site: FaultSite) -> bool {
+        self.sites & site.mask() != 0
+    }
+
+    /// Pure fault decision for the `n`-th arrival at `site`.
+    fn decide(&self, site: FaultSite, n: u64) -> bool {
+        if !self.applies(site) || self.threshold == 0 {
+            return false;
+        }
+        let mut mix =
+            SplitMix64::new(self.seed ^ site.tag() ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (mix.next_u64() >> 11) < self.threshold
+    }
+}
+
+/// Fast-path flag: false ⇔ no schedule installed ⇔ every site is a
+/// single predicted-not-taken branch.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static CONFIG: Mutex<Option<FaultConfig>> = Mutex::new(None);
+static ENV_INIT: Once = Once::new();
+static COUNTERS: [AtomicU64; 4] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+thread_local! {
+    static SUPPRESS: Cell<bool> = const { Cell::new(false) };
+}
+
+fn env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("KTG_FAULTS") {
+            let spec = spec.trim();
+            if !spec.is_empty() {
+                // An unparseable spec is ignored here (lib code must not
+                // abort the host); the CLI validates it loudly up front.
+                if let Ok(cfg) = FaultConfig::from_spec(spec) {
+                    install(Some(cfg));
+                }
+            }
+        }
+    });
+}
+
+fn install(config: Option<FaultConfig>) {
+    let mut guard = match CONFIG.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    for counter in &COUNTERS {
+        counter.store(0, Ordering::SeqCst);
+    }
+    ARMED.store(config.is_some(), Ordering::SeqCst);
+    *guard = config;
+}
+
+/// Installs (or with `None`, clears) a fault schedule programmatically,
+/// resetting all per-site arrival counters. Overrides `KTG_FAULTS`.
+/// Process-global: tests sharing a binary must serialize around it.
+pub fn set_config(config: Option<FaultConfig>) {
+    env_init();
+    install(config);
+}
+
+/// Whether a fault schedule is currently armed (env or programmatic).
+pub fn armed() -> bool {
+    env_init();
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Decides whether the current arrival at `site` should fault.
+/// Unarmed: a single relaxed load. Armed: consumes one tick of the
+/// site's deterministic arrival counter (unless [`suppressed`]).
+pub fn should_fail(site: FaultSite) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        env_init();
+        if !ARMED.load(Ordering::Relaxed) {
+            return false;
+        }
+    }
+    if SUPPRESS.with(Cell::get) {
+        return false;
+    }
+    let cfg = {
+        let guard = match CONFIG.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match *guard {
+            Some(cfg) => cfg,
+            None => return false,
+        }
+    };
+    if !cfg.applies(site) {
+        return false;
+    }
+    let n = COUNTERS[site.index()].fetch_add(1, Ordering::SeqCst);
+    cfg.decide(site, n)
+}
+
+/// Injects a fault at `site` if the armed schedule says so: panics with
+/// an [`InjectedFault`] payload via `std::panic::panic_any`. No-op when
+/// unarmed or suppressed.
+pub fn inject(site: FaultSite) {
+    if should_fail(site) {
+        std::panic::panic_any(InjectedFault { site });
+    }
+}
+
+/// Runs `f` with fault injection masked on this thread (restored even
+/// if `f` panics). Retry paths use this so a retried attempt cannot be
+/// re-faulted — the determinism-under-retry guarantee.
+pub fn suppressed<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SUPPRESS.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SUPPRESS.with(|s| s.replace(true)));
+    f()
+}
+
+/// Does this panic payload come from [`inject`]?
+pub fn is_injected(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<InjectedFault>().is_some()
+}
+
+/// Runs `f`, retrying it once under [`suppressed`] if it hits an
+/// *injected* fault. Genuine panics are re-raised untouched, so this
+/// never masks a real defect. The cheap (`Fn`, re-callable) sites —
+/// workload parsing — use this directly; the executor's solve path has
+/// its own retry that also discards the worker's scratch arena.
+pub fn recoverable<R>(site: FaultSite, f: impl Fn() -> R) -> R {
+    if !armed() {
+        return f();
+    }
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        inject(site);
+        f()
+    })) {
+        Ok(value) => value,
+        Err(payload) if is_injected(payload.as_ref()) => suppressed(&f),
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// The registry is process-global; every test that arms it holds
+    /// this lock (and re-disarms before releasing).
+    fn registry_lock() -> &'static StdMutex<()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+    }
+
+    fn with_armed<R>(cfg: FaultConfig, f: impl FnOnce() -> R) -> R {
+        let _guard = registry_lock().lock().unwrap_or_else(|p| p.into_inner());
+        set_config(Some(cfg));
+        struct Disarm;
+        impl Drop for Disarm {
+            fn drop(&mut self) {
+                set_config(None);
+            }
+        }
+        let _disarm = Disarm;
+        f()
+    }
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        let _guard = registry_lock().lock().unwrap_or_else(|p| p.into_inner());
+        set_config(None);
+        for _ in 0..1000 {
+            assert!(!should_fail(FaultSite::WorkerSolve));
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fires_at_selected_sites_only() {
+        let cfg = FaultConfig::new(&[FaultSite::PoolAcquire], 1.0, 7);
+        with_armed(cfg, || {
+            assert!(should_fail(FaultSite::PoolAcquire));
+            assert!(!should_fail(FaultSite::CacheLookup));
+            assert!(!should_fail(FaultSite::WorkloadParse));
+        });
+    }
+
+    #[test]
+    fn schedules_are_deterministic_in_arrival_order() {
+        let cfg = FaultConfig::new(&ALL_SITES, 0.3, 42);
+        let run = || -> Vec<bool> {
+            set_config(Some(cfg));
+            (0..64).map(|_| should_fail(FaultSite::WorkerSolve)).collect()
+        };
+        let _guard = registry_lock().lock().unwrap_or_else(|p| p.into_inner());
+        let a = run();
+        let b = run();
+        set_config(None);
+        assert_eq!(a, b, "same seed + arrival order must fault identically");
+        assert!(a.iter().any(|&x| x), "rate 0.3 over 64 arrivals should fire");
+        assert!(!a.iter().all(|&x| x), "rate 0.3 should not fire every time");
+    }
+
+    #[test]
+    fn suppression_masks_and_restores() {
+        let cfg = FaultConfig::new(&ALL_SITES, 1.0, 1);
+        with_armed(cfg, || {
+            suppressed(|| {
+                assert!(!should_fail(FaultSite::WorkerSolve));
+                // Nested suppression stays suppressed after inner exit.
+                suppressed(|| assert!(!should_fail(FaultSite::WorkerSolve)));
+                assert!(!should_fail(FaultSite::WorkerSolve));
+            });
+            assert!(should_fail(FaultSite::WorkerSolve), "suppression must lift");
+        });
+    }
+
+    #[test]
+    fn inject_panics_with_typed_payload() {
+        let cfg = FaultConfig::new(&[FaultSite::CacheLookup], 1.0, 3);
+        with_armed(cfg, || {
+            let payload = std::panic::catch_unwind(|| inject(FaultSite::CacheLookup))
+                .expect_err("rate 1.0 must fire");
+            assert!(is_injected(payload.as_ref()));
+            let fault = payload.downcast_ref::<InjectedFault>().expect("typed payload");
+            assert_eq!(fault.site, FaultSite::CacheLookup);
+            assert_eq!(fault.to_string(), "injected fault at site `cache`");
+        });
+    }
+
+    #[test]
+    fn recoverable_retries_injected_faults_once() {
+        let cfg = FaultConfig::new(&[FaultSite::WorkloadParse], 1.0, 9);
+        with_armed(cfg, || {
+            // Every arrival faults, yet the value always comes through
+            // via the suppressed retry.
+            for i in 0..8 {
+                assert_eq!(recoverable(FaultSite::WorkloadParse, || i * 2), i * 2);
+            }
+        });
+    }
+
+    #[test]
+    fn recoverable_reraises_genuine_panics() {
+        let cfg = FaultConfig::new(&[FaultSite::WorkloadParse], 0.0, 9);
+        with_armed(cfg, || {
+            let payload = std::panic::catch_unwind(|| {
+                recoverable(FaultSite::WorkloadParse, || -> u32 {
+                    std::panic::panic_any("genuine defect")
+                })
+            })
+            .expect_err("must re-raise");
+            assert!(!is_injected(payload.as_ref()));
+        });
+    }
+
+    #[test]
+    fn spec_parsing_accepts_valid_and_rejects_malformed() {
+        let cfg = FaultConfig::from_spec("pool,solve:0.25:42").expect("valid spec");
+        assert!(cfg.applies(FaultSite::PoolAcquire));
+        assert!(cfg.applies(FaultSite::WorkerSolve));
+        assert!(!cfg.applies(FaultSite::CacheLookup));
+        assert_eq!(
+            FaultConfig::from_spec("all:1:7").expect("`all` spec"),
+            FaultConfig::new(&ALL_SITES, 1.0, 7)
+        );
+        for bad in ["", "pool", "pool:0.5", "warp:0.5:1", "pool:two:1", "pool:0.5:x", "pool:1.5:1", "pool:NaN:1"] {
+            assert!(
+                FaultConfig::from_spec(bad).is_err(),
+                "spec `{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_zero_never_fires() {
+        let cfg = FaultConfig::new(&ALL_SITES, 0.0, 5);
+        with_armed(cfg, || {
+            for _ in 0..256 {
+                assert!(!should_fail(FaultSite::PoolAcquire));
+            }
+        });
+    }
+}

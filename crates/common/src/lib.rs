@@ -29,6 +29,13 @@
 //! * [`pool`] — mutex-guarded free lists ([`Pool`]) recycling per-worker
 //!   arenas (BFS scratch, candidate vectors, bitmap rows) so the batched
 //!   query executor serves steady-state traffic without reallocating.
+//! * [`cancel`] — cooperative [`CancelToken`]s with per-query wall-clock
+//!   deadlines and the [`CompletionStatus`] tag distinguishing exact
+//!   answers from anytime best-so-far ones (the only lib module allowed
+//!   to read the wall clock; see the module docs for why that is sound).
+//! * [`fault`] — a deterministic, seeded fault-injection registry
+//!   (`KTG_FAULTS`) that the robustness test suites use to prove the
+//!   serving stack recovers from transient worker faults byte-identically.
 //! * [`KtgError`] — the workspace error type.
 
 
@@ -36,7 +43,9 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod cancel;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod id;
 pub mod parallel;
@@ -46,7 +55,9 @@ pub mod threshold;
 pub mod topn;
 
 pub use bitset::{EpochMarker, FixedBitSet};
+pub use cancel::{CancelToken, CompletionStatus, DegradeReason};
 pub use error::{KtgError, Result};
+pub use fault::{FaultConfig, FaultSite, InjectedFault};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
 pub use id::VertexId;
 pub use pool::{Pool, PoolGuard};

@@ -47,10 +47,29 @@ where
 {
     std::thread::scope(|scope| {
         let handles: Vec<_> = tasks.into_iter().map(|task| scope.spawn(task)).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
-            .collect()
+        // Join *every* handle before re-raising anything: resuming the
+        // first panic mid-iteration would drop the remaining handles
+        // inside the scope closure, turning a one-worker failure into an
+        // unwind race while other workers still run (and losing their
+        // panic messages to the default hook).
+        let joined: Vec<std::thread::Result<T>> =
+            handles.into_iter().map(|h| h.join()).collect();
+        let mut results = Vec::with_capacity(joined.len());
+        let mut first_panic = None;
+        for outcome in joined {
+            match outcome {
+                Ok(value) => results.push(value),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
     })
 }
 
@@ -92,6 +111,43 @@ mod tests {
         let payload = outcome.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "worker exploded");
+    }
+
+    #[test]
+    fn two_panics_joins_all_workers_and_reraises_the_first() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Regression: the old implementation re-raised on the first
+        // failed join, so handles after it were never joined explicitly
+        // and late workers could still be mid-flight when the panic left
+        // the collection loop. Every worker must run to completion and
+        // the *first* payload (task order) must be the one re-raised.
+        let completed = AtomicUsize::new(0);
+        let outcome = std::panic::catch_unwind(|| {
+            scope_join((0..6).map(|i| {
+                let completed = &completed;
+                move || {
+                    if i == 1 {
+                        panic!("first failure");
+                    }
+                    if i == 4 {
+                        panic!("second failure");
+                    }
+                    // Give the early panicker a head start so surviving
+                    // workers are genuinely still running when it fails.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    i
+                }
+            }))
+        });
+        let payload = outcome.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "first failure", "task-order-first payload wins");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            4,
+            "all non-panicking workers were joined to completion"
+        );
     }
 
     #[test]

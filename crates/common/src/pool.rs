@@ -42,6 +42,9 @@ impl<T> Pool<T> {
     /// Borrows an item, creating a fresh one with `make` when the free
     /// list is empty. The item returns to the pool when the guard drops.
     pub fn acquire_with(&self, make: impl FnOnce() -> T) -> PoolGuard<'_, T> {
+        // Fault-injection site (no-op unless a KTG_FAULTS schedule is
+        // armed); fires before the lock so it can never poison it.
+        crate::fault::inject(crate::fault::FaultSite::PoolAcquire);
         let item = self.lock().pop().unwrap_or_else(make);
         PoolGuard { pool: self, item: Some(item) }
     }
@@ -58,6 +61,16 @@ impl<T> Pool<T> {
 pub struct PoolGuard<'p, T> {
     pool: &'p Pool<T>,
     item: Option<T>,
+}
+
+impl<T> PoolGuard<'_, T> {
+    /// Consumes the guard *without* returning the item to the pool: the
+    /// item is dropped. Recovery paths use this after a panic unwound
+    /// through a borrower — the item's state is suspect, so it must not
+    /// be recycled into another query.
+    pub fn discard(mut self) {
+        self.item.take();
+    }
 }
 
 impl<T> Deref for PoolGuard<'_, T> {
@@ -111,6 +124,17 @@ mod tests {
             assert_eq!(pool.idle(), 0);
         }
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn discard_drops_instead_of_parking() {
+        let pool: Pool<Vec<u32>> = Pool::new();
+        let mut a = pool.acquire_with(Vec::new);
+        a.push(1);
+        a.discard();
+        assert_eq!(pool.idle(), 0, "discarded item must not re-enter the free list");
+        let b = pool.acquire_with(Vec::new);
+        assert!(b.is_empty(), "next acquire builds fresh, not the discarded item");
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::group::Group;
 use crate::network::AttributedGraph;
 use crate::query::KtgQuery;
 use crate::stats::SearchStats;
+use ktg_common::{CancelToken, CompletionStatus, DegradeReason};
 use ktg_index::DistanceOracle;
 use ktg_keywords::coverage;
 
@@ -209,6 +210,14 @@ pub struct BbOptions {
     /// built; beyond it (or at `0`, which disables bitmaps entirely) the
     /// engine probes the distance oracle pair by pair.
     pub bitmap_threshold: usize,
+    /// Per-query wall-clock budget in milliseconds. When it expires the
+    /// search stops cooperatively and returns its anytime best-so-far
+    /// groups with [`CompletionStatus::Degraded`]. `None` (the default)
+    /// runs to completion. Unlike `node_budget` this does **not** force
+    /// the sequential engine: a deadline that never fires leaves the
+    /// result exact and byte-identical across thread counts, and one
+    /// that does fire flags the result as degraded.
+    pub deadline_ms: Option<u64>,
 }
 
 impl BbOptions {
@@ -222,6 +231,7 @@ impl BbOptions {
             node_budget: None,
             threads: 1,
             bitmap_threshold: DEFAULT_BITMAP_THRESHOLD,
+            deadline_ms: None,
         }
     }
 
@@ -251,6 +261,12 @@ impl BbOptions {
         BbOptions { bitmap_threshold, ..self }
     }
 
+    /// Same options with a per-query wall-clock deadline in milliseconds
+    /// (`None` removes the deadline).
+    pub fn with_deadline_ms(self, deadline_ms: Option<u64>) -> Self {
+        BbOptions { deadline_ms, ..self }
+    }
+
     /// The worker count this configuration resolves to.
     fn resolved_threads(&self) -> usize {
         if self.threads == 0 {
@@ -273,6 +289,12 @@ pub struct KtgOutcome {
     /// work actually performed: in parallel runs they aggregate all
     /// workers and vary with thread count and timing.
     pub stats: SearchStats,
+    /// Whether `groups` is the proven optimum ([`CompletionStatus::Exact`])
+    /// or an anytime best-so-far cut short by a deadline, cancellation, or
+    /// node budget ([`CompletionStatus::Degraded`]). Degraded groups are
+    /// still *valid* — size, tenuity, coverage masks, and ordering all
+    /// hold, and they pass the checked-mode audit.
+    pub status: CompletionStatus,
 }
 
 impl KtgOutcome {
@@ -344,13 +366,45 @@ pub fn solve_with_candidates(
     run(query, oracle, cands, &ConflictKernel::Oracle, opts)
 }
 
-/// Dispatches to the sequential or parallel driver.
+/// [`solve_with_candidates`] with an externally-owned [`CancelToken`].
 ///
-/// `stop_at_coverage` and `node_budget` force the sequential engine: both
-/// semantics are defined by DFS discovery order ("the first admitted
-/// group reaching the floor", "the first `B` nodes"), which racing
-/// workers cannot reproduce bit-for-bit. Exact searches parallelize
-/// freely — their result is discovery-order independent.
+/// Callers that chain several inner searches under one budget — the
+/// DKTG-Greedy loop re-solving with `N = 1` each round — share a single
+/// token across all of them so the budget covers the whole chain rather
+/// than restarting per round. `opts.deadline_ms` is ignored in favor of
+/// the passed token.
+pub fn solve_with_candidates_token(
+    query: &KtgQuery,
+    oracle: &impl DistanceOracle,
+    cands: &[Candidate],
+    opts: &BbOptions,
+    cancel: Option<&CancelToken>,
+) -> KtgOutcome {
+    run_with_token(query, oracle, cands, &ConflictKernel::Oracle, opts, cancel)
+}
+
+/// Derives the outcome status from what the engines observed: a fired
+/// token wins (with its reason), then a node-budget truncation, then
+/// exact. The token's reason is read only when a worker actually stopped
+/// on it — a deadline that fires after the tree is exhausted leaves the
+/// result exact.
+pub(crate) fn completion_status(
+    stats: &SearchStats,
+    cancel: Option<&CancelToken>,
+) -> CompletionStatus {
+    if stats.cancelled {
+        let reason =
+            cancel.and_then(CancelToken::reason).unwrap_or(DegradeReason::Cancelled);
+        CompletionStatus::Degraded(reason)
+    } else if stats.truncated {
+        CompletionStatus::Degraded(DegradeReason::NodeBudget)
+    } else {
+        CompletionStatus::Exact
+    }
+}
+
+/// Dispatches to the sequential or parallel driver, creating a deadline
+/// token from `opts.deadline_ms` when one is set.
 fn run(
     query: &KtgQuery,
     oracle: &impl DistanceOracle,
@@ -358,13 +412,36 @@ fn run(
     kernel: &ConflictKernel,
     opts: &BbOptions,
 ) -> KtgOutcome {
+    let owned = CancelToken::for_deadline_ms(opts.deadline_ms);
+    run_with_token(query, oracle, cands, kernel, opts, owned.as_ref())
+}
+
+/// Dispatches to the sequential or parallel driver.
+///
+/// `stop_at_coverage` and `node_budget` force the sequential engine: both
+/// semantics are defined by DFS discovery order ("the first admitted
+/// group reaching the floor", "the first `B` nodes"), which racing
+/// workers cannot reproduce bit-for-bit. Exact searches parallelize
+/// freely — their result is discovery-order independent. A deadline does
+/// *not* force sequential: if it fires, the (timing-dependent) result is
+/// flagged `Degraded`; if it never fires, the result is exact.
+fn run_with_token(
+    query: &KtgQuery,
+    oracle: &impl DistanceOracle,
+    cands: &[Candidate],
+    kernel: &ConflictKernel,
+    opts: &BbOptions,
+    cancel: Option<&CancelToken>,
+) -> KtgOutcome {
     let workers = opts.resolved_threads().min(cands.len().max(1));
     let order_dependent = opts.stop_at_coverage.is_some() || opts.node_budget.is_some();
-    if workers <= 1 || order_dependent {
-        sequential::run_sequential(query, oracle, cands, kernel, opts)
+    let mut outcome = if workers <= 1 || order_dependent {
+        sequential::run_sequential(query, oracle, cands, kernel, opts, cancel)
     } else {
-        parallel::run_parallel(query, oracle, cands, kernel, opts, workers)
-    }
+        parallel::run_parallel(query, oracle, cands, kernel, opts, workers, cancel)
+    };
+    outcome.status = completion_status(&outcome.stats, cancel);
+    outcome
 }
 
 /// Sum of the `need` largest VKC counts in `s_r` w.r.t. `covered`.
@@ -692,7 +769,11 @@ mod tests {
         let oracle = ExactOracle::build(net.graph());
         let out = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
         assert!((out.best_qkc(5) - 0.8).abs() < 1e-12);
-        let empty = KtgOutcome { groups: vec![], stats: SearchStats::default() };
+        let empty = KtgOutcome {
+            groups: vec![],
+            stats: SearchStats::default(),
+            status: CompletionStatus::Exact,
+        };
         assert_eq!(empty.best_qkc(5), 0.0);
     }
 
@@ -715,6 +796,77 @@ mod tests {
             &BbOptions { node_budget: Some(u64::MAX), ..BbOptions::vkc_deg() },
         );
         assert!(!full.stats.truncated);
+    }
+
+    #[test]
+    fn node_budget_status_is_degraded() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = ExactOracle::build(net.graph());
+        let truncated = solve(
+            &net,
+            &query,
+            &oracle,
+            &BbOptions { node_budget: Some(2), ..BbOptions::vkc_deg() },
+        );
+        assert_eq!(
+            truncated.status,
+            CompletionStatus::Degraded(DegradeReason::NodeBudget)
+        );
+        let full = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        assert_eq!(full.status, CompletionStatus::Exact);
+    }
+
+    #[test]
+    fn generous_deadline_stays_exact_and_identical() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = ExactOracle::build(net.graph());
+        let plain = solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        let budgeted = solve(
+            &net,
+            &query,
+            &oracle,
+            &BbOptions::vkc_deg().with_deadline_ms(Some(600_000)),
+        );
+        assert_eq!(budgeted.status, CompletionStatus::Exact);
+        assert_eq!(budgeted.groups, plain.groups, "unfired deadline must not change anything");
+    }
+
+    #[test]
+    fn fired_token_stops_search_with_degraded_status() {
+        let net = fixtures::figure1();
+        let query = paper_query(&net);
+        let oracle = BfsOracle::new(net.graph());
+        let masks = net.compile(query.keywords());
+        let cands = candidates::collect_vec(net.graph(), &masks);
+
+        // An already-fired deadline token: the very first node check
+        // observes it, so the search stops deterministically at the root
+        // with an empty (valid, trivially verifier-clean) result.
+        let token = ktg_common::CancelToken::with_deadline_ms(0);
+        assert!(token.poll(), "0 ms deadline fires on first poll");
+        let out =
+            solve_with_candidates_token(&query, &oracle, &cands, &BbOptions::vkc_deg(), Some(&token));
+        assert!(out.stats.cancelled);
+        assert_eq!(out.status, CompletionStatus::Degraded(DegradeReason::Deadline));
+        assert!(out.stats.nodes <= 1, "cancelled search must stop immediately");
+
+        // Explicit cancellation reports its own reason.
+        let manual = ktg_common::CancelToken::new();
+        manual.cancel();
+        let out = solve_with_candidates_token(
+            &query, &oracle, &cands, &BbOptions::vkc_deg(), Some(&manual),
+        );
+        assert_eq!(out.status, CompletionStatus::Degraded(DegradeReason::Cancelled));
+
+        // A live token changes nothing.
+        let live = ktg_common::CancelToken::new();
+        let with_live =
+            solve_with_candidates_token(&query, &oracle, &cands, &BbOptions::vkc_deg(), Some(&live));
+        let without = solve_with_candidates(&query, &oracle, &cands, &BbOptions::vkc_deg());
+        assert_eq!(with_live.status, CompletionStatus::Exact);
+        assert_eq!(with_live.groups, without.groups);
     }
 
     #[test]

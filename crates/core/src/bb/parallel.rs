@@ -27,11 +27,13 @@ use crate::group::RankedGroup;
 use crate::query::KtgQuery;
 use crate::stats::SearchStats;
 use ktg_common::parallel::scope_join;
-use ktg_common::{SharedThreshold, TopN};
+use ktg_common::{CancelToken, CompletionStatus, SharedThreshold, TopN};
 use ktg_index::DistanceOracle;
 
 /// Fans the search out over `workers` threads and deterministically
-/// merges the per-worker results.
+/// merges the per-worker results. All workers share one `token`: the
+/// first to poll an expired deadline fires it for everyone, so the whole
+/// query — not each worker — observes a single budget.
 pub(super) fn run_parallel(
     query: &KtgQuery,
     oracle: &impl DistanceOracle,
@@ -39,14 +41,16 @@ pub(super) fn run_parallel(
     kernel: &ConflictKernel,
     opts: &BbOptions,
     workers: usize,
+    token: Option<&CancelToken>,
 ) -> KtgOutcome {
     debug_assert!(workers > 1, "run_parallel needs at least two workers");
     let shared = SharedThreshold::new();
     let shared_ref = &shared;
     let worker_parts = scope_join((0..workers).map(|offset| {
         move || {
-            let mut engine =
-                Engine::new(query, oracle, cands, kernel, opts, Some(shared_ref), offset, workers);
+            let mut engine = Engine::new(
+                query, oracle, cands, kernel, opts, Some(shared_ref), offset, workers, token,
+            );
             engine.run();
             engine.into_parts()
         }
@@ -67,5 +71,8 @@ pub(super) fn run_parallel(
     KtgOutcome {
         groups: merged.into_sorted_desc().into_iter().map(|r| r.group).collect(),
         stats,
+        // Placeholder: the dispatcher (`bb::run_with_token`) derives the
+        // real status from the merged stats and the token.
+        status: CompletionStatus::Exact,
     }
 }

@@ -21,7 +21,7 @@ use crate::candidates::Candidate;
 use crate::group::{Group, RankedGroup};
 use crate::query::KtgQuery;
 use crate::stats::SearchStats;
-use ktg_common::{FixedBitSet, SharedThreshold, TopN, VertexId};
+use ktg_common::{cancel, CancelToken, CompletionStatus, FixedBitSet, SharedThreshold, TopN, VertexId};
 use ktg_index::DistanceOracle;
 use ktg_keywords::coverage;
 
@@ -32,13 +32,17 @@ pub(super) fn run_sequential(
     cands: &[Candidate],
     kernel: &ConflictKernel,
     opts: &BbOptions,
+    token: Option<&CancelToken>,
 ) -> KtgOutcome {
-    let mut engine = Engine::new(query, oracle, cands, kernel, opts, None, 0, 1);
+    let mut engine = Engine::new(query, oracle, cands, kernel, opts, None, 0, 1, token);
     engine.run();
     let (results, stats) = engine.into_parts();
     KtgOutcome {
         groups: results.into_sorted_desc().into_iter().map(|r| r.group).collect(),
         stats,
+        // Placeholder: the dispatcher (`bb::run_with_token`) derives the
+        // real status from the merged stats and the token.
+        status: CompletionStatus::Exact,
     }
 }
 
@@ -53,6 +57,9 @@ pub(super) struct Engine<'a, O: DistanceOracle> {
     opts: &'a BbOptions,
     /// Cross-worker pruning floor; `None` in sequential runs.
     shared: Option<&'a SharedThreshold>,
+    /// Cooperative deadline/cancellation flag, shared by every worker of
+    /// the same query; `None` for unbudgeted searches.
+    token: Option<&'a CancelToken>,
     root_offset: usize,
     root_stride: usize,
     results: TopN<RankedGroup>,
@@ -80,6 +87,7 @@ impl<'a, O: DistanceOracle> Engine<'a, O> {
         shared: Option<&'a SharedThreshold>,
         root_offset: usize,
         root_stride: usize,
+        token: Option<&'a CancelToken>,
     ) -> Self {
         let avail = if kernel.is_bitmap() && opts.kline_filtering {
             vec![FixedBitSet::new(cands.len()); query.p()]
@@ -93,6 +101,7 @@ impl<'a, O: DistanceOracle> Engine<'a, O> {
             kernel,
             opts,
             shared,
+            token,
             root_offset,
             root_stride,
             results: TopN::new(query.n()),
@@ -168,14 +177,31 @@ impl<'a, O: DistanceOracle> Engine<'a, O> {
         }
     }
 
-    /// Counts a search-tree node against the budget; returns `false` when
-    /// the budget is exhausted (the search then unwinds).
+    /// Counts a search-tree node against the budgets; returns `false`
+    /// when a budget is exhausted or the cancel token has fired (the
+    /// search then unwinds, keeping its best-so-far results).
     #[inline]
     fn charge_node(&mut self) -> bool {
         self.stats.nodes += 1;
         if let Some(budget) = self.opts.node_budget {
             if self.stats.nodes > budget {
                 self.stats.truncated = true;
+                self.stop = true;
+                return false;
+            }
+        }
+        if let Some(token) = self.token {
+            // Clock reads are amortized: one `poll` (which reads the
+            // wall clock inside `ktg_common::cancel`) every POLL_STRIDE
+            // nodes, a relaxed load otherwise — another worker or an
+            // earlier poll may already have fired the token.
+            let fired = if self.stats.nodes.is_multiple_of(cancel::POLL_STRIDE) {
+                token.poll()
+            } else {
+                token.is_cancelled()
+            };
+            if fired {
+                self.stats.cancelled = true;
                 self.stop = true;
                 return false;
             }

@@ -39,6 +39,7 @@ pub fn solve_with_candidates(
     KtgOutcome {
         groups: results.into_sorted_desc().into_iter().map(|r| r.group).collect(),
         stats,
+        status: ktg_common::CompletionStatus::Exact,
     }
 }
 

@@ -22,7 +22,7 @@ use crate::group::Group;
 use crate::network::AttributedGraph;
 use crate::query::KtgQuery;
 use crate::stats::SearchStats;
-use ktg_common::{FxHashSet, KtgError, Result, VertexId};
+use ktg_common::{CancelToken, CompletionStatus, FxHashSet, KtgError, Result, VertexId};
 use ktg_index::DistanceOracle;
 
 /// A validated DKTG query: a KTG query plus the score weight `γ`.
@@ -70,6 +70,13 @@ pub struct DktgOutcome {
     pub score: f64,
     /// Aggregated search instrumentation across the greedy iterations.
     pub stats: SearchStats,
+    /// Whether every greedy round ran to completion
+    /// ([`CompletionStatus::Exact`]) or the chain was cut short by a
+    /// deadline/cancellation/node budget ([`CompletionStatus::Degraded`]):
+    /// the groups found so far are still valid and disjoint, there may
+    /// just be fewer (or lower-coverage) panels than an unbudgeted run
+    /// would find.
+    pub status: CompletionStatus,
 }
 
 /// Jaccard distance between two groups (Definition 9):
@@ -178,28 +185,61 @@ pub fn solve_with_candidates(
     pool: &mut Vec<Candidate>,
     inner_opts: &BbOptions,
 ) -> DktgOutcome {
-    let inner_query = query.base.with_n(1).expect("N = 1 is valid");
+    // One token for the whole greedy chain: `deadline_ms` budgets the
+    // DKTG query end to end, not each inner N = 1 solve separately.
+    let token = CancelToken::for_deadline_ms(inner_opts.deadline_ms);
+    solve_with_candidates_token(query, oracle, pool, inner_opts, token.as_ref())
+}
+
+/// [`solve_with_candidates`] with an externally-owned [`CancelToken`]
+/// shared across every greedy round (`inner_opts.deadline_ms` is ignored
+/// in favor of the passed token).
+pub fn solve_with_candidates_token(
+    query: &DktgQuery,
+    oracle: &impl DistanceOracle,
+    pool: &mut Vec<Candidate>,
+    inner_opts: &BbOptions,
+    cancel: Option<&CancelToken>,
+) -> DktgOutcome {
     let mut groups: Vec<Group> = Vec::new();
     let mut stats = SearchStats::default();
     // The coverage bar C_max: None until the first group fixes it.
     let mut c_max: Option<u32> = None;
 
-    while groups.len() < query.base.n() && pool.len() >= query.base.p() {
-        let opts = BbOptions { stop_at_coverage: c_max, ..*inner_opts };
-        // The engine sorts a private index vector, never the slice, so
-        // the pool passes down by reference — no per-round clone.
-        let outcome = bb::solve_with_candidates(&inner_query, oracle, pool, &opts);
-        stats.merge(&outcome.stats);
-        let Some(best) = outcome.groups.into_iter().next() else {
-            break; // no feasible group left in the remaining pool
-        };
-        // Strategy (2) of §VI-B: if the bar was missed, keep the group
-        // anyway and lower the bar to its coverage.
-        c_max = Some(best.coverage_count());
-        // Remove the new group's members from the pool — the maximal
-        // contribution to the diversity term.
-        pool.retain(|c| !best.contains(c.v));
-        groups.push(best);
+    // N = 1 is always a valid result size, so `with_n(1)` can only fail
+    // if the base query were somehow out of domain — in that case the
+    // greedy loop has nothing to iterate and the empty outcome below is
+    // the honest answer (no panic in library code).
+    if let Ok(inner_query) = query.base.with_n(1) {
+        while groups.len() < query.base.n() && pool.len() >= query.base.p() {
+            // Between-round check: the inner engines poll the clock; here a
+            // relaxed load suffices to stop starting new rounds.
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    stats.cancelled = true;
+                    break;
+                }
+            }
+            // The shared token is passed explicitly, so the inner options
+            // must not spawn their own per-round deadline.
+            let opts =
+                BbOptions { stop_at_coverage: c_max, deadline_ms: None, ..*inner_opts };
+            // The engine sorts a private index vector, never the slice, so
+            // the pool passes down by reference — no per-round clone.
+            let outcome =
+                bb::solve_with_candidates_token(&inner_query, oracle, pool, &opts, cancel);
+            stats.merge(&outcome.stats);
+            let Some(best) = outcome.groups.into_iter().next() else {
+                break; // no feasible group left in the remaining pool
+            };
+            // Strategy (2) of §VI-B: if the bar was missed, keep the group
+            // anyway and lower the bar to its coverage.
+            c_max = Some(best.coverage_count());
+            // Remove the new group's members from the pool — the maximal
+            // contribution to the diversity term.
+            pool.retain(|c| !best.contains(c.v));
+            groups.push(best);
+        }
     }
 
     let num_kw = query.base.keywords().len();
@@ -212,6 +252,7 @@ pub fn solve_with_candidates(
             .min(1.0),
         score: score(&groups, query.gamma, num_kw),
         groups,
+        status: bb::completion_status(&stats, cancel),
         stats,
     }
 }
@@ -307,6 +348,46 @@ mod tests {
         let out = solve(&net, &paper_dktg(&net, 10), &oracle);
         assert!(out.groups.len() < 10);
         assert!(!out.groups.is_empty());
+    }
+
+    #[test]
+    fn cancelled_token_degrades_gracefully() {
+        let net = fixtures::figure1();
+        let oracle = ExactOracle::build(net.graph());
+        let query = paper_dktg(&net, 2);
+        let masks = net.compile(query.base.keywords());
+        let mut pool = crate::candidates::collect_vec(net.graph(), &masks);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = solve_with_candidates_token(
+            &query,
+            &oracle,
+            &mut pool,
+            &BbOptions::vkc_deg(),
+            Some(&token),
+        );
+        assert!(out.groups.is_empty(), "pre-cancelled chain starts no rounds");
+        assert_eq!(
+            out.status,
+            CompletionStatus::Degraded(ktg_common::DegradeReason::Cancelled)
+        );
+        assert_eq!(out.score, 0.0);
+    }
+
+    #[test]
+    fn unfired_deadline_keeps_exact_status() {
+        let net = fixtures::figure1();
+        let oracle = ExactOracle::build(net.graph());
+        let query = paper_dktg(&net, 2);
+        let out = solve_with_options(
+            &net,
+            &query,
+            &oracle,
+            &BbOptions::vkc_deg().with_deadline_ms(Some(600_000)),
+        );
+        let plain = solve(&net, &query, &oracle);
+        assert_eq!(out.status, CompletionStatus::Exact);
+        assert_eq!(out.groups, plain.groups);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   `γ`, the member ordering, both pruning toggles, and the bitmap
 //!   threshold. Worker-thread counts are deliberately *excluded*: results
 //!   are byte-identical across thread counts, so including them would
-//!   only split the hit rate.
+//!   only split the hit rate. Deadlines are excluded for the same reason:
+//!   the executor only ever inserts `Exact` answers, and an exact answer
+//!   is independent of whatever deadline failed to fire.
 //! * **Epoch guard.** Every entry is stamped with the graph epoch it was
 //!   computed at. The executor bumps its epoch on each applied edge
 //!   update, and a lookup under a newer epoch drops the shard's stale
@@ -183,6 +185,10 @@ impl<V: Clone> ResultCache<V> {
     /// guarantees this: mutation takes `&mut self`, so no lookup can race
     /// an epoch bump).
     pub fn get(&self, key: &CacheKey, epoch: u64) -> Option<V> {
+        // Fault-injection site, fired *before* the shard lock is taken so
+        // an injected panic can never poison (or skew) shard state — a
+        // retried lookup sees the cache exactly as the first attempt did.
+        ktg_common::fault::inject(ktg_common::fault::FaultSite::CacheLookup);
         let mut shard = self.lock(&self.shards[key.shard_index()]);
         if shard.epoch != epoch {
             shard.map.clear();

@@ -31,11 +31,25 @@
 //! [`ktg_index::kline_conflict_bitmaps`]. The differential suite
 //! (`tests/tests/serve_diff.rs`) enforces this across thread counts,
 //! cache settings, and interleaved updates.
+//!
+//! **Robustness.** Every workload item executes under
+//! [`std::panic::catch_unwind`]: a panicking item (injected fault or
+//! genuine bug) discards its borrowed arena — half-mutated scratch never
+//! returns to the pool — is retried once with fault injection
+//! suppressed, and on a second failure becomes an
+//! [`ItemOutcome::Failed`] record while the session keeps draining the
+//! rest of the run. [`ServeOptions::max_inflight`] bounds admission per
+//! [`ServeSession::run`] call, shedding the excess as
+//! [`ItemOutcome::Overloaded`]. Deadline-cut solves come back flagged
+//! [`CompletionStatus::Degraded`]; only `Exact` answers ever enter the
+//! result cache.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use ktg_common::fault::{self, FaultSite};
 use ktg_common::parallel::{scope_join, worker_count};
-use ktg_common::{FixedBitSet, Pool, VertexId};
+use ktg_common::{CompletionStatus, FixedBitSet, Pool, PoolGuard, VertexId};
 use ktg_index::{
     conflict_bitmaps_cached, kline_conflict_bitmaps, DistanceOracle, DynamicNlrnl, KernelScratch,
     NeighborhoodCache,
@@ -59,6 +73,10 @@ pub struct KtgAnswer {
     pub groups: Vec<Group>,
     /// Whether this answer came out of the result cache.
     pub cached: bool,
+    /// `Exact`, or `Degraded` when a deadline/budget cut the search and
+    /// the groups are best-so-far. Cache hits are always `Exact` (only
+    /// exact answers are inserted).
+    pub status: CompletionStatus,
 }
 
 /// The answer to one DKTG workload item.
@@ -74,6 +92,10 @@ pub struct DktgAnswer {
     pub score: f64,
     /// Whether this answer came out of the result cache.
     pub cached: bool,
+    /// `Exact`, or `Degraded` when the shared greedy-round budget fired
+    /// and the groups found so far were kept. Cache hits are always
+    /// `Exact`.
+    pub status: CompletionStatus,
 }
 
 /// The outcome of one workload item, in workload order.
@@ -90,6 +112,16 @@ pub enum ItemOutcome {
         /// Whether the graph actually changed (and the epoch advanced).
         applied: bool,
     },
+    /// The item's worker panicked on the solve *and* on the suppressed
+    /// retry; its arena was discarded both times and the session moved
+    /// on. `reason` renders the second panic's payload.
+    Failed {
+        /// Human-readable panic payload of the final attempt.
+        reason: String,
+    },
+    /// Shed unsolved by the [`super::ServeOptions::max_inflight`]
+    /// admission bound (see [`ktg_common::KtgError::Overloaded`]).
+    Overloaded,
 }
 
 /// What a cached entry stores: exactly the result-bearing fields, never
@@ -254,6 +286,13 @@ impl ServeSession {
     /// order. Maximal runs of queries execute in parallel; updates apply
     /// sequentially between them.
     pub fn run(&mut self, workload: &[WorkloadItem]) -> Vec<ItemOutcome> {
+        // Admission budget for this call: only *query* items count
+        // against it. Edge updates always apply — shedding one would
+        // silently fork the graph state the surviving queries see.
+        let mut admit_left = match self.options.max_inflight {
+            0 => usize::MAX,
+            bound => bound,
+        };
         let mut out = Vec::with_capacity(workload.len());
         let mut i = 0;
         while i < workload.len() {
@@ -271,7 +310,13 @@ impl ServeSession {
                     while i < workload.len() && workload[i].is_query() {
                         i += 1;
                     }
-                    self.run_queries(&workload[start..i], &mut out);
+                    let run = &workload[start..i];
+                    let admitted = run.len().min(admit_left);
+                    admit_left -= admitted;
+                    self.run_queries(&run[..admitted], &mut out);
+                    // Shed, don't solve: refusals are reported in place
+                    // so outcomes stay aligned with the workload.
+                    out.extend(run[admitted..].iter().map(|_| ItemOutcome::Overloaded));
                 }
             }
         }
@@ -320,8 +365,10 @@ impl ServeSession {
         let oracle = self.dynamic.index();
 
         if workers <= 1 {
-            let mut arena = self.arenas.acquire_with(Arena::default);
-            out.extend(items.iter().map(|item| self.answer(item, oracle, &mut arena)));
+            let mut slot: Option<PoolGuard<'_, Arena>> = None;
+            out.extend(
+                items.iter().map(|item| self.answer_isolated(item, oracle, &mut slot)),
+            );
             return;
         }
 
@@ -329,12 +376,15 @@ impl ServeSession {
         let parts = scope_join((0..workers).map(|_| {
             let next = &next;
             move || {
-                let mut arena = self.arenas.acquire_with(Arena::default);
+                // The arena is acquired lazily inside each isolated
+                // attempt so an injected pool-acquire fault is charged to
+                // the item that triggered it, not to worker startup.
+                let mut slot: Option<PoolGuard<'_, Arena>> = None;
                 let mut local = Vec::new();
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(idx) else { break };
-                    local.push((idx, self.answer(item, oracle, &mut arena)));
+                    local.push((idx, self.answer_isolated(item, oracle, &mut slot)));
                 }
                 local
             }
@@ -350,6 +400,63 @@ impl ServeSession {
             Some(outcome) => outcome,
             None => unreachable!("every claimed index produces an outcome"),
         }));
+    }
+
+    /// Answers one item with panic isolation and a retry-once policy.
+    ///
+    /// A panicking attempt discards the borrowed arena (`slot`) so
+    /// half-mutated scratch never re-enters the pool, then retries once
+    /// under [`fault::suppressed`]: an *injected* fault cannot re-fire,
+    /// so transients always recover to the byte-identical answer, while a
+    /// genuine persistent bug fails again and is recorded as
+    /// [`ItemOutcome::Failed`] — the session keeps draining.
+    fn answer_isolated<'p>(
+        &'p self,
+        item: &WorkloadItem,
+        oracle: &impl DistanceOracle,
+        slot: &mut Option<PoolGuard<'p, Arena>>,
+    ) -> ItemOutcome {
+        match self.attempt(item, oracle, slot) {
+            Ok(outcome) => outcome,
+            Err(_first) => {
+                if let Some(guard) = slot.take() {
+                    guard.discard();
+                }
+                match fault::suppressed(|| self.attempt(item, oracle, slot)) {
+                    Ok(outcome) => outcome,
+                    Err(second) => {
+                        if let Some(guard) = slot.take() {
+                            guard.discard();
+                        }
+                        ItemOutcome::Failed { reason: panic_reason(second.as_ref()) }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One guarded solve attempt. `AssertUnwindSafe` is justified by the
+    /// discard-on-panic contract: the arena in `slot` is the only state a
+    /// panicking attempt can leave half-mutated, and `answer_isolated`
+    /// throws it away before anything observes it again (the caches
+    /// mutate whole entries under poison-recovering locks, and all fault
+    /// sites fire *before* their lock is taken).
+    fn attempt<'p>(
+        &'p self,
+        item: &WorkloadItem,
+        oracle: &impl DistanceOracle,
+        slot: &mut Option<PoolGuard<'p, Arena>>,
+    ) -> std::thread::Result<ItemOutcome> {
+        catch_unwind(AssertUnwindSafe(|| {
+            fault::inject(FaultSite::WorkerSolve);
+            if slot.is_none() {
+                *slot = Some(self.arenas.acquire_with(Arena::default));
+            }
+            match slot.as_mut() {
+                Some(arena) => self.answer(item, oracle, arena),
+                None => unreachable!("arena slot was filled just above"),
+            }
+        }))
     }
 
     /// Engine options for inner solves: worker parallelism lives at the
@@ -390,15 +497,21 @@ impl ServeSession {
                 // Checked mode re-audits even cached answers: a cache bug
                 // shows up as a verification failure, not a wrong result.
                 crate::verify::enforce(&self.net, query, &groups);
-                return KtgAnswer { groups, cached: true };
+                return KtgAnswer { groups, cached: true, status: CompletionStatus::Exact };
             }
         }
         let outcome = self.solve_ktg(query, oracle, arena, &opts);
-        if let Some(key) = key {
-            let canonical = MaskPermutation::of(query).groups_to_canonical(outcome.groups.clone());
-            self.results.insert(key, self.epoch, CachedAnswer::Ktg(canonical));
+        // Only exact answers are cacheable: a deadline-cut result is
+        // valid best-so-far but not canonical, and must not shadow the
+        // exact answer for later repeats of the same query.
+        if outcome.status.is_exact() {
+            if let Some(key) = key {
+                let canonical =
+                    MaskPermutation::of(query).groups_to_canonical(outcome.groups.clone());
+                self.results.insert(key, self.epoch, CachedAnswer::Ktg(canonical));
+            }
         }
-        KtgAnswer { groups: outcome.groups, cached: false }
+        KtgAnswer { groups: outcome.groups, cached: false, status: outcome.status }
     }
 
     /// A fresh KTG solve through the pooled arena, taking the
@@ -464,7 +577,14 @@ impl ServeSession {
                 let groups =
                     MaskPermutation::of(query.base()).groups_from_canonical(groups);
                 crate::verify::enforce_dktg(&self.net, query, &groups);
-                return DktgAnswer { groups, diversity, min_qkc, score, cached: true };
+                return DktgAnswer {
+                    groups,
+                    diversity,
+                    min_qkc,
+                    score,
+                    cached: true,
+                    status: CompletionStatus::Exact,
+                };
             }
         }
         // Same code path as `dktg::solve_with_options`, minus the
@@ -474,7 +594,7 @@ impl ServeSession {
         candidates::collect(self.net.graph(), &masks, &mut arena.cands);
         let outcome = dktg::solve_with_candidates(query, oracle, &mut arena.cands, &opts);
         crate::verify::enforce_dktg(&self.net, query, &outcome.groups);
-        if let Some(key) = key {
+        if let Some(key) = key.filter(|_| outcome.status.is_exact()) {
             let canonical =
                 MaskPermutation::of(query.base()).groups_to_canonical(outcome.groups.clone());
             self.results.insert(
@@ -494,8 +614,23 @@ impl ServeSession {
             min_qkc: outcome.min_qkc,
             score: outcome.score,
             cached: false,
+            status: outcome.status,
         }
     }
+}
+
+/// Renders a caught panic payload for an [`ItemOutcome::Failed`] record.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(injected) = payload.downcast_ref::<fault::InjectedFault>() {
+        return injected.to_string();
+    }
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        return (*msg).to_string();
+    }
+    if let Some(msg) = payload.downcast_ref::<String>() {
+        return msg.clone();
+    }
+    "worker panicked with a non-string payload".to_string()
 }
 
 #[cfg(test)]
@@ -679,6 +814,143 @@ ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
         let out = session.run(&[WorkloadItem::Insert(VertexId(0), VertexId(9999))]);
         assert_eq!(out, vec![ItemOutcome::Update { applied: false }]);
         assert_eq!(session.epoch(), 0);
+    }
+
+    /// Serializes tests that arm the process-global fault registry.
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        match LOCK.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// A query interned against a larger vocabulary: its keyword id is
+    /// out of range for figure1's inverted index, so compiling it panics
+    /// (a genuine, persistent bug — unlike an injected fault, the retry
+    /// fails the same way).
+    fn poison_item() -> WorkloadItem {
+        let mut vocab = ktg_keywords::Vocabulary::new();
+        vocab.intern_all(fixtures::FIGURE1_TERMS);
+        vocab.intern_all(["XX"]);
+        let qk = ktg_keywords::QueryKeywords::from_terms(&vocab, ["XX"]).unwrap();
+        WorkloadItem::Ktg(KtgQuery::new(qk, 2, 1, 1).unwrap())
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_session_drains() {
+        let net = fixtures::figure1();
+        let expect = reference_ktg(&net);
+        for threads in [1usize, 2] {
+            let mut session = ServeSession::new(
+                net.clone(),
+                ServeOptions { threads, ..ServeOptions::default() },
+            );
+            let mut workload = paper_workload(&net);
+            workload.insert(1, poison_item());
+            let out = session.run(&workload);
+            assert_eq!(out.len(), 5);
+            let ItemOutcome::Failed { reason } = &out[1] else {
+                panic!("expected Failed, got {:?}", out[1])
+            };
+            assert!(reason.contains("index out of bounds"), "reason: {reason}");
+            let ItemOutcome::Ktg(first) = &out[0] else { panic!("expected ktg") };
+            assert_eq!(first.groups, expect);
+            let ItemOutcome::Ktg(repeat) = &out[3] else { panic!("expected ktg") };
+            assert_eq!(repeat.groups, expect, "items after the failure still answer");
+            // The session itself survives the panic: a fresh run works.
+            let again = session.run(&paper_workload(&net));
+            assert!(matches!(&again[0], ItemOutcome::Ktg(a) if a.groups == expect));
+        }
+    }
+
+    #[test]
+    fn injected_faults_recover_byte_identically() {
+        let _guard = fault_lock();
+        let net = fixtures::figure1();
+        let mut workload = paper_workload(&net);
+        workload.extend(paper_workload(&net));
+        let opts = || ServeOptions { threads: 1, ..ServeOptions::default() };
+        let baseline = ServeSession::new(net.clone(), opts()).run(&workload);
+        for seed in [1u64, 7, 99] {
+            ktg_common::fault::set_config(Some(ktg_common::FaultConfig::new(
+                &ktg_common::fault::ALL_SITES,
+                1.0,
+                seed,
+            )));
+            let faulted = ServeSession::new(net.clone(), opts()).run(&workload);
+            ktg_common::fault::set_config(None);
+            assert_eq!(baseline, faulted, "seed {seed}: retries must restore the answers");
+            assert!(
+                !faulted.iter().any(|o| matches!(o, ItemOutcome::Failed { .. })),
+                "injected faults are transient — retry-once must absorb them"
+            );
+        }
+    }
+
+    #[test]
+    fn max_inflight_sheds_excess_as_overloaded() {
+        let net = fixtures::figure1();
+        let mut workload = paper_workload(&net);
+        workload.extend(paper_workload(&net));
+        let mut session = ServeSession::new(
+            net.clone(),
+            ServeOptions { threads: 1, max_inflight: 3, ..ServeOptions::default() },
+        );
+        let out = session.run(&workload);
+        assert_eq!(out.len(), 8);
+        for o in &out[..3] {
+            assert!(!matches!(o, ItemOutcome::Overloaded), "admitted items are solved");
+        }
+        for o in &out[3..] {
+            assert_eq!(*o, ItemOutcome::Overloaded);
+        }
+        // The budget is per `run` call: the next call admits again.
+        let again = session.run(&paper_workload(&net));
+        assert!(matches!(again[0], ItemOutcome::Ktg(_)));
+        // Updates never count against (or get shed by) the bound.
+        let mixed = parse_workload(
+            "\
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+insert 0 5
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+",
+            &net,
+        )
+        .unwrap();
+        let mut tight = ServeSession::new(
+            net.clone(),
+            ServeOptions { threads: 1, max_inflight: 1, ..ServeOptions::default() },
+        );
+        let out = tight.run(&mixed);
+        assert!(matches!(out[0], ItemOutcome::Ktg(_)));
+        assert_eq!(out[1], ItemOutcome::Update { applied: true });
+        assert_eq!(out[2], ItemOutcome::Overloaded);
+    }
+
+    #[test]
+    fn degraded_answers_are_flagged_and_never_cached() {
+        let net = fixtures::figure1();
+        let engine = BbOptions { node_budget: Some(1), ..BbOptions::vkc_deg() };
+        let mut session = ServeSession::new(
+            net.clone(),
+            ServeOptions { threads: 1, engine, ..ServeOptions::default() },
+        );
+        let workload = parse_workload(
+            "\
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+",
+            &net,
+        )
+        .unwrap();
+        let out = session.run(&workload);
+        for o in &out {
+            let ItemOutcome::Ktg(ans) = o else { panic!("expected ktg") };
+            assert!(!ans.status.is_exact(), "budget-cut solves must be flagged");
+            assert!(!ans.cached, "degraded answers must not come from the cache");
+        }
+        assert_eq!(session.stats().result_hits, 0, "nothing degraded was inserted");
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub struct ServeOptions {
     /// `1` per solve; the result-affecting fields (ordering, pruning
     /// toggles, bitmap threshold) are folded into every cache key.
     pub engine: BbOptions,
+    /// Admission bound: at most this many *query* items are solved per
+    /// [`ServeSession::run`] call; the excess is shed unsolved as
+    /// [`ItemOutcome::Overloaded`] (edge updates always apply — dropping
+    /// them would silently fork the graph state). `0` means unbounded.
+    pub max_inflight: usize,
 }
 
 impl Default for ServeOptions {
@@ -73,6 +78,7 @@ impl Default for ServeOptions {
             use_cache: true,
             cache_entries: 4096,
             engine: BbOptions::vkc_deg(),
+            max_inflight: 0,
         }
     }
 }

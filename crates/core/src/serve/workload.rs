@@ -47,6 +47,12 @@ impl WorkloadItem {
     }
 }
 
+/// Longest accepted workload line, in bytes. Real workload lines are
+/// tens of bytes; a multi-kilobyte "line" means a corrupt (or binary)
+/// file was fed in, and it is refused with a line number before any
+/// field parsing looks at its contents.
+pub const MAX_LINE_BYTES: usize = 4096;
+
 fn line_err(lineno: usize, msg: impl std::fmt::Display) -> KtgError {
     KtgError::input(format!("workload line {lineno}: {msg}"))
 }
@@ -69,7 +75,13 @@ fn parse_fields<'a>(
             return Err(line_err(lineno, format!("expected key=value, got `{tok}`")));
         };
         let bad = |what: &str| line_err(lineno, format!("invalid {what} `{val}`"));
+        let dup = || line_err(lineno, format!("duplicate field `{key}`"));
         match key {
+            "terms" if f.terms.is_some() => return Err(dup()),
+            "p" if f.p.is_some() => return Err(dup()),
+            "k" if f.k.is_some() => return Err(dup()),
+            "n" if f.n.is_some() => return Err(dup()),
+            "gamma" if f.gamma.is_some() => return Err(dup()),
             "terms" => f.terms = Some(val),
             "p" => f.p = Some(val.parse().map_err(|_| bad("group size p"))?),
             "k" => f.k = Some(val.parse().map_err(|_| bad("tenuity k"))?),
@@ -89,9 +101,18 @@ fn require<T>(lineno: usize, field: &str, value: Option<T>) -> Result<T> {
 
 fn parse_query(net: &AttributedGraph, lineno: usize, f: &Fields<'_>) -> Result<KtgQuery> {
     let terms = require(lineno, "terms", f.terms)?;
-    let keywords = net
-        .query_keywords(terms.split(',').map(str::trim).filter(|t| !t.is_empty()))
-        .map_err(|e| line_err(lineno, e))?;
+    // The engine's keyword-set type dedups silently (fine for
+    // programmatic callers); in a workload file a repeated term is a
+    // typo worth naming, like every other line-level mistake.
+    let mut term_list: Vec<&str> = Vec::new();
+    for term in terms.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        if term_list.contains(&term) {
+            return Err(line_err(lineno, format!("duplicate query keyword `{term}`")));
+        }
+        term_list.push(term);
+    }
+    let keywords =
+        net.query_keywords(term_list.iter().copied()).map_err(|e| line_err(lineno, e))?;
     KtgQuery::new(
         keywords,
         require(lineno, "p", f.p)?,
@@ -122,55 +143,88 @@ fn parse_edge(
     };
     let u = endpoint("u")?;
     let v = endpoint("v")?;
+    if let Some(extra) = rest.next() {
+        return Err(line_err(lineno, format!("unexpected trailing token `{extra}`")));
+    }
     Ok((u, v))
+}
+
+/// Parses one raw workload line. `Ok(None)` means the line carries no
+/// item (blank, comment). All validation lives here so that
+/// [`parse_workload`] is nothing but the loop plus the fault hook.
+fn parse_line(
+    net: &AttributedGraph,
+    lineno: usize,
+    raw: &str,
+) -> Result<Option<WorkloadItem>> {
+    if raw.len() > MAX_LINE_BYTES {
+        return Err(line_err(
+            lineno,
+            format!("line is {} bytes, exceeds {MAX_LINE_BYTES} bytes", raw.len()),
+        ));
+    }
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut tokens = line.split_whitespace();
+    let Some(head) = tokens.next() else { return Ok(None) };
+    let item = match head {
+        "ktg" => {
+            let f = parse_fields(lineno, tokens)?;
+            if f.gamma.is_some() {
+                return Err(line_err(lineno, "`gamma` is only valid on dktg lines"));
+            }
+            WorkloadItem::Ktg(parse_query(net, lineno, &f)?)
+        }
+        "dktg" => {
+            let f = parse_fields(lineno, tokens)?;
+            let base = parse_query(net, lineno, &f)?;
+            let query =
+                DktgQuery::new(base, f.gamma.unwrap_or(0.5)).map_err(|e| line_err(lineno, e))?;
+            WorkloadItem::Dktg(query)
+        }
+        "insert" => {
+            let (u, v) = parse_edge(net, lineno, &mut tokens)?;
+            WorkloadItem::Insert(u, v)
+        }
+        "remove" => {
+            let (u, v) = parse_edge(net, lineno, &mut tokens)?;
+            WorkloadItem::Remove(u, v)
+        }
+        other => {
+            return Err(line_err(
+                lineno,
+                format!("unknown directive `{other}` (expected ktg, dktg, insert, remove)"),
+            ));
+        }
+    };
+    Ok(Some(item))
 }
 
 /// Parses a workload script against a network's vocabulary and vertex
 /// range.
 ///
+/// Lines longer than [`MAX_LINE_BYTES`] are rejected outright. Parsing
+/// is a [`ktg_common::fault`] injection site (`parse`): an injected
+/// panic on a line is retried once with injection suppressed, so a
+/// fault-armed run parses exactly what a clean run parses.
+///
 /// # Errors
 /// [`KtgError::InvalidInput`] naming the offending line for malformed
-/// syntax, unknown keywords, invalid query parameters, or out-of-range
-/// vertex ids.
+/// syntax, unknown keywords, invalid query parameters, out-of-range
+/// vertex ids, duplicate fields or keywords, trailing tokens, and
+/// overlong lines.
 pub fn parse_workload(text: &str, net: &AttributedGraph) -> Result<Vec<WorkloadItem>> {
     let mut items = Vec::new();
-    for (idx, line) in text.lines().enumerate() {
+    for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut tokens = line.split_whitespace();
-        let Some(head) = tokens.next() else { continue };
-        match head {
-            "ktg" => {
-                let f = parse_fields(lineno, tokens)?;
-                if f.gamma.is_some() {
-                    return Err(line_err(lineno, "`gamma` is only valid on dktg lines"));
-                }
-                items.push(WorkloadItem::Ktg(parse_query(net, lineno, &f)?));
-            }
-            "dktg" => {
-                let f = parse_fields(lineno, tokens)?;
-                let base = parse_query(net, lineno, &f)?;
-                let query = DktgQuery::new(base, f.gamma.unwrap_or(0.5))
-                    .map_err(|e| line_err(lineno, e))?;
-                items.push(WorkloadItem::Dktg(query));
-            }
-            "insert" => {
-                let (u, v) = parse_edge(net, lineno, &mut tokens)?;
-                items.push(WorkloadItem::Insert(u, v));
-            }
-            "remove" => {
-                let (u, v) = parse_edge(net, lineno, &mut tokens)?;
-                items.push(WorkloadItem::Remove(u, v));
-            }
-            other => {
-                return Err(line_err(
-                    lineno,
-                    format!("unknown directive `{other}` (expected ktg, dktg, insert, remove)"),
-                ));
-            }
+        let parsed = ktg_common::fault::recoverable(
+            ktg_common::fault::FaultSite::WorkloadParse,
+            || parse_line(net, lineno, raw),
+        )?;
+        if let Some(item) = parsed {
+            items.push(item);
         }
     }
     Ok(items)
@@ -234,5 +288,90 @@ ktg n=1 k=0 p=2 terms=SN
         check("remove a b", "invalid vertex id");
         check("ktg terms=SN p=3 k=1 n=1 q=7", "unknown field");
         check("ktg terms=SN p=3 k=1 n=1 extra", "expected key=value");
+    }
+
+    /// Every way a workload line can be malformed yields
+    /// [`KtgError::InvalidInput`] naming the line — never a panic, never
+    /// a different error kind.
+    #[test]
+    fn malformed_corpus_is_rejected_with_line_numbers() {
+        let net = fixtures::figure1();
+        // (line, expected message fragment)
+        let corpus: &[(&str, &str)] = &[
+            // Truncated: directive with no fields, or missing one field.
+            ("ktg", "missing required field `terms`"),
+            ("ktg terms=SN,QP", "missing required field `p`"),
+            ("ktg terms=SN,QP p=3 k=1", "missing required field `n`"),
+            ("dktg terms=SN p=2", "missing required field `k`"),
+            ("insert", "missing vertex `u`"),
+            ("insert 3", "missing vertex `v`"),
+            // Bad integers: overflow, negative, float, garbage.
+            ("ktg terms=SN p=99999999999999999999 k=1 n=1", "invalid group size"),
+            ("ktg terms=SN p=-3 k=1 n=1", "invalid group size"),
+            ("ktg terms=SN p=3 k=1.5 n=1", "invalid tenuity"),
+            ("ktg terms=SN p=3 k=1 n=0x2", "invalid result count"),
+            ("insert 1e2 3", "invalid vertex id"),
+            // Bad floats: NaN and infinity parse as f64 but are invalid
+            // gammas; `x` does not parse at all.
+            ("dktg terms=SN p=2 k=1 n=1 gamma=NaN", "line 1"),
+            ("dktg terms=SN p=2 k=1 n=1 gamma=inf", "line 1"),
+            ("dktg terms=SN p=2 k=1 n=1 gamma=x", "invalid gamma"),
+            // Duplicates: repeated field, repeated query keyword.
+            ("ktg terms=SN p=3 p=4 k=1 n=1", "duplicate field `p`"),
+            ("ktg terms=SN,QP,SN p=3 k=1 n=1", "duplicate query keyword `SN`"),
+            ("dktg terms=SN p=2 k=1 n=1 gamma=0.5 gamma=0.5", "duplicate field `gamma`"),
+            // Trailing junk after a complete edge update.
+            ("insert 0 5 9", "unexpected trailing token `9`"),
+            ("remove 1 2 oops", "unexpected trailing token `oops`"),
+        ];
+        for (line, needle) in corpus {
+            let err = parse_workload(line, &net).expect_err(line);
+            assert!(
+                matches!(err, KtgError::InvalidInput(_)),
+                "`{line}` gave non-InvalidInput error: {err:?}"
+            );
+            let msg = err.to_string();
+            assert!(msg.contains("line 1"), "`{line}` error lacks line number: {msg}");
+            assert!(msg.contains(needle), "`{line}` gave `{msg}`, wanted `{needle}`");
+        }
+
+        // Overlong line: rejected by byte length before field parsing,
+        // and the line number is still right when it is not the first.
+        let long = format!("# ok\nktg terms={} p=3 k=1 n=1", "S".repeat(MAX_LINE_BYTES));
+        let err = parse_workload(&long, &net).expect_err("overlong line");
+        assert!(matches!(err, KtgError::InvalidInput(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("exceeds 4096 bytes"), "{msg}");
+    }
+
+    /// Seeded garbage lines: the parser must return `InvalidInput` or
+    /// (coincidentally) parse, but never panic and never surface any
+    /// other error kind.
+    #[test]
+    fn fuzzed_garbage_lines_never_panic() {
+        let net = fixtures::figure1();
+        let mut rng = ktg_common::SplitMix64::new(0xC0FFEE);
+        for _ in 0..256 {
+            let len = (rng.next_u64() % 120) as usize;
+            let line: String = (0..len)
+                .map(|_| {
+                    // Printable ASCII plus a bias toward the parser's
+                    // structural characters.
+                    let r = rng.next_u64();
+                    match r % 8 {
+                        0 => '=',
+                        1 => ',',
+                        2 => ' ',
+                        _ => char::from(0x20 + (r >> 8) as u8 % 0x5F),
+                    }
+                })
+                .collect();
+            if let Err(err) = parse_workload(&line, &net) {
+                assert!(
+                    matches!(err, KtgError::InvalidInput(_)),
+                    "garbage line `{line}` gave non-InvalidInput error: {err:?}"
+                );
+            }
+        }
     }
 }

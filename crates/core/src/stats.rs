@@ -23,6 +23,10 @@ pub struct SearchStats {
     /// Whether the search was abandoned by a node budget (bench safety
     /// valve); a truncated result may be sub-optimal.
     pub truncated: bool,
+    /// Whether the search observed a fired [`ktg_common::CancelToken`]
+    /// (deadline or explicit cancel) and stopped early; the result is
+    /// then an anytime best-so-far, possibly sub-optimal.
+    pub cancelled: bool,
 }
 
 impl SearchStats {
@@ -40,6 +44,7 @@ impl SearchStats {
         self.distance_checks = self.distance_checks.saturating_add(other.distance_checks);
         self.groups_evaluated = self.groups_evaluated.saturating_add(other.groups_evaluated);
         self.truncated |= other.truncated;
+        self.cancelled |= other.cancelled;
     }
 }
 
@@ -75,6 +80,15 @@ mod tests {
         // Once truncated, merging a clean run does not reset the flag.
         a.merge(&SearchStats::default());
         assert!(a.truncated);
+    }
+
+    #[test]
+    fn merge_ors_cancelled() {
+        let mut a = SearchStats::default();
+        a.merge(&SearchStats { cancelled: true, ..Default::default() });
+        assert!(a.cancelled);
+        a.merge(&SearchStats::default());
+        assert!(a.cancelled, "one cancelled worker marks the whole run");
     }
 
     #[test]

@@ -111,8 +111,12 @@ pub struct FileScope {
     /// Library code: under `crates/*/src`, not a `src/bin` target.
     /// L2 and L3 apply here.
     pub lib_code: bool,
-    /// L4 applies: lib code outside `crates/bench` and
-    /// `crates/common/src/parallel.rs`.
+    /// L4 applies: lib code outside `crates/bench`,
+    /// `crates/common/src/parallel.rs`, and
+    /// `crates/common/src/cancel.rs` (the one module allowed to read
+    /// the wall clock — every deadline in the workspace flows through
+    /// its token, so confining clock reads there keeps the rest of the
+    /// tree deterministic by construction).
     pub deterministic: bool,
     /// L5 applies: the file is a crate root `src/lib.rs`.
     pub lib_root: bool,
@@ -127,7 +131,8 @@ pub fn scope_of(relpath: &str) -> FileScope {
         && !relpath.contains("/tests/");
     let deterministic = lib_code
         && !relpath.starts_with("crates/bench/")
-        && relpath != "crates/common/src/parallel.rs";
+        && relpath != "crates/common/src/parallel.rs"
+        && relpath != "crates/common/src/cancel.rs";
     let lib_root = relpath.ends_with("src/lib.rs");
     FileScope { lib_code, deterministic, lib_root }
 }
@@ -590,6 +595,8 @@ mod tests {
         assert!(scope_of("crates/bench/src/runner.rs").lib_code);
         assert!(!scope_of("crates/bench/src/runner.rs").deterministic);
         assert!(!scope_of("crates/common/src/parallel.rs").deterministic);
+        assert!(!scope_of("crates/common/src/cancel.rs").deterministic);
+        assert!(scope_of("crates/common/src/fault.rs").deterministic);
         assert!(scope_of("crates/demo/src/lib.rs").lib_root);
         assert!(scope_of("tests/src/lib.rs").lib_root);
     }
@@ -744,10 +751,11 @@ mod tests {
     }
 
     #[test]
-    fn bench_and_parallel_may_read_the_clock() {
+    fn bench_parallel_and_cancel_may_read_the_clock() {
         let src = "pub fn f() { let _ = std::time::Instant::now(); }";
         assert!(lints_in("crates/bench/src/runner.rs", src).is_empty());
         assert!(lints_in("crates/common/src/parallel.rs", src).is_empty());
+        assert!(lints_in("crates/common/src/cancel.rs", src).is_empty());
     }
 
     #[test]

@@ -13,9 +13,12 @@
 //! answer — cached hits included — additionally passes the checked-mode
 //! result audit.
 
+use std::sync::{Mutex, OnceLock};
+
+use ktg_common::fault::{self, FaultConfig, FaultSite};
 use ktg_common::{SeededRng, VertexId};
 use ktg_core::serve::{ItemOutcome, ServeOptions, ServeSession, WorkloadItem};
-use ktg_core::{bb, dktg, AttributedGraph, DktgQuery, Group, KtgQuery};
+use ktg_core::{bb, dktg, verify, AttributedGraph, DktgQuery, Group, KtgQuery};
 use ktg_graph::DynamicGraph;
 use ktg_index::BfsOracle;
 use ktg_integration_tests::{random_network, random_query};
@@ -45,8 +48,30 @@ fn strip(outcomes: &[ItemOutcome]) -> Vec<Answer> {
                 score: a.score.to_bits(),
             },
             ItemOutcome::Update { applied } => Answer::Update { applied: *applied },
+            ItemOutcome::Failed { reason } => {
+                panic!("differential workload item failed: {reason}")
+            }
+            ItemOutcome::Overloaded => {
+                panic!("differential workloads set no admission bound")
+            }
         })
         .collect()
+}
+
+/// The fault registry is process-global; the tests that arm it (and the
+/// one test sensitive to exact cache-stat counts) serialize on this.
+fn fault_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Disarms the registry when dropped, so an assertion failure inside a
+/// fault-armed test cannot leak injection into the rest of the binary.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        fault::set_config(None);
+    }
 }
 
 /// The reference: replay the workload query-at-a-time, re-solving each
@@ -191,6 +216,7 @@ fn serving_matches_sequential_across_dynamic_updates() {
 
 #[test]
 fn repeated_identical_workload_is_fully_cached_second_time() {
+    let _guard = fault_lock().lock().unwrap();
     let net = random_network(24, 0.25, 8, 4, 42);
     let workload = query_pool_workload(&net, 6, 7);
     let mut session = ServeSession::new(net.clone(), ServeOptions::default());
@@ -213,5 +239,140 @@ fn repeated_identical_workload_is_fully_cached_second_time() {
         ItemOutcome::Ktg(a) => a.cached,
         ItemOutcome::Dktg(a) => a.cached,
         ItemOutcome::Update { .. } => true,
+        ItemOutcome::Failed { .. } | ItemOutcome::Overloaded => false,
     }));
+}
+
+/// Fault-schedule axis: with deterministic injection armed — every
+/// seeded schedule across every site combination — the serving engine's
+/// retry-once recovery must absorb each injected panic and return
+/// answers byte-identical to the fault-free run, with no item failed.
+#[test]
+fn serving_is_byte_identical_under_injected_faults() {
+    let _guard = fault_lock().lock().unwrap();
+    let _disarm = Disarm;
+
+    let net = random_network(26, 0.22, 8, 4, 11);
+    let mut workload = query_pool_workload(&net, 8, 0x7A57);
+    workload.push(WorkloadItem::Insert(VertexId(0), VertexId(9)));
+    workload.extend(query_pool_workload(&net, 4, 0x7A58));
+
+    fault::set_config(None);
+    let mut clean = ServeSession::new(net.clone(), ServeOptions::default());
+    let expected = strip(&clean.run(&workload));
+
+    let site_sets: [&[FaultSite]; 3] = [
+        &fault::ALL_SITES,
+        &[FaultSite::WorkerSolve],
+        &[FaultSite::PoolAcquire, FaultSite::CacheLookup],
+    ];
+    for seed in [1u64, 7, 99] {
+        for sites in site_sets {
+            for rate in [1.0, 0.5] {
+                fault::set_config(Some(FaultConfig::new(sites, rate, seed)));
+                for threads in [1usize, 4] {
+                    let label = format!(
+                        "seed={seed}, sites={sites:?}, rate={rate}, threads={threads}"
+                    );
+                    let mut session = ServeSession::new(
+                        net.clone(),
+                        ServeOptions { threads, ..ServeOptions::default() },
+                    );
+                    let outcomes = session.run(&workload);
+                    assert!(
+                        !outcomes
+                            .iter()
+                            .any(|o| matches!(o, ItemOutcome::Failed { .. })),
+                        "{label}: injected fault survived the retry"
+                    );
+                    assert_eq!(
+                        expected,
+                        strip(&outcomes),
+                        "{label}: diverged from the fault-free run"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deadline/budget axis: under a tight per-query budget every answer is
+/// either exact — and then byte-identical to the unconstrained run — or
+/// explicitly degraded, and then its groups still pass the checked-mode
+/// result audit (best-so-far answers are valid, just possibly fewer or
+/// lower-coverage groups).
+#[test]
+fn tight_budget_answers_are_exact_or_verifiably_degraded() {
+    let net = random_network(30, 0.2, 8, 4, 23);
+    let workload = query_pool_workload(&net, 8, 0xDEAD);
+    let expected = reference_replay(&net, &workload);
+
+    // `node_budget: Some(1)` degrades every nontrivial search
+    // deterministically (a 0ms deadline is only observed every
+    // `POLL_STRIDE` nodes, so tiny searches would finish exactly and
+    // the test would assert nothing).
+    for (deadline_ms, node_budget) in [(Some(600_000), None), (None, Some(1))] {
+        let mut engine = bb::BbOptions::vkc_deg().with_deadline_ms(deadline_ms);
+        engine.node_budget = node_budget;
+        for threads in [1usize, 4] {
+            let options = ServeOptions { threads, engine, ..ServeOptions::default() };
+            let mut session = ServeSession::new(net.clone(), options);
+            let outcomes = session.run(&workload);
+            for (idx, (item, outcome)) in workload.iter().zip(&outcomes).enumerate() {
+                match (item, outcome) {
+                    (WorkloadItem::Ktg(q), ItemOutcome::Ktg(a)) => {
+                        if a.status.is_exact() {
+                            assert_eq!(
+                                expected[idx],
+                                Answer::Ktg(a.groups.clone()),
+                                "exact answer {idx} diverged (threads={threads})"
+                            );
+                        } else {
+                            let report = verify::audit_results(&net, q, &a.groups);
+                            assert!(
+                                report.is_ok(),
+                                "degraded answer {idx} failed the audit: {report}"
+                            );
+                        }
+                    }
+                    (WorkloadItem::Dktg(q), ItemOutcome::Dktg(a)) => {
+                        if a.status.is_exact() {
+                            assert_eq!(
+                                expected[idx],
+                                Answer::Dktg {
+                                    groups: a.groups.clone(),
+                                    diversity: a.diversity.to_bits(),
+                                    min_qkc: a.min_qkc.to_bits(),
+                                    score: a.score.to_bits(),
+                                },
+                                "exact DKTG answer {idx} diverged (threads={threads})"
+                            );
+                        } else {
+                            let report = verify::audit_dktg_results(&net, q, &a.groups);
+                            assert!(
+                                report.is_ok(),
+                                "degraded DKTG answer {idx} failed the audit: {report}"
+                            );
+                        }
+                    }
+                    other => panic!("item {idx}: mismatched outcome {other:?}"),
+                }
+            }
+            // A generous deadline must not degrade anything; the
+            // one-node budget must degrade every query on this net.
+            let degraded = outcomes
+                .iter()
+                .filter(|o| match o {
+                    ItemOutcome::Ktg(a) => !a.status.is_exact(),
+                    ItemOutcome::Dktg(a) => !a.status.is_exact(),
+                    _ => false,
+                })
+                .count();
+            if node_budget.is_none() {
+                assert_eq!(degraded, 0, "generous deadline degraded an answer");
+            } else {
+                assert!(degraded > 0, "one-node budget degraded nothing");
+            }
+        }
+    }
 }

@@ -84,4 +84,51 @@ grep -q "checked mode: verified" "$ktg_out" || {
     exit 1
 }
 
-echo "CI gate passed: offline build + tests green, lint clean, checked-mode smoke verified."
+echo "== fault-injection differential smoke (KTG_FAULTS absorbed byte-identically) =="
+# Every registered fault site fires at rate 1.0; the retry-once recovery
+# must absorb all of them, so stdout is byte-for-byte the clean run's.
+cat > "$tmp/workload.txt" <<'EOF'
+ktg terms=t0,t1,t4 p=3 k=2 n=3
+dktg terms=t0,t3,t17 p=3 k=2 n=2 gamma=0.5
+insert 0 9
+ktg terms=t1,t5 p=3 k=1 n=2
+ktg terms=t0,t1,t4 p=3 k=2 n=3
+EOF
+batch_flags=(--workload "$tmp/workload.txt" --edges "$tmp/data/edges.txt"
+    --keywords "$tmp/data/keywords.txt" --threads 1)
+cargo run -q --release --offline -p ktg-cli -- batch "${batch_flags[@]}" \
+    > "$tmp/batch-clean.out"
+KTG_FAULTS=all:1.0:7 cargo run -q --release --offline -p ktg-cli -- batch \
+    "${batch_flags[@]}" > "$tmp/batch-fault.out"
+if ! cmp -s "$tmp/batch-clean.out" "$tmp/batch-fault.out"; then
+    echo "FAIL: fault-armed batch output diverged from the clean run:" >&2
+    diff "$tmp/batch-clean.out" "$tmp/batch-fault.out" >&2 || true
+    exit 1
+fi
+
+echo "== tight-budget degraded smoke (exit 3, flagged status, verifier clean) =="
+# A one-node budget forces a best-so-far answer: the binary must exit 3
+# (degraded, not an error), say so on stdout, and still pass the
+# checked-mode verifier on whatever it returned.
+deg_out="$tmp/degraded.out"
+set +e
+KTG_VERIFY=1 cargo run -q --release --offline -p ktg-cli -- query \
+    --edges "$tmp/data/edges.txt" --keywords "$tmp/data/keywords.txt" \
+    --terms t0,t1,t4 --p 3 --k 2 --n 3 --oracle bfs --node-budget 1 \
+    > "$deg_out"
+deg_code=$?
+set -e
+if [ "$deg_code" -ne 3 ]; then
+    echo "FAIL: tight-budget query exited $deg_code, expected 3 (degraded)" >&2
+    exit 1
+fi
+grep -q "status: degraded(node-budget)" "$deg_out" || {
+    echo "FAIL: degraded query did not report its completion status" >&2
+    exit 1
+}
+grep -q "checked mode: verified" "$deg_out" || {
+    echo "FAIL: degraded answer skipped the checked-mode verifier" >&2
+    exit 1
+}
+
+echo "CI gate passed: offline build + tests green, lint clean, checked-mode and fault/degraded smokes verified."
