@@ -21,6 +21,8 @@ pub enum Command {
     Dktg,
     /// Replay a workload file through the batched serving engine.
     Batch,
+    /// Run the persistent TCP serving front-end (or its client mode).
+    Serve,
 }
 
 impl Command {
@@ -32,8 +34,9 @@ impl Command {
             "query" => Ok(Command::Query),
             "dktg" => Ok(Command::Dktg),
             "batch" => Ok(Command::Batch),
+            "serve" => Ok(Command::Serve),
             other => Err(KtgError::input(format!(
-                "unknown command '{other}' (expected generate|stats|index|query|dktg|batch)"
+                "unknown command '{other}' (expected generate|stats|index|query|dktg|batch|serve)"
             ))),
         }
     }
@@ -58,13 +61,13 @@ fn canonical(flag: &str) -> &str {
 }
 
 /// Flags that stand alone (no value token follows them).
-const BOOLEAN_FLAGS: &[&str] = &["no-cache"];
+const BOOLEAN_FLAGS: &[&str] = &["no-cache", "stats", "shutdown"];
 
 /// Parses `argv` (without the program name).
 pub fn parse(argv: &[String]) -> Result<ParsedArgs> {
     let mut iter = argv.iter();
     let word = iter.next().ok_or_else(|| {
-        KtgError::input("missing command (generate|stats|index|query|dktg|batch)")
+        KtgError::input("missing command (generate|stats|index|query|dktg|batch|serve)")
     })?;
     let command = Command::from_word(word)?;
     let mut flags = FxHashMap::default();

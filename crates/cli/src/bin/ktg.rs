@@ -1,8 +1,11 @@
 //! The `ktg` binary: a thin shim over [`ktg_cli::run`].
 //!
 //! Exit codes: `0` — success, every answer exact; `3` — the command ran
-//! but at least one answer was degraded (deadline/budget best-so-far),
-//! failed, or shed by admission control; `2` — usage or runtime error.
+//! but at least one answer was degraded (deadline/budget best-so-far)
+//! or failed; `4` — at least one query was shed unsolved by the
+//! `--max-inflight` admission bound (shedding wins over degradation so
+//! load problems are never misread as answer-quality problems); `2` —
+//! usage or runtime error.
 
 fn main() {
     // Under fault injection every injected panic is caught and retried
@@ -23,10 +26,11 @@ fn main() {
     match ktg_cli::run(&argv, &mut lock) {
         Ok(ktg_cli::RunStatus::Complete) => {}
         Ok(ktg_cli::RunStatus::Degraded) => std::process::exit(3),
+        Ok(ktg_cli::RunStatus::Overloaded) => std::process::exit(4),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
-            eprintln!("usage: ktg <generate|stats|index|query|dktg|batch> [--flag value]...");
+            eprintln!("usage: ktg <generate|stats|index|query|dktg|batch|serve> [--flag value]...");
             eprintln!("  generate --profile NAME --out DIR [--scale N] [--seed N]");
             eprintln!("  stats    --edges FILE [--keywords FILE]");
             eprintln!("  index    --edges FILE --out FILE");
@@ -39,8 +43,11 @@ fn main() {
             eprintln!("           [--cache-entries N] [--no-cache] [--algo NAME]");
             eprintln!("           [--bitmap-threshold N] [--deadline-ms N] [--node-budget N]");
             eprintln!("           [--max-inflight N]");
+            eprintln!("  serve    --edges FILE [--keywords FILE] [--bind ADDR] [--workers N]");
+            eprintln!("           [--conn-deadline-ms N] (plus the batch engine/cache flags)");
+            eprintln!("  serve    --connect ADDR [--workload FILE] [--stats] [--shutdown]");
             eprintln!("env: KTG_THREADS=N  KTG_VERIFY=1  KTG_FAULTS=<sites>:<rate>:<seed>");
-            eprintln!("exit codes: 0 ok; 3 degraded/partial answers; 2 error");
+            eprintln!("exit codes: 0 ok; 3 degraded/partial answers; 4 overloaded/shed; 2 error");
             std::process::exit(2);
         }
     }

@@ -21,8 +21,10 @@ use std::io::Write;
 use std::path::Path;
 
 /// Dispatches a parsed command line, reporting whether every answer was
-/// exact ([`RunStatus::Complete`]) or some were degraded, failed, or
-/// shed ([`RunStatus::Degraded`] — the binary exits 3).
+/// exact ([`RunStatus::Complete`]), some were degraded or failed
+/// ([`RunStatus::Degraded`] — the binary exits 3), or some were shed by
+/// admission control ([`RunStatus::Overloaded`] — exit 4, taking
+/// precedence over degradation).
 pub fn dispatch(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
     match args.command {
         Command::Generate => generate(args, out).map(|()| RunStatus::Complete),
@@ -31,6 +33,7 @@ pub fn dispatch(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
         Command::Query => query_cmd(args, out, false),
         Command::Dktg => query_cmd(args, out, true),
         Command::Batch => batch_cmd(args, out),
+        Command::Serve => crate::serve::serve_cmd(args, out),
     }
 }
 
@@ -99,7 +102,7 @@ fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
 }
 
 /// Loads an attributed network from `--edges` (+ optional `--keywords`).
-fn load_network(args: &ParsedArgs) -> Result<AttributedGraph> {
+pub(crate) fn load_network(args: &ParsedArgs) -> Result<AttributedGraph> {
     let edges = args.required("edges")?;
     let loaded = graph_io::read_edge_list(File::open(edges)?)?;
     let n = loaded.graph.num_vertices();
@@ -169,19 +172,8 @@ fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
     let text = std::fs::read_to_string(args.required("workload")?)?;
     let items = serve::parse_workload(&text, &net)?;
 
-    let mut engine = bb::BbOptions::vkc()
-        .with_ordering(ordering_flag(args)?)
-        .with_bitmap_threshold(args.num_or("bitmap-threshold", bb::DEFAULT_BITMAP_THRESHOLD)?)
-        .with_deadline_ms(deadline_flag(args)?);
-    engine.node_budget = node_budget_flag(args)?;
-    let max_inflight: usize = args.num_or("max-inflight", 0)?;
-    let options = ServeOptions {
-        threads: args.num_or("threads", 0)?,
-        use_cache: args.optional("no-cache").is_none(),
-        cache_entries: args.num_or("cache-entries", 4096)?,
-        engine,
-        max_inflight,
-    };
+    let options = serve_options_from_flags(args)?;
+    let max_inflight = options.max_inflight;
     writeln!(
         out,
         "batch: {} items, {} threads, cache {}",
@@ -197,85 +189,115 @@ fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
     let mut session = ServeSession::new(net, options);
     let outcomes = session.run(&items);
     let (mut degraded, mut failed, mut shed) = (0usize, 0usize, 0usize);
-    let status_marker = |status: &CompletionStatus| {
-        if status.is_exact() { String::new() } else { format!(" [{status}]") }
-    };
     for (i, outcome) in outcomes.iter().enumerate() {
-        let lineno = i + 1;
         match outcome {
-            ItemOutcome::Ktg(ans) => {
-                degraded += usize::from(!ans.status.is_exact());
-                writeln!(
-                    out,
-                    "[{lineno}] ktg: {} groups{}{}",
-                    ans.groups.len(),
-                    if ans.cached { " [cached]" } else { "" },
-                    status_marker(&ans.status)
-                )?;
-                for (rank, g) in ans.groups.iter().enumerate() {
-                    writeln!(
-                        out,
-                        "    #{}: {:?} — QKC {}",
-                        rank + 1,
-                        g.members().iter().map(|v| v.0).collect::<Vec<_>>(),
-                        g.coverage_count()
-                    )?;
-                }
-            }
-            ItemOutcome::Dktg(ans) => {
-                degraded += usize::from(!ans.status.is_exact());
-                writeln!(
-                    out,
-                    "[{lineno}] dktg: {} groups, score {:.3} (min QKC {:.3}, dL {:.3}){}{}",
-                    ans.groups.len(),
-                    ans.score,
-                    ans.min_qkc,
-                    ans.diversity,
-                    if ans.cached { " [cached]" } else { "" },
-                    status_marker(&ans.status)
-                )?;
-                for (rank, g) in ans.groups.iter().enumerate() {
-                    writeln!(
-                        out,
-                        "    #{}: {:?} — QKC {}",
-                        rank + 1,
-                        g.members().iter().map(|v| v.0).collect::<Vec<_>>(),
-                        g.coverage_count()
-                    )?;
-                }
-            }
-            ItemOutcome::Update { applied } => {
-                writeln!(
-                    out,
-                    "[{lineno}] update: {}",
-                    if *applied { "applied" } else { "no-op" }
-                )?;
-            }
-            ItemOutcome::Failed { reason } => {
-                failed += 1;
-                writeln!(out, "[{lineno}] failed: {reason}")?;
-            }
-            ItemOutcome::Overloaded => {
-                shed += 1;
-                writeln!(
-                    out,
-                    "[{lineno}] {}",
-                    KtgError::overloaded(format!("shed by --max-inflight {max_inflight}"))
-                )?;
-            }
+            ItemOutcome::Ktg(ans) => degraded += usize::from(!ans.status.is_exact()),
+            ItemOutcome::Dktg(ans) => degraded += usize::from(!ans.status.is_exact()),
+            ItemOutcome::Failed { .. } => failed += 1,
+            ItemOutcome::Overloaded => shed += 1,
+            ItemOutcome::Update { .. } => {}
         }
+        write_outcome(out, i + 1, outcome, max_inflight)?;
     }
     let stats = session.stats();
     writeln!(
         out,
-        "served: {} answers from cache, {} fresh; {} conflict-row hits; epoch {}",
-        stats.result_hits, stats.result_misses, stats.row_hits, stats.epoch
+        "served: {} answers from cache, {} fresh; {} conflict-row hits; {} stale reclaimed; epoch {}",
+        stats.result_hits, stats.result_misses, stats.row_hits, stats.result_reclaimed, stats.epoch
     )?;
     if degraded + failed + shed > 0 {
         writeln!(out, "partial: {degraded} degraded, {failed} failed, {shed} overloaded")?;
-        return Ok(RunStatus::Degraded);
+        // Shedding wins over degradation: exit 4 says "retry against an
+        // idle server", exit 3 says "the answers themselves are partial"
+        // — conflating them (the old behavior folded shed runs into the
+        // degraded exit) made load problems look like quality problems.
+        return Ok(if shed > 0 { RunStatus::Overloaded } else { RunStatus::Degraded });
     }
     Ok(RunStatus::Complete)
+}
+
+/// Writes the canonical rendering of one workload outcome — the shared
+/// answer text of `ktg batch` and of every `ktg serve` TCP response
+/// (the differential suite holds the two byte-identical).
+pub fn write_outcome(
+    out: &mut dyn Write,
+    lineno: usize,
+    outcome: &ItemOutcome,
+    max_inflight: usize,
+) -> Result<()> {
+    let status_marker = |status: &CompletionStatus| {
+        if status.is_exact() { String::new() } else { format!(" [{status}]") }
+    };
+    let write_groups = |out: &mut dyn Write, groups: &[ktg_core::Group]| -> Result<()> {
+        for (rank, g) in groups.iter().enumerate() {
+            writeln!(
+                out,
+                "    #{}: {:?} — QKC {}",
+                rank + 1,
+                g.members().iter().map(|v| v.0).collect::<Vec<_>>(),
+                g.coverage_count()
+            )?;
+        }
+        Ok(())
+    };
+    match outcome {
+        ItemOutcome::Ktg(ans) => {
+            writeln!(
+                out,
+                "[{lineno}] ktg: {} groups{}{}",
+                ans.groups.len(),
+                if ans.cached { " [cached]" } else { "" },
+                status_marker(&ans.status)
+            )?;
+            write_groups(out, &ans.groups)?;
+        }
+        ItemOutcome::Dktg(ans) => {
+            writeln!(
+                out,
+                "[{lineno}] dktg: {} groups, score {:.3} (min QKC {:.3}, dL {:.3}){}{}",
+                ans.groups.len(),
+                ans.score,
+                ans.min_qkc,
+                ans.diversity,
+                if ans.cached { " [cached]" } else { "" },
+                status_marker(&ans.status)
+            )?;
+            write_groups(out, &ans.groups)?;
+        }
+        ItemOutcome::Update { applied } => {
+            writeln!(out, "[{lineno}] update: {}", if *applied { "applied" } else { "no-op" })?;
+        }
+        ItemOutcome::Failed { reason } => {
+            writeln!(out, "[{lineno}] failed: {reason}")?;
+        }
+        ItemOutcome::Overloaded => {
+            writeln!(
+                out,
+                "[{lineno}] {}",
+                KtgError::overloaded(format!("shed by --max-inflight {max_inflight}"))
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds [`ServeOptions`] from the engine/cache flags shared by
+/// `ktg batch` and the `ktg serve` server mode: `--threads`,
+/// `--no-cache`, `--cache-entries`, `--algo`, `--bitmap-threshold`,
+/// `--deadline-ms`, `--node-budget`, `--max-inflight`.
+pub(crate) fn serve_options_from_flags(args: &ParsedArgs) -> Result<ServeOptions> {
+    let mut engine = bb::BbOptions::vkc()
+        .with_ordering(ordering_flag(args)?)
+        .with_bitmap_threshold(args.num_or("bitmap-threshold", bb::DEFAULT_BITMAP_THRESHOLD)?)
+        .with_deadline_ms(deadline_flag(args)?);
+    engine.node_budget = node_budget_flag(args)?;
+    Ok(ServeOptions {
+        threads: args.num_or("threads", 0)?,
+        use_cache: args.optional("no-cache").is_none(),
+        cache_entries: args.num_or("cache-entries", 4096)?,
+        engine,
+        max_inflight: args.num_or("max-inflight", 0)?,
+    })
 }
 
 /// Shared by `query` and `dktg`.
@@ -709,10 +731,14 @@ ktg terms=t0,t2,t3 p=2 k=1 n=2
             "--keywords", keywords.to_str().unwrap(),
             "--threads", "1",
         ];
+        // Regression: a shed run must report Overloaded (exit 4), not
+        // fold into the generic Degraded exit — shedding is a capacity
+        // decision, and scripts retrying on exit 4 must be able to tell
+        // it apart from partial answers.
         let mut capped = base.to_vec();
         capped.extend(["--max-inflight", "1"]);
         let (status, text) = run_with_status(&capped).unwrap();
-        assert_eq!(status, RunStatus::Degraded);
+        assert_eq!(status, RunStatus::Overloaded);
         assert!(text.contains("[2] overloaded: shed by --max-inflight 1"), "{text}");
         assert!(text.contains("partial: 0 degraded, 0 failed, 2 overloaded"), "{text}");
         let mut budgeted = base.to_vec();
@@ -721,6 +747,12 @@ ktg terms=t0,t2,t3 p=2 k=1 n=2
         assert_eq!(status, RunStatus::Degraded);
         assert!(text.contains("[degraded(node-budget)]"), "{text}");
         assert!(text.contains("partial: 3 degraded, 0 failed, 0 overloaded"), "{text}");
+        // Shed + degraded together: shedding takes precedence.
+        let mut both = base.to_vec();
+        both.extend(["--max-inflight", "1", "--node-budget", "1"]);
+        let (status, text) = run_with_status(&both).unwrap();
+        assert_eq!(status, RunStatus::Overloaded);
+        assert!(text.contains("partial: 1 degraded, 0 failed, 2 overloaded"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

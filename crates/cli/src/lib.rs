@@ -13,6 +13,9 @@
 //!              --terms t1,t5,t9 -p 3 -k 2 -n 5 --gamma 0.5
 //! ktg batch    --workload queries.txt --edges data/edges.txt \
 //!              --keywords data/keywords.txt --threads 4 --cache-entries 4096
+//! ktg serve    --edges data/edges.txt --keywords data/keywords.txt \
+//!              --bind 127.0.0.1:7433 --workers 4 --max-inflight 64
+//! ktg serve    --connect 127.0.0.1:7433 --workload queries.txt
 //! ```
 //!
 //! Every command is a library function writing to a caller-supplied
@@ -24,6 +27,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 pub use args::{Command, ParsedArgs};
 
@@ -32,11 +36,17 @@ pub use args::{Command, ParsedArgs};
 pub enum RunStatus {
     /// Every answer produced was exact.
     Complete,
-    /// At least one answer was degraded (deadline/budget best-so-far),
-    /// failed, or was shed by the admission bound. The binary maps this
-    /// to exit code 3 so scripts can tell "valid but partial" from
-    /// success (0) and error (2).
+    /// At least one answer was degraded (deadline/budget best-so-far)
+    /// or failed, and none were shed. The binary maps this to exit
+    /// code 3 so scripts can tell "valid but partial" from success (0)
+    /// and error (2).
     Degraded,
+    /// At least one query was shed unsolved by the `--max-inflight`
+    /// admission bound. The binary maps this to exit code 4 — distinct
+    /// from 3 because shedding is a capacity decision, not an answer
+    /// quality one, and a retry against an idle server would succeed.
+    /// Shedding takes precedence over degradation when both occur.
+    Overloaded,
 }
 
 /// Entry point shared by the binary and the tests: parse, dispatch, write

@@ -1,0 +1,871 @@
+//! The persistent TCP serving front-end (`ktg serve`) and its client.
+//!
+//! A hand-rolled `std::net` server wrapping [`ServeSession`] — no
+//! external crates, in keeping with the workspace's zero-dependency
+//! budget. The protocol is deliberately the thinnest possible layer over
+//! what already exists:
+//!
+//! * **Requests are workload lines.** Every request line goes through
+//!   [`ktg_core::serve::parse_request_line`] — the same grammar, byte
+//!   cap, CRLF handling, and fault-injection site as `ktg batch` reading
+//!   a file.
+//! * **Responses are batch output.** Every response block is rendered by
+//!   the same code path as `ktg batch` ([`crate::commands::write_outcome`]),
+//!   terminated by a single `.` line so clients know where a block ends.
+//!   The differential suite (`tests/tests/net_diff.rs`) holds TCP
+//!   responses byte-identical to a batch replay of the same script.
+//! * **Control lines start with `/`:** `/stats` (one-line JSON of cache,
+//!   latency percentile, and outcome counters), `/drain` (shed all new
+//!   queries as `overloaded` until `/resume`), `/resume`, `/shutdown`.
+//!
+//! ## Concurrency model
+//!
+//! One listener thread accepts connections into a queue; a fixed pool of
+//! worker threads (spawned together via [`scope_join`]) each take one
+//! connection at a time and serve it to completion. The session sits
+//! behind an [`RwLock`]: queries run concurrently under the read lock
+//! through [`ServeSession::answer_query`], while edge updates serialize
+//! behind the write lock through [`ServeSession::apply_item`] — the same
+//! "updates are serialization points" semantics the batch executor has,
+//! extended across connections.
+//!
+//! Admission control is a global in-flight gauge: when `--max-inflight`
+//! queries are already executing (or the server is draining), a new
+//! query is refused with a structured `overloaded` response — the
+//! connection stays open and the client can retry — never by dropping
+//! the connection. Per-connection wall-clock deadlines ride on the
+//! existing [`CancelToken`], polled between requests.
+//!
+//! Shutdown is cooperative: the flag flips, the condvar wakes the pool,
+//! a loopback self-connect unblocks `accept`, and every socket carries a
+//! short read timeout so no worker can wedge on an idle peer.
+
+use crate::args::ParsedArgs;
+use crate::commands::{load_network, serve_options_from_flags, write_outcome};
+use crate::RunStatus;
+use ktg_common::net::{write_line, Frame, LineReader};
+use ktg_common::parallel::{scope_join, worker_count};
+use ktg_common::{CancelToken, KtgError, Result, Stopwatch};
+use ktg_core::serve::workload::MAX_LINE_BYTES;
+use ktg_core::serve::{parse_request_line, ItemOutcome, ServeOptions, ServeSession};
+use ktg_core::AttributedGraph;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::Duration;
+
+/// Socket read timeout: the cadence at which blocked workers re-check
+/// the shutdown flag and the connection deadline. Short enough that
+/// shutdown feels immediate, long enough to cost nothing.
+const POLL_READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// The framer's cap is slightly above the parser's so that a line at
+/// exactly [`MAX_LINE_BYTES`] (+ CRLF framing) reaches the parser and
+/// gets the parser's precise, line-numbered error; only lines beyond
+/// any legitimate length are cut at the framing layer.
+const READER_CAP: usize = MAX_LINE_BYTES + 16;
+
+/// Number of latency-sample stripes in [`ServerStats`]. Like the cache
+/// shards: enough that concurrent workers rarely contend on one lock.
+const LATENCY_STRIPES: usize = 8;
+
+/// Ring capacity per stripe: percentiles reflect the most recent
+/// `LATENCY_STRIPES * 1024` requests.
+const SAMPLES_PER_STRIPE: usize = 1024;
+
+fn lock_mutex<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One stripe of the latency ring: most recent samples, overwritten in
+/// arrival order once full.
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+/// Lock-striped request instrumentation for one server.
+///
+/// Counters are plain atomics; latency samples go into a striped ring
+/// (stripe picked round-robin) so concurrent workers do not serialize
+/// on one mutex. Percentiles merge and sort all stripes at `/stats`
+/// time — the expensive path is the rare one.
+pub struct ServerStats {
+    requests: AtomicU64,
+    degraded: AtomicU64,
+    overloaded: AtomicU64,
+    failed: AtomicU64,
+    next_stripe: AtomicUsize,
+    stripes: Vec<Mutex<LatencyRing>>,
+}
+
+impl ServerStats {
+    fn new() -> Self {
+        ServerStats {
+            requests: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            next_stripe: AtomicUsize::new(0),
+            stripes: (0..LATENCY_STRIPES)
+                .map(|_| Mutex::new(LatencyRing { samples: Vec::new(), next: 0 }))
+                .collect(),
+        }
+    }
+
+    /// Records one served item: its latency sample and outcome class.
+    fn record(&self, latency_ns: u64, outcome: &ItemOutcome) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            ItemOutcome::Ktg(ans) if !ans.status.is_exact() => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            ItemOutcome::Dktg(ans) if !ans.status.is_exact() => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            ItemOutcome::Failed { .. } => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            ItemOutcome::Overloaded => {
+                self.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        let stripe = self.next_stripe.fetch_add(1, Ordering::Relaxed) % LATENCY_STRIPES;
+        let mut ring = lock_mutex(&self.stripes[stripe]);
+        if ring.samples.len() < SAMPLES_PER_STRIPE {
+            ring.samples.push(latency_ns);
+        } else {
+            let at = ring.next;
+            ring.samples[at] = latency_ns;
+        }
+        ring.next = (ring.next + 1) % SAMPLES_PER_STRIPE;
+    }
+
+    /// A shed item: counted, but no latency sample (nothing executed).
+    fn record_shed(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(samples, p50, p95, p99)` over the retained window, by
+    /// nearest-rank on the merged, sorted samples. All zeros when empty.
+    fn percentiles(&self) -> (usize, u64, u64, u64) {
+        let mut all: Vec<u64> = Vec::new();
+        for stripe in &self.stripes {
+            all.extend_from_slice(&lock_mutex(stripe).samples);
+        }
+        if all.is_empty() {
+            return (0, 0, 0, 0);
+        }
+        all.sort_unstable();
+        let rank = |p: usize| -> u64 {
+            // Nearest-rank: ceil(p/100 * n), 1-based, clamped.
+            let idx = (all.len() * p).div_ceil(100).clamp(1, all.len()) - 1;
+            all[idx]
+        };
+        (all.len(), rank(50), rank(95), rank(99))
+    }
+}
+
+/// Server configuration (beyond the session's [`ServeOptions`]).
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub bind: String,
+    /// Connection-serving worker threads; `0` = auto
+    /// ([`worker_count`], honoring `KTG_THREADS`).
+    pub workers: usize,
+    /// Per-connection wall-clock deadline in milliseconds, polled
+    /// between requests; `None` = connections live until EOF.
+    pub conn_deadline_ms: Option<u64>,
+    /// Session options: cache, engine, and the `max_inflight` admission
+    /// bound (here enforced globally across connections).
+    pub options: ServeOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1:0".to_string(),
+            workers: 0,
+            conn_deadline_ms: None,
+            options: ServeOptions::default(),
+        }
+    }
+}
+
+/// State shared between the listener, the worker pool, and connection
+/// handlers.
+struct Shared {
+    session: RwLock<ServeSession>,
+    stats: ServerStats,
+    pending: Mutex<VecDeque<TcpStream>>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+    draining: AtomicBool,
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    conn_deadline_ms: Option<u64>,
+    /// The bound address, kept so shutdown can poke the listener out of
+    /// its blocking `accept` with a throwaway loopback connection.
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn read_session(&self) -> std::sync::RwLockReadGuard<'_, ServeSession> {
+        match self.session.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write_session(&self) -> std::sync::RwLockWriteGuard<'_, ServeSession> {
+        match self.session.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Tries to claim an admission slot for one query. Refused while
+    /// draining or when `max_inflight` queries are already executing.
+    fn try_admit(&self) -> bool {
+        if self.draining.load(Ordering::Relaxed) {
+            return false;
+        }
+        if self.max_inflight == 0 {
+            return true;
+        }
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.max_inflight {
+                return false;
+            }
+            match self.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn release_admission(&self) {
+        if self.max_inflight != 0 {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake blocked workers; unblock the listener's accept with a
+        // throwaway loopback connection (it checks the flag first).
+        self.wakeup.notify_all();
+        drop(TcpStream::connect(self.addr));
+    }
+}
+
+/// A running server: its bound address plus the join handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves `:0` to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown without a client round-trip (tests, drop paths;
+    /// the wire equivalent is the `/shutdown` control line).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server exits (via `/shutdown` or
+    /// [`ServerHandle::shutdown`]).
+    ///
+    /// # Errors
+    /// [`KtgError::Internal`]-shaped input error if the server thread
+    /// panicked (individual connection handlers never panic the pool:
+    /// item execution is isolated inside the session).
+    pub fn join(self) -> Result<()> {
+        self.thread
+            .join()
+            .map_err(|_| KtgError::input("server thread panicked".to_string()))
+    }
+}
+
+/// Binds `cfg.bind`, spawns the listener + worker pool, and returns
+/// once the socket is accepting (queries may be served immediately).
+///
+/// # Errors
+/// I/O errors from binding the listener.
+pub fn start(net: AttributedGraph, cfg: ServeConfig) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(cfg.bind.as_str())?;
+    let addr = listener.local_addr()?;
+    let workers = match cfg.workers {
+        0 => worker_count(),
+        w => w,
+    };
+    let max_inflight = cfg.options.max_inflight;
+    let shared = Arc::new(Shared {
+        session: RwLock::new(ServeSession::new(net, cfg.options)),
+        stats: ServerStats::new(),
+        pending: Mutex::new(VecDeque::new()),
+        wakeup: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        inflight: AtomicUsize::new(0),
+        max_inflight,
+        conn_deadline_ms: cfg.conn_deadline_ms,
+        addr,
+    });
+    let pool = Arc::clone(&shared);
+    let thread = std::thread::spawn(move || {
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers + 1);
+        let listener_shared = &pool;
+        tasks.push(Box::new(move || listener_loop(listener_shared, &listener)));
+        for _ in 0..workers {
+            let worker_shared = &pool;
+            tasks.push(Box::new(move || worker_loop(worker_shared)));
+        }
+        scope_join(tasks);
+    });
+    Ok(ServerHandle { addr, shared, thread })
+}
+
+/// Accepts connections into the pending queue until shutdown.
+fn listener_loop(shared: &Shared, listener: &TcpListener) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                lock_mutex(&shared.pending).push_back(stream);
+                shared.wakeup.notify_one();
+            }
+            // Transient accept failures (EMFILE, aborted handshake):
+            // keep listening — a serving process must outlive them.
+            Err(_) => continue,
+        }
+    }
+    // Shutting down: wake everyone so the pool drains and exits.
+    shared.wakeup.notify_all();
+}
+
+/// One pool worker: takes connections from the queue and serves each to
+/// completion; exits when shutdown is flagged and the queue is empty.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let next = {
+            let mut pending = lock_mutex(&shared.pending);
+            loop {
+                if let Some(stream) = pending.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                pending = match shared.wakeup.wait_timeout(pending, POLL_READ_TIMEOUT) {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
+        };
+        match next {
+            Some(stream) => serve_connection(shared, stream),
+            None => return,
+        }
+    }
+}
+
+/// Serves one connection: request lines in, response blocks out, until
+/// EOF, a connection-deadline expiry, an I/O failure, or shutdown.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    // The read timeout doubles as the shutdown/deadline poll cadence;
+    // NODELAY because responses are small and latency-sensitive.
+    drop(stream.set_read_timeout(Some(POLL_READ_TIMEOUT)));
+    drop(stream.set_nodelay(true));
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = LineReader::new(stream, READER_CAP);
+    let deadline = CancelToken::for_deadline_ms(shared.conn_deadline_ms);
+    // Response linenos equal the item's position in the connection's
+    // stream of parsed items (1-based) — exactly `ktg batch`'s output
+    // numbering for the same script.
+    let mut items_seen = 0usize;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if deadline.as_ref().is_some_and(CancelToken::poll) {
+            let _ = respond(&mut writer, &["error: connection deadline exceeded"]);
+            return;
+        }
+        let frame = match reader.read_frame() {
+            Ok(frame) => frame,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let outcome = match frame {
+            Frame::Eof => return,
+            Frame::Overlong { bytes } => {
+                // Mirrors the parser's cap error (same `error: {KtgError}`
+                // rendering); the framer only cuts in when the line is
+                // beyond even the framing slack.
+                let msg = format!(
+                    "error: {}",
+                    KtgError::input(format!(
+                        "workload line {}: line is {bytes} bytes, exceeds {MAX_LINE_BYTES} bytes",
+                        items_seen + 1
+                    ))
+                );
+                respond(&mut writer, &[msg.as_str()])
+            }
+            Frame::Line(line) => handle_line(shared, &mut writer, &mut items_seen, &line),
+        };
+        match outcome {
+            LineOutcome::Continue => {}
+            LineOutcome::Close => return,
+        }
+    }
+}
+
+enum LineOutcome {
+    Continue,
+    Close,
+}
+
+/// Writes one response block: the given lines plus the `.` terminator,
+/// flushed. Any I/O failure closes the connection.
+fn respond(writer: &mut impl Write, lines: &[&str]) -> LineOutcome {
+    for line in lines {
+        if write_line(writer, line).is_err() {
+            return LineOutcome::Close;
+        }
+    }
+    if write_line(writer, ".").is_err() || writer.flush().is_err() {
+        return LineOutcome::Close;
+    }
+    LineOutcome::Continue
+}
+
+/// Handles one request line end-to-end (parse, execute, respond).
+fn handle_line(
+    shared: &Shared,
+    writer: &mut impl Write,
+    items_seen: &mut usize,
+    line: &str,
+) -> LineOutcome {
+    if let Some(control) = line.strip_prefix('/') {
+        return handle_control(shared, writer, control);
+    }
+    let parsed = {
+        let session = shared.read_session();
+        parse_request_line(session.net(), *items_seen + 1, line)
+    };
+    let item = match parsed {
+        // Blank or comment: acknowledged with an empty block so request
+        // and response streams stay in lockstep for pipelining clients.
+        Ok(None) => return respond(writer, &[]),
+        Ok(Some(item)) => item,
+        Err(e) => {
+            let msg = format!("error: {e}");
+            return respond(writer, &[msg.as_str()]);
+        }
+    };
+    *items_seen += 1;
+    let lineno = *items_seen;
+    let outcome = if item.is_query() {
+        if !shared.try_admit() {
+            shared.stats.record_shed();
+            ItemOutcome::Overloaded
+        } else {
+            let timer = Stopwatch::start();
+            let outcome = shared.read_session().answer_query(&item);
+            shared.release_admission();
+            shared.stats.record(timer.elapsed_nanos(), &outcome);
+            outcome
+        }
+    } else {
+        // Edge update: the cross-connection serialization point.
+        let timer = Stopwatch::start();
+        let outcome = shared.write_session().apply_item(&item);
+        shared.stats.record(timer.elapsed_nanos(), &outcome);
+        outcome
+    };
+    let mut block = Vec::new();
+    if write_outcome(&mut block, lineno, &outcome, shared.max_inflight).is_err() {
+        return LineOutcome::Close;
+    }
+    let text = String::from_utf8_lossy(&block);
+    let lines: Vec<&str> = text.lines().collect();
+    respond(writer, &lines)
+}
+
+/// Handles a `/control` line.
+fn handle_control(shared: &Shared, writer: &mut impl Write, control: &str) -> LineOutcome {
+    match control {
+        "stats" => {
+            let line = stats_line(shared);
+            respond(writer, &[line.as_str()])
+        }
+        "drain" => {
+            shared.draining.store(true, Ordering::Relaxed);
+            respond(writer, &["draining: new queries will be shed as overloaded"])
+        }
+        "resume" => {
+            shared.draining.store(false, Ordering::Relaxed);
+            respond(writer, &["resumed: admission re-enabled"])
+        }
+        "shutdown" => {
+            // Acknowledge first: the flag closes every connection,
+            // including this one, right after.
+            let _ = respond(writer, &["shutting down"]);
+            shared.begin_shutdown();
+            LineOutcome::Close
+        }
+        other => {
+            let msg = format!(
+                "error: unknown control line `/{other}` (expected /stats, /drain, /resume, /shutdown)"
+            );
+            respond(writer, &[msg.as_str()])
+        }
+    }
+}
+
+/// Renders the `/stats` response: one line, `stats: ` plus a flat JSON
+/// object (hand-rolled — every value is an unsigned integer).
+fn stats_line(shared: &Shared) -> String {
+    let session_stats = shared.read_session().stats();
+    let (samples, p50, p95, p99) = shared.stats.percentiles();
+    let fields: &[(&str, u64)] = &[
+        ("requests", shared.stats.requests.load(Ordering::Relaxed)),
+        ("degraded", shared.stats.degraded.load(Ordering::Relaxed)),
+        ("overloaded", shared.stats.overloaded.load(Ordering::Relaxed)),
+        ("failed", shared.stats.failed.load(Ordering::Relaxed)),
+        ("result_hits", session_stats.result_hits),
+        ("result_misses", session_stats.result_misses),
+        ("result_reclaimed", session_stats.result_reclaimed),
+        ("row_hits", session_stats.row_hits),
+        ("row_misses", session_stats.row_misses),
+        ("epoch", session_stats.epoch),
+        ("inflight", shared.inflight.load(Ordering::Relaxed) as u64),
+        ("latency_samples", samples as u64),
+        ("p50_ns", p50),
+        ("p95_ns", p95),
+        ("p99_ns", p99),
+    ];
+    let body: Vec<String> =
+        fields.iter().map(|(name, value)| format!("\"{name}\":{value}")).collect();
+    format!("stats: {{{}}}", body.join(","))
+}
+
+/// `ktg serve` dispatch: server mode (`--edges`) or client mode
+/// (`--connect`).
+pub(crate) fn serve_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
+    if args.optional("connect").is_some() {
+        return client_cmd(args, out);
+    }
+    let net = load_network(args)?;
+    let options = serve_options_from_flags(args)?;
+    let conn_deadline_ms = match args.optional("conn-deadline-ms") {
+        None => None,
+        Some(_) => Some(args.required_num::<u64>("conn-deadline-ms")?),
+    };
+    let cfg = ServeConfig {
+        bind: args.optional("bind").unwrap_or("127.0.0.1:0").to_string(),
+        workers: args.num_or("workers", 0)?,
+        conn_deadline_ms,
+        options,
+    };
+    let workers = if cfg.workers == 0 { worker_count() } else { cfg.workers };
+    let cache = if cfg.options.use_cache {
+        format!("on ({} entries)", cfg.options.cache_entries)
+    } else {
+        "off".to_string()
+    };
+    let max_inflight = cfg.options.max_inflight;
+    let handle = start(net, cfg)?;
+    // One greppable line with the resolved address: scripts (and the CI
+    // smoke) parse the ephemeral port out of it.
+    writeln!(
+        out,
+        "serving on {} ({workers} workers, cache {cache}, max-inflight {max_inflight})",
+        handle.addr()
+    )?;
+    out.flush()?;
+    handle.join()?;
+    writeln!(out, "server stopped")?;
+    Ok(RunStatus::Complete)
+}
+
+/// `ktg serve --connect ADDR [--workload FILE] [--stats] [--shutdown]`:
+/// replays a workload over one connection, printing every response
+/// block verbatim (minus the `.` terminators), then optionally fetches
+/// `/stats` and/or requests `/shutdown`.
+fn client_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
+    let addr = args.required("connect")?;
+    let stream = TcpStream::connect(addr)?;
+    drop(stream.set_nodelay(true));
+    let mut writer = stream.try_clone()?;
+    // Response lines are answer lines; none legitimately exceed the
+    // request cap by much, but allow slack for long group listings.
+    let mut reader = LineReader::new(stream, READER_CAP * 16);
+    let mut status = RunStatus::Complete;
+    if let Some(path) = args.optional("workload") {
+        let text = std::fs::read_to_string(path)?;
+        for line in text.lines() {
+            write_line(&mut writer, line)?;
+            writer.flush()?;
+            read_block(&mut reader, out, &mut status)?;
+        }
+    }
+    if args.optional("stats").is_some() {
+        write_line(&mut writer, "/stats")?;
+        writer.flush()?;
+        read_block(&mut reader, out, &mut status)?;
+    }
+    if args.optional("shutdown").is_some() {
+        write_line(&mut writer, "/shutdown")?;
+        writer.flush()?;
+        read_block(&mut reader, out, &mut status)?;
+    }
+    Ok(status)
+}
+
+/// Reads one response block (through the `.` terminator), echoing its
+/// lines to `out` and folding response markers into the run status:
+/// `overloaded` responses win over `degraded`/`failed` ones, matching
+/// the batch exit-code precedence.
+fn read_block(
+    reader: &mut LineReader<TcpStream>,
+    out: &mut dyn Write,
+    status: &mut RunStatus,
+) -> Result<()> {
+    loop {
+        match reader.read_frame()? {
+            Frame::Line(line) if line == "." => return Ok(()),
+            Frame::Line(line) => {
+                if line.contains("] overloaded:") {
+                    *status = RunStatus::Overloaded;
+                } else if *status == RunStatus::Complete
+                    && (line.contains(" [degraded(")
+                        || line.contains("] failed:")
+                        || line.starts_with("error:"))
+                {
+                    *status = RunStatus::Degraded;
+                }
+                writeln!(out, "{line}")?;
+            }
+            Frame::Overlong { bytes } => {
+                return Err(KtgError::input(format!(
+                    "oversized response line ({bytes} bytes) from server"
+                )));
+            }
+            Frame::Eof => {
+                return Err(KtgError::input(
+                    "server closed the connection mid-response".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktg_core::fixtures;
+
+    /// Starts a figure-1 server and returns (handle, a connected
+    /// line-framed client).
+    fn boot(
+        options: ServeOptions,
+        conn_deadline_ms: Option<u64>,
+    ) -> (ServerHandle, LineReader<TcpStream>, TcpStream) {
+        let cfg = ServeConfig {
+            workers: 2,
+            conn_deadline_ms,
+            options,
+            ..ServeConfig::default()
+        };
+        let handle = start(fixtures::figure1(), cfg).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let writer = stream.try_clone().unwrap();
+        (handle, LineReader::new(stream, READER_CAP * 16), writer)
+    }
+
+    fn request(
+        reader: &mut LineReader<TcpStream>,
+        writer: &mut TcpStream,
+        line: &str,
+    ) -> Vec<String> {
+        write_line(writer, line).unwrap();
+        writer.flush().unwrap();
+        let mut block = Vec::new();
+        loop {
+            match reader.read_frame().unwrap() {
+                Frame::Line(l) if l == "." => return block,
+                Frame::Line(l) => block.push(l),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+
+    const PAPER_QUERY: &str = "ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2";
+
+    /// TCP responses are the batch renderer's bytes for the same item.
+    #[test]
+    fn responses_match_batch_rendering() {
+        let opts = ServeOptions { threads: 1, ..ServeOptions::default() };
+        let (handle, mut reader, mut writer) = boot(opts.clone(), None);
+        let block = request(&mut reader, &mut writer, PAPER_QUERY);
+        // Reference: the same item through ServeSession + write_outcome.
+        let mut session = ServeSession::new(fixtures::figure1(), opts);
+        let items =
+            ktg_core::serve::parse_workload(PAPER_QUERY, session.net()).unwrap();
+        let outcome = &session.run(&items)[0];
+        let mut expect = Vec::new();
+        write_outcome(&mut expect, 1, outcome, 0).unwrap();
+        let expect: Vec<String> =
+            String::from_utf8(expect).unwrap().lines().map(String::from).collect();
+        assert_eq!(block, expect);
+        // Repeat: second response is the cached rendering, numbered 2.
+        let repeat = request(&mut reader, &mut writer, PAPER_QUERY);
+        assert!(repeat[0].starts_with("[2] ktg:"), "{repeat:?}");
+        assert!(repeat[0].contains("[cached]"), "{repeat:?}");
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn updates_comments_and_errors_flow_through() {
+        let opts = ServeOptions { threads: 1, ..ServeOptions::default() };
+        let (handle, mut reader, mut writer) = boot(opts, None);
+        assert_eq!(request(&mut reader, &mut writer, "# warmup"), Vec::<String>::new());
+        assert_eq!(request(&mut reader, &mut writer, ""), Vec::<String>::new());
+        let block = request(&mut reader, &mut writer, "insert 0 5");
+        assert_eq!(block, vec!["[1] update: applied".to_string()]);
+        let block = request(&mut reader, &mut writer, "insert 0 5");
+        assert_eq!(block, vec!["[2] update: no-op".to_string()]);
+        // Parse errors respond in-band and do not consume an item slot.
+        let block = request(&mut reader, &mut writer, "bogus line");
+        assert!(block[0].starts_with("error: invalid input: workload line 3:"), "{block:?}");
+        let block = request(&mut reader, &mut writer, "remove 0 5");
+        assert_eq!(block, vec!["[3] update: applied".to_string()]);
+        // CRLF framing parses (the network client case behind the
+        // workload parser's `\r` handling).
+        let block = request(&mut reader, &mut writer, "insert 0 5\r");
+        assert_eq!(block, vec!["[4] update: applied".to_string()]);
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stats_drain_resume_and_shutdown_controls() {
+        let opts =
+            ServeOptions { threads: 1, max_inflight: 4, ..ServeOptions::default() };
+        let (handle, mut reader, mut writer) = boot(opts, None);
+        let answered = request(&mut reader, &mut writer, PAPER_QUERY);
+        assert!(answered[0].starts_with("[1] ktg:"), "{answered:?}");
+        // Drain: queries shed with the batch's overloaded line; updates
+        // still apply (dropping them would fork the graph state).
+        let block = request(&mut reader, &mut writer, "/drain");
+        assert!(block[0].starts_with("draining"), "{block:?}");
+        let shed = request(&mut reader, &mut writer, PAPER_QUERY);
+        assert_eq!(shed, vec!["[2] overloaded: shed by --max-inflight 4".to_string()]);
+        let upd = request(&mut reader, &mut writer, "insert 0 5");
+        assert_eq!(upd, vec!["[3] update: applied".to_string()]);
+        let block = request(&mut reader, &mut writer, "/resume");
+        assert!(block[0].starts_with("resumed"), "{block:?}");
+        let answered = request(&mut reader, &mut writer, PAPER_QUERY);
+        assert!(answered[0].starts_with("[4] ktg:"), "{answered:?}");
+        // Stats: one `stats: {json}` line with every advertised field.
+        let block = request(&mut reader, &mut writer, "/stats");
+        assert_eq!(block.len(), 1);
+        let line = &block[0];
+        for field in [
+            "\"requests\":", "\"degraded\":", "\"overloaded\":1", "\"failed\":",
+            "\"result_hits\":", "\"result_misses\":", "\"result_reclaimed\":",
+            "\"row_hits\":", "\"row_misses\":", "\"epoch\":1", "\"inflight\":0",
+            "\"latency_samples\":", "\"p50_ns\":", "\"p95_ns\":", "\"p99_ns\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+        // Unknown control lines are in-band errors, not disconnects.
+        let block = request(&mut reader, &mut writer, "/nope");
+        assert!(block[0].starts_with("error: unknown control"), "{block:?}");
+        // Shutdown acknowledges, then the server exits.
+        let block = request(&mut reader, &mut writer, "/shutdown");
+        assert_eq!(block, vec!["shutting down".to_string()]);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn connection_deadline_closes_with_an_error_line() {
+        let opts = ServeOptions { threads: 1, ..ServeOptions::default() };
+        // Deadline 0: expired before the first request completes the
+        // poll — deterministic without sleeping.
+        let (handle, mut reader, mut writer) = boot(opts, Some(0));
+        write_line(&mut writer, PAPER_QUERY).unwrap();
+        writer.flush().unwrap();
+        // The handler may serve the first request before its next
+        // deadline poll, but must emit the deadline error and close
+        // within a frame or two.
+        let mut saw_deadline = false;
+        loop {
+            match reader.read_frame() {
+                Ok(Frame::Line(line)) => {
+                    if line == "error: connection deadline exceeded" {
+                        saw_deadline = true;
+                    }
+                }
+                Ok(Frame::Eof) => break,
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => break,
+            }
+        }
+        assert!(saw_deadline, "deadline expiry must be reported in-band");
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_connections_share_the_session_cache() {
+        let opts = ServeOptions { threads: 1, ..ServeOptions::default() };
+        let (handle, mut reader, mut writer) = boot(opts, None);
+        let first = request(&mut reader, &mut writer, PAPER_QUERY);
+        assert!(!first[0].contains("[cached]"));
+        // A *second* connection hits the entry the first one warmed.
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut w2 = stream.try_clone().unwrap();
+        let mut r2 = LineReader::new(stream, READER_CAP * 16);
+        let second = request(&mut r2, &mut w2, PAPER_QUERY);
+        assert!(second[0].contains("[cached]"), "{second:?}");
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+}

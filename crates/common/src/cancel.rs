@@ -17,10 +17,12 @@
 //!
 //! This module is the **only** place outside the bench harness where
 //! lib code may read the wall clock: the ktg-lint L4 nondeterminism
-//! pass allowlists exactly this file. That is sound because a deadline
-//! is *openly* nondeterministic — whenever the clock actually changes
-//! an answer, the answer is flagged `Degraded`; an `Exact` answer is
-//! byte-identical to a run with no deadline at all.
+//! pass allowlists exactly this file. That is sound because every
+//! clock read here is *openly* nondeterministic — whenever a deadline
+//! actually changes an answer, the answer is flagged `Degraded` (an
+//! `Exact` answer is byte-identical to a run with no deadline at all),
+//! and a [`Stopwatch`] only feeds *measurement* (server latency
+//! stats), never result-bearing control flow.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -194,6 +196,31 @@ impl Default for CancelToken {
     }
 }
 
+/// A monotonic elapsed-time measurer for *instrumentation* (the network
+/// server's latency histogram, cache-stat reporting).
+///
+/// It lives in this module because the L4 nondeterminism lint allowlists
+/// exactly this file for clock reads. The soundness argument is the same
+/// as for deadlines: a `Stopwatch` reading is reported, never branched
+/// on, so answers stay byte-deterministic no matter what the clock says.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating at
+    /// `u64::MAX` (584 years — in practice never).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +265,14 @@ mod tests {
         assert!(CancelToken::for_deadline_ms(None).is_none());
         let t = CancelToken::for_deadline_ms(Some(0)).expect("some");
         assert!(t.poll());
+    }
+
+    #[test]
+    fn stopwatch_is_monotone_nondecreasing() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a, "elapsed must not go backwards ({a} then {b})");
     }
 
     #[test]

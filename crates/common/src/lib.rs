@@ -30,9 +30,13 @@
 //!   arenas (BFS scratch, candidate vectors, bitmap rows) so the batched
 //!   query executor serves steady-state traffic without reallocating.
 //! * [`cancel`] — cooperative [`CancelToken`]s with per-query wall-clock
-//!   deadlines and the [`CompletionStatus`] tag distinguishing exact
-//!   answers from anytime best-so-far ones (the only lib module allowed
-//!   to read the wall clock; see the module docs for why that is sound).
+//!   deadlines, the [`CompletionStatus`] tag distinguishing exact
+//!   answers from anytime best-so-far ones, and the [`Stopwatch`]
+//!   latency measurer (the only lib module allowed to read the wall
+//!   clock; see the module docs for why that is sound).
+//! * [`net`] — blocking line-framing over byte streams ([`LineReader`] /
+//!   [`write_line`]): timeout-tolerant, overlong-line-safe, the I/O
+//!   substrate under the `ktg serve` TCP front-end.
 //! * [`fault`] — a deterministic, seeded fault-injection registry
 //!   (`KTG_FAULTS`) that the robustness test suites use to prove the
 //!   serving stack recovers from transient worker faults byte-identically.
@@ -48,6 +52,7 @@ pub mod error;
 pub mod fault;
 pub mod hash;
 pub mod id;
+pub mod net;
 pub mod parallel;
 pub mod pool;
 pub mod rng;
@@ -55,11 +60,12 @@ pub mod threshold;
 pub mod topn;
 
 pub use bitset::{EpochMarker, FixedBitSet};
-pub use cancel::{CancelToken, CompletionStatus, DegradeReason};
+pub use cancel::{CancelToken, CompletionStatus, DegradeReason, Stopwatch};
 pub use error::{KtgError, Result};
 pub use fault::{FaultConfig, FaultSite, InjectedFault};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
 pub use id::VertexId;
+pub use net::{write_line, Frame, LineReader};
 pub use pool::{Pool, PoolGuard};
 pub use rng::{SeededRng, SplitMix64};
 pub use threshold::SharedThreshold;

@@ -1,0 +1,306 @@
+//! Blocking line-framing over byte streams (the network server's I/O
+//! substrate).
+//!
+//! The serving protocol is line-delimited text: every request is one
+//! `\n`-terminated line, every response is a block of lines. This module
+//! provides the two pieces a hand-rolled `std::net` server needs and the
+//! standard library does not give in quite the right shape:
+//!
+//! * [`LineReader`] — an incremental line framer over any [`Read`]. It
+//!   differs from [`std::io::BufRead::read_line`] in three load-bearing
+//!   ways: a *partial* line survives a timeout error (so a read-timeout
+//!   poll loop can resume mid-line instead of corrupting the stream), an
+//!   overlong line is reported as a structured [`Frame::Overlong`] and
+//!   skipped (rather than growing without bound on hostile input), and a
+//!   final unterminated line is still delivered (so `printf`-style
+//!   clients that forget the last newline behave like `ktg batch` on the
+//!   same file).
+//! * [`write_line`] — the matching send side: one line, one `\n`, no
+//!   partial writes visible to the peer (callers flush per response
+//!   block, not per line).
+//!
+//! Everything here is deterministic and clock-free: timeouts come from
+//! the socket (via [`std::net::TcpStream::set_read_timeout`]), not from
+//! this module, and trailing-`\r` handling belongs to the workload
+//! parser (which strips a single framing `\r` itself).
+
+use std::io::{self, Read, Write};
+
+/// One framing event from a [`LineReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line, without its terminating `\n` (a trailing `\r`,
+    /// if the peer frames with CRLF, is preserved — the workload parser
+    /// owns that distinction).
+    Line(String),
+    /// A line exceeded the reader's byte cap before its `\n` arrived.
+    /// The overage is consumed and discarded through the next newline;
+    /// `bytes` counts how many bytes were seen before discarding began
+    /// (a lower bound on the line's true length).
+    Overlong {
+        /// Bytes observed before the reader started discarding.
+        bytes: usize,
+    },
+    /// The stream ended cleanly (EOF with no buffered partial line).
+    Eof,
+}
+
+/// An incremental, timeout-tolerant line framer over a byte stream.
+///
+/// Call [`LineReader::read_frame`] in a loop. An [`io::Error`] of kind
+/// [`io::ErrorKind::WouldBlock`] / [`io::ErrorKind::TimedOut`] (from a
+/// socket read timeout) leaves the reader's state intact — the caller
+/// can poll a shutdown flag and call again, and a line split across the
+/// timeout reassembles seamlessly.
+pub struct LineReader<R> {
+    source: R,
+    /// Bytes received but not yet framed (at most one partial line plus
+    /// whatever arrived after the last returned line's newline).
+    buf: Vec<u8>,
+    /// Scan position: `buf[..scanned]` is known newline-free.
+    scanned: usize,
+    /// Byte cap per line; beyond it the line is discarded as overlong.
+    max_line: usize,
+    /// When `Some(seen)`, we are discarding an overlong line until its
+    /// newline; `seen` is the byte count to report.
+    discarding: Option<usize>,
+    /// Set once the source reports EOF.
+    eof: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps `source`, capping lines at `max_line` bytes (exclusive of
+    /// the `\n` terminator).
+    pub fn new(source: R, max_line: usize) -> Self {
+        LineReader {
+            source,
+            buf: Vec::new(),
+            scanned: 0,
+            max_line,
+            discarding: None,
+            eof: false,
+        }
+    }
+
+    /// The wrapped stream (for the write half of a duplex socket, via
+    /// [`std::net::TcpStream::try_clone`] at the call site instead).
+    pub fn get_ref(&self) -> &R {
+        &self.source
+    }
+
+    /// Returns the next framing event, blocking on the underlying
+    /// stream as needed.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the source. Timeout-kind errors
+    /// (`WouldBlock`, `TimedOut`) are safe to retry: buffered bytes are
+    /// kept and framing resumes exactly where it stopped.
+    pub fn read_frame(&mut self) -> io::Result<Frame> {
+        loop {
+            // Frame from the buffer first: bytes already received must
+            // be served even after EOF.
+            if let Some(frame) = self.frame_buffered() {
+                return Ok(frame);
+            }
+            if self.eof {
+                return Ok(self.drain_final());
+            }
+            let mut chunk = [0u8; 1024];
+            match self.source.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Frames the next event out of `buf` if one is complete.
+    fn frame_buffered(&mut self) -> Option<Frame> {
+        if let Some(seen) = self.discarding {
+            // Swallow the rest of an overlong line through its newline.
+            match self.buf.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    self.buf.drain(..=nl);
+                    self.scanned = 0;
+                    self.discarding = None;
+                    return Some(Frame::Overlong { bytes: seen });
+                }
+                None => {
+                    self.buf.clear();
+                    self.scanned = 0;
+                    self.discarding = Some(seen);
+                    return None;
+                }
+            }
+        }
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let nl = self.scanned + rel;
+                self.scanned = 0;
+                if nl > self.max_line {
+                    // Complete but over the cap: same structured report
+                    // as the incremental case, so the arrival pattern
+                    // (one chunk vs. trickle) cannot change framing.
+                    self.buf.drain(..=nl);
+                    return Some(Frame::Overlong { bytes: nl });
+                }
+                let line: Vec<u8> = self.buf.drain(..=nl).take(nl).collect();
+                Some(Frame::Line(lossy_line(line)))
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if self.buf.len() > self.max_line {
+                    // Too long with no newline in sight: switch to
+                    // discard mode so a hostile peer cannot grow the
+                    // buffer without bound.
+                    let seen = self.buf.len();
+                    self.buf.clear();
+                    self.scanned = 0;
+                    self.discarding = Some(seen);
+                }
+                None
+            }
+        }
+    }
+
+    /// EOF with leftovers: deliver the final unterminated line (or the
+    /// overlong report for a discard that never saw its newline).
+    fn drain_final(&mut self) -> Frame {
+        if let Some(seen) = self.discarding.take() {
+            return Frame::Overlong { bytes: seen };
+        }
+        if self.buf.is_empty() {
+            return Frame::Eof;
+        }
+        let line = std::mem::take(&mut self.buf);
+        self.scanned = 0;
+        Frame::Line(lossy_line(line))
+    }
+}
+
+/// Decodes a framed line, replacing invalid UTF-8 with U+FFFD — the
+/// parser then rejects it with a normal grammar error instead of the
+/// connection dying on a decode failure.
+fn lossy_line(bytes: Vec<u8>) -> String {
+    match String::from_utf8(bytes) {
+        Ok(s) => s,
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    }
+}
+
+/// Writes `line` plus a terminating `\n` without flushing (callers
+/// flush once per response block).
+///
+/// # Errors
+/// Propagates I/O errors from the sink.
+pub fn write_line(sink: &mut impl Write, line: &str) -> io::Result<()> {
+    sink.write_all(line.as_bytes())?;
+    sink.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that yields scripted results, for timeout/short-read
+    /// behavior no in-memory slice can produce.
+    struct Scripted {
+        steps: std::collections::VecDeque<io::Result<Vec<u8>>>,
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            match self.steps.pop_front() {
+                Some(Ok(bytes)) => {
+                    assert!(bytes.len() <= out.len(), "script chunk too large");
+                    out[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(Err(e)) => Err(e),
+                None => Ok(0),
+            }
+        }
+    }
+
+    fn scripted(steps: Vec<io::Result<Vec<u8>>>) -> LineReader<Scripted> {
+        LineReader::new(Scripted { steps: steps.into() }, 64)
+    }
+
+    #[test]
+    fn frames_lines_and_final_unterminated() {
+        let mut r = LineReader::new(&b"one\ntwo\r\nthree"[..], 64);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("one".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("two\r".into()), "CR is preserved");
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("three".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof, "EOF is sticky");
+    }
+
+    #[test]
+    fn empty_lines_and_empty_stream() {
+        let mut r = LineReader::new(&b"\n\n"[..], 64);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line(String::new()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Line(String::new()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+        let mut r = LineReader::new(&b""[..], 64);
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn timeout_preserves_partial_line() {
+        let wouldblock = || io::Error::new(io::ErrorKind::WouldBlock, "timeout");
+        let mut r = scripted(vec![
+            Ok(b"hel".to_vec()),
+            Err(wouldblock()),
+            Ok(b"lo\nwo".to_vec()),
+            Err(wouldblock()),
+            Ok(b"rld\n".to_vec()),
+        ]);
+        assert_eq!(r.read_frame().unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("hello".into()));
+        assert_eq!(r.read_frame().unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("world".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn overlong_line_is_skipped_not_fatal() {
+        let long = vec![b'x'; 100];
+        let mut input = long.clone();
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let mut r = LineReader::new(&input[..], 64);
+        let Frame::Overlong { bytes } = r.read_frame().unwrap() else {
+            panic!("expected overlong frame")
+        };
+        assert!(bytes > 64, "reported {bytes} bytes");
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("ok".into()), "stream resyncs");
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn overlong_line_at_eof_is_reported() {
+        let input = [b'y'; 100];
+        let mut r = LineReader::new(&input[..], 64);
+        assert!(matches!(r.read_frame().unwrap(), Frame::Overlong { .. }));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn invalid_utf8_is_replaced_not_fatal() {
+        let mut r = LineReader::new(&b"ok\n\xff\xfe\nok2\n"[..], 64);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("ok".into()));
+        let Frame::Line(garbled) = r.read_frame().unwrap() else { panic!("expected line") };
+        assert!(garbled.contains('\u{FFFD}'));
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("ok2".into()));
+    }
+
+    #[test]
+    fn write_line_appends_newline() {
+        let mut out = Vec::new();
+        write_line(&mut out, "stats: ok").unwrap();
+        write_line(&mut out, "").unwrap();
+        assert_eq!(out, b"stats: ok\n\n");
+    }
+}

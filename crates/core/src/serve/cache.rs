@@ -19,9 +19,13 @@
 //!   is independent of whatever deadline failed to fire.
 //! * **Epoch guard.** Every entry is stamped with the graph epoch it was
 //!   computed at. The executor bumps its epoch on each applied edge
-//!   update, and a lookup under a newer epoch drops the shard's stale
-//!   generation wholesale — a post-update query can never observe a
-//!   pre-update answer.
+//!   update, and only an entry whose stamp equals the lookup epoch can
+//!   hit — a post-update query can never observe a pre-update answer.
+//!   Stale entries are reclaimed lazily: a lookup that lands on one
+//!   removes it, and an over-capacity insert purges the shard's dead
+//!   generation *before* evicting any live entry (a long-lived serving
+//!   session with edge churn must not let unreachable entries squeeze
+//!   out reachable ones). [`ResultCache::reclaimed`] counts them.
 //! * **Bounded shards.** Entries live in a fixed stripe array (hashed by
 //!   key) with per-shard FIFO eviction, so concurrent workers do not
 //!   serialize on one lock and a long-running session cannot grow without
@@ -110,12 +114,23 @@ impl CacheKey {
     }
 }
 
-struct CacheShard<V> {
-    /// Graph epoch this shard's entries were computed at.
+/// A resident answer with the graph epoch it was computed at.
+struct Entry<V> {
     epoch: u64,
-    map: FxHashMap<CacheKey, V>,
-    /// Insertion order for FIFO eviction.
-    fifo: VecDeque<CacheKey>,
+    value: V,
+}
+
+struct CacheShard<V> {
+    /// Newest epoch this shard has observed (monotone). Entries stamped
+    /// below it are dead weight awaiting reclamation; inserts stamped
+    /// below it are discarded outright.
+    latest: u64,
+    map: FxHashMap<CacheKey, Entry<V>>,
+    /// Insertion order for FIFO eviction, with the epoch each record was
+    /// pushed at. Records are deleted lazily: a popped record only evicts
+    /// when the resident entry still carries the same stamp (an entry
+    /// re-inserted at a newer epoch leaves its old record dangling).
+    fifo: VecDeque<(CacheKey, u64)>,
 }
 
 /// A bounded, sharded, epoch-guarded memo of whole query answers.
@@ -124,6 +139,7 @@ pub struct ResultCache<V> {
     per_shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    reclaimed: AtomicU64,
 }
 
 impl<V: Clone> ResultCache<V> {
@@ -135,7 +151,7 @@ impl<V: Clone> ResultCache<V> {
             shards: (0..CACHE_SHARDS)
                 .map(|_| {
                     Mutex::new(CacheShard {
-                        epoch: 0,
+                        latest: 0,
                         map: FxHashMap::default(),
                         fifo: VecDeque::new(),
                     })
@@ -144,6 +160,7 @@ impl<V: Clone> ResultCache<V> {
             per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
         }
     }
 
@@ -157,7 +174,14 @@ impl<V: Clone> ResultCache<V> {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Cached answers currently resident (all shards).
+    /// Stale-epoch entries reclaimed so far — lazily on lookup, or in
+    /// bulk when an over-capacity insert purges a shard's dead
+    /// generation before evicting anything live.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Cached answers currently resident (all shards, stale included).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| self.lock(s).map.len()).sum()
     }
@@ -178,27 +202,31 @@ impl<V: Clone> ResultCache<V> {
 
     /// Returns the cached answer for `key` computed at `epoch`, if any.
     ///
-    /// A shard whose entries predate `epoch` is invalidated lazily on
-    /// first access: the stale generation is dropped wholesale before the
-    /// lookup proceeds. The caller must pass a monotonically nondecreasing
-    /// epoch for a given graph state (the executor's update path
-    /// guarantees this: mutation takes `&mut self`, so no lookup can race
-    /// an epoch bump).
+    /// Only an entry stamped with exactly `epoch` can hit. A lookup that
+    /// lands on a stale entry removes it on the spot (counted by
+    /// [`ResultCache::reclaimed`]) and reports a miss. The caller must
+    /// pass a monotonically nondecreasing epoch for a given graph state
+    /// (the executor's update path guarantees this: mutation takes
+    /// `&mut self`, so no lookup can race an epoch bump).
     pub fn get(&self, key: &CacheKey, epoch: u64) -> Option<V> {
         // Fault-injection site, fired *before* the shard lock is taken so
         // an injected panic can never poison (or skew) shard state — a
         // retried lookup sees the cache exactly as the first attempt did.
         ktg_common::fault::inject(ktg_common::fault::FaultSite::CacheLookup);
         let mut shard = self.lock(&self.shards[key.shard_index()]);
-        if shard.epoch != epoch {
-            shard.map.clear();
-            shard.fifo.clear();
-            shard.epoch = epoch;
-        }
+        shard.latest = shard.latest.max(epoch);
         match shard.map.get(key) {
-            Some(value) => {
+            Some(entry) if entry.epoch == epoch => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(value.clone())
+                Some(entry.value.clone())
+            }
+            Some(_) => {
+                // Dead on arrival: the entry predates the current graph.
+                // Its FIFO record is left dangling (lazy deletion).
+                shard.map.remove(key);
+                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -207,24 +235,44 @@ impl<V: Clone> ResultCache<V> {
         }
     }
 
-    /// Stores `value` as the answer for `key` at `epoch`, FIFO-evicting
-    /// the shard's oldest entry when over capacity. An insert stamped
-    /// with an epoch older than the shard's current generation is
+    /// Stores `value` as the answer for `key` at `epoch`. An insert
+    /// stamped older than the newest epoch the shard has seen is
     /// discarded (the answer is already stale).
+    ///
+    /// When the shard is over capacity, entries from dead generations
+    /// are purged **first** — evicting a live entry while unreachable
+    /// stale ones still occupy the shard would collapse the hit rate
+    /// under edge-update churn. Only if the shard is still over capacity
+    /// after the purge does FIFO eviction remove the oldest live entry.
     pub fn insert(&self, key: CacheKey, epoch: u64, value: V) {
         let mut shard = self.lock(&self.shards[key.shard_index()]);
-        if shard.epoch != epoch {
-            if shard.epoch > epoch {
-                return;
-            }
-            shard.map.clear();
-            shard.fifo.clear();
-            shard.epoch = epoch;
+        if epoch < shard.latest {
+            return;
         }
-        if shard.map.insert(key.clone(), value).is_none() {
-            shard.fifo.push_back(key);
-            if shard.fifo.len() > self.per_shard_capacity {
-                if let Some(oldest) = shard.fifo.pop_front() {
+        shard.latest = epoch;
+        let stamp_changed = match shard.map.insert(key.clone(), Entry { epoch, value }) {
+            Some(old) => old.epoch != epoch,
+            None => true,
+        };
+        if stamp_changed {
+            // A same-epoch overwrite keeps its original FIFO position;
+            // everything else needs a fresh record (the old one, if any,
+            // now dangles and is skipped at pop time).
+            shard.fifo.push_back((key, epoch));
+        }
+        if shard.map.len() > self.per_shard_capacity {
+            let latest = shard.latest;
+            let before = shard.map.len();
+            shard.map.retain(|_, entry| entry.epoch == latest);
+            let dead = before - shard.map.len();
+            if dead > 0 {
+                self.reclaimed.fetch_add(dead as u64, Ordering::Relaxed);
+                let CacheShard { map, fifo, .. } = &mut *shard;
+                fifo.retain(|(k, e)| map.get(k).is_some_and(|entry| entry.epoch == *e));
+            }
+            while shard.map.len() > self.per_shard_capacity {
+                let Some((oldest, stamp)) = shard.fifo.pop_front() else { break };
+                if shard.map.get(&oldest).is_some_and(|entry| entry.epoch == stamp) {
                     shard.map.remove(&oldest);
                 }
             }
@@ -240,6 +288,13 @@ mod tests {
     fn paper_key(net: &crate::network::AttributedGraph, terms: [&str; 5]) -> CacheKey {
         let query =
             KtgQuery::new(net.query_keywords(terms).unwrap(), 3, 1, 2).unwrap();
+        CacheKey::ktg(&query, &BbOptions::vkc_deg())
+    }
+
+    /// A family of distinct keys (varying `p`) for filling shards.
+    fn key_with_p(net: &crate::network::AttributedGraph, p: usize) -> CacheKey {
+        let query =
+            KtgQuery::new(net.query_keywords(["SN", "QP"]).unwrap(), p, 1, 1).unwrap();
         CacheKey::ktg(&query, &BbOptions::vkc_deg())
     }
 
@@ -294,6 +349,7 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.reclaimed(), 0);
     }
 
     #[test]
@@ -303,6 +359,7 @@ mod tests {
         let cache: ResultCache<u32> = ResultCache::new(64);
         cache.insert(key.clone(), 1, 42);
         assert_eq!(cache.get(&key, 2), None, "post-update lookups must miss");
+        assert_eq!(cache.reclaimed(), 1, "the stale entry is reclaimed on touch");
         // A stale insert (computed before the bump) must be discarded.
         cache.insert(key.clone(), 1, 42);
         assert_eq!(cache.get(&key, 2), None);
@@ -315,15 +372,67 @@ mod tests {
         let net = fixtures::figure1();
         let cache: ResultCache<usize> = ResultCache::new(16);
         for p in 1..200usize {
-            let query = KtgQuery::new(
-                net.query_keywords(["SN", "QP"]).unwrap(),
-                p,
-                1,
-                1,
-            )
-            .unwrap();
-            cache.insert(CacheKey::ktg(&query, &BbOptions::vkc_deg()), 1, p);
+            cache.insert(key_with_p(&net, p), 1, p);
         }
         assert!(cache.len() <= 16, "resident {} exceeds capacity", cache.len());
+    }
+
+    /// Regression for the epoch-churn eviction bug: an over-capacity
+    /// insert must purge the shard's stale (dead-epoch) entries before
+    /// evicting anything live. Without the purge, entries computed
+    /// before an edge update sit unreachable in the FIFO and squeeze
+    /// out the very answers the current epoch can still hit.
+    #[test]
+    fn stale_generations_are_purged_before_live_eviction() {
+        let net = fixtures::figure1();
+        // Capacity 16 ⇒ one entry per shard: any shard already holding
+        // an epoch-1 entry overflows on its first epoch-2 insert.
+        let cache: ResultCache<usize> = ResultCache::new(16);
+        for p in 1..33usize {
+            cache.insert(key_with_p(&net, p), 1, p);
+        }
+        let resident_before = cache.len();
+        assert!(resident_before > 0);
+        // Edge-update churn: a new generation arrives without any lookup
+        // having touched the old one.
+        for p in 101..133usize {
+            cache.insert(key_with_p(&net, p), 2, p);
+        }
+        assert!(
+            cache.reclaimed() > 0,
+            "over-capacity inserts must reclaim the dead generation"
+        );
+        // The newest entry of the new generation is never the eviction
+        // victim: stale entries go first, then FIFO order among live ones.
+        assert_eq!(cache.get(&key_with_p(&net, 132), 2), Some(132));
+        assert!(cache.len() <= 16, "resident {} exceeds capacity", cache.len());
+        // Every surviving entry is from the live generation.
+        for p in 1..33usize {
+            let dead_hit = {
+                let before = cache.hits();
+                cache.get(&key_with_p(&net, p), 2);
+                cache.hits() != before
+            };
+            assert!(!dead_hit, "stale entry for p={p} survived the purge and hit");
+        }
+    }
+
+    /// A same-epoch overwrite (two workers racing the same miss) must
+    /// not duplicate FIFO records — otherwise the duplicate record
+    /// evicts the entry ahead of its turn.
+    #[test]
+    fn same_epoch_overwrite_keeps_one_fifo_record() {
+        let net = fixtures::figure1();
+        let cache: ResultCache<usize> = ResultCache::new(16);
+        let key = key_with_p(&net, 1);
+        cache.insert(key.clone(), 1, 10);
+        cache.insert(key.clone(), 1, 11);
+        // Fill the shard far past capacity with distinct keys; the
+        // overwritten key is evicted exactly once, and the cache stays
+        // consistent (no phantom entries, bound respected).
+        for p in 2..40usize {
+            cache.insert(key_with_p(&net, p), 1, p);
+        }
+        assert!(cache.len() <= 16);
     }
 }

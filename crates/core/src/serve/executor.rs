@@ -219,6 +219,9 @@ pub struct ServeStats {
     pub result_hits: u64,
     /// Queries that fell through to a fresh solve.
     pub result_misses: u64,
+    /// Stale-epoch result entries reclaimed (lazily on lookup, or in
+    /// bulk when an over-capacity insert purges a dead generation).
+    pub result_reclaimed: u64,
     /// Conflict rows served from the `(vertex, k)` memo.
     pub row_hits: u64,
     /// Conflict rows computed by bounded BFS.
@@ -276,6 +279,7 @@ impl ServeSession {
         ServeStats {
             result_hits: self.results.hits(),
             result_misses: self.results.misses(),
+            result_reclaimed: self.results.reclaimed(),
             row_hits: self.rows.hits(),
             row_misses: self.rows.misses(),
             epoch: self.epoch,
@@ -321,6 +325,40 @@ impl ServeSession {
             }
         }
         out
+    }
+
+    /// Answers one *query* item through the full isolated pipeline
+    /// (cache, pooled arena, panic isolation, retry-once) without
+    /// mutating the session.
+    ///
+    /// This is the network server's read-path entry point: because it
+    /// takes `&self`, many connections can answer concurrently under a
+    /// shared read lock while edge updates serialize behind the write
+    /// lock via [`ServeSession::apply_item`]. Update items are not
+    /// accepted here — they would need `&mut self` — and come back as
+    /// [`ItemOutcome::Failed`] rather than panicking, so a misrouted
+    /// item degrades one response instead of the whole connection.
+    pub fn answer_query(&self, item: &WorkloadItem) -> ItemOutcome {
+        if !item.is_query() {
+            return ItemOutcome::Failed {
+                reason: "update items require exclusive session access".to_string(),
+            };
+        }
+        let oracle = self.dynamic.index();
+        let mut slot: Option<PoolGuard<'_, Arena>> = None;
+        self.answer_isolated(item, oracle, &mut slot)
+    }
+
+    /// Executes one item of any kind, taking `&mut self`: queries go
+    /// through the same pipeline as [`ServeSession::answer_query`], edge
+    /// updates apply (bumping the epoch on a real topology change). The
+    /// network server routes update lines here under its write lock.
+    pub fn apply_item(&mut self, item: &WorkloadItem) -> ItemOutcome {
+        match *item {
+            WorkloadItem::Insert(u, v) => self.apply_update(true, u, v),
+            WorkloadItem::Remove(u, v) => self.apply_update(false, u, v),
+            _ => self.answer_query(item),
+        }
     }
 
     /// Applies one edge update. On an actual topology change the epoch
@@ -951,6 +989,38 @@ ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
             assert!(!ans.cached, "degraded answers must not come from the cache");
         }
         assert_eq!(session.stats().result_hits, 0, "nothing degraded was inserted");
+    }
+
+    /// The server's item-at-a-time entry points must produce the same
+    /// result-bearing outcomes as the batched `run` path — this is the
+    /// contract that makes TCP responses byte-identical to `ktg batch`.
+    #[test]
+    fn shared_entry_points_match_run() {
+        let net = fixtures::figure1();
+        let workload = parse_workload(
+            "\
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+insert 0 5
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+dktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2 gamma=0.5
+remove 0 5
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+",
+            &net,
+        )
+        .unwrap();
+        let opts = || ServeOptions { threads: 1, ..ServeOptions::default() };
+        let batched = ServeSession::new(net.clone(), opts()).run(&workload);
+        let mut item_session = ServeSession::new(net.clone(), opts());
+        let itemized: Vec<ItemOutcome> =
+            workload.iter().map(|item| item_session.apply_item(item)).collect();
+        assert_eq!(batched, itemized);
+        // answer_query never mutates: an update item routed there is a
+        // reported failure, and the epoch stands still.
+        let epoch = item_session.epoch();
+        let misrouted = item_session.answer_query(&WorkloadItem::Insert(VertexId(0), VertexId(5)));
+        assert!(matches!(misrouted, ItemOutcome::Failed { .. }));
+        assert_eq!(item_session.epoch(), epoch);
     }
 
     #[test]

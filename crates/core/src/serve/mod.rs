@@ -43,7 +43,7 @@ pub mod workload;
 
 pub use cache::{CacheKey, ResultCache};
 pub use executor::{DktgAnswer, ItemOutcome, KtgAnswer, ServeSession, ServeStats};
-pub use workload::{parse_workload, WorkloadItem};
+pub use workload::{parse_request_line, parse_workload, WorkloadItem};
 
 /// Configuration for a [`ServeSession`].
 #[derive(Clone, Debug)]

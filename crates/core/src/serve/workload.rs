@@ -157,6 +157,13 @@ fn parse_line(
     lineno: usize,
     raw: &str,
 ) -> Result<Option<WorkloadItem>> {
+    // Accept CRLF input: a single trailing `\r` is line-ending framing,
+    // not content. `str::lines()` only strips it when it also stripped a
+    // `\n`, so a final line without a trailing newline (and every line a
+    // network peer frames with bare CRLF) still carries it — and it must
+    // be dropped *before* the byte cap so the cap measures content, and
+    // before tokenizing so `n=1\r` does not fail integer parsing.
+    let raw = raw.strip_suffix('\r').unwrap_or(raw);
     if raw.len() > MAX_LINE_BYTES {
         return Err(line_err(
             lineno,
@@ -228,6 +235,28 @@ pub fn parse_workload(text: &str, net: &AttributedGraph) -> Result<Vec<WorkloadI
         }
     }
     Ok(items)
+}
+
+/// Parses one request line exactly as [`parse_workload`] parses a file
+/// line — same grammar, same `\r` handling, same byte cap, same
+/// fault-injection site with retry-once recovery — reporting errors
+/// against the caller-supplied line number.
+///
+/// This is the network server's per-line entry point: a connection is a
+/// workload arriving one line at a time, and routing both paths through
+/// [`parse_line`] is what keeps TCP responses byte-identical to
+/// `ktg batch` on the same script.
+///
+/// # Errors
+/// Exactly those of [`parse_workload`], for the single line.
+pub fn parse_request_line(
+    net: &AttributedGraph,
+    lineno: usize,
+    raw: &str,
+) -> Result<Option<WorkloadItem>> {
+    ktg_common::fault::recoverable(ktg_common::fault::FaultSite::WorkloadParse, || {
+        parse_line(net, lineno, raw)
+    })
 }
 
 #[cfg(test)]
@@ -342,6 +371,75 @@ ktg n=1 k=0 p=2 terms=SN
         assert!(matches!(err, KtgError::InvalidInput(_)));
         let msg = err.to_string();
         assert!(msg.contains("line 2") && msg.contains("exceeds 4096 bytes"), "{msg}");
+    }
+
+    /// CRLF corpus: `str::lines()` leaves the `\r` on a final line that
+    /// lacks a trailing `\n` (it only strips `\r` together with `\n`),
+    /// so CR-carrying lines reach the parser — from Windows-edited
+    /// files and from network peers framing with bare CRLF alike. A
+    /// trailing `\r` is framing, not content, and must parse everywhere:
+    /// on queries, updates, comments, and blank lines.
+    #[test]
+    fn crlf_line_endings_parse() {
+        let net = fixtures::figure1();
+        // Final line, CR retained by `lines()`.
+        let items = parse_workload("ktg terms=SN p=2 k=1 n=1\r", &net).unwrap();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].is_query());
+        // A whole CRLF-terminated file, including a CR-only blank line
+        // and a CR-terminated comment and edge update.
+        let items = parse_workload(
+            "# crlf file\r\nktg terms=SN,QP p=2 k=1 n=1\r\n\r\ninsert 0 5\r\ndktg terms=GD p=2 k=1 n=1 gamma=0.25\r",
+            &net,
+        )
+        .unwrap();
+        assert_eq!(items.len(), 3);
+        assert!(matches!(items[1], WorkloadItem::Insert(VertexId(0), VertexId(5))));
+        // The error line numbers are unaffected by CRLF framing.
+        let err = parse_workload("# a\r\nbogus\r\n", &net).expect_err("bad directive");
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("unknown directive"), "{msg}");
+    }
+
+    /// Regression for the cap boundary under CRLF: the cap must measure
+    /// content bytes, after the framing `\r` is stripped.
+    #[test]
+    fn byte_cap_excludes_crlf_framing() {
+        let net = fixtures::figure1();
+        // Exactly MAX_LINE_BYTES of content parses...
+        let pad = MAX_LINE_BYTES - "ktg terms=SN p=2 k=1 n=1".len();
+        let exact = format!("ktg terms=SN p=2 k=1 n=1{}", " ".repeat(pad));
+        assert_eq!(exact.len(), MAX_LINE_BYTES);
+        assert_eq!(parse_workload(&exact, &net).unwrap().len(), 1);
+        // ...including with a trailing `\r` pushing the raw line to
+        // MAX_LINE_BYTES + 1 (pre-fix: wrongly cap-rejected).
+        let exact_cr = format!("{exact}\r");
+        assert_eq!(parse_workload(&exact_cr, &net).unwrap().len(), 1);
+        // One content byte over the cap is rejected, the reported size is
+        // the content size (not content + `\r`), and the line number is
+        // right.
+        let over = format!("# lead\n{} \r", exact);
+        let err = parse_workload(&over, &net).expect_err("over cap");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 2")
+                && msg.contains(&format!("line is {} bytes", MAX_LINE_BYTES + 1)),
+            "{msg}"
+        );
+    }
+
+    /// The server's per-line entry point shares the file parser's
+    /// grammar, CR handling, and error shape verbatim.
+    #[test]
+    fn request_line_matches_file_grammar() {
+        let net = fixtures::figure1();
+        let item = parse_request_line(&net, 7, "ktg terms=SN p=2 k=1 n=1\r").unwrap();
+        assert!(item.is_some_and(|i| i.is_query()));
+        assert!(parse_request_line(&net, 7, "# comment").unwrap().is_none());
+        assert!(parse_request_line(&net, 7, "").unwrap().is_none());
+        let err = parse_request_line(&net, 7, "bogus").expect_err("bad directive");
+        let msg = err.to_string();
+        assert!(msg.contains("line 7") && msg.contains("unknown directive"), "{msg}");
     }
 
     /// Seeded garbage lines: the parser must return `InvalidInput` or

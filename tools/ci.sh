@@ -28,6 +28,10 @@ echo "== serving differential gate (KTG_THREADS=4, checked mode) =="
 KTG_THREADS=4 KTG_VERIFY=1 cargo test -q --offline \
     -p ktg-integration-tests --test serve_diff
 
+echo "== network differential gate (TCP responses == batch bytes, checked mode) =="
+KTG_THREADS=4 KTG_VERIFY=1 cargo test -q --offline \
+    -p ktg-integration-tests --test net_diff
+
 echo "== bb_scaling smoke (quick mode still writes JSON-lines) =="
 bench_out="$(mktemp -d)"
 KTG_BENCH_FAST=1 KTG_BENCH_OUT="$bench_out" \
@@ -56,6 +60,26 @@ off_ns="$(grep '"bench":"cache_off","param":"1"' "$bench_out/qps.jsonl" \
     | sed 's/.*"min_ns":\([0-9]*\).*/\1/' | head -n1)"
 if [ -z "$on_ns" ] || [ -z "$off_ns" ] || [ "$on_ns" -gt "$off_ns" ]; then
     echo "FAIL: cache-on (${on_ns:-?} ns) should not be slower than cache-off (${off_ns:-?} ns) at 1 thread" >&2
+    exit 1
+fi
+
+echo "== net_qps smoke (TCP serving throughput over loopback: >= 8 records) =="
+# The binary self-asserts block framing and the cache-on > cache-off win
+# at one connection (re-measuring once against loopback jitter, which
+# appends fresh records — hence tail -n1 below reads the final word).
+KTG_BENCH_FAST=1 KTG_BENCH_OUT="$bench_out" \
+    cargo run -q --release --offline -p ktg-bench --bin net_qps
+net_records="$(wc -l < "$bench_out/net_qps.jsonl")"
+if [ "$net_records" -lt 8 ]; then
+    echo "FAIL: net_qps wrote $net_records JSON-lines records, expected >= 8" >&2
+    exit 1
+fi
+net_on_ns="$(grep '"bench":"closed_cache_on","param":"1"' "$bench_out/net_qps.jsonl" \
+    | sed 's/.*"min_ns":\([0-9]*\).*/\1/' | tail -n1)"
+net_off_ns="$(grep '"bench":"closed_cache_off","param":"1"' "$bench_out/net_qps.jsonl" \
+    | sed 's/.*"min_ns":\([0-9]*\).*/\1/' | tail -n1)"
+if [ -z "$net_on_ns" ] || [ -z "$net_off_ns" ] || [ "$net_on_ns" -gt "$net_off_ns" ]; then
+    echo "FAIL: cache-on (${net_on_ns:-?} ns) should not be slower than cache-off (${net_off_ns:-?} ns) at 1 connection" >&2
     exit 1
 fi
 rm -rf "$bench_out"
@@ -105,6 +129,73 @@ if ! cmp -s "$tmp/batch-clean.out" "$tmp/batch-fault.out"; then
     diff "$tmp/batch-clean.out" "$tmp/batch-fault.out" >&2 || true
     exit 1
 fi
+
+echo "== server smoke (ktg serve on an ephemeral port, bytes == batch, clean shutdown) =="
+# Background server under checked mode; the trap kills it on any failure
+# so a broken smoke can never leave an orphan process behind.
+server_log="$tmp/serve.log"
+KTG_VERIFY=1 cargo run -q --release --offline -p ktg-cli -- serve \
+    --edges "$tmp/data/edges.txt" --keywords "$tmp/data/keywords.txt" \
+    --bind 127.0.0.1:0 --workers 2 --threads 1 > "$server_log" 2>&1 &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+addr=""
+for _ in $(seq 1 150); do
+    addr="$(sed -n 's/^serving on \([^ ]*\).*/\1/p' "$server_log" | head -n1)"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "FAIL: server exited before binding; log:" >&2
+        cat "$server_log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: server never reported its bound address; log:" >&2
+    cat "$server_log" >&2
+    exit 1
+fi
+# The same workload the fault smoke replayed through `ktg batch`: the
+# client's response text must be byte-identical to the batch output
+# minus the header/summary lines the server has no equivalent of.
+cargo run -q --release --offline -p ktg-cli -- serve \
+    --connect "$addr" --workload "$tmp/workload.txt" --stats \
+    > "$tmp/serve-client.out"
+grep -v '^batch: \|^served: \|^partial: ' "$tmp/batch-clean.out" > "$tmp/batch-body.out"
+grep -v '^stats: ' "$tmp/serve-client.out" > "$tmp/serve-body.out"
+if ! cmp -s "$tmp/batch-body.out" "$tmp/serve-body.out"; then
+    echo "FAIL: TCP responses diverged from the batch rendering:" >&2
+    diff "$tmp/batch-body.out" "$tmp/serve-body.out" >&2 || true
+    exit 1
+fi
+grep -q '"p50_ns":' "$tmp/serve-client.out" || {
+    echo "FAIL: /stats response did not carry latency percentiles" >&2
+    exit 1
+}
+cargo run -q --release --offline -p ktg-cli -- serve --connect "$addr" --shutdown \
+    > /dev/null
+for _ in $(seq 1 150); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "FAIL: server still running after /shutdown (orphan would leak)" >&2
+    exit 1
+fi
+set +e
+wait "$server_pid"
+server_code=$?
+set -e
+trap 'rm -rf "$tmp"' EXIT
+if [ "$server_code" -ne 0 ]; then
+    echo "FAIL: server exited $server_code after /shutdown; log:" >&2
+    cat "$server_log" >&2
+    exit 1
+fi
+grep -q "server stopped" "$server_log" || {
+    echo "FAIL: server did not log its clean stop line" >&2
+    exit 1
+}
 
 echo "== tight-budget degraded smoke (exit 3, flagged status, verifier clean) =="
 # A one-node budget forces a best-so-far answer: the binary must exit 3
