@@ -17,7 +17,7 @@ use ktg_index::NlrnlIndex;
 use std::time::Duration;
 
 fn pruning_rules() {
-    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
+    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq).expect("bench workload");
     let index = NlrnlIndex::build(net.graph());
     let mut group = BenchGroup::new("ablation_pruning");
     group.sample_size(10).warm_up_time(Duration::from_millis(500));
@@ -44,7 +44,7 @@ fn pruning_rules() {
 }
 
 fn degree_direction() {
-    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
+    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq).expect("bench workload");
     let index = NlrnlIndex::build(net.graph());
     let mut group = BenchGroup::new("ablation_degree_order");
     group.sample_size(10).warm_up_time(Duration::from_millis(500));
@@ -68,12 +68,12 @@ fn degree_direction() {
 }
 
 fn oracle_choice() {
-    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
+    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq).expect("bench workload");
     let bench = Workbench::new(&net);
     let mut group = BenchGroup::new("ablation_oracles");
     group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for algo in [Algo::KtgVkcDegBfs, Algo::KtgVkcNl, Algo::KtgVkcDegNlrnl] {
-        group.bench(algo.name(), "", || bench.run_batch(algo, &batch, &DEFAULTS, Some(50_000)));
+        group.bench(algo.name(), "", || bench.run_batch(algo, &batch, &DEFAULTS, Some(50_000)).expect("bench query"));
     }
     // PLL (2-hop labels): the modern baseline the paper cites as
     // inspiration but never measures. Run the same search over it.
@@ -93,7 +93,7 @@ fn oracle_choice() {
 
 fn brute_vs_bb() {
     // Brute force is O(|V|^p): keep the instance tiny.
-    let (net, batch) = dataset_with_queries(DatasetProfile::Brightkite, 800, 42, 1, 4);
+    let (net, batch) = dataset_with_queries(DatasetProfile::Brightkite, 800, 42, 1, 4).expect("bench workload");
     let index = NlrnlIndex::build(net.graph());
     let query = KtgQuery::new(batch[0].clone(), 3, 1, 2).expect("valid");
     let mut group = BenchGroup::new("ablation_brute_vs_bb");
@@ -135,7 +135,7 @@ fn community_structure() {
     group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for (name, net) in &nets {
         let index = NlrnlIndex::build(net.graph());
-        let batch = ktg_datasets::QueryGen::new(net, 5).batch(2, DEFAULTS.wq);
+        let batch = ktg_datasets::QueryGen::new(net, 5).batch(2, DEFAULTS.wq).expect("bench workload");
         group.bench("vkc-deg", name, || {
             for q in &batch {
                 let query =

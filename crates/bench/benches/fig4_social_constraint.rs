@@ -12,14 +12,14 @@ use ktg_datasets::DatasetProfile;
 use std::time::Duration;
 
 fn main() {
-    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq);
+    let (net, batch) = dataset_with_queries(DatasetProfile::Gowalla, 100, 42, 2, DEFAULTS.wq).expect("bench workload");
     let bench = Workbench::new(&net);
     let mut group = BenchGroup::new("fig4_social_constraint");
     group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for &k in &K_RANGE {
         let cfg = DEFAULTS.with_k(k);
         for algo in Algo::FIG456 {
-            group.bench(algo.name(), k, || bench.run_batch(algo, &batch, &cfg, Some(50_000)));
+            group.bench(algo.name(), k, || bench.run_batch(algo, &batch, &cfg, Some(50_000)).expect("bench query"));
         }
     }
 }

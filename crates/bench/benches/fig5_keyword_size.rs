@@ -19,9 +19,9 @@ fn main() {
     for &wq in &WQ_RANGE {
         let cfg = DEFAULTS.with_wq(wq);
         // |W_Q| changes the workload itself: regenerate per size.
-        let batch = QueryGen::new(&net, 42 ^ 0xBEEF).batch(2, wq);
+        let batch = QueryGen::new(&net, 42 ^ 0xBEEF).batch(2, wq).expect("bench workload");
         for algo in Algo::FIG456 {
-            group.bench(algo.name(), wq, || bench.run_batch(algo, &batch, &cfg, Some(50_000)));
+            group.bench(algo.name(), wq, || bench.run_batch(algo, &batch, &cfg, Some(50_000)).expect("bench query"));
         }
     }
 }

@@ -13,27 +13,27 @@ use ktg_datasets::DatasetProfile;
 use std::time::Duration;
 
 fn dense() {
-    let (net, batch) = dataset_with_queries(DatasetProfile::Twitter, 200, 42, 2, DEFAULTS.wq);
+    let (net, batch) = dataset_with_queries(DatasetProfile::Twitter, 200, 42, 2, DEFAULTS.wq).expect("bench workload");
     let bench = Workbench::new(&net);
     let mut group = BenchGroup::new("fig7a_dense_twitter");
     group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for &p in &P_RANGE {
         let cfg = DEFAULTS.with_p(p);
         for algo in [Algo::KtgVkcNlrnl, Algo::KtgVkcDegNlrnl] {
-            group.bench(algo.name(), p, || bench.run_batch(algo, &batch, &cfg, Some(50_000)));
+            group.bench(algo.name(), p, || bench.run_batch(algo, &batch, &cfg, Some(50_000)).expect("bench query"));
         }
     }
 }
 
 fn large() {
-    let (net, batch) = dataset_with_queries(DatasetProfile::DblpLarge, 400, 42, 2, DEFAULTS.wq);
+    let (net, batch) = dataset_with_queries(DatasetProfile::DblpLarge, 400, 42, 2, DEFAULTS.wq).expect("bench workload");
     let bench = Workbench::new(&net);
     let mut group = BenchGroup::new("fig7b_large_dblp");
     group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for &k in &K_RANGE {
         let cfg = DEFAULTS.with_k(k);
         for algo in [Algo::KtgVkcNl, Algo::KtgVkcDegNlrnl] {
-            group.bench(algo.name(), k, || bench.run_batch(algo, &batch, &cfg, Some(50_000)));
+            group.bench(algo.name(), k, || bench.run_batch(algo, &batch, &cfg, Some(50_000)).expect("bench query"));
         }
     }
 }

@@ -80,7 +80,7 @@ fn main() {
     let (vocab, vk) = assign_zipf(n, &KeywordModel::default(), SEED ^ 0x515F);
     let net = AttributedGraph::new(graph, vocab, vk);
     let oracle = NlrnlIndex::build(net.graph());
-    let batch = QueryGen::new(&net, SEED ^ 0xBEEF).batch(queries, 6);
+    let batch = QueryGen::new(&net, SEED ^ 0xBEEF).batch(queries, 6).expect("bench workload");
 
     let mut baseline: Option<Vec<Vec<ktg_core::Group>>> = None;
     let mut seq_checks: Vec<(&'static str, u64)> = Vec::new();

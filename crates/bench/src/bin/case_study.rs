@@ -41,7 +41,7 @@ fn main() {
     println!("graph: {}\n", ktg_graph::stats::summary(net.graph()));
 
     // The paper's query: 5 keywords, N = 3, p = 3, k = 2.
-    let keywords = QueryGen::new(&net, seed ^ 0xF1C8).query(5);
+    let keywords = QueryGen::new(&net, seed ^ 0xF1C8).query(5).expect("bench workload");
     let terms: Vec<&str> =
         keywords.ids().iter().map(|&k| net.vocab().term(k)).collect();
     println!("query keywords: {}   (N=3, p=3, k=2, gamma=0.5)\n", terms.join(", "));

@@ -170,8 +170,9 @@ fn fig_sweep(cli: &Cli, fig: &str, param: &str, algos: &[Algo]) {
                 // The batch depends on |W_Q|; regenerate per config with a
                 // fixed seed so every algorithm sees identical queries.
                 let batch = ktg_datasets::QueryGen::new(&net, cli.seed ^ 0xBEEF)
-                    .batch(cli.queries, cfg.wq);
-                let m = bench.run_batch(algo, &batch, cfg, cli.budget);
+                    .batch(cli.queries, cfg.wq)
+                    .expect("bench workload");
+                let m = bench.run_batch(algo, &batch, cfg, cli.budget).expect("bench query");
                 let mut cell = fmt_duration(m.mean_latency);
                 if m.stats.truncated {
                     cell.push('*');
@@ -203,8 +204,10 @@ fn fig7a(cli: &Cli) {
         for &p in &P_RANGE {
             let cfg = DEFAULTS.with_p(p);
             let batch =
-                ktg_datasets::QueryGen::new(&net, cli.seed ^ 0xBEEF).batch(cli.queries, cfg.wq);
-            let m = bench.run_batch(algo, &batch, &cfg, cli.budget);
+                ktg_datasets::QueryGen::new(&net, cli.seed ^ 0xBEEF)
+                .batch(cli.queries, cfg.wq)
+                .expect("bench workload");
+            let m = bench.run_batch(algo, &batch, &cfg, cli.budget).expect("bench query");
             let mut cell = fmt_duration(m.mean_latency);
             if m.stats.truncated {
                 cell.push('*');
@@ -223,7 +226,8 @@ fn fig7a(cli: &Cli) {
 /// Figure 7b: the large DBLP-1M graph, NL vs NLRNL scalability vs k.
 fn fig7b(cli: &Cli) {
     let (net, _) =
-        dataset_with_queries(DatasetProfile::DblpLarge, cli.scale, cli.seed, 1, DEFAULTS.wq);
+        dataset_with_queries(DatasetProfile::DblpLarge, cli.scale, cli.seed, 1, DEFAULTS.wq)
+            .expect("bench workload");
     let bench = Workbench::new(&net);
     let mut table = Table::new(
         format!("fig7b — large graph (dblp-1m, scale 1/{}) — latency vs k", cli.scale),
@@ -235,8 +239,10 @@ fn fig7b(cli: &Cli) {
         for &k in &K_RANGE {
             let cfg = DEFAULTS.with_k(k);
             let batch =
-                ktg_datasets::QueryGen::new(&net, cli.seed ^ 0xBEEF).batch(cli.queries, cfg.wq);
-            let m = bench.run_batch(algo, &batch, &cfg, cli.budget);
+                ktg_datasets::QueryGen::new(&net, cli.seed ^ 0xBEEF)
+                .batch(cli.queries, cfg.wq)
+                .expect("bench workload");
+            let m = bench.run_batch(algo, &batch, &cfg, cli.budget).expect("bench query");
             let mut cell = fmt_duration(m.mean_latency);
             if m.stats.truncated {
                 cell.push('*');

@@ -56,7 +56,8 @@ fn build(quick: bool) -> (AttributedGraph, Vec<String>) {
     let (vocab, vk) = assign_zipf(n, &KeywordModel::default(), SEED ^ 0x515F);
     let net = AttributedGraph::new(graph, vocab, vk);
 
-    let keyword_sets = QueryGen::new(&net, SEED ^ 0xBEEF).batch(pool_size, 6);
+    let keyword_sets =
+        QueryGen::new(&net, SEED ^ 0xBEEF).batch(pool_size, 6).expect("bench workload");
     let pool: Vec<String> = keyword_sets
         .into_iter()
         .enumerate()

@@ -75,7 +75,8 @@ fn main() {
 
     // Distinct query pool: alternating KTG / DKTG over frequency-weighted
     // keyword sets, expanded into a Zipf-skewed repeat stream.
-    let keyword_sets = QueryGen::new(&net, SEED ^ 0xBEEF).batch(pool_size, 6);
+    let keyword_sets =
+        QueryGen::new(&net, SEED ^ 0xBEEF).batch(pool_size, 6).expect("bench workload");
     let pool: Vec<WorkloadItem> = keyword_sets
         .into_iter()
         .enumerate()

@@ -7,7 +7,7 @@
 //! `<search>-<index>`, e.g. `KTG-VKC-DEG-NLRNL`.
 
 use crate::params::Params;
-use ktg_common::parallel;
+use ktg_common::{parallel, Result};
 use ktg_core::dktg::{self, DktgQuery};
 use ktg_core::{bb, AttributedGraph, KtgQuery, SearchStats};
 use ktg_datasets::{DatasetProfile, QueryGen};
@@ -109,16 +109,18 @@ impl<'g> Workbench<'g> {
 
     /// Runs one algorithm over one query, returning elapsed time, stats,
     /// and whether any group was found.
+    ///
+    /// # Errors
+    /// Propagates invalid `(p, k, n, gamma)` parameter combinations.
     pub fn run_query(
         &self,
         algo: Algo,
         keywords: &QueryKeywords,
         params: &Params,
         node_budget: Option<u64>,
-    ) -> (Duration, SearchStats, bool) {
-        let query = KtgQuery::new(keywords.clone(), params.p, params.k, params.n)
-            .expect("harness params are valid");
-        match algo {
+    ) -> Result<(Duration, SearchStats, bool)> {
+        let query = KtgQuery::new(keywords.clone(), params.p, params.k, params.n)?;
+        Ok(match algo {
             Algo::KtgQkcNlrnl => self.run_bb(&query, &self.nlrnl, bb::BbOptions::qkc(), node_budget),
             Algo::KtgVkcNl => self.run_bb(&query, &self.nl, bb::BbOptions::vkc(), node_budget),
             Algo::KtgVkcNlrnl => self.run_bb(&query, &self.nlrnl, bb::BbOptions::vkc(), node_budget),
@@ -129,13 +131,13 @@ impl<'g> Workbench<'g> {
                 self.run_bb(&query, &self.bfs, bb::BbOptions::vkc_deg(), node_budget)
             }
             Algo::DktgGreedy => {
-                let dq = DktgQuery::new(query, params.gamma).expect("gamma validated");
+                let dq = DktgQuery::new(query, params.gamma)?;
                 let inner = bb::BbOptions { node_budget, ..bb::BbOptions::vkc_deg() };
                 let start = Instant::now();
                 let out = dktg::solve_with_options(self.net, &dq, &self.nlrnl, &inner);
                 (start.elapsed(), out.stats, !out.groups.is_empty())
             }
-        }
+        })
     }
 
     fn run_bb(
@@ -186,50 +188,57 @@ impl<'g> Workbench<'g> {
 
     /// Runs a whole batch, returning the aggregate measurement. An empty
     /// batch yields the all-zero [`Measurement`] (not a division by zero).
+    ///
+    /// # Errors
+    /// Propagates the first [`Workbench::run_query`] failure.
     pub fn run_batch(
         &self,
         algo: Algo,
         batch: &[QueryKeywords],
         params: &Params,
         node_budget: Option<u64>,
-    ) -> Measurement {
+    ) -> Result<Measurement> {
         if batch.is_empty() {
-            return Measurement {
+            return Ok(Measurement {
                 mean_latency: Duration::ZERO,
                 stats: SearchStats::default(),
                 solved: 0,
                 queries: 0,
-            };
+            });
         }
         let mut total = Duration::ZERO;
         let mut stats = SearchStats::default();
         let mut solved = 0;
         for q in batch {
-            let (elapsed, s, found) = self.run_query(algo, q, params, node_budget);
+            let (elapsed, s, found) = self.run_query(algo, q, params, node_budget)?;
             total += elapsed;
             stats.merge(&s);
             solved += usize::from(found);
         }
-        Measurement {
+        Ok(Measurement {
             mean_latency: total / batch.len() as u32,
             stats,
             solved,
             queries: batch.len(),
-        }
+        })
     }
 }
 
 /// Instantiates a profile and a deterministic query batch for it.
+///
+/// # Errors
+/// Propagates query-generation failures (e.g. `wq` exceeding the
+/// instantiated vocabulary).
 pub fn dataset_with_queries(
     profile: DatasetProfile,
     scale: usize,
     seed: u64,
     queries: usize,
     wq: usize,
-) -> (AttributedGraph, Vec<QueryKeywords>) {
+) -> Result<(AttributedGraph, Vec<QueryKeywords>)> {
     let net = profile.instantiate(scale, seed);
-    let batch = QueryGen::new(&net, seed ^ 0xBEEF).batch(queries, wq);
-    (net, batch)
+    let batch = QueryGen::new(&net, seed ^ 0xBEEF).batch(queries, wq)?;
+    Ok((net, batch))
 }
 
 #[cfg(test)]
@@ -240,10 +249,10 @@ mod tests {
     #[test]
     fn all_algorithms_run_on_scaled_dataset() {
         let (net, batch) =
-            dataset_with_queries(DatasetProfile::Brightkite, 400, 3, 3, DEFAULTS.wq);
+            dataset_with_queries(DatasetProfile::Brightkite, 400, 3, 3, DEFAULTS.wq).unwrap();
         let bench = Workbench::new(&net);
         for algo in Algo::FIG3 {
-            let m = bench.run_batch(algo, &batch, &DEFAULTS, Some(2_000_000));
+            let m = bench.run_batch(algo, &batch, &DEFAULTS, Some(2_000_000)).unwrap();
             assert_eq!(m.queries, 3, "{}", algo.name());
             assert!(m.stats.nodes > 0, "{}", algo.name());
         }
@@ -252,7 +261,7 @@ mod tests {
     #[test]
     fn index_variants_agree_on_results() {
         let (net, batch) =
-            dataset_with_queries(DatasetProfile::Gowalla, 400, 11, 5, DEFAULTS.wq);
+            dataset_with_queries(DatasetProfile::Gowalla, 400, 11, 5, DEFAULTS.wq).unwrap();
         let bench = Workbench::new(&net);
         for q in &batch {
             let query = KtgQuery::new(q.clone(), DEFAULTS.p, DEFAULTS.k, DEFAULTS.n).unwrap();
@@ -267,7 +276,7 @@ mod tests {
     #[test]
     fn parallel_batch_runs_all_queries() {
         let (net, batch) =
-            dataset_with_queries(DatasetProfile::Brightkite, 800, 3, 6, DEFAULTS.wq);
+            dataset_with_queries(DatasetProfile::Brightkite, 800, 3, 6, DEFAULTS.wq).unwrap();
         let bench = Workbench::new(&net);
         let (elapsed, qps) =
             bench.run_batch_parallel(Algo::KtgVkcDegNlrnl, &batch, &DEFAULTS, Some(100_000));
@@ -277,9 +286,10 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_zero_measurement() {
-        let (net, _) = dataset_with_queries(DatasetProfile::Brightkite, 800, 3, 0, DEFAULTS.wq);
+        let (net, _) =
+            dataset_with_queries(DatasetProfile::Brightkite, 800, 3, 0, DEFAULTS.wq).unwrap();
         let bench = Workbench::new(&net);
-        let m = bench.run_batch(Algo::KtgVkcDegNlrnl, &[], &DEFAULTS, None);
+        let m = bench.run_batch(Algo::KtgVkcDegNlrnl, &[], &DEFAULTS, None).unwrap();
         assert_eq!(m.queries, 0);
         assert_eq!(m.solved, 0);
         assert_eq!(m.mean_latency, Duration::ZERO);

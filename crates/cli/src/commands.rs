@@ -319,7 +319,7 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
             ));
         }
         let seed: u64 = args.num_or("seed", 42)?;
-        QueryGen::new(&net, seed).query(size)
+        QueryGen::new(&net, seed).query(size)?
     };
     let query = KtgQuery::new(keywords.clone(), p, k, n)?;
 

@@ -219,6 +219,13 @@ impl Stopwatch {
     pub fn elapsed_nanos(&self) -> u64 {
         u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
+
+    /// Wall time elapsed since [`Stopwatch::start`], for build-stats
+    /// reporting (the `Duration`-typed sibling of
+    /// [`Stopwatch::elapsed_nanos`]).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
 }
 
 #[cfg(test)]

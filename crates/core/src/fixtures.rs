@@ -30,7 +30,7 @@
 
 use crate::network::AttributedGraph;
 use ktg_common::VertexId;
-use ktg_graph::CsrGraph;
+use ktg_graph::{CsrGraph, GraphBuilder};
 use ktg_index::{DistanceOracle, ExactOracle};
 use ktg_keywords::{VertexKeywordsBuilder, Vocabulary};
 
@@ -61,7 +61,11 @@ pub fn figure1() -> AttributedGraph {
         (5, 7),
         (2, 10),
     ];
-    let graph = CsrGraph::from_edges(12, edges).expect("static edge list is valid");
+    let mut builder = GraphBuilder::with_edge_capacity(12, edges.len());
+    for &(u, v) in edges {
+        builder.add_edge_unchecked(VertexId(u), VertexId(v));
+    }
+    let graph = builder.build();
 
     let mut vocab = Vocabulary::new();
     let ids = vocab.intern_all(FIGURE1_TERMS);

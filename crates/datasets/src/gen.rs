@@ -31,9 +31,7 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
         }
         let key = if u < v { (u, v) } else { (v, u) };
         if seen.insert(key) {
-            builder
-                .add_edge(VertexId(key.0), VertexId(key.1))
-                .expect("generated ids are in range");
+            builder.add_edge_unchecked(VertexId(key.0), VertexId(key.1));
         }
     }
     builder.build()
@@ -54,7 +52,7 @@ pub fn barabasi_albert(n: usize, m0: usize, seed: u64) -> CsrGraph {
     // Seed: a (m0+1)-clique so every early vertex has degree ≥ m0.
     for u in 0..=m0 as u32 {
         for v in (u + 1)..=m0 as u32 {
-            builder.add_edge(VertexId(u), VertexId(v)).expect("in range");
+            builder.add_edge_unchecked(VertexId(u), VertexId(v));
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -69,7 +67,7 @@ pub fn barabasi_albert(n: usize, m0: usize, seed: u64) -> CsrGraph {
             targets.insert(t);
         }
         for &t in &targets {
-            builder.add_edge(VertexId(v as u32), VertexId(t)).expect("in range");
+            builder.add_edge_unchecked(VertexId(v as u32), VertexId(t));
             endpoints.push(v as u32);
             endpoints.push(t);
         }
@@ -113,7 +111,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
     }
     let mut builder = GraphBuilder::with_edge_capacity(n, edges.len());
     for (u, v) in edges {
-        builder.add_edge(VertexId(u), VertexId(v)).expect("in range");
+        builder.add_edge_unchecked(VertexId(u), VertexId(v));
     }
     builder.build()
 }
@@ -162,7 +160,7 @@ pub fn chung_lu(n: usize, target_m: usize, gamma: f64, seed: u64) -> CsrGraph {
     }
     let mut builder = GraphBuilder::with_edge_capacity(n, edges.len());
     for (u, v) in edges {
-        builder.add_edge(VertexId(u), VertexId(v)).expect("in range");
+        builder.add_edge_unchecked(VertexId(u), VertexId(v));
     }
     builder.build()
 }

@@ -58,9 +58,7 @@ pub fn planted_partition(params: &SbmParams, seed: u64) -> CsrGraph {
                 params.p_out
             };
             if p > 0.0 && rng.gen_bool(p) {
-                builder
-                    .add_edge(VertexId::new(u), VertexId::new(v))
-                    .expect("in range");
+                builder.add_edge_unchecked(VertexId::new(u), VertexId::new(v));
             }
         }
     }

@@ -8,7 +8,7 @@
 //! pick tail terms carried by almost nobody, yielding degenerate queries
 //! with empty candidate sets.
 
-use ktg_common::SeededRng;
+use ktg_common::{KtgError, Result, SeededRng};
 use ktg_core::AttributedGraph;
 use ktg_keywords::{KeywordId, QueryKeywords};
 
@@ -38,27 +38,42 @@ impl QueryGen {
 
     /// Draws one query keyword set of `size` distinct keywords.
     ///
-    /// # Panics
-    /// Panics if `size` is 0, exceeds 64, or exceeds the vocabulary.
-    pub fn query(&mut self, size: usize) -> QueryKeywords {
-        assert!((1..=64).contains(&size), "query size {size} out of range");
-        assert!(size <= self.cumulative.len(), "vocabulary too small");
+    /// # Errors
+    /// [`KtgError::InvalidInput`] if `size` is 0, exceeds 64 or the
+    /// vocabulary, or if sampling cannot find `size` distinct keywords.
+    pub fn query(&mut self, size: usize) -> Result<QueryKeywords> {
+        if !(1..=64).contains(&size) {
+            return Err(KtgError::input(format!("query size {size} out of range 1..=64")));
+        }
+        if size > self.cumulative.len() {
+            return Err(KtgError::input(format!(
+                "query size {size} exceeds the vocabulary ({} keywords)",
+                self.cumulative.len()
+            )));
+        }
         let mut ids: Vec<KeywordId> = Vec::with_capacity(size);
         let mut guard = 0;
         while ids.len() < size {
             guard += 1;
-            assert!(guard < 10_000, "query sampling failed to find distinct keywords");
+            if guard >= 10_000 {
+                return Err(KtgError::input(
+                    "query sampling failed to find distinct keywords",
+                ));
+            }
             let x = self.rng.gen_range(0.0..self.total);
             let k = KeywordId(self.cumulative.partition_point(|&c| c <= x) as u32);
             if !ids.contains(&k) {
                 ids.push(k);
             }
         }
-        QueryKeywords::new(ids).expect("sizes validated above")
+        QueryKeywords::new(ids)
     }
 
     /// Draws a batch of `count` queries (the paper's 100-query groups).
-    pub fn batch(&mut self, count: usize, size: usize) -> Vec<QueryKeywords> {
+    ///
+    /// # Errors
+    /// Propagates the first [`QueryGen::query`] failure.
+    pub fn batch(&mut self, count: usize, size: usize) -> Result<Vec<QueryKeywords>> {
         (0..count).map(|_| self.query(size)).collect()
     }
 }
@@ -105,7 +120,7 @@ mod tests {
         let net = net();
         let mut qg = QueryGen::new(&net, 1);
         for size in [4usize, 6, 8] {
-            let q = qg.query(size);
+            let q = qg.query(size).expect("valid size");
             assert_eq!(q.len(), size);
         }
     }
@@ -113,10 +128,10 @@ mod tests {
     #[test]
     fn batch_is_deterministic_by_seed() {
         let net = net();
-        let a: Vec<_> = QueryGen::new(&net, 5).batch(10, 6);
-        let b: Vec<_> = QueryGen::new(&net, 5).batch(10, 6);
+        let a: Vec<_> = QueryGen::new(&net, 5).batch(10, 6).expect("valid batch");
+        let b: Vec<_> = QueryGen::new(&net, 5).batch(10, 6).expect("valid batch");
         assert_eq!(a, b);
-        let c: Vec<_> = QueryGen::new(&net, 6).batch(10, 6);
+        let c: Vec<_> = QueryGen::new(&net, 6).batch(10, 6).expect("valid batch");
         assert_ne!(a, c);
     }
 
@@ -126,7 +141,7 @@ mod tests {
         let mut qg = QueryGen::new(&net, 2);
         let mut nonempty = 0;
         for _ in 0..20 {
-            let q = qg.query(6);
+            let q = qg.query(6).expect("valid size");
             let masks = net.compile(&q);
             if !masks.candidates().is_empty() {
                 nonempty += 1;
@@ -136,10 +151,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn zero_size_panics() {
+    fn zero_size_is_an_error() {
         let net = net();
-        QueryGen::new(&net, 0).query(0);
+        assert!(QueryGen::new(&net, 0).query(0).is_err());
+        assert!(QueryGen::new(&net, 0).query(65).is_err());
     }
 
     #[test]

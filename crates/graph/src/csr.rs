@@ -193,6 +193,23 @@ impl GraphBuilder {
         Ok(())
     }
 
+    /// Adds the undirected edge `{u, v}` when both endpoints are known
+    /// in range *by construction* — generators sampling from
+    /// `0..num_vertices`, remappers emitting fresh dense ids. Out-of-range
+    /// endpoints are a caller bug: checked in debug builds, skipped (with
+    /// self-loops) in release, so the infallible callers need no `expect`.
+    pub fn add_edge_unchecked(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!(
+            u.index() < self.num_vertices && v.index() < self.num_vertices,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.num_vertices
+        );
+        if u != v && u.index() < self.num_vertices && v.index() < self.num_vertices {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a, b));
+        }
+    }
+
     /// Finalizes into a [`CsrGraph`]: O(m log m) for sort+dedup, then one
     /// counting pass.
     pub fn build(mut self) -> CsrGraph {

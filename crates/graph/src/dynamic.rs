@@ -90,9 +90,9 @@ impl DynamicGraph {
             Err(_) => Ok(false),
             Ok(pos_u) => {
                 self.adj[u.index()].remove(pos_u);
-                let pos_v = self.adj[v.index()]
-                    .binary_search(&u)
-                    .expect("symmetry invariant broken");
+                let pos_v = self.adj[v.index()].binary_search(&u).map_err(|_| {
+                    KtgError::input(format!("adjacency symmetry broken at ({u}, {v})"))
+                })?;
                 self.adj[v.index()].remove(pos_v);
                 self.num_edges -= 1;
                 Ok(true)
@@ -120,7 +120,7 @@ impl DynamicGraph {
             let u = VertexId::new(u);
             for &v in ns {
                 if u < v {
-                    b.add_edge(u, v).expect("in-range by construction");
+                    b.add_edge_unchecked(u, v);
                 }
             }
         }

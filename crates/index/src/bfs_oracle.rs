@@ -45,7 +45,7 @@ impl<'g> BfsOracle<'g> {
     }
 
     fn ball_contains(&self, source: VertexId, k: u32, target: VertexId) -> bool {
-        let mut st = self.state.lock().expect("memo lock poisoned");
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         if st.key != Some((source, k)) {
             st.ball.clear();
             // Split-borrow via a local take of the scratch to appease the

@@ -19,10 +19,9 @@
 use crate::leveled::LeveledList;
 use crate::oracle::DistanceOracle;
 use crate::space::{BuildStats, IndexSpace};
-use ktg_common::{parallel, EpochMarker, FxHashMap, VertexId};
+use ktg_common::{parallel, EpochMarker, FxHashMap, Stopwatch, VertexId};
 use ktg_graph::{bfs, BfsScratch, CsrGraph};
 use std::sync::{Mutex, MutexGuard};
-use std::time::Instant;
 
 /// Number of expansion-cache shards. Expansion state is keyed by the
 /// *source* vertex, so striping the cache by a vertex-hash lets
@@ -66,7 +65,7 @@ impl<'g> NlIndex<'g> {
     /// Builds the index with one full BFS per vertex, parallelized across
     /// available cores.
     pub fn build(graph: &'g CsrGraph) -> Self {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = graph.num_vertices();
         let mut h = vec![0u32; n];
         let mut levels: Vec<LeveledList> = vec![LeveledList::default(); n];

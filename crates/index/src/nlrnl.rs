@@ -27,10 +27,9 @@
 use crate::leveled::LeveledList;
 use crate::oracle::DistanceOracle;
 use crate::space::{BuildStats, IndexSpace};
-use ktg_common::{parallel, VertexId};
+use ktg_common::{parallel, Stopwatch, VertexId};
 use ktg_graph::components::Components;
 use ktg_graph::{bfs, Adjacency, BfsScratch};
-use std::time::Instant;
 
 /// The NLRNL ((c−1)-hop neighbors list + reverse c-hop neighbors list)
 /// index.
@@ -66,7 +65,7 @@ impl NlrnlIndex {
     /// assert_eq!(idx.distance(VertexId(0), VertexId(3)), Some(3));
     /// ```
     pub fn build<A: Adjacency + Sync>(graph: &A) -> Self {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = graph.num_vertices();
         let mut c = vec![0u32; n];
         let mut forward: Vec<LeveledList> = vec![LeveledList::default(); n];

@@ -19,9 +19,8 @@
 
 use crate::oracle::DistanceOracle;
 use crate::space::{BuildStats, IndexSpace};
-use ktg_common::VertexId;
+use ktg_common::{Stopwatch, VertexId};
 use ktg_graph::CsrGraph;
-use std::time::Instant;
 
 /// A pruned-landmark-labeling distance oracle.
 pub struct PllIndex {
@@ -37,7 +36,7 @@ impl PllIndex {
     /// Builds the labeling with one pruned BFS per vertex, in
     /// degree-descending hub order.
     pub fn build(graph: &CsrGraph) -> Self {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = graph.num_vertices();
         let mut labels: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
 

@@ -1,32 +1,40 @@
 //! The ratchet baseline.
 //!
 //! Pre-existing violations are recorded in `tools/lint-baseline.txt` as
-//! `<lint-id> <path> <count>` lines. A CI run fails only when a file's
-//! count for some lint *exceeds* its recorded baseline — so the pass
-//! lands green on a codebase with history, while every regression (and
-//! every violation in a new file) fails immediately. Fixing violations
-//! makes the run report an improvement; `ktg-lint --update-baseline`
-//! then tightens the recorded counts so they cannot creep back.
+//! `<lint-id> <path> <fingerprint> <count>` lines — one entry per
+//! *violation* (the fingerprint hashes lint + path + normalized source
+//! snippet), not per file. A CI run fails when any finding's
+//! fingerprint count exceeds its recorded allowance — so a brand-new
+//! violation in an already-dirty file can no longer hide under that
+//! file's count, the failure mode of the old per-file format. Fixing
+//! violations makes the run report improvements; `ktg-lint
+//! --update-baseline` then drops the stale entries so they cannot creep
+//! back.
+//!
+//! The old 3-field `<lint-id> <path> <count>` format is rejected with a
+//! migration hint rather than misparsed.
 
 use crate::lints::{Finding, Lint};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Violation counts keyed by `(lint, path)` — the ratchet state.
-pub type Counts = BTreeMap<(Lint, String), usize>;
+/// Violation counts keyed by `(lint, path, fingerprint)` — the ratchet
+/// state. The count absorbs duplicate identical snippets (two
+/// `x.unwrap()` on identical normalized lines in one file).
+pub type Counts = BTreeMap<(Lint, String, String), usize>;
 
 /// Aggregates findings into baseline-comparable counts.
 pub fn count(findings: &[Finding]) -> Counts {
     let mut counts = Counts::new();
     for f in findings {
-        *counts.entry((f.lint, f.path.clone())).or_insert(0) += 1;
+        *counts.entry((f.lint, f.path.clone(), f.fingerprint.clone())).or_insert(0) += 1;
     }
     counts
 }
 
-/// Parses a baseline file. Unknown lint ids and malformed lines are
-/// reported as errors — a corrupt baseline must not silently allow
-/// regressions.
+/// Parses a baseline file. Unknown lint ids, malformed lines, and the
+/// legacy per-file format are reported as errors — a corrupt baseline
+/// must not silently allow regressions.
 pub fn parse(text: &str) -> Result<Counts, String> {
     let mut counts = Counts::new();
     for (idx, raw) in text.lines().enumerate() {
@@ -35,19 +43,38 @@ pub fn parse(text: &str) -> Result<Counts, String> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let (Some(id), Some(path), Some(n), None) =
-            (parts.next(), parts.next(), parts.next(), parts.next())
+        let (Some(id), Some(path), Some(fp), n, None) =
+            (parts.next(), parts.next(), parts.next(), parts.next(), parts.next())
         else {
-            return Err(format!("baseline line {}: expected `<lint> <path> <count>`", idx + 1));
+            return Err(format!(
+                "baseline line {}: expected `<lint> <path> <fingerprint> <count>`",
+                idx + 1
+            ));
         };
         let Some(lint) = Lint::from_id(id) else {
             return Err(format!("baseline line {}: unknown lint id `{id}`", idx + 1));
         };
+        if n.is_none() && fp.chars().all(|c| c.is_ascii_digit()) {
+            return Err(format!(
+                "baseline line {}: legacy per-file format (`<lint> <path> <count>`) — \
+                 regenerate the fingerprint baseline with `ktg-lint --update-baseline`",
+                idx + 1
+            ));
+        }
+        let Some(n) = n else {
+            return Err(format!(
+                "baseline line {}: expected `<lint> <path> <fingerprint> <count>`",
+                idx + 1
+            ));
+        };
+        if fp.len() != 16 || !fp.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!("baseline line {}: bad fingerprint `{fp}`", idx + 1));
+        }
         let Ok(n) = n.parse::<usize>() else {
             return Err(format!("baseline line {}: bad count `{n}`", idx + 1));
         };
-        if counts.insert((lint, path.to_string()), n).is_some() {
-            return Err(format!("baseline line {}: duplicate entry for {id} {path}", idx + 1));
+        if counts.insert((lint, path.to_string(), fp.to_string()), n).is_some() {
+            return Err(format!("baseline line {}: duplicate entry for {id} {path} {fp}", idx + 1));
         }
     }
     Ok(counts)
@@ -56,14 +83,16 @@ pub fn parse(text: &str) -> Result<Counts, String> {
 /// Renders counts as the canonical baseline file (sorted, commented).
 pub fn render(counts: &Counts) -> String {
     let mut out = String::from(
-        "# ktg-lint ratchet baseline: pre-existing violations per (lint, file).\n\
-         # A run fails only when a count here is exceeded. Regenerate with\n\
+        "# ktg-lint ratchet baseline: one entry per pre-existing violation,\n\
+         #   <lint> <path> <fingerprint> <count>\n\
+         # (fingerprint = FNV-1a-64 of lint + path + normalized snippet). A run\n\
+         # fails on any finding not covered here. Regenerate with\n\
          #   cargo run -p ktg-lint --offline -- --update-baseline\n\
-         # after *reducing* counts; never hand-edit numbers upward.\n",
+         # after *fixing* violations; never hand-add entries.\n",
     );
-    for ((lint, path), n) in counts {
+    for ((lint, path, fp), n) in counts {
         if *n > 0 {
-            out.push_str(&format!("{} {} {}\n", lint.id(), path, n));
+            out.push_str(&format!("{} {} {} {}\n", lint.id(), path, fp, n));
         }
     }
     out
@@ -72,10 +101,10 @@ pub fn render(counts: &Counts) -> String {
 /// The verdict of a ratchet comparison.
 #[derive(Debug, Default)]
 pub struct Comparison {
-    /// `(lint, path, current, baseline)` where current > baseline.
-    pub regressions: Vec<(Lint, String, usize, usize)>,
-    /// `(lint, path, current, baseline)` where current < baseline.
-    pub improvements: Vec<(Lint, String, usize, usize)>,
+    /// `(lint, path, fingerprint, current, baseline)` where current > baseline.
+    pub regressions: Vec<(Lint, String, String, usize, usize)>,
+    /// `(lint, path, fingerprint, current, baseline)` where current < baseline.
+    pub improvements: Vec<(Lint, String, String, usize, usize)>,
 }
 
 impl Comparison {
@@ -87,10 +116,10 @@ impl Comparison {
 
 impl fmt::Display for Comparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (lint, path, cur, base) in &self.regressions {
+        for (lint, path, fp, cur, base) in &self.regressions {
             writeln!(
                 f,
-                "REGRESSION [{} {}] {}: {} violation(s), baseline allows {}",
+                "REGRESSION [{} {}] {} ({fp}): {} violation(s), baseline allows {}",
                 lint.id(),
                 lint.name(),
                 path,
@@ -98,10 +127,10 @@ impl fmt::Display for Comparison {
                 base
             )?;
         }
-        for (lint, path, cur, base) in &self.improvements {
+        for (lint, path, fp, cur, base) in &self.improvements {
             writeln!(
                 f,
-                "improved  [{} {}] {}: {} violation(s), baseline recorded {}",
+                "improved  [{} {}] {} ({fp}): {} violation(s), baseline recorded {}",
                 lint.id(),
                 lint.name(),
                 path,
@@ -116,18 +145,18 @@ impl fmt::Display for Comparison {
 /// Compares current counts against the baseline.
 pub fn compare(current: &Counts, baseline: &Counts) -> Comparison {
     let mut cmp = Comparison::default();
-    for ((lint, path), &cur) in current {
-        let base = baseline.get(&(*lint, path.clone())).copied().unwrap_or(0);
+    for ((lint, path, fp), &cur) in current {
+        let base = baseline.get(&(*lint, path.clone(), fp.clone())).copied().unwrap_or(0);
         if cur > base {
-            cmp.regressions.push((*lint, path.clone(), cur, base));
+            cmp.regressions.push((*lint, path.clone(), fp.clone(), cur, base));
         } else if cur < base {
-            cmp.improvements.push((*lint, path.clone(), cur, base));
+            cmp.improvements.push((*lint, path.clone(), fp.clone(), cur, base));
         }
     }
     // Entries that vanished entirely are improvements too (stale baseline).
-    for ((lint, path), &base) in baseline {
-        if base > 0 && !current.contains_key(&(*lint, path.clone())) {
-            cmp.improvements.push((*lint, path.clone(), 0, base));
+    for ((lint, path, fp), &base) in baseline {
+        if base > 0 && !current.contains_key(&(*lint, path.clone(), fp.clone())) {
+            cmp.improvements.push((*lint, path.clone(), fp.clone(), 0, base));
         }
     }
     cmp.regressions.sort();
@@ -138,65 +167,97 @@ pub fn compare(current: &Counts, baseline: &Counts) -> Comparison {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lints::fingerprint;
 
-    fn finding(lint: Lint, path: &str) -> Finding {
-        Finding { lint, path: path.to_string(), line: 1, message: String::new() }
+    fn finding(lint: Lint, path: &str, snippet: &str) -> Finding {
+        Finding {
+            lint,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+            fingerprint: fingerprint(lint, path, snippet),
+        }
     }
 
     #[test]
     fn roundtrip() {
         let findings = vec![
-            finding(Lint::PanicInLib, "crates/a/src/x.rs"),
-            finding(Lint::PanicInLib, "crates/a/src/x.rs"),
-            finding(Lint::Nondeterminism, "crates/b/src/y.rs"),
+            finding(Lint::PanicInLib, "crates/a/src/x.rs", "x.unwrap();"),
+            finding(Lint::PanicInLib, "crates/a/src/x.rs", "x.unwrap();"),
+            finding(Lint::PanicInLib, "crates/a/src/x.rs", "y.expect(\"z\");"),
+            finding(Lint::Nondeterminism, "crates/b/src/y.rs", "Instant::now()"),
         ];
         let counts = count(&findings);
+        assert_eq!(counts.len(), 3, "identical snippets share one fingerprint");
         let parsed = parse(&render(&counts)).unwrap();
         assert_eq!(counts, parsed);
-        assert_eq!(parsed[&(Lint::PanicInLib, "crates/a/src/x.rs".to_string())], 2);
+        let fp = fingerprint(Lint::PanicInLib, "crates/a/src/x.rs", "x.unwrap();");
+        assert_eq!(parsed[&(Lint::PanicInLib, "crates/a/src/x.rs".to_string(), fp)], 2);
     }
 
     #[test]
-    fn regression_detected() {
-        let baseline = count(&[finding(Lint::PanicInLib, "a.rs")]);
-        let current = count(&[
-            finding(Lint::PanicInLib, "a.rs"),
-            finding(Lint::PanicInLib, "a.rs"),
-        ]);
+    fn new_violation_in_dirty_file_regresses() {
+        // The per-file count format could not catch this: same file,
+        // same lint, same total — but a different violation.
+        let baseline = count(&[finding(Lint::PanicInLib, "a.rs", "old.unwrap();")]);
+        let current = count(&[finding(Lint::PanicInLib, "a.rs", "new.unwrap();")]);
         let cmp = compare(&current, &baseline);
         assert!(!cmp.is_pass());
         assert_eq!(cmp.regressions.len(), 1);
-        assert_eq!(cmp.regressions[0].2, 2);
-        assert_eq!(cmp.regressions[0].3, 1);
+        assert_eq!(cmp.improvements.len(), 1, "the old entry went stale");
+    }
+
+    #[test]
+    fn duplicate_snippet_count_regresses() {
+        let baseline = count(&[finding(Lint::PanicInLib, "a.rs", "x.unwrap();")]);
+        let current = count(&[
+            finding(Lint::PanicInLib, "a.rs", "x.unwrap();"),
+            finding(Lint::PanicInLib, "a.rs", "x.unwrap();"),
+        ]);
+        let cmp = compare(&current, &baseline);
+        assert!(!cmp.is_pass());
+        assert_eq!(cmp.regressions[0].3, 2);
+        assert_eq!(cmp.regressions[0].4, 1);
     }
 
     #[test]
     fn new_file_regresses_from_zero() {
-        let cmp = compare(&count(&[finding(Lint::DefaultHasher, "new.rs")]), &Counts::new());
+        let cmp =
+            compare(&count(&[finding(Lint::DefaultHasher, "new.rs", "HashMap")]), &Counts::new());
         assert!(!cmp.is_pass());
-        assert_eq!(cmp.regressions[0].3, 0);
+        assert_eq!(cmp.regressions[0].4, 0);
     }
 
     #[test]
     fn improvement_passes_and_is_reported() {
         let baseline = count(&[
-            finding(Lint::PanicInLib, "a.rs"),
-            finding(Lint::PanicInLib, "a.rs"),
-            finding(Lint::UntaggedTodo, "gone.rs"),
+            finding(Lint::PanicInLib, "a.rs", "x.unwrap();"),
+            finding(Lint::PanicInLib, "a.rs", "x.unwrap();"),
+            finding(Lint::UntaggedTodo, "gone.rs", "// TODO"),
         ]);
-        let current = count(&[finding(Lint::PanicInLib, "a.rs")]);
+        let current = count(&[finding(Lint::PanicInLib, "a.rs", "x.unwrap();")]);
         let cmp = compare(&current, &baseline);
         assert!(cmp.is_pass());
-        assert_eq!(cmp.improvements.len(), 2, "shrunk file + vanished file");
+        assert_eq!(cmp.improvements.len(), 2, "shrunk count + vanished entry");
     }
 
     #[test]
     fn malformed_baselines_are_errors() {
-        assert!(parse("L2 a.rs").is_err(), "missing count");
-        assert!(parse("L9 a.rs 1").is_err(), "unknown lint");
-        assert!(parse("L2 a.rs x").is_err(), "bad count");
-        assert!(parse("L2 a.rs 1 extra").is_err(), "trailing field");
-        assert!(parse("L2 a.rs 1\nL2 a.rs 2").is_err(), "duplicate");
-        assert!(parse("# comment\n\nL2 a.rs 1\n").is_ok());
+        let fp = "0123456789abcdef";
+        assert!(parse("L2 a.rs").is_err(), "missing fields");
+        assert!(parse(&format!("L99 a.rs {fp} 1")).is_err(), "unknown lint");
+        assert!(parse(&format!("L2 a.rs {fp} x")).is_err(), "bad count");
+        assert!(parse(&format!("L2 a.rs {fp} 1 extra")).is_err(), "trailing field");
+        assert!(parse(&format!("L2 a.rs {fp} 1\nL2 a.rs {fp} 2")).is_err(), "duplicate");
+        assert!(parse("L2 a.rs zzzz 1").is_err(), "bad fingerprint");
+        assert!(parse(&format!("# comment\n\nL2 a.rs {fp} 1\n")).is_ok());
+    }
+
+    #[test]
+    fn legacy_format_rejected_with_migration_hint() {
+        let err = parse("L2 crates/a/src/x.rs 3").unwrap_err();
+        assert!(err.contains("legacy"), "{err}");
+        assert!(err.contains("--update-baseline"), "{err}");
     }
 }

@@ -1,28 +1,48 @@
 //! `ktg-lint` — run the workspace lints against the ratchet baseline.
 //!
 //! ```text
-//! ktg-lint [--root DIR] [--update-baseline] [--list]
+//! ktg-lint [--root DIR] [--update-baseline] [--update-atomics]
+//!          [--list] [--json] [--explain L<N>]
 //! ```
 //!
 //! * default: scan, compare with `tools/lint-baseline.txt`, print every
 //!   finding in regressed `(lint, file)` pairs, exit 1 on regression.
-//! * `--update-baseline`: rewrite the baseline to the current counts
-//!   (use after *reducing* violations; CI diffs will show any loosening).
+//! * `--update-baseline`: rewrite the baseline to the current findings
+//!   (use after *fixing* violations; CI diffs will show any loosening).
+//! * `--update-atomics`: rewrite `tools/atomics-allowlist.txt` from the
+//!   workspace's current `Ordering::` sites (L8). Review the diff — an
+//!   ordering change is a memory-model decision.
 //! * `--list`: print every finding (including baselined ones) and the
 //!   per-lint totals; always exits 0. For exploration, not gating.
+//! * `--json`: emit the run as one JSON object on stdout (findings,
+//!   per-lint totals, regression count, timing) — the CI artifact form.
+//!   Exit code still reflects the ratchet.
+//! * `--explain L7`: print a lint's rule and rationale.
 
-use ktg_lint::{baseline, walk, BASELINE_PATH};
+use ktg_lint::lints::{atomics, ALL_LINTS};
+use ktg_lint::{baseline, walk, ATOMICS_PATH, BASELINE_PATH};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     root: Option<PathBuf>,
     update_baseline: bool,
+    update_atomics: bool,
     list: bool,
+    json: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut opts = Options { root: None, update_baseline: false, list: false };
+    let mut opts = Options {
+        root: None,
+        update_baseline: false,
+        update_atomics: false,
+        list: false,
+        json: false,
+        explain: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,9 +51,19 @@ fn parse_args() -> Result<Options, String> {
                 opts.root = Some(PathBuf::from(dir));
             }
             "--update-baseline" => opts.update_baseline = true,
+            "--update-atomics" => opts.update_atomics = true,
             "--list" => opts.list = true,
+            "--json" => opts.json = true,
+            "--explain" => {
+                let id = args.next().ok_or("--explain requires a lint id (e.g. L7)")?;
+                opts.explain = Some(id);
+            }
             "--help" | "-h" => {
-                return Err("usage: ktg-lint [--root DIR] [--update-baseline] [--list]".into())
+                return Err(
+                    "usage: ktg-lint [--root DIR] [--update-baseline] [--update-atomics] \
+                     [--list] [--json] [--explain L<N>]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -53,6 +83,18 @@ fn main() -> ExitCode {
 
 fn run() -> Result<ExitCode, String> {
     let opts = parse_args()?;
+
+    if let Some(id) = &opts.explain {
+        let Some(lint) = ktg_lint::Lint::from_id(id) else {
+            let known: Vec<&str> = ALL_LINTS.iter().map(|l| l.id()).collect();
+            return Err(format!("unknown lint `{id}` — known: {}", known.join(" ")));
+        };
+        println!("[{} {}]", lint.id(), lint.name());
+        println!();
+        println!("{}", lint.explain());
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let root = match &opts.root {
         Some(dir) => dir.clone(),
         None => {
@@ -62,6 +104,19 @@ fn run() -> Result<ExitCode, String> {
         }
     };
 
+    if opts.update_atomics {
+        let (sources, _) = ktg_lint::load_workspace(&root).map_err(|e| e.to_string())?;
+        let paths: Vec<String> = sources.iter().map(|s| s.path.clone()).collect();
+        let asts: Vec<_> = sources.iter().map(|s| ktg_lint::parser::parse(&s.text)).collect();
+        let allow = atomics::Allowlist::collect(&paths, &asts);
+        let file = root.join(ATOMICS_PATH);
+        std::fs::write(&file, allow.render())
+            .map_err(|e| format!("writing {}: {e}", file.display()))?;
+        println!("ktg-lint: atomics allowlist rewritten at {ATOMICS_PATH}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let started = Instant::now();
     let findings = ktg_lint::scan_workspace(&root).map_err(|e| e.to_string())?;
     let current = baseline::count(&findings);
 
@@ -69,14 +124,7 @@ fn run() -> Result<ExitCode, String> {
         for f in &findings {
             println!("{f}");
         }
-        let mut per_lint: Vec<(ktg_lint::Lint, usize)> = Vec::new();
-        for ((lint, _), n) in &current {
-            match per_lint.iter_mut().find(|(l, _)| l == lint) {
-                Some((_, total)) => *total += n,
-                None => per_lint.push((*lint, *n)),
-            }
-        }
-        for (lint, total) in per_lint {
+        for (lint, total) in per_lint_totals(&current) {
             println!("total [{} {}]: {total}", lint.id(), lint.name());
         }
         return Ok(ExitCode::SUCCESS);
@@ -87,7 +135,7 @@ fn run() -> Result<ExitCode, String> {
         std::fs::write(&baseline_file, baseline::render(&current))
             .map_err(|e| format!("writing {}: {e}", baseline_file.display()))?;
         println!(
-            "ktg-lint: baseline rewritten with {} findings across {} (lint, file) pairs",
+            "ktg-lint: baseline rewritten with {} findings across {} fingerprints",
             findings.len(),
             current.len()
         );
@@ -106,11 +154,21 @@ fn run() -> Result<ExitCode, String> {
     };
 
     let cmp = ktg_lint::compare(&current, &base);
+
+    if opts.json {
+        let elapsed_ms = started.elapsed().as_millis();
+        println!("{}", render_json(&findings, &current, &cmp, elapsed_ms));
+        return Ok(if cmp.is_pass() { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+    }
+
     if !cmp.is_pass() {
-        // Show every finding in each regressed pair, so the offending
-        // lines are directly clickable.
-        for (lint, path, _, _) in &cmp.regressions {
-            for f in findings.iter().filter(|f| f.lint == *lint && &f.path == path) {
+        // Show every finding in each regressed fingerprint, so the
+        // offending lines are directly clickable.
+        for (lint, path, fp, _, _) in &cmp.regressions {
+            for f in findings
+                .iter()
+                .filter(|f| f.lint == *lint && &f.path == path && &f.fingerprint == fp)
+            {
                 eprintln!("{f}");
             }
         }
@@ -123,9 +181,80 @@ fn run() -> Result<ExitCode, String> {
         println!("ktg-lint: baseline is stale — run `ktg-lint --update-baseline` to ratchet down");
     }
     println!(
-        "ktg-lint: PASS — {} findings, all within the committed baseline ({} pairs)",
+        "ktg-lint: PASS — {} findings, all within the committed baseline ({} fingerprints)",
         findings.len(),
         current.len()
     );
     Ok(ExitCode::SUCCESS)
+}
+
+fn per_lint_totals(current: &baseline::Counts) -> Vec<(ktg_lint::Lint, usize)> {
+    let mut per_lint: Vec<(ktg_lint::Lint, usize)> = Vec::new();
+    for ((lint, _, _), n) in current {
+        match per_lint.iter_mut().find(|(l, _)| l == lint) {
+            Some((_, total)) => *total += n,
+            None => per_lint.push((*lint, *n)),
+        }
+    }
+    per_lint
+}
+
+/// Hand-rolled JSON (the dependency budget excludes serde): one object
+/// with the pass verdict, every finding, per-lint totals, and timing.
+fn render_json(
+    findings: &[ktg_lint::Finding],
+    current: &baseline::Counts,
+    cmp: &ktg_lint::Comparison,
+    elapsed_ms: u128,
+) -> String {
+    let mut out = String::with_capacity(findings.len() * 160 + 256);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"pass\": {},\n", cmp.is_pass()));
+    out.push_str(&format!("  \"regressions\": {},\n", cmp.regressions.len()));
+    out.push_str(&format!("  \"improvements\": {},\n", cmp.improvements.len()));
+    out.push_str(&format!("  \"elapsed_ms\": {elapsed_ms},\n"));
+    out.push_str("  \"totals\": {");
+    let totals = per_lint_totals(current);
+    for (i, (lint, total)) in totals.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {total}", lint.id()));
+    }
+    out.push_str("},\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"lint\": \"{}\", \"name\": \"{}\", \"path\": {}, \"line\": {}, \
+             \"fingerprint\": \"{}\", \"message\": {}, \"snippet\": {}}}{}\n",
+            f.lint.id(),
+            f.lint.name(),
+            json_str(&f.path),
+            f.line,
+            f.fingerprint,
+            json_str(&f.message),
+            json_str(&f.snippet),
+            if i + 1 < findings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

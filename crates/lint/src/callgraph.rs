@@ -1,0 +1,318 @@
+//! A workspace-level call graph over the parsed files.
+//!
+//! Nodes are `fn` items keyed by `<file>::<Owner>::<name>`; edges are
+//! syntactic call sites resolved by name. Resolution is deliberately
+//! conservative and cheap:
+//!
+//! * `name(…)` free calls resolve to same-file functions first, then to
+//!   `use`-imported names (the import's last segment narrows candidate
+//!   files by module name), then to every workspace function of that
+//!   name;
+//! * `path::name(…)` qualified calls use the qualifying segment to
+//!   prefer functions whose file or owner matches it;
+//! * `.name(…)` method calls resolve to every impl method of that name
+//!   in the workspace.
+//!
+//! Over-approximation (one call site fanning out to several same-named
+//! functions) is safe for both consumers: the transitive-L4 pass only
+//! *reports* an edge when the callee provably contains a clock read,
+//! and the L10 cancel-threading pass uses reachability of
+//! `CancelToken`-aware code, where extra edges can only make an entry
+//! point *more* likely to count as aware — never produce a spurious
+//! violation on clean code.
+
+use crate::parser::Ast;
+use std::collections::BTreeMap;
+
+/// A function node: which file it lives in and which `Ast::fns` slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnRef {
+    /// Index into the file list the graph was built from.
+    pub file: usize,
+    /// Index into that file's `Ast::fns`.
+    pub item: usize,
+}
+
+/// One resolved call edge.
+#[derive(Clone, Debug)]
+pub struct CallEdge {
+    /// The calling function.
+    pub caller: FnRef,
+    /// The called function.
+    pub callee: FnRef,
+    /// 1-based line of the call site (in the caller's file).
+    pub line: u32,
+    /// The name as written at the call site.
+    pub name: String,
+    /// Whether the call site resolved to more than one candidate — an
+    /// over-approximated edge. Passes that must not report spurious
+    /// chains (transitive L4) skip these; passes where extra edges are
+    /// safe (L10 awareness) use them.
+    pub ambiguous: bool,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// Every resolved edge.
+    pub edges: Vec<CallEdge>,
+    /// Per-node outgoing edge indices.
+    pub out: BTreeMap<FnRef, Vec<usize>>,
+    /// Per-node incoming edge indices.
+    pub incoming: BTreeMap<FnRef, Vec<usize>>,
+}
+
+/// Words that look like calls but never are.
+const NON_CALLS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "as", "in", "else", "let", "move",
+];
+
+impl CallGraph {
+    /// Builds the graph over `files`: parallel slices of relative path
+    /// and parsed AST.
+    pub fn build(paths: &[String], asts: &[Ast<'_>]) -> CallGraph {
+        // Name → candidate functions, workspace wide.
+        let mut by_name: BTreeMap<&str, Vec<FnRef>> = BTreeMap::new();
+        for (fi, ast) in asts.iter().enumerate() {
+            for (ii, f) in ast.fns.iter().enumerate() {
+                by_name.entry(f.name.as_str()).or_default().push(FnRef { file: fi, item: ii });
+            }
+        }
+
+        let mut edges = Vec::new();
+        for (fi, ast) in asts.iter().enumerate() {
+            // `use` imports visible in this file: alias → path.
+            let imports: BTreeMap<&str, &[String]> =
+                ast.uses.iter().map(|u| (u.alias.as_str(), u.path.as_slice())).collect();
+            for (ii, f) in ast.fns.iter().enumerate() {
+                let Some((open, close)) = f.body else { continue };
+                let caller = FnRef { file: fi, item: ii };
+                for j in open + 1..close {
+                    let t = ast.tokens[j];
+                    if t.kind != crate::lexer::TokenKind::Ident
+                        || NON_CALLS.contains(&t.text)
+                        || !matches!(ast.tokens.get(j + 1), Some(p) if p.text == "(")
+                    {
+                        continue;
+                    }
+                    let Some(candidates) = by_name.get(t.text) else { continue };
+                    let is_method = j > 0 && ast.tokens[j - 1].text == ".";
+                    // A `seg :: name (` qualified call: the segment two
+                    // `:`-tokens back.
+                    let qualifier = (!is_method
+                        && j >= 3
+                        && ast.tokens[j - 1].text == ":"
+                        && ast.tokens[j - 2].text == ":")
+                        .then(|| ast.tokens[j - 3].text);
+
+                    let resolved =
+                        resolve(candidates, fi, is_method, qualifier, &imports, paths, asts);
+                    let ambiguous = resolved.len() > 1;
+                    for callee in resolved {
+                        if callee == caller {
+                            continue; // recursion adds nothing to either pass
+                        }
+                        edges.push(CallEdge {
+                            caller,
+                            callee,
+                            line: t.line,
+                            name: t.text.to_string(),
+                            ambiguous,
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut out: BTreeMap<FnRef, Vec<usize>> = BTreeMap::new();
+        let mut incoming: BTreeMap<FnRef, Vec<usize>> = BTreeMap::new();
+        for (idx, e) in edges.iter().enumerate() {
+            out.entry(e.caller).or_default().push(idx);
+            incoming.entry(e.callee).or_default().push(idx);
+        }
+        CallGraph { edges, out, incoming }
+    }
+
+    /// Marks every function from which some function in `seeds` is
+    /// reachable — i.e. propagates a property *backwards* from callees
+    /// to callers, returning the full closed set (seeds included).
+    pub fn callers_closure(&self, seeds: &[FnRef]) -> Vec<FnRef> {
+        self.closure(seeds, false, |e| e.caller, |g, f| g.incoming.get(&f))
+    }
+
+    /// [`Self::callers_closure`] restricted to unambiguous edges: the
+    /// closure of *provable* callers, for passes that must not report
+    /// over-approximated chains.
+    pub fn unambiguous_callers_closure(&self, seeds: &[FnRef]) -> Vec<FnRef> {
+        self.closure(seeds, true, |e| e.caller, |g, f| g.incoming.get(&f))
+    }
+
+    /// Marks every function that can reach some function in `seeds`
+    /// forward (callees' closure), returning the closed set.
+    pub fn callees_closure(&self, seeds: &[FnRef]) -> Vec<FnRef> {
+        self.closure(seeds, false, |e| e.callee, |g, f| g.out.get(&f))
+    }
+
+    fn closure(
+        &self,
+        seeds: &[FnRef],
+        skip_ambiguous: bool,
+        step: impl Fn(&CallEdge) -> FnRef,
+        adjacency: impl Fn(&CallGraph, FnRef) -> Option<&Vec<usize>>,
+    ) -> Vec<FnRef> {
+        let mut marked: std::collections::BTreeSet<FnRef> = seeds.iter().copied().collect();
+        let mut queue: Vec<FnRef> = seeds.to_vec();
+        while let Some(f) = queue.pop() {
+            if let Some(adj) = adjacency(self, f) {
+                for &ei in adj {
+                    let e = &self.edges[ei];
+                    if skip_ambiguous && e.ambiguous {
+                        continue;
+                    }
+                    let next = step(e);
+                    if marked.insert(next) {
+                        queue.push(next);
+                    }
+                }
+            }
+        }
+        marked.into_iter().collect()
+    }
+}
+
+/// Narrows `candidates` for one call site.
+fn resolve(
+    candidates: &[FnRef],
+    caller_file: usize,
+    is_method: bool,
+    qualifier: Option<&str>,
+    imports: &BTreeMap<&str, &[String]>,
+    paths: &[String],
+    asts: &[Ast<'_>],
+) -> Vec<FnRef> {
+    // Same-file candidates win outright: module-local calls are by far
+    // the most common and always unambiguous enough.
+    if !is_method && qualifier.is_none() {
+        let local: Vec<FnRef> =
+            candidates.iter().copied().filter(|c| c.file == caller_file).collect();
+        if !local.is_empty() {
+            return local;
+        }
+    }
+    if is_method {
+        // Only impl methods can be called with `.`.
+        return candidates
+            .iter()
+            .copied()
+            .filter(|c| asts[c.file].fns[c.item].owner.is_some())
+            .collect();
+    }
+    if let Some(seg) = qualifier {
+        // `seg::name(…)`: prefer candidates whose file stem, owner, or
+        // an import of `seg` in the calling file matches.
+        let import_path = imports.get(seg);
+        let narrowed: Vec<FnRef> = candidates
+            .iter()
+            .copied()
+            .filter(|c| {
+                let file = &paths[c.file];
+                let stem = file
+                    .rsplit('/')
+                    .next()
+                    .and_then(|f| f.strip_suffix(".rs"))
+                    .unwrap_or_default();
+                let owner_matches =
+                    asts[c.file].fns[c.item].owner.as_deref() == Some(seg);
+                let module_matches = stem == seg
+                    || (stem == "mod" && file.ends_with(&format!("/{seg}/mod.rs")));
+                let import_matches = import_path
+                    .is_some_and(|p| p.last().is_some_and(|last| last == seg))
+                    && module_matches;
+                owner_matches || module_matches || import_matches
+            })
+            .collect();
+        if !narrowed.is_empty() {
+            return narrowed;
+        }
+        // `self::f()` / `crate::f()` and other unmatched qualifiers fall
+        // back to every candidate.
+    }
+    candidates.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    fn graph<'a>(files: &'a [(&str, &str)]) -> (Vec<String>, Vec<Ast<'a>>, CallGraph) {
+        let paths: Vec<String> = files.iter().map(|(p, _)| p.to_string()).collect();
+        let asts: Vec<Ast<'_>> = files.iter().map(|(_, s)| parser::parse(s)).collect();
+        let g = CallGraph::build(&paths, &asts);
+        (paths, asts, g)
+    }
+
+    fn edge_names(g: &CallGraph) -> Vec<String> {
+        g.edges.iter().map(|e| e.name.clone()).collect()
+    }
+
+    #[test]
+    fn same_file_calls_resolve_locally() {
+        let files = [(
+            "crates/a/src/lib.rs",
+            "fn helper() {} pub fn entry() { helper(); }",
+        )];
+        let (_, _, g) = graph(&files);
+        assert_eq!(edge_names(&g), vec!["helper"]);
+        assert_eq!(g.edges[0].caller.item, 1);
+        assert_eq!(g.edges[0].callee.item, 0);
+    }
+
+    #[test]
+    fn cross_file_qualified_calls_narrow_by_module() {
+        let files = [
+            ("crates/a/src/solve.rs", "pub fn run() {}"),
+            ("crates/b/src/other.rs", "pub fn run() {}"),
+            ("crates/c/src/lib.rs", "pub fn go() { solve::run(); }"),
+        ];
+        let (_, _, g) = graph(&files);
+        assert_eq!(g.edges.len(), 1, "{:?}", g.edges);
+        assert_eq!(g.edges[0].callee.file, 0, "qualifier `solve` picks solve.rs");
+    }
+
+    #[test]
+    fn method_calls_resolve_to_impl_methods_only() {
+        let files = [
+            ("crates/a/src/x.rs", "pub fn poll() {}"),
+            ("crates/b/src/y.rs", "struct T; impl T { pub fn poll(&self) {} }"),
+            ("crates/c/src/z.rs", "pub fn f(t: &T) { t.poll(); }"),
+        ];
+        let (_, _, g) = graph(&files);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].callee.file, 1, "free fn is not a method candidate");
+    }
+
+    #[test]
+    fn closures_propagate_both_ways() {
+        let files = [(
+            "crates/a/src/lib.rs",
+            "fn leaf() {} fn mid() { leaf(); } pub fn top() { mid(); }",
+        )];
+        let (_, _, g) = graph(&files);
+        let leaf = FnRef { file: 0, item: 0 };
+        let top = FnRef { file: 0, item: 2 };
+        let callers = g.callers_closure(&[leaf]);
+        assert!(callers.contains(&top), "top reaches leaf transitively");
+        let callees = g.callees_closure(&[top]);
+        assert!(callees.contains(&leaf));
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_calls() {
+        let files = [(
+            "crates/a/src/lib.rs",
+            "pub fn f(x: bool) { if (x) { } match (x) { _ => {} } assert!(x); }",
+        )];
+        let (_, _, g) = graph(&files);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+}

@@ -1,0 +1,188 @@
+//! L8: atomic-ordering audit — every `Ordering::<variant>` use in
+//! library code must be covered by the committed per-site allowlist at
+//! `tools/atomics-allowlist.txt`.
+//!
+//! A *site* is `(path, function, method, ordering)`, where the method
+//! is the call the ordering is an argument of (`load`, `store`,
+//! `fetch_max`, `compare_exchange`, …), with a count for call sites
+//! that repeat the same key. An ordering not in the allowlist — a new
+//! atomic, or an existing one whose ordering was edited — fails the
+//! lint until the allowlist is regenerated (`ktg-lint
+//! --update-atomics`) and the diff reviewed. `std::cmp::Ordering` never
+//! matches: only the five atomic variants are audited.
+
+use super::{scope_of, Finding, Lint};
+use crate::lexer::TokenKind;
+use crate::parser::Ast;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The five atomic memory orderings.
+const VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One audited `Ordering::` use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Site {
+    /// Qualified enclosing function (`Owner::name`), or `-` at item level.
+    pub func: String,
+    /// The method the ordering is passed to, or `-` if none encloses it.
+    pub method: String,
+    /// The ordering variant.
+    pub variant: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The committed allowlist: site key → allowed use count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: BTreeMap<(String, String, String, String), usize>,
+}
+
+impl Allowlist {
+    /// Parses the committed file. Lines are
+    /// `<path> <fn> <method> <ordering> <count>`; `#` starts a comment.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let [path, func, method, variant, count] = fields[..] else {
+                return Err(format!(
+                    "atomics allowlist line {}: expected `<path> <fn> <method> <ordering> \
+                     <count>`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            let count: usize = count.parse().map_err(|_| {
+                format!("atomics allowlist line {}: bad count `{count}`", idx + 1)
+            })?;
+            entries.insert(
+                (path.to_string(), func.to_string(), method.to_string(), variant.to_string()),
+                count,
+            );
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Renders the canonical file form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Atomic-ordering allowlist (L8). One audited `Ordering::` site per line:\n\
+             #   <path> <fn> <method> <ordering> <count>\n\
+             # Regenerate with `ktg-lint --update-atomics` and review the diff —\n\
+             # an ordering change is a memory-model decision, not a refactor.\n",
+        );
+        for ((path, func, method, variant), count) in &self.entries {
+            let _ = writeln!(out, "{path} {func} {method} {variant} {count}");
+        }
+        out
+    }
+
+    /// Allowed count for a site key.
+    fn allowed(&self, path: &str, site: &Site) -> usize {
+        self.entries
+            .get(&(
+                path.to_string(),
+                site.func.clone(),
+                site.method.clone(),
+                site.variant.clone(),
+            ))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Builds the allowlist covering exactly the sites in the given
+    /// files (the `--update-atomics` path).
+    pub fn collect(paths: &[String], asts: &[Ast<'_>]) -> Allowlist {
+        let mut entries: BTreeMap<(String, String, String, String), usize> = BTreeMap::new();
+        for (fi, ast) in asts.iter().enumerate() {
+            if !scope_of(&paths[fi]).lib_code {
+                continue;
+            }
+            for site in sites(ast) {
+                *entries
+                    .entry((
+                        paths[fi].clone(),
+                        site.func,
+                        site.method,
+                        site.variant,
+                    ))
+                    .or_insert(0) += 1;
+            }
+        }
+        Allowlist { entries }
+    }
+}
+
+/// Every audited `Ordering::` use in one parsed file (non-test code).
+pub fn sites(ast: &Ast<'_>) -> Vec<Site> {
+    let tokens = &ast.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if ast.in_test[i]
+            || tokens[i].text != "Ordering"
+            || tokens[i].kind != TokenKind::Ident
+            || !super::path_sep(tokens, i + 1)
+        {
+            continue;
+        }
+        let Some(variant) = tokens.get(i + 3) else { continue };
+        if !VARIANTS.contains(&variant.text) {
+            continue; // cmp::Ordering::{Less,Equal,Greater}, or a path prefix
+        }
+        // The method: the identifier before the `(` that encloses this
+        // argument position.
+        let mut depth = 0i32;
+        let mut method = "-".to_string();
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match tokens[j].text {
+                ")" | "]" | "}" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        if let Some(m) = tokens.get(j.wrapping_sub(1)) {
+                            if m.kind == TokenKind::Ident {
+                                method = m.text.to_string();
+                            }
+                        }
+                        break;
+                    }
+                }
+                "[" | "{" => depth -= 1,
+                ";" if depth == 0 => break, // statement boundary — no enclosing call
+                _ => {}
+            }
+        }
+        let func = ast.fn_at(i).map_or_else(|| "-".to_string(), |f| f.qualified());
+        out.push(Site { func, method, variant: variant.text.to_string(), line: tokens[i].line });
+    }
+    out
+}
+
+/// Runs the audit over one parsed file.
+pub fn lint(relpath: &str, ast: &Ast<'_>, allow: &Allowlist, out: &mut Vec<Finding>) {
+    let mut used: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for site in sites(ast) {
+        let key = (site.func.clone(), site.method.clone(), site.variant.clone());
+        let n = used.entry(key).or_insert(0);
+        *n += 1;
+        if *n > allow.allowed(relpath, &site) {
+            out.push(Finding::new(
+                Lint::AtomicOrdering,
+                relpath,
+                site.line,
+                format!(
+                    "`{}(Ordering::{})` in `{}` is not covered by tools/atomics-allowlist.txt \
+                     — review the memory-ordering choice, then `ktg-lint --update-atomics`",
+                    site.method, site.variant, site.func
+                ),
+            ));
+        }
+    }
+}

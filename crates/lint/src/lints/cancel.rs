@@ -1,0 +1,77 @@
+//! L10: cancel-token threading — every public solve entry point in the
+//! `bb`, `dktg` and `serve` modules must accept a `CancelToken` or
+//! (transitively) call code that handles one.
+//!
+//! An *entry point* is a public, non-test `fn` with a body, defined in
+//! one of the solver/serving files, whose signature mentions an
+//! `…Outcome` type — the workspace convention for "this returns a
+//! solver verdict". *Aware* functions mention `CancelToken` in their
+//! signature or body; awareness propagates to callers through the call
+//! graph (an entry that delegates to `solve_prepared`, which polls the
+//! token, is fine). The call graph over-approximates edges, which for
+//! this pass can only make an entry *more* likely to count as aware —
+//! clean code is never flagged spuriously; the lint exists to catch a
+//! brand-new entry point wired around the cancellation web entirely.
+
+use super::{Finding, Lint};
+use crate::callgraph::{CallGraph, FnRef};
+use crate::lexer::TokenKind;
+use crate::parser::Ast;
+use std::collections::BTreeSet;
+
+/// Whether L10 applies to functions defined in this file.
+pub fn is_entry_file(relpath: &str) -> bool {
+    relpath.starts_with("crates/core/src/bb")
+        || relpath.starts_with("crates/core/src/dktg")
+        || relpath.starts_with("crates/core/src/serve")
+}
+
+/// Runs the cancel-threading pass over the whole workspace view.
+pub fn lint(paths: &[String], asts: &[Ast<'_>], graph: &CallGraph, out: &mut Vec<Finding>) {
+    // Seeds: every function that mentions CancelToken in sig or body.
+    let mut seeds = Vec::new();
+    for (fi, ast) in asts.iter().enumerate() {
+        for (ii, f) in ast.fns.iter().enumerate() {
+            let (sig_start, sig_end) = f.sig_range();
+            let span_end = f.body.map_or(sig_end.min(ast.tokens.len()), |(_, close)| close + 1);
+            let mentions = ast.tokens[sig_start..span_end.min(ast.tokens.len())]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == "CancelToken");
+            if mentions {
+                seeds.push(FnRef { file: fi, item: ii });
+            }
+        }
+    }
+    let aware: BTreeSet<FnRef> = graph.callers_closure(&seeds).into_iter().collect();
+
+    for (fi, ast) in asts.iter().enumerate() {
+        if !is_entry_file(&paths[fi]) {
+            continue;
+        }
+        for (ii, f) in ast.fns.iter().enumerate() {
+            if !f.is_pub || f.in_test || f.body.is_none() {
+                continue;
+            }
+            let (sig_start, sig_end) = f.sig_range();
+            let returns_outcome = ast.tokens[sig_start..sig_end.min(ast.tokens.len())]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text.ends_with("Outcome"));
+            if !returns_outcome {
+                continue;
+            }
+            if !aware.contains(&FnRef { file: fi, item: ii }) {
+                out.push(Finding::new(
+                    Lint::CancelThreading,
+                    &paths[fi],
+                    f.line,
+                    format!(
+                        "public solve entry point `{}` neither accepts nor forwards a \
+                         `CancelToken` — thread the token so shutdown and deadlines can \
+                         bound its latency",
+                        f.qualified()
+                    ),
+                ));
+            }
+        }
+    }
+}

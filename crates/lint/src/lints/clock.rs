@@ -1,0 +1,116 @@
+//! L4: wall-clock nondeterminism — literal `Instant::now` /
+//! `SystemTime::now` tokens, and (via the call graph) library functions
+//! that *reach* such a read transitively.
+//!
+//! The transitive pass seeds from clock reads in deterministic-scope
+//! files only: the sanctioned modules (`cancel.rs`, `parallel.rs`,
+//! `ktg-bench`) are allowed to read the clock, and calling *them* is
+//! the approved pattern — `CancelToken::is_cancelled` must not taint
+//! its callers. What the pass catches is a helper inside deterministic
+//! scope smuggling a clock read that its callers then launder through
+//! an innocent-looking call.
+
+use super::{path_sep, scope_of, Finding, Lint};
+use crate::callgraph::{CallGraph, FnRef};
+use crate::lexer::Token;
+use crate::parser::Ast;
+use std::collections::BTreeSet;
+
+/// Literal `Instant::now` / `SystemTime::now` outside the allowlist.
+pub fn lint_literal(relpath: &str, code: &[Token<'_>], in_test: &[bool], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = code[i];
+        if clock_read_at(code, i) {
+            out.push(Finding::new(
+                Lint::Nondeterminism,
+                relpath,
+                t.line,
+                format!(
+                    "`{}::now` makes library output nondeterministic — time only in \
+                     `ktg-bench` or `ktg_common::parallel`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the token at `i` starts an `Instant::now` / `SystemTime::now`
+/// read.
+fn clock_read_at(code: &[Token<'_>], i: usize) -> bool {
+    let t = code[i];
+    (t.text == "Instant" || t.text == "SystemTime")
+        && path_sep(code, i + 1)
+        && matches!(code.get(i + 3), Some(n) if n.text == "now")
+}
+
+/// The transitive pass: flags call sites in deterministic-scope,
+/// non-test functions whose callee (provably, per the call graph)
+/// contains or reaches a literal clock read in deterministic scope.
+pub fn lint_transitive(
+    paths: &[String],
+    asts: &[Ast<'_>],
+    graph: &CallGraph,
+    out: &mut Vec<Finding>,
+) {
+    // Roots: functions in deterministic scope whose body holds a
+    // literal clock read (outside #[cfg(test)]).
+    let mut roots = Vec::new();
+    for (fi, ast) in asts.iter().enumerate() {
+        if !scope_of(&paths[fi]).deterministic {
+            continue;
+        }
+        for (ii, f) in ast.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let Some((open, close)) = f.body else { continue };
+            if (open..close).any(|j| !ast.in_test[j] && clock_read_at(&ast.tokens, j)) {
+                roots.push(FnRef { file: fi, item: ii });
+            }
+        }
+    }
+    if roots.is_empty() {
+        return;
+    }
+    // Only provable chains: taint flows through unambiguous edges, so a
+    // `.build()` that *might* be the clock-reading index builder never
+    // taints an unrelated caller.
+    let tainted: BTreeSet<FnRef> =
+        graph.unambiguous_callers_closure(&roots).into_iter().collect();
+    let root_set: BTreeSet<FnRef> = roots.into_iter().collect();
+
+    // One finding per (caller, callee-name, line): a tainted callee
+    // called from deterministic-scope non-test code. Roots themselves
+    // already carry a literal finding at the read site.
+    let mut seen = BTreeSet::new();
+    for e in &graph.edges {
+        if e.ambiguous || !tainted.contains(&e.callee) || root_set.contains(&e.caller) {
+            continue;
+        }
+        let caller_path = &paths[e.caller.file];
+        if !scope_of(caller_path).deterministic {
+            continue;
+        }
+        let caller_fn = &asts[e.caller.file].fns[e.caller.item];
+        if caller_fn.in_test {
+            continue;
+        }
+        if seen.insert((e.caller, e.name.clone(), e.line)) {
+            out.push(Finding::new(
+                Lint::Nondeterminism,
+                caller_path,
+                e.line,
+                format!(
+                    "`{}` calls `{}`, which transitively reads the wall clock — thread a \
+                     `CancelToken`/`Stopwatch` instead of timing in library code",
+                    caller_fn.qualified(),
+                    e.name
+                ),
+            ));
+        }
+    }
+}

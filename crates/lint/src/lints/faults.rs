@@ -1,0 +1,166 @@
+//! L9: fault-site placement — `fault::inject(…)` /
+//! `fault::recoverable(…)` must precede any write through a lock guard
+//! or a `self` field in their enclosing block.
+//!
+//! The fault registry's recovery story is byte-identical *because* a
+//! fault fires before shared state mutates; a site placed after a
+//! write would let recovery observe a half-applied mutation. The pass
+//! walks each block in statement order, remembering the first
+//! shared-state write; a fault site after it is flagged. Nested blocks
+//! start with a clean slate — a write inside an `if` arm does not
+//! poison a fault site in the next statement's straight-line code, but
+//! the guard set stays live across the recursion.
+
+use super::{Finding, Lint};
+use crate::lexer::TokenKind;
+use crate::parser::Ast;
+use crate::scopes;
+
+/// Mutating container methods that count as writes when called on
+/// `self`-rooted or guard-rooted receivers.
+const MUTATORS: [&str; 9] =
+    ["push", "insert", "remove", "clear", "extend", "push_back", "pop", "truncate", "set"];
+
+/// Files the pass never runs on: the registry itself places faults.
+const EXEMPT: [&str; 1] = ["crates/common/src/fault.rs"];
+
+/// Runs the fault-placement pass over one parsed file.
+pub fn lint(relpath: &str, ast: &Ast<'_>, out: &mut Vec<Finding>) {
+    if EXEMPT.contains(&relpath) {
+        return;
+    }
+    for f in &ast.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        let mut guards = Vec::new();
+        walk_block(relpath, ast, open, close, &mut guards, out);
+    }
+}
+
+fn walk_block(
+    relpath: &str,
+    ast: &Ast<'_>,
+    open: usize,
+    close: usize,
+    guards: &mut Vec<String>,
+    out: &mut Vec<Finding>,
+) {
+    let entry_guards = guards.len();
+    let mut first_write: Option<u32> = None;
+    for stmt in scopes::statements(&ast.tokens, open, close) {
+        if let Some(name) = scopes::drops(&ast.tokens, &stmt) {
+            guards.retain(|g| g != name);
+            continue;
+        }
+        // Fault sites are checked against writes that happened EARLIER
+        // in this block, so scan for the site before recording this
+        // statement's own write (`fault::inject(); *g = x;` is the
+        // correct order even within one statement pair).
+        if let Some((line, name)) = fault_site(ast, &stmt) {
+            if let Some(wline) = first_write {
+                out.push(Finding::new(
+                    Lint::FaultPlacement,
+                    relpath,
+                    line,
+                    format!(
+                        "`fault::{name}` after a shared-state write (line {wline}) — fault \
+                         sites must precede the writes they make recoverable"
+                    ),
+                ));
+            }
+        }
+        if first_write.is_none() {
+            if let Some(line) = write_in_stmt(ast, &stmt, guards) {
+                first_write = Some(line);
+            }
+        }
+        if let Some(name) = scopes::let_binding(&ast.tokens, &stmt) {
+            guards.retain(|g| g != name);
+            let (s, e) = stmt.range;
+            if !scopes::acquisitions(&ast.tokens, s, e).is_empty() {
+                guards.push(name.to_string());
+            }
+        }
+        for &(b_open, b_close) in &stmt.blocks {
+            walk_block(relpath, ast, b_open, b_close, guards, out);
+        }
+    }
+    guards.truncate(entry_guards);
+}
+
+/// A `fault :: inject|recoverable (` call in the statement, if any.
+fn fault_site(ast: &Ast<'_>, stmt: &scopes::Statement) -> Option<(u32, &'static str)> {
+    let tokens = &ast.tokens;
+    let (s, e) = stmt.range;
+    for i in s..e.min(tokens.len()) {
+        if tokens[i].text == "fault"
+            && tokens[i].kind == TokenKind::Ident
+            && super::path_sep(tokens, i + 1)
+        {
+            match tokens.get(i + 3).map(|t| t.text) {
+                Some("inject") => return Some((tokens[i].line, "inject")),
+                Some("recoverable") => return Some((tokens[i].line, "recoverable")),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// The line of a shared-state write at this statement's own level
+/// (nested blocks excluded — the recursion sees those).
+fn write_in_stmt(ast: &Ast<'_>, stmt: &scopes::Statement, guards: &[String]) -> Option<u32> {
+    let tokens = &ast.tokens;
+    let (s, e) = stmt.range;
+    let is_let = tokens.get(s).is_some_and(|t| t.text == "let");
+    let in_nested = |i: usize| stmt.blocks.iter().any(|&(o, c)| o <= i && i <= c);
+    // First identifier of the statement names the written place's root:
+    // `self.x = …`, `guard.field = …`, `*guard = …`, `(*guard) = …`.
+    let rooted = || -> bool {
+        for t in &tokens[s..e.min(tokens.len())] {
+            if t.kind == TokenKind::Ident {
+                return t.text == "self" || guards.iter().any(|g| g == t.text);
+            }
+            if !matches!(t.text, "*" | "&" | "(") {
+                return false;
+            }
+        }
+        false
+    };
+    for i in s..e.min(tokens.len()) {
+        if in_nested(i) {
+            continue;
+        }
+        let t = tokens[i];
+        // Assignment: a lone `=` or a `+=`/`<<=`-style compound, never
+        // the comparison/arrow pairs `==` `!=` `<=` `>=` `=>`, and not
+        // a `let` initializer (a fresh local is not shared state).
+        if t.text == "=" && !is_let {
+            let next = tokens.get(i + 1).map(|t| t.text);
+            let prev = if i > s { tokens[i - 1].text } else { "" };
+            let prev2 = if i > s + 1 { tokens[i - 2].text } else { "" };
+            let shift_assign = (prev == "<" || prev == ">") && prev2 == prev;
+            let comparison = next == Some("=")
+                || next == Some(">")
+                || prev == "="
+                || prev == "!"
+                || ((prev == "<" || prev == ">") && !shift_assign);
+            if !comparison && rooted() {
+                return Some(t.line);
+            }
+        }
+        // Mutating method on a self/guard-rooted receiver.
+        if t.kind == TokenKind::Ident
+            && MUTATORS.contains(&t.text)
+            && i > s
+            && tokens[i - 1].text == "."
+            && matches!(tokens.get(i + 1), Some(p) if p.text == "(")
+            && rooted()
+        {
+            return Some(t.line);
+        }
+    }
+    None
+}

@@ -1,0 +1,99 @@
+//! L3: `std::collections::HashMap`/`HashSet` with the default hasher.
+//!
+//! The path form is allowed only when its generics name an explicit
+//! hasher (three type parameters for maps, two for sets) — that is how
+//! `ktg-common` defines the Fx aliases. Imports via a
+//! `collections::{...}` use-group are always flagged.
+
+use super::{path_sep, Finding, Lint};
+use crate::lexer::Token;
+
+/// Scans the comment-stripped token stream for default-hasher uses.
+pub fn lint(relpath: &str, code: &[Token<'_>], in_test: &[bool], out: &mut Vec<Finding>) {
+    let flag = |t: &Token<'_>, out: &mut Vec<Finding>| {
+        out.push(Finding::new(
+            Lint::DefaultHasher,
+            relpath,
+            t.line,
+            format!(
+                "std `{}` with the default (SipHash) hasher — use `ktg_common::Fx{}`",
+                t.text, t.text
+            ),
+        ));
+    };
+    let mut i = 0;
+    while i < code.len() {
+        if in_test[i] {
+            i += 1;
+            continue;
+        }
+        // `collections :: {` use-group: flag HashMap/HashSet inside.
+        if code[i].text == "collections" && path_sep(code, i + 1) {
+            if matches!(code.get(i + 3), Some(t) if t.text == "{") {
+                let mut depth = 0usize;
+                let mut j = i + 3;
+                while j < code.len() {
+                    match code[j].text {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "HashMap" | "HashSet" => flag(&code[j], out),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            // `collections :: HashMap …` path form.
+            if let Some(t) = code.get(i + 3) {
+                if t.text == "HashMap" || t.text == "HashSet" {
+                    let want_commas = if t.text == "HashMap" { 2 } else { 1 };
+                    if !has_explicit_hasher(code, i + 4, want_commas) {
+                        flag(t, out);
+                    }
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Whether tokens at `i` start generics (`<…>`, optionally preceded by a
+/// turbofish `::`) containing at least `want_commas` type-separating
+/// commas — i.e. the type names an explicit hasher parameter. Only
+/// commas at angle depth 1 and outside any `(…)`/`[…]` count, so a
+/// tuple key `HashMap<(u32, u32), V>` contributes one comma, not two.
+fn has_explicit_hasher(code: &[Token<'_>], mut i: usize, want_commas: usize) -> bool {
+    if path_sep(code, i) {
+        i += 2; // turbofish `::<`
+    }
+    if !matches!(code.get(i), Some(t) if t.text == "<") {
+        return false; // bare type or `HashMap::new()` — default hasher
+    }
+    let mut angle = 0usize;
+    let mut inner = 0usize; // `(…)` / `[…]` nesting inside the generics
+    let mut commas = 0usize;
+    for t in &code[i..] {
+        match t.text {
+            "<" => angle += 1,
+            ">" => {
+                angle -= 1;
+                if angle == 0 {
+                    break;
+                }
+            }
+            "(" | "[" => inner += 1,
+            ")" | "]" => inner = inner.saturating_sub(1),
+            "," if angle == 1 && inner == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    commas >= want_commas
+}

@@ -1,0 +1,40 @@
+//! L5: `lib.rs` must open with `//!` docs and forbid `unsafe_code`.
+
+use super::{Finding, Lint};
+use crate::lexer::Token;
+
+/// Checks the crate root's doc header and `#![forbid(unsafe_code)]`.
+pub fn lint(
+    relpath: &str,
+    all_tokens: &[Token<'_>],
+    code: &[Token<'_>],
+    out: &mut Vec<Finding>,
+) {
+    let starts_with_docs = all_tokens.first().is_some_and(|t| t.is_inner_doc());
+    if !starts_with_docs {
+        out.push(Finding::new(
+            Lint::LibHeader,
+            relpath,
+            1,
+            "crate root must start with a `//!` doc header".to_string(),
+        ));
+    }
+    let has_forbid = code.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    });
+    if !has_forbid {
+        out.push(Finding::new(
+            Lint::LibHeader,
+            relpath,
+            1,
+            "crate root must declare `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! L1: every dependency in every manifest must be a path/workspace
+//! dependency on a sibling crate; the historical registry dependencies
+//! must not reappear under any spelling.
+
+use super::{Finding, Lint};
+
+const BANNED: [&str; 5] = ["crossbeam", "parking_lot", "rand", "proptest", "criterion"];
+
+/// Checks one `Cargo.toml`.
+pub fn check(relpath: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    let mut dep_table_name: Option<String> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let section = section.trim_matches('[').trim_matches(']');
+            in_dep_section = section.contains("dependencies");
+            // `[dependencies.foo]` long-form tables.
+            dep_table_name = section
+                .rsplit_once("dependencies.")
+                .map(|(_, name)| name.trim().to_string())
+                .filter(|_| in_dep_section);
+            if let Some(name) = &dep_table_name {
+                if is_banned(name) {
+                    findings.push(banned_finding(relpath, lineno, name));
+                }
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        let value = value.trim();
+        if let Some(table) = &dep_table_name {
+            // Inside `[dependencies.foo]`: only path/workspace keys allowed.
+            if matches!(key, "version" | "git" | "registry" | "branch" | "tag" | "rev") {
+                findings.push(registry_finding(relpath, lineno, table, line));
+            }
+            continue;
+        }
+        // Inline entry: `name = …` or `name.workspace = true`.
+        let dep_name = key.split('.').next().unwrap_or(key).trim_matches('"');
+        if is_banned(dep_name) {
+            findings.push(banned_finding(relpath, lineno, dep_name));
+            continue;
+        }
+        let allowed = key.ends_with(".workspace")
+            || key.ends_with(".path")
+            || value.contains("path")
+            || value.contains("workspace");
+        let registry_like = value.starts_with('"')
+            || value.contains("version")
+            || value.contains("git")
+            || value.contains("registry");
+        if !allowed && registry_like {
+            findings.push(registry_finding(relpath, lineno, dep_name, line));
+        }
+    }
+    findings
+}
+
+fn is_banned(name: &str) -> bool {
+    BANNED
+        .iter()
+        .any(|b| name == *b || name.starts_with(&format!("{b}-")) || name.starts_with(&format!("{b}_")))
+}
+
+fn banned_finding(relpath: &str, line: u32, name: &str) -> Finding {
+    Finding::new(
+        Lint::RegistryDep,
+        relpath,
+        line,
+        format!(
+            "`{name}` was removed in the offline migration and must not return — \
+             extend the in-tree substrate instead"
+        ),
+    )
+}
+
+fn registry_finding(relpath: &str, line: u32, name: &str, entry: &str) -> Finding {
+    Finding::new(
+        Lint::RegistryDep,
+        relpath,
+        line,
+        format!(
+            "`{name}` is not a path dependency (`{entry}`) — every dependency must be \
+             a `path`/`workspace` reference to a sibling crate"
+        ),
+    )
+}

@@ -1,0 +1,35 @@
+//! L2: `.unwrap()`, `.expect(`, `panic!` in non-test library code.
+
+use super::{Finding, Lint};
+use crate::lexer::{Token, TokenKind};
+
+/// Scans the comment-stripped token stream for panic sites.
+pub fn lint(relpath: &str, code: &[Token<'_>], in_test: &[bool], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        if in_test[i] || code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let t = code[i];
+        let firing = match t.text {
+            "unwrap" | "expect" => {
+                i > 0
+                    && code[i - 1].text == "."
+                    && matches!(code.get(i + 1), Some(n) if n.text == "(")
+            }
+            "panic" => matches!(code.get(i + 1), Some(n) if n.text == "!"),
+            _ => false,
+        };
+        if firing {
+            let what = if t.text == "panic" { "panic!" } else { t.text };
+            out.push(Finding::new(
+                Lint::PanicInLib,
+                relpath,
+                t.line,
+                format!(
+                    "`{what}` in library code — return a `KtgError` (or restructure so the \
+                     failure is impossible)"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! L6: to-do markers in comments must carry an issue tag: `TODO(#42)`.
+
+use super::{Finding, Lint};
+use crate::lexer::Token;
+
+/// Scans comment tokens for untagged to-do markers.
+pub fn lint(relpath: &str, all_tokens: &[Token<'_>], out: &mut Vec<Finding>) {
+    for t in all_tokens.iter().filter(|t| t.is_comment()) {
+        let bytes = t.text.as_bytes();
+        for (off, marker) in find_markers(t.text) {
+            let rest = &bytes[off + marker.len()..];
+            // Accept `TODO(#123)` / `FIXME(#issue-slug)`: an immediate
+            // paren group whose content starts with `#`.
+            let tagged = rest.first() == Some(&b'(')
+                && rest.get(1) == Some(&b'#')
+                && rest.iter().skip(2).take_while(|&&b| b != b')').next().is_some()
+                && rest.contains(&b')');
+            if !tagged {
+                let line = t.line + t.text[..off].matches('\n').count() as u32;
+                out.push(Finding::new(
+                    Lint::UntaggedTodo,
+                    relpath,
+                    line,
+                    format!("`{marker}` without an issue tag — write `{marker}(#NN): …`"),
+                ));
+            }
+        }
+    }
+}
+
+/// Word-boundary occurrences of the to-do markers in a comment's text.
+fn find_markers(text: &str) -> Vec<(usize, &'static str)> {
+    let mut hits = Vec::new();
+    for marker in ["TODO", "FIXME"] {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(marker) {
+            let at = from + pos;
+            let before_ok = at == 0
+                || !text.as_bytes()[at - 1].is_ascii_alphanumeric()
+                    && text.as_bytes()[at - 1] != b'_';
+            let after = at + marker.len();
+            let after_ok = after >= text.len()
+                || !text.as_bytes()[after].is_ascii_alphanumeric()
+                    && text.as_bytes()[after] != b'_';
+            if before_ok && after_ok {
+                hits.push((at, marker));
+            }
+            from = after;
+        }
+    }
+    hits.sort_unstable_by_key(|&(at, _)| at);
+    hits
+}

@@ -1,0 +1,645 @@
+//! A lightweight syntactic layer over the lexer.
+//!
+//! The concurrency lints (L7–L10) and the transitive L4 pass need more
+//! structure than a flat token stream: which `fn` a token belongs to,
+//! what an `impl` block's type is, where a function's body starts and
+//! ends, and what a file `use`s. This module builds exactly that — an
+//! item-level view of one file — without becoming a real Rust parser:
+//! it balances delimiters and recognizes `fn` / `impl` / `mod` / `use`
+//! items, and nothing else. rustc remains the arbiter of validity; the
+//! parser only has to agree with it on *where things are*.
+//!
+//! Everything operates on the comment-stripped code-token stream of
+//! [`crate::lexer`], so strings and comments can never confuse item
+//! recognition, and token indices returned here index into
+//! [`Ast::tokens`].
+
+use crate::lexer::{self, Token, TokenKind};
+
+/// One parsed function item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's own name.
+    pub name: String,
+    /// The `impl` type the function belongs to, if any (`Foo` for both
+    /// `impl Foo` and `impl Trait for Foo`).
+    pub owner: Option<String>,
+    /// Whether the function is `pub` (any visibility restriction —
+    /// `pub(crate)`, `pub(super)` — still counts as non-private).
+    pub is_pub: bool,
+    /// Whether the item sits under `#[cfg(test)]` (directly or via an
+    /// enclosing module).
+    pub in_test: bool,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token range `[open, close]` of the body braces, if the function
+    /// has a body (trait declarations do not).
+    pub body: Option<(usize, usize)>,
+    /// 1-based source line of the `fn` keyword.
+    pub line: u32,
+}
+
+impl FnItem {
+    /// `Owner::name` when the function lives in an `impl`, else `name`.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Token range of the signature: `fn` keyword up to (excluding) the
+    /// body open brace or the terminating `;`.
+    pub fn sig_range(&self) -> (usize, usize) {
+        let end = self.body.map_or(usize::MAX, |(open, _)| open);
+        (self.sig_start, end)
+    }
+}
+
+/// One `use` import: the full path and the name it binds locally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseImport {
+    /// Path segments, e.g. `["ktg_common", "fault"]`.
+    pub path: Vec<String>,
+    /// The local binding: the last segment, or the `as` alias.
+    pub alias: String,
+}
+
+/// The item-level view of one file.
+pub struct Ast<'a> {
+    /// The comment-stripped code tokens every index below points into.
+    pub tokens: Vec<Token<'a>>,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `use` import, with groups (`use a::{b, c}`) expanded.
+    pub uses: Vec<UseImport>,
+    /// Per-token flag: the token sits inside `#[cfg(test)]`-gated code.
+    pub in_test: Vec<bool>,
+}
+
+impl Ast<'_> {
+    /// The innermost function whose body contains token index `i`.
+    pub fn fn_at(&self, i: usize) -> Option<&FnItem> {
+        // Innermost = the latest-starting fn whose body spans `i`
+        // (nested fns start later than their enclosing fn).
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(open, close)| open <= i && i <= close))
+            .max_by_key(|f| f.sig_start)
+    }
+}
+
+/// Parses one file into its item-level view.
+pub fn parse(source: &str) -> Ast<'_> {
+    let tokens = lexer::code_tokens(source);
+    let in_test = cfg_test_mask(&tokens);
+    let mut p = Parser { tokens: &tokens, fns: Vec::new(), uses: Vec::new() };
+    p.items(0, tokens.len(), None);
+    let Parser { fns, uses, .. } = p;
+    let mut fns = fns;
+    for f in &mut fns {
+        f.in_test = in_test[f.sig_start];
+    }
+    Ast { tokens, fns, uses, in_test }
+}
+
+struct Parser<'t, 'a> {
+    tokens: &'t [Token<'a>],
+    fns: Vec<FnItem>,
+    uses: Vec<UseImport>,
+}
+
+impl Parser<'_, '_> {
+    /// Walks the items in `[start, end)`, recursing into `impl` and
+    /// inline `mod` bodies. `owner` is the enclosing `impl` type.
+    fn items(&mut self, start: usize, end: usize, owner: Option<&str>) {
+        let mut i = start;
+        while i < end {
+            match self.tokens[i].text {
+                "fn" if self.tokens[i].kind == TokenKind::Ident => {
+                    i = self.fn_item(i, end, owner);
+                }
+                "impl" if self.tokens[i].kind == TokenKind::Ident => {
+                    i = self.impl_item(i, end);
+                }
+                "mod" if self.tokens[i].kind == TokenKind::Ident => {
+                    // `mod name { … }`: recurse; `mod name;`: skip.
+                    match self.find_at_depth(i + 1, end, &["{", ";"]) {
+                        Some(open) if self.tokens[open].text == "{" => {
+                            let close = self.matching_brace(open, end);
+                            self.items(open + 1, close, None);
+                            i = close + 1;
+                        }
+                        Some(semi) => i = semi + 1,
+                        None => i = end,
+                    }
+                }
+                "use" if self.tokens[i].kind == TokenKind::Ident => {
+                    i = self.use_item(i, end);
+                }
+                // Skip token trees we must not scan for the `fn` keyword
+                // as an *item* (macro bodies, const initializers with
+                // blocks are still fine to enter — a nested `fn` there is
+                // a real item for our purposes).
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn fn_item(&mut self, at: usize, end: usize, owner: Option<&str>) -> usize {
+        let Some(name_tok) = self.tokens.get(at + 1) else { return end };
+        if name_tok.kind != TokenKind::Ident {
+            return at + 1; // `fn` used as a type (`Fn`-adjacent tokens) — not an item
+        }
+        let is_pub = self.visibility_before(at);
+        // Find the body `{` or declaration-ending `;` at item depth:
+        // skip balanced `(…)` / `[…]` / `<…>`-free scanning — braces in a
+        // signature only occur inside parens (closure defaults) which the
+        // depth counter absorbs.
+        let mut depth = 0usize;
+        let mut j = at + 2;
+        let mut body = None;
+        while j < end {
+            match self.tokens[j].text {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => {
+                    let close = self.matching_brace(j, end);
+                    body = Some((j, close));
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        self.fns.push(FnItem {
+            name: name_tok.text.to_string(),
+            owner: owner.map(str::to_string),
+            is_pub,
+            in_test: false, // filled in by `parse`
+            sig_start: at,
+            body,
+            line: self.tokens[at].line,
+        });
+        if let Some((open, close)) = body {
+            // Nested fns (rare, but the corpus has them) are items too.
+            self.items(open + 1, close, owner);
+            close + 1
+        } else {
+            j + 1
+        }
+    }
+
+    fn impl_item(&mut self, at: usize, end: usize) -> usize {
+        let Some(open) = self.find_at_depth(at + 1, end, &["{"]) else { return end };
+        let close = self.matching_brace(open, end);
+        let ty = impl_type_name(&self.tokens[at + 1..open]);
+        self.items(open + 1, close, ty.as_deref());
+        close + 1
+    }
+
+    fn use_item(&mut self, at: usize, end: usize) -> usize {
+        let Some(semi) = self.find_at_depth(at + 1, end, &[";"]) else { return end };
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(at + 1, semi, &mut prefix);
+        semi + 1
+    }
+
+    /// Recursively expands a use tree: `a::b::{c, d as e, f::g}`.
+    fn use_tree(&mut self, start: usize, end: usize, prefix: &mut Vec<String>) {
+        let depth_here = prefix.len();
+        let mut i = start;
+        while i < end {
+            let t = self.tokens[i];
+            match (t.kind, t.text) {
+                (TokenKind::Ident, "as") => {
+                    // `… as alias`: rebind the segment just pushed.
+                    if let Some(alias) = self.tokens.get(i + 1) {
+                        self.record_use(prefix, alias.text);
+                        prefix.truncate(depth_here.max(prefix.len().saturating_sub(1)));
+                        // Skip to the next `,` at this level.
+                        i = self.find_at_depth(i + 1, end, &[","]).unwrap_or(end);
+                    }
+                }
+                (TokenKind::Ident, _) | (TokenKind::Punct, "*") => {
+                    prefix.push(t.text.to_string());
+                    // Terminal segment?  (next token is `,`, `}` or end)
+                    let next = self.tokens.get(i + 1).map(|t| t.text);
+                    let is_terminal = !matches!(next, Some("::"));
+                    // The lexer splits `::` into two `:` puncts.
+                    let is_path_sep = matches!(next, Some(":"));
+                    if is_terminal && !is_path_sep {
+                        let followed_by_as =
+                            matches!(self.tokens.get(i + 1), Some(n) if n.text == "as");
+                        if !followed_by_as {
+                            self.record_use(prefix, t.text);
+                            prefix.pop();
+                        }
+                    }
+                    i += 1;
+                }
+                (_, "{") => {
+                    let close = self.matching_brace(i, end);
+                    // Split the group body on top-level commas.
+                    let mut seg_start = i + 1;
+                    let mut depth = 0usize;
+                    for j in i + 1..close {
+                        match self.tokens[j].text {
+                            "{" | "(" | "[" => depth += 1,
+                            "}" | ")" | "]" => depth = depth.saturating_sub(1),
+                            "," if depth == 0 => {
+                                self.use_tree(seg_start, j, prefix);
+                                seg_start = j + 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if seg_start < close {
+                        self.use_tree(seg_start, close, prefix);
+                    }
+                    prefix.truncate(depth_here);
+                    i = close + 1;
+                }
+                (_, ":") => i += 1, // path separator halves
+                (_, ",") => {
+                    prefix.truncate(depth_here);
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        prefix.truncate(depth_here);
+    }
+
+    fn record_use(&mut self, path: &[String], alias: &str) {
+        if path.is_empty() || alias == "*" {
+            return;
+        }
+        self.uses.push(UseImport { path: path.to_vec(), alias: alias.to_string() });
+    }
+
+    /// First occurrence of any of `what` at delimiter depth 0 in
+    /// `[start, end)`.
+    fn find_at_depth(&self, start: usize, end: usize, what: &[&str]) -> Option<usize> {
+        let mut depth = 0usize;
+        for j in start..end.min(self.tokens.len()) {
+            let t = self.tokens[j].text;
+            if depth == 0 && what.contains(&t) {
+                return Some(j);
+            }
+            match t {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    if depth == 0 {
+                        return None; // left the enclosing scope
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Index of the `}` matching the `{` at `open` (or `end - 1` for
+    /// unbalanced input — the parser never panics on bad source).
+    fn matching_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        for j in open..end.min(self.tokens.len()) {
+            match self.tokens[j].text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        end.min(self.tokens.len()).saturating_sub(1)
+    }
+
+    /// Whether the tokens immediately before the `fn` keyword grant
+    /// visibility: `pub`, `pub(crate)`, `pub(super)`, `pub(in …)`,
+    /// possibly with `const` / `async` / `unsafe` / `extern "C"` between.
+    fn visibility_before(&self, at: usize) -> bool {
+        let mut j = at;
+        while j > 0 {
+            j -= 1;
+            let t = self.tokens[j];
+            match (t.kind, t.text) {
+                (TokenKind::Ident, "const" | "async" | "unsafe" | "extern") => continue,
+                (TokenKind::Str, _) => continue, // the "C" in `extern "C"`
+                (_, ")") => {
+                    // Walk back over a `(crate)`-style restriction.
+                    let mut depth = 0usize;
+                    loop {
+                        match self.tokens[j].text {
+                            ")" => depth += 1,
+                            "(" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if j == 0 {
+                            return false;
+                        }
+                        j -= 1;
+                    }
+                    continue;
+                }
+                (TokenKind::Ident, "pub") => return true,
+                _ => return false,
+            }
+        }
+        false
+    }
+}
+
+/// Extracts the type name an `impl` block attaches methods to, from the
+/// tokens between `impl` and its `{`: the last path segment of the type
+/// (after `for`, if present), with generics stripped.
+fn impl_type_name(header: &[Token<'_>]) -> Option<String> {
+    // Restrict to the part after `for`, if any (`impl Trait for Type`).
+    let after_for = header
+        .iter()
+        .position(|t| t.kind == TokenKind::Ident && t.text == "for")
+        .map_or(header, |p| &header[p + 1..]);
+    // Cut a trailing `where` clause.
+    let before_where = after_for
+        .iter()
+        .position(|t| t.kind == TokenKind::Ident && t.text == "where")
+        .map_or(after_for, |p| &after_for[..p]);
+    // The type's own name is the last ident at angle-depth 0.
+    let mut depth = 0usize;
+    let mut name = None;
+    for t in before_where {
+        match t.text {
+            "<" => depth += 1,
+            ">" => depth = depth.saturating_sub(1),
+            _ if depth == 0 && t.kind == TokenKind::Ident => name = Some(t.text.to_string()),
+            _ => {}
+        }
+    }
+    name
+}
+
+/// Marks the code tokens covered by a `#[cfg(test)]`-gated item (module,
+/// function, impl, ...). The gated item ends at the first `;` at top
+/// depth or the close of the first `{ … }` block after the attribute.
+///
+/// `#[cfg(not(test))]` does *not* gate its item out of linting — the
+/// `test` ident must not sit inside a `not(…)` group (the purely textual
+/// predecessor of this check got that wrong).
+pub fn cfg_test_mask(code: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].text == "#" && matches!(code.get(i + 1), Some(t) if t.text == "[") {
+            let (content_start, after_bracket) = match matching_bracket(code, i + 1) {
+                Some(end) => (i + 2, end + 1),
+                None => break,
+            };
+            let attr = &code[content_start..after_bracket - 1];
+            if is_cfg_test_attr(attr) {
+                let end = item_end(code, after_bracket);
+                for m in mask.iter_mut().take(end).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = after_bracket;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether an attribute body (tokens between `[` and `]`) is a cfg whose
+/// predicate enables the item only under `test` — i.e. it mentions
+/// `test` at a position not nested under `not(…)`.
+fn is_cfg_test_attr(attr: &[Token<'_>]) -> bool {
+    if attr.first().map(|t| t.text) != Some("cfg") {
+        return false;
+    }
+    let mut not_depths: Vec<usize> = Vec::new(); // paren depths where a not(…) opened
+    let mut depth = 0usize;
+    let mut prev_ident = "";
+    for t in &attr[1..] {
+        match t.text {
+            "(" => {
+                depth += 1;
+                if prev_ident == "not" {
+                    not_depths.push(depth);
+                }
+                prev_ident = "";
+            }
+            ")" => {
+                if not_depths.last() == Some(&depth) {
+                    not_depths.pop();
+                }
+                depth = depth.saturating_sub(1);
+                prev_ident = "";
+            }
+            "test" if t.kind == TokenKind::Ident && not_depths.is_empty() => return true,
+            _ => {
+                prev_ident = if t.kind == TokenKind::Ident { t.text } else { "" };
+            }
+        }
+    }
+    false
+}
+
+/// Index one past the `]` matching the `[` at `open`.
+pub(crate) fn matching_bracket(code: &[Token<'_>], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        match t.text {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// One past the end of the item starting at `start`: the first `;` at
+/// delimiter depth 0, or the close of the first `{ … }` block entered.
+pub(crate) fn item_end(code: &[Token<'_>], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut entered_block = false;
+    for (j, t) in code.iter().enumerate().skip(start) {
+        match t.text {
+            "{" | "(" | "[" => {
+                entered_block |= t.text == "{";
+                depth += 1;
+            }
+            "}" | ")" | "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && entered_block && t.text == "}" {
+                    return j + 1;
+                }
+            }
+            ";" if depth == 0 => return j + 1,
+            _ => {}
+        }
+    }
+    code.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_free_and_impl_fns() {
+        let src = r#"
+            pub fn free(x: u32) -> u32 { x }
+            struct S;
+            impl S {
+                fn private(&self) {}
+                pub(crate) fn crate_visible(&self) {}
+            }
+            impl Clone for S {
+                fn clone(&self) -> S { S }
+            }
+        "#;
+        let ast = parse(src);
+        let names: Vec<String> = ast.fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(names, vec!["free", "S::private", "S::crate_visible", "S::clone"]);
+        assert!(ast.fns[0].is_pub);
+        assert!(!ast.fns[1].is_pub);
+        assert!(ast.fns[2].is_pub, "pub(crate) counts as visible");
+    }
+
+    #[test]
+    fn impl_type_name_handles_generics_and_paths() {
+        let src = r#"
+            impl<'g> NlIndex<'g> { fn a(&self) {} }
+            impl DistanceOracle for bfs::BfsOracle<'_> { fn b(&self) {} }
+            impl<T: Clone> Wrapper<T> where T: Send { fn c(&self) {} }
+        "#;
+        let ast = parse(src);
+        let owners: Vec<_> = ast.fns.iter().map(|f| f.owner.clone().unwrap()).collect();
+        assert_eq!(owners, vec!["NlIndex", "BfsOracle", "Wrapper"]);
+    }
+
+    #[test]
+    fn bodies_are_bracketed_and_nested_fns_found() {
+        let src = "fn outer() { fn inner() { let x = 1; } inner(); }";
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 2);
+        let outer = &ast.fns[0];
+        let inner = &ast.fns[1];
+        let (o_open, o_close) = outer.body.unwrap();
+        let (i_open, i_close) = inner.body.unwrap();
+        assert!(o_open < i_open && i_close < o_close);
+        assert_eq!(ast.tokens[o_open].text, "{");
+        assert_eq!(ast.tokens[o_close].text, "}");
+        // fn_at resolves to the innermost enclosing fn.
+        let x_idx = ast.tokens.iter().position(|t| t.text == "x").unwrap();
+        assert_eq!(ast.fn_at(x_idx).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T { fn required(&self); fn provided(&self) {} }";
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 2);
+        assert!(ast.fns[0].body.is_none());
+        assert!(ast.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn use_groups_expand() {
+        let src = r#"
+            use ktg_common::{fault, CancelToken as Token, FxHashMap};
+            use std::sync::Mutex;
+            use crate::bb::solve;
+        "#;
+        let ast = parse(src);
+        let mut found: Vec<(Vec<String>, String)> =
+            ast.uses.iter().map(|u| (u.path.clone(), u.alias.clone())).collect();
+        found.sort();
+        assert!(found.contains(&(
+            vec!["ktg_common".into(), "fault".into()],
+            "fault".into()
+        )));
+        assert!(found.contains(&(
+            vec!["ktg_common".into(), "CancelToken".into()],
+            "Token".into()
+        )));
+        assert!(found.contains(&(
+            vec!["std".into(), "sync".into(), "Mutex".into()],
+            "Mutex".into()
+        )));
+        assert!(found.contains(&(
+            vec!["crate".into(), "bb".into(), "solve".into()],
+            "solve".into()
+        )));
+    }
+
+    #[test]
+    fn cfg_test_marks_fns() {
+        let src = r#"
+            pub fn lib_fn() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+            }
+        "#;
+        let ast = parse(src);
+        assert!(!ast.fns.iter().find(|f| f.name == "lib_fn").unwrap().in_test);
+        assert!(ast.fns.iter().find(|f| f.name == "helper").unwrap().in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_gated() {
+        let src = r#"
+            #[cfg(not(test))]
+            fn release_only() {}
+            #[cfg(test)]
+            fn test_only() {}
+            #[cfg(all(feature = "x", not(test)))]
+            fn feature_release() {}
+            #[cfg(any(test, feature = "slow"))]
+            fn test_or_slow() {}
+        "#;
+        let ast = parse(src);
+        let by_name = |n: &str| ast.fns.iter().find(|f| f.name == n).unwrap().in_test;
+        assert!(!by_name("release_only"), "not(test) must not exempt from linting");
+        assert!(by_name("test_only"));
+        assert!(!by_name("feature_release"));
+        assert!(by_name("test_or_slow"));
+    }
+
+    #[test]
+    fn fn_in_string_or_comment_is_not_an_item() {
+        let src = r#"
+            // fn ghost() {}
+            pub fn real() -> &'static str { "fn ghost2() {}" }
+        "#;
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].name, "real");
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        for src in ["fn f() {", "impl X {", "use a::{b", "fn"] {
+            let _ = parse(src);
+        }
+    }
+}

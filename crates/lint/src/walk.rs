@@ -10,8 +10,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Directory names never descended into.
-const SKIP_DIRS: [&str; 4] = ["target", ".git", "bench_results", "node_modules"];
+/// Directory names never descended into. `fixtures` holds the lint
+/// crate's own deliberately-violating test corpus.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "bench_results", "node_modules", "fixtures"];
 
 /// The files a lint run operates on, as workspace-relative paths.
 #[derive(Debug, Default)]

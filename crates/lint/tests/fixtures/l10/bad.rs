@@ -1,0 +1,6 @@
+//! Fixture: a solve entry point that cannot be cancelled.
+
+/// Solves the demo query to completion, deadline-blind.
+pub fn solve_demo(budget: usize) -> DemoOutcome {
+    DemoOutcome { nodes: budget }
+}

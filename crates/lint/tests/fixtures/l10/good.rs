@@ -1,0 +1,9 @@
+//! Fixture: the entry point threads a `CancelToken`.
+
+use ktg_common::CancelToken;
+
+/// Solves the demo query, polling the caller's token.
+pub fn solve_demo(budget: usize, cancel: &CancelToken) -> DemoOutcome {
+    let _ = cancel.is_cancelled();
+    DemoOutcome { nodes: budget }
+}

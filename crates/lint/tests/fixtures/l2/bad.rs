@@ -1,0 +1,6 @@
+//! Fixture: a panic site in library code.
+
+/// Parses a port number, panicking on malformed input.
+pub fn parse_port(text: &str) -> u16 {
+    text.parse().unwrap()
+}

@@ -1,0 +1,9 @@
+//! Fixture: the fallible parse surfaces its error instead of panicking.
+
+/// Parses a port number.
+///
+/// # Errors
+/// Returns the integer-parse error on malformed input.
+pub fn parse_port(text: &str) -> Result<u16, std::num::ParseIntError> {
+    text.parse()
+}

@@ -1,0 +1,10 @@
+//! Fixture: std map with the default (SipHash) hasher.
+
+/// Counts keyword occurrences — iteration order varies per process.
+pub fn count(keys: &[u32]) -> std::collections::HashMap<u32, usize> {
+    let mut counts = std::collections::HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}

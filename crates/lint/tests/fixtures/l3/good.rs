@@ -1,0 +1,12 @@
+//! Fixture: the deterministic Fx hasher via the workspace alias.
+
+use ktg_common::FxHashMap;
+
+/// Counts keyword occurrences with a stable iteration order.
+pub fn count(keys: &[u32]) -> FxHashMap<u32, usize> {
+    let mut counts = FxHashMap::default();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}

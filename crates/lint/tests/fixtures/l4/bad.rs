@@ -1,0 +1,13 @@
+//! Fixture: a wall-clock read in deterministic library scope, plus a
+//! caller that reaches it transitively.
+
+use std::time::Instant;
+
+fn clock_nanos() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}
+
+/// Reports how long the demo solve took — nondeterministic output.
+pub fn solve_timed() -> u128 {
+    clock_nanos()
+}

@@ -1,0 +1,8 @@
+//! Fixture: elapsed time threaded in through a caller-owned stopwatch.
+
+use ktg_common::Stopwatch;
+
+/// Reports elapsed nanoseconds measured by the caller's stopwatch.
+pub fn solve_timed(watch: &Stopwatch) -> u64 {
+    watch.elapsed_nanos()
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root with the required doc header.
+
+#![forbid(unsafe_code)]
+
+pub mod fixture;

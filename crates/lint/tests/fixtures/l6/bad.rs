@@ -1,0 +1,6 @@
+//! Fixture: an untagged to-do marker.
+
+/// Widens the demo coverage.
+pub fn widen() {
+    // TODO: handle the degenerate single-vertex case
+}

@@ -1,0 +1,6 @@
+//! Fixture: the to-do marker carries its issue tag.
+
+/// Widens the demo coverage.
+pub fn widen() {
+    // TODO(#42): handle the degenerate single-vertex case
+}

@@ -1,0 +1,13 @@
+//! Fixture: lock-order inversion, and a lock inside `catch_unwind`.
+
+/// Reads a session entry while a cache shard is held — inverted order.
+pub fn lookup(&self) -> usize {
+    let shard = self.cache_shard.lock();
+    let session = self.sessions.read();
+    shard.len() + session.len()
+}
+
+/// Acquires the stats stripe inside an unwind boundary.
+pub fn probe(&self) -> bool {
+    std::panic::catch_unwind(|| self.stats_stripe.lock()).is_ok()
+}

@@ -1,0 +1,17 @@
+//! Fixture: locks taken in the committed order, none under unwind.
+
+/// Session first, cache shard second — the global order.
+pub fn lookup(&self) -> usize {
+    let session = self.sessions.read();
+    let shard = self.cache_shard.lock();
+    shard.len() + session.len()
+}
+
+/// Drops the shard before touching the stats stripe.
+pub fn report(&self) -> usize {
+    let shard = self.cache_shard.lock();
+    let size = shard.len();
+    drop(shard);
+    let stripe = self.stats_stripe.lock();
+    size + stripe.len()
+}

@@ -1,0 +1,8 @@
+//! Fixture: an `Ordering::` use absent from the committed allowlist.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps the demo hit counter.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,8 @@
+//! Fixture: the same site, covered by the committed allowlist.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps the demo hit counter (audited; see the allowlist entry).
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

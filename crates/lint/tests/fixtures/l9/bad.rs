@@ -1,0 +1,7 @@
+//! Fixture: the fault site lands after the shared-state write.
+
+/// Applies an update, then (too late) offers the fault site.
+pub fn apply(&mut self, value: u64) {
+    self.total = value;
+    fault::inject("demo-apply");
+}

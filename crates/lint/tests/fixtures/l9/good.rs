@@ -1,0 +1,7 @@
+//! Fixture: the fault site precedes the write it makes recoverable.
+
+/// Offers the fault site, then applies the update.
+pub fn apply(&mut self, value: u64) {
+    fault::inject("demo-apply");
+    self.total = value;
+}

@@ -17,7 +17,7 @@ use ktg_index::NlrnlIndex;
 fn main() {
     let net = DatasetProfile::Brightkite.instantiate(200, 21);
     println!("network: {}", ktg_graph::stats::summary(net.graph()));
-    let keywords = QueryGen::new(&net, 5).query(6);
+    let keywords = QueryGen::new(&net, 5).query(6).expect("example workload");
 
     let query = KtgQuery::new(keywords, 3, 2, 4).expect("valid");
     let index = NlrnlIndex::build(net.graph());

@@ -21,7 +21,7 @@ fn main() {
     println!("campaign network: {}", ktg_graph::stats::summary(net.graph()));
 
     // The campaign cares about 6 product keywords.
-    let keywords = QueryGen::new(&net, 99).query(6);
+    let keywords = QueryGen::new(&net, 99).query(6).expect("example workload");
     let terms: Vec<&str> = keywords.ids().iter().map(|&k| net.vocab().term(k)).collect();
     println!("product keywords: {}", terms.join(", "));
 

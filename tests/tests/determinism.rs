@@ -27,10 +27,10 @@ fn profile_instantiation_is_a_pure_function_of_the_seed() {
 #[test]
 fn query_workloads_are_a_pure_function_of_the_seed() {
     let net = DatasetProfile::Gowalla.instantiate(400, 7);
-    let a = QueryGen::new(&net, 11).batch(8, 4);
-    let b = QueryGen::new(&net, 11).batch(8, 4);
+    let a = QueryGen::new(&net, 11).batch(8, 4).expect("workload");
+    let b = QueryGen::new(&net, 11).batch(8, 4).expect("workload");
     assert_eq!(a, b, "same workload seed, same batch");
-    let c = QueryGen::new(&net, 12).batch(8, 4);
+    let c = QueryGen::new(&net, 12).batch(8, 4).expect("workload");
     assert_ne!(a, c, "different workload seed, different batch");
 }
 

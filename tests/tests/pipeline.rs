@@ -22,7 +22,7 @@ fn full_pipeline_all_indexes_agree() {
     let bfs = BfsOracle::new(net.graph());
     let mut qg = QueryGen::new(&net, 3);
     for _ in 0..5 {
-        let query = KtgQuery::new(qg.query(6), 3, 2, 5).expect("valid");
+        let query = KtgQuery::new(qg.query(6).expect("workload"), 3, 2, 5).expect("valid");
         let a = bb::solve(&net, &query, &nl, &bb::BbOptions::vkc_deg());
         let b = bb::solve(&net, &query, &nlrnl, &bb::BbOptions::vkc_deg());
         let c = bb::solve(&net, &query, &bfs, &bb::BbOptions::vkc_deg());
@@ -37,7 +37,7 @@ fn orderings_agree_on_coverage_at_scale() {
     let nlrnl = NlrnlIndex::build(net.graph());
     let mut qg = QueryGen::new(&net, 23);
     for _ in 0..3 {
-        let query = KtgQuery::new(qg.query(5), 3, 1, 3).expect("valid");
+        let query = KtgQuery::new(qg.query(5).expect("workload"), 3, 1, 3).expect("valid");
         let vkc = bb::solve(&net, &query, &nlrnl, &bb::BbOptions::vkc());
         let deg = bb::solve(&net, &query, &nlrnl, &bb::BbOptions::vkc_deg());
         let qkc = bb::solve(&net, &query, &nlrnl, &bb::BbOptions::qkc());
@@ -55,7 +55,7 @@ fn brute_force_confirms_bb_on_tiny_profile() {
     let net = DatasetProfile::Brightkite.instantiate(1200, 5);
     let oracle = BfsOracle::new(net.graph());
     let mut qg = QueryGen::new(&net, 7);
-    let query = KtgQuery::new(qg.query(4), 3, 1, 2).expect("valid");
+    let query = KtgQuery::new(qg.query(4).expect("workload"), 3, 1, 2).expect("valid");
     let fast = bb::solve(&net, &query, &oracle, &bb::BbOptions::vkc_deg());
     let slow = brute::solve(&net, &query, &oracle);
     let counts = |groups: &[ktg_core::Group]| -> Vec<u32> {
@@ -68,8 +68,8 @@ fn brute_force_confirms_bb_on_tiny_profile() {
 #[test]
 fn workload_batches_are_reproducible() {
     let net = scaled_net();
-    let a = QueryGen::new(&net, 77).batch(10, 6);
-    let b = QueryGen::new(&net, 77).batch(10, 6);
+    let a = QueryGen::new(&net, 77).batch(10, 6).expect("workload");
+    let b = QueryGen::new(&net, 77).batch(10, 6).expect("workload");
     assert_eq!(a, b);
 }
 
@@ -82,7 +82,7 @@ fn tagq_never_beats_ktg_on_union_coverage() {
     let oracle = NlrnlIndex::build(net.graph());
     let mut qg = QueryGen::new(&net, 31);
     for _ in 0..3 {
-        let query = KtgQuery::new(qg.query(5), 3, 1, 1).expect("valid");
+        let query = KtgQuery::new(qg.query(5).expect("workload"), 3, 1, 1).expect("valid");
         let ktg = bb::solve(&net, &query, &oracle, &bb::BbOptions::vkc_deg());
         let tq = tagq::solve(&net, &query, &oracle, &TagqOptions::default());
         if let (Some(kg), Some(tg)) = (ktg.groups.first(), tq.groups.first()) {
@@ -101,7 +101,7 @@ fn multi_query_vertex_results_avoid_author_neighborhood() {
     let net = scaled_net();
     let oracle = NlrnlIndex::build(net.graph());
     let mut qg = QueryGen::new(&net, 41);
-    let query = KtgQuery::new(qg.query(6), 3, 1, 3).expect("valid");
+    let query = KtgQuery::new(qg.query(6).expect("workload"), 3, 1, 3).expect("valid");
     let masks = net.compile(query.keywords());
     let mut cands = candidates::collect_vec(net.graph(), &masks);
     // Use the highest-degree vertex as the "author".
@@ -143,7 +143,7 @@ fn unsatisfiable_queries_return_empty() {
     let oracle = BfsOracle::new(net.graph());
     // k larger than the diameter: no pair qualifies.
     let mut qg = QueryGen::new(&net, 53);
-    let query = KtgQuery::new(qg.query(6), 3, 60, 2).expect("valid");
+    let query = KtgQuery::new(qg.query(6).expect("workload"), 3, 60, 2).expect("valid");
     let out = bb::solve(&net, &query, &oracle, &bb::BbOptions::vkc_deg());
     // Groups can only exist across disconnected components; with p = 3 we
     // need 3 mutually unreachable candidates. Verify feasibility if any.
@@ -166,7 +166,7 @@ fn pll_oracle_agrees_in_full_pipeline() {
     let nlrnl = NlrnlIndex::build(net.graph());
     let mut qg = QueryGen::new(&net, 61);
     for _ in 0..3 {
-        let query = KtgQuery::new(qg.query(5), 3, 2, 4).expect("valid");
+        let query = KtgQuery::new(qg.query(5).expect("workload"), 3, 2, 4).expect("valid");
         let a = bb::solve(&net, &query, &pll, &bb::BbOptions::vkc_deg());
         let b = bb::solve(&net, &query, &nlrnl, &bb::BbOptions::vkc_deg());
         assert_eq!(a.groups, b.groups);
@@ -191,7 +191,7 @@ fn tenuity_reports_consistent_with_results() {
     let index = NlrnlIndex::build(net.graph());
     let mut qg = QueryGen::new(&net, 71);
     let k = 2u32;
-    let query = KtgQuery::new(qg.query(6), 3, k, 5).expect("valid");
+    let query = KtgQuery::new(qg.query(6).expect("workload"), 3, k, 5).expect("valid");
     let out = bb::solve(&net, &query, &index, &bb::BbOptions::vkc_deg());
     for g in &out.groups {
         let r = tenuity::report(&index, g.members(), k);

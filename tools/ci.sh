@@ -84,8 +84,27 @@ if [ -z "$net_on_ns" ] || [ -z "$net_off_ns" ] || [ "$net_on_ns" -gt "$net_off_n
 fi
 rm -rf "$bench_out"
 
-echo "== static analysis (ktg-lint, ratchet vs tools/lint-baseline.txt) =="
-cargo run -q --release --offline -p ktg-lint
+echo "== static analysis (ktg-lint L1-L10, fingerprint ratchet vs tools/lint-baseline.txt) =="
+# The JSON run is both the gate and the CI artifact: exit code reflects
+# the per-violation fingerprint ratchet (any L7-L10 concurrency-invariant
+# finding off the baseline fails here), and the report is kept for
+# inspection. The lint must also stay fast enough to run on every push.
+lint_json="$root/target/ktg-lint.json"
+mkdir -p "$root/target"
+lint_start_ms="$(date +%s%3N)"
+cargo run -q --release --offline -p ktg-lint -- --json > "$lint_json"
+lint_elapsed_ms=$(( $(date +%s%3N) - lint_start_ms ))
+grep -q '"pass": true' "$lint_json" || {
+    echo "FAIL: ktg-lint reported a ratchet regression:" >&2
+    cat "$lint_json" >&2
+    exit 1
+}
+scan_ms="$(sed -n 's/.*"elapsed_ms": \([0-9]*\).*/\1/p' "$lint_json" | head -n1)"
+if [ -z "$scan_ms" ] || [ "$scan_ms" -ge 2000 ]; then
+    echo "FAIL: ktg-lint scan took ${scan_ms:-?} ms, budget is < 2000 ms" >&2
+    exit 1
+fi
+echo "ktg-lint: pass (scan ${scan_ms} ms, wall ${lint_elapsed_ms} ms, artifact $lint_json)"
 
 echo "== checked-mode smoke query (KTG_VERIFY=1, release) =="
 tmp="$(mktemp -d)"
