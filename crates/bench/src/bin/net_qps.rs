@@ -86,6 +86,7 @@ fn boot(net: &AttributedGraph, use_cache: bool) -> ServerHandle {
         cache_entries: 4096,
         engine: bb::BbOptions::vkc_deg(),
         max_inflight: 0,
+        ..ServeOptions::default()
     };
     let cfg = ServeConfig {
         workers: CONN_SWEEP[CONN_SWEEP.len() - 1],

@@ -1,0 +1,192 @@
+//! Bench-results summarizer: `bench_results/qps.jsonl` → `BENCH_qps.json`.
+//!
+//! The JSON-lines sinks append one record per configuration per run, so
+//! a long-lived checkout accumulates a full perf history — good for
+//! trajectories, bad for machines that just want "the current numbers".
+//! This binary folds the append-only log into one deterministic JSON
+//! document: the **latest** record per `(bench, param)` pair, plus the
+//! derived headline ratios the CI gate asserts (cache speedup, thread
+//! scaling, cost-vs-FIFO policy throughput). Hand-rolled parsing against
+//! the harness's known flat-object shape — the workspace's dependency
+//! budget has no serde, and [`ktg_bench::harness::Summary::to_json_line`]
+//! is the only writer.
+//!
+//! Usage: `summarize [OUT_PATH]` — reads `$KTG_BENCH_OUT/qps.jsonl`
+//! (default `bench_results/qps.jsonl`), writes `OUT_PATH` (default
+//! `BENCH_qps.json`). Exits non-zero when the log is missing or empty,
+//! so CI cannot mistake a no-op for a summary.
+
+use std::path::PathBuf;
+
+/// One parsed `qps.jsonl` record: the fields the summary re-emits.
+#[derive(Clone, Debug, PartialEq)]
+struct QpsRecord {
+    bench: String,
+    param: String,
+    items: u64,
+    ops_per_sec: f64,
+    min_ns: u64,
+}
+
+/// Extracts `"key":"value"` (string form) from a flat JSON-object line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    line[start..].find('"').map(|end| line[start..start + end].to_string())
+}
+
+/// Extracts `"key":number` from a flat JSON-object line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_record(line: &str) -> Option<QpsRecord> {
+    Some(QpsRecord {
+        bench: str_field(line, "bench")?,
+        param: str_field(line, "param")?,
+        items: num_field(line, "items")? as u64,
+        ops_per_sec: num_field(line, "ops_per_sec")?,
+        min_ns: num_field(line, "min_ns")? as u64,
+    })
+}
+
+/// Latest record per `(bench, param)`, in first-seen order (so the
+/// output ordering is stable across runs of the same sweep).
+fn latest_per_config(lines: &str) -> Vec<QpsRecord> {
+    let mut out: Vec<QpsRecord> = Vec::new();
+    for record in lines.lines().filter_map(parse_record) {
+        match out.iter_mut().find(|r| r.bench == record.bench && r.param == record.param) {
+            Some(slot) => *slot = record,
+            None => out.push(record),
+        }
+    }
+    out
+}
+
+/// Ratio of two series' throughput at the same parameter, if both exist.
+fn ratio(records: &[QpsRecord], num: (&str, &str), den: (&str, &str)) -> Option<f64> {
+    let find = |(bench, param): (&str, &str)| {
+        records.iter().find(|r| r.bench == bench && r.param == param).map(|r| r.ops_per_sec)
+    };
+    match (find(num), find(den)) {
+        (Some(n), Some(d)) if d > 0.0 => Some(n / d),
+        _ => None,
+    }
+}
+
+fn render(records: &[QpsRecord]) -> String {
+    let mut body = String::from("{\"group\":\"qps\",\"records\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"bench\":\"{}\",\"param\":\"{}\",\"items\":{},\
+             \"ops_per_sec\":{:.3},\"min_ns\":{}}}",
+            r.bench, r.param, r.items, r.ops_per_sec, r.min_ns
+        ));
+    }
+    body.push_str("],\"derived\":{");
+    let derived = [
+        ("cache_speedup_1t", ratio(records, ("cache_on", "1"), ("cache_off", "1"))),
+        ("thread_speedup_off_4t", ratio(records, ("cache_off", "4"), ("cache_off", "1"))),
+        ("cost_over_fifo", ratio(records, ("policy_cost", "1"), ("policy_fifo", "1"))),
+    ];
+    let mut first = true;
+    for (name, value) in derived {
+        if let Some(v) = value {
+            if !first {
+                body.push(',');
+            }
+            first = false;
+            body.push_str(&format!("\"{name}\":{v:.3}"));
+        }
+    }
+    body.push_str("}}");
+    body
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_qps.json".to_string());
+    let dir = PathBuf::from(std::env::var("KTG_BENCH_OUT").unwrap_or_else(|_| "bench_results".into()));
+    let log = dir.join("qps.jsonl");
+    let text = match std::fs::read_to_string(&log) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("summarize: cannot read {}: {e}", log.display());
+            std::process::exit(1);
+        }
+    };
+    let records = latest_per_config(&text);
+    if records.is_empty() {
+        eprintln!("summarize: {} holds no parseable qps records", log.display());
+        std::process::exit(1);
+    }
+    let json = render(&records);
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("summarize: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("summarize: {} configs from {} -> {out_path}", records.len(), log.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "{\"group\":\"qps\",\"bench\":\"cache_on\",\"param\":\"1\",\
+        \"samples\":3,\"items\":240,\"ops_per_sec\":1234.567,\
+        \"min_ns\":194400000,\"mean_ns\":2,\"median_ns\":2,\"p95_ns\":2,\"max_ns\":2}";
+
+    #[test]
+    fn parses_the_harness_line_shape() {
+        let r = parse_record(LINE).expect("parseable");
+        assert_eq!(r.bench, "cache_on");
+        assert_eq!(r.param, "1");
+        assert_eq!(r.items, 240);
+        assert_eq!(r.min_ns, 194_400_000);
+        assert!((r.ops_per_sec - 1234.567).abs() < 1e-9);
+        assert_eq!(parse_record("not json"), None);
+    }
+
+    #[test]
+    fn later_records_replace_earlier_ones() {
+        let log = format!("{LINE}\n{}\n", LINE.replace("1234.567", "999.0"));
+        let latest = latest_per_config(&log);
+        assert_eq!(latest.len(), 1);
+        assert!((latest[0].ops_per_sec - 999.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_ratios_and_rendering() {
+        let mk = |bench: &str, param: &str, ops: f64| QpsRecord {
+            bench: bench.into(),
+            param: param.into(),
+            items: 10,
+            ops_per_sec: ops,
+            min_ns: 1000,
+        };
+        let records = vec![
+            mk("cache_on", "1", 200.0),
+            mk("cache_off", "1", 100.0),
+            mk("cache_off", "4", 300.0),
+            mk("policy_fifo", "1", 50.0),
+            mk("policy_cost", "1", 60.0),
+        ];
+        let json = render(&records);
+        assert!(json.contains("\"cache_speedup_1t\":2.000"), "{json}");
+        assert!(json.contains("\"thread_speedup_off_4t\":3.000"), "{json}");
+        assert!(json.contains("\"cost_over_fifo\":1.200"), "{json}");
+        assert!(json.starts_with("{\"group\":\"qps\""));
+        // Missing series: the derived entry is simply omitted.
+        let partial = render(&records[..2]);
+        assert!(partial.contains("cache_speedup_1t"));
+        assert!(!partial.contains("thread_speedup_off_4t"));
+    }
+}

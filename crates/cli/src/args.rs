@@ -61,7 +61,7 @@ fn canonical(flag: &str) -> &str {
 }
 
 /// Flags that stand alone (no value token follows them).
-const BOOLEAN_FLAGS: &[&str] = &["no-cache", "stats", "shutdown"];
+const BOOLEAN_FLAGS: &[&str] = &["no-cache", "no-subset-reuse", "stats", "shutdown"];
 
 /// Parses `argv` (without the program name).
 pub fn parse(argv: &[String]) -> Result<ParsedArgs> {

@@ -565,8 +565,11 @@ fn stats_line(shared: &Shared) -> String {
         ("result_hits", session_stats.result_hits),
         ("result_misses", session_stats.result_misses),
         ("result_reclaimed", session_stats.result_reclaimed),
+        ("subset_hits", session_stats.subset_hits),
+        ("compactions", session_stats.compactions),
         ("row_hits", session_stats.row_hits),
         ("row_misses", session_stats.row_misses),
+        ("row_evictions", session_stats.row_evictions),
         ("epoch", session_stats.epoch),
         ("inflight", shared.inflight.load(Ordering::Relaxed) as u64),
         ("latency_samples", samples as u64),
@@ -805,7 +808,8 @@ mod tests {
         for field in [
             "\"requests\":", "\"degraded\":", "\"overloaded\":1", "\"failed\":",
             "\"result_hits\":", "\"result_misses\":", "\"result_reclaimed\":",
-            "\"row_hits\":", "\"row_misses\":", "\"epoch\":1", "\"inflight\":0",
+            "\"subset_hits\":", "\"compactions\":", "\"row_hits\":",
+            "\"row_misses\":", "\"row_evictions\":", "\"epoch\":1", "\"inflight\":0",
             "\"latency_samples\":", "\"p50_ns\":", "\"p95_ns\":", "\"p99_ns\":",
         ] {
             assert!(line.contains(field), "missing {field} in {line}");

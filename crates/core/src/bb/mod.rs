@@ -321,6 +321,14 @@ pub fn solve(
 /// conflict kernel, then applies checked-mode verification. This is the
 /// batched executor's entry point: the executor owns pooled candidate
 /// vectors and recycled kernel rows, so nothing here may take ownership.
+///
+/// `initial_floor` pre-publishes a proven Theorem-2 pruning floor before
+/// the search starts (the serving layer's keyword-subset reuse,
+/// DESIGN.md §17). The caller asserts the floor is *sound*: at least `N`
+/// feasible groups of this exact query reach that coverage count, so
+/// tightening the bound early can never exclude a true top-N group —
+/// keyword pruning passes ties (`bound >= threshold`), and the result
+/// stays byte-identical to an unseeded solve.
 pub(crate) fn solve_with_kernel(
     net: &AttributedGraph,
     query: &KtgQuery,
@@ -328,8 +336,11 @@ pub(crate) fn solve_with_kernel(
     cands: &[Candidate],
     kernel: &ConflictKernel,
     opts: &BbOptions,
+    initial_floor: Option<u32>,
 ) -> KtgOutcome {
-    let outcome = run(query, oracle, cands, kernel, opts);
+    let owned = CancelToken::for_deadline_ms(opts.deadline_ms);
+    let outcome =
+        run_with_token(query, oracle, cands, kernel, opts, owned.as_ref(), initial_floor);
     crate::verify::enforce(net, query, &outcome.groups);
     outcome
 }
@@ -380,7 +391,7 @@ pub fn solve_with_candidates_token(
     opts: &BbOptions,
     cancel: Option<&CancelToken>,
 ) -> KtgOutcome {
-    run_with_token(query, oracle, cands, &ConflictKernel::Oracle, opts, cancel)
+    run_with_token(query, oracle, cands, &ConflictKernel::Oracle, opts, cancel, None)
 }
 
 /// Derives the outcome status from what the engines observed: a fired
@@ -413,7 +424,7 @@ fn run(
     opts: &BbOptions,
 ) -> KtgOutcome {
     let owned = CancelToken::for_deadline_ms(opts.deadline_ms);
-    run_with_token(query, oracle, cands, kernel, opts, owned.as_ref())
+    run_with_token(query, oracle, cands, kernel, opts, owned.as_ref(), None)
 }
 
 /// Dispatches to the sequential or parallel driver.
@@ -432,13 +443,22 @@ fn run_with_token(
     kernel: &ConflictKernel,
     opts: &BbOptions,
     cancel: Option<&CancelToken>,
+    initial_floor: Option<u32>,
 ) -> KtgOutcome {
     let workers = opts.resolved_threads().min(cands.len().max(1));
     let order_dependent = opts.stop_at_coverage.is_some() || opts.node_budget.is_some();
+    // Order-dependent runs define their result by the *unseeded* DFS
+    // discovery order ("first admitted group reaching the floor", "first
+    // B nodes"); a pre-published floor would change which prefix of the
+    // tree they visit, so the seed is dropped rather than silently
+    // altering their semantics.
+    let initial_floor = initial_floor.filter(|_| !order_dependent);
     let mut outcome = if workers <= 1 || order_dependent {
-        sequential::run_sequential(query, oracle, cands, kernel, opts, cancel)
+        sequential::run_sequential(query, oracle, cands, kernel, opts, cancel, initial_floor)
     } else {
-        parallel::run_parallel(query, oracle, cands, kernel, opts, workers, cancel)
+        parallel::run_parallel(
+            query, oracle, cands, kernel, opts, workers, cancel, initial_floor,
+        )
     };
     outcome.status = completion_status(&outcome.stats, cancel);
     outcome

@@ -27,9 +27,39 @@
 //!   session with edge churn must not let unreachable entries squeeze
 //!   out reachable ones). [`ResultCache::reclaimed`] counts them.
 //! * **Bounded shards.** Entries live in a fixed stripe array (hashed by
-//!   key) with per-shard FIFO eviction, so concurrent workers do not
-//!   serialize on one lock and a long-running session cannot grow without
-//!   limit.
+//!   key) with per-shard eviction under a selectable [`CachePolicy`], so
+//!   concurrent workers do not serialize on one lock and a long-running
+//!   session cannot grow without limit.
+//!
+//! ## Eviction policy
+//!
+//! [`CachePolicy::Fifo`] is the original insertion-order baseline.
+//! [`CachePolicy::Cost`] (the default) is workload-aware: every entry
+//! records the solve nanos that produced it and the shard-local logical
+//! tick of its last hit, eviction removes the minimum *benefit score* —
+//! solve cost halved once per [`HALF_LIFE`] ticks of disuse, insertion
+//! sequence as the total-order tie break — and admission rejects a new
+//! entry whose cost is below the would-be victim's score (caching a
+//! cheap answer by evicting an expensive hot one is a net loss). Clocks
+//! are purely logical (per-shard access counters, never wall time, per
+//! lint L4): the retained set is a pure function of the access sequence,
+//! and since cached answers equal freshly solved ones, *answers* are
+//! byte-identical under every policy — only hit rates differ.
+//!
+//! ## Keyword-subset reuse
+//!
+//! A side index keyed by [`ParamSig`] (everything of a key *except* the
+//! keywords) remembers which keyword sets are resident per parameter
+//! combination. [`ResultCache::get_superset`] probes it for a cached
+//! answer to a superset query `W' ⊇ W`: the caller re-projects that
+//! answer's coverage masks onto `W` and uses the projected coverage
+//! counts to seed the branch-and-bound `TopN` floor (see
+//! `serve::executor`). Returning a superset answer *verbatim* would be
+//! unsound — the top-N groups under `W` can differ from the re-projected
+//! top-N under `W'` even at full coverage (smaller-member groups that
+//! `W'` ranked below its own top-N may outrank them under `W`) — so the
+//! probe only ever tightens the initial bound, which provably preserves
+//! the result (DESIGN.md §17).
 
 use ktg_common::{FxHashMap, FxHasher64};
 use std::collections::VecDeque;
@@ -45,6 +75,34 @@ use crate::query::KtgQuery;
 /// same sizing argument: a small power of two keeps the pick cheap while
 /// letting a handful of workers proceed in parallel).
 const CACHE_SHARDS: usize = 16;
+
+/// Recency half-life in shard ticks: an entry's benefit score halves for
+/// every `HALF_LIFE` shard accesses since its last hit.
+const HALF_LIFE: u64 = 64;
+
+/// Keyword sets remembered per parameter signature in the subset-reuse
+/// side index. A small bound: the index is a best-effort seed source,
+/// not a second cache.
+const SUBSET_INDEX_WIDTH: usize = 32;
+
+/// Benefit of keeping an entry: what recomputing it would cost, decayed
+/// by how long it has gone unreferenced.
+fn benefit_score(cost: u64, age: u64) -> u64 {
+    cost >> (age / HALF_LIFE).min(63)
+}
+
+/// Eviction/admission policy for [`ResultCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Insertion-order eviction, admit-everything — the original
+    /// baseline, kept selectable for differential testing and as the
+    /// `qps` comparison point.
+    Fifo,
+    /// Benefit-score eviction (recorded solve cost × recency decay) with
+    /// a cost-admission floor.
+    #[default]
+    Cost,
+}
 
 /// A canonicalized query identity: two queries with the same key are
 /// guaranteed the same answer (at the same graph epoch).
@@ -112,12 +170,63 @@ impl CacheKey {
         self.hash(&mut h);
         (h.finish() >> 56) as usize % CACHE_SHARDS
     }
+
+    /// The key's identity minus its keyword set — the subset-reuse
+    /// side-index bucket it belongs to.
+    fn param_sig(&self) -> ParamSig {
+        ParamSig {
+            kind: self.kind,
+            p: self.p,
+            k: self.k,
+            n: self.n,
+            gamma_bits: self.gamma_bits,
+            ordering: self.ordering,
+            keyword_pruning: self.keyword_pruning,
+            kline_filtering: self.kline_filtering,
+            bitmap_threshold: self.bitmap_threshold,
+        }
+    }
+
+    /// The same query identity over a different keyword set.
+    fn with_keywords(&self, keywords: Vec<u32>) -> CacheKey {
+        CacheKey { keywords, ..self.clone() }
+    }
+
+    /// Sorted keyword ids this key canonicalizes.
+    pub(crate) fn keywords(&self) -> &[u32] {
+        &self.keywords
+    }
 }
 
-/// A resident answer with the graph epoch it was computed at.
+/// Everything of a [`CacheKey`] except the keywords. Stored as the full
+/// field set — never a hash — so distinct parameter combinations can
+/// never alias a side-index bucket (an aliased bucket would seed floors
+/// from answers to *different* queries, which is unsound).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct ParamSig {
+    kind: u8,
+    p: usize,
+    k: u32,
+    n: usize,
+    gamma_bits: u64,
+    ordering: u8,
+    keyword_pruning: bool,
+    kline_filtering: bool,
+    bitmap_threshold: usize,
+}
+
+/// A resident answer with the graph epoch it was computed at plus the
+/// bookkeeping the cost policy scores by.
 struct Entry<V> {
     epoch: u64,
     value: V,
+    /// Recorded solve cost (nanoseconds; 1 for inserts with no recording).
+    cost: u64,
+    /// Shard tick of the last hit or insert.
+    last_touch: u64,
+    /// Insertion sequence, unique per shard — eviction's total-order tie
+    /// break, so the `(score, seq)` minimum is always a single entry.
+    seq: u64,
 }
 
 struct CacheShard<V> {
@@ -130,23 +239,45 @@ struct CacheShard<V> {
     /// pushed at. Records are deleted lazily: a popped record only evicts
     /// when the resident entry still carries the same stamp (an entry
     /// re-inserted at a newer epoch leaves its old record dangling).
+    /// Unused (empty) under [`CachePolicy::Cost`].
     fifo: VecDeque<(CacheKey, u64)>,
+    /// Records in `fifo` whose entry no longer matches. When they exceed
+    /// the live entries the queue is compacted — without this, same-key
+    /// overwrite churn grows `fifo` without bound.
+    dangling: usize,
+    /// Logical access clock: bumped once per lookup or insert.
+    tick: u64,
+    /// Insertion counter feeding [`Entry::seq`].
+    seq: u64,
 }
 
 /// A bounded, sharded, epoch-guarded memo of whole query answers.
 pub struct ResultCache<V> {
     shards: Vec<Mutex<CacheShard<V>>>,
     per_shard_capacity: usize,
+    policy: CachePolicy,
+    /// Keyword sets resident per parameter signature, for superset
+    /// probes. Best-effort: bounded per bucket, entries may outlive the
+    /// answers they point at (a probe just misses then).
+    subsets: Mutex<FxHashMap<ParamSig, Vec<Vec<u32>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     reclaimed: AtomicU64,
+    compactions: AtomicU64,
+    subset_hits: AtomicU64,
 }
 
 impl<V: Clone> ResultCache<V> {
     /// Creates a cache holding at most `capacity` answers in total
     /// (rounded up to a multiple of the stripe count; a zero capacity
-    /// still admits one answer per stripe).
+    /// still admits one answer per stripe), under the default
+    /// [`CachePolicy::Cost`].
     pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, CachePolicy::default())
+    }
+
+    /// [`new`](Self::new) with an explicit eviction/admission policy.
+    pub fn with_policy(capacity: usize, policy: CachePolicy) -> Self {
         ResultCache {
             shards: (0..CACHE_SHARDS)
                 .map(|_| {
@@ -154,14 +285,26 @@ impl<V: Clone> ResultCache<V> {
                         latest: 0,
                         map: FxHashMap::default(),
                         fifo: VecDeque::new(),
+                        dangling: 0,
+                        tick: 0,
+                        seq: 0,
                     })
                 })
                 .collect(),
             per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
+            policy,
+            subsets: Mutex::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            subset_hits: AtomicU64::new(0),
         }
+    }
+
+    /// The eviction/admission policy this cache runs.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
     }
 
     /// Lookups answered from the memo so far.
@@ -181,6 +324,17 @@ impl<V: Clone> ResultCache<V> {
         self.reclaimed.load(Ordering::Relaxed)
     }
 
+    /// Lazy-deletion record-queue compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Successful superset probes ([`get_superset`](Self::get_superset))
+    /// so far.
+    pub fn subset_hits(&self) -> u64 {
+        self.subset_hits.load(Ordering::Relaxed)
+    }
+
     /// Cached answers currently resident (all shards, stale included).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| self.lock(s).map.len()).sum()
@@ -189,6 +343,13 @@ impl<V: Clone> ResultCache<V> {
     /// Whether the cache currently holds no answers.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total lazy-deletion records resident across shards (live +
+    /// dangling) — test instrumentation for the compaction bound.
+    #[cfg(test)]
+    fn record_count(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).fifo.len()).sum()
     }
 
     fn lock<'a>(&self, shard: &'a Mutex<CacheShard<V>>) -> MutexGuard<'a, CacheShard<V>> {
@@ -215,8 +376,11 @@ impl<V: Clone> ResultCache<V> {
         ktg_common::fault::inject(ktg_common::fault::FaultSite::CacheLookup);
         let mut shard = self.lock(&self.shards[key.shard_index()]);
         shard.latest = shard.latest.max(epoch);
-        match shard.map.get(key) {
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
             Some(entry) if entry.epoch == epoch => {
+                entry.last_touch = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.value.clone())
             }
@@ -224,6 +388,10 @@ impl<V: Clone> ResultCache<V> {
                 // Dead on arrival: the entry predates the current graph.
                 // Its FIFO record is left dangling (lazy deletion).
                 shard.map.remove(key);
+                if self.policy == CachePolicy::Fifo {
+                    shard.dangling += 1;
+                    self.maybe_compact(&mut shard);
+                }
                 self.reclaimed.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -235,32 +403,50 @@ impl<V: Clone> ResultCache<V> {
         }
     }
 
-    /// Stores `value` as the answer for `key` at `epoch`. An insert
-    /// stamped older than the newest epoch the shard has seen is
-    /// discarded (the answer is already stale).
-    ///
-    /// When the shard is over capacity, entries from dead generations
-    /// are purged **first** — evicting a live entry while unreachable
-    /// stale ones still occupy the shard would collapse the hit rate
-    /// under edge-update churn. Only if the shard is still over capacity
-    /// after the purge does FIFO eviction remove the oldest live entry.
+    /// Compacts the lazy-deletion record queue once dangling records
+    /// outnumber live entries, so same-key overwrite churn (or stale
+    /// reclamation) cannot grow it without bound. Amortized O(1): each
+    /// compaction touches at most 2× the live entries and halves-or-more
+    /// the queue.
+    fn maybe_compact(&self, shard: &mut CacheShard<V>) {
+        if shard.dangling > shard.map.len() {
+            let CacheShard { map, fifo, .. } = &mut *shard;
+            fifo.retain(|(k, e)| map.get(k).is_some_and(|entry| entry.epoch == *e));
+            shard.dangling = 0;
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores `value` as the answer for `key` at `epoch`, with no
+    /// recorded solve cost (scored as cost 1 under the cost policy).
     pub fn insert(&self, key: CacheKey, epoch: u64, value: V) {
+        self.insert_with_cost(key, epoch, value, 1);
+    }
+
+    /// Stores `value` as the answer for `key` at `epoch`, recording the
+    /// solve nanos that produced it. An insert stamped older than the
+    /// newest epoch the shard has seen is discarded (the answer is
+    /// already stale).
+    ///
+    /// When the shard is at capacity, entries from dead generations are
+    /// purged **first** — evicting a live entry while unreachable stale
+    /// ones still occupy the shard would collapse the hit rate under
+    /// edge-update churn. Only if the shard is still full after the
+    /// purge does the policy run: FIFO evicts the oldest live entry;
+    /// the cost policy evicts the minimum-benefit entry *unless* the
+    /// incoming answer is cheaper than that entry's current score, in
+    /// which case the insert itself is rejected (admission floor).
+    pub fn insert_with_cost(&self, key: CacheKey, epoch: u64, value: V, cost_ns: u64) {
+        let cost = cost_ns.max(1);
         let mut shard = self.lock(&self.shards[key.shard_index()]);
         if epoch < shard.latest {
             return;
         }
         shard.latest = epoch;
-        let stamp_changed = match shard.map.insert(key.clone(), Entry { epoch, value }) {
-            Some(old) => old.epoch != epoch,
-            None => true,
-        };
-        if stamp_changed {
-            // A same-epoch overwrite keeps its original FIFO position;
-            // everything else needs a fresh record (the old one, if any,
-            // now dangles and is skipped at pop time).
-            shard.fifo.push_back((key, epoch));
-        }
-        if shard.map.len() > self.per_shard_capacity {
+        shard.tick += 1;
+
+        // Make room for a *new* key while the shard is full.
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
             let latest = shard.latest;
             let before = shard.map.len();
             shard.map.retain(|_, entry| entry.epoch == latest);
@@ -269,15 +455,136 @@ impl<V: Clone> ResultCache<V> {
                 self.reclaimed.fetch_add(dead as u64, Ordering::Relaxed);
                 let CacheShard { map, fifo, .. } = &mut *shard;
                 fifo.retain(|(k, e)| map.get(k).is_some_and(|entry| entry.epoch == *e));
+                shard.dangling = 0;
             }
-            while shard.map.len() > self.per_shard_capacity {
-                let Some((oldest, stamp)) = shard.fifo.pop_front() else { break };
-                if shard.map.get(&oldest).is_some_and(|entry| entry.epoch == stamp) {
-                    shard.map.remove(&oldest);
+            if shard.map.len() >= self.per_shard_capacity {
+                match self.policy {
+                    CachePolicy::Fifo => {
+                        while let Some((oldest, stamp)) = shard.fifo.pop_front() {
+                            if shard.map.get(&oldest).is_some_and(|e| e.epoch == stamp) {
+                                shard.map.remove(&oldest);
+                                break;
+                            }
+                            shard.dangling = shard.dangling.saturating_sub(1);
+                        }
+                    }
+                    CachePolicy::Cost => {
+                        let tick = shard.tick;
+                        // `seq` is unique per shard, so the `(score, seq)`
+                        // minimum is one entry regardless of map iteration
+                        // order — eviction stays deterministic. An empty
+                        // shard needs no eviction at all.
+                        let weakest = shard
+                            .map
+                            .iter()
+                            .map(|(k, e)| {
+                                (
+                                    (
+                                        benefit_score(
+                                            e.cost,
+                                            tick.saturating_sub(e.last_touch),
+                                        ),
+                                        e.seq,
+                                    ),
+                                    k.clone(),
+                                )
+                            })
+                            .min_by_key(|(rank, _)| *rank);
+                        if let Some(((floor, _), victim)) = weakest {
+                            if cost < floor {
+                                // Admission floor: the incoming answer is
+                                // cheaper to recompute than the benefit
+                                // of the entry it would displace.
+                                return;
+                            }
+                            shard.map.remove(&victim);
+                        }
+                    }
                 }
             }
         }
+
+        shard.seq += 1;
+        let (tick, seq) = (shard.tick, shard.seq);
+        let previous =
+            shard.map.insert(key.clone(), Entry { epoch, value, cost, last_touch: tick, seq });
+        if self.policy == CachePolicy::Fifo {
+            let stamp_changed = match &previous {
+                Some(old) => old.epoch != epoch,
+                None => true,
+            };
+            if stamp_changed {
+                // A same-epoch overwrite keeps its original FIFO
+                // position; everything else needs a fresh record (the
+                // old one, if any, now dangles and is skipped at pop
+                // time).
+                if previous.is_some() {
+                    shard.dangling += 1;
+                }
+                shard.fifo.push_back((key.clone(), epoch));
+                self.maybe_compact(&mut shard);
+            }
+        }
+        drop(shard);
+
+        // Remember the keyword set for superset probes (bounded FIFO per
+        // parameter bucket; see `get_superset`).
+        let sig = key.param_sig();
+        let mut subsets = match self.subsets.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let bucket = subsets.entry(sig).or_default();
+        if !bucket.iter().any(|ws| ws == key.keywords()) {
+            bucket.push(key.keywords().to_vec());
+            if bucket.len() > SUBSET_INDEX_WIDTH {
+                bucket.remove(0);
+            }
+        }
     }
+
+    /// Probes for a resident answer to a *strict-superset* query: same
+    /// parameters, keyword set `W' ⊃ W`, same epoch. Returns the
+    /// superset's sorted keyword ids and its cached answer. Counters are
+    /// untouched except [`subset_hits`](Self::subset_hits) on success —
+    /// a failed probe is not a "miss", and the probe must not perturb
+    /// the fault-injection or hit-rate accounting of the primary path.
+    pub fn get_superset(&self, key: &CacheKey, epoch: u64) -> Option<(Vec<u32>, V)> {
+        let candidates: Vec<Vec<u32>> = {
+            let subsets = match self.subsets.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let bucket = subsets.get(&key.param_sig())?;
+            bucket
+                .iter()
+                .filter(|ws| {
+                    ws.len() > key.keywords().len() && is_subset(key.keywords(), ws)
+                })
+                .cloned()
+                .collect()
+        };
+        for ws in candidates {
+            let skey = key.with_keywords(ws);
+            let shard = self.lock(&self.shards[skey.shard_index()]);
+            if let Some(entry) = shard.map.get(&skey) {
+                if entry.epoch == epoch {
+                    let value = entry.value.clone();
+                    drop(shard);
+                    self.subset_hits.fetch_add(1, Ordering::Relaxed);
+                    let CacheKey { keywords, .. } = skey;
+                    return Some((keywords, value));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Is sorted `a` a subset of sorted `b`?
+fn is_subset(a: &[u32], b: &[u32]) -> bool {
+    let mut it = b.iter();
+    a.iter().all(|x| it.by_ref().any(|y| y == x))
 }
 
 #[cfg(test)]
@@ -423,7 +730,7 @@ mod tests {
     #[test]
     fn same_epoch_overwrite_keeps_one_fifo_record() {
         let net = fixtures::figure1();
-        let cache: ResultCache<usize> = ResultCache::new(16);
+        let cache: ResultCache<usize> = ResultCache::with_policy(16, CachePolicy::Fifo);
         let key = key_with_p(&net, 1);
         cache.insert(key.clone(), 1, 10);
         cache.insert(key.clone(), 1, 11);
@@ -434,5 +741,123 @@ mod tests {
             cache.insert(key_with_p(&net, p), 1, p);
         }
         assert!(cache.len() <= 16);
+    }
+
+    /// Regression: cross-epoch overwrites of the *same* key leave one
+    /// dangling record each; without compaction the queue grows without
+    /// bound (live entries stay constant at one).
+    #[test]
+    fn fifo_dangling_records_are_compacted() {
+        let net = fixtures::figure1();
+        let cache: ResultCache<usize> = ResultCache::with_policy(16, CachePolicy::Fifo);
+        let key = key_with_p(&net, 1);
+        for epoch in 1..500u64 {
+            cache.insert(key.clone(), epoch, 0);
+        }
+        assert!(cache.compactions() > 0, "overwrite churn must trigger compactions");
+        assert!(
+            cache.record_count() <= 2 * cache.len() + CACHE_SHARDS,
+            "record queue stays proportional to live entries, got {} records for {} entries",
+            cache.record_count(),
+            cache.len()
+        );
+    }
+
+    /// Groups `p`-parameterized keys by the shard they hash to, so tests
+    /// can co-locate keys in one stripe.
+    fn shard_groups(net: &crate::network::AttributedGraph) -> Vec<Vec<CacheKey>> {
+        let mut groups: Vec<Vec<CacheKey>> = (0..CACHE_SHARDS).map(|_| Vec::new()).collect();
+        for p in 1..200usize {
+            let key = key_with_p(net, p);
+            groups[key.shard_index()].push(key);
+        }
+        groups
+    }
+
+    /// The cost policy evicts the minimum `(benefit score, seq)` entry
+    /// and rejects inserts cheaper than that floor — deterministically.
+    #[test]
+    fn cost_eviction_order_is_deterministic() {
+        let net = fixtures::figure1();
+        let groups = shard_groups(&net);
+        let keys = groups.iter().find(|g| g.len() >= 6).expect("a stripe with 6 keys");
+        // Two independent instances replaying the same access sequence
+        // must retain the same set.
+        for _ in 0..2 {
+            // Capacity 64 → 4 entries per stripe.
+            let cache: ResultCache<usize> = ResultCache::with_policy(64, CachePolicy::Cost);
+            let costs = [100u64, 10, 1000, 50];
+            for (i, cost) in costs.iter().enumerate() {
+                cache.insert_with_cost(keys[i].clone(), 1, i, *cost);
+            }
+            // Fifth key: the victim is the cheapest resident (cost 10).
+            cache.insert_with_cost(keys[4].clone(), 1, 4, 500);
+            assert_eq!(cache.get(&keys[1], 1), None, "cheapest entry evicted");
+            for i in [0usize, 2, 3, 4] {
+                assert_eq!(cache.get(&keys[i], 1), Some(i), "survivor {i}");
+            }
+            // Admission floor: cheaper than the current minimum benefit
+            // (cost 50) ⇒ rejected outright, residents untouched.
+            cache.insert_with_cost(keys[5].clone(), 1, 5, 5);
+            assert_eq!(cache.get(&keys[5], 1), None, "below-floor insert rejected");
+            for i in [0usize, 2, 3, 4] {
+                assert_eq!(cache.get(&keys[i], 1), Some(i), "survivor {i} after rejection");
+            }
+        }
+    }
+
+    /// Recency decay: an expensive entry nobody hits eventually scores
+    /// below a cheap one that stays hot, and becomes the victim.
+    #[test]
+    fn cost_eviction_decays_unused_entries() {
+        let net = fixtures::figure1();
+        let groups = shard_groups(&net);
+        let keys = groups.iter().find(|g| g.len() >= 6).expect("a stripe with 6 keys");
+        let cache: ResultCache<usize> = ResultCache::with_policy(64, CachePolicy::Cost);
+        cache.insert_with_cost(keys[0].clone(), 1, 0, 1_000_000); // expensive, then cold
+        for (i, key) in keys.iter().enumerate().take(4).skip(1) {
+            cache.insert_with_cost(key.clone(), 1, i, 10);
+        }
+        // ~30 half-lives of hits on the cheap entries: the cold entry's
+        // score decays to zero while the hot ones stay at full cost.
+        for _ in 0..(30 * HALF_LIFE) {
+            assert_eq!(cache.get(&keys[1], 1), Some(1));
+        }
+        cache.insert_with_cost(keys[4].clone(), 1, 4, 10);
+        assert_eq!(cache.get(&keys[0], 1), None, "decayed expensive entry evicted");
+        for (i, key) in keys.iter().enumerate().take(5).skip(1) {
+            assert_eq!(cache.get(key, 1), Some(i), "hot survivor {i}");
+        }
+    }
+
+    fn key_with_terms(
+        net: &crate::network::AttributedGraph,
+        terms: &[&str],
+        p: usize,
+    ) -> CacheKey {
+        let kws = net.query_keywords(terms.iter().copied()).unwrap();
+        let query = KtgQuery::new(kws, p, 1, 2).unwrap();
+        CacheKey::ktg(&query, &BbOptions::vkc_deg())
+    }
+
+    #[test]
+    fn superset_probe_finds_strict_same_param_supersets_only() {
+        let net = fixtures::figure1();
+        let sub = key_with_terms(&net, &["SN", "QP"], 3);
+        let sup = key_with_terms(&net, &["SN", "QP", "DQ"], 3);
+        let cache: ResultCache<usize> = ResultCache::new(64);
+        cache.insert_with_cost(sup.clone(), 1, 7, 100);
+        assert!(cache.get_superset(&sup, 1).is_none(), "no self-match: strict supersets only");
+        let (ws, v) = cache.get_superset(&sub, 1).expect("superset answer is resident");
+        assert_eq!(v, 7);
+        assert_eq!(ws, sup.keywords().to_vec());
+        assert!(cache.get_superset(&sub, 2).is_none(), "stale epochs never seed");
+        let other_p = key_with_terms(&net, &["SN", "QP"], 4);
+        assert!(
+            cache.get_superset(&other_p, 1).is_none(),
+            "parameter signatures must not alias"
+        );
+        assert_eq!(cache.subset_hits(), 1);
+        assert_eq!(cache.misses(), 0, "probes never skew the primary hit accounting");
     }
 }

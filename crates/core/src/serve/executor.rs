@@ -49,10 +49,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ktg_common::fault::{self, FaultSite};
 use ktg_common::parallel::{scope_join, worker_count};
-use ktg_common::{CompletionStatus, FixedBitSet, Pool, PoolGuard, VertexId};
+use ktg_common::{CompletionStatus, FixedBitSet, Pool, PoolGuard, Stopwatch, VertexId};
+use ktg_graph::{CsrGraph, DynamicGraph};
 use ktg_index::{
-    conflict_bitmaps_cached, kline_conflict_bitmaps, DistanceOracle, DynamicNlrnl, KernelScratch,
-    NeighborhoodCache,
+    conflict_bitmaps_cached, kline_conflict_bitmaps, pll_conflict_bitmaps_into, DistanceOracle,
+    DynamicNlrnl, KernelScratch, NeighborhoodCache, NlrnlIndex, PllIndex,
 };
 
 use crate::bb::{self, BbOptions, ConflictKernel, KtgOutcome};
@@ -200,6 +201,134 @@ impl MaskPermutation {
     }
 }
 
+/// Selects which distance oracle a [`ServeSession`] maintains behind its
+/// conflict-row construction and pairwise probes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OracleKind {
+    /// The paper's NLRNL index, maintained *incrementally* under edge
+    /// updates (the default — cheapest when updates are frequent).
+    #[default]
+    Nlrnl,
+    /// Pruned landmark labeling: distance queries are label merges and a
+    /// candidate's whole conflict row falls out of one label scan
+    /// ([`ktg_index::pll_conflict_bitmaps_into`]). Each applied edge
+    /// update triggers a full — but parallel and deterministic — label
+    /// rebuild, so this kind favors query-heavy workloads.
+    Pll,
+}
+
+impl OracleKind {
+    /// Flag-facing name (`--oracle` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Nlrnl => "nlrnl",
+            OracleKind::Pll => "pll",
+        }
+    }
+}
+
+/// The session's distance oracle: one mutable topology mirror bundled
+/// with whichever index [`OracleKind`] selected, kept consistent across
+/// edge updates. Queries always run against the frozen CSR in the
+/// session's [`AttributedGraph`], rebuilt from this mirror after each
+/// applied update.
+pub enum ServeOracle {
+    /// NLRNL with incremental maintenance.
+    Nlrnl(DynamicNlrnl),
+    /// PLL labels, rebuilt in parallel after each applied update.
+    Pll {
+        /// The mutable topology mirror.
+        graph: DynamicGraph,
+        /// Labels over the current topology.
+        index: PllIndex,
+    },
+}
+
+impl ServeOracle {
+    fn new(kind: OracleKind, graph: &CsrGraph) -> Self {
+        match kind {
+            OracleKind::Nlrnl => ServeOracle::Nlrnl(DynamicNlrnl::new(graph)),
+            OracleKind::Pll => ServeOracle::Pll {
+                graph: DynamicGraph::from_csr(graph),
+                index: PllIndex::build_parallel(graph),
+            },
+        }
+    }
+
+    /// The current topology.
+    pub fn graph(&self) -> &DynamicGraph {
+        match self {
+            ServeOracle::Nlrnl(d) => d.graph(),
+            ServeOracle::Pll { graph, .. } => graph,
+        }
+    }
+
+    /// Applies one edge mutation, keeping the index consistent. Returns
+    /// whether the topology actually changed; errors propagate from graph
+    /// validation (range, self-loop).
+    fn apply(&mut self, insert: bool, u: VertexId, v: VertexId) -> ktg_common::Result<bool> {
+        match self {
+            ServeOracle::Nlrnl(d) => {
+                if insert {
+                    d.insert_edge(u, v)
+                } else {
+                    d.remove_edge(u, v)
+                }
+            }
+            ServeOracle::Pll { graph, index } => {
+                let changed = if insert {
+                    graph.insert_edge(u, v)?
+                } else {
+                    graph.remove_edge(u, v)?
+                };
+                if changed {
+                    // No incremental maintenance for 2-hop labels; rebuild
+                    // in parallel. The batch construction is deterministic
+                    // (thread-count independent), so the post-update label
+                    // set — and every answer derived from it — is too.
+                    *index = PllIndex::build_parallel(&graph.to_csr());
+                }
+                Ok(changed)
+            }
+        }
+    }
+
+    /// A `Copy` borrow for the worker fan-out.
+    fn as_ref(&self) -> OracleRef<'_> {
+        match self {
+            ServeOracle::Nlrnl(d) => OracleRef::Nlrnl(d.index()),
+            ServeOracle::Pll { index, .. } => OracleRef::Pll(index),
+        }
+    }
+}
+
+/// Borrowed view of the session oracle that every worker carries through
+/// the answer pipeline. Implements [`DistanceOracle`] by delegation;
+/// `solve_ktg` additionally matches on it to pick the conflict-row
+/// construction path (cached bounded BFS vs. PLL label scans).
+#[derive(Clone, Copy)]
+enum OracleRef<'a> {
+    Nlrnl(&'a NlrnlIndex),
+    Pll(&'a PllIndex),
+}
+
+impl DistanceOracle for OracleRef<'_> {
+    #[inline]
+    fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
+        match self {
+            OracleRef::Nlrnl(index) => index.farther_than(u, v, k),
+            OracleRef::Pll(index) => index.farther_than(u, v, k),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            OracleRef::Nlrnl(index) => index.name(),
+            OracleRef::Pll(index) => index.name(),
+        }
+    }
+}
+
 /// Per-worker recycled scratch: everything a fresh solve needs that is
 /// sized by the query, pooled so steady-state serving allocates nothing
 /// large. (The per-query keyword-mask compile still allocates inside
@@ -226,6 +355,15 @@ pub struct ServeStats {
     pub row_hits: u64,
     /// Conflict rows computed by bounded BFS.
     pub row_misses: u64,
+    /// Conflict rows evicted from the bounded `(vertex, k)` memo by its
+    /// benefit-score policy.
+    pub row_evictions: u64,
+    /// Result-cache misses that found a same-parameter keyword-superset
+    /// entry and seeded the solver's initial pruning floor from it.
+    pub subset_hits: u64,
+    /// Lazy-deletion record-queue compactions performed by the result
+    /// cache (FIFO policy only; the cost policy keeps no record queue).
+    pub compactions: u64,
     /// Current graph epoch (number of applied edge updates).
     pub epoch: u64,
 }
@@ -233,12 +371,12 @@ pub struct ServeStats {
 /// A long-lived query-serving session over one attributed network.
 pub struct ServeSession {
     net: AttributedGraph,
-    /// Mutable mirror of `net`'s topology bundled with an incrementally
-    /// maintained NLRNL index — the shared, immutable-between-updates
-    /// distance oracle every worker reads concurrently. Queries always
-    /// run against the frozen CSR in `net`, rebuilt from this mirror
-    /// after each applied update.
-    dynamic: DynamicNlrnl,
+    /// Mutable mirror of `net`'s topology bundled with the configured
+    /// distance index — the shared, immutable-between-updates oracle
+    /// every worker reads concurrently. Queries always run against the
+    /// frozen CSR in `net`, rebuilt from this mirror after each applied
+    /// update.
+    oracle: ServeOracle,
     /// Bumped once per applied edge update; stamps every cache entry.
     epoch: u64,
     options: ServeOptions,
@@ -250,11 +388,11 @@ pub struct ServeSession {
 impl ServeSession {
     /// Opens a session over `net` with the given serving options.
     pub fn new(net: AttributedGraph, options: ServeOptions) -> Self {
-        let dynamic = DynamicNlrnl::new(net.graph());
+        let oracle = ServeOracle::new(options.oracle, net.graph());
         ServeSession {
-            dynamic,
+            oracle,
             epoch: 0,
-            results: ResultCache::new(options.cache_entries),
+            results: ResultCache::with_policy(options.cache_entries, options.cache_policy),
             rows: NeighborhoodCache::new(options.cache_entries),
             arenas: Pool::new(),
             options,
@@ -282,6 +420,9 @@ impl ServeSession {
             result_reclaimed: self.results.reclaimed(),
             row_hits: self.rows.hits(),
             row_misses: self.rows.misses(),
+            row_evictions: self.rows.evictions(),
+            subset_hits: self.results.subset_hits(),
+            compactions: self.results.compactions(),
             epoch: self.epoch,
         }
     }
@@ -344,7 +485,7 @@ impl ServeSession {
                 reason: "update items require exclusive session access".to_string(),
             };
         }
-        let oracle = self.dynamic.index();
+        let oracle = self.oracle.as_ref();
         let mut slot: Option<PoolGuard<'_, Arena>> = None;
         self.answer_isolated(item, oracle, &mut slot)
     }
@@ -366,11 +507,7 @@ impl ServeSession {
     /// the frozen CSR is rebuilt; a no-op update leaves both untouched so
     /// caches stay warm.
     fn apply_update(&mut self, insert: bool, u: VertexId, v: VertexId) -> ItemOutcome {
-        let changed = if insert {
-            self.dynamic.insert_edge(u, v)
-        } else {
-            self.dynamic.remove_edge(u, v)
-        };
+        let changed = self.oracle.apply(insert, u, v);
         // Out-of-range/self-loop updates are reported, not fatal: a
         // workload replay keeps going (the parser already rejects them in
         // files; this arm covers programmatic workloads).
@@ -378,7 +515,7 @@ impl ServeSession {
         if applied {
             self.epoch += 1;
             self.net = AttributedGraph::new(
-                self.dynamic.graph().to_csr(),
+                self.oracle.graph().to_csr(),
                 self.net.vocab().clone(),
                 self.net.keywords().clone(),
             );
@@ -396,11 +533,11 @@ impl ServeSession {
         .min(items.len())
         .max(1);
 
-        // The session's NLRNL index is immutable between updates, so
-        // every worker reads the same oracle lock-free — the shared-index
+        // The session's index is immutable between updates, so every
+        // worker reads the same oracle lock-free — the shared-index
         // amortization that makes the fan-out actually scale (per-worker
         // memoizing oracles would redo each other's BFS work).
-        let oracle = self.dynamic.index();
+        let oracle = self.oracle.as_ref();
 
         if workers <= 1 {
             let mut slot: Option<PoolGuard<'_, Arena>> = None;
@@ -451,7 +588,7 @@ impl ServeSession {
     fn answer_isolated<'p>(
         &'p self,
         item: &WorkloadItem,
-        oracle: &impl DistanceOracle,
+        oracle: OracleRef<'_>,
         slot: &mut Option<PoolGuard<'p, Arena>>,
     ) -> ItemOutcome {
         match self.attempt(item, oracle, slot) {
@@ -482,7 +619,7 @@ impl ServeSession {
     fn attempt<'p>(
         &'p self,
         item: &WorkloadItem,
-        oracle: &impl DistanceOracle,
+        oracle: OracleRef<'_>,
         slot: &mut Option<PoolGuard<'p, Arena>>,
     ) -> std::thread::Result<ItemOutcome> {
         catch_unwind(AssertUnwindSafe(|| {
@@ -507,7 +644,7 @@ impl ServeSession {
     fn answer(
         &self,
         item: &WorkloadItem,
-        oracle: &impl DistanceOracle,
+        oracle: OracleRef<'_>,
         arena: &mut Arena,
     ) -> ItemOutcome {
         match item {
@@ -524,7 +661,7 @@ impl ServeSession {
     fn answer_ktg(
         &self,
         query: &KtgQuery,
-        oracle: &impl DistanceOracle,
+        oracle: OracleRef<'_>,
         arena: &mut Arena,
     ) -> KtgAnswer {
         let opts = self.inner_opts();
@@ -538,7 +675,32 @@ impl ServeSession {
                 return KtgAnswer { groups, cached: true, status: CompletionStatus::Exact };
             }
         }
-        let outcome = self.solve_ktg(query, oracle, arena, &opts);
+        // Keyword-subset reuse (DESIGN.md §17): a cached answer for a
+        // same-parameter superset W' ⊇ W_Q cannot be returned verbatim —
+        // its top-N was selected under W'-projected coverage — but its
+        // groups, re-projected onto W_Q and filtered to W_Q's candidate
+        // set, are feasible groups of *this* query, so their N-th-best
+        // projected coverage is a sound initial Theorem-2 floor. Skipped
+        // for order-dependent solves (node budget / coverage early-exit),
+        // whose results are defined by unseeded discovery order.
+        let seed = if self.options.subset_reuse
+            && opts.node_budget.is_none()
+            && opts.stop_at_coverage.is_none()
+        {
+            key.as_ref().and_then(|key| match self.results.get_superset(key, self.epoch) {
+                Some((super_kw, CachedAnswer::Ktg(groups))) => Some(SubsetSeed {
+                    query_kw: key.keywords().to_vec(),
+                    super_kw,
+                    groups,
+                }),
+                _ => None,
+            })
+        } else {
+            None
+        };
+        let clock = Stopwatch::start();
+        let outcome = self.solve_ktg(query, oracle, arena, &opts, seed);
+        let solve_ns = clock.elapsed_nanos();
         // Only exact answers are cacheable: a deadline-cut result is
         // valid best-so-far but not canonical, and must not shadow the
         // exact answer for later repeats of the same query.
@@ -546,7 +708,12 @@ impl ServeSession {
             if let Some(key) = key {
                 let canonical =
                     MaskPermutation::of(query).groups_to_canonical(outcome.groups.clone());
-                self.results.insert(key, self.epoch, CachedAnswer::Ktg(canonical));
+                self.results.insert_with_cost(
+                    key,
+                    self.epoch,
+                    CachedAnswer::Ktg(canonical),
+                    solve_ns,
+                );
             }
         }
         KtgAnswer { groups: outcome.groups, cached: false, status: outcome.status }
@@ -558,40 +725,57 @@ impl ServeSession {
     fn solve_ktg(
         &self,
         query: &KtgQuery,
-        oracle: &impl DistanceOracle,
+        oracle: OracleRef<'_>,
         arena: &mut Arena,
         opts: &BbOptions,
+        seed: Option<SubsetSeed>,
     ) -> KtgOutcome {
         let masks = self.net.compile(query.keywords());
         candidates::collect(self.net.graph(), &masks, &mut arena.cands);
+        // The floor only tightens pruning — never what is enumerable — so
+        // seeded and unseeded solves return byte-identical groups.
+        let floor = seed.and_then(|seed| seed.floor(&arena.cands, query.n()));
         if !ConflictKernel::wants_bitmap(arena.cands.len(), opts) {
             return bb::solve_with_kernel(
                 &self.net,
                 query,
-                oracle,
+                &oracle,
                 &arena.cands,
                 &ConflictKernel::Oracle,
                 opts,
+                floor,
             );
         }
         arena.sources.clear();
         arena.sources.extend(arena.cands.iter().map(|c| c.v));
-        if self.options.use_cache {
-            conflict_bitmaps_cached(
-                self.net.graph(),
-                &arena.sources,
-                query.k(),
-                &self.rows,
-                self.epoch,
-                &mut arena.kernel,
-                &mut arena.bitmaps,
-            );
-        } else {
-            arena.bitmaps = kline_conflict_bitmaps(self.net.graph(), &arena.sources, query.k());
+        match oracle {
+            OracleRef::Pll(pll) => {
+                // PLL fast path: every row falls out of label merges,
+                // bit-identical to the BFS rows (enforced in ktg-index).
+                // The `(vertex, k)` memo is bypassed — the labels already
+                // amortize across queries — so `row_hits`/`row_misses`
+                // stay untouched in this mode.
+                pll_conflict_bitmaps_into(pll, &arena.sources, query.k(), &mut arena.bitmaps);
+            }
+            OracleRef::Nlrnl(_) if self.options.use_cache => {
+                conflict_bitmaps_cached(
+                    self.net.graph(),
+                    &arena.sources,
+                    query.k(),
+                    &self.rows,
+                    self.epoch,
+                    &mut arena.kernel,
+                    &mut arena.bitmaps,
+                );
+            }
+            OracleRef::Nlrnl(_) => {
+                arena.bitmaps =
+                    kline_conflict_bitmaps(self.net.graph(), &arena.sources, query.k());
+            }
         }
         let kernel = ConflictKernel::Bitmap(std::mem::take(&mut arena.bitmaps));
         let outcome =
-            bb::solve_with_kernel(&self.net, query, oracle, &arena.cands, &kernel, opts);
+            bb::solve_with_kernel(&self.net, query, &oracle, &arena.cands, &kernel, opts, floor);
         if let Some(rows) = kernel.into_bitmaps() {
             // Hand the rows back to the arena so the next query reuses
             // their word allocations.
@@ -603,7 +787,7 @@ impl ServeSession {
     fn answer_dktg(
         &self,
         query: &DktgQuery,
-        oracle: &impl DistanceOracle,
+        oracle: OracleRef<'_>,
         arena: &mut Arena,
     ) -> DktgAnswer {
         let opts = self.inner_opts();
@@ -627,15 +811,19 @@ impl ServeSession {
         }
         // Same code path as `dktg::solve_with_options`, minus the
         // candidate-vector allocation: greedy rounds consume the pooled
-        // vector in place.
+        // vector in place. No subset seeding here: DKTG's greedy rounds
+        // are defined by discovery order, which a pre-published floor
+        // would perturb.
+        let clock = Stopwatch::start();
         let masks = self.net.compile(query.base().keywords());
         candidates::collect(self.net.graph(), &masks, &mut arena.cands);
-        let outcome = dktg::solve_with_candidates(query, oracle, &mut arena.cands, &opts);
+        let outcome = dktg::solve_with_candidates(query, &oracle, &mut arena.cands, &opts);
+        let solve_ns = clock.elapsed_nanos();
         crate::verify::enforce_dktg(&self.net, query, &outcome.groups);
         if let Some(key) = key.filter(|_| outcome.status.is_exact()) {
             let canonical =
                 MaskPermutation::of(query.base()).groups_to_canonical(outcome.groups.clone());
-            self.results.insert(
+            self.results.insert_with_cost(
                 key,
                 self.epoch,
                 CachedAnswer::Dktg {
@@ -644,6 +832,7 @@ impl ServeSession {
                     min_qkc: outcome.min_qkc,
                     score: outcome.score,
                 },
+                solve_ns,
             );
         }
         DktgAnswer {
@@ -654,6 +843,65 @@ impl ServeSession {
             cached: false,
             status: outcome.status,
         }
+    }
+}
+
+/// A superset cache entry selected for keyword-subset floor seeding:
+/// the probing query's canonical (sorted) keyword ids, the cached
+/// superset's, and the cached groups with masks in the superset's
+/// canonical bit order.
+struct SubsetSeed {
+    query_kw: Vec<u32>,
+    super_kw: Vec<u32>,
+    groups: Vec<Group>,
+}
+
+impl SubsetSeed {
+    /// N-th-best projected coverage over the seed groups that are valid
+    /// groups of the subset query, or `None` when fewer than `n` qualify.
+    ///
+    /// Validity needs only one check beyond what the cached entry already
+    /// guarantees (same epoch ⇒ identical distances; same `p`/`k` in the
+    /// parameter signature ⇒ identical size and tenuity constraints):
+    /// every member must be a candidate of the *subset* query, because
+    /// the engine only enumerates candidate groups and a member covering
+    /// only `W' \ W_Q` keywords is unreachable here. Projection commutes
+    /// with the per-member mask union (`W_Q ⊆ W'`), so a surviving
+    /// group's projected mask equals the mask a fresh subset solve would
+    /// assign it — which is also why re-projected masks pass the
+    /// checked-mode audit.
+    fn floor(&self, cands: &[Candidate], n: usize) -> Option<u32> {
+        // Bit `s'` of a canonical-W' mask maps to bit `s` of the
+        // canonical-W_Q mask when keyword `super_kw[s']` is in `W_Q`.
+        let proj: Vec<Option<u32>> = self
+            .super_kw
+            .iter()
+            .map(|id| self.query_kw.binary_search(id).ok().map(|s| s as u32))
+            .collect();
+        let mut members: Vec<VertexId> = cands.iter().map(|c| c.v).collect();
+        members.sort_unstable();
+        let mut counts: Vec<u32> = self
+            .groups
+            .iter()
+            .filter_map(|g| {
+                if !g.members().iter().all(|m| members.binary_search(m).is_ok()) {
+                    return None;
+                }
+                let mask = proj.iter().enumerate().fold(0u64, |acc, (sp, s)| match s {
+                    Some(s) if (g.mask() >> sp) & 1 == 1 => acc | (1u64 << s),
+                    _ => acc,
+                });
+                // Members are candidates, so each covers ≥ 1 subset-query
+                // keyword and the projected mask is provably nonzero; the
+                // guard is defense in depth against a malformed entry.
+                (mask != 0).then(|| mask.count_ones())
+            })
+            .collect();
+        if counts.len() < n {
+            return None;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts.get(n - 1).copied().filter(|&floor| floor > 0)
     }
 }
 
@@ -1021,6 +1269,130 @@ ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
         let misrouted = item_session.answer_query(&WorkloadItem::Insert(VertexId(0), VertexId(5)));
         assert!(matches!(misrouted, ItemOutcome::Failed { .. }));
         assert_eq!(item_session.epoch(), epoch);
+    }
+
+    #[test]
+    fn subset_reuse_seeds_floor_without_changing_answers() {
+        let net = fixtures::figure1();
+        // Superset first, subset after: the subset query's cache miss
+        // probes the superset entry and seeds the engine's initial floor.
+        let workload = parse_workload(
+            "\
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+ktg terms=SN,QP,DQ p=3 k=1 n=2
+",
+            &net,
+        )
+        .unwrap();
+        let mut seeded = ServeSession::new(
+            net.clone(),
+            ServeOptions { threads: 1, ..ServeOptions::default() },
+        );
+        let out = seeded.run(&workload);
+        assert_eq!(
+            seeded.stats().subset_hits,
+            1,
+            "the subset miss must find the same-parameter superset entry"
+        );
+        // Byte-identical to a session with reuse disabled (debug builds
+        // re-audit every returned group, so the re-projected masks also
+        // pass the checked-mode verifier here).
+        let mut plain = ServeSession::new(
+            net.clone(),
+            ServeOptions { threads: 1, subset_reuse: false, ..ServeOptions::default() },
+        );
+        assert_eq!(out, plain.run(&workload));
+        assert_eq!(plain.stats().subset_hits, 0);
+        // And byte-identical to a fresh sequential solve of the subset
+        // query; the seeded path never fabricates a cache hit.
+        let query = KtgQuery::new(net.query_keywords(["SN", "QP", "DQ"]).unwrap(), 3, 1, 2)
+            .unwrap();
+        let oracle = BfsOracle::new(net.graph());
+        let fresh = bb::solve(&net, &query, &oracle, &BbOptions::vkc_deg());
+        let ItemOutcome::Ktg(sub) = &out[1] else { panic!("expected ktg") };
+        assert_eq!(sub.groups, fresh.groups);
+        assert!(!sub.cached, "subset reuse seeds the search, it is not a hit");
+    }
+
+    #[test]
+    fn subset_seed_floor_projects_masks_exactly() {
+        // Exercise SubsetSeed::floor directly: W' = {0, 2, 5}, W_Q = {0, 5}.
+        // Canonical W' bit 1 (keyword 2) is outside W_Q and must vanish;
+        // bits 0 and 2 map to W_Q bits 0 and 1.
+        let mk = |v: u32, mask: u64| Candidate {
+            v: VertexId(v),
+            mask,
+            degree: 1,
+        };
+        let cands = vec![mk(1, 0b01), mk(3, 0b10), mk(7, 0b11)];
+        let seed = SubsetSeed {
+            query_kw: vec![0, 5],
+            super_kw: vec![0, 2, 5],
+            groups: vec![
+                // Covers all three W' keywords → projects to 0b11 (2).
+                Group::new(vec![VertexId(1), VertexId(7)], 0b111),
+                // Covers {0, 2} → keyword 2 drops out → 0b01 (1).
+                Group::new(vec![VertexId(1), VertexId(3)], 0b011),
+                // Contains a non-candidate member → filtered out entirely.
+                Group::new(vec![VertexId(1), VertexId(9)], 0b111),
+            ],
+        };
+        assert_eq!(seed.floor(&cands, 1), Some(2));
+        assert_eq!(seed.floor(&cands, 2), Some(1));
+        assert_eq!(seed.floor(&cands, 3), None, "only two groups survive the filter");
+    }
+
+    #[test]
+    fn pll_oracle_session_matches_nlrnl() {
+        let net = fixtures::figure1();
+        let workload = parse_workload(
+            "\
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+dktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2 gamma=0.5
+insert 0 5
+ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
+remove 0 5
+ktg terms=SN,QP,DQ p=2 k=2 n=1
+",
+            &net,
+        )
+        .unwrap();
+        // Both the bitmap-kernel path (PLL label-scan rows) and the
+        // pairwise-probe path (threshold 0) must agree with NLRNL.
+        for engine in [BbOptions::vkc_deg(), BbOptions::vkc_deg().with_bitmap_threshold(0)] {
+            let opts = |oracle| ServeOptions {
+                threads: 1,
+                oracle,
+                engine,
+                ..ServeOptions::default()
+            };
+            let nlrnl = ServeSession::new(net.clone(), opts(OracleKind::Nlrnl)).run(&workload);
+            let mut pll_session = ServeSession::new(net.clone(), opts(OracleKind::Pll));
+            let pll = pll_session.run(&workload);
+            assert_eq!(nlrnl, pll, "threshold={}", engine.bitmap_threshold);
+            assert_eq!(
+                pll_session.stats().row_hits,
+                0,
+                "PLL mode bypasses the (vertex, k) memo entirely"
+            );
+            assert_eq!(pll_session.epoch(), 2, "updates rebuilt the labels twice");
+        }
+    }
+
+    #[test]
+    fn cache_policies_serve_identical_answers() {
+        let net = fixtures::figure1();
+        let mut workload = paper_workload(&net);
+        workload.extend(paper_workload(&net));
+        let run_with = |policy| {
+            ServeSession::new(
+                net.clone(),
+                ServeOptions { threads: 1, cache_policy: policy, ..ServeOptions::default() },
+            )
+            .run(&workload)
+        };
+        use crate::serve::CachePolicy;
+        assert_eq!(run_with(CachePolicy::Fifo), run_with(CachePolicy::Cost));
     }
 
     #[test]

@@ -41,8 +41,10 @@ pub mod cache;
 pub mod executor;
 pub mod workload;
 
-pub use cache::{CacheKey, ResultCache};
-pub use executor::{DktgAnswer, ItemOutcome, KtgAnswer, ServeSession, ServeStats};
+pub use cache::{CacheKey, CachePolicy, ResultCache};
+pub use executor::{
+    DktgAnswer, ItemOutcome, KtgAnswer, OracleKind, ServeOracle, ServeSession, ServeStats,
+};
 pub use workload::{parse_request_line, parse_workload, WorkloadItem};
 
 /// Configuration for a [`ServeSession`].
@@ -60,6 +62,19 @@ pub struct ServeOptions {
     /// Capacity (in entries) of the result cache and of the conflict-row
     /// memo. Ignored when `use_cache` is off.
     pub cache_entries: usize,
+    /// Result-cache eviction/admission policy (answers are byte-identical
+    /// under every policy; only hit rates differ).
+    pub cache_policy: CachePolicy,
+    /// Keyword-subset reuse: on a result-cache miss, probe for a cached
+    /// same-parameter superset query `W' ⊇ W_Q` and seed the solver's
+    /// initial `TopN` floor from its re-projected coverage counts.
+    /// Sound — the floor only tightens pruning, never changes the top-N
+    /// (DESIGN.md §17) — and ignored when `use_cache` is off.
+    pub subset_reuse: bool,
+    /// Which distance oracle backs conflict-row construction. NLRNL (the
+    /// default) maintains incrementally under edge updates; PLL answers
+    /// by label merge and rebuilds (in parallel) on update.
+    pub oracle: executor::OracleKind,
     /// Inner engine configuration. The `threads` field is overridden to
     /// `1` per solve; the result-affecting fields (ordering, pruning
     /// toggles, bitmap threshold) are folded into every cache key.
@@ -77,6 +92,9 @@ impl Default for ServeOptions {
             threads: 0,
             use_cache: true,
             cache_entries: 4096,
+            cache_policy: CachePolicy::default(),
+            subset_reuse: true,
+            oracle: executor::OracleKind::Nlrnl,
             engine: BbOptions::vkc_deg(),
             max_inflight: 0,
         }

@@ -53,7 +53,7 @@ pub mod pll;
 pub mod rows;
 pub mod space;
 
-pub use batch::kline_conflict_bitmaps;
+pub use batch::{kline_conflict_bitmaps, pll_conflict_bitmaps, pll_conflict_bitmaps_into};
 pub use bfs_oracle::BfsOracle;
 pub use dynamic::DynamicNlrnl;
 pub use exact::ExactOracle;

@@ -16,11 +16,36 @@
 //! The `ablation_oracles` bench compares it against NL/NLRNL; it answers
 //! exactly like them but with O(|L(u)| + |L(v)|) merge cost per query and
 //! typically far less space than NLRNL on large sparse graphs.
+//!
+//! ## Parallel construction
+//!
+//! [`PllIndex::build_parallel`] partitions the hub order into fixed-size
+//! batches: every hub of a batch runs its pruned BFS concurrently against
+//! the *frozen* labels of all earlier batches (over
+//! [`ktg_common::parallel::scope_join`]), then the batch's tentative
+//! labels merge sequentially in hub-rank order, re-pruning each entry
+//! against everything merged so far (including earlier hubs of the same
+//! batch). Because the batch boundaries are a fixed constant — never a
+//! function of the worker count — the label set is **deterministic**:
+//! byte-identical for every `KTG_THREADS`. Pruning against a rank prefix
+//! is the standard batch-PLL relaxation: the labels can be a slight
+//! superset of the strictly-sequential ones (an in-batch subtree cut is
+//! replaced by per-vertex certification at merge time), but every stored
+//! distance is exact and queries return identical answers — the tests
+//! below enforce both against [`ExactOracle`](crate::ExactOracle) ground
+//! truth.
 
 use crate::oracle::DistanceOracle;
 use crate::space::{BuildStats, IndexSpace};
+use ktg_common::parallel::{chunk_size, scope_join, worker_count};
 use ktg_common::{Stopwatch, VertexId};
 use ktg_graph::CsrGraph;
+
+/// Hubs per parallel construction batch. A fixed constant (never derived
+/// from the worker count) so the produced labels are identical for every
+/// thread setting; 64 keeps per-batch spawn overhead negligible while
+/// giving each worker several pruned BFS traversals per join.
+const BUILD_BATCH: usize = 64;
 
 /// A pruned-landmark-labeling distance oracle.
 pub struct PllIndex {
@@ -30,6 +55,85 @@ pub struct PllIndex {
     /// sorted (a hub only ever appends to labels after all earlier hubs).
     labels: Vec<Vec<(u32, u32)>>,
     stats: BuildStats,
+}
+
+/// Reusable per-worker state for one pruned BFS traversal.
+struct BfsScratch {
+    /// Hub-rank-indexed distances of the current hub's own labels.
+    dist_to_hub: Vec<u32>,
+    visited_dist: Vec<u32>,
+    frontier: Vec<VertexId>,
+    next: Vec<VertexId>,
+    touched: Vec<usize>,
+}
+
+impl BfsScratch {
+    fn new(n: usize) -> Self {
+        BfsScratch {
+            dist_to_hub: vec![u32::MAX; n],
+            visited_dist: vec![u32::MAX; n],
+            frontier: Vec::new(),
+            next: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Pruned BFS from `hub` against the *frozen* `labels`, collecting the
+/// surviving `(vertex, depth)` pairs in BFS visit order instead of
+/// committing them — the caller merges (and re-prunes) them afterwards.
+fn pruned_bfs(
+    graph: &CsrGraph,
+    labels: &[Vec<(u32, u32)>],
+    hub: VertexId,
+    scratch: &mut BfsScratch,
+    out: &mut Vec<(VertexId, u32)>,
+) {
+    let BfsScratch { dist_to_hub, visited_dist, frontier, next, touched } = scratch;
+    out.clear();
+    for &(h, d) in &labels[hub.index()] {
+        dist_to_hub[h as usize] = d;
+    }
+    frontier.clear();
+    frontier.push(hub);
+    visited_dist[hub.index()] = 0;
+    touched.push(hub.index());
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        next.clear();
+        for &u in frontier.iter() {
+            let certified = labels[u.index()]
+                .iter()
+                .filter_map(|&(h, d)| {
+                    let dh = dist_to_hub[h as usize];
+                    // `then` (not `then_some`): the sum must stay lazy or
+                    // it overflows on the MAX sentinel.
+                    (dh != u32::MAX).then(|| dh + d)
+                })
+                .min()
+                .unwrap_or(u32::MAX);
+            if certified <= depth {
+                continue;
+            }
+            out.push((u, depth));
+            for &w in graph.neighbors(u) {
+                if visited_dist[w.index()] == u32::MAX {
+                    visited_dist[w.index()] = depth + 1;
+                    touched.push(w.index());
+                    next.push(w);
+                }
+            }
+        }
+        std::mem::swap(frontier, next);
+        depth += 1;
+    }
+    for &(h, _) in &labels[hub.index()] {
+        dist_to_hub[h as usize] = u32::MAX;
+    }
+    for &i in touched.iter() {
+        visited_dist[i] = u32::MAX;
+    }
+    touched.clear();
 }
 
 impl PllIndex {
@@ -112,6 +216,136 @@ impl PllIndex {
         PllIndex { labels, stats: BuildStats { elapsed: start.elapsed(), traversals: n, entries } }
     }
 
+    /// Builds the labeling with batched parallel pruned BFS (module docs).
+    /// Deterministic: the label set depends only on the graph, never on
+    /// the worker count.
+    pub fn build_parallel(graph: &CsrGraph) -> Self {
+        Self::build_parallel_with(graph, worker_count())
+    }
+
+    /// [`build_parallel`](Self::build_parallel) with an explicit worker
+    /// count — exposed so tests can prove thread-count independence
+    /// without racing on the `KTG_THREADS` environment variable.
+    pub fn build_parallel_with(graph: &CsrGraph, workers: usize) -> Self {
+        let start = Stopwatch::start();
+        let n = graph.num_vertices();
+        let mut labels: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+
+        // Same hub order as the sequential build: degree descending, id
+        // ascending.
+        let mut order: Vec<VertexId> = graph.vertices().collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+
+        let mut entries = 0usize;
+        let mut merge_scratch: Vec<u32> = vec![u32::MAX; n];
+        let mut base = 0usize;
+        for batch in order.chunks(BUILD_BATCH) {
+            // Parallel phase: every hub of the batch prunes against the
+            // frozen labels of *earlier batches only*. Chunk boundaries
+            // affect scheduling, not results — each hub's traversal reads
+            // the same frozen prefix, and `scope_join` returns in task
+            // order.
+            let chunk = chunk_size(batch.len(), workers);
+            let frozen = &labels;
+            let tentative: Vec<Vec<(VertexId, u32)>> =
+                scope_join(batch.chunks(chunk).map(|hubs| {
+                    move || {
+                        let mut scratch = BfsScratch::new(n);
+                        hubs.iter()
+                            .map(|&hub| {
+                                let mut collected = Vec::new();
+                                pruned_bfs(graph, frozen, hub, &mut scratch, &mut collected);
+                                collected
+                            })
+                            .collect::<Vec<_>>()
+                    }
+                }))
+                .into_iter()
+                .flatten()
+                .collect();
+
+            // Sequential merge in hub-rank order. Each entry is re-pruned
+            // against everything merged so far — including earlier hubs
+            // of this batch — which restores the certificates the frozen
+            // prefix could not see. A hub's own `(rank, 0)` entry always
+            // survives: a zero certificate would need a distance-0 label
+            // from an earlier hub, which only the vertex itself can hold.
+            for (offset, (&hub, collected)) in batch.iter().zip(&tentative).enumerate() {
+                let rank = (base + offset) as u32;
+                for &(h, d) in &labels[hub.index()] {
+                    merge_scratch[h as usize] = d;
+                }
+                for &(v, depth) in collected {
+                    let certified = labels[v.index()]
+                        .iter()
+                        .filter_map(|&(h, d)| {
+                            let dh = merge_scratch[h as usize];
+                            (dh != u32::MAX).then(|| dh + d)
+                        })
+                        .min()
+                        .unwrap_or(u32::MAX);
+                    if certified <= depth {
+                        continue;
+                    }
+                    labels[v.index()].push((rank, depth));
+                    entries += 1;
+                }
+                for &(h, _) in &labels[hub.index()] {
+                    merge_scratch[h as usize] = u32::MAX;
+                }
+            }
+            base += batch.len();
+        }
+
+        PllIndex { labels, stats: BuildStats { elapsed: start.elapsed(), traversals: n, entries } }
+    }
+
+    /// Reassembles an index from persisted label lists (`persist::load_pll`).
+    pub fn from_parts(labels: Vec<Vec<(u32, u32)>>, stats: BuildStats) -> Self {
+        PllIndex { labels, stats }
+    }
+
+    /// Per-vertex label lists, sorted by hub rank (for persistence).
+    pub fn labels(&self) -> &[Vec<(u32, u32)>] {
+        &self.labels
+    }
+
+    /// Distances from `u` to every vertex of `targets`, written into
+    /// `out` (`u32::MAX` = unreachable). One hub-scratch load of `u`'s
+    /// labels amortizes each probe to O(|L(v)|). `hub_scratch` must be
+    /// empty on first use or reused from a previous call on the same
+    /// index; it is restored to all-`MAX` before returning.
+    pub fn distances_into(
+        &self,
+        u: VertexId,
+        targets: &[VertexId],
+        hub_scratch: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) {
+        hub_scratch.resize(self.labels.len(), u32::MAX);
+        for &(h, d) in &self.labels[u.index()] {
+            hub_scratch[h as usize] = d;
+        }
+        out.clear();
+        for &v in targets {
+            if v == u {
+                out.push(0);
+                continue;
+            }
+            let mut best = u32::MAX;
+            for &(h, d) in &self.labels[v.index()] {
+                let dh = hub_scratch[h as usize];
+                if dh != u32::MAX {
+                    best = best.min(dh + d);
+                }
+            }
+            out.push(best);
+        }
+        for &(h, _) in &self.labels[u.index()] {
+            hub_scratch[h as usize] = u32::MAX;
+        }
+    }
+
     /// Exact distance via sorted-label merge; `None` when unreachable.
     pub fn distance(&self, u: VertexId, v: VertexId) -> Option<u32> {
         if u == v {
@@ -174,16 +408,19 @@ mod tests {
 
     fn assert_matches_exact(g: &CsrGraph) {
         let pll = PllIndex::build(g);
+        let par = PllIndex::build_parallel_with(g, 3);
         let exact = ExactOracle::build(g);
         for u in g.vertices() {
             for v in g.vertices() {
                 let truth = exact.distance(u, v);
                 let got = pll.distance(u, v);
+                let got_par = par.distance(u, v);
                 if truth == u32::MAX {
                     assert_eq!(got, None, "({u:?}, {v:?})");
                 } else {
                     assert_eq!(got, Some(truth), "({u:?}, {v:?})");
                 }
+                assert_eq!(got_par, got, "parallel build ({u:?}, {v:?})");
             }
         }
     }
@@ -233,6 +470,57 @@ mod tests {
         let g = CsrGraph::from_edges(9, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8)]).unwrap();
         let pll = PllIndex::build(&g);
         assert_eq!(pll.label_entries(), 1 + 8 * 2, "hub: 1, each leaf: 2");
+    }
+
+    fn random_graph(n: usize, edges: usize, seed: u64) -> CsrGraph {
+        let mut rng = ktg_common::rng::Xoshiro256pp::seed_from_u64(seed);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < edges {
+            let u = rng.bounded_u64(n as u64) as u32;
+            let v = rng.bounded_u64(n as u64) as u32;
+            if u != v {
+                set.insert((u.min(v), u.max(v)));
+            }
+        }
+        let list: Vec<(u32, u32)> = set.into_iter().collect();
+        CsrGraph::from_edges(n, &list).unwrap()
+    }
+
+    #[test]
+    fn parallel_build_matches_exact_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = random_graph(60, 110, 0x9E37_79B9 ^ seed);
+            assert_matches_exact(&g);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_thread_count_independent() {
+        // The label *structure* (not just the distances) must be
+        // byte-identical for every worker count: batches are fixed-size
+        // and the merge is sequential in hub-rank order.
+        let g = random_graph(80, 160, 0xC0FF_EE00);
+        let one = PllIndex::build_parallel_with(&g, 1);
+        for workers in [2usize, 3, 8, 19] {
+            let many = PllIndex::build_parallel_with(&g, workers);
+            assert_eq!(one.labels, many.labels, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn distances_into_matches_pointwise_queries() {
+        let g = random_graph(50, 80, 42);
+        let pll = PllIndex::build_parallel_with(&g, 2);
+        let targets: Vec<VertexId> = g.vertices().collect();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for u in g.vertices() {
+            pll.distances_into(u, &targets, &mut scratch, &mut out);
+            for (&v, &d) in targets.iter().zip(&out) {
+                assert_eq!(pll.distance(u, v), (d != u32::MAX).then_some(d), "({u:?},{v:?})");
+            }
+        }
+        assert!(scratch.iter().all(|&d| d == u32::MAX), "scratch restored");
     }
 
     #[test]

@@ -10,19 +10,28 @@
 //! bounded BFS per candidate per query.
 //!
 //! The cache is sharded (fixed stripe array, hashed by `(vertex, k)`) so
-//! executor workers do not serialize on one lock, bounded (FIFO eviction
-//! per shard) so a long-running server cannot grow without limit, and
-//! **epoch-stamped**: every entry records the graph epoch it was computed
-//! at, and a lookup under a different epoch is a miss that drops the
-//! stale generation. The executor bumps its epoch on every edge update,
-//! which makes stale conflict rows unreachable by construction.
+//! executor workers do not serialize on one lock, bounded (benefit-score
+//! eviction per shard — see below) so a long-running server cannot grow
+//! without limit, and **epoch-stamped**: every entry records the graph
+//! epoch it was computed at, and a lookup under a different epoch is a
+//! miss that drops the stale generation. The executor bumps its epoch on
+//! every edge update, which makes stale conflict rows unreachable by
+//! construction.
+//!
+//! **Eviction policy.** Each entry carries a deterministic cost proxy
+//! (its ball length — the frontier work a recomputation would pay) and
+//! the shard-local logical tick of its last hit. A full shard evicts the
+//! entry with the minimum *benefit score* — cost halved once per
+//! [`HALF_LIFE`] ticks of disuse — with the insertion sequence number as
+//! a total-order tie break. Clocks are purely logical (access counters,
+//! never wall time, per lint L4), so the retained set is a pure function
+//! of the access sequence.
 
 #[cfg(test)]
 use crate::batch::kline_conflict_bitmaps;
 use ktg_common::{FixedBitSet, FxHashMap, VertexId};
 use ktg_graph::bfs::{bfs_levels, BfsScratch};
 use ktg_graph::csr::Adjacency;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -31,17 +40,43 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// parallel.
 const ROW_SHARDS: usize = 16;
 
+/// Recency half-life in shard ticks: an entry's benefit score halves for
+/// every `HALF_LIFE` shard accesses since it was last hit, so a large
+/// ball that stopped being referenced eventually loses to small but live
+/// rows.
+const HALF_LIFE: u64 = 64;
+
+/// Benefit of keeping an entry: what recomputing it would cost, decayed
+/// by how long it has gone unreferenced.
+fn benefit_score(cost: u64, age: u64) -> u64 {
+    cost >> (age / HALF_LIFE).min(63)
+}
+
 /// A `(vertex, k)` ball: every vertex at hop distance `1..=k` of the
 /// key vertex, in BFS discovery order. Graph-space ids — query
 /// independent by design.
 type Row = Arc<Vec<VertexId>>;
 
+struct RowEntry {
+    row: Row,
+    /// Recomputation-cost proxy: ball length + 1 (deterministic, unlike
+    /// the BFS nanos it stands in for).
+    cost: u64,
+    /// Shard tick of the last hit (or the insert).
+    last_touch: u64,
+    /// Insertion sequence number; unique per shard, so eviction's
+    /// `(score, seq)` minimum is always a single entry.
+    seq: u64,
+}
+
 struct RowShard {
     /// Graph epoch this shard's entries were computed at.
     epoch: u64,
-    map: FxHashMap<(u32, u32), Row>,
-    /// Insertion order for FIFO eviction.
-    fifo: VecDeque<(u32, u32)>,
+    map: FxHashMap<(u32, u32), RowEntry>,
+    /// Logical access clock: bumped once per lookup.
+    tick: u64,
+    /// Insertion counter feeding [`RowEntry::seq`].
+    seq: u64,
 }
 
 /// A bounded, sharded, epoch-guarded memo of per-`(vertex, k)` conflict
@@ -51,6 +86,7 @@ pub struct NeighborhoodCache {
     per_shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl NeighborhoodCache {
@@ -64,13 +100,15 @@ impl NeighborhoodCache {
                     Mutex::new(RowShard {
                         epoch: 0,
                         map: FxHashMap::default(),
-                        fifo: VecDeque::new(),
+                        tick: 0,
+                        seq: 0,
                     })
                 })
                 .collect(),
             per_shard_capacity: capacity.div_ceil(ROW_SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -84,9 +122,14 @@ impl NeighborhoodCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Rows displaced by benefit-score eviction so far (epoch drops and
+    /// stale-generation clears do not count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     fn shard(&self, v: VertexId, k: u32) -> MutexGuard<'_, RowShard> {
-        let key = ((v.0 as u64) << 32 | k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let idx = (key >> 60) as usize % ROW_SHARDS;
+        let idx = Self::shard_index(v, k);
         // Entries are immutable Arcs inserted whole, so a panicking
         // borrower cannot leave a shard half-written: recover the lock.
         match self.shards[idx].lock() {
@@ -113,13 +156,15 @@ impl NeighborhoodCache {
     ) -> Row {
         {
             let mut shard = self.shard(v, k);
+            shard.tick += 1;
+            let tick = shard.tick;
             if shard.epoch != epoch {
                 shard.map.clear();
-                shard.fifo.clear();
                 shard.epoch = epoch;
-            } else if let Some(row) = shard.map.get(&(v.0, k)) {
+            } else if let Some(entry) = shard.map.get_mut(&(v.0, k)) {
+                entry.last_touch = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(row);
+                return Arc::clone(&entry.row);
             }
         }
         // Compute outside the lock so concurrent misses in one stripe do
@@ -131,15 +176,39 @@ impl NeighborhoodCache {
         bfs_levels(graph, v, k as usize, scratch, |w, _| ball.push(w));
         let row: Row = Arc::new(ball);
         let mut shard = self.shard(v, k);
-        if shard.epoch == epoch && shard.map.insert((v.0, k), Arc::clone(&row)).is_none() {
-            shard.fifo.push_back((v.0, k));
-            if shard.fifo.len() > self.per_shard_capacity {
-                if let Some(oldest) = shard.fifo.pop_front() {
-                    shard.map.remove(&oldest);
+        if shard.epoch == epoch && !shard.map.contains_key(&(v.0, k)) {
+            if shard.map.len() >= self.per_shard_capacity {
+                let tick = shard.tick;
+                // An empty shard (capacity clamps to >= 1, so this only
+                // happens if capacity were 0) needs no eviction.
+                let victim = shard
+                    .map
+                    .iter()
+                    .map(|(&key, e)| {
+                        (benefit_score(e.cost, tick.saturating_sub(e.last_touch)), e.seq, key)
+                    })
+                    .min();
+                if let Some((_, _, key)) = victim {
+                    shard.map.remove(&key);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            shard.tick += 1;
+            shard.seq += 1;
+            let (tick, seq) = (shard.tick, shard.seq);
+            shard.map.insert(
+                (v.0, k),
+                RowEntry { row: Arc::clone(&row), cost: row.len() as u64 + 1, last_touch: tick, seq },
+            );
         }
         row
+    }
+
+    /// Shard index a key hashes to (also used by tests that need to
+    /// co-locate keys in one stripe).
+    fn shard_index(v: VertexId, k: u32) -> usize {
+        let key = ((v.0 as u64) << 32 | k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (key >> 60) as usize % ROW_SHARDS
     }
 }
 
@@ -289,6 +358,55 @@ mod tests {
             .count();
         // 16 stripes × ceil(16/16)=1 row each at most.
         assert!(cached <= 16, "{cached} rows retained past the bound");
+    }
+
+    #[test]
+    fn benefit_score_decays_with_age() {
+        assert_eq!(benefit_score(1024, 0), 1024);
+        assert_eq!(benefit_score(1024, HALF_LIFE - 1), 1024);
+        assert_eq!(benefit_score(1024, HALF_LIFE), 512);
+        assert_eq!(benefit_score(1024, 10 * HALF_LIFE), 1);
+        assert_eq!(benefit_score(1024, 64 * HALF_LIFE), 0, "shift clamps at 63");
+        assert_eq!(benefit_score(u64::MAX, u64::MAX), 1, "no overflow at extremes");
+    }
+
+    #[test]
+    fn eviction_keeps_the_expensive_row_and_drops_the_oldest_cheap_one() {
+        // Star: the hub's k=1 ball is every leaf (expensive to rebuild);
+        // a leaf's ball is just the hub (cheap).
+        let n = 128u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges).unwrap();
+
+        // Leaves co-located with the hub's (0, k=1) key in one stripe.
+        let hub_stripe = NeighborhoodCache::shard_index(VertexId(0), 1);
+        let stripe_leaves: Vec<u32> = (1..n)
+            .filter(|&v| NeighborhoodCache::shard_index(VertexId(v), 1) == hub_stripe)
+            .collect();
+        assert!(stripe_leaves.len() >= 4, "fixture must co-locate enough keys");
+
+        // Capacity 64 → 4 rows per stripe.
+        let cache = NeighborhoodCache::new(64);
+        let mut scratch = BfsScratch::new(n as usize);
+        cache.row(&g, VertexId(0), 1, 0, &mut scratch); // cost 128
+        for &v in &stripe_leaves[..3] {
+            cache.row(&g, VertexId(v), 1, 0, &mut scratch); // cost 2 each
+        }
+        assert_eq!(cache.evictions(), 0);
+
+        // Fifth key in a full stripe: the victim is the minimum
+        // (benefit, seq) — the *first-inserted cheap leaf*, never the
+        // expensive hub row even though the hub is the oldest insert.
+        cache.row(&g, VertexId(stripe_leaves[3]), 1, 0, &mut scratch);
+        assert_eq!(cache.evictions(), 1);
+
+        let hits_before = cache.hits();
+        cache.row(&g, VertexId(0), 1, 0, &mut scratch);
+        assert_eq!(cache.hits(), hits_before + 1, "hub row survived");
+        let misses_before = cache.misses();
+        cache.row(&g, VertexId(stripe_leaves[0]), 1, 0, &mut scratch);
+        assert_eq!(cache.misses(), misses_before + 1, "oldest cheap row was evicted");
+        assert_eq!(cache.evictions(), 2, "its re-insert displaced the next-oldest leaf");
     }
 
     #[test]

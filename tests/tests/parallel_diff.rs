@@ -12,7 +12,7 @@
 
 use ktg_common::SeededRng;
 use ktg_core::{bb, AttributedGraph, KtgQuery, MemberOrdering};
-use ktg_index::{BfsOracle, DistanceOracle, NlrnlIndex};
+use ktg_index::{BfsOracle, DistanceOracle, NlrnlIndex, PllIndex};
 use ktg_integration_tests::{random_network, random_query};
 
 const ORDERINGS: [MemberOrdering; 4] = [
@@ -71,6 +71,31 @@ fn parallel_matches_sequential_on_random_networks() {
             let label = format!("case {case} (nlrnl)");
             assert_parallel_matches_sequential(&label, &net, &query, &nlrnl, ordering);
         }
+    }
+}
+
+/// The PLL oracle differential gate: a parallel-built 2-hop labeling
+/// drives the parallel engine to the exact bytes the sequential engine
+/// produces with the same oracle — and to the bytes the BFS reference
+/// produces, closing the loop from label construction through search.
+#[test]
+fn parallel_matches_sequential_with_pll_oracle() {
+    let mut rng = SeededRng::seed_from_u64(0x9A11);
+    for case in 0..6 {
+        let n = rng.gen_range(16..44usize);
+        let seed = rng.gen_range(0u64..1000);
+        let k = rng.gen_range(0u32..3);
+        let net = random_network(n, 0.2, 6, 3, seed);
+        let query = KtgQuery::new(random_query(&net, 4, seed), 3, k, 3).expect("valid");
+        let pll = PllIndex::build_parallel(net.graph());
+        for ordering in ORDERINGS {
+            let label = format!("case {case} (pll)");
+            assert_parallel_matches_sequential(&label, &net, &query, &pll, ordering);
+        }
+        let bfs = BfsOracle::new(net.graph());
+        let reference = bb::solve(&net, &query, &bfs, &bb::BbOptions::vkc_deg());
+        let with_pll = bb::solve(&net, &query, &pll, &bb::BbOptions::vkc_deg());
+        assert_eq!(reference.groups, with_pll.groups, "case {case}: PLL diverged from BFS");
     }
 }
 

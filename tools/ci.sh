@@ -24,6 +24,18 @@ echo "== parallel differential gate (KTG_THREADS=4, checked mode) =="
 KTG_THREADS=4 KTG_VERIFY=1 cargo test -q --offline \
     -p ktg-integration-tests --test parallel_diff
 
+echo "== PLL oracle differential gate (PLL answers == BFS/NLRNL bytes, checked mode) =="
+# Runs inside parallel_diff/serve_diff too; the named invocation keeps
+# the gate visible and failing loudly on its own if the matrix shrinks.
+pll_out="$(KTG_THREADS=4 KTG_VERIFY=1 cargo test -q --offline \
+    -p ktg-integration-tests --test parallel_diff \
+    parallel_matches_sequential_with_pll_oracle 2>&1)"
+echo "$pll_out" | grep -q "1 passed" || {
+    echo "FAIL: PLL differential test did not run/pass:" >&2
+    echo "$pll_out" >&2
+    exit 1
+}
+
 echo "== serving differential gate (KTG_THREADS=4, checked mode) =="
 KTG_THREADS=4 KTG_VERIFY=1 cargo test -q --offline \
     -p ktg-integration-tests --test serve_diff
@@ -42,18 +54,39 @@ if [ "$bb_records" -lt 8 ]; then
     exit 1
 fi
 
-echo "== qps smoke (serving throughput: 8 records, cache-on beats cache-off) =="
-# The binary itself asserts answer determinism across all configurations
-# and the cache-on > cache-off throughput win at one thread (plus thread
-# scaling when the machine has >= 4 hardware threads); the checks below
+echo "== qps smoke (serving throughput: 10 records, cache-on beats cache-off, cost >= fifo) =="
+# The binary itself asserts answer determinism across all configurations,
+# the cache-on > cache-off throughput win at one thread (plus thread
+# scaling when the machine has >= 4 hardware threads), and the
+# cost-policy hit-rate >= FIFO's on the Zipf policy mix; the checks below
 # re-verify the written records so a silent no-op run cannot pass.
+qps_log="$bench_out/qps.run.log"
 KTG_BENCH_FAST=1 KTG_BENCH_OUT="$bench_out" \
-    cargo run -q --release --offline -p ktg-bench --bin qps
+    cargo run -q --release --offline -p ktg-bench --bin qps 2>"$qps_log" \
+    || { cat "$qps_log" >&2; exit 1; }
+cat "$qps_log" >&2
 qps_records="$(wc -l < "$bench_out/qps.jsonl")"
-if [ "$qps_records" -lt 8 ]; then
-    echo "FAIL: qps wrote $qps_records JSON-lines records, expected >= 8" >&2
+if [ "$qps_records" -lt 10 ]; then
+    echo "FAIL: qps wrote $qps_records JSON-lines records, expected >= 10" >&2
     exit 1
 fi
+grep -q '"bench":"policy_cost"' "$bench_out/qps.jsonl" \
+    && grep -q '"bench":"policy_fifo"' "$bench_out/qps.jsonl" || {
+    echo "FAIL: qps did not write the eviction-policy comparison records" >&2
+    exit 1
+}
+grep -q "qps: policy ok" "$qps_log" || {
+    echo "FAIL: qps did not report the cost >= fifo hit-rate check" >&2
+    exit 1
+}
+
+echo "== bench summarizer (BENCH_qps.json: latest record per configuration) =="
+KTG_BENCH_OUT="$bench_out" cargo run -q --release --offline -p ktg-bench \
+    --bin summarize "$bench_out/BENCH_qps.json"
+grep -q '"cost_over_fifo":' "$bench_out/BENCH_qps.json" || {
+    echo "FAIL: BENCH_qps.json lacks the derived cost_over_fifo ratio" >&2
+    exit 1
+}
 on_ns="$(grep '"bench":"cache_on","param":"1"' "$bench_out/qps.jsonl" \
     | sed 's/.*"min_ns":\([0-9]*\).*/\1/' | head -n1)"
 off_ns="$(grep '"bench":"cache_off","param":"1"' "$bench_out/qps.jsonl" \
