@@ -185,7 +185,7 @@ fn main() {
     policy_hit_rate_sweep(&net, &mut group, quick);
 }
 
-/// The eviction-policy sweep: a Zipf-skewed stream over a query pool
+/// The eviction-policy sweep: Zipf-skewed streams over a query pool
 /// several times larger than the cache, so every shard is under
 /// constant eviction pressure, with the pool sorted so the Zipf head is
 /// also the *costly* end — the serving regime the cost-aware policy is
@@ -194,9 +194,20 @@ fn main() {
 /// any cold query lands in its shard; the cost-aware admission floor
 /// turns those cheap one-off entries away and keeps the hot-and-heavy
 /// head resident, so at equal capacity it must match or beat FIFO's hit
-/// rate — the binary asserts exactly that, plus byte-identical answers,
-/// and exits non-zero on either failure.
+/// rate. The sweep runs at three skew levels (Zipf exponent 0.8 / 1.1 /
+/// 1.4 — the JSON `param` is the exponent × 100), tracing the hit-rate
+/// curve from weakly to strongly skewed workloads; the binary asserts
+/// cost >= FIFO **at every point**, plus byte-identical answers per
+/// point, and exits non-zero on any failure.
 fn policy_hit_rate_sweep(net: &AttributedGraph, group: &mut BenchGroup, quick: bool) {
+    for zipf in [0.8, 1.1, 1.4] {
+        policy_hit_rate_at(net, group, quick, zipf);
+    }
+}
+
+/// One point of the policy sweep: both policies replay the same
+/// `zipf`-skewed workload at equal cache capacity.
+fn policy_hit_rate_at(net: &AttributedGraph, group: &mut BenchGroup, quick: bool, zipf: f64) {
     let (pool_size, workload_len) = if quick { (48, 360) } else { (48, 1440) };
     // 16 cache shards × 1 entry each: 48 distinct queries compete for
     // 16 slots, the regime where the two policies actually differ.
@@ -225,11 +236,11 @@ fn policy_hit_rate_sweep(net: &AttributedGraph, group: &mut BenchGroup, quick: b
         .collect();
     costs.sort_by_key(|probe| std::cmp::Reverse(probe.0));
     let pool: Vec<WorkloadItem> = costs.into_iter().map(|(_, item)| item).collect();
-    let workload: Vec<WorkloadItem> =
-        zipf_indices(pool.len(), workload_len, ZIPF_EXPONENT, SEED ^ 0x9C)
-            .into_iter()
-            .map(|i| pool[i].clone())
-            .collect();
+    let workload: Vec<WorkloadItem> = zipf_indices(pool.len(), workload_len, zipf, SEED ^ 0x9C)
+        .into_iter()
+        .map(|i| pool[i].clone())
+        .collect();
+    let param = (zipf * 100.0) as usize;
 
     let mut baseline: Option<Vec<Answer>> = None;
     let mut hit_rates: Vec<(CachePolicy, f64)> = Vec::new();
@@ -249,7 +260,7 @@ fn policy_hit_rate_sweep(net: &AttributedGraph, group: &mut BenchGroup, quick: b
             CachePolicy::Fifo => "policy_fifo",
             CachePolicy::Cost => "policy_cost",
         };
-        group.bench_items(name, 1, workload.len(), || {
+        group.bench_items(name, param, workload.len(), || {
             last = session.run(&workload);
         });
         let answers = strip(&last);
@@ -271,13 +282,14 @@ fn policy_hit_rate_sweep(net: &AttributedGraph, group: &mut BenchGroup, quick: b
     let (fifo, cost) = (rate(CachePolicy::Fifo), rate(CachePolicy::Cost));
     assert!(
         cost >= fifo,
-        "cost-aware hit rate {:.1}% fell below FIFO's {:.1}% at capacity {cache_entries}",
+        "cost-aware hit rate {:.1}% fell below FIFO's {:.1}% at capacity {cache_entries}, \
+         zipf {zipf}",
         cost * 100.0,
         fifo * 100.0
     );
     eprintln!(
-        "qps: policy ok (cost {:.1}% >= fifo {:.1}% hit rate, {pool_size} distinct \
-         queries over {cache_entries} cache entries)",
+        "qps: policy ok at zipf {zipf} (cost {:.1}% >= fifo {:.1}% hit rate, {pool_size} \
+         distinct queries over {cache_entries} cache entries)",
         cost * 100.0,
         fifo * 100.0
     );

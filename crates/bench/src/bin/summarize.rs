@@ -1,26 +1,35 @@
-//! Bench-results summarizer: `bench_results/qps.jsonl` → `BENCH_qps.json`.
+//! Bench-results summarizer: `bench_results/*.jsonl` → `BENCH_*.json`.
 //!
 //! The JSON-lines sinks append one record per configuration per run, so
 //! a long-lived checkout accumulates a full perf history — good for
 //! trajectories, bad for machines that just want "the current numbers".
-//! This binary folds the append-only log into one deterministic JSON
+//! This binary folds each append-only log into one deterministic JSON
 //! document: the **latest** record per `(bench, param)` pair, plus the
 //! derived headline ratios the CI gate asserts (cache speedup, thread
-//! scaling, cost-vs-FIFO policy throughput). Hand-rolled parsing against
-//! the harness's known flat-object shape — the workspace's dependency
-//! budget has no serde, and [`ktg_bench::harness::Summary::to_json_line`]
-//! is the only writer.
+//! scaling, cost-vs-FIFO policy throughput, compressed-decode overhead,
+//! bundle load-vs-save). Hand-rolled parsing against the harness's known
+//! flat-object shape — the workspace's dependency budget has no serde,
+//! and the two writers ([`ktg_bench::harness::Summary::to_json_line`]
+//! and `bb_scaling`'s richer record) share it.
 //!
-//! Usage: `summarize [OUT_PATH]` — reads `$KTG_BENCH_OUT/qps.jsonl`
-//! (default `bench_results/qps.jsonl`), writes `OUT_PATH` (default
-//! `BENCH_qps.json`). Exits non-zero when the log is missing or empty,
-//! so CI cannot mistake a no-op for a summary.
+//! Usage: `summarize [OUT_DIR]` — reads every known group log under
+//! `$KTG_BENCH_OUT` (default `bench_results/`): `qps.jsonl`,
+//! `bb_scaling.jsonl`, `net_qps.jsonl`, `scale.jsonl`; writes
+//! `OUT_DIR/BENCH_<group>.json` for each log found (default `OUT_DIR` is
+//! the current directory). Missing individual logs are skipped; exits
+//! non-zero when **no** log yields records, so CI cannot mistake a no-op
+//! for a summary.
 
 use std::path::PathBuf;
 
-/// One parsed `qps.jsonl` record: the fields the summary re-emits.
+/// The groups the summarizer folds, in output order.
+const GROUPS: [&str; 4] = ["qps", "bb_scaling", "net_qps", "scale"];
+
+/// One parsed record: the fields the summary re-emits. `items` and
+/// `ops_per_sec` are zero for writers that do not measure throughput
+/// (`bb_scaling` records raw stats instead).
 #[derive(Clone, Debug, PartialEq)]
-struct QpsRecord {
+struct Record {
     bench: String,
     param: String,
     items: u64,
@@ -46,20 +55,20 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn parse_record(line: &str) -> Option<QpsRecord> {
-    Some(QpsRecord {
+fn parse_record(line: &str) -> Option<Record> {
+    Some(Record {
         bench: str_field(line, "bench")?,
         param: str_field(line, "param")?,
-        items: num_field(line, "items")? as u64,
-        ops_per_sec: num_field(line, "ops_per_sec")?,
+        items: num_field(line, "items").unwrap_or(0.0) as u64,
+        ops_per_sec: num_field(line, "ops_per_sec").unwrap_or(0.0),
         min_ns: num_field(line, "min_ns")? as u64,
     })
 }
 
 /// Latest record per `(bench, param)`, in first-seen order (so the
 /// output ordering is stable across runs of the same sweep).
-fn latest_per_config(lines: &str) -> Vec<QpsRecord> {
-    let mut out: Vec<QpsRecord> = Vec::new();
+fn latest_per_config(lines: &str) -> Vec<Record> {
+    let mut out: Vec<Record> = Vec::new();
     for record in lines.lines().filter_map(parse_record) {
         match out.iter_mut().find(|r| r.bench == record.bench && r.param == record.param) {
             Some(slot) => *slot = record,
@@ -69,19 +78,61 @@ fn latest_per_config(lines: &str) -> Vec<QpsRecord> {
     out
 }
 
+/// Locates a series point; `param == "*"` matches the first record of
+/// that bench regardless of parameter.
+fn find<'r>(records: &'r [Record], bench: &str, param: &str) -> Option<&'r Record> {
+    records.iter().find(|r| r.bench == bench && (param == "*" || r.param == param))
+}
+
 /// Ratio of two series' throughput at the same parameter, if both exist.
-fn ratio(records: &[QpsRecord], num: (&str, &str), den: (&str, &str)) -> Option<f64> {
-    let find = |(bench, param): (&str, &str)| {
-        records.iter().find(|r| r.bench == bench && r.param == param).map(|r| r.ops_per_sec)
-    };
-    match (find(num), find(den)) {
-        (Some(n), Some(d)) if d > 0.0 => Some(n / d),
+fn ops_ratio(records: &[Record], num: (&str, &str), den: (&str, &str)) -> Option<f64> {
+    match (find(records, num.0, num.1), find(records, den.0, den.1)) {
+        (Some(n), Some(d)) if d.ops_per_sec > 0.0 => Some(n.ops_per_sec / d.ops_per_sec),
         _ => None,
     }
 }
 
-fn render(records: &[QpsRecord]) -> String {
-    let mut body = String::from("{\"group\":\"qps\",\"records\":[");
+/// Ratio of two series' fastest samples (`num.min_ns / den.min_ns`):
+/// used where the writer records times, not throughput. Values > 1 mean
+/// the numerator is *slower* — name the derived entry accordingly.
+fn time_ratio(records: &[Record], num: (&str, &str), den: (&str, &str)) -> Option<f64> {
+    match (find(records, num.0, num.1), find(records, den.0, den.1)) {
+        (Some(n), Some(d)) if d.min_ns > 0 => Some(n.min_ns as f64 / d.min_ns as f64),
+        _ => None,
+    }
+}
+
+/// The derived headline ratios per group. The qps policy ratio reads the
+/// middle point of the Zipf sweep (exponent 1.1, param `110`).
+fn derived(group: &str, records: &[Record]) -> Vec<(&'static str, Option<f64>)> {
+    match group {
+        "qps" => vec![
+            ("cache_speedup_1t", ops_ratio(records, ("cache_on", "1"), ("cache_off", "1"))),
+            ("thread_speedup_off_4t", ops_ratio(records, ("cache_off", "4"), ("cache_off", "1"))),
+            ("cost_over_fifo", ops_ratio(records, ("policy_cost", "110"), ("policy_fifo", "110"))),
+        ],
+        "bb_scaling" => vec![
+            ("bitmap_speedup_4t", time_ratio(records, ("bitmap", "1"), ("bitmap", "4"))),
+            ("oracle_over_bitmap_1t", time_ratio(records, ("oracle", "1"), ("bitmap", "1"))),
+        ],
+        "net_qps" => vec![(
+            "net_cache_speedup_1c",
+            ops_ratio(records, ("closed_cache_on", "1"), ("closed_cache_off", "1")),
+        )],
+        "scale" => vec![
+            (
+                "build_speedup_4t",
+                time_ratio(records, ("nlrnl_build_threads", "1"), ("nlrnl_build_threads", "4")),
+            ),
+            ("decode_overhead", time_ratio(records, ("bfs_compressed", "*"), ("bfs_flat", "*"))),
+            ("load_over_save", time_ratio(records, ("bundle_load", "*"), ("bundle_save", "*"))),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+fn render(group: &str, records: &[Record]) -> String {
+    let mut body = format!("{{\"group\":\"{group}\",\"records\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             body.push(',');
@@ -93,13 +144,8 @@ fn render(records: &[QpsRecord]) -> String {
         ));
     }
     body.push_str("],\"derived\":{");
-    let derived = [
-        ("cache_speedup_1t", ratio(records, ("cache_on", "1"), ("cache_off", "1"))),
-        ("thread_speedup_off_4t", ratio(records, ("cache_off", "4"), ("cache_off", "1"))),
-        ("cost_over_fifo", ratio(records, ("policy_cost", "1"), ("policy_fifo", "1"))),
-    ];
     let mut first = true;
-    for (name, value) in derived {
+    for (name, value) in derived(group, records) {
         if let Some(v) = value {
             if !first {
                 body.push(',');
@@ -113,27 +159,38 @@ fn render(records: &[QpsRecord]) -> String {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_qps.json".to_string());
+    let out_dir = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| ".".to_string()));
     let dir = PathBuf::from(std::env::var("KTG_BENCH_OUT").unwrap_or_else(|_| "bench_results".into()));
-    let log = dir.join("qps.jsonl");
-    let text = match std::fs::read_to_string(&log) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("summarize: cannot read {}: {e}", log.display());
+    let mut written = 0usize;
+    for group in GROUPS {
+        let log = dir.join(format!("{group}.jsonl"));
+        let text = match std::fs::read_to_string(&log) {
+            Ok(text) => text,
+            Err(_) => continue, // absent logs are not an error per-group
+        };
+        let records = latest_per_config(&text);
+        if records.is_empty() {
+            eprintln!("summarize: {} holds no parseable records, skipping", log.display());
+            continue;
+        }
+        let json = render(group, &records);
+        let out_path = out_dir.join(format!("BENCH_{group}.json"));
+        if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+            eprintln!("summarize: cannot write {}: {e}", out_path.display());
             std::process::exit(1);
         }
-    };
-    let records = latest_per_config(&text);
-    if records.is_empty() {
-        eprintln!("summarize: {} holds no parseable qps records", log.display());
+        eprintln!(
+            "summarize: {} configs from {} -> {}",
+            records.len(),
+            log.display(),
+            out_path.display()
+        );
+        written += 1;
+    }
+    if written == 0 {
+        eprintln!("summarize: no bench logs under {} yielded records", dir.display());
         std::process::exit(1);
     }
-    let json = render(&records);
-    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
-        eprintln!("summarize: cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    eprintln!("summarize: {} configs from {} -> {out_path}", records.len(), log.display());
 }
 
 #[cfg(test)]
@@ -143,6 +200,12 @@ mod tests {
     const LINE: &str = "{\"group\":\"qps\",\"bench\":\"cache_on\",\"param\":\"1\",\
         \"samples\":3,\"items\":240,\"ops_per_sec\":1234.567,\
         \"min_ns\":194400000,\"mean_ns\":2,\"median_ns\":2,\"p95_ns\":2,\"max_ns\":2}";
+
+    // The bb_scaling writer's richer shape: no items / ops_per_sec.
+    const BB_LINE: &str = "{\"group\":\"bb_scaling\",\"bench\":\"bitmap\",\"param\":\"1\",\
+        \"samples\":5,\"queries\":5,\"solved\":5,\"mean_ns\":100,\"min_ns\":80,\"nodes\":7,\
+        \"distance_checks\":3,\"kline_filtered\":0,\"keyword_pruned\":0,\
+        \"groups_evaluated\":2,\"truncated\":0}";
 
     #[test]
     fn parses_the_harness_line_shape() {
@@ -156,6 +219,15 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_bb_scaling_shape_without_throughput_fields() {
+        let r = parse_record(BB_LINE).expect("parseable");
+        assert_eq!(r.bench, "bitmap");
+        assert_eq!(r.min_ns, 80);
+        assert_eq!(r.items, 0);
+        assert_eq!(r.ops_per_sec, 0.0);
+    }
+
+    #[test]
     fn later_records_replace_earlier_ones() {
         let log = format!("{LINE}\n{}\n", LINE.replace("1234.567", "999.0"));
         let latest = latest_per_config(&log);
@@ -163,30 +235,55 @@ mod tests {
         assert!((latest[0].ops_per_sec - 999.0).abs() < 1e-9);
     }
 
+    fn mk(bench: &str, param: &str, ops: f64, min_ns: u64) -> Record {
+        Record { bench: bench.into(), param: param.into(), items: 10, ops_per_sec: ops, min_ns }
+    }
+
     #[test]
-    fn derived_ratios_and_rendering() {
-        let mk = |bench: &str, param: &str, ops: f64| QpsRecord {
-            bench: bench.into(),
-            param: param.into(),
-            items: 10,
-            ops_per_sec: ops,
-            min_ns: 1000,
-        };
+    fn qps_derived_ratios_and_rendering() {
         let records = vec![
-            mk("cache_on", "1", 200.0),
-            mk("cache_off", "1", 100.0),
-            mk("cache_off", "4", 300.0),
-            mk("policy_fifo", "1", 50.0),
-            mk("policy_cost", "1", 60.0),
+            mk("cache_on", "1", 200.0, 1000),
+            mk("cache_off", "1", 100.0, 2000),
+            mk("cache_off", "4", 300.0, 700),
+            mk("policy_fifo", "110", 50.0, 9000),
+            mk("policy_cost", "110", 60.0, 8000),
         ];
-        let json = render(&records);
+        let json = render("qps", &records);
         assert!(json.contains("\"cache_speedup_1t\":2.000"), "{json}");
         assert!(json.contains("\"thread_speedup_off_4t\":3.000"), "{json}");
         assert!(json.contains("\"cost_over_fifo\":1.200"), "{json}");
         assert!(json.starts_with("{\"group\":\"qps\""));
         // Missing series: the derived entry is simply omitted.
-        let partial = render(&records[..2]);
+        let partial = render("qps", &records[..2]);
         assert!(partial.contains("cache_speedup_1t"));
         assert!(!partial.contains("thread_speedup_off_4t"));
+    }
+
+    #[test]
+    fn scale_derived_ratios_use_time_and_wildcard_params() {
+        let records = vec![
+            mk("nlrnl_build_threads", "1", 0.0, 4000),
+            mk("nlrnl_build_threads", "4", 0.0, 2000),
+            mk("bfs_flat", "48000", 0.0, 1000),
+            mk("bfs_compressed", "48000", 0.0, 1300),
+            mk("bundle_save", "48000", 0.0, 500),
+            mk("bundle_load", "48000", 0.0, 250),
+        ];
+        let json = render("scale", &records);
+        assert!(json.contains("\"build_speedup_4t\":2.000"), "{json}");
+        assert!(json.contains("\"decode_overhead\":1.300"), "{json}");
+        assert!(json.contains("\"load_over_save\":0.500"), "{json}");
+    }
+
+    #[test]
+    fn bb_scaling_derived_ratios_come_from_min_times() {
+        let records = vec![
+            mk("bitmap", "1", 0.0, 4000),
+            mk("bitmap", "4", 0.0, 1000),
+            mk("oracle", "1", 0.0, 8000),
+        ];
+        let json = render("bb_scaling", &records);
+        assert!(json.contains("\"bitmap_speedup_4t\":4.000"), "{json}");
+        assert!(json.contains("\"oracle_over_bitmap_1t\":2.000"), "{json}");
     }
 }

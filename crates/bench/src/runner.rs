@@ -75,8 +75,8 @@ pub struct Measurement {
 /// One dataset instance plus its three distance oracles.
 pub struct Workbench<'g> {
     net: &'g AttributedGraph,
-    bfs: BfsOracle<'g>,
-    nl: NlIndex<'g>,
+    bfs: BfsOracle<'g, ktg_graph::GraphStore>,
+    nl: NlIndex<'g, ktg_graph::GraphStore>,
     nlrnl: NlrnlIndex,
 }
 
@@ -98,7 +98,7 @@ impl<'g> Workbench<'g> {
     }
 
     /// The NL index (for Figure 9 space/build reporting).
-    pub fn nl(&self) -> &NlIndex<'g> {
+    pub fn nl(&self) -> &NlIndex<'g, ktg_graph::GraphStore> {
         &self.nl
     }
 

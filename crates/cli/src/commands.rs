@@ -13,7 +13,7 @@ use ktg_core::{
     bb, candidates, explain, multi_query, verify, AttributedGraph, KtgQuery, MemberOrdering,
 };
 use ktg_datasets::{DatasetProfile, QueryGen};
-use ktg_graph::{io as graph_io, stats};
+use ktg_graph::{io as graph_io, stats, GraphFormat, GraphStore};
 use ktg_index::{persist, BfsOracle, DistanceOracle, NlIndex, NlrnlIndex, PllIndex};
 use ktg_keywords::io as keyword_io;
 use std::fs::File;
@@ -105,8 +105,16 @@ fn profile_by_name(name: &str) -> Result<DatasetProfile> {
     }
 }
 
-/// `ktg generate --profile NAME --out DIR [--scale N] [--seed N]`
+/// `ktg generate --profile NAME --out DIR [--scale N] [--seed N]`, or the
+/// streaming form `ktg generate --sbm-n N --sbm-blocks B --out DIR
+/// [--sbm-pin P] [--sbm-pout P] [--chunk-capacity N] [--seed N]` which
+/// builds a planted-partition graph through the bounded-memory chunked
+/// pipeline (region-seeded edge sampling + external-sort CSR assembly) —
+/// the generator the 10M-vertex scale story uses.
 fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
+    if args.optional("sbm-n").is_some() {
+        return generate_sbm(args, out);
+    }
     let profile = profile_by_name(args.required("profile")?)?;
     let out_dir = args.required("out")?;
     let scale: usize = args.num_or("scale", 100)?;
@@ -126,8 +134,83 @@ fn generate(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
     Ok(())
 }
 
+/// `--graph-format flat|compressed`: which in-memory topology layout to
+/// use (absent = keep the source's format; text inputs default to flat).
+fn graph_format_flag(args: &ParsedArgs) -> Result<Option<GraphFormat>> {
+    args.optional("graph-format").map(GraphFormat::parse).transpose()
+}
+
+
+/// The `--sbm-*` arm of [`generate`].
+fn generate_sbm(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
+    let params = ktg_datasets::sbm::SbmParams {
+        n: args.required_num("sbm-n")?,
+        blocks: args.num_or("sbm-blocks", 100)?,
+        p_in: args.num_or("sbm-pin", 0.1)?,
+        p_out: args.num_or("sbm-pout", 0.0)?,
+    };
+    if params.blocks < 1 || params.blocks > params.n {
+        return Err(KtgError::input("--sbm-blocks must be in 1..=--sbm-n"));
+    }
+    if !(0.0..=1.0).contains(&params.p_in) || !(0.0..=1.0).contains(&params.p_out) {
+        return Err(KtgError::input("--sbm-pin/--sbm-pout must be in [0, 1]"));
+    }
+    let out_dir = args.required("out")?;
+    let seed: u64 = args.num_or("seed", 42)?;
+    let chunk: usize = args.num_or("chunk-capacity", 1 << 20)?;
+
+    let graph = ktg_datasets::sbm::planted_partition_chunked(&params, seed, chunk)?;
+    let model = ktg_datasets::keywords::KeywordModel::default();
+    let (vocab, vk) = ktg_datasets::keywords::assign_zipf_chunked(params.n, &model, seed);
+    std::fs::create_dir_all(out_dir)?;
+    let edges_path = Path::new(out_dir).join("edges.txt");
+    let keywords_path = Path::new(out_dir).join("keywords.txt");
+    graph_io::write_edge_list(&graph, File::create(&edges_path)?)?;
+    keyword_io::write_keywords(&vocab, &vk, File::create(&keywords_path)?)?;
+
+    writeln!(
+        out,
+        "generated sbm: {} vertices, {} blocks, p_in {}, p_out {} (seed {seed}, chunked)",
+        params.n, params.blocks, params.p_in, params.p_out
+    )?;
+    writeln!(out, "  graph:    {}", stats::summary(&graph))?;
+    writeln!(out, "  edges:    {}", edges_path.display())?;
+    writeln!(out, "  keywords: {} ({} terms)", keywords_path.display(), vocab.len())?;
+    Ok(())
+}
+
 /// Loads an attributed network from `--edges` (+ optional `--keywords`).
 pub(crate) fn load_network(args: &ParsedArgs) -> Result<AttributedGraph> {
+    load_network_ex(args).map(|(net, _)| net)
+}
+
+/// Loads an attributed network plus any pre-built NLRNL index that rode
+/// along: from `--bundle FILE` (one binary file, O(I/O) reload) when
+/// given, otherwise from `--edges` (+ optional `--keywords`) text files.
+/// `--graph-format` converts the topology on either path.
+pub(crate) fn load_network_ex(args: &ParsedArgs) -> Result<(AttributedGraph, Option<NlrnlIndex>)> {
+    let want = graph_format_flag(args)?;
+    if let Some(path) = args.optional("bundle") {
+        let bundle = persist::load_bundle(File::open(path)?)?;
+        let mut graph = bundle.graph;
+        if let Some(fmt) = want {
+            if fmt != graph.format() {
+                // Format conversion preserves topology, so the bundled
+                // index (fingerprinted on the degree sequence) stays valid.
+                graph = GraphStore::from_csr(graph.to_csr(), fmt);
+            }
+        }
+        let net = AttributedGraph::with_store(graph, bundle.vocab, bundle.keywords);
+        return Ok((net, bundle.index));
+    }
+    load_network_from_files(args).map(|net| (net, None))
+}
+
+/// The text-file arm of [`load_network_ex`]: always reads
+/// `--edges`/`--keywords`, never `--bundle` (which `ktg index` uses as an
+/// *output* path).
+fn load_network_from_files(args: &ParsedArgs) -> Result<AttributedGraph> {
+    let want = graph_format_flag(args)?;
     let edges = args.required("edges")?;
     let loaded = graph_io::read_edge_list(File::open(edges)?)?;
     let n = loaded.graph.num_vertices();
@@ -140,7 +223,8 @@ pub(crate) fn load_network(args: &ParsedArgs) -> Result<AttributedGraph> {
             ktg_datasets::keywords::assign_zipf(n, &model, 42)
         }
     };
-    Ok(AttributedGraph::new(loaded.graph, vocab, vk))
+    let store = GraphStore::from_csr(loaded.graph, want.unwrap_or(GraphFormat::Flat));
+    Ok(AttributedGraph::with_store(store, vocab, vk))
 }
 
 /// `ktg stats --edges FILE [--keywords FILE]`
@@ -162,38 +246,71 @@ fn stats_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
     Ok(())
 }
 
-/// `ktg index --edges FILE --out FILE [--oracle nlrnl|pll]`
+/// `ktg index --edges FILE (--out FILE | --bundle FILE) [--oracle nlrnl|pll]
+/// [--keywords FILE] [--graph-format flat|compressed] [--threads N]`
+///
+/// `--out` writes the bare index; `--bundle` writes the whole network
+/// (graph in the selected format, vocabulary, keyword arena, NLRNL index)
+/// as one binary file that `query`/`batch`/`serve --bundle` reload
+/// without re-parsing text or rebuilding the index.
 fn index_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
-    let edges = args.required("edges")?;
-    let out_path = args.required("out")?;
-    let loaded = graph_io::read_edge_list(File::open(edges)?)?;
+    let out_path = args.optional("out");
+    let bundle_path = args.optional("bundle");
+    if out_path.is_none() && bundle_path.is_none() {
+        return Err(KtgError::input("provide --out FILE and/or --bundle FILE"));
+    }
+    let net = load_network_from_files(args)?;
+    let graph = net.graph();
     match args.optional("oracle").unwrap_or("nlrnl") {
         "nlrnl" => {
-            let index = NlrnlIndex::build(&loaded.graph);
-            persist::save_nlrnl(&index, &loaded.graph, File::create(out_path)?)?;
+            let threads: usize = args.num_or("threads", 0)?;
+            let index = if threads == 0 {
+                NlrnlIndex::build(graph)
+            } else {
+                NlrnlIndex::build_with_threads(graph, threads)
+            };
+            if let Some(path) = out_path {
+                persist::save_nlrnl(&index, graph, File::create(path)?)?;
+            }
+            if let Some(path) = bundle_path {
+                persist::save_bundle(
+                    graph,
+                    net.vocab(),
+                    net.keywords(),
+                    Some(&index),
+                    File::create(path)?,
+                )?;
+                writeln!(out, "bundled {} graph + keywords + index into {path}", graph.format())?;
+            }
             let space = index.space();
             writeln!(
                 out,
                 "built NLRNL over {} vertices in {:?}: {} bytes ({} forward, {} reverse), saved to {}",
-                loaded.graph.num_vertices(),
+                graph.num_vertices(),
                 index.build_stats().elapsed,
                 space.total_bytes(),
                 space.forward_bytes,
                 space.reverse_bytes,
-                out_path
+                out_path.or(bundle_path).unwrap_or("-")
             )?;
         }
         "pll" => {
-            let index = PllIndex::build_parallel(&loaded.graph);
-            persist::save_pll(&index, &loaded.graph, File::create(out_path)?)?;
+            if bundle_path.is_some() {
+                return Err(KtgError::input(
+                    "bundles embed NLRNL indexes only; use --oracle nlrnl with --bundle",
+                ));
+            }
+            let index = PllIndex::build_parallel(graph);
+            let path = out_path.unwrap_or_default();
+            persist::save_pll(&index, graph, File::create(path)?)?;
             writeln!(
                 out,
                 "built PLL over {} vertices in {:?}: {} label entries ({} bytes), saved to {}",
-                loaded.graph.num_vertices(),
+                graph.num_vertices(),
                 index.build_stats().elapsed,
                 index.label_entries(),
                 index.space().total_bytes(),
-                out_path
+                path
             )?;
         }
         other => {
@@ -215,7 +332,7 @@ fn index_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<()> {
 /// `insert`/`remove` lines mutate the graph between query runs. Answers
 /// are byte-identical to running each query individually.
 fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
-    let net = load_network(args)?;
+    let (net, preloaded) = load_network_ex(args)?;
     let text = std::fs::read_to_string(args.required("workload")?)?;
     let items = serve::parse_workload(&text, &net)?;
 
@@ -233,7 +350,7 @@ fn batch_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
         }
     )?;
 
-    let mut session = ServeSession::new(net, options);
+    let mut session = ServeSession::with_index(net, options, preloaded);
     let outcomes = session.run(&items);
     let (mut degraded, mut failed, mut shed) = (0usize, 0usize, 0usize);
     for (i, outcome) in outcomes.iter().enumerate() {
@@ -359,7 +476,7 @@ pub(crate) fn serve_options_from_flags(args: &ParsedArgs) -> Result<ServeOptions
 
 /// Shared by `query` and `dktg`.
 fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Result<RunStatus> {
-    let net = load_network(args)?;
+    let (net, preloaded) = load_network_ex(args)?;
     let p: usize = args.num_or("p", 3)?;
     let k: u32 = args.num_or("k", 2)?;
     let n: usize = args.num_or("n", 5)?;
@@ -385,9 +502,10 @@ fn query_cmd(args: &ParsedArgs, out: &mut dyn Write, diversified: bool) -> Resul
     let oracle: Box<dyn DistanceOracle> = match args.optional("oracle").unwrap_or("nlrnl") {
         "bfs" => Box::new(BfsOracle::new(net.graph())),
         "nl" => Box::new(NlIndex::build(net.graph())),
-        "nlrnl" => match args.optional("index") {
-            Some(path) => Box::new(persist::load_nlrnl(net.graph(), File::open(path)?)?),
-            None => Box::new(NlrnlIndex::build(net.graph())),
+        "nlrnl" => match (args.optional("index"), preloaded) {
+            (Some(path), _) => Box::new(persist::load_nlrnl(net.graph(), File::open(path)?)?),
+            (None, Some(index)) => Box::new(index),
+            (None, None) => Box::new(NlrnlIndex::build(net.graph())),
         },
         "pll" => match args.optional("index") {
             Some(path) => Box::new(persist::load_pll(net.graph(), File::open(path)?)?),
@@ -589,6 +707,114 @@ mod tests {
         assert!(d.contains("DKTG query"));
         assert!(d.contains("score ="));
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+
+    #[test]
+    fn graph_format_and_bundle_are_differential() {
+        let dir = temp_dir("bundle");
+        let out = dir.to_str().unwrap();
+        // Chunked SBM generation: block-diagonal (p_out 0) keeps every
+        // BFS inside a small component, so indexing stays fast.
+        let gen = run_to_string(&[
+            "generate", "--sbm-n", "600", "--sbm-blocks", "30",
+            "--sbm-pin", "0.2", "--sbm-pout", "0.0",
+            "--seed", "7", "--out", out,
+        ])
+        .unwrap();
+        assert!(gen.contains("generated sbm: 600 vertices"), "{gen}");
+        let edges = dir.join("edges.txt");
+        let keywords = dir.join("keywords.txt");
+
+        let workload = dir.join("workload.txt");
+        std::fs::write(
+            &workload,
+            "\
+ktg terms=t0,t1,t2 p=2 k=1 n=2
+dktg terms=t0,t1,t2 p=2 k=1 n=2 gamma=0.5
+insert 0 1
+ktg terms=t0,t1,t2 p=2 k=1 n=2
+",
+        )
+        .unwrap();
+        let base = [
+            "batch",
+            "--workload", workload.to_str().unwrap(),
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+            "--threads", "1",
+        ];
+        let answers = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.starts_with('[') || l.starts_with("    #"))
+                .map(String::from)
+                .collect()
+        };
+        let flat = answers(&run_to_string(&base).unwrap());
+        assert!(!flat.is_empty());
+
+        // The compressed format must answer byte-identically.
+        let mut compressed = base.to_vec();
+        compressed.extend(["--graph-format", "compressed"]);
+        assert_eq!(answers(&run_to_string(&compressed).unwrap()), flat);
+
+        // Bundle the network + index, then serve the same workload from
+        // the bundle — byte-identical again, in both formats.
+        let bundle = dir.join("net.bundle");
+        let built = run_to_string(&[
+            "index",
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+            "--bundle", bundle.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(built.contains("bundled flat graph"), "{built}");
+        for fmt in ["flat", "compressed"] {
+            let from_bundle = run_to_string(&[
+                "batch",
+                "--workload", workload.to_str().unwrap(),
+                "--bundle", bundle.to_str().unwrap(),
+                "--graph-format", fmt,
+                "--threads", "1",
+            ])
+            .unwrap();
+            assert_eq!(answers(&from_bundle), flat, "bundle/{fmt} diverged");
+        }
+
+        // A compressed-format bundle reloads identically too.
+        let cbundle = dir.join("net-compressed.bundle");
+        run_to_string(&[
+            "index",
+            "--edges", edges.to_str().unwrap(),
+            "--keywords", keywords.to_str().unwrap(),
+            "--graph-format", "compressed",
+            "--bundle", cbundle.to_str().unwrap(),
+        ])
+        .unwrap();
+        let from_cbundle = run_to_string(&[
+            "batch",
+            "--workload", workload.to_str().unwrap(),
+            "--bundle", cbundle.to_str().unwrap(),
+            "--threads", "1",
+        ])
+        .unwrap();
+        assert_eq!(answers(&from_cbundle), flat);
+
+        // Query straight off a bundle (index reused, no rebuild).
+        let q = run_to_string(&[
+            "query",
+            "--bundle", bundle.to_str().unwrap(),
+            "--terms", "t0,t1,t2",
+            "-p", "2", "-k", "1", "-n", "2",
+        ])
+        .unwrap();
+        assert!(q.contains("KTG query"), "{q}");
+
+        // Unknown format is a clean error.
+        let mut bad = base.to_vec();
+        bad.extend(["--graph-format", "zstd"]);
+        assert!(run_to_string(&bad).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -41,7 +41,7 @@
 //! short read timeout so no worker can wedge on an idle peer.
 
 use crate::args::ParsedArgs;
-use crate::commands::{load_network, serve_options_from_flags, write_outcome};
+use crate::commands::{load_network_ex, serve_options_from_flags, write_outcome};
 use crate::RunStatus;
 use ktg_common::net::{write_line, Frame, LineReader};
 use ktg_common::parallel::{scope_join, worker_count};
@@ -311,6 +311,18 @@ impl ServerHandle {
 /// # Errors
 /// I/O errors from binding the listener.
 pub fn start(net: AttributedGraph, cfg: ServeConfig) -> Result<ServerHandle> {
+    start_with_index(net, cfg, None)
+}
+
+/// [`start`] with a pre-built NLRNL index (the `--bundle` reload path).
+///
+/// # Errors
+/// I/O errors from binding the listener.
+pub fn start_with_index(
+    net: AttributedGraph,
+    cfg: ServeConfig,
+    index: Option<ktg_index::NlrnlIndex>,
+) -> Result<ServerHandle> {
     let listener = TcpListener::bind(cfg.bind.as_str())?;
     let addr = listener.local_addr()?;
     let workers = match cfg.workers {
@@ -319,7 +331,7 @@ pub fn start(net: AttributedGraph, cfg: ServeConfig) -> Result<ServerHandle> {
     };
     let max_inflight = cfg.options.max_inflight;
     let shared = Arc::new(Shared {
-        session: RwLock::new(ServeSession::new(net, cfg.options)),
+        session: RwLock::new(ServeSession::with_index(net, cfg.options, index)),
         stats: ServerStats::new(),
         pending: Mutex::new(VecDeque::new()),
         wakeup: Condvar::new(),
@@ -588,7 +600,7 @@ pub(crate) fn serve_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunSta
     if args.optional("connect").is_some() {
         return client_cmd(args, out);
     }
-    let net = load_network(args)?;
+    let (net, preloaded) = load_network_ex(args)?;
     let options = serve_options_from_flags(args)?;
     let conn_deadline_ms = match args.optional("conn-deadline-ms") {
         None => None,
@@ -607,7 +619,7 @@ pub(crate) fn serve_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunSta
         "off".to_string()
     };
     let max_inflight = cfg.options.max_inflight;
-    let handle = start(net, cfg)?;
+    let handle = start_with_index(net, cfg, preloaded)?;
     // One greppable line with the resolved address: scripts (and the CI
     // smoke) parse the ephemeral port out of it.
     writeln!(

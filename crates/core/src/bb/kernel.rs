@@ -19,7 +19,7 @@
 use super::BbOptions;
 use crate::candidates::Candidate;
 use ktg_common::{FixedBitSet, VertexId};
-use ktg_graph::CsrGraph;
+use ktg_graph::Adjacency;
 
 /// How the engine answers k-line conflict questions.
 #[derive(Clone, Debug)]
@@ -50,7 +50,7 @@ impl ConflictKernel {
     /// Builds the kernel for a query: bitmaps when the candidate set fits
     /// under `opts.bitmap_threshold` (and the threshold is non-zero),
     /// otherwise the oracle path.
-    pub fn build(graph: &CsrGraph, cands: &[Candidate], k: u32, opts: &BbOptions) -> Self {
+    pub fn build<A: Adjacency + Sync>(graph: &A, cands: &[Candidate], k: u32, opts: &BbOptions) -> Self {
         if !Self::wants_bitmap(cands.len(), opts) {
             return ConflictKernel::Oracle;
         }
@@ -86,7 +86,7 @@ impl ConflictKernel {
 mod tests {
     use super::*;
 
-    fn figure1_parts() -> (CsrGraph, Vec<Candidate>) {
+    fn figure1_parts() -> (ktg_graph::GraphStore, Vec<Candidate>) {
         let net = crate::fixtures::figure1();
         let query = crate::query::KtgQuery::new(
             net.query_keywords(["SN", "QP", "DQ", "GQ", "GD"]).unwrap(),

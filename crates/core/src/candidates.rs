@@ -7,7 +7,7 @@
 //! tiebreak) — so the hot loop never touches the graph or keyword arenas.
 
 use ktg_common::VertexId;
-use ktg_graph::CsrGraph;
+use ktg_graph::Adjacency;
 use ktg_keywords::QueryMasks;
 
 /// A qualified candidate member.
@@ -25,7 +25,7 @@ pub struct Candidate {
 /// `out`, clearing it first. Taking the vector by `&mut` (the
 /// [`ktg_graph::BfsScratch`] idiom) lets the batched query executor
 /// recycle one pooled allocation across every query a worker serves.
-pub fn collect(graph: &CsrGraph, masks: &QueryMasks, out: &mut Vec<Candidate>) {
+pub fn collect<A: Adjacency>(graph: &A, masks: &QueryMasks, out: &mut Vec<Candidate>) {
     out.clear();
     out.extend(masks.candidates().iter().map(|&v| {
         let mask = masks.mask(v);
@@ -36,7 +36,7 @@ pub fn collect(graph: &CsrGraph, masks: &QueryMasks, out: &mut Vec<Candidate>) {
 
 /// [`collect`] into a freshly allocated vector — the convenience form for
 /// one-shot callers.
-pub fn collect_vec(graph: &CsrGraph, masks: &QueryMasks) -> Vec<Candidate> {
+pub fn collect_vec<A: Adjacency>(graph: &A, masks: &QueryMasks) -> Vec<Candidate> {
     let mut out = Vec::with_capacity(masks.candidates().len());
     collect(graph, masks, &mut out);
     out
@@ -45,6 +45,7 @@ pub fn collect_vec(graph: &CsrGraph, masks: &QueryMasks) -> Vec<Candidate> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ktg_graph::CsrGraph;
     use ktg_keywords::{InvertedIndex, KeywordId, QueryKeywords, VertexKeywords};
 
     #[test]

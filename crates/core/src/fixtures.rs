@@ -30,7 +30,7 @@
 
 use crate::network::AttributedGraph;
 use ktg_common::VertexId;
-use ktg_graph::{CsrGraph, GraphBuilder};
+use ktg_graph::{Adjacency, GraphBuilder};
 use ktg_index::{DistanceOracle, ExactOracle};
 use ktg_keywords::{VertexKeywordsBuilder, Vocabulary};
 
@@ -101,7 +101,7 @@ pub fn figure1() -> AttributedGraph {
 
 /// Asserts that `members` form a k-distance group of the graph
 /// (test/diagnostic helper; panics with a readable message otherwise).
-pub fn assert_k_distance(graph: &CsrGraph, members: &[VertexId], k: u32) {
+pub fn assert_k_distance<A: Adjacency>(graph: &A, members: &[VertexId], k: u32) {
     let oracle = ExactOracle::build(graph);
     for (i, &u) in members.iter().enumerate() {
         for &v in &members[i + 1..] {
@@ -120,14 +120,14 @@ mod tests {
     #[test]
     fn u0_neighbors_match_paper() {
         let net = figure1();
-        let ns: Vec<u32> = net.graph().neighbors(VertexId(0)).iter().map(|v| v.0).collect();
+        let ns: Vec<u32> = net.graph().neighbors_vec(VertexId(0)).iter().map(|v| v.0).collect();
         assert_eq!(ns, vec![1, 2, 3, 4, 9, 11]);
     }
 
     #[test]
     fn u3_neighbors_and_levels_match_paper() {
         let net = figure1();
-        let ns: Vec<u32> = net.graph().neighbors(VertexId(3)).iter().map(|v| v.0).collect();
+        let ns: Vec<u32> = net.graph().neighbors_vec(VertexId(3)).iter().map(|v| v.0).collect();
         assert_eq!(ns, vec![0, 2, 4, 9], "u3's 1-hop list from §V-A");
         // u3's only 3-hop neighbor is u5; eccentricity 3.
         let oracle = ExactOracle::build(net.graph());

@@ -6,13 +6,13 @@
 //! algorithm modules take it by reference.
 
 use ktg_common::{Result, VertexId};
-use ktg_graph::CsrGraph;
+use ktg_graph::{CsrGraph, GraphFormat, GraphStore};
 use ktg_keywords::{InvertedIndex, QueryKeywords, QueryMasks, VertexKeywords, Vocabulary};
 
 /// An attributed social network `G = (V, E, κ)`.
 #[derive(Clone, Debug)]
 pub struct AttributedGraph {
-    graph: CsrGraph,
+    graph: GraphStore,
     vocab: Vocabulary,
     keywords: VertexKeywords,
     inverted: InvertedIndex,
@@ -25,6 +25,16 @@ impl AttributedGraph {
     /// Debug-panics if the keyword arena covers a different number of
     /// vertices than the graph.
     pub fn new(graph: CsrGraph, vocab: Vocabulary, keywords: VertexKeywords) -> Self {
+        Self::with_store(GraphStore::from(graph), vocab, keywords)
+    }
+
+    /// Assembles a network over an explicit topology store — the entry
+    /// point for the compressed format and for reloaded bundles.
+    ///
+    /// # Panics
+    /// Debug-panics if the keyword arena covers a different number of
+    /// vertices than the graph.
+    pub fn with_store(graph: GraphStore, vocab: Vocabulary, keywords: VertexKeywords) -> Self {
         debug_assert_eq!(
             graph.num_vertices(),
             keywords.num_vertices(),
@@ -36,8 +46,14 @@ impl AttributedGraph {
 
     /// The social graph.
     #[inline]
-    pub fn graph(&self) -> &CsrGraph {
+    pub fn graph(&self) -> &GraphStore {
         &self.graph
+    }
+
+    /// The topology storage format.
+    #[inline]
+    pub fn graph_format(&self) -> GraphFormat {
+        self.graph.format()
     }
 
     /// The keyword vocabulary `κ`.
@@ -93,7 +109,8 @@ impl AttributedGraph {
                 kb.add(VertexId::new(new), k);
             }
         }
-        let net = AttributedGraph::new(sub.graph.clone(), self.vocab.clone(), kb.build());
+        let store = GraphStore::from_csr(sub.graph.clone(), self.graph.format());
+        let net = AttributedGraph::with_store(store, self.vocab.clone(), kb.build());
         (net, sub)
     }
 

@@ -50,7 +50,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use ktg_common::fault::{self, FaultSite};
 use ktg_common::parallel::{scope_join, worker_count};
 use ktg_common::{CompletionStatus, FixedBitSet, Pool, PoolGuard, Stopwatch, VertexId};
-use ktg_graph::{CsrGraph, DynamicGraph};
+use ktg_graph::{Adjacency, DynamicGraph, GraphStore};
 use ktg_index::{
     conflict_bitmaps_cached, kline_conflict_bitmaps, pll_conflict_bitmaps_into, DistanceOracle,
     DynamicNlrnl, KernelScratch, NeighborhoodCache, NlrnlIndex, PllIndex,
@@ -245,11 +245,26 @@ pub enum ServeOracle {
 }
 
 impl ServeOracle {
-    fn new(kind: OracleKind, graph: &CsrGraph) -> Self {
+    /// Builds the session oracle, reusing a pre-built NLRNL index (a bundle reload)
+    /// instead of reconstructing it. A prebuilt index under the PLL
+    /// oracle, or one covering a different vertex count, is ignored and
+    /// the index is rebuilt — the session must always open consistent.
+    fn with_prebuilt<A: Adjacency + Sync>(
+        kind: OracleKind,
+        graph: &A,
+        prebuilt: Option<NlrnlIndex>,
+    ) -> Self {
         match kind {
-            OracleKind::Nlrnl => ServeOracle::Nlrnl(DynamicNlrnl::new(graph)),
+            OracleKind::Nlrnl => {
+                if let Some(index) = prebuilt {
+                    if let Ok(d) = DynamicNlrnl::with_index(graph, index) {
+                        return ServeOracle::Nlrnl(d);
+                    }
+                }
+                ServeOracle::Nlrnl(DynamicNlrnl::new(graph))
+            }
             OracleKind::Pll => ServeOracle::Pll {
-                graph: DynamicGraph::from_csr(graph),
+                graph: DynamicGraph::from_graph(graph),
                 index: PllIndex::build_parallel(graph),
             },
         }
@@ -388,7 +403,17 @@ pub struct ServeSession {
 impl ServeSession {
     /// Opens a session over `net` with the given serving options.
     pub fn new(net: AttributedGraph, options: ServeOptions) -> Self {
-        let oracle = ServeOracle::new(options.oracle, net.graph());
+        Self::with_index(net, options, None)
+    }
+
+    /// Opens a session reusing a pre-built NLRNL index (the bundle-reload
+    /// path; see [`ServeOracle::with_prebuilt`] for the fallback rules).
+    pub fn with_index(
+        net: AttributedGraph,
+        options: ServeOptions,
+        index: Option<NlrnlIndex>,
+    ) -> Self {
+        let oracle = ServeOracle::with_prebuilt(options.oracle, net.graph(), index);
         ServeSession {
             oracle,
             epoch: 0,
@@ -514,8 +539,8 @@ impl ServeSession {
         let applied = changed.unwrap_or(false);
         if applied {
             self.epoch += 1;
-            self.net = AttributedGraph::new(
-                self.oracle.graph().to_csr(),
+            self.net = AttributedGraph::with_store(
+                GraphStore::from_csr(self.oracle.graph().to_csr(), self.net.graph().format()),
                 self.net.vocab().clone(),
                 self.net.keywords().clone(),
             );
@@ -1078,7 +1103,7 @@ ktg terms=SN,QP,DQ,GQ,GD p=3 k=1 n=2
         let ItemOutcome::Ktg(after) = &outcomes[2] else { panic!("expected ktg") };
         assert!(!after.cached, "update must invalidate the cached answer");
         // Post-update answer matches a fresh solve against the new graph.
-        let mut dyn_g = DynamicGraph::from_csr(net.graph());
+        let mut dyn_g = DynamicGraph::from_graph(net.graph());
         dyn_g.insert_edge(VertexId(0), VertexId(5)).unwrap();
         let mutated = AttributedGraph::new(
             dyn_g.to_csr(),

@@ -7,6 +7,7 @@
 //! vocabulary. Implemented from scratch on the workspace's own seeded
 //! PRNG (`ktg_common::rng` — the build is offline and dependency-free).
 
+use ktg_common::rng::SplitMix64;
 use ktg_common::{SeededRng, VertexId};
 use ktg_keywords::{KeywordId, VertexKeywords, VertexKeywordsBuilder, Vocabulary};
 
@@ -72,18 +73,7 @@ pub fn assign_zipf(
     let mut builder = VertexKeywordsBuilder::new(num_vertices);
     let mut chosen: Vec<usize> = Vec::with_capacity(model.max_per_vertex);
     for v in 0..num_vertices {
-        let count = rng.gen_range(model.min_per_vertex..=model.max_per_vertex);
-        chosen.clear();
-        // Rejection-sample distinct keywords; the head is hot so a few
-        // retries are expected.
-        let mut guard = 0;
-        while chosen.len() < count && guard < 64 * count {
-            guard += 1;
-            let k = sampler.sample(&mut rng);
-            if !chosen.contains(&k) {
-                chosen.push(k);
-            }
-        }
+        sample_keyword_set(&sampler, model, &mut rng, &mut chosen);
         for &k in &chosen {
             builder.add(VertexId::new(v), KeywordId(k as u32));
         }
@@ -91,9 +81,99 @@ pub fn assign_zipf(
     (vocab, builder.build())
 }
 
+
+/// Samples one vertex's distinct keyword set into `chosen` (cleared
+/// first) — the shared inner loop of both assignment paths.
+fn sample_keyword_set(
+    sampler: &ZipfSampler,
+    model: &KeywordModel,
+    rng: &mut SeededRng,
+    chosen: &mut Vec<usize>,
+) {
+    let count = rng.gen_range(model.min_per_vertex..=model.max_per_vertex);
+    chosen.clear();
+    // Rejection-sample distinct keywords; the head is hot so a few
+    // retries are expected.
+    let mut guard = 0;
+    while chosen.len() < count && guard < 64 * count {
+        guard += 1;
+        let k = sampler.sample(rng);
+        if !chosen.contains(&k) {
+            chosen.push(k);
+        }
+    }
+}
+
+/// Chunk-order-independent Zipf assignment: every vertex's keyword set is
+/// drawn from an RNG derived from `(seed, v)`, so any vertex range can be
+/// generated in isolation (the streaming 10M-vertex pipeline generates
+/// keywords alongside graph chunks) and concatenating ranges reproduces
+/// the whole-graph call bit for bit.
+pub fn assign_zipf_chunked(
+    num_vertices: usize,
+    model: &KeywordModel,
+    seed: u64,
+) -> (Vocabulary, VertexKeywords) {
+    let vocab = Vocabulary::synthetic(model.vocab_size);
+    let sampler = ZipfSampler::new(model.vocab_size, model.zipf_exponent);
+    let mut builder = VertexKeywordsBuilder::new(num_vertices);
+    assign_zipf_range(&sampler, model, seed, 0..num_vertices, &mut builder);
+    (vocab, builder.build())
+}
+
+/// The range form of [`assign_zipf_chunked`]: fills `builder` for
+/// `vertices` only. Callers streaming a huge graph invoke this once per
+/// chunk; the per-vertex derived seeds make the output identical to one
+/// whole-range call.
+pub fn assign_zipf_range(
+    sampler: &ZipfSampler,
+    model: &KeywordModel,
+    seed: u64,
+    vertices: std::ops::Range<usize>,
+    builder: &mut VertexKeywordsBuilder,
+) {
+    assert!(model.min_per_vertex <= model.max_per_vertex, "inverted per-vertex range");
+    assert!(model.vocab_size >= model.max_per_vertex, "vocabulary smaller than a keyword set");
+    let mut chosen: Vec<usize> = Vec::with_capacity(model.max_per_vertex);
+    for v in vertices {
+        let mut sm = SplitMix64::new(seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = SeededRng::seed_from_u64(sm.next_u64());
+        sample_keyword_set(sampler, model, &mut rng, &mut chosen);
+        for &k in &chosen {
+            builder.add(VertexId::new(v), KeywordId(k as u32));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+
+    #[test]
+    fn chunked_assignment_is_range_invariant() {
+        let model = KeywordModel { vocab_size: 50, min_per_vertex: 2, max_per_vertex: 4, zipf_exponent: 1.0 };
+        let (vocab, whole) = assign_zipf_chunked(40, &model, 77);
+        assert_eq!(vocab.len(), 50);
+        let sampler = ZipfSampler::new(model.vocab_size, model.zipf_exponent);
+        let mut builder = VertexKeywordsBuilder::new(40);
+        for chunk in [0..13usize, 13..14, 14..40] {
+            assign_zipf_range(&sampler, &model, 77, chunk, &mut builder);
+        }
+        assert_eq!(builder.build(), whole, "chunk boundaries must not matter");
+        let (_, reseeded) = assign_zipf_chunked(40, &model, 78);
+        assert_ne!(reseeded, whole, "seed must matter");
+    }
+
+    #[test]
+    fn chunked_assignment_respects_bounds() {
+        let model = KeywordModel { vocab_size: 30, min_per_vertex: 1, max_per_vertex: 3, zipf_exponent: 1.1 };
+        let (_, vk) = assign_zipf_chunked(200, &model, 5);
+        for v in 0..200 {
+            let len = vk.keywords(VertexId::new(v)).len();
+            assert!((1..=3).contains(&len), "v{v} has {len} keywords");
+        }
+    }
 
     #[test]
     fn sampler_is_head_heavy() {

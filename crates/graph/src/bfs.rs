@@ -6,7 +6,7 @@
 //! all entry points take a reusable [`BfsScratch`]: the frontier vectors are
 //! recycled and the visited set is an epoch marker with O(1) reset.
 
-use crate::csr::{Adjacency, CsrGraph};
+use crate::csr::Adjacency;
 use ktg_common::{EpochMarker, VertexId};
 
 /// Reusable scratch space for BFS traversals over graphs with at most the
@@ -70,12 +70,13 @@ pub fn bfs_levels<A: Adjacency, F>(
         scratch.next.clear();
         for i in 0..scratch.frontier.len() {
             let u = scratch.frontier[i];
-            for &v in graph.neighbors(u) {
-                if scratch.visited.mark_vertex(v) {
+            let (visited, next) = (&mut scratch.visited, &mut scratch.next);
+            graph.for_each_neighbor(u, |v| {
+                if visited.mark_vertex(v) {
                     visit(v, depth);
-                    scratch.next.push(v);
+                    next.push(v);
                 }
-            }
+            });
         }
         std::mem::swap(&mut scratch.frontier, &mut scratch.next);
     }
@@ -107,14 +108,18 @@ pub fn distance_bounded<A: Adjacency>(
         scratch.next.clear();
         for i in 0..scratch.frontier.len() {
             let x = scratch.frontier[i];
-            for &y in graph.neighbors(x) {
-                if scratch.visited.mark_vertex(y) {
+            let (visited, next) = (&mut scratch.visited, &mut scratch.next);
+            graph.for_each_neighbor(x, |y| {
+                if visited.mark_vertex(y) {
                     if y == v {
                         found = Some(depth);
-                        break 'outer;
+                    } else {
+                        next.push(y);
                     }
-                    scratch.next.push(y);
                 }
+            });
+            if found.is_some() {
+                break 'outer;
             }
         }
         std::mem::swap(&mut scratch.frontier, &mut scratch.next);
@@ -167,11 +172,12 @@ where
         let mut next: Vec<VertexId> = Vec::new();
         for i in 0..scratch.frontier.len() {
             let u = scratch.frontier[i];
-            for &v in graph.neighbors(u) {
-                if scratch.visited.mark_vertex(v) {
+            let visited = &mut scratch.visited;
+            graph.for_each_neighbor(u, |v| {
+                if visited.mark_vertex(v) {
                     next.push(v);
                 }
-            }
+            });
         }
         if next.is_empty() {
             break;
@@ -189,11 +195,11 @@ where
 /// All-pairs hop distances by repeated BFS. O(n·m) — for tests and small
 /// ground-truth computations only. `dist[u][v] == u32::MAX` means
 /// unreachable.
-pub fn all_pairs_distances(graph: &CsrGraph) -> Vec<Vec<u32>> {
+pub fn all_pairs_distances<A: Adjacency>(graph: &A) -> Vec<Vec<u32>> {
     let n = graph.num_vertices();
     let mut scratch = BfsScratch::new(n);
     let mut dist = vec![vec![u32::MAX; n]; n];
-    for u in graph.vertices() {
+    for u in ktg_common::id::vertex_range(n) {
         dist[u.index()][u.index()] = 0;
         let row = &mut dist[u.index()];
         bfs_levels(graph, u, usize::MAX, &mut scratch, |v, d| {
@@ -214,6 +220,7 @@ pub fn eccentricity<A: Adjacency>(graph: &A, source: VertexId, scratch: &mut Bfs
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrGraph;
 
     /// 0-1-2-3 path plus isolated 4.
     fn fixture() -> CsrGraph {

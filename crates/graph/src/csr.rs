@@ -10,22 +10,46 @@ use ktg_common::{KtgError, Result, VertexId};
 
 /// Read access to an undirected graph's adjacency structure.
 ///
-/// Both [`CsrGraph`] and [`crate::DynamicGraph`] implement this, so
-/// traversals (BFS, component labelling) and index maintenance run over
-/// either representation.
+/// [`CsrGraph`], [`crate::CompressedCsr`], [`crate::GraphStore`] and
+/// [`crate::DynamicGraph`] all implement this, so traversals (BFS,
+/// component labelling) and index construction run over any
+/// representation. Neighbor access is callback-based
+/// ([`Adjacency::for_each_neighbor`]) rather than slice-based so that
+/// compressed representations, which decode lists on the fly, fit
+/// behind the same trait; implementations must visit neighbors in
+/// strictly ascending vertex order (the invariant every flat list
+/// already keeps), which is what makes traversal results identical
+/// across representations.
 pub trait Adjacency {
     /// Number of vertices.
     fn num_vertices(&self) -> usize;
-    /// The sorted neighbor list of `v`.
-    fn neighbors(&self, v: VertexId) -> &[VertexId];
+    /// Degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+    /// Calls `f` once per neighbor of `v`, in ascending vertex order.
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, f: F);
+    /// Number of undirected edges. The default sums degrees; concrete
+    /// graphs override it with their O(1) count.
+    fn num_edges(&self) -> usize {
+        let mut half = 0usize;
+        for v in ktg_common::id::vertex_range(self.num_vertices()) {
+            half += self.degree(v);
+        }
+        half / 2
+    }
 }
 
 impl<A: Adjacency + ?Sized> Adjacency for &A {
     fn num_vertices(&self) -> usize {
         (**self).num_vertices()
     }
-    fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        (**self).neighbors(v)
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, f: F) {
+        (**self).for_each_neighbor(v, f)
+    }
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
     }
 }
 
@@ -120,6 +144,67 @@ impl CsrGraph {
             + self.neighbors.capacity() * std::mem::size_of::<VertexId>()
     }
 
+    /// The raw offset table (`n + 1` entries), for bulk persistence.
+    pub fn raw_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbor array, for bulk persistence.
+    pub fn raw_neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// Reassembles a graph from bulk-loaded parts, validating the CSR
+    /// invariants in O(n + m): monotonic offsets covering the neighbor
+    /// array, sorted duplicate-free lists, in-range ids, no self-loops.
+    /// Symmetry is implied for data produced by [`Self::raw_offsets`] /
+    /// [`Self::raw_neighbors`] and is only re-checked in debug builds —
+    /// the persistence layer's checksum guards against corruption.
+    ///
+    /// # Errors
+    /// Returns [`KtgError::InvalidInput`] when any invariant fails.
+    pub fn from_sorted_parts(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Result<Self> {
+        if offsets.is_empty() {
+            return Err(KtgError::input("CSR offset table must have n + 1 entries"));
+        }
+        if offsets[0] != 0 || *offsets.last().unwrap_or(&0) != neighbors.len() as u64 {
+            return Err(KtgError::input(format!(
+                "CSR offsets must span 0..{} (got {}..{:?})",
+                neighbors.len(),
+                offsets[0],
+                offsets.last()
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(KtgError::input("CSR offset table is not monotonic"));
+        }
+        let n = offsets.len() - 1;
+        let graph = CsrGraph { offsets, neighbors };
+        for v in graph.vertices() {
+            let i = v.index();
+            let (s, e) = (graph.offsets[i] as usize, graph.offsets[i + 1] as usize);
+            let list = &graph.neighbors[s..e];
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(KtgError::input(format!(
+                    "neighbor list of {v} is not sorted+deduplicated"
+                )));
+            }
+            if let Some(&last) = list.last() {
+                if last.index() >= n {
+                    return Err(KtgError::input(format!(
+                        "neighbor {last} of {v} out of range for {n} vertices"
+                    )));
+                }
+            }
+            if list.binary_search(&v).is_ok() {
+                return Err(KtgError::input(format!("self-loop at {v}")));
+            }
+        }
+        #[cfg(debug_assertions)]
+        graph.check_invariants();
+        Ok(graph)
+    }
+
     #[cfg(debug_assertions)]
     fn check_invariants(&self) {
         for u in self.vertices() {
@@ -142,8 +227,18 @@ impl Adjacency for CsrGraph {
         CsrGraph::num_vertices(self)
     }
     #[inline]
-    fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        CsrGraph::neighbors(self, v)
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+    #[inline]
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
+        for &w in CsrGraph::neighbors(self, v) {
+            f(w);
+        }
+    }
+    #[inline]
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
     }
 }
 

@@ -129,8 +129,18 @@ impl DynamicGraph {
 
     /// Thaws a [`CsrGraph`] into mutable form.
     pub fn from_csr(graph: &CsrGraph) -> Self {
-        let adj: Vec<Vec<VertexId>> =
-            graph.vertices().map(|v| graph.neighbors(v).to_vec()).collect();
+        Self::from_graph(graph)
+    }
+
+    /// Thaws any [`Adjacency`] (e.g. a compressed graph) into mutable form.
+    pub fn from_graph<A: Adjacency>(graph: &A) -> Self {
+        let adj: Vec<Vec<VertexId>> = ktg_common::id::vertex_range(graph.num_vertices())
+            .map(|v| {
+                let mut ns = Vec::with_capacity(graph.degree(v));
+                graph.for_each_neighbor(v, |w| ns.push(w));
+                ns
+            })
+            .collect();
         DynamicGraph { adj, num_edges: graph.num_edges() }
     }
 }
@@ -141,8 +151,18 @@ impl Adjacency for DynamicGraph {
         DynamicGraph::num_vertices(self)
     }
     #[inline]
-    fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        DynamicGraph::neighbors(self, v)
+    fn degree(&self, v: VertexId) -> usize {
+        DynamicGraph::degree(self, v)
+    }
+    #[inline]
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
+        for &w in DynamicGraph::neighbors(self, v) {
+            f(w);
+        }
+    }
+    #[inline]
+    fn num_edges(&self) -> usize {
+        DynamicGraph::num_edges(self)
     }
 }
 

@@ -125,7 +125,7 @@ fn parse_ktg_header(line: &str) -> Option<usize> {
 
 /// Writes a graph as a SNAP-style edge list (dense ids, one edge per line,
 /// canonical `u < v` orientation) with a leading comment header.
-pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> Result<()> {
+pub fn write_edge_list<A: crate::Adjacency, W: Write>(graph: &A, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(
         w,
@@ -133,8 +133,18 @@ pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> Result<()> {
         graph.num_vertices(),
         graph.num_edges()
     )?;
-    for (u, v) in graph.edges() {
-        writeln!(w, "{u}\t{v}")?;
+    for u in ktg_common::id::vertex_range(graph.num_vertices()) {
+        let mut err = None;
+        graph.for_each_neighbor(u, |v| {
+            if u < v && err.is_none() {
+                if let Err(e) = writeln!(w, "{u}\t{v}") {
+                    err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e.into());
+        }
     }
     w.flush()?;
     Ok(())

@@ -6,7 +6,8 @@
 //! reports.
 
 use crate::bfs::{bfs_levels, BfsScratch};
-use crate::csr::CsrGraph;
+use crate::csr::Adjacency;
+use ktg_common::id::vertex_range;
 use ktg_common::VertexId;
 
 /// Summary statistics of a graph's degree distribution.
@@ -23,12 +24,12 @@ pub struct DegreeStats {
 }
 
 /// Computes degree statistics (O(n log n) for the median sort).
-pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+pub fn degree_stats<A: Adjacency>(graph: &A) -> DegreeStats {
     let n = graph.num_vertices();
     if n == 0 {
         return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0 };
     }
-    let mut degrees: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+    let mut degrees: Vec<usize> = vertex_range(n).map(|v| graph.degree(v)).collect();
     degrees.sort_unstable();
     DegreeStats {
         min: degrees[0],
@@ -40,7 +41,11 @@ pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
 
 /// The hop histogram from a single source: `hist[d - 1]` counts vertices at
 /// exact distance `d` (source excluded; trailing zeros trimmed).
-pub fn hop_histogram(graph: &CsrGraph, source: VertexId, scratch: &mut BfsScratch) -> Vec<usize> {
+pub fn hop_histogram<A: Adjacency>(
+    graph: &A,
+    source: VertexId,
+    scratch: &mut BfsScratch,
+) -> Vec<usize> {
     let mut hist: Vec<usize> = Vec::new();
     bfs_levels(graph, source, usize::MAX, scratch, |_, d| {
         let d = d as usize;
@@ -63,7 +68,7 @@ pub struct HopStats {
 }
 
 /// Samples hop statistics. `samples` is clamped to `[1, n]`.
-pub fn sample_hop_stats(graph: &CsrGraph, samples: usize) -> HopStats {
+pub fn sample_hop_stats<A: Adjacency>(graph: &A, samples: usize) -> HopStats {
     let n = graph.num_vertices();
     if n == 0 {
         return HopStats { max_hops: 0, mean_hops: 0.0 };
@@ -89,7 +94,7 @@ pub fn sample_hop_stats(graph: &CsrGraph, samples: usize) -> HopStats {
 }
 
 /// One-line human-readable summary used by examples and the bench harness.
-pub fn summary(graph: &CsrGraph) -> String {
+pub fn summary<A: Adjacency>(graph: &A) -> String {
     let d = degree_stats(graph);
     format!(
         "|V|={} |E|={} deg(min/med/mean/max)={}/{}/{:.2}/{}",
@@ -105,6 +110,7 @@ pub fn summary(graph: &CsrGraph) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrGraph;
 
     fn star() -> CsrGraph {
         // Center 0 with leaves 1..=4.

@@ -1,0 +1,236 @@
+//! Runtime-selected graph representation.
+//!
+//! [`GraphStore`] is the format-erased topology handle the attributed
+//! network carries: flat [`CsrGraph`] (the default — fastest decode) or
+//! [`CompressedCsr`] (delta+varint blocks — smallest footprint,
+//! selected with `--graph-format compressed`). Everything downstream is
+//! generic over [`Adjacency`], so which variant sits inside changes
+//! space and decode cost, never results — the differential suites hold
+//! the two byte-identical.
+
+use crate::compressed::CompressedCsr;
+use crate::csr::{Adjacency, CsrGraph};
+use ktg_common::{KtgError, Result, VertexId};
+
+/// The selectable on-heap graph formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// Flat CSR arrays (`Vec<u64>` offsets + `Vec<u32>` neighbors).
+    Flat,
+    /// Delta + varint block-compressed CSR.
+    Compressed,
+}
+
+impl GraphFormat {
+    /// Parses a `--graph-format` flag value.
+    ///
+    /// # Errors
+    /// Returns [`KtgError::InvalidInput`] on unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "flat" => Ok(GraphFormat::Flat),
+            "compressed" => Ok(GraphFormat::Compressed),
+            other => Err(KtgError::input(format!(
+                "unknown graph format '{other}' (flat|compressed)"
+            ))),
+        }
+    }
+
+    /// The flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphFormat::Flat => "flat",
+            GraphFormat::Compressed => "compressed",
+        }
+    }
+}
+
+impl std::fmt::Display for GraphFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A graph in one of the runtime-selectable formats (module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphStore {
+    /// Flat CSR.
+    Flat(CsrGraph),
+    /// Compressed CSR.
+    Compressed(CompressedCsr),
+}
+
+impl GraphStore {
+    /// Wraps a flat graph in the requested format (compressing if asked).
+    pub fn from_csr(graph: CsrGraph, format: GraphFormat) -> Self {
+        match format {
+            GraphFormat::Flat => GraphStore::Flat(graph),
+            GraphFormat::Compressed => GraphStore::Compressed(CompressedCsr::from_csr(&graph)),
+        }
+    }
+
+    /// Which format this store holds.
+    pub fn format(&self) -> GraphFormat {
+        match self {
+            GraphStore::Flat(_) => GraphFormat::Flat,
+            GraphStore::Compressed(_) => GraphFormat::Compressed,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            GraphStore::Flat(g) => g.num_vertices(),
+            GraphStore::Compressed(g) => g.num_vertices(),
+        }
+    }
+
+    /// Iterates all vertices.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> {
+        ktg_common::id::vertex_range(self.num_vertices())
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        match self {
+            GraphStore::Flat(g) => g.num_edges(),
+            GraphStore::Compressed(g) => g.num_edges(),
+        }
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        match self {
+            GraphStore::Flat(g) => g.degree(v),
+            GraphStore::Compressed(g) => g.degree(v),
+        }
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        match self {
+            GraphStore::Flat(g) => g.has_edge(u, v),
+            GraphStore::Compressed(g) => g.has_edge(u, v),
+        }
+    }
+
+    /// The neighbor list of `v` as an owned vector (tests and cold paths;
+    /// hot paths use [`Adjacency::for_each_neighbor`]).
+    pub fn neighbors_vec(&self, v: VertexId) -> Vec<VertexId> {
+        match self {
+            GraphStore::Flat(g) => g.neighbors(v).to_vec(),
+            GraphStore::Compressed(g) => g.neighbors_vec(v),
+        }
+    }
+
+    /// A flat copy of the topology (decompressing if needed).
+    pub fn to_csr(&self) -> CsrGraph {
+        match self {
+            GraphStore::Flat(g) => g.clone(),
+            GraphStore::Compressed(g) => g.to_csr(),
+        }
+    }
+
+    /// The flat graph, when this store holds one.
+    pub fn as_flat(&self) -> Option<&CsrGraph> {
+        match self {
+            GraphStore::Flat(g) => Some(g),
+            GraphStore::Compressed(_) => None,
+        }
+    }
+
+    /// The compressed graph, when this store holds one.
+    pub fn as_compressed(&self) -> Option<&CompressedCsr> {
+        match self {
+            GraphStore::Flat(_) => None,
+            GraphStore::Compressed(g) => Some(g),
+        }
+    }
+
+    /// Approximate heap usage in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            GraphStore::Flat(g) => g.heap_bytes(),
+            GraphStore::Compressed(g) => g.heap_bytes(),
+        }
+    }
+}
+
+impl From<CsrGraph> for GraphStore {
+    fn from(graph: CsrGraph) -> Self {
+        GraphStore::Flat(graph)
+    }
+}
+
+impl Adjacency for GraphStore {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        GraphStore::num_vertices(self)
+    }
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        GraphStore::degree(self, v)
+    }
+    #[inline]
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, f: F) {
+        match self {
+            GraphStore::Flat(g) => g.for_each_neighbor(v, f),
+            GraphStore::Compressed(g) => g.for_each_neighbor(v, f),
+        }
+    }
+    #[inline]
+    fn num_edges(&self) -> usize {
+        GraphStore::num_edges(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]).unwrap()
+    }
+
+    #[test]
+    fn both_formats_expose_the_same_graph() {
+        let flat = GraphStore::from_csr(sample(), GraphFormat::Flat);
+        let comp = GraphStore::from_csr(sample(), GraphFormat::Compressed);
+        assert_eq!(flat.format(), GraphFormat::Flat);
+        assert_eq!(comp.format(), GraphFormat::Compressed);
+        assert_eq!(flat.num_vertices(), comp.num_vertices());
+        assert_eq!(flat.num_edges(), comp.num_edges());
+        for i in 0..flat.num_vertices() {
+            let v = VertexId::new(i);
+            assert_eq!(flat.degree(v), comp.degree(v));
+            assert_eq!(flat.neighbors_vec(v), comp.neighbors_vec(v));
+        }
+        assert!(flat.has_edge(VertexId(0), VertexId(5)));
+        assert!(comp.has_edge(VertexId(0), VertexId(5)));
+        assert!(!comp.has_edge(VertexId(0), VertexId(3)));
+        assert_eq!(comp.to_csr(), sample());
+        assert_eq!(flat, GraphStore::Flat(comp.to_csr()));
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(GraphFormat::parse("flat").unwrap(), GraphFormat::Flat);
+        assert_eq!(GraphFormat::parse("compressed").unwrap(), GraphFormat::Compressed);
+        assert!(GraphFormat::parse("zstd").is_err());
+        assert_eq!(GraphFormat::Compressed.to_string(), "compressed");
+    }
+
+    #[test]
+    fn accessors() {
+        let comp = GraphStore::from_csr(sample(), GraphFormat::Compressed);
+        assert!(comp.as_flat().is_none());
+        assert!(comp.as_compressed().is_some());
+        let flat: GraphStore = sample().into();
+        assert!(flat.as_flat().is_some());
+        assert!(flat.heap_bytes() > 0);
+    }
+}

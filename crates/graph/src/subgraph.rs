@@ -8,7 +8,8 @@
 
 use crate::bfs::{bfs_levels, BfsScratch};
 use crate::components::Components;
-use crate::csr::{CsrGraph, GraphBuilder};
+use crate::csr::{Adjacency, CsrGraph, GraphBuilder};
+use ktg_common::id::vertex_range;
 use ktg_common::VertexId;
 
 /// The result of a vertex-set restriction: the induced graph plus the
@@ -34,7 +35,7 @@ impl InducedSubgraph {
 
 /// Induces the subgraph on `keep` (original ids; duplicates ignored).
 /// New ids follow the ascending order of the kept original ids.
-pub fn induce(graph: &CsrGraph, keep: &[VertexId]) -> InducedSubgraph {
+pub fn induce<A: Adjacency>(graph: &A, keep: &[VertexId]) -> InducedSubgraph {
     let n = graph.num_vertices();
     let mut kept: Vec<VertexId> = keep.to_vec();
     kept.sort_unstable();
@@ -49,19 +50,19 @@ pub fn induce(graph: &CsrGraph, keep: &[VertexId]) -> InducedSubgraph {
     let mut builder = GraphBuilder::new(kept.len());
     for &old_u in &kept {
         let new_u = new_of[old_u.index()];
-        for &old_v in graph.neighbors(old_u) {
+        graph.for_each_neighbor(old_u, |old_v| {
             let new_v = new_of[old_v.index()];
             if new_v.is_valid() && new_u < new_v {
                 builder.add_edge_unchecked(new_u, new_v);
             }
-        }
+        });
     }
     InducedSubgraph { graph: builder.build(), old_of: kept, new_of }
 }
 
 /// Restricts to the largest connected component (ties broken by the
 /// smallest component label, i.e. the earliest-discovered component).
-pub fn largest_component(graph: &CsrGraph) -> InducedSubgraph {
+pub fn largest_component<A: Adjacency>(graph: &A) -> InducedSubgraph {
     let comps = Components::compute(graph);
     let mut best_label = 0u32;
     let mut best_size = 0usize;
@@ -71,8 +72,7 @@ pub fn largest_component(graph: &CsrGraph) -> InducedSubgraph {
             best_label = label;
         }
     }
-    let keep: Vec<VertexId> = graph
-        .vertices()
+    let keep: Vec<VertexId> = vertex_range(graph.num_vertices())
         .filter(|&v| comps.count() > 0 && comps.label(v) == best_label)
         .collect();
     induce(graph, &keep)
@@ -81,7 +81,7 @@ pub fn largest_component(graph: &CsrGraph) -> InducedSubgraph {
 /// Restricts to the ball of radius `hops` around `center` (inclusive) —
 /// the "ego-net expansion" used to cut working-set-sized samples out of
 /// large graphs.
-pub fn ball(graph: &CsrGraph, center: VertexId, hops: u32) -> InducedSubgraph {
+pub fn ball<A: Adjacency>(graph: &A, center: VertexId, hops: u32) -> InducedSubgraph {
     let mut keep = vec![center];
     let mut scratch = BfsScratch::new(graph.num_vertices());
     bfs_levels(graph, center, hops as usize, &mut scratch, |v, _| keep.push(v));

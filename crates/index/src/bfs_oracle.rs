@@ -9,12 +9,12 @@
 
 use crate::oracle::DistanceOracle;
 use ktg_common::{FxHashSet, VertexId};
-use ktg_graph::{bfs, BfsScratch, CsrGraph};
+use ktg_graph::{bfs, Adjacency, BfsScratch, CsrGraph};
 use std::sync::Mutex;
 
-/// Index-free distance oracle over a borrowed graph.
-pub struct BfsOracle<'g> {
-    graph: &'g CsrGraph,
+/// Index-free distance oracle over a borrowed graph (any [`Adjacency`]).
+pub struct BfsOracle<'g, G: Adjacency = CsrGraph> {
+    graph: &'g G,
     state: Mutex<MemoState>,
 }
 
@@ -26,9 +26,9 @@ struct MemoState {
     ball: FxHashSet<VertexId>,
 }
 
-impl<'g> BfsOracle<'g> {
+impl<'g, G: Adjacency> BfsOracle<'g, G> {
     /// Creates an oracle over `graph`.
-    pub fn new(graph: &'g CsrGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         BfsOracle {
             graph,
             state: Mutex::new(MemoState {
@@ -40,7 +40,7 @@ impl<'g> BfsOracle<'g> {
     }
 
     /// The underlying graph.
-    pub fn graph(&self) -> &CsrGraph {
+    pub fn graph(&self) -> &G {
         self.graph
     }
 
@@ -62,7 +62,7 @@ impl<'g> BfsOracle<'g> {
     }
 }
 
-impl DistanceOracle for BfsOracle<'_> {
+impl<G: Adjacency + Sync> DistanceOracle for BfsOracle<'_, G> {
     fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
         if u == v {
             return false; // Dis(u, u) = 0

@@ -9,7 +9,7 @@
 use crate::nlrnl::NlrnlIndex;
 use crate::oracle::DistanceOracle;
 use ktg_common::{Result, VertexId};
-use ktg_graph::{CsrGraph, DynamicGraph};
+use ktg_graph::{Adjacency, DynamicGraph};
 
 /// A mutable graph bundled with an always-consistent NLRNL index.
 pub struct DynamicNlrnl {
@@ -18,11 +18,28 @@ pub struct DynamicNlrnl {
 }
 
 impl DynamicNlrnl {
-    /// Builds from an initial graph.
-    pub fn new(graph: &CsrGraph) -> Self {
-        let graph = DynamicGraph::from_csr(graph);
+    /// Builds from an initial graph (any [`Adjacency`] representation).
+    pub fn new<A: Adjacency>(graph: &A) -> Self {
+        let graph = DynamicGraph::from_graph(graph);
         let index = NlrnlIndex::build(&graph);
         DynamicNlrnl { graph, index }
+    }
+
+    /// Builds from a graph plus a pre-built index over that exact graph
+    /// (the bundle-reload path: skip the per-vertex BFS construction).
+    ///
+    /// # Errors
+    /// [`ktg_common::KtgError::IndexMismatch`] when the index covers a
+    /// different vertex count than the graph.
+    pub fn with_index<A: Adjacency>(graph: &A, index: NlrnlIndex) -> Result<Self> {
+        if index.num_vertices() != graph.num_vertices() {
+            return Err(ktg_common::KtgError::IndexMismatch(format!(
+                "index covers {} vertices, graph has {}",
+                index.num_vertices(),
+                graph.num_vertices()
+            )));
+        }
+        Ok(DynamicNlrnl { graph: DynamicGraph::from_graph(graph), index })
     }
 
     /// The current graph.
@@ -97,6 +114,7 @@ impl DistanceOracle for DynamicNlrnl {
 mod tests {
     use super::*;
     use crate::exact::ExactOracle;
+    use ktg_graph::CsrGraph;
 
     fn check_consistency(d: &DynamicNlrnl) {
         let csr = d.graph().to_csr();

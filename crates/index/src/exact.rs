@@ -7,7 +7,7 @@
 
 use crate::oracle::DistanceOracle;
 use ktg_common::VertexId;
-use ktg_graph::{bfs, CsrGraph};
+use ktg_graph::{bfs, Adjacency};
 
 /// Exact distances from an all-pairs BFS table.
 #[derive(Clone, Debug)]
@@ -17,7 +17,7 @@ pub struct ExactOracle {
 
 impl ExactOracle {
     /// Builds the full distance table of `graph`.
-    pub fn build(graph: &CsrGraph) -> Self {
+    pub fn build<A: Adjacency>(graph: &A) -> Self {
         ExactOracle { dist: bfs::all_pairs_distances(graph) }
     }
 
@@ -47,6 +47,7 @@ impl DistanceOracle for ExactOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ktg_graph::CsrGraph;
 
     #[test]
     fn path_distances() {

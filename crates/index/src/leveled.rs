@@ -77,6 +77,45 @@ impl LeveledList {
         self.data.len()
     }
 
+    /// The concatenated level data (persistence).
+    #[inline]
+    pub fn raw_data(&self) -> &[VertexId] {
+        &self.data
+    }
+
+    /// The per-level end offsets (persistence).
+    #[inline]
+    pub fn raw_bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// Reassembles a list from its packed parts, validating that the
+    /// bounds are monotonic, the final bound covers `data` exactly, and
+    /// every level is strictly sorted.
+    ///
+    /// # Errors
+    /// [`ktg_common::KtgError::InvalidInput`] on any structural violation.
+    pub fn from_flat(data: Vec<VertexId>, bounds: Vec<u32>) -> ktg_common::Result<Self> {
+        let total = data.len();
+        if total > u32::MAX as usize {
+            return Err(ktg_common::KtgError::input("leveled list data exceeds u32 offsets"));
+        }
+        let mut prev = 0u32;
+        for &b in &bounds {
+            if b < prev || b as usize > total {
+                return Err(ktg_common::KtgError::input("leveled list bounds not monotonic"));
+            }
+            if !data[prev as usize..b as usize].windows(2).all(|w| w[0] < w[1]) {
+                return Err(ktg_common::KtgError::input("leveled list level not sorted"));
+            }
+            prev = b;
+        }
+        if bounds.last().copied().unwrap_or(0) as usize != total {
+            return Err(ktg_common::KtgError::input("leveled list bounds do not cover data"));
+        }
+        Ok(LeveledList { data: data.into_boxed_slice(), bounds: bounds.into_boxed_slice() })
+    }
+
     /// Heap bytes used by this list.
     pub fn heap_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<VertexId>()

@@ -20,7 +20,7 @@ use crate::leveled::LeveledList;
 use crate::oracle::DistanceOracle;
 use crate::space::{BuildStats, IndexSpace};
 use ktg_common::{parallel, EpochMarker, FxHashMap, Stopwatch, VertexId};
-use ktg_graph::{bfs, BfsScratch, CsrGraph};
+use ktg_graph::{bfs, Adjacency, BfsScratch, CsrGraph};
 use std::sync::{Mutex, MutexGuard};
 
 /// Number of expansion-cache shards. Expansion state is keyed by the
@@ -32,8 +32,8 @@ use std::sync::{Mutex, MutexGuard};
 const EXPANSION_SHARDS: usize = 16;
 
 /// The NL (h-hop neighbors list) index.
-pub struct NlIndex<'g> {
-    graph: &'g CsrGraph,
+pub struct NlIndex<'g, G: Adjacency = CsrGraph> {
+    graph: &'g G,
     /// Per-vertex `h` (0 for isolated vertices).
     h: Vec<u32>,
     /// Per-vertex stored levels `1..=h` (slot `i` ⇔ hop `i + 1`).
@@ -61,10 +61,10 @@ fn shard_of(u: VertexId) -> usize {
     ((u.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % EXPANSION_SHARDS
 }
 
-impl<'g> NlIndex<'g> {
+impl<'g, G: Adjacency + Sync> NlIndex<'g, G> {
     /// Builds the index with one full BFS per vertex, parallelized across
     /// available cores.
-    pub fn build(graph: &'g CsrGraph) -> Self {
+    pub fn build(graph: &'g G) -> Self {
         let start = Stopwatch::start();
         let n = graph.num_vertices();
         let mut h = vec![0u32; n];
@@ -244,11 +244,11 @@ impl<'g> NlIndex<'g> {
             };
             let mut next: Vec<VertexId> = Vec::new();
             for x in frontier {
-                for &y in self.graph.neighbors(x) {
+                self.graph.for_each_neighbor(x, |y| {
                     if marker.mark_vertex(y) {
                         next.push(y);
                     }
-                }
+                });
             }
             next.sort_unstable();
             let found = next.binary_search(&v).is_ok();
@@ -266,7 +266,7 @@ impl<'g> NlIndex<'g> {
     }
 }
 
-impl DistanceOracle for NlIndex<'_> {
+impl<G: Adjacency + Sync> DistanceOracle for NlIndex<'_, G> {
     fn farther_than(&self, u: VertexId, v: VertexId, k: u32) -> bool {
         self.check(u, v, k)
     }

@@ -65,36 +65,81 @@ impl NlrnlIndex {
     /// assert_eq!(idx.distance(VertexId(0), VertexId(3)), Some(3));
     /// ```
     pub fn build<A: Adjacency + Sync>(graph: &A) -> Self {
+        Self::build_with_threads(graph, parallel::worker_count())
+    }
+
+    /// Partitioned parallel construction with an explicit worker count.
+    ///
+    /// The vertex space is split into roughly `4 × threads` contiguous
+    /// ranges; worker `w` owns ranges `w, w + threads, w + 2·threads, …`
+    /// (interleaved static assignment, which evens out degree skew across
+    /// workers without work stealing or shared counters). Each range is
+    /// built independently and the per-range results are merged back
+    /// positionally, so the index is **byte-identical for every thread
+    /// count** — `build_with_threads(g, 1)` is the sequential reference.
+    pub fn build_with_threads<A: Adjacency + Sync>(graph: &A, threads: usize) -> Self {
         let start = Stopwatch::start();
         let n = graph.num_vertices();
+        let threads = threads.max(1);
+        let num_parts = (threads * 4).min(n.max(1));
+        let part_len = parallel::chunk_size(n, num_parts);
+
+        struct Partition {
+            base: usize,
+            c: Vec<u32>,
+            forward: Vec<LeveledList>,
+            reverse: Vec<LeveledList>,
+        }
+
+        let per_worker: Vec<Vec<Partition>> = parallel::scope_join((0..threads).map(|w| {
+            move || {
+                let mut scratch = BfsScratch::new(n);
+                let mut built = Vec::new();
+                let mut p = w;
+                while p * part_len < n {
+                    let base = p * part_len;
+                    let end = (base + part_len).min(n);
+                    let len = end - base;
+                    let mut part = Partition {
+                        base,
+                        c: Vec::with_capacity(len),
+                        forward: Vec::with_capacity(len),
+                        reverse: Vec::with_capacity(len),
+                    };
+                    for v in base..end {
+                        let (cv, fwd, rev) = build_vertex(graph, VertexId::new(v), &mut scratch);
+                        part.c.push(cv);
+                        part.forward.push(fwd);
+                        part.reverse.push(rev);
+                    }
+                    built.push(part);
+                    p += threads;
+                }
+                built
+            }
+        }));
+
+        // Positional merge: every partition lands at its own base offset,
+        // so arrival order is irrelevant and the result is deterministic.
         let mut c = vec![0u32; n];
         let mut forward: Vec<LeveledList> = vec![LeveledList::default(); n];
         let mut reverse: Vec<LeveledList> = vec![LeveledList::default(); n];
-
-        let chunk = parallel::chunk_size(n, parallel::worker_count());
-        let entries: usize = parallel::scope_join(
-            c.chunks_mut(chunk)
-                .zip(forward.chunks_mut(chunk).zip(reverse.chunks_mut(chunk)))
+        let mut entries = 0usize;
+        for part in per_worker.into_iter().flatten() {
+            let base = part.base;
+            for (off, ((cv, fwd), rev)) in part
+                .c
+                .into_iter()
+                .zip(part.forward)
+                .zip(part.reverse)
                 .enumerate()
-                .map(|(ci, (c_chunk, (f_chunk, r_chunk)))| {
-                    move || {
-                        let mut scratch = BfsScratch::new(n);
-                        let base = ci * chunk;
-                        let mut local_entries = 0usize;
-                        for off in 0..c_chunk.len() {
-                            let v = VertexId::new(base + off);
-                            let (cv, fwd, rev) = build_vertex(graph, v, &mut scratch);
-                            local_entries += fwd.total_len() + rev.total_len();
-                            c_chunk[off] = cv;
-                            f_chunk[off] = fwd;
-                            r_chunk[off] = rev;
-                        }
-                        local_entries
-                    }
-                }),
-        )
-        .into_iter()
-        .sum();
+            {
+                entries += fwd.total_len() + rev.total_len();
+                c[base + off] = cv;
+                forward[base + off] = fwd;
+                reverse[base + off] = rev;
+            }
+        }
 
         NlrnlIndex {
             n,
@@ -411,6 +456,39 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+
+    /// The partitioned parallel build must be byte-identical for every
+    /// worker count — serialize the index and compare the files.
+    #[test]
+    fn build_is_thread_count_independent() {
+        let mut rng = ktg_common::rng::SplitMix64::new(0xD15C_0CE4);
+        let n = 120u32;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for _ in 0..3 {
+                let v = (rng.next_u64() % n as u64) as u32;
+                if u != v {
+                    edges.push((u.min(v), u.max(v)));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let g = CsrGraph::from_edges(n as usize, &edges).unwrap();
+        let reference = {
+            let mut buf = Vec::new();
+            crate::persist::save_nlrnl(&NlrnlIndex::build_with_threads(&g, 1), &g, &mut buf)
+                .unwrap();
+            buf
+        };
+        for threads in [2usize, 3, 5, 8, 16] {
+            let mut buf = Vec::new();
+            crate::persist::save_nlrnl(&NlrnlIndex::build_with_threads(&g, threads), &g, &mut buf)
+                .unwrap();
+            assert_eq!(buf, reference, "threads={threads} diverged from sequential");
         }
     }
 

@@ -27,27 +27,48 @@
 //! The PLL labeling (magic `"KTGPLL__"`) shares the envelope — version,
 //! fingerprint, streaming checksum — with a per-vertex payload of
 //! `(hub rank, distance)` pairs sorted by rank.
+//!
+//! ## Bundles
+//!
+//! [`save_bundle`]/[`load_bundle`] persist a *whole attributed network* —
+//! topology (flat or compressed), keyword vocabulary + per-vertex
+//! keyword arena, and optionally the NLRNL index — as one file (magic
+//! `"KTGBNDL_"`). The payload is a sequence of length-prefixed sections
+//! whose arrays are written and read in bulk (one length word, then the
+//! raw little-endian element run), so reloading a pre-built 10M-vertex
+//! network is bounded by I/O, not per-entry parsing. The same streaming
+//! checksum and graph fingerprint guard the envelope; the fingerprint
+//! additionally binds the NLRNL section to the graph section it was
+//! built over.
 
 use crate::leveled::LeveledList;
 use crate::nlrnl::NlrnlIndex;
 use crate::pll::PllIndex;
 use crate::space::BuildStats;
+use ktg_common::id::vertex_range;
 use ktg_common::{KtgError, Result, VertexId};
-use ktg_graph::CsrGraph;
+use ktg_graph::{Adjacency, CompressedCsr, CsrGraph, GraphFormat, GraphStore};
+use ktg_keywords::{KeywordId, VertexKeywords, Vocabulary};
 use std::hash::Hasher;
 use std::io::{BufReader, BufWriter, Read, Write};
 
 const MAGIC: &[u8; 8] = b"KTGNLRNL";
 const PLL_MAGIC: &[u8; 8] = b"KTGPLL__";
+const BUNDLE_MAGIC: &[u8; 8] = b"KTGBNDL_";
 const VERSION: u32 = 1;
+
+/// Bundle section tags (fixed order: graph, keywords, optional index).
+const SECTION_GRAPH: u32 = 1;
+const SECTION_KEYWORDS: u32 = 2;
+const SECTION_NLRNL: u32 = 3;
 
 /// A fingerprint binding a persisted index to the graph it was built for:
 /// loading against a different graph is rejected.
-pub fn graph_fingerprint(graph: &CsrGraph) -> u64 {
+pub fn graph_fingerprint<A: Adjacency>(graph: &A) -> u64 {
     let mut h = ktg_common::FxHasher64::default();
     h.write_u64(graph.num_vertices() as u64);
     h.write_u64(graph.num_edges() as u64);
-    for v in graph.vertices() {
+    for v in vertex_range(graph.num_vertices()) {
         h.write_u32(graph.degree(v) as u32);
     }
     h.finish()
@@ -73,6 +94,12 @@ impl<W: Write> ChecksumWriter<W> {
     fn write_u64(&mut self, v: u64) -> Result<()> {
         self.hasher.write(&v.to_le_bytes());
         self.inner.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        self.hasher.write(bytes);
+        self.inner.write_all(bytes)?;
         Ok(())
     }
 
@@ -105,14 +132,46 @@ impl<R: Read> ChecksumReader<R> {
         Ok(u64::from_le_bytes(buf))
     }
 
+    /// Reads a whole length-prefixed section payload. The buffer grows
+    /// incrementally via `take`, so an over-length count from a corrupt
+    /// header hits EOF and errors instead of over-allocating.
+    fn read_section(&mut self, len: u64) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        (&mut self.inner).take(len).read_to_end(&mut buf)?;
+        if buf.len() as u64 != len {
+            return Err(KtgError::input("corrupt bundle: truncated section"));
+        }
+        self.hasher.write(&buf);
+        Ok(buf)
+    }
+
     fn checksum(&self) -> u64 {
         self.hasher.finish()
     }
 }
 
+/// Validates that deserialized component labels are dense in `0..count`
+/// (the invariant `Components::from_labels` assumes) without panicking on
+/// corrupt input.
+fn validate_component_labels(labels: &[u32]) -> Result<()> {
+    let n = labels.len();
+    if labels.iter().any(|&l| l as usize >= n.max(1)) {
+        return Err(KtgError::input("corrupt index: component label out of range"));
+    }
+    let count = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+    let mut seen = vec![false; count];
+    for &l in labels {
+        seen[l as usize] = true;
+    }
+    if seen.iter().any(|&s| !s) {
+        return Err(KtgError::input("corrupt index: component labels not dense"));
+    }
+    Ok(())
+}
+
 /// Serializes an NLRNL index. `graph` must be the graph it was built over
 /// (its fingerprint is embedded).
-pub fn save_nlrnl<W: Write>(index: &NlrnlIndex, graph: &CsrGraph, writer: W) -> Result<()> {
+pub fn save_nlrnl<A: Adjacency, W: Write>(index: &NlrnlIndex, graph: &A, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
     let mut cw = ChecksumWriter::new(&mut w);
@@ -147,7 +206,7 @@ pub fn save_nlrnl<W: Write>(index: &NlrnlIndex, graph: &CsrGraph, writer: W) -> 
 /// # Errors
 /// [`KtgError::InvalidInput`] on corruption or version mismatch;
 /// [`KtgError::IndexMismatch`] when the graph differs from build time.
-pub fn load_nlrnl<R: Read>(graph: &CsrGraph, reader: R) -> Result<NlrnlIndex> {
+pub fn load_nlrnl<A: Adjacency, R: Read>(graph: &A, reader: R) -> Result<NlrnlIndex> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -215,12 +274,13 @@ pub fn load_nlrnl<R: Read>(graph: &CsrGraph, reader: R) -> Result<NlrnlIndex> {
     if u64::from_le_bytes(buf) != expected {
         return Err(KtgError::input("corrupt index: checksum mismatch"));
     }
+    validate_component_labels(&components)?;
     Ok(NlrnlIndex::from_parts(n, c, forward, reverse, components))
 }
 
 /// Serializes a PLL labeling. `graph` must be the graph it was built over
 /// (its fingerprint is embedded).
-pub fn save_pll<W: Write>(index: &PllIndex, graph: &CsrGraph, writer: W) -> Result<()> {
+pub fn save_pll<A: Adjacency, W: Write>(index: &PllIndex, graph: &A, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
     w.write_all(PLL_MAGIC)?;
     let mut cw = ChecksumWriter::new(&mut w);
@@ -247,7 +307,7 @@ pub fn save_pll<W: Write>(index: &PllIndex, graph: &CsrGraph, writer: W) -> Resu
 /// # Errors
 /// [`KtgError::InvalidInput`] on corruption or version mismatch;
 /// [`KtgError::IndexMismatch`] when the graph differs from build time.
-pub fn load_pll<R: Read>(graph: &CsrGraph, reader: R) -> Result<PllIndex> {
+pub fn load_pll<A: Adjacency, R: Read>(graph: &A, reader: R) -> Result<PllIndex> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -307,6 +367,447 @@ pub fn load_pll<R: Read>(graph: &CsrGraph, reader: R) -> Result<PllIndex> {
         labels,
         BuildStats { traversals: n, entries, ..BuildStats::default() },
     ))
+}
+
+
+// ---------------------------------------------------------------------------
+// Bundles: graph + keywords + optional NLRNL in one file.
+// ---------------------------------------------------------------------------
+
+/// A fully reloaded attributed network (module docs, "Bundles").
+pub struct Bundle {
+    /// The topology, in the format it was saved with.
+    pub graph: GraphStore,
+    /// The keyword vocabulary.
+    pub vocab: Vocabulary,
+    /// The per-vertex keyword arena.
+    pub keywords: VertexKeywords,
+    /// The NLRNL index, when one was bundled.
+    pub index: Option<NlrnlIndex>,
+}
+
+/// Little-endian in-memory section encoder (bulk array runs).
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32_run(buf: &mut Vec<u8>, vals: impl ExactSizeIterator<Item = u32>) {
+    push_u64(buf, vals.len() as u64);
+    buf.reserve(vals.len() * 4);
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_u64_run(buf: &mut Vec<u8>, vals: &[u64]) {
+    push_u64(buf, vals.len() as u64);
+    buf.reserve(vals.len() * 8);
+    for &v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_byte_run(buf: &mut Vec<u8>, bytes: &[u8]) {
+    push_u64(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Cursor over one section's payload; every read is bounds-checked against
+/// the section length, so a corrupt count can never over-allocate past the
+/// bytes actually present.
+struct SectionCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SectionCursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        SectionCursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| KtgError::input("corrupt bundle: section over-read"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn read_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn read_len(&mut self) -> Result<usize> {
+        let len = self.read_u64()?;
+        usize::try_from(len).map_err(|_| KtgError::input("corrupt bundle: length overflows"))
+    }
+
+    fn read_u32_run(&mut self) -> Result<Vec<u32>> {
+        let count = self.read_len()?;
+        let bytes = self.take(count.checked_mul(4).ok_or_else(|| {
+            KtgError::input("corrupt bundle: length overflows")
+        })?)?;
+        Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    }
+
+    fn read_u64_run(&mut self) -> Result<Vec<u64>> {
+        let count = self.read_len()?;
+        let bytes = self.take(count.checked_mul(8).ok_or_else(|| {
+            KtgError::input("corrupt bundle: length overflows")
+        })?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(c);
+                u64::from_le_bytes(raw)
+            })
+            .collect())
+    }
+
+    fn read_byte_run(&mut self) -> Result<Vec<u8>> {
+        let count = self.read_len()?;
+        Ok(self.take(count)?.to_vec())
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(KtgError::input("corrupt bundle: trailing bytes in section"));
+        }
+        Ok(())
+    }
+}
+
+fn encode_graph_section(graph: &GraphStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match graph {
+        GraphStore::Flat(g) => {
+            push_u64_run(&mut buf, g.raw_offsets());
+            push_u32_run(&mut buf, g.raw_neighbors().iter().map(|v| v.0));
+        }
+        GraphStore::Compressed(g) => {
+            let (degrees, block_index, block_off, block_first, bytes, num_edges) = g.raw_parts();
+            push_u32_run(&mut buf, degrees.iter().copied());
+            push_u64_run(&mut buf, block_index);
+            push_u64_run(&mut buf, block_off);
+            push_u32_run(&mut buf, block_first.iter().copied());
+            push_byte_run(&mut buf, bytes);
+            push_u64(&mut buf, num_edges);
+        }
+    }
+    buf
+}
+
+fn decode_graph_section(payload: &[u8], format: GraphFormat) -> Result<GraphStore> {
+    let mut cur = SectionCursor::new(payload);
+    let store = match format {
+        GraphFormat::Flat => {
+            let offsets = cur.read_u64_run()?;
+            let neighbors = cur.read_u32_run()?.into_iter().map(VertexId).collect();
+            GraphStore::Flat(CsrGraph::from_sorted_parts(offsets, neighbors)?)
+        }
+        GraphFormat::Compressed => {
+            let degrees = cur.read_u32_run()?;
+            let block_index = cur.read_u64_run()?;
+            let block_off = cur.read_u64_run()?;
+            let block_first = cur.read_u32_run()?;
+            let bytes = cur.read_byte_run()?;
+            let num_edges = cur.read_u64()?;
+            GraphStore::Compressed(CompressedCsr::from_raw_parts(
+                degrees,
+                block_index,
+                block_off,
+                block_first,
+                bytes,
+                num_edges,
+            )?)
+        }
+    };
+    cur.finish()?;
+    Ok(store)
+}
+
+fn encode_keyword_section(vocab: &Vocabulary, keywords: &VertexKeywords) -> Vec<u8> {
+    let mut buf = Vec::new();
+    // Vocabulary: one concatenated UTF-8 blob plus term end offsets.
+    let mut term_ends: Vec<u64> = Vec::with_capacity(vocab.len());
+    let mut blob: Vec<u8> = Vec::new();
+    for term in vocab.terms() {
+        blob.extend_from_slice(term.as_bytes());
+        term_ends.push(blob.len() as u64);
+    }
+    push_u64_run(&mut buf, &term_ends);
+    push_byte_run(&mut buf, &blob);
+    // Per-vertex arena: offsets + keyword ids, both bulk.
+    push_u64_run(&mut buf, keywords.raw_offsets());
+    push_u32_run(&mut buf, keywords.raw_keywords().iter().map(|k| k.0));
+    buf
+}
+
+fn decode_keyword_section(payload: &[u8]) -> Result<(Vocabulary, VertexKeywords)> {
+    let mut cur = SectionCursor::new(payload);
+    let term_ends = cur.read_u64_run()?;
+    let blob = cur.read_byte_run()?;
+    let mut terms = Vec::with_capacity(term_ends.len());
+    let mut start = 0usize;
+    for &end in &term_ends {
+        let end = usize::try_from(end)
+            .ok()
+            .filter(|&e| e >= start && e <= blob.len())
+            .ok_or_else(|| KtgError::input("corrupt bundle: vocabulary offsets invalid"))?;
+        let term = std::str::from_utf8(&blob[start..end])
+            .map_err(|_| KtgError::input("corrupt bundle: vocabulary term not UTF-8"))?;
+        terms.push(term.to_owned());
+        start = end;
+    }
+    if start != blob.len() {
+        return Err(KtgError::input("corrupt bundle: vocabulary blob not covered"));
+    }
+    let vocab = Vocabulary::from_terms(terms)?;
+    let offsets = cur.read_u64_run()?;
+    let ids = cur.read_u32_run()?;
+    if ids.iter().any(|&k| k as usize >= vocab.len()) {
+        return Err(KtgError::input("corrupt bundle: keyword id out of vocabulary"));
+    }
+    let arena = VertexKeywords::from_raw_parts(offsets, ids.into_iter().map(KeywordId).collect())?;
+    cur.finish()?;
+    Ok((vocab, arena))
+}
+
+fn encode_nlrnl_section(index: &NlrnlIndex) -> Vec<u8> {
+    let n = index.num_vertices();
+    let mut buf = Vec::new();
+    push_u32_run(&mut buf, vertex_range(n).map(|v| index.c(v)));
+    push_u32_run(&mut buf, vertex_range(n).map(|v| index.component(v)));
+    for lists in [
+        NlrnlIndex::forward_lists as fn(&NlrnlIndex, VertexId) -> &LeveledList,
+        NlrnlIndex::reverse_lists,
+    ] {
+        push_u32_run(&mut buf, vertex_range(n).map(|v| lists(index, v).num_levels() as u32));
+        let total_bounds: usize = vertex_range(n).map(|v| lists(index, v).num_levels()).sum();
+        push_u64(&mut buf, total_bounds as u64);
+        buf.reserve(total_bounds * 4);
+        for v in vertex_range(n) {
+            for &b in lists(index, v).raw_bounds() {
+                buf.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        let total_data: usize = vertex_range(n).map(|v| lists(index, v).total_len()).sum();
+        push_u64(&mut buf, total_data as u64);
+        buf.reserve(total_data * 4);
+        for v in vertex_range(n) {
+            for &x in lists(index, v).raw_data() {
+                buf.extend_from_slice(&x.0.to_le_bytes());
+            }
+        }
+    }
+    buf
+}
+
+fn decode_nlrnl_section(payload: &[u8], n: usize) -> Result<NlrnlIndex> {
+    let mut cur = SectionCursor::new(payload);
+    let c = cur.read_u32_run()?;
+    let components = cur.read_u32_run()?;
+    if c.len() != n || components.len() != n {
+        return Err(KtgError::input("corrupt bundle: index tables do not match |V|"));
+    }
+    let mut sides: Vec<Vec<LeveledList>> = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let num_levels = cur.read_u32_run()?;
+        if num_levels.len() != n {
+            return Err(KtgError::input("corrupt bundle: level-count table does not match |V|"));
+        }
+        let bounds = cur.read_u32_run()?;
+        let data = cur.read_u32_run()?;
+        if let Some(&bad) = data.iter().find(|&&x| x as usize >= n) {
+            return Err(KtgError::input(format!(
+                "corrupt bundle: index entry {bad} out of range for {n} vertices"
+            )));
+        }
+        let mut lists = Vec::with_capacity(n);
+        let mut bcur = 0usize;
+        let mut dcur = 0usize;
+        for &levels in &num_levels {
+            let levels = levels as usize;
+            let bend = bcur
+                .checked_add(levels)
+                .filter(|&e| e <= bounds.len())
+                .ok_or_else(|| KtgError::input("corrupt bundle: bounds table truncated"))?;
+            let vb = bounds[bcur..bend].to_vec();
+            let dlen = vb.last().copied().unwrap_or(0) as usize;
+            let dend = dcur
+                .checked_add(dlen)
+                .filter(|&e| e <= data.len())
+                .ok_or_else(|| KtgError::input("corrupt bundle: data table truncated"))?;
+            let vd = data[dcur..dend].iter().copied().map(VertexId).collect();
+            lists.push(LeveledList::from_flat(vd, vb)?);
+            bcur = bend;
+            dcur = dend;
+        }
+        if bcur != bounds.len() || dcur != data.len() {
+            return Err(KtgError::input("corrupt bundle: index tables not fully covered"));
+        }
+        sides.push(lists);
+    }
+    cur.finish()?;
+    let reverse = sides.pop().unwrap_or_default();
+    let forward = sides.pop().unwrap_or_default();
+    validate_component_labels(&components)?;
+    Ok(NlrnlIndex::from_parts(n, c, forward, reverse, components))
+}
+
+/// Serializes a whole attributed network — graph (in its current format),
+/// vocabulary, keyword arena, and optionally an NLRNL index — as one
+/// checksummed bundle. The index, when present, must have been built over
+/// `graph` (same vertex count; the embedded fingerprint binds them).
+///
+/// # Errors
+/// [`KtgError::InvalidInput`] when the parts disagree on the vertex count;
+/// I/O errors from the writer.
+pub fn save_bundle<W: Write>(
+    graph: &GraphStore,
+    vocab: &Vocabulary,
+    keywords: &VertexKeywords,
+    index: Option<&NlrnlIndex>,
+    writer: W,
+) -> Result<()> {
+    let n = graph.num_vertices();
+    if keywords.num_vertices() != n {
+        return Err(KtgError::input(format!(
+            "keyword arena covers {} vertices, graph has {n}",
+            keywords.num_vertices()
+        )));
+    }
+    if let Some(idx) = index {
+        if idx.num_vertices() != n {
+            return Err(KtgError::input(format!(
+                "index covers {} vertices, graph has {n}",
+                idx.num_vertices()
+            )));
+        }
+    }
+    let mut w = BufWriter::new(writer);
+    w.write_all(BUNDLE_MAGIC)?;
+    let mut cw = ChecksumWriter::new(&mut w);
+    cw.write_u32(VERSION)?;
+    cw.write_u32(match graph.format() {
+        GraphFormat::Flat => 0,
+        GraphFormat::Compressed => 1,
+    })?;
+    cw.write_u64(n as u64)?;
+    cw.write_u64(graph_fingerprint(graph))?;
+    let sections: Vec<(u32, Vec<u8>)> = {
+        let mut s = vec![
+            (SECTION_GRAPH, encode_graph_section(graph)),
+            (SECTION_KEYWORDS, encode_keyword_section(vocab, keywords)),
+        ];
+        if let Some(idx) = index {
+            s.push((SECTION_NLRNL, encode_nlrnl_section(idx)));
+        }
+        s
+    };
+    cw.write_u32(sections.len() as u32)?;
+    for (tag, payload) in &sections {
+        cw.write_u32(*tag)?;
+        cw.write_u64(payload.len() as u64)?;
+        cw.write_bytes(payload)?;
+    }
+    let checksum = cw.checksum();
+    w.write_all(&checksum.to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a bundle written by [`save_bundle`], validating magic,
+/// version, section structure, every per-structure invariant, the graph
+/// fingerprint, and the trailing checksum.
+///
+/// # Errors
+/// [`KtgError::InvalidInput`] on corruption (truncation, bad magic or
+/// version, over-length sections, structural violations) — never a panic;
+/// [`KtgError::IndexMismatch`] when the embedded fingerprint does not
+/// match the reloaded graph.
+pub fn load_bundle<R: Read>(reader: R) -> Result<Bundle> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BUNDLE_MAGIC {
+        return Err(KtgError::input("not a KTG bundle file"));
+    }
+    let mut cr = ChecksumReader::new(&mut r);
+    let version = cr.read_u32()?;
+    if version != VERSION {
+        return Err(KtgError::input(format!(
+            "unsupported bundle version {version} (expected {VERSION})"
+        )));
+    }
+    let format = match cr.read_u32()? {
+        0 => GraphFormat::Flat,
+        1 => GraphFormat::Compressed,
+        other => return Err(KtgError::input(format!("unknown bundle graph format {other}"))),
+    };
+    let n = usize::try_from(cr.read_u64()?)
+        .map_err(|_| KtgError::input("corrupt bundle: vertex count overflows"))?;
+    let fingerprint = cr.read_u64()?;
+    let num_sections = cr.read_u32()?;
+    if !(2..=3).contains(&num_sections) {
+        return Err(KtgError::input(format!(
+            "corrupt bundle: expected 2 or 3 sections, found {num_sections}"
+        )));
+    }
+
+    let mut graph: Option<GraphStore> = None;
+    let mut kw: Option<(Vocabulary, VertexKeywords)> = None;
+    let mut index: Option<NlrnlIndex> = None;
+    for i in 0..num_sections {
+        let tag = cr.read_u32()?;
+        let len = cr.read_u64()?;
+        let payload = cr.read_section(len)?;
+        match (i, tag) {
+            (0, SECTION_GRAPH) => graph = Some(decode_graph_section(&payload, format)?),
+            (1, SECTION_KEYWORDS) => kw = Some(decode_keyword_section(&payload)?),
+            (2, SECTION_NLRNL) => index = Some(decode_nlrnl_section(&payload, n)?),
+            _ => {
+                return Err(KtgError::input(format!(
+                    "corrupt bundle: unexpected section tag {tag} at position {i}"
+                )))
+            }
+        }
+    }
+    let expected = cr.checksum();
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    if u64::from_le_bytes(buf) != expected {
+        return Err(KtgError::input("corrupt bundle: checksum mismatch"));
+    }
+
+    let graph = graph.ok_or_else(|| KtgError::input("corrupt bundle: missing graph section"))?;
+    let (vocab, keywords) =
+        kw.ok_or_else(|| KtgError::input("corrupt bundle: missing keyword section"))?;
+    if graph.num_vertices() != n {
+        return Err(KtgError::input(format!(
+            "corrupt bundle: graph section covers {} vertices, header says {n}",
+            graph.num_vertices()
+        )));
+    }
+    if keywords.num_vertices() != n {
+        return Err(KtgError::input(format!(
+            "corrupt bundle: keyword arena covers {} vertices, header says {n}",
+            keywords.num_vertices()
+        )));
+    }
+    if graph_fingerprint(&graph) != fingerprint {
+        return Err(KtgError::IndexMismatch(
+            "bundle fingerprint does not match its own graph section".to_string(),
+        ));
+    }
+    Ok(Bundle { graph, vocab, keywords, index })
 }
 
 #[cfg(test)]
@@ -433,6 +934,134 @@ mod tests {
             Err(other) => panic!("expected IndexMismatch, got error {other}"),
             Ok(_) => panic!("expected IndexMismatch, got a loaded index"),
         }
+    }
+
+
+    fn sample_bundle_parts(format: GraphFormat) -> (GraphStore, Vocabulary, VertexKeywords) {
+        let graph = GraphStore::from_csr(sample_graph(), format);
+        let mut vocab = Vocabulary::new();
+        let ids = vocab.intern_all(["db", "ir", "ml", "hci"]);
+        let mut lists = vec![Vec::new(); graph.num_vertices()];
+        for (i, list) in lists.iter_mut().enumerate() {
+            list.push(ids[i % ids.len()]);
+            if i % 2 == 0 {
+                list.push(ids[(i + 1) % ids.len()]);
+            }
+            list.sort_unstable();
+            list.dedup();
+        }
+        (graph, vocab, VertexKeywords::from_lists(&lists))
+    }
+
+    #[test]
+    fn bundle_roundtrip_both_formats() {
+        for format in [GraphFormat::Flat, GraphFormat::Compressed] {
+            let (graph, vocab, keywords) = sample_bundle_parts(format);
+            let index = NlrnlIndex::build(&graph);
+            let mut buf = Vec::new();
+            save_bundle(&graph, &vocab, &keywords, Some(&index), &mut buf).unwrap();
+            let bundle = load_bundle(buf.as_slice()).unwrap();
+            assert_eq!(bundle.graph, graph, "{format}: graph reloads byte-identically");
+            assert_eq!(bundle.vocab.terms(), vocab.terms());
+            assert_eq!(bundle.keywords, keywords);
+            let loaded = bundle.index.expect("index section present");
+            for u in vertex_range(graph.num_vertices()) {
+                for v in vertex_range(graph.num_vertices()) {
+                    assert_eq!(loaded.distance(u, v), index.distance(u, v), "({u:?},{v:?})");
+                    for k in 0..6 {
+                        assert_eq!(
+                            loaded.farther_than(u, v, k),
+                            index.farther_than(u, v, k),
+                            "({u:?},{v:?},k={k})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_roundtrip_without_index() {
+        let (graph, vocab, keywords) = sample_bundle_parts(GraphFormat::Compressed);
+        let mut buf = Vec::new();
+        save_bundle(&graph, &vocab, &keywords, None, &mut buf).unwrap();
+        let bundle = load_bundle(buf.as_slice()).unwrap();
+        assert!(bundle.index.is_none());
+        assert_eq!(bundle.graph, graph);
+    }
+
+    /// The full corruption suite: every damage mode returns a typed error,
+    /// never a panic.
+    #[test]
+    fn bundle_corruption_suite() {
+        let (graph, vocab, keywords) = sample_bundle_parts(GraphFormat::Flat);
+        let index = NlrnlIndex::build(&graph);
+        let mut buf = Vec::new();
+        save_bundle(&graph, &vocab, &keywords, Some(&index), &mut buf).unwrap();
+
+        // Truncated header: cut inside the fixed fields.
+        for cut in [0usize, 4, 9, 14, 20] {
+            match load_bundle(&buf[..cut]) {
+                Err(KtgError::InvalidInput(_)) | Err(KtgError::Io(_)) => {}
+                other => panic!("cut={cut}: must fail typed, ok={}", other.is_ok()),
+            }
+        }
+
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(load_bundle(bad.as_slice()), Err(KtgError::InvalidInput(_))));
+
+        // Bad version.
+        let mut bad = buf.clone();
+        bad[8] = 0xEE;
+        assert!(matches!(load_bundle(bad.as_slice()), Err(KtgError::InvalidInput(_))));
+
+        // Fingerprint mismatch (flip a fingerprint byte, keep structure):
+        // the checksum catches it first unless we also re-seal, so damage
+        // the fingerprint AND accept either typed error — never a panic.
+        let mut bad = buf.clone();
+        bad[16] ^= 0x01;
+        match load_bundle(bad.as_slice()) {
+            Err(KtgError::InvalidInput(_)) | Err(KtgError::IndexMismatch(_)) => {}
+            other => panic!("fingerprint damage must fail typed, got {:?}", other.is_ok()),
+        }
+
+        // Over-length section: grow the first section's declared length
+        // far past the file end.
+        let mut bad = buf.clone();
+        let section_len_at = 8 + 4 + 4 + 8 + 8 + 4 + 4; // magic..num_sections + tag
+        bad[section_len_at..section_len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        match load_bundle(bad.as_slice()) {
+            Err(KtgError::InvalidInput(_)) | Err(KtgError::Io(_)) => {}
+            other => panic!("over-length section must fail typed, got {:?}", other.is_ok()),
+        }
+
+        // Truncations at every eighth byte: typed errors all the way down.
+        for cut in (0..buf.len()).step_by(8) {
+            assert!(load_bundle(&buf[..cut]).is_err(), "cut={cut} must fail");
+        }
+
+        // Random payload bit flips: checksum or structural validation
+        // rejects; reloads that fail do so with a typed error.
+        for i in (24..buf.len()).step_by(37) {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x10;
+            if let Err(e) = load_bundle(bad.as_slice()) {
+                assert!(
+                    matches!(e, KtgError::InvalidInput(_) | KtgError::IndexMismatch(_) | KtgError::Io(_)),
+                    "flip at {i}: unexpected error kind {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_rejects_mismatched_parts() {
+        let (graph, vocab, _) = sample_bundle_parts(GraphFormat::Flat);
+        let short = VertexKeywords::from_lists(&vec![Vec::new(); 3]);
+        let mut buf = Vec::new();
+        assert!(save_bundle(&graph, &vocab, &short, None, &mut buf).is_err());
     }
 
     #[test]

@@ -38,8 +38,9 @@
 use crate::oracle::DistanceOracle;
 use crate::space::{BuildStats, IndexSpace};
 use ktg_common::parallel::{chunk_size, scope_join, worker_count};
+use ktg_common::id::vertex_range;
 use ktg_common::{Stopwatch, VertexId};
-use ktg_graph::CsrGraph;
+use ktg_graph::Adjacency;
 
 /// Hubs per parallel construction batch. A fixed constant (never derived
 /// from the worker count) so the produced labels are identical for every
@@ -82,8 +83,8 @@ impl BfsScratch {
 /// Pruned BFS from `hub` against the *frozen* `labels`, collecting the
 /// surviving `(vertex, depth)` pairs in BFS visit order instead of
 /// committing them — the caller merges (and re-prunes) them afterwards.
-fn pruned_bfs(
-    graph: &CsrGraph,
+fn pruned_bfs<A: Adjacency>(
+    graph: &A,
     labels: &[Vec<(u32, u32)>],
     hub: VertexId,
     scratch: &mut BfsScratch,
@@ -116,13 +117,13 @@ fn pruned_bfs(
                 continue;
             }
             out.push((u, depth));
-            for &w in graph.neighbors(u) {
+            graph.for_each_neighbor(u, |w| {
                 if visited_dist[w.index()] == u32::MAX {
                     visited_dist[w.index()] = depth + 1;
                     touched.push(w.index());
                     next.push(w);
                 }
-            }
+            });
         }
         std::mem::swap(frontier, next);
         depth += 1;
@@ -139,13 +140,13 @@ fn pruned_bfs(
 impl PllIndex {
     /// Builds the labeling with one pruned BFS per vertex, in
     /// degree-descending hub order.
-    pub fn build(graph: &CsrGraph) -> Self {
+    pub fn build<A: Adjacency>(graph: &A) -> Self {
         let start = Stopwatch::start();
         let n = graph.num_vertices();
         let mut labels: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
 
         // Hub order: degree descending, id ascending for determinism.
-        let mut order: Vec<VertexId> = graph.vertices().collect();
+        let mut order: Vec<VertexId> = vertex_range(n).collect();
         order.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
 
         let mut dist_to_hub: Vec<u32> = vec![u32::MAX; n]; // scratch: hub's own label lookup
@@ -189,13 +190,15 @@ impl PllIndex {
                     // New label for u.
                     labels[u.index()].push((rank, depth));
                     entries += 1;
-                    for &w in graph.neighbors(u) {
+                    let (visited_dist, touched, next) =
+                        (&mut visited_dist, &mut touched, &mut next);
+                    graph.for_each_neighbor(u, |w| {
                         if visited_dist[w.index()] == u32::MAX {
                             visited_dist[w.index()] = depth + 1;
                             touched.push(w.index());
                             next.push(w);
                         }
-                    }
+                    });
                 }
                 std::mem::swap(&mut frontier, &mut next);
                 depth += 1;
@@ -219,21 +222,21 @@ impl PllIndex {
     /// Builds the labeling with batched parallel pruned BFS (module docs).
     /// Deterministic: the label set depends only on the graph, never on
     /// the worker count.
-    pub fn build_parallel(graph: &CsrGraph) -> Self {
+    pub fn build_parallel<A: Adjacency + Sync>(graph: &A) -> Self {
         Self::build_parallel_with(graph, worker_count())
     }
 
     /// [`build_parallel`](Self::build_parallel) with an explicit worker
     /// count — exposed so tests can prove thread-count independence
     /// without racing on the `KTG_THREADS` environment variable.
-    pub fn build_parallel_with(graph: &CsrGraph, workers: usize) -> Self {
+    pub fn build_parallel_with<A: Adjacency + Sync>(graph: &A, workers: usize) -> Self {
         let start = Stopwatch::start();
         let n = graph.num_vertices();
         let mut labels: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
 
         // Same hub order as the sequential build: degree descending, id
         // ascending.
-        let mut order: Vec<VertexId> = graph.vertices().collect();
+        let mut order: Vec<VertexId> = vertex_range(n).collect();
         order.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
 
         let mut entries = 0usize;
@@ -404,6 +407,7 @@ impl DistanceOracle for PllIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ktg_graph::CsrGraph;
     use crate::exact::ExactOracle;
 
     fn assert_matches_exact(g: &CsrGraph) {

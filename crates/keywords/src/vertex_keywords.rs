@@ -47,6 +47,46 @@ impl VertexKeywords {
             + self.keywords.capacity() * std::mem::size_of::<KeywordId>()
     }
 
+    /// The per-vertex offset table (persistence).
+    #[inline]
+    pub fn raw_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The shared keyword arena (persistence).
+    #[inline]
+    pub fn raw_keywords(&self) -> &[KeywordId] {
+        &self.keywords
+    }
+
+    /// Reassembles the arena from its raw parts, validating that the
+    /// offsets are monotonic, cover `keywords` exactly, and that every
+    /// per-vertex list is strictly sorted (no duplicates).
+    ///
+    /// # Errors
+    /// [`ktg_common::KtgError::InvalidInput`] on any structural violation.
+    pub fn from_raw_parts(
+        offsets: Vec<u64>,
+        keywords: Vec<KeywordId>,
+    ) -> ktg_common::Result<Self> {
+        if offsets.is_empty() {
+            return Err(ktg_common::KtgError::input("keyword offsets must be non-empty"));
+        }
+        if offsets[0] != 0 || *offsets.last().unwrap_or(&0) != keywords.len() as u64 {
+            return Err(ktg_common::KtgError::input("keyword offsets do not cover the arena"));
+        }
+        for w in offsets.windows(2) {
+            if w[0] > w[1] || w[1] as usize > keywords.len() {
+                return Err(ktg_common::KtgError::input("keyword offsets not monotonic"));
+            }
+            let list = &keywords[w[0] as usize..w[1] as usize];
+            if !list.windows(2).all(|p| p[0] < p[1]) {
+                return Err(ktg_common::KtgError::input("keyword list not sorted"));
+            }
+        }
+        Ok(VertexKeywords { offsets, keywords })
+    }
+
     /// Builds from one explicit list per vertex (convenience for fixtures).
     pub fn from_lists(lists: &[Vec<KeywordId>]) -> Self {
         let mut b = VertexKeywordsBuilder::new(lists.len());

@@ -88,6 +88,32 @@ impl Vocabulary {
         }
         v
     }
+
+    /// The interned terms in id order (persistence).
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// Reassembles a vocabulary from its term list, validating that the
+    /// terms are distinct (ids are their positions).
+    ///
+    /// # Errors
+    /// [`ktg_common::KtgError::InvalidInput`] on duplicate terms or a term
+    /// count exceeding the `u32` id space.
+    pub fn from_terms(terms: Vec<String>) -> ktg_common::Result<Self> {
+        if terms.len() > u32::MAX as usize {
+            return Err(ktg_common::KtgError::input("vocabulary exceeds the u32 id space"));
+        }
+        let mut by_term = FxHashMap::default();
+        for (i, term) in terms.iter().enumerate() {
+            if by_term.insert(term.clone(), KeywordId(i as u32)).is_some() {
+                return Err(ktg_common::KtgError::input(format!(
+                    "duplicate vocabulary term '{term}'"
+                )));
+            }
+        }
+        Ok(Vocabulary { terms, by_term })
+    }
 }
 
 #[cfg(test)]

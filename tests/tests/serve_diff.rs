@@ -21,8 +21,8 @@ use ktg_core::serve::{
     CachePolicy, ItemOutcome, OracleKind, ServeOptions, ServeSession, WorkloadItem,
 };
 use ktg_core::{bb, dktg, verify, AttributedGraph, DktgQuery, Group, KtgQuery};
-use ktg_graph::DynamicGraph;
-use ktg_index::BfsOracle;
+use ktg_graph::{DynamicGraph, GraphFormat, GraphStore};
+use ktg_index::{persist, BfsOracle, NlrnlIndex};
 use ktg_integration_tests::{random_network, random_query};
 use ktg_keywords::QueryKeywords;
 
@@ -84,7 +84,7 @@ impl Drop for Disarm {
 fn reference_replay(net: &AttributedGraph, workload: &[WorkloadItem]) -> Vec<Answer> {
     let opts = bb::BbOptions::vkc_deg();
     let mut cur = net.clone();
-    let mut replica = DynamicGraph::from_csr(net.graph());
+    let mut replica = DynamicGraph::from_graph(net.graph());
     let mut out = Vec::with_capacity(workload.len());
     for item in workload {
         match item {
@@ -188,6 +188,44 @@ fn serving_matches_sequential_on_random_networks() {
         );
     }
     assert!(hits, "no repeat-bearing workload ever hit the result cache");
+}
+
+/// The persistence axis: a network round-tripped through
+/// `save_bundle`/`load_bundle` — in both graph formats, with the bundled
+/// NLRNL index preloaded into the session — must serve byte-identically
+/// to the query-at-a-time reference on the original flat network.
+#[test]
+fn bundle_roundtrip_serves_byte_identically_in_both_formats() {
+    let mut rng = SeededRng::seed_from_u64(0xB0D1);
+    for case in 0..3 {
+        let n = rng.gen_range(16..36usize);
+        let seed = rng.gen_range(0u64..1000);
+        let net = random_network(n, 0.22, 8, 4, seed);
+        let workload = query_pool_workload(&net, 8, seed ^ 0xF00D);
+        let expected = reference_replay(&net, &workload);
+        for format in [GraphFormat::Flat, GraphFormat::Compressed] {
+            let store = GraphStore::from_csr(net.graph().to_csr(), format);
+            let index = NlrnlIndex::build(&store);
+            let mut bytes = Vec::new();
+            persist::save_bundle(&store, net.vocab(), net.keywords(), Some(&index), &mut bytes)
+                .expect("bundle save");
+            for threads in THREADS {
+                let bundle = persist::load_bundle(bytes.as_slice()).expect("bundle load");
+                assert_eq!(bundle.graph.format(), format, "case {case}: format changed");
+                let loaded =
+                    AttributedGraph::with_store(bundle.graph, bundle.vocab, bundle.keywords);
+                let options = ServeOptions { threads, ..ServeOptions::default() };
+                let mut session = ServeSession::with_index(loaded, options, bundle.index);
+                let outcomes = session.run(&workload);
+                assert_eq!(
+                    expected,
+                    strip(&outcomes),
+                    "case {case}: bundle-loaded {format} serving at {threads} thread(s) \
+                     diverged from the reference"
+                );
+            }
+        }
+    }
 }
 
 #[test]
