@@ -14,6 +14,17 @@
 //! configuration gets a fresh server; repeated samples measure
 //! steady-state serving (warm cache when enabled), like `qps`.
 //!
+//! A paced open-arrival sweep follows: one connection offers requests
+//! at {25, 50, 75, 100, 150}% of the measured closed-loop cache-on
+//! 1-connection rate on a fixed clock (request `i` is sent at
+//! `start + i·interval`, never waiting for responses) and records each
+//! request's *sojourn* time — completion minus scheduled arrival — so
+//! queueing delay past the saturation knee is visible even though the
+//! writer never blocks. `summarize` folds the 150%-vs-75% completed
+//! rate into `net_open_knee_ratio`: ≈2.0 means throughput still tracks
+//! offered load at 150% (no knee below that), ≈1.0 means the server
+//! was already saturated at 75%.
+//!
 //! Every record is one JSON line in `bench_results/net_qps.jsonl`
 //! (`KTG_BENCH_OUT` overrides the directory); the sink stays on in
 //! quick mode (`--test` / `KTG_BENCH_FAST=1`) because CI's smoke run
@@ -171,6 +182,39 @@ fn run_open(addr: SocketAddr, workload: &[String], conns: usize) {
     })
 }
 
+/// Paced open arrival over one connection: a writer thread sends
+/// request `i` at `start + i·interval` (the offered-load clock, never
+/// waiting for responses) while this thread drains response blocks and
+/// records each request's sojourn time — completion minus *scheduled*
+/// arrival — so queueing delay shows up once the server saturates.
+/// Returns per-request sojourn times (ns).
+fn run_paced(addr: SocketAddr, workload: &[String], offered_qps: f64) -> Vec<u64> {
+    let interval = std::time::Duration::from_secs_f64(1.0 / offered_qps.max(1.0));
+    let (mut writer, mut reader) = connect(addr);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for (i, line) in workload.iter().enumerate() {
+                let due = start + interval * i as u32;
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                write_line(&mut writer, line).expect("send request");
+                writer.flush().expect("flush request");
+            }
+        });
+        let mut sojourns = Vec::with_capacity(workload.len());
+        for i in 0..workload.len() {
+            let lines = drain_block(&mut reader);
+            assert!(lines > 0, "query response block was empty");
+            let due = start + interval * i as u32;
+            sojourns.push(Instant::now().saturating_duration_since(due).as_nanos() as u64);
+        }
+        sojourns
+    })
+}
+
 /// Nearest-rank percentile over unsorted latency samples.
 fn percentile(sorted: &[u64], p: usize) -> u64 {
     let idx = (sorted.len() * p).div_ceil(100).clamp(1, sorted.len()) - 1;
@@ -276,10 +320,40 @@ fn main() {
         "cache-on should beat cache-off at 1 connection ({on1:.1} vs {off1:.1} qps)"
     );
 
+    // Latency-vs-offered-load sweep: pace one connection at a fraction
+    // of the closed-loop cache-on capacity just measured. `param` is
+    // the offered percent; the record's ops/sec is the *completed*
+    // rate, which tracks the offered rate until the saturation knee and
+    // flattens after it (the 150/75 ratio becomes `net_open_knee_ratio`
+    // in the summary).
+    const OFFERED_PERCENTS: [usize; 5] = [25, 50, 75, 100, 150];
+    let capacity = on1;
+    for percent in OFFERED_PERCENTS {
+        let offered = capacity * percent as f64 / 100.0;
+        let handle = boot(&net, true);
+        let addr = handle.addr();
+        let mut sojourns = Vec::new();
+        let summary = group.bench_items("open_sweep", percent, workload.len(), || {
+            sojourns = run_paced(addr, &workload, offered);
+        });
+        sojourns.sort_unstable();
+        eprintln!(
+            "net_qps: open_sweep/{percent} offered {offered:.1} qps completed {:.1} qps \
+             sojourn p50={} p95={} p99={} ns",
+            summary.ops_per_sec(),
+            percentile(&sojourns, 50),
+            percentile(&sojourns, 95),
+            percentile(&sojourns, 99),
+        );
+        handle.shutdown();
+        handle.join().expect("server thread");
+    }
+
     eprintln!(
-        "net_qps: {} closed-loop records + 2 open-arrival (quick={quick}); \
-         cache speedup {:.2}x at 1 connection",
+        "net_qps: {} closed-loop records + 2 open-arrival + {} paced sweep points \
+         (quick={quick}); cache speedup {:.2}x at 1 connection",
         rates.len(),
+        OFFERED_PERCENTS.len(),
         on1 / off1,
     );
 }

@@ -115,10 +115,20 @@ fn derived(group: &str, records: &[Record]) -> Vec<(&'static str, Option<f64>)> 
             ("bitmap_speedup_4t", time_ratio(records, ("bitmap", "1"), ("bitmap", "4"))),
             ("oracle_over_bitmap_1t", time_ratio(records, ("oracle", "1"), ("bitmap", "1"))),
         ],
-        "net_qps" => vec![(
-            "net_cache_speedup_1c",
-            ops_ratio(records, ("closed_cache_on", "1"), ("closed_cache_off", "1")),
-        )],
+        "net_qps" => vec![
+            (
+                "net_cache_speedup_1c",
+                ops_ratio(records, ("closed_cache_on", "1"), ("closed_cache_off", "1")),
+            ),
+            // Completed rate at 150% vs 75% offered load from the paced
+            // open-arrival sweep: ≈2.0 means throughput still tracks the
+            // offered rate at 150% of closed-loop capacity (no saturation
+            // knee below that), ≈1.0 means it flattened by 75%.
+            (
+                "net_open_knee_ratio",
+                ops_ratio(records, ("open_sweep", "150"), ("open_sweep", "75")),
+            ),
+        ],
         "scale" => vec![
             (
                 "build_speedup_4t",
@@ -273,6 +283,22 @@ mod tests {
         assert!(json.contains("\"build_speedup_4t\":2.000"), "{json}");
         assert!(json.contains("\"decode_overhead\":1.300"), "{json}");
         assert!(json.contains("\"load_over_save\":0.500"), "{json}");
+    }
+
+    #[test]
+    fn net_qps_knee_ratio_compares_sweep_points() {
+        let records = vec![
+            mk("closed_cache_on", "1", 400.0, 1000),
+            mk("closed_cache_off", "1", 100.0, 4000),
+            mk("open_sweep", "75", 300.0, 2000),
+            mk("open_sweep", "150", 600.0, 2000),
+        ];
+        let json = render("net_qps", &records);
+        assert!(json.contains("\"net_cache_speedup_1c\":4.000"), "{json}");
+        assert!(json.contains("\"net_open_knee_ratio\":2.000"), "{json}");
+        // Without the sweep, the knee entry is omitted, not zeroed.
+        let partial = render("net_qps", &records[..2]);
+        assert!(!partial.contains("net_open_knee_ratio"), "{partial}");
     }
 
     #[test]

@@ -15,8 +15,26 @@
 //!   The differential suite (`tests/tests/net_diff.rs`) holds TCP
 //!   responses byte-identical to a batch replay of the same script.
 //! * **Control lines start with `/`:** `/stats` (one-line JSON of cache,
-//!   latency percentile, and outcome counters), `/drain` (shed all new
+//!   latency percentile, and outcome counters), `/health` (one-line JSON
+//!   of serving state, epoch, and WAL/checkpoint sequences), `/checkpoint`
+//!   (rewrite the bundle, truncate the log), `/drain` (shed all new
 //!   queries as `overloaded` until `/resume`), `/resume`, `/shutdown`.
+//!
+//! ## Durability
+//!
+//! With `--wal <path>`, every accepted update line is appended to a
+//! [`ktg_index::wal`] write-ahead log *before* it can mutate the
+//! session (fsync policy `--wal-sync always|batch`), under the
+//! session's write lock so log order always equals apply order. On
+//! startup the log is replayed over the loaded network (tolerating one
+//! torn tail record; mid-log corruption is a typed startup error), and
+//! the listener accepts connections immediately while a recovery task
+//! re-applies the surviving records — workload lines are refused with
+//! an in-band error until the `/health` state leaves `recovering`.
+//! `/checkpoint` (or `--checkpoint-every N` appends) rewrites the
+//! bundle under a temp-file + atomic-rename protocol and truncates the
+//! log. `KTG_CRASH_AFTER=<n>` aborts the process after `n` appends —
+//! the crash-injection harness the recovery tests drive.
 //!
 //! ## Concurrency model
 //!
@@ -43,15 +61,19 @@
 use crate::args::ParsedArgs;
 use crate::commands::{load_network_ex, serve_options_from_flags, write_outcome};
 use crate::RunStatus;
+use ktg_common::fault::{self, FaultSite};
 use ktg_common::net::{write_line, Frame, LineReader};
 use ktg_common::parallel::{scope_join, worker_count};
+use ktg_common::rng::SplitMix64;
 use ktg_common::{CancelToken, KtgError, Result, Stopwatch};
-use ktg_core::serve::workload::MAX_LINE_BYTES;
+use ktg_core::serve::workload::{WorkloadItem, MAX_LINE_BYTES};
 use ktg_core::serve::{parse_request_line, ItemOutcome, ServeOptions, ServeSession};
 use ktg_core::AttributedGraph;
+use ktg_index::wal::{WalSync, WalWriter};
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::Duration;
@@ -100,6 +122,11 @@ pub struct ServerStats {
     degraded: AtomicU64,
     overloaded: AtomicU64,
     failed: AtomicU64,
+    /// Response blocks that could not be written back (peer gone,
+    /// broken pipe, injected `io` fault). Each one closed a connection
+    /// with a half-written (or unwritten) block; surfacing the count
+    /// through `/stats` makes that loss observable instead of silent.
+    write_failures: AtomicU64,
     next_stripe: AtomicUsize,
     stripes: Vec<Mutex<LatencyRing>>,
 }
@@ -111,11 +138,17 @@ impl ServerStats {
             degraded: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
             next_stripe: AtomicUsize::new(0),
             stripes: (0..LATENCY_STRIPES)
                 .map(|_| Mutex::new(LatencyRing { samples: Vec::new(), next: 0 }))
                 .collect(),
         }
+    }
+
+    /// Records one response block lost to a write failure.
+    fn record_write_failure(&self) {
+        self.write_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one served item: its latency sample and outcome class.
@@ -173,6 +206,22 @@ impl ServerStats {
     }
 }
 
+/// Durability configuration for one server (`--wal` and friends).
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Log path; created if missing, replayed (and torn-tail-truncated)
+    /// if present.
+    pub path: PathBuf,
+    /// Fsync policy for appended records.
+    pub sync: WalSync,
+    /// Checkpoint automatically after this many appended updates
+    /// (`0` = only on explicit `/checkpoint`).
+    pub checkpoint_every: u64,
+    /// Bundle path checkpoints rewrite (temp file + atomic rename);
+    /// `None` disables checkpointing with an in-band error.
+    pub bundle: Option<PathBuf>,
+}
+
 /// Server configuration (beyond the session's [`ServeOptions`]).
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
@@ -183,6 +232,8 @@ pub struct ServeConfig {
     /// Per-connection wall-clock deadline in milliseconds, polled
     /// between requests; `None` = connections live until EOF.
     pub conn_deadline_ms: Option<u64>,
+    /// Write-ahead logging; `None` = updates die with the process.
+    pub wal: Option<WalConfig>,
     /// Session options: cache, engine, and the `max_inflight` admission
     /// bound (here enforced globally across connections).
     pub options: ServeOptions,
@@ -194,9 +245,36 @@ impl Default for ServeConfig {
             bind: "127.0.0.1:0".to_string(),
             workers: 0,
             conn_deadline_ms: None,
+            wal: None,
             options: ServeOptions::default(),
         }
     }
+}
+
+/// Mutable WAL state, behind one mutex (always acquired *after* the
+/// session lock — the same order the update path and `/checkpoint`
+/// use, so the pair can never deadlock).
+struct WalState {
+    writer: WalWriter,
+    checkpoint_every: u64,
+    /// Appends since the last checkpoint (or since startup).
+    since_checkpoint: u64,
+    /// Sequence captured by the last checkpoint (startup: the replayed
+    /// log's base).
+    last_checkpoint_seq: u64,
+    bundle: Option<PathBuf>,
+    /// Crash-injection countdown (`KTG_CRASH_AFTER`): aborts the
+    /// process after this many more appends.
+    crash_after: Option<u64>,
+}
+
+/// What recovery found in the log at startup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Updates replayed from the log.
+    pub replayed: u64,
+    /// Whether a torn tail record was dropped (and truncated away).
+    pub torn_tail: bool,
 }
 
 /// State shared between the listener, the worker pool, and connection
@@ -208,6 +286,11 @@ struct Shared {
     wakeup: Condvar,
     shutdown: AtomicBool,
     draining: AtomicBool,
+    /// True while the startup recovery task is still replaying WAL
+    /// records; workload lines are refused in-band until it clears.
+    recovering: AtomicBool,
+    /// Durable update log (`--wal`); see [`WalState`] for lock order.
+    wal: Option<Mutex<WalState>>,
     inflight: AtomicUsize,
     max_inflight: usize,
     conn_deadline_ms: Option<u64>,
@@ -277,12 +360,19 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     thread: std::thread::JoinHandle<()>,
+    recovered: Option<RecoveryInfo>,
 }
 
 impl ServerHandle {
     /// The actual bound address (resolves `:0` to the ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// What startup recovery replayed from the WAL (`None` without
+    /// `--wal`).
+    pub fn recovered(&self) -> Option<RecoveryInfo> {
+        self.recovered
     }
 
     /// Requests shutdown without a client round-trip (tests, drop paths;
@@ -323,6 +413,47 @@ pub fn start_with_index(
     cfg: ServeConfig,
     index: Option<ktg_index::NlrnlIndex>,
 ) -> Result<ServerHandle> {
+    // Open the log first: replay errors (mid-log corruption, a query
+    // line where only updates belong) are typed startup failures, not
+    // something to discover after the socket is accepting.
+    let mut recovered = None;
+    let mut recovery: Vec<WorkloadItem> = Vec::new();
+    let wal_state = match &cfg.wal {
+        None => None,
+        Some(wal_cfg) => {
+            let (writer, replayed) = WalWriter::open(&wal_cfg.path, wal_cfg.sync)?;
+            for (i, record) in replayed.records.iter().enumerate() {
+                let item = parse_request_line(&net, i + 1, &record.line)?.ok_or_else(|| {
+                    KtgError::input(format!(
+                        "WAL record {} is not an update line: `{}`",
+                        record.seq, record.line
+                    ))
+                })?;
+                if item.is_query() {
+                    return Err(KtgError::input(format!(
+                        "WAL record {} is a query line: `{}`",
+                        record.seq, record.line
+                    )));
+                }
+                recovery.push(item);
+            }
+            recovered = Some(RecoveryInfo {
+                replayed: recovery.len() as u64,
+                torn_tail: replayed.torn_tail,
+            });
+            let crash_after = std::env::var("KTG_CRASH_AFTER")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok());
+            Some(Mutex::new(WalState {
+                last_checkpoint_seq: replayed.base_seq,
+                writer,
+                checkpoint_every: wal_cfg.checkpoint_every,
+                since_checkpoint: 0,
+                bundle: wal_cfg.bundle.clone(),
+                crash_after,
+            }))
+        }
+    };
     let listener = TcpListener::bind(cfg.bind.as_str())?;
     let addr = listener.local_addr()?;
     let workers = match cfg.workers {
@@ -337,6 +468,8 @@ pub fn start_with_index(
         wakeup: Condvar::new(),
         shutdown: AtomicBool::new(false),
         draining: AtomicBool::new(false),
+        recovering: AtomicBool::new(!recovery.is_empty()),
+        wal: wal_state,
         inflight: AtomicUsize::new(0),
         max_inflight,
         conn_deadline_ms: cfg.conn_deadline_ms,
@@ -344,16 +477,30 @@ pub fn start_with_index(
     });
     let pool = Arc::clone(&shared);
     let thread = std::thread::spawn(move || {
-        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers + 1);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers + 2);
         let listener_shared = &pool;
         tasks.push(Box::new(move || listener_loop(listener_shared, &listener)));
+        if !recovery.is_empty() {
+            // Replay under the write lock, one record at a time — the
+            // exact apply path a live update takes, which is what makes
+            // the recovered session byte-identical to a never-crashed
+            // one. Connections are accepted meanwhile; workload lines
+            // are refused until the flag clears.
+            let recovery_shared = &pool;
+            tasks.push(Box::new(move || {
+                for item in &recovery {
+                    recovery_shared.write_session().apply_item(item);
+                }
+                recovery_shared.recovering.store(false, Ordering::SeqCst);
+            }));
+        }
         for _ in 0..workers {
             let worker_shared = &pool;
             tasks.push(Box::new(move || worker_loop(worker_shared)));
         }
         scope_join(tasks);
     });
-    Ok(ServerHandle { addr, shared, thread })
+    Ok(ServerHandle { addr, shared, thread, recovered })
 }
 
 /// Accepts connections into the pending queue until shutdown.
@@ -422,7 +569,9 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             return;
         }
         if deadline.as_ref().is_some_and(CancelToken::poll) {
-            let _ = respond(&mut writer, &["error: connection deadline exceeded"]);
+            // The connection closes either way; respond() itself counts
+            // a failed farewell write into `write_failures`.
+            let _ = respond(&shared.stats, &mut writer, &["error: connection deadline exceeded"]);
             return;
         }
         let frame = match reader.read_frame() {
@@ -450,7 +599,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                         items_seen + 1
                     ))
                 );
-                respond(&mut writer, &[msg.as_str()])
+                respond(&shared.stats, &mut writer, &[msg.as_str()])
             }
             Frame::Line(line) => handle_line(shared, &mut writer, &mut items_seen, &line),
         };
@@ -467,14 +616,22 @@ enum LineOutcome {
 }
 
 /// Writes one response block: the given lines plus the `.` terminator,
-/// flushed. Any I/O failure closes the connection.
-fn respond(writer: &mut impl Write, lines: &[&str]) -> LineOutcome {
+/// flushed. Any I/O failure (or an injected `io` fault standing in for
+/// one) closes the connection *and is counted* — a half-written block
+/// must show up in `/stats` as a `write_failures` tick, never vanish.
+fn respond(stats: &ServerStats, writer: &mut impl Write, lines: &[&str]) -> LineOutcome {
+    if fault::should_fail(FaultSite::ServeIo) {
+        stats.record_write_failure();
+        return LineOutcome::Close;
+    }
     for line in lines {
         if write_line(writer, line).is_err() {
+            stats.record_write_failure();
             return LineOutcome::Close;
         }
     }
     if write_line(writer, ".").is_err() || writer.flush().is_err() {
+        stats.record_write_failure();
         return LineOutcome::Close;
     }
     LineOutcome::Continue
@@ -490,6 +647,16 @@ fn handle_line(
     if let Some(control) = line.strip_prefix('/') {
         return handle_control(shared, writer, control);
     }
+    if shared.recovering.load(Ordering::SeqCst) {
+        // Half-recovered state must never answer or mutate; the line
+        // consumes no item slot so a retrying client's numbering is
+        // unaffected. `/health` reports `recovering` for poll loops.
+        return respond(
+            &shared.stats,
+            writer,
+            &["error: server is recovering from its write-ahead log, retry shortly"],
+        );
+    }
     let parsed = {
         let session = shared.read_session();
         parse_request_line(session.net(), *items_seen + 1, line)
@@ -497,11 +664,11 @@ fn handle_line(
     let item = match parsed {
         // Blank or comment: acknowledged with an empty block so request
         // and response streams stay in lockstep for pipelining clients.
-        Ok(None) => return respond(writer, &[]),
+        Ok(None) => return respond(&shared.stats, writer, &[]),
         Ok(Some(item)) => item,
         Err(e) => {
             let msg = format!("error: {e}");
-            return respond(writer, &[msg.as_str()]);
+            return respond(&shared.stats, writer, &[msg.as_str()]);
         }
     };
     *items_seen += 1;
@@ -518,9 +685,24 @@ fn handle_line(
             outcome
         }
     } else {
-        // Edge update: the cross-connection serialization point.
+        // Edge update: the cross-connection serialization point. The
+        // write lock is taken *before* the WAL append so log order
+        // always equals apply order — two racing updates cannot swap
+        // between the log and the session.
         let timer = Stopwatch::start();
-        let outcome = shared.write_session().apply_item(&item);
+        let mut session = shared.write_session();
+        if let Some(wal) = &shared.wal {
+            if let Err(e) = wal_append(&mut lock_mutex(wal), line) {
+                drop(session);
+                let msg = format!("error: {e}");
+                return respond(&shared.stats, writer, &[msg.as_str()]);
+            }
+        }
+        let outcome = session.apply_item(&item);
+        if let Some(wal) = &shared.wal {
+            maybe_checkpoint(&session, &mut lock_mutex(wal));
+        }
+        drop(session);
         shared.stats.record(timer.elapsed_nanos(), &outcome);
         outcome
     };
@@ -530,7 +712,84 @@ fn handle_line(
     }
     let text = String::from_utf8_lossy(&block);
     let lines: Vec<&str> = text.lines().collect();
-    respond(writer, &lines)
+    respond(&shared.stats, writer, &lines)
+}
+
+/// Appends one accepted update line to the log, with the executor's
+/// retry-once discipline for injected `wal` faults (the site fires
+/// inside [`WalWriter::append`], before any appender state changes, so
+/// a suppressed retry starts from untouched state). Also drives the
+/// `KTG_CRASH_AFTER` harness: the process aborts right after the n-th
+/// record becomes durable — *before* the update is applied, the
+/// crash point recovery exists to cover.
+fn wal_append(st: &mut WalState, line: &str) -> Result<u64> {
+    let appended = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        st.writer.append(line)
+    })) {
+        Ok(result) => result,
+        Err(payload) if fault::is_injected(payload.as_ref()) => {
+            fault::suppressed(|| st.writer.append(line))
+        }
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    let seq = appended?;
+    st.since_checkpoint += 1;
+    if let Some(left) = st.crash_after.as_mut() {
+        *left = left.saturating_sub(1);
+        if *left == 0 {
+            // Make the record durable regardless of sync policy, then
+            // die exactly as hard as a kill -9 would.
+            drop(st.writer.sync());
+            std::process::abort();
+        }
+    }
+    Ok(seq)
+}
+
+/// Runs the automatic checkpoint when `--checkpoint-every` is due.
+/// Failures are swallowed deliberately: a checkpoint is an optimization
+/// (the log already holds everything), so a full disk must not fail the
+/// update that triggered it — the next `/checkpoint` reports the error
+/// in-band instead.
+fn maybe_checkpoint(session: &ServeSession, st: &mut WalState) {
+    if st.checkpoint_every > 0 && st.since_checkpoint >= st.checkpoint_every {
+        drop(checkpoint(session, st));
+    }
+}
+
+/// Rewrites the bundle from the live session under a temp-file +
+/// atomic-rename protocol, then truncates the log. Caller holds the
+/// session lock (read or write) and the WAL mutex, in that order. A
+/// crash between the rename and the truncate is benign: replaying the
+/// whole old log onto the checkpointed state is a no-op fixpoint.
+fn checkpoint(session: &ServeSession, st: &mut WalState) -> Result<u64> {
+    let Some(bundle) = st.bundle.clone() else {
+        return Err(KtgError::input(
+            "checkpoint requires a --bundle path to rewrite".to_string(),
+        ));
+    };
+    let mut tmp = bundle.clone().into_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let net = session.net();
+    let mut writer = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+    ktg_index::persist::save_bundle(
+        net.graph(),
+        net.vocab(),
+        net.keywords(),
+        session.nlrnl_index(),
+        &mut writer,
+    )?;
+    writer.flush()?;
+    let file = writer.into_inner().map_err(|e| KtgError::Io(e.into_error()))?;
+    // The rename is only atomic if the bytes are on disk first.
+    file.sync_data()?;
+    drop(file);
+    std::fs::rename(&tmp, &bundle)?;
+    st.writer.truncate()?;
+    st.last_checkpoint_seq = st.writer.seq();
+    st.since_checkpoint = 0;
+    Ok(st.last_checkpoint_seq)
 }
 
 /// Handles a `/control` line.
@@ -538,30 +797,93 @@ fn handle_control(shared: &Shared, writer: &mut impl Write, control: &str) -> Li
     match control {
         "stats" => {
             let line = stats_line(shared);
-            respond(writer, &[line.as_str()])
+            respond(&shared.stats, writer, &[line.as_str()])
+        }
+        "health" => {
+            let line = health_line(shared);
+            respond(&shared.stats, writer, &[line.as_str()])
+        }
+        "checkpoint" => {
+            let Some(wal) = &shared.wal else {
+                return respond(
+                    &shared.stats,
+                    writer,
+                    &["error: checkpoint requires the server to run with --wal"],
+                );
+            };
+            // Same order as the update path: session lock, then WAL.
+            // The read lock freezes updates for the bundle rewrite
+            // while letting queries flow.
+            let session = shared.read_session();
+            let result = checkpoint(&session, &mut lock_mutex(wal));
+            drop(session);
+            match result {
+                Ok(seq) => {
+                    let msg = format!("checkpointed: bundle rewritten at seq {seq}, log truncated");
+                    respond(&shared.stats, writer, &[msg.as_str()])
+                }
+                Err(e) => {
+                    let msg = format!("error: {e}");
+                    respond(&shared.stats, writer, &[msg.as_str()])
+                }
+            }
         }
         "drain" => {
             shared.draining.store(true, Ordering::Relaxed);
-            respond(writer, &["draining: new queries will be shed as overloaded"])
+            // Draining is the moment durability matters most: make any
+            // batch-policy tail durable before traffic moves away.
+            if let Some(wal) = &shared.wal {
+                drop(lock_mutex(wal).writer.sync());
+            }
+            respond(&shared.stats, writer, &["draining: new queries will be shed as overloaded"])
         }
         "resume" => {
             shared.draining.store(false, Ordering::Relaxed);
-            respond(writer, &["resumed: admission re-enabled"])
+            respond(&shared.stats, writer, &["resumed: admission re-enabled"])
         }
         "shutdown" => {
             // Acknowledge first: the flag closes every connection,
-            // including this one, right after.
-            let _ = respond(writer, &["shutting down"]);
+            // including this one, right after. Sync the log so a
+            // batch-policy tail survives the exit.
+            if let Some(wal) = &shared.wal {
+                drop(lock_mutex(wal).writer.sync());
+            }
+            let _ = respond(&shared.stats, writer, &["shutting down"]);
             shared.begin_shutdown();
             LineOutcome::Close
         }
         other => {
             let msg = format!(
-                "error: unknown control line `/{other}` (expected /stats, /drain, /resume, /shutdown)"
+                "error: unknown control line `/{other}` (expected /stats, /health, /checkpoint, /drain, /resume, /shutdown)"
             );
-            respond(writer, &[msg.as_str()])
+            respond(&shared.stats, writer, &[msg.as_str()])
         }
     }
+}
+
+/// Renders the `/health` response: one line, `health: ` plus a flat
+/// JSON object. `state` is `recovering` (startup replay in progress),
+/// `draining`, or `serving`; `wal_seq`/`checkpoint_seq` are 0 without
+/// `--wal`. Clients poll this before replaying after a reconnect.
+fn health_line(shared: &Shared) -> String {
+    let state = if shared.recovering.load(Ordering::SeqCst) {
+        "recovering"
+    } else if shared.draining.load(Ordering::Relaxed) {
+        "draining"
+    } else {
+        "serving"
+    };
+    let epoch = shared.read_session().epoch();
+    let (wal_seq, checkpoint_seq) = match &shared.wal {
+        Some(wal) => {
+            let st = lock_mutex(wal);
+            (st.writer.seq(), st.last_checkpoint_seq)
+        }
+        None => (0, 0),
+    };
+    format!(
+        "health: {{\"state\":\"{state}\",\"epoch\":{epoch},\"wal_seq\":{wal_seq},\"checkpoint_seq\":{checkpoint_seq}}}"
+    )
 }
 
 /// Renders the `/stats` response: one line, `stats: ` plus a flat JSON
@@ -574,6 +896,7 @@ fn stats_line(shared: &Shared) -> String {
         ("degraded", shared.stats.degraded.load(Ordering::Relaxed)),
         ("overloaded", shared.stats.overloaded.load(Ordering::Relaxed)),
         ("failed", shared.stats.failed.load(Ordering::Relaxed)),
+        ("write_failures", shared.stats.write_failures.load(Ordering::Relaxed)),
         ("result_hits", session_stats.result_hits),
         ("result_misses", session_stats.result_misses),
         ("result_reclaimed", session_stats.result_reclaimed),
@@ -606,10 +929,20 @@ pub(crate) fn serve_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunSta
         None => None,
         Some(_) => Some(args.required_num::<u64>("conn-deadline-ms")?),
     };
+    let wal = match args.optional("wal") {
+        None => None,
+        Some(path) => Some(WalConfig {
+            path: PathBuf::from(path),
+            sync: WalSync::parse(args.optional("wal-sync").unwrap_or("always"))?,
+            checkpoint_every: args.num_or("checkpoint-every", 0)?,
+            bundle: args.optional("bundle").map(PathBuf::from),
+        }),
+    };
     let cfg = ServeConfig {
         bind: args.optional("bind").unwrap_or("127.0.0.1:0").to_string(),
         workers: args.num_or("workers", 0)?,
         conn_deadline_ms,
+        wal,
         options,
     };
     let workers = if cfg.workers == 0 { worker_count() } else { cfg.workers };
@@ -620,6 +953,16 @@ pub(crate) fn serve_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunSta
     };
     let max_inflight = cfg.options.max_inflight;
     let handle = start_with_index(net, cfg, preloaded)?;
+    if let Some(info) = handle.recovered() {
+        // Greppable recovery report for scripts and the CI crash smoke.
+        writeln!(
+            out,
+            "wal: recovered {} update{}{}",
+            info.replayed,
+            if info.replayed == 1 { "" } else { "s" },
+            if info.torn_tail { " (torn tail truncated)" } else { "" }
+        )?;
+    }
     // One greppable line with the resolved address: scripts (and the CI
     // smoke) parse the ephemeral port out of it.
     writeln!(
@@ -633,38 +976,150 @@ pub(crate) fn serve_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunSta
     Ok(RunStatus::Complete)
 }
 
-/// `ktg serve --connect ADDR [--workload FILE] [--stats] [--shutdown]`:
-/// replays a workload over one connection, printing every response
-/// block verbatim (minus the `.` terminators), then optionally fetches
-/// `/stats` and/or requests `/shutdown`.
+/// `ktg serve --connect ADDR [--workload FILE] [--stats] [--shutdown]
+/// [--retry N] [--retry-base-ms MS]`: replays a workload over one
+/// connection, printing every response block verbatim (minus the `.`
+/// terminators), then optionally fetches `/stats` and/or requests
+/// `/shutdown`.
+///
+/// With `--retry N` a dropped connection (refused connect, reset, or a
+/// close mid-response) is retried up to `N` times: the client sleeps a
+/// deterministic seeded exponential backoff, polls `/health` until the
+/// server reports `serving` again, reconnects, and resumes from the
+/// first request line it never saw a full response for. Update lines
+/// set the presence of one specific edge, so resending the line whose
+/// response was lost mid-flight converges to the same state.
 fn client_cmd(args: &ParsedArgs, out: &mut dyn Write) -> Result<RunStatus> {
     let addr = args.required("connect")?;
+    let retries = args.num_or::<u64>("retry", 0)?;
+    let base_ms = args.num_or::<u64>("retry-base-ms", 50)?;
+    // The full request script: workload lines, then the optional
+    // trailing controls. Retries resume from the first unanswered step.
+    let mut steps: Vec<String> = match args.optional("workload") {
+        Some(path) => std::fs::read_to_string(path)?.lines().map(str::to_string).collect(),
+        None => Vec::new(),
+    };
+    if args.optional("stats").is_some() {
+        steps.push("/stats".to_string());
+    }
+    if args.optional("shutdown").is_some() {
+        steps.push("/shutdown".to_string());
+    }
+    client_replay(addr, &steps, retries, base_ms, out)
+}
+
+/// The client's retry loop: replays `steps` against `addr`, resuming
+/// after connection-shaped failures up to `retries` times (see
+/// [`client_cmd`]).
+fn client_replay(
+    addr: &str,
+    steps: &[String],
+    retries: u64,
+    base_ms: u64,
+    out: &mut dyn Write,
+) -> Result<RunStatus> {
+    let mut status = RunStatus::Complete;
+    let mut next_step = 0usize;
+    let mut attempt = 0u64;
+    // Fixed seed: the backoff schedule is part of the reproducible
+    // client behavior, not a source of true randomness.
+    let mut rng = SplitMix64::new(0x6b74_675f_7265_7472);
+    loop {
+        match run_client_once(addr, steps, &mut next_step, out, &mut status) {
+            Ok(()) => return Ok(status),
+            Err(e) if attempt < retries && is_retryable(&e) => {
+                attempt += 1;
+                writeln!(out, "retry: attempt {attempt}/{retries} after: {e}")?;
+                out.flush()?;
+                backoff_sleep(base_ms, attempt, &mut rng);
+                wait_healthy(addr, base_ms, &mut rng);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Connection-shaped failures are worth a reconnect; protocol errors
+/// (oversized frames, bad flags) are not.
+fn is_retryable(e: &KtgError) -> bool {
+    match e {
+        KtgError::Io(_) => true,
+        other => other.to_string().contains("closed the connection"),
+    }
+}
+
+/// Deterministic exponential backoff with seeded jitter:
+/// `base << (attempt-1)` milliseconds (capped at 64x) plus up to one
+/// extra base interval drawn from the client's fixed-seed generator.
+fn backoff_sleep(base_ms: u64, attempt: u64, rng: &mut SplitMix64) {
+    let shift = (attempt.saturating_sub(1)).min(6);
+    let jitter = rng.next_u64() % base_ms.max(1);
+    let delay = base_ms.saturating_mul(1u64 << shift).saturating_add(jitter);
+    std::thread::sleep(Duration::from_millis(delay));
+}
+
+/// Polls `/health` (bounded attempts) until the server reports
+/// `"state":"serving"` — i.e. it is back up *and* done replaying its
+/// WAL — so the resumed workload doesn't burn its reconnect on a
+/// server that is still recovering. Gives up silently after the
+/// attempt budget: the caller's reconnect will then fail and consume a
+/// retry, keeping the overall loop bounded.
+fn wait_healthy(addr: &str, base_ms: u64, rng: &mut SplitMix64) {
+    const HEALTH_POLLS: u64 = 10;
+    for poll in 1..=HEALTH_POLLS {
+        if probe_health(addr).unwrap_or(false) {
+            return;
+        }
+        backoff_sleep(base_ms, poll, rng);
+    }
+}
+
+/// One `/health` round-trip; `Ok(true)` iff the server answered and
+/// reported the `serving` state.
+fn probe_health(addr: &str) -> Result<bool> {
+    let stream = TcpStream::connect(addr)?;
+    drop(stream.set_nodelay(true));
+    let mut writer = stream.try_clone()?;
+    let mut reader = LineReader::new(stream, READER_CAP * 16);
+    write_line(&mut writer, "/health")?;
+    writer.flush()?;
+    let mut serving = false;
+    loop {
+        match reader.read_frame()? {
+            Frame::Line(line) if line == "." => return Ok(serving),
+            Frame::Line(line) => {
+                serving = serving || line.contains("\"state\":\"serving\"");
+            }
+            _ => return Ok(false),
+        }
+    }
+}
+
+/// One connection's worth of the request script: connects, replays
+/// `steps[*next_step..]`, and advances `next_step` only after each
+/// step's full response block has been read, so a retry resumes at the
+/// first request the client never saw answered.
+fn run_client_once(
+    addr: &str,
+    steps: &[String],
+    next_step: &mut usize,
+    out: &mut dyn Write,
+    status: &mut RunStatus,
+) -> Result<()> {
     let stream = TcpStream::connect(addr)?;
     drop(stream.set_nodelay(true));
     let mut writer = stream.try_clone()?;
     // Response lines are answer lines; none legitimately exceed the
     // request cap by much, but allow slack for long group listings.
     let mut reader = LineReader::new(stream, READER_CAP * 16);
-    let mut status = RunStatus::Complete;
-    if let Some(path) = args.optional("workload") {
-        let text = std::fs::read_to_string(path)?;
-        for line in text.lines() {
-            write_line(&mut writer, line)?;
-            writer.flush()?;
-            read_block(&mut reader, out, &mut status)?;
-        }
-    }
-    if args.optional("stats").is_some() {
-        write_line(&mut writer, "/stats")?;
+    while *next_step < steps.len() {
+        let line = &steps[*next_step];
+        write_line(&mut writer, line)?;
         writer.flush()?;
-        read_block(&mut reader, out, &mut status)?;
+        read_block(&mut reader, out, status)?;
+        *next_step += 1;
     }
-    if args.optional("shutdown").is_some() {
-        write_line(&mut writer, "/shutdown")?;
-        writer.flush()?;
-        read_block(&mut reader, out, &mut status)?;
-    }
-    Ok(status)
+    Ok(())
 }
 
 /// Reads one response block (through the `.` terminator), echoing its
@@ -819,6 +1274,7 @@ mod tests {
         let line = &block[0];
         for field in [
             "\"requests\":", "\"degraded\":", "\"overloaded\":1", "\"failed\":",
+            "\"write_failures\":0",
             "\"result_hits\":", "\"result_misses\":", "\"result_reclaimed\":",
             "\"subset_hits\":", "\"compactions\":", "\"row_hits\":",
             "\"row_misses\":", "\"row_evictions\":", "\"epoch\":1", "\"inflight\":0",
@@ -883,5 +1339,318 @@ mod tests {
         assert!(second[0].contains("[cached]"), "{second:?}");
         handle.shutdown();
         handle.join().unwrap();
+    }
+
+    // -- durability ---------------------------------------------------------
+
+    /// Fresh per-test scratch directory under the system temp dir.
+    fn wal_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ktg-serve-{tag}-{}", std::process::id()));
+        drop(std::fs::remove_dir_all(&dir));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn wal_cfg(path: PathBuf) -> WalConfig {
+        WalConfig { path, sync: WalSync::Always, checkpoint_every: 0, bundle: None }
+    }
+
+    /// Starts a figure-1 server with a WAL attached.
+    fn boot_wal(wal: WalConfig) -> (ServerHandle, LineReader<TcpStream>, TcpStream) {
+        let cfg = ServeConfig {
+            workers: 2,
+            options: ServeOptions { threads: 1, ..ServeOptions::default() },
+            wal: Some(wal),
+            ..ServeConfig::default()
+        };
+        let handle = start(fixtures::figure1(), cfg).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let writer = stream.try_clone().unwrap();
+        (handle, LineReader::new(stream, READER_CAP * 16), writer)
+    }
+
+    /// Polls `/health` until the startup recovery task finishes.
+    fn await_serving(reader: &mut LineReader<TcpStream>, writer: &mut TcpStream) {
+        for _ in 0..500 {
+            let block = request(reader, writer, "/health");
+            if block[0].contains("\"state\":\"serving\"") {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("server never reached the serving state");
+    }
+
+    /// Serializes tests that arm the process-global fault registry.
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Updates are logged (queries and parse errors are not), and a
+    /// fresh server over the same log replays them to the identical
+    /// session state before answering in-band requests.
+    #[test]
+    fn wal_recovery_replays_updates() {
+        let dir = wal_dir("recover");
+        let wal = dir.join("updates.wal");
+        let (handle, mut reader, mut writer) = boot_wal(wal_cfg(wal.clone()));
+        assert_eq!(
+            request(&mut reader, &mut writer, "insert 0 5"),
+            vec!["[1] update: applied".to_string()]
+        );
+        assert_eq!(
+            request(&mut reader, &mut writer, "remove 0 5"),
+            vec!["[2] update: applied".to_string()]
+        );
+        assert_eq!(
+            request(&mut reader, &mut writer, "insert 0 5"),
+            vec!["[3] update: applied".to_string()]
+        );
+        // Neither queries nor parse errors consume a log sequence slot.
+        request(&mut reader, &mut writer, PAPER_QUERY);
+        request(&mut reader, &mut writer, "bogus line");
+        let health = request(&mut reader, &mut writer, "/health");
+        assert!(health[0].contains("\"state\":\"serving\""), "{health:?}");
+        assert!(health[0].contains("\"wal_seq\":3"), "{health:?}");
+        request(&mut reader, &mut writer, "/shutdown");
+        handle.join().unwrap();
+
+        // Restart: a pristine figure-1 net + the surviving log.
+        let (handle, mut reader, mut writer) = boot_wal(wal_cfg(wal));
+        assert_eq!(
+            handle.recovered(),
+            Some(RecoveryInfo { replayed: 3, torn_tail: false })
+        );
+        await_serving(&mut reader, &mut writer);
+        // The replayed insert left edge 0-5 present.
+        assert_eq!(
+            request(&mut reader, &mut writer, "insert 0 5"),
+            vec!["[1] update: no-op".to_string()]
+        );
+        // Sequence numbering continued past the replayed records.
+        let health = request(&mut reader, &mut writer, "/health");
+        assert!(health[0].contains("\"wal_seq\":4"), "{health:?}");
+        request(&mut reader, &mut writer, "/shutdown");
+        handle.join().unwrap();
+    }
+
+    /// A crash mid-append leaves a prefix of the final record; recovery
+    /// drops it, truncates the file back, and reports the torn tail.
+    #[test]
+    fn torn_wal_tail_recovers_with_truncation() {
+        let dir = wal_dir("torn");
+        let wal = dir.join("updates.wal");
+        let (handle, mut reader, mut writer) = boot_wal(wal_cfg(wal.clone()));
+        request(&mut reader, &mut writer, "insert 0 5");
+        request(&mut reader, &mut writer, "/shutdown");
+        handle.join().unwrap();
+        let clean_len = std::fs::metadata(&wal).unwrap().len();
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(&[24, 0, 0, 0, 7, 7, 7]).unwrap();
+        drop(f);
+        let (handle, mut reader, mut writer) = boot_wal(wal_cfg(wal.clone()));
+        assert_eq!(
+            handle.recovered(),
+            Some(RecoveryInfo { replayed: 1, torn_tail: true })
+        );
+        assert_eq!(std::fs::metadata(&wal).unwrap().len(), clean_len);
+        await_serving(&mut reader, &mut writer);
+        assert_eq!(
+            request(&mut reader, &mut writer, "insert 0 5"),
+            vec!["[1] update: no-op".to_string()]
+        );
+        request(&mut reader, &mut writer, "/shutdown");
+        handle.join().unwrap();
+    }
+
+    /// Damage *before* the tail cannot be a crash artifact: startup
+    /// refuses with a typed error instead of truncating or panicking.
+    #[test]
+    fn corrupt_wal_is_a_typed_startup_error() {
+        let dir = wal_dir("corrupt");
+        let wal = dir.join("updates.wal");
+        let (handle, mut reader, mut writer) = boot_wal(wal_cfg(wal.clone()));
+        request(&mut reader, &mut writer, "insert 0 5");
+        request(&mut reader, &mut writer, "remove 0 5");
+        request(&mut reader, &mut writer, "/shutdown");
+        handle.join().unwrap();
+        // Flip one payload byte inside the first record.
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes[20 + 4 + 8] ^= 0x40;
+        std::fs::write(&wal, &bytes).unwrap();
+        let cfg = ServeConfig {
+            workers: 2,
+            options: ServeOptions { threads: 1, ..ServeOptions::default() },
+            wal: Some(wal_cfg(wal)),
+            ..ServeConfig::default()
+        };
+        match start(fixtures::figure1(), cfg) {
+            Err(KtgError::InvalidInput(_)) => {}
+            Err(other) => panic!("expected a typed input error, got {other}"),
+            Ok(_) => panic!("corrupt wal must fail startup"),
+        }
+    }
+
+    /// `/checkpoint` rewrites the bundle and truncates the log; a
+    /// restart from the bundle alone carries the checkpointed state,
+    /// and sequence numbering continues from the checkpoint.
+    #[test]
+    fn checkpoint_rewrites_bundle_and_truncates_log() {
+        let dir = wal_dir("checkpoint");
+        let wal = dir.join("updates.wal");
+        let bundle = dir.join("net.bundle");
+        let cfg = WalConfig {
+            path: wal.clone(),
+            sync: WalSync::Always,
+            checkpoint_every: 0,
+            bundle: Some(bundle.clone()),
+        };
+        let (handle, mut reader, mut writer) = boot_wal(cfg.clone());
+        request(&mut reader, &mut writer, "insert 0 5");
+        let block = request(&mut reader, &mut writer, "/checkpoint");
+        assert!(block[0].starts_with("checkpointed:"), "{block:?}");
+        let health = request(&mut reader, &mut writer, "/health");
+        assert!(health[0].contains("\"wal_seq\":1"), "{health:?}");
+        assert!(health[0].contains("\"checkpoint_seq\":1"), "{health:?}");
+        request(&mut reader, &mut writer, "/shutdown");
+        handle.join().unwrap();
+        assert!(bundle.exists());
+        assert!(!dir.join("net.bundle.tmp").exists());
+
+        // The truncated log holds nothing to replay; the bundle holds
+        // the update.
+        let loaded =
+            ktg_index::persist::load_bundle(std::fs::File::open(&bundle).unwrap())
+                .unwrap();
+        let net =
+            AttributedGraph::with_store(loaded.graph, loaded.vocab, loaded.keywords);
+        let cfg2 = ServeConfig {
+            workers: 2,
+            options: ServeOptions { threads: 1, ..ServeOptions::default() },
+            wal: Some(cfg),
+            ..ServeConfig::default()
+        };
+        let handle = start(net, cfg2).unwrap();
+        assert_eq!(
+            handle.recovered(),
+            Some(RecoveryInfo { replayed: 0, torn_tail: false })
+        );
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut w2 = stream.try_clone().unwrap();
+        let mut r2 = LineReader::new(stream, READER_CAP * 16);
+        assert_eq!(
+            request(&mut r2, &mut w2, "insert 0 5"),
+            vec!["[1] update: no-op".to_string()]
+        );
+        let health = request(&mut r2, &mut w2, "/health");
+        assert!(health[0].contains("\"wal_seq\":2"), "{health:?}");
+        request(&mut r2, &mut w2, "/shutdown");
+        handle.join().unwrap();
+    }
+
+    /// `/health` renders the flat one-line JSON and tracks the drain
+    /// state; `/checkpoint` without `--wal` is an in-band error.
+    #[test]
+    fn health_line_states_and_checkpoint_guard() {
+        let opts = ServeOptions { threads: 1, ..ServeOptions::default() };
+        let (handle, mut reader, mut writer) = boot(opts, None);
+        let health = request(&mut reader, &mut writer, "/health");
+        assert_eq!(
+            health,
+            vec![
+                r#"health: {"state":"serving","epoch":0,"wal_seq":0,"checkpoint_seq":0}"#
+                    .to_string()
+            ]
+        );
+        let block = request(&mut reader, &mut writer, "/checkpoint");
+        assert!(block[0].starts_with("error: checkpoint requires"), "{block:?}");
+        request(&mut reader, &mut writer, "/drain");
+        let health = request(&mut reader, &mut writer, "/health");
+        assert!(health[0].contains("\"state\":\"draining\""), "{health:?}");
+        request(&mut reader, &mut writer, "/resume");
+        let health = request(&mut reader, &mut writer, "/health");
+        assert!(health[0].contains("\"state\":\"serving\""), "{health:?}");
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    /// Write errors on the response path are counted, never dropped.
+    #[test]
+    fn response_write_errors_are_counted() {
+        struct Refuse;
+        impl Write for Refuse {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "refused"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let stats = ServerStats::new();
+        assert!(matches!(respond(&stats, &mut Refuse, &["x"]), LineOutcome::Close));
+        assert_eq!(stats.write_failures.load(Ordering::Relaxed), 1);
+    }
+
+    /// The retrying client survives a server that is not up yet: it
+    /// backs off deterministically, polls `/health`, reconnects, and
+    /// completes the whole script once the server appears. (The wire
+    /// equivalent of `--connect ... --retry N` racing a restart.)
+    #[test]
+    fn client_retries_until_the_server_appears() {
+        // Reserve a loopback port, then free it for the real server.
+        let addr = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().to_string()
+        };
+        let steps: Vec<String> =
+            ["insert 0 5", "/health", "/shutdown"].map(String::from).to_vec();
+        let client_addr = addr.clone();
+        let client = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let status = client_replay(&client_addr, &steps, 30, 5, &mut out);
+            (status, String::from_utf8(out).unwrap())
+        });
+        // Let the client burn at least one connect-refused attempt.
+        std::thread::sleep(Duration::from_millis(30));
+        let cfg = ServeConfig {
+            bind: addr,
+            workers: 2,
+            options: ServeOptions { threads: 1, ..ServeOptions::default() },
+            ..ServeConfig::default()
+        };
+        let handle = start(fixtures::figure1(), cfg).unwrap();
+        let (status, out) = client.join().unwrap();
+        assert!(matches!(status, Ok(RunStatus::Complete)), "{status:?}: {out}");
+        assert!(out.contains("retry: attempt 1/30"), "no retry recorded: {out}");
+        assert!(out.contains("[1] update: applied"), "{out}");
+        assert!(out.contains("\"state\":\"serving\""), "{out}");
+        assert!(out.contains("shutting down"), "{out}");
+        handle.join().unwrap();
+    }
+
+    /// An injected `wal` fault is absorbed by the append's retry: the
+    /// update still lands in both the log and the session.
+    #[test]
+    fn injected_wal_fault_is_retried() {
+        let _guard = fault_lock();
+        let dir = wal_dir("fault");
+        let wal = dir.join("updates.wal");
+        fault::set_config(Some(fault::FaultConfig::new(&[FaultSite::WalAppend], 1.0, 7)));
+        let (handle, mut reader, mut writer) = boot_wal(wal_cfg(wal.clone()));
+        let block = request(&mut reader, &mut writer, "insert 0 5");
+        fault::set_config(None);
+        assert_eq!(block, vec!["[1] update: applied".to_string()]);
+        request(&mut reader, &mut writer, "/shutdown");
+        handle.join().unwrap();
+        // The retried append produced one well-formed record.
+        let replayed = ktg_index::wal::replay(&wal).unwrap();
+        assert_eq!(replayed.records.len(), 1);
+        assert_eq!(replayed.records[0].line, "insert 0 5");
+        assert!(!replayed.torn_tail);
     }
 }

@@ -1,0 +1,278 @@
+//! End-to-end crash recovery against the real `ktg` binary.
+//!
+//! These tests spawn the actual executable, kill it without ceremony
+//! (`SIGKILL` — no destructors, no flushes), restart it from its
+//! write-ahead log, and hold the concatenated response bytes equal to
+//! an uninterrupted `ktg batch` run of the same workload. They are the
+//! process-level counterpart of the in-process crash-point sweeps in
+//! the differential suites: everything here crosses a real pipe, a
+//! real socket, and a real `kill(2)`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn ktg() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ktg"))
+}
+
+/// Scratch directory holding a tiny hand-written dataset — the paper's
+/// Figure 1 network (`ktg_core::fixtures::figure1`) in the text formats
+/// `ktg` loads. Writing the files directly instead of running
+/// `ktg generate` keeps the *debug-mode* binary's end-to-end runtime in
+/// seconds: every query below solves instantly on 12 vertices, and this
+/// suite runs under plain `cargo test`.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ktg-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("data")).expect("scratch dir");
+    let edges = "# ktg edge list: 12 vertices, 16 edges\n\
+        0\t1\n0\t2\n0\t3\n0\t4\n0\t9\n0\t11\n\
+        2\t3\n3\t4\n3\t9\n\
+        4\t6\n4\t7\n4\t8\n6\t7\n6\t8\n\
+        5\t7\n2\t10\n";
+    let keywords = "# ktg keyword profiles: 12 vertices\n\
+        0\tSN,GD,DQ\n1\tSN,DQ\n2\tSN,GD\n3\tDQ,GD\n4\tGD\n5\tGD\n\
+        6\tML\n7\tSN,QP\n8\tIR\n9\tML,IR\n10\tQP,GD\n11\tSN,GD\n";
+    std::fs::write(dir.join("data/edges.txt"), edges).expect("edges");
+    std::fs::write(dir.join("data/keywords.txt"), keywords).expect("keywords");
+    dir
+}
+
+/// Spawns `ktg serve` over the generated data with a WAL attached and
+/// returns the child plus its reported address. Extra env vars (e.g.
+/// `KTG_CRASH_AFTER`) ride along.
+fn spawn_server(dir: &Path, envs: &[(&str, &str)]) -> (Child, String, Vec<String>) {
+    let mut cmd = ktg();
+    cmd.arg("serve")
+        .arg("--edges")
+        .arg(dir.join("data/edges.txt"))
+        .arg("--keywords")
+        .arg(dir.join("data/keywords.txt"))
+        .arg("--wal")
+        .arg(dir.join("updates.wal"))
+        .args(["--bind", "127.0.0.1:0", "--workers", "2", "--threads", "1", "--no-cache"])
+        .env("KTG_VERIFY", "1")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut preamble = Vec::new();
+    let mut addr = String::new();
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("read server stdout");
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            addr = rest.split(' ').next().expect("address token").to_string();
+            break;
+        }
+        preamble.push(line);
+    }
+    assert!(!addr.is_empty(), "server never reported its address: {preamble:?}");
+    (child, addr, preamble)
+}
+
+/// Sends one line and reads its `.`-terminated response block,
+/// returning the block's lines (newline-joined, empty for none).
+fn request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    line: &str,
+) -> std::io::Result<String> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut block = String::new();
+    loop {
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        if response == ".\n" {
+            return Ok(block);
+        }
+        block.push_str(&response);
+    }
+}
+
+/// Replays `lines` over one connection, concatenating response text.
+fn replay(addr: &str, lines: &[&str]) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&request(&mut reader, &mut writer, line).expect("request"));
+    }
+    out
+}
+
+/// Polls `/health` until the server reports `serving` (recovery done).
+fn await_serving(addr: &str) {
+    for _ in 0..500 {
+        let stream = TcpStream::connect(addr).expect("connect for health");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let block = request(&mut reader, &mut writer, "/health").expect("health");
+        if block.contains("\"state\":\"serving\"") {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("server never finished recovering");
+}
+
+/// Response linenos are per-connection; an interrupted run restarts
+/// them on the post-crash connection. Renumbering with one global
+/// counter makes the concatenated crashed-run bytes comparable to the
+/// uninterrupted batch bytes (everything else must match verbatim).
+fn renumber(text: &str) -> String {
+    let mut n = 0usize;
+    let mut out = String::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix('[') {
+            if let Some((num, tail)) = rest.split_once("] ") {
+                if num.chars().all(|c| c.is_ascii_digit()) {
+                    n += 1;
+                    out.push_str(&format!("[{n}] {tail}\n"));
+                    continue;
+                }
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// SIGKILL the server mid-workload; a restarted process must recover
+/// the first half's updates from the WAL and serve the second half so
+/// that the concatenated responses are (modulo per-connection
+/// numbering) the uninterrupted `ktg batch` bytes for the whole
+/// workload.
+#[test]
+fn sigkill_mid_workload_recovers_byte_identically() {
+    // Edges (1,2) and (10,11) are absent from Figure 1, so both inserts
+    // genuinely mutate state — and `remove 1 2` in the second half
+    // renders `applied` only if the pre-crash insert survived, which is
+    // what makes the byte equality a durability proof rather than a
+    // tautology.
+    let dir = scratch("kill9");
+    let first_half = [
+        "ktg terms=SN,DQ,GD p=3 k=1 n=2",
+        "insert 1 2",
+        "dktg terms=SN,QP,GD p=3 k=1 n=2 gamma=0.5",
+        "insert 10 11",
+    ];
+    let second_half =
+        ["ktg terms=QP,GD p=3 k=1 n=2", "remove 1 2", "ktg terms=SN,GD p=3 k=1 n=2"];
+    let full: Vec<&str> = first_half.iter().chain(&second_half).copied().collect();
+
+    // The uninterrupted reference: one `ktg batch` over the whole
+    // workload, header/summary lines stripped.
+    std::fs::write(dir.join("workload.txt"), full.join("\n") + "\n").expect("workload");
+    let batch = ktg()
+        .arg("batch")
+        .arg("--edges")
+        .arg(dir.join("data/edges.txt"))
+        .arg("--keywords")
+        .arg(dir.join("data/keywords.txt"))
+        .arg("--workload")
+        .arg(dir.join("workload.txt"))
+        .args(["--threads", "1", "--no-cache"])
+        .env("KTG_VERIFY", "1")
+        .output()
+        .expect("run batch");
+    assert!(batch.status.success(), "batch failed");
+    let reference: String = String::from_utf8(batch.stdout)
+        .expect("batch output")
+        .lines()
+        .filter(|l| {
+            !l.starts_with("batch: ") && !l.starts_with("served: ") && !l.starts_with("partial: ")
+        })
+        .map(|l| format!("{l}\n"))
+        .collect();
+
+    let (mut child, addr, _) = spawn_server(&dir, &[]);
+    let first_bytes = replay(&addr, &first_half);
+    // No farewell, no flush, no Drop: the process is simply gone.
+    child.kill().expect("SIGKILL server");
+    let _ = child.wait();
+
+    let (mut child, addr, preamble) = spawn_server(&dir, &[]);
+    assert!(
+        preamble.iter().any(|l| l.starts_with("wal: recovered 2 updates")),
+        "restart did not report WAL recovery: {preamble:?}"
+    );
+    await_serving(&addr);
+    let second_bytes = replay(&addr, &second_half);
+    let got = renumber(&(first_bytes + &second_bytes));
+    assert_eq!(renumber(&reference), got, "crashed+recovered bytes diverged from batch");
+
+    // `remove 1 2` rendering `applied` (asserted via the byte equality
+    // above) is the durability proof: the pre-crash insert survived.
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let _ = request(&mut reader, &mut writer, "/shutdown");
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The seeded crash harness: `KTG_CRASH_AFTER=n` aborts the process
+/// after the n-th WAL append — *after* the record is durable, *before*
+/// the update is applied or acknowledged. Restart must replay all n
+/// records: the logged-but-never-applied tail update is recovered, not
+/// lost, exactly the log-before-apply contract.
+#[test]
+fn crash_after_harness_recovers_the_unapplied_tail() {
+    // All three edges are absent from Figure 1, so every insert renders
+    // `applied` live and `no-op` on the recovered probe.
+    let dir = scratch("crash-after");
+    let (mut child, addr, _) = spawn_server(&dir, &[("KTG_CRASH_AFTER", "3")]);
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    assert_eq!(
+        request(&mut reader, &mut writer, "insert 1 2").expect("update 1"),
+        "[1] update: applied\n"
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "insert 5 6").expect("update 2"),
+        "[2] update: applied\n"
+    );
+    // The third append trips the harness: the record hits the disk,
+    // then the process aborts without responding.
+    let third = request(&mut reader, &mut writer, "insert 10 11");
+    assert!(third.is_err(), "crash harness did not kill the server: {third:?}");
+    let status = child.wait().expect("reap server");
+    assert!(!status.success(), "KTG_CRASH_AFTER abort must be a nonzero exit");
+
+    let (mut child, addr, preamble) = spawn_server(&dir, &[]);
+    assert!(
+        preamble.iter().any(|l| l.starts_with("wal: recovered 3 updates")),
+        "all three durable records must replay: {preamble:?}"
+    );
+    await_serving(&addr);
+    // Every update — the unacknowledged third included — is present.
+    let probe = replay(&addr, &["insert 1 2", "insert 5 6", "insert 10 11"]);
+    assert_eq!(
+        probe,
+        "[1] update: no-op\n[2] update: no-op\n[3] update: no-op\n",
+        "recovered state is missing a durable update"
+    );
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let _ = request(&mut reader, &mut writer, "/shutdown");
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

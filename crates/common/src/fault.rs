@@ -15,9 +15,9 @@
 //! nothing for the machinery.
 //!
 //! `KTG_FAULTS=<sites>:<rate>:<seed>` where `<sites>` is a
-//! comma-separated subset of `parse`, `pool`, `cache`, `solve` (or
-//! `all`), `<rate>` is a probability in `[0, 1]`, and `<seed>` is a
-//! `u64`. Example: `KTG_FAULTS=pool,solve:0.2:42`.
+//! comma-separated subset of `parse`, `pool`, `cache`, `solve`, `wal`,
+//! `io` (or `all`), `<rate>` is a probability in `[0, 1]`, and `<seed>`
+//! is a `u64`. Example: `KTG_FAULTS=pool,solve:0.2:42`.
 //!
 //! Injected faults panic with a typed [`InjectedFault`] payload (via
 //! `std::panic::panic_any`), so recovery layers can tell an injected
@@ -45,14 +45,23 @@ pub enum FaultSite {
     CacheLookup,
     /// A worker beginning to solve a query item.
     WorkerSolve,
+    /// A write-ahead-log record append (`ktg_index::wal`), fired before
+    /// the appender mutates any of its own state.
+    WalAppend,
+    /// A server response write (`ktg serve`'s respond path), fired
+    /// before bytes reach the connection, so half-written-block
+    /// accounting (`write_failures`) is testable on demand.
+    ServeIo,
 }
 
 /// All sites, in mask-bit order.
-pub const ALL_SITES: [FaultSite; 4] = [
+pub const ALL_SITES: [FaultSite; 6] = [
     FaultSite::WorkloadParse,
     FaultSite::PoolAcquire,
     FaultSite::CacheLookup,
     FaultSite::WorkerSolve,
+    FaultSite::WalAppend,
+    FaultSite::ServeIo,
 ];
 
 impl FaultSite {
@@ -62,6 +71,8 @@ impl FaultSite {
             FaultSite::PoolAcquire => 1,
             FaultSite::CacheLookup => 2,
             FaultSite::WorkerSolve => 3,
+            FaultSite::WalAppend => 4,
+            FaultSite::ServeIo => 5,
         }
     }
 
@@ -73,8 +84,14 @@ impl FaultSite {
     fn tag(self) -> u64 {
         // Distinct odd constants; any fixed values work, they only need
         // to decorrelate sites under the same seed.
-        [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F, 0x1656_67B1_9E37_79F9, 0x2545_F491_4F6C_DD1D]
-            [self.index()]
+        [
+            0x9E37_79B9_7F4A_7C15,
+            0xC2B2_AE3D_27D4_EB4F,
+            0x1656_67B1_9E37_79F9,
+            0x2545_F491_4F6C_DD1D,
+            0x85EB_CA77_C2B2_AE63,
+            0x27D4_EB2F_1656_67C5,
+        ][self.index()]
     }
 
     /// Short spec name used in `KTG_FAULTS`.
@@ -84,6 +101,8 @@ impl FaultSite {
             FaultSite::PoolAcquire => "pool",
             FaultSite::CacheLookup => "cache",
             FaultSite::WorkerSolve => "solve",
+            FaultSite::WalAppend => "wal",
+            FaultSite::ServeIo => "io",
         }
     }
 }
@@ -192,8 +211,14 @@ impl FaultConfig {
 static ARMED: AtomicBool = AtomicBool::new(false);
 static CONFIG: Mutex<Option<FaultConfig>> = Mutex::new(None);
 static ENV_INIT: Once = Once::new();
-static COUNTERS: [AtomicU64; 4] =
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+static COUNTERS: [AtomicU64; 6] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
 
 thread_local! {
     static SUPPRESS: Cell<bool> = const { Cell::new(false) };

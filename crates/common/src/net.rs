@@ -303,4 +303,78 @@ mod tests {
         write_line(&mut out, "").unwrap();
         assert_eq!(out, b"stats: ok\n\n");
     }
+
+    // -- adversarial framing ------------------------------------------------
+
+    /// A peer trickling one byte per syscall still frames correctly —
+    /// the worst-case exercise of the scan-resume bookkeeping.
+    #[test]
+    fn single_byte_reads_frame_correctly() {
+        let steps: Vec<io::Result<Vec<u8>>> =
+            b"ab\ncd\n".iter().map(|&b| Ok(vec![b])).collect();
+        let mut r = scripted(steps);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("ab".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("cd".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    /// A CRLF terminator split across two reads: the CR must stay
+    /// attached to its line (the workload parser strips it), not leak
+    /// into the next frame or spawn a phantom empty line.
+    #[test]
+    fn crlf_split_across_reads() {
+        let mut r = scripted(vec![
+            Ok(b"one\r".to_vec()),
+            Ok(b"\ntwo".to_vec()),
+            Ok(b"\r\n".to_vec()),
+        ]);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("one\r".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("two\r".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    /// An overlong line delivered in drips, with its terminating
+    /// newline and a valid successor split across further reads: the
+    /// discard state must swallow exactly through the newline and
+    /// resync on the very next byte.
+    #[test]
+    fn overlong_resync_across_split_reads() {
+        let mut r = scripted(vec![
+            Ok(vec![b'x'; 50]),
+            Ok(vec![b'x'; 50]),
+            Ok(b"x\nok".to_vec()),
+            Ok(b"\n".to_vec()),
+        ]);
+        let Frame::Overlong { bytes } = r.read_frame().unwrap() else {
+            panic!("expected overlong frame")
+        };
+        assert!(bytes > 64, "reported {bytes} bytes");
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("ok".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    /// EOF with a partial frame buffered (the peer died mid-line): the
+    /// fragment is surfaced once as a final line, then EOF sticks —
+    /// no spin, no duplicate delivery.
+    #[test]
+    fn eof_mid_frame_yields_fragment_once() {
+        let mut r = scripted(vec![Ok(b"half".to_vec())]);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("half".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
+
+    /// Interrupted reads are retried transparently, even mid-line.
+    #[test]
+    fn interrupted_reads_are_retried() {
+        let interrupted = || io::Error::new(io::ErrorKind::Interrupted, "signal");
+        let mut r = scripted(vec![
+            Err(interrupted()),
+            Ok(b"o".to_vec()),
+            Err(interrupted()),
+            Ok(b"k\n".to_vec()),
+        ]);
+        assert_eq!(r.read_frame().unwrap(), Frame::Line("ok".into()));
+        assert_eq!(r.read_frame().unwrap(), Frame::Eof);
+    }
 }

@@ -437,6 +437,16 @@ impl ServeSession {
         self.epoch
     }
 
+    /// The live NLRNL index when that oracle is configured (`None` under
+    /// PLL). This is the checkpoint seam: the server persists it into
+    /// the rewritten bundle so a recovery reload skips reconstruction.
+    pub fn nlrnl_index(&self) -> Option<&NlrnlIndex> {
+        match &self.oracle {
+            ServeOracle::Nlrnl(d) => Some(d.index()),
+            ServeOracle::Pll { .. } => None,
+        }
+    }
+
     /// Cache instrumentation so far.
     pub fn stats(&self) -> ServeStats {
         ServeStats {

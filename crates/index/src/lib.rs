@@ -52,6 +52,7 @@ pub mod persist;
 pub mod pll;
 pub mod rows;
 pub mod space;
+pub mod wal;
 
 pub use batch::{kline_conflict_bitmaps, pll_conflict_bitmaps, pll_conflict_bitmaps_into};
 pub use bfs_oracle::BfsOracle;
@@ -63,3 +64,4 @@ pub use oracle::DistanceOracle;
 pub use pll::PllIndex;
 pub use rows::{conflict_bitmaps_cached, KernelScratch, NeighborhoodCache};
 pub use space::{BuildStats, IndexSpace};
+pub use wal::{WalRecord, WalReplay, WalSync, WalWriter};

@@ -17,12 +17,13 @@ use std::io::Write as _;
 use std::net::TcpStream;
 use std::sync::{Mutex, OnceLock};
 
-use ktg_cli::serve::{start, ServeConfig, ServerHandle};
-use ktg_common::fault::{self, FaultConfig};
+use ktg_cli::serve::{start, ServeConfig, ServerHandle, WalConfig};
+use ktg_common::fault::{self, FaultConfig, FaultSite};
 use ktg_common::net::{write_line, Frame, LineReader};
 use ktg_common::SeededRng;
 use ktg_core::serve::{parse_workload, ServeOptions, ServeSession};
 use ktg_core::{bb, AttributedGraph};
+use ktg_index::wal::WalSync;
 use ktg_integration_tests::{random_network, random_query};
 
 /// The fault registry is process-global and the server shares this
@@ -161,10 +162,14 @@ fn tcp_responses_match_batch_rendering_across_configs() {
     }
 }
 
-/// Fault-schedule axis: with deterministic injection armed (all sites),
-/// the server's retry-once recovery must absorb every injected panic —
-/// the parse site included, which only the network path exercises per
-/// request — and keep responses byte-identical to the fault-free bytes.
+/// Fault-schedule axis: with deterministic injection armed (every site
+/// except `io`), the server's retry-once recovery must absorb every
+/// injected panic — the parse site included, which only the network
+/// path exercises per request — and keep responses byte-identical to
+/// the fault-free bytes. The `io` site is deliberately excluded: its
+/// contract is that a failed response write *closes the connection*
+/// (counted in `/stats`), which is the one fault a byte-identical
+/// replay cannot absorb; `response_write_errors_are_counted` covers it.
 #[test]
 fn tcp_responses_are_byte_identical_under_injected_faults() {
     let _guard = fault_lock().lock().unwrap();
@@ -175,9 +180,14 @@ fn tcp_responses_are_byte_identical_under_injected_faults() {
 
     fault::set_config(None);
     let expected = batch_rendering(&net, &script, &options);
+    let sites: Vec<FaultSite> = fault::ALL_SITES
+        .iter()
+        .copied()
+        .filter(|site| *site != FaultSite::ServeIo)
+        .collect();
     for seed in [3u64, 11] {
         for rate in [1.0, 0.5] {
-            fault::set_config(Some(FaultConfig::new(&fault::ALL_SITES, rate, seed)));
+            fault::set_config(Some(FaultConfig::new(&sites, rate, seed)));
             let handle = boot(&net, 2, options.clone());
             let got = replay(&handle, &script);
             assert_eq!(
@@ -263,4 +273,90 @@ fn drained_server_sheds_with_the_batch_overloaded_line() {
 
     handle.shutdown();
     handle.join().expect("server thread");
+}
+
+/// Durability axis: a WAL-backed server that dies abruptly halfway
+/// through a script and is recovered by a fresh process must serve the
+/// remainder byte-identically to a server that never crashed but holds
+/// the same *durable* state — the first half's updates, a fresh (cold)
+/// result cache. Both halves are compared against the shared batch
+/// renderer, so the recovered process's response bytes are transitively
+/// the uninterrupted batch bytes for the same items over the same graph
+/// state.
+#[test]
+fn recovered_server_serves_byte_identically_after_a_crash() {
+    let _guard = fault_lock().lock().unwrap();
+    let dir = std::env::temp_dir()
+        .join(format!("ktg-net-diff-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let wal_cfg = WalConfig {
+        path: dir.join("updates.wal"),
+        sync: WalSync::Always,
+        checkpoint_every: 0,
+        bundle: None,
+    };
+
+    let net = random_network(26, 0.22, 8, 4, 61);
+    let script = wire_script(&net, 0x9EC0);
+    let half = script.len() / 2;
+    let options = ServeOptions { threads: 1, ..ServeOptions::default() };
+
+    // Phase 1: serve the first half, then die with no farewell — every
+    // accepted update was WAL-appended (and fsynced) before it was
+    // applied, so the log alone carries the state forward.
+    let expected = batch_rendering(&net, &script[..half], &options);
+    let cfg = ServeConfig {
+        workers: 2,
+        options: options.clone(),
+        wal: Some(wal_cfg.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = start(net.clone(), cfg).expect("bind first server");
+    let got = replay(&handle, &script[..half]);
+    assert_eq!(expected, got, "pre-crash replay diverged from the batch rendering");
+    handle.shutdown();
+    handle.join().expect("server thread");
+
+    // The never-crashed reference: a fresh session holding exactly the
+    // durable state (first-half updates applied, cold cache), rendering
+    // the second half through the shared batch renderer.
+    let first_items =
+        parse_workload(&script[..half].join("\n"), &net).expect("first half parses");
+    let updates: Vec<_> = first_items.into_iter().filter(|i| !i.is_query()).collect();
+    let mut reference = ServeSession::new(net.clone(), options.clone());
+    reference.run(&updates);
+    let second_items =
+        parse_workload(&script[half..].join("\n"), &net).expect("second half parses");
+    let outcomes = reference.run(&second_items);
+    let mut out = Vec::new();
+    for (i, outcome) in outcomes.iter().enumerate() {
+        ktg_cli::commands::write_outcome(&mut out, i + 1, outcome, options.max_inflight)
+            .expect("render outcome");
+    }
+    let expected = String::from_utf8(out).expect("renderer emits UTF-8");
+
+    // Phase 2: a fresh process — a pristine copy of the network plus
+    // the surviving log — finishes the script.
+    let cfg = ServeConfig {
+        workers: 2,
+        options,
+        wal: Some(wal_cfg),
+        ..ServeConfig::default()
+    };
+    let handle = start(net.clone(), cfg).expect("bind recovered server");
+    assert!(handle.recovered().expect("wal attached").replayed > 0, "nothing replayed");
+    let (mut writer, mut reader) = connect(&handle);
+    for _ in 0..500 {
+        if request(&mut writer, &mut reader, "/health").contains("\"state\":\"serving\"")
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let got = replay(&handle, &script[half..]);
+    assert_eq!(expected, got, "post-recovery replay diverged from the reference");
+    handle.shutdown();
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -409,6 +409,110 @@ fn serving_is_byte_identical_under_injected_faults() {
     }
 }
 
+/// Crash-replay axis: an update workload is written through a real
+/// [`ktg_index::wal::WalWriter`], then "crashed" at every possible
+/// point — after each whole record, and at every byte offset inside the
+/// final record (the torn-tail shape a mid-append crash leaves). Each
+/// surviving log must replay into a session that answers a probe
+/// workload byte-identically to the query-at-a-time reference over the
+/// same surviving update prefix. Damage *before* the tail (bitflips)
+/// must be a typed error, never a panic or a silently shortened replay.
+#[test]
+fn crash_replay_recovers_byte_identically_at_every_crash_point() {
+    use ktg_index::wal::{replay, WalSync, WalWriter};
+
+    let dir = std::env::temp_dir()
+        .join(format!("ktg-serve-diff-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let log = dir.join("updates.wal");
+    let cut_file = dir.join("cut.wal");
+
+    let net = random_network(24, 0.25, 8, 4, 77);
+    let update_lines =
+        ["insert 0 9", "remove 0 9", "insert 3 11", "insert 0 9", "remove 3 11"];
+    let updates: Vec<WorkloadItem> = update_lines
+        .iter()
+        .map(|line| {
+            ktg_core::serve::parse_workload(line, &net).expect("valid update")[0].clone()
+        })
+        .collect();
+    let probe = query_pool_workload(&net, 4, 0xC4A5);
+
+    // Write the full log, remembering the byte boundary after every
+    // record — the whole-record crash points.
+    let mut writer = WalWriter::create(&log, 0, WalSync::Always).expect("create");
+    let mut boundaries = vec![std::fs::metadata(&log).expect("meta").len() as usize];
+    for line in update_lines {
+        writer.append(line).expect("append");
+        boundaries.push(std::fs::metadata(&log).expect("meta").len() as usize);
+    }
+    drop(writer);
+    let full = std::fs::read(&log).expect("read log");
+    assert_eq!(full.len(), *boundaries.last().expect("nonempty"));
+
+    // Crash exactly between records: replay yields the whole prefix,
+    // and the recovered session matches the reference over it.
+    for (survivors, &cut) in boundaries.iter().enumerate() {
+        std::fs::write(&cut_file, &full[..cut]).expect("write cut");
+        let rep = replay(&cut_file).expect("boundary cut replays");
+        assert!(!rep.torn_tail, "cut at record boundary {survivors} is not torn");
+        let recovered_lines: Vec<&str> =
+            rep.records.iter().map(|r| r.line.as_str()).collect();
+        assert_eq!(recovered_lines, &update_lines[..survivors]);
+
+        let mut scenario: Vec<WorkloadItem> = updates[..survivors].to_vec();
+        scenario.extend(probe.iter().cloned());
+        let expected = reference_replay(&net, &scenario);
+
+        // Recover the way the server does: parse each surviving line,
+        // apply through the session, then serve the probe queries.
+        let mut session = ServeSession::new(net.clone(), ServeOptions::default());
+        let replayed: Vec<WorkloadItem> = rep
+            .records
+            .iter()
+            .map(|r| {
+                ktg_core::serve::parse_workload(&r.line, session.net())
+                    .expect("recovered line parses")[0]
+                    .clone()
+            })
+            .collect();
+        let mut outcomes = session.run(&replayed);
+        outcomes.extend(session.run(&probe));
+        assert_eq!(
+            expected,
+            strip(&outcomes),
+            "crash after {survivors} record(s): recovered session diverged"
+        );
+    }
+
+    // Crash inside the final record: every byte cut is a torn tail that
+    // preserves exactly the earlier records.
+    let last_boundary = boundaries[boundaries.len() - 2];
+    for cut in last_boundary + 1..full.len() {
+        std::fs::write(&cut_file, &full[..cut]).expect("write cut");
+        let rep = replay(&cut_file).expect("torn tail replays");
+        assert!(rep.torn_tail, "cut at byte {cut} must be torn");
+        assert_eq!(rep.records.len(), update_lines.len() - 1, "cut at byte {cut}");
+    }
+
+    // Mid-log damage is fully-present-but-wrong, which no crash can
+    // produce: a typed error, not a truncation.
+    let first_record_payload = boundaries[0] + 4..boundaries[1];
+    for pos in first_record_payload.step_by(3) {
+        let mut bad = full.clone();
+        bad[pos] ^= 0x20;
+        std::fs::write(&cut_file, &bad).expect("write corrupt");
+        let err = replay(&cut_file).expect_err("mid-log bitflip must be detected");
+        assert!(
+            err.to_string().contains("WAL"),
+            "bitflip at {pos} gave an untyped error: {err}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Deadline/budget axis: under a tight per-query budget every answer is
 /// either exact — and then byte-identical to the unconstrained run — or
 /// explicitly degraded, and then its groups still pass the checked-mode

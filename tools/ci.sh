@@ -90,15 +90,16 @@ if [ -z "$on_ns" ] || [ -z "$off_ns" ] || [ "$on_ns" -gt "$off_ns" ]; then
     exit 1
 fi
 
-echo "== net_qps smoke (TCP serving throughput over loopback: >= 8 records) =="
+echo "== net_qps smoke (TCP serving throughput over loopback: >= 13 records) =="
 # The binary self-asserts block framing and the cache-on > cache-off win
 # at one connection (re-measuring once against loopback jitter, which
 # appends fresh records — hence tail -n1 below reads the final word).
+# 8 closed-loop + 2 open-arrival + the 5-point paced offered-load sweep.
 KTG_BENCH_FAST=1 KTG_BENCH_OUT="$bench_out" \
     cargo run -q --release --offline -p ktg-bench --bin net_qps
 net_records="$(wc -l < "$bench_out/net_qps.jsonl")"
-if [ "$net_records" -lt 8 ]; then
-    echo "FAIL: net_qps wrote $net_records JSON-lines records, expected >= 8" >&2
+if [ "$net_records" -lt 13 ]; then
+    echo "FAIL: net_qps wrote $net_records JSON-lines records, expected >= 13" >&2
     exit 1
 fi
 net_on_ns="$(grep '"bench":"closed_cache_on","param":"1"' "$bench_out/net_qps.jsonl" \
@@ -131,6 +132,10 @@ grep -q '"cost_over_fifo":' "$bench_out/BENCH_qps.json" || {
 }
 grep -q '"build_speedup_4t":' "$bench_out/BENCH_scale.json" || {
     echo "FAIL: BENCH_scale.json lacks the derived build_speedup_4t ratio" >&2
+    exit 1
+}
+grep -q '"net_open_knee_ratio":' "$bench_out/BENCH_net_qps.json" || {
+    echo "FAIL: BENCH_net_qps.json lacks the derived net_open_knee_ratio" >&2
     exit 1
 }
 for g in bb_scaling net_qps; do
@@ -272,6 +277,121 @@ grep -q "server stopped" "$server_log" || {
     echo "FAIL: server did not log its clean stop line" >&2
     exit 1
 }
+
+echo "== crash-recovery smoke (WAL-backed server, kill -9, replay, bytes == batch) =="
+# A WAL-backed server is SIGKILLed mid-workload; a restarted process
+# must replay the log and serve the rest so that the concatenated
+# client bytes equal an uninterrupted `ktg batch` run of the whole
+# workload. Response numbering is per-connection (the post-crash
+# connection restarts at [1]), so both sides are renumbered with one
+# global counter before the compare; `--no-cache` everywhere keeps the
+# recovered server's necessarily-cold cache out of the bytes.
+renumber() {
+    awk '{ if (match($0, /^\[[0-9]+\] /)) { n++; sub(/^\[[0-9]+\] /, "[" n "] ") } print }' "$1"
+}
+# Polls /health over /dev/tcp until the startup replay finishes —
+# workload lines are refused while the state is `recovering`.
+await_serving() {
+    local host="${1%%:*}" port="${1##*:}" line=""
+    for _ in $(seq 1 150); do
+        if exec 3<>"/dev/tcp/$host/$port" 2>/dev/null; then
+            printf '/health\n' >&3
+            read -r -t 2 line <&3 || true
+            exec 3>&- 3<&-
+            case "$line" in *'"state":"serving"'*) return 0 ;; esac
+        fi
+        sleep 0.2
+    done
+    echo "FAIL: server never reached the serving state (last health: $line)" >&2
+    return 1
+}
+# Scrapes the `serving on HOST:PORT` line from a background server log.
+scrape_addr() {
+    local log="$1" pid="$2" found=""
+    for _ in $(seq 1 150); do
+        found="$(sed -n 's/^serving on \([^ ]*\).*/\1/p' "$log" | head -n1)"
+        [ -n "$found" ] && { echo "$found"; return 0; }
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "FAIL: server exited before binding; log:" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.2
+    done
+    echo "FAIL: server never reported its bound address; log:" >&2
+    cat "$log" >&2
+    return 1
+}
+# Edges (1,2) and (0,5) are absent from the seed-7 dblp graph, so both
+# pre-crash inserts genuinely mutate state — and `remove 1 2` after the
+# restart renders `applied` only if the first insert survived the
+# SIGKILL, making the byte compare a durability proof.
+cat > "$tmp/crash-workload.txt" <<'EOF'
+ktg terms=t0,t1,t4 p=3 k=2 n=3
+insert 1 2
+dktg terms=t0,t3,t17 p=3 k=2 n=2 gamma=0.5
+insert 0 5
+ktg terms=t1,t5 p=3 k=1 n=2
+remove 1 2
+ktg terms=t0,t3 p=3 k=2 n=2
+EOF
+head -n 4 "$tmp/crash-workload.txt" > "$tmp/crash-first.txt"
+tail -n 3 "$tmp/crash-workload.txt" > "$tmp/crash-second.txt"
+KTG_VERIFY=1 cargo run -q --release --offline -p ktg-cli -- batch \
+    --workload "$tmp/crash-workload.txt" --edges "$tmp/data/edges.txt" \
+    --keywords "$tmp/data/keywords.txt" --threads 1 --no-cache \
+    > "$tmp/crash-batch.out"
+grep -v '^batch: \|^served: \|^partial: ' "$tmp/crash-batch.out" > "$tmp/crash-ref.out"
+crash_serve=(--edges "$tmp/data/edges.txt" --keywords "$tmp/data/keywords.txt"
+    --wal "$tmp/crash.wal" --bind 127.0.0.1:0 --workers 2 --threads 1 --no-cache)
+KTG_VERIFY=1 cargo run -q --release --offline -p ktg-cli -- serve \
+    "${crash_serve[@]}" > "$tmp/crash-serve1.log" 2>&1 &
+server_pid=$!
+trap 'kill -9 "$server_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+addr="$(scrape_addr "$tmp/crash-serve1.log" "$server_pid")"
+# `--retry` rides along so the smoke exercises the flag's plumbing even
+# on a healthy connection.
+cargo run -q --release --offline -p ktg-cli -- serve --connect "$addr" \
+    --workload "$tmp/crash-first.txt" --retry 3 --retry-base-ms 20 \
+    > "$tmp/crash-client1.out"
+# No ceremony: SIGKILL skips every destructor and flush.
+kill -9 "$server_pid" 2>/dev/null
+set +e
+wait "$server_pid"
+set -e
+KTG_VERIFY=1 cargo run -q --release --offline -p ktg-cli -- serve \
+    "${crash_serve[@]}" > "$tmp/crash-serve2.log" 2>&1 &
+server_pid=$!
+addr="$(scrape_addr "$tmp/crash-serve2.log" "$server_pid")"
+grep -q '^wal: recovered 2 updates' "$tmp/crash-serve2.log" || {
+    echo "FAIL: restarted server did not report WAL recovery; log:" >&2
+    cat "$tmp/crash-serve2.log" >&2
+    exit 1
+}
+await_serving "$addr"
+cargo run -q --release --offline -p ktg-cli -- serve --connect "$addr" \
+    --workload "$tmp/crash-second.txt" --retry 3 --retry-base-ms 20 \
+    > "$tmp/crash-client2.out"
+cat "$tmp/crash-client1.out" "$tmp/crash-client2.out" > "$tmp/crash-got-raw.out"
+renumber "$tmp/crash-ref.out" > "$tmp/crash-ref-renum.out"
+renumber "$tmp/crash-got-raw.out" > "$tmp/crash-got-renum.out"
+if ! cmp -s "$tmp/crash-ref-renum.out" "$tmp/crash-got-renum.out"; then
+    echo "FAIL: crashed+recovered responses diverged from the batch rendering:" >&2
+    diff "$tmp/crash-ref-renum.out" "$tmp/crash-got-renum.out" >&2 || true
+    exit 1
+fi
+# The server outlived the compare; stop it cleanly like the first smoke.
+cargo run -q --release --offline -p ktg-cli -- serve --connect "$addr" --shutdown \
+    > /dev/null
+for _ in $(seq 1 150); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.2
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "FAIL: recovered server still running after /shutdown" >&2
+    exit 1
+fi
+trap 'rm -rf "$tmp"' EXIT
 
 echo "== tight-budget degraded smoke (exit 3, flagged status, verifier clean) =="
 # A one-node budget forces a best-so-far answer: the binary must exit 3
